@@ -1,0 +1,112 @@
+// Empirical check of the paper's §2 remark about gGlOSS: "when the
+// measure of similarity sum is used, the estimates produced by the two
+// methods in gGlOSS form lower and upper bounds to the true similarity
+// sum. ... when the measure is the number of useful documents, the
+// estimates ... no longer form bounds."
+//
+// For every query and threshold on D1 we compare the high-correlation and
+// disjoint estimates against ground truth, once for the similarity-sum
+// measure (Goodness) and once for NoDoc, and count how often
+// min(est) <= truth <= max(est) holds. The sum measure should bracket the
+// truth for the vast majority of queries; the count measure should not.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "estimate/gloss_estimators.h"
+#include "estimate/goodness.h"
+#include "eval/table.h"
+#include "represent/builder.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace useful;
+  const auto& tb = bench::GetTestbed();
+  auto engine = bench::BuildEngine(tb.sim->BuildD1());
+  auto rep = represent::BuildRepresentative(*engine);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
+    return 1;
+  }
+
+  estimate::HighCorrelationEstimator high;
+  estimate::DisjointEstimator disjoint;
+
+  // Part 1 — the exact identity at T = 0: for the similarity-sum measure,
+  // both gGlOSS estimates and the truth all equal sum_i u_i * df_i * w_i
+  // (every containing document contributes its full similarity, and the
+  // co-occurrence assumption no longer matters). This is why the two
+  // estimates act as bounds near T = 0.
+  {
+    double worst_rel = 0.0;
+    std::size_t considered = 0;
+    for (const corpus::Query& raw : tb.queries) {
+      ir::Query q = ir::ParseQuery(tb.analyzer, raw.text, raw.id);
+      if (q.empty()) continue;
+      ir::Usefulness truth = engine->TrueUsefulness(q, 0.0);
+      if (truth.no_doc == 0) continue;
+      ++considered;
+      double true_sum = estimate::GoodnessOf(truth);
+      double hs = estimate::GoodnessOf(high.Estimate(rep.value(), q, 0.0));
+      double ds =
+          estimate::GoodnessOf(disjoint.Estimate(rep.value(), q, 0.0));
+      worst_rel = std::max(worst_rel, std::abs(hs - true_sum) / true_sum);
+      worst_rel = std::max(worst_rel, std::abs(ds - true_sum) / true_sum);
+    }
+    bench::PrintBanner("similarity-sum identity at T = 0");
+    std::printf(
+        "high-correlation, disjoint and the truth coincide at T = 0:\n"
+        "worst relative deviation over %zu queries = %.2e (rounding only)\n",
+        considered, worst_rel);
+  }
+
+  // Part 2 — how quickly the bracketing property erodes as T grows, for
+  // both measures.
+  eval::TextTable table;
+  table.SetHeader({"T", "queries", "sum bracketed %", "count bracketed %"});
+  for (double t : {0.1, 0.2, 0.3, 0.4}) {
+    std::size_t considered = 0, sum_bracketed = 0, count_bracketed = 0;
+    for (const corpus::Query& raw : tb.queries) {
+      ir::Query q = ir::ParseQuery(tb.analyzer, raw.text, raw.id);
+      if (q.empty()) continue;
+      ir::Usefulness truth = engine->TrueUsefulness(q, t);
+      if (truth.no_doc == 0) continue;  // nothing to bracket
+      ++considered;
+
+      estimate::UsefulnessEstimate h = high.Estimate(rep.value(), q, t);
+      estimate::UsefulnessEstimate d = disjoint.Estimate(rep.value(), q, t);
+
+      double true_sum = estimate::GoodnessOf(truth);
+      double hs = estimate::GoodnessOf(h);
+      double ds = estimate::GoodnessOf(d);
+      if (std::min(hs, ds) <= true_sum + 1e-9 &&
+          true_sum <= std::max(hs, ds) + 1e-9) {
+        ++sum_bracketed;
+      }
+      double true_count = static_cast<double>(truth.no_doc);
+      if (std::min(h.no_doc, d.no_doc) <= true_count + 1e-9 &&
+          true_count <= std::max(h.no_doc, d.no_doc) + 1e-9) {
+        ++count_bracketed;
+      }
+    }
+    auto pct = [&](std::size_t x) {
+      return considered == 0
+                 ? 0.0
+                 : 100.0 * static_cast<double>(x) /
+                       static_cast<double>(considered);
+    };
+    table.AddRow({StringPrintf("%.1f", t), StringPrintf("%zu", considered),
+                  StringPrintf("%.1f", pct(sum_bracketed)),
+                  StringPrintf("%.1f", pct(count_bracketed))});
+  }
+
+  bench::PrintBanner(
+      "gGlOSS estimates as a bracket, away from T = 0 (paper section 2)");
+  std::printf(
+      "the bounds are exact at T = 0 (above) and erode with T as the\n"
+      "average-weight model loses the weight tail — on heavy-tailed\n"
+      "synthetic weights both estimates drift below the truth, the effect\n"
+      "the subrange decomposition exists to fix:\n\n%s",
+      table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Microbenchmarks (google-benchmark): the systems costs behind the paper's
+// architecture — representative construction, estimator latency per
+// (query, threshold), generating-function expansion scaling, quantization,
+// and broker selection across 53 engines.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "broker/metasearcher.h"
+#include "common.h"
+#include "estimate/adaptive_estimator.h"
+#include "estimate/basic_estimator.h"
+#include "estimate/gloss_estimators.h"
+#include "estimate/subrange_estimator.h"
+#include "represent/builder.h"
+#include "represent/quantized.h"
+#include "represent/serialize.h"
+
+#include <sstream>
+
+namespace {
+
+using namespace useful;
+
+struct D1Fixture {
+  std::unique_ptr<ir::SearchEngine> engine;
+  represent::Representative rep;
+  std::vector<ir::Query> queries;
+};
+
+const D1Fixture& GetD1() {
+  static const D1Fixture* fixture = [] {
+    auto* f = new D1Fixture();
+    const auto& tb = bench::GetTestbed();
+    f->engine = bench::BuildEngine(tb.sim->BuildD1());
+    f->rep = std::move(represent::BuildRepresentative(*f->engine)).value();
+    for (std::size_t i = 0; i < 512; ++i) {
+      const corpus::Query& q = tb.queries[i];
+      f->queries.push_back(ir::ParseQuery(tb.analyzer, q.text, q.id));
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_IndexD1(benchmark::State& state) {
+  const auto& tb = bench::GetTestbed();
+  corpus::Collection d1 = tb.sim->BuildD1();
+  for (auto _ : state) {
+    ir::SearchEngine engine("D1", &tb.analyzer);
+    benchmark::DoNotOptimize(engine.AddCollection(d1));
+    benchmark::DoNotOptimize(engine.Finalize());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d1.size()));
+}
+BENCHMARK(BM_IndexD1)->Unit(benchmark::kMillisecond);
+
+void BM_BuildRepresentative(benchmark::State& state) {
+  const auto& f = GetD1();
+  for (auto _ : state) {
+    auto rep = represent::BuildRepresentative(*f.engine);
+    benchmark::DoNotOptimize(rep);
+  }
+}
+BENCHMARK(BM_BuildRepresentative)->Unit(benchmark::kMillisecond);
+
+void BM_QuantizeRepresentative(benchmark::State& state) {
+  const auto& f = GetD1();
+  for (auto _ : state) {
+    auto q = represent::QuantizeRepresentative(f.rep);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_QuantizeRepresentative)->Unit(benchmark::kMillisecond);
+
+void BM_SerializeRepresentative(benchmark::State& state) {
+  const auto& f = GetD1();
+  for (auto _ : state) {
+    std::ostringstream out;
+    benchmark::DoNotOptimize(represent::WriteRepresentative(f.rep, out));
+  }
+}
+BENCHMARK(BM_SerializeRepresentative)->Unit(benchmark::kMillisecond);
+
+template <typename Estimator>
+void BM_Estimator(benchmark::State& state) {
+  const auto& f = GetD1();
+  Estimator est;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const ir::Query& q = f.queries[i++ % f.queries.size()];
+    auto u = est.Estimate(f.rep, q, 0.2);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_Estimator<estimate::SubrangeEstimator>);
+BENCHMARK(BM_Estimator<estimate::BasicEstimator>);
+BENCHMARK(BM_Estimator<estimate::AdaptiveEstimator>);
+BENCHMARK(BM_Estimator<estimate::HighCorrelationEstimator>);
+BENCHMARK(BM_Estimator<estimate::DisjointEstimator>);
+
+void BM_ExactEvaluation(benchmark::State& state) {
+  const auto& f = GetD1();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const ir::Query& q = f.queries[i++ % f.queries.size()];
+    auto u = f.engine->TrueUsefulness(q, 0.2);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_ExactEvaluation);
+
+void BM_ExpansionScaling(benchmark::State& state) {
+  // r query terms x s subranges each: cost of the polynomial product.
+  const auto r = static_cast<std::size_t>(state.range(0));
+  const auto s = static_cast<std::size_t>(state.range(1));
+  std::vector<estimate::TermPolynomial> factors(r);
+  for (std::size_t f = 0; f < r; ++f) {
+    for (std::size_t k = 0; k < s; ++k) {
+      factors[f].spikes.push_back(estimate::Spike{
+          0.05 + 0.9 * static_cast<double>(f * s + k) /
+                     static_cast<double>(r * s),
+          0.8 / static_cast<double>(s)});
+    }
+  }
+  for (auto _ : state) {
+    auto dist = estimate::SimilarityDistribution::Expand(factors);
+    benchmark::DoNotOptimize(dist);
+  }
+}
+BENCHMARK(BM_ExpansionScaling)
+    ->Args({1, 6})
+    ->Args({3, 6})
+    ->Args({6, 6})
+    ->Args({6, 10})
+    ->Args({10, 6});
+
+void BM_BrokerSelection53Engines(benchmark::State& state) {
+  static const auto* setup = [] {
+    const auto& tb = bench::GetTestbed();
+    auto* s = new std::pair<std::vector<std::unique_ptr<ir::SearchEngine>>,
+                            std::unique_ptr<broker::Metasearcher>>();
+    s->second = std::make_unique<broker::Metasearcher>(&tb.analyzer);
+    for (const corpus::Collection& g : tb.sim->groups()) {
+      s->first.push_back(bench::BuildEngine(g));
+      if (!s->second->RegisterEngine(s->first.back().get()).ok()) std::abort();
+    }
+    return s;
+  }();
+  const auto& f = GetD1();
+  estimate::SubrangeEstimator est;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const ir::Query& q = f.queries[i++ % f.queries.size()];
+    auto selected = setup->second->SelectEngines(q, 0.2, est);
+    benchmark::DoNotOptimize(selected);
+  }
+}
+BENCHMARK(BM_BrokerSelection53Engines);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// The paper's stated future work: "We intend to perform extensive
+// experiments involving much larger and much more databases." This bench
+// grows the database by merging ever more newsgroups (1, 2, 4, 8, 16, 26,
+// 53 groups) and tracks how the subrange method's accuracy and the
+// representative overhead behave as the database scales and diversifies.
+//
+// Expected shape: match rate stays high; mismatch and d-S grow mildly with
+// diversity (the paper's D1 -> D3 observation, extended); representative
+// size as a fraction of collection size falls as the vocabulary saturates
+// (the paper's §3.2 remark).
+#include <cstdio>
+
+#include "common.h"
+#include "estimate/subrange_estimator.h"
+#include "eval/experiment.h"
+#include "eval/table.h"
+#include "represent/builder.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace useful;
+  const auto& tb = bench::GetTestbed();
+  estimate::SubrangeEstimator subrange;
+
+  bench::PrintBanner(
+      "scalability: subrange accuracy vs database size/diversity "
+      "(paper's stated future work)");
+  eval::TextTable table;
+  table.SetHeader({"groups", "docs", "terms", "rep% of text", "U@0.2",
+                   "match@0.2", "mismatch@0.2", "d-N@0.2", "d-S@0.2"});
+
+  for (std::size_t groups : {1u, 2u, 4u, 8u, 16u, 26u, 53u}) {
+    corpus::Collection merged(StringPrintf("top%zu", groups));
+    for (std::size_t g = 0; g < groups && g < tb.sim->groups().size(); ++g) {
+      merged.Merge(tb.sim->groups()[g]);
+    }
+    auto engine = bench::BuildEngine(merged);
+    auto rep = represent::BuildRepresentative(*engine);
+    if (!rep.ok()) {
+      std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
+      return 1;
+    }
+
+    eval::ExperimentConfig config;
+    config.thresholds = {0.2};
+    auto rows = eval::RunExperiment(*engine, tb.queries,
+                                    {{&subrange, &rep.value(), "sub"}},
+                                    config);
+    const eval::ThresholdRow& row = rows[0];
+    const eval::MethodAccuracy& acc = row.methods[0];
+
+    table.AddRow(
+        {StringPrintf("%zu", groups), StringPrintf("%zu", merged.size()),
+         StringPrintf("%zu", engine->num_terms()),
+         StringPrintf("%.1f",
+                      100.0 * static_cast<double>(rep.value().PaperBytes()) /
+                          static_cast<double>(merged.TextBytes())),
+         StringPrintf("%zu", row.useful_queries),
+         StringPrintf("%zu", acc.match), StringPrintf("%zu", acc.mismatch),
+         StringPrintf("%.2f", acc.d_n), StringPrintf("%.3f", acc.d_s)});
+  }
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Federation-level selection quality across all 53 engines and the full
+// query log — the operational bottom line of the paper's motivation:
+// contact few engines, miss none that matter. For each method and
+// threshold: selection precision/recall against the truly-useful engine
+// sets, mean engines contacted (vs 53 for blind broadcast), and how often
+// the single best engine is among those contacted.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common.h"
+#include "estimate/adaptive_estimator.h"
+#include "estimate/basic_estimator.h"
+#include "estimate/gloss_estimators.h"
+#include "estimate/subrange_estimator.h"
+#include "eval/selection.h"
+#include "eval/table.h"
+#include "represent/builder.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace useful;
+  const auto& tb = bench::GetTestbed();
+
+  std::vector<std::unique_ptr<ir::SearchEngine>> engines;
+  std::vector<represent::Representative> reps;
+  for (const corpus::Collection& g : tb.sim->groups()) {
+    engines.push_back(bench::BuildEngine(g));
+    reps.push_back(
+        std::move(represent::BuildRepresentative(*engines.back())).value());
+  }
+  std::vector<eval::FederationMember> federation;
+  for (std::size_t e = 0; e < engines.size(); ++e) {
+    federation.push_back(eval::FederationMember{engines[e].get(), &reps[e]});
+  }
+
+  estimate::SubrangeEstimator subrange;
+  estimate::AdaptiveEstimator adaptive;
+  estimate::HighCorrelationEstimator high_corr;
+  estimate::BasicEstimator basic;
+  std::vector<std::pair<std::string, const estimate::UsefulnessEstimator*>>
+      methods = {{"subrange", &subrange},
+                 {"prev(VLDB98)", &adaptive},
+                 {"basic", &basic},
+                 {"high-corr", &high_corr}};
+
+  std::vector<double> thresholds = {0.1, 0.2, 0.4};
+  auto results = eval::EvaluateSelection(federation, tb.analyzer, tb.queries,
+                                         methods, thresholds);
+
+  bench::PrintBanner(
+      "engine-selection quality across the 53-engine federation");
+  std::printf(
+      "expected shape: subrange dominates recall and best-engine hit rate\n"
+      "at every threshold while contacting a small fraction of the 53\n"
+      "engines; the uniform-weight and correlation baselines under-select\n"
+      "as T grows.\n\n");
+  eval::TextTable table;
+  table.SetHeader({"T", "method", "precision", "recall", "best-hit",
+                   "engines/query (of 53)"});
+  for (const eval::SelectionQuality& sq : results) {
+    table.AddRow({StringPrintf("%.1f", sq.threshold), sq.method,
+                  StringPrintf("%.3f", sq.precision),
+                  StringPrintf("%.3f", sq.recall),
+                  StringPrintf("%.3f", sq.best_engine_hit),
+                  StringPrintf("%.2f", sq.engines_contacted)});
+  }
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}

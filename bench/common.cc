@@ -1,0 +1,79 @@
+#include "common.h"
+
+#include <cstdio>
+
+#include "estimate/adaptive_estimator.h"
+#include "estimate/gloss_estimators.h"
+#include "estimate/subrange_estimator.h"
+#include "eval/table.h"
+#include "represent/builder.h"
+
+namespace useful::bench {
+
+const Testbed& GetTestbed() {
+  static const Testbed* testbed = [] {
+    auto* tb = new Testbed();
+    tb->sim = std::make_unique<corpus::NewsgroupSimulator>();
+    tb->queries = corpus::QueryLogGenerator().Generate(*tb->sim);
+    return tb;
+  }();
+  return *testbed;
+}
+
+std::unique_ptr<ir::SearchEngine> BuildEngine(
+    const corpus::Collection& collection) {
+  auto engine = std::make_unique<ir::SearchEngine>(collection.name(),
+                                                   &GetTestbed().analyzer);
+  Status s = engine->AddCollection(collection);
+  if (s.ok()) s = engine->Finalize();
+  if (!s.ok()) {
+    std::fprintf(stderr, "BuildEngine(%s): %s\n", collection.name().c_str(),
+                 s.ToString().c_str());
+    std::abort();
+  }
+  return engine;
+}
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintPaperVsMeasured(const std::string& paper_block,
+                          const std::string& measured_block) {
+  std::printf(
+      "--- paper (original testbed; compare shape, not absolutes) ---\n%s"
+      "--- measured (synthetic testbed, this build) ---\n%s",
+      paper_block.c_str(), measured_block.c_str());
+}
+
+void RunThreeMethodTables(const corpus::Collection& db,
+                          const std::string& paper_match,
+                          const std::string& paper_err) {
+  const Testbed& tb = GetTestbed();
+  auto engine = BuildEngine(db);
+  auto rep = represent::BuildRepresentative(*engine);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "BuildRepresentative: %s\n",
+                 rep.status().ToString().c_str());
+    std::abort();
+  }
+
+  estimate::HighCorrelationEstimator high_corr;
+  estimate::AdaptiveEstimator adaptive;
+  estimate::SubrangeEstimator subrange;
+
+  std::vector<eval::MethodUnderTest> methods = {
+      {&high_corr, &rep.value(), "high-corr"},
+      {&adaptive, &rep.value(), "prev(VLDB98)"},
+      {&subrange, &rep.value(), "subrange"},
+  };
+  std::vector<eval::ThresholdRow> rows =
+      eval::RunExperiment(*engine, tb.queries, methods);
+
+  PrintBanner("match/mismatch on " + db.name());
+  PrintPaperVsMeasured(paper_match, eval::RenderMatchTable(rows));
+  PrintBanner("d-N / d-S on " + db.name());
+  PrintPaperVsMeasured(paper_err, eval::RenderErrorTable(rows));
+}
+
+}  // namespace useful::bench

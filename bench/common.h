@@ -1,0 +1,49 @@
+// Shared scaffolding for the table-reproduction benches: one lazily built
+// testbed (53 simulated newsgroups + 6,234-query log), engine/representative
+// construction, and paper-vs-measured printing helpers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/newsgroup_sim.h"
+#include "corpus/query_log.h"
+#include "eval/experiment.h"
+#include "ir/search_engine.h"
+#include "represent/representative.h"
+#include "text/analyzer.h"
+
+namespace useful::bench {
+
+/// The full experimental setup, built once per process.
+struct Testbed {
+  text::Analyzer analyzer;
+  std::unique_ptr<corpus::NewsgroupSimulator> sim;
+  std::vector<corpus::Query> queries;
+};
+
+/// Lazily constructed singleton testbed (deterministic seeds).
+const Testbed& GetTestbed();
+
+/// Indexes `collection` with the testbed analyzer and finalizes.
+std::unique_ptr<ir::SearchEngine> BuildEngine(
+    const corpus::Collection& collection);
+
+/// Prints a section banner.
+void PrintBanner(const std::string& title);
+
+/// Prints the paper's reference numbers block followed by our measured
+/// table, with a one-line reading hint.
+void PrintPaperVsMeasured(const std::string& paper_block,
+                          const std::string& measured_block);
+
+/// Runs the three-method comparison of Tables 1-6 (high-correlation,
+/// adaptive/VLDB'98, subrange) on `db` and prints both paper tables plus
+/// our measured ones. `paper_match` / `paper_err` hold the paper's
+/// reference rows for this database.
+void RunThreeMethodTables(const corpus::Collection& db,
+                          const std::string& paper_match,
+                          const std::string& paper_err);
+
+}  // namespace useful::bench

@@ -1,0 +1,82 @@
+// Hierarchical metasearch: the paper's "the approach can be generalized
+// to more than two levels". Regional brokers summarize their engines by
+// *merging representatives* (exactly — the statistics are moments), and a
+// root broker routes queries first to regions, then within the selected
+// regions to engines. No level ever touches another level's documents.
+//
+//   build/examples/hierarchical_federation
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "broker/hierarchy.h"
+#include "corpus/newsgroup_sim.h"
+#include "corpus/query_log.h"
+#include "estimate/subrange_estimator.h"
+
+int main() {
+  using namespace useful;
+
+  corpus::NewsgroupSimOptions sim_opts;
+  sim_opts.num_groups = 12;
+  sim_opts.vocabulary_size = 8000;
+  sim_opts.topical_terms_per_group = 300;
+  corpus::NewsgroupSimulator sim(sim_opts);
+  text::Analyzer analyzer;
+
+  // Leaf level: 12 engines in 3 regions of 4.
+  constexpr std::size_t kRegions = 3;
+  std::vector<std::unique_ptr<ir::SearchEngine>> engines;
+  for (const corpus::Collection& g : sim.groups()) {
+    auto engine = std::make_unique<ir::SearchEngine>(g.name(), &analyzer);
+    if (!engine->AddCollection(g).ok() || !engine->Finalize().ok()) return 1;
+    engines.push_back(std::move(engine));
+  }
+
+  broker::HierarchicalMetasearcher hier(&analyzer);
+  for (std::size_t r = 0; r < kRegions; ++r) {
+    std::vector<const ir::SearchEngine*> members;
+    for (std::size_t e = r * 4; e < (r + 1) * 4; ++e) {
+      members.push_back(engines[e].get());
+    }
+    if (Status s = hier.AddRegion("region" + std::to_string(r), members);
+        !s.ok()) {
+      std::fprintf(stderr, "AddRegion: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf(
+      "hierarchy: 1 root broker -> %zu regional brokers -> %zu engines\n"
+      "(the root holds %zu merged representatives instead of %zu)\n\n",
+      hier.num_regions(), hier.num_engines(), hier.num_regions(),
+      hier.num_engines());
+
+  corpus::QueryLogOptions q_opts;
+  q_opts.num_queries = 6;
+  estimate::SubrangeEstimator estimator;
+  const double threshold = 0.15;
+  for (const corpus::Query& raw :
+       corpus::QueryLogGenerator(q_opts).Generate(sim)) {
+    ir::Query q = ir::ParseQuery(analyzer, raw.text, raw.id);
+    if (q.empty()) continue;
+    std::printf("query \"%s\"\n", raw.text.c_str());
+
+    auto selected = hier.SelectEngines(q, threshold, estimator);
+    if (selected.empty()) {
+      std::printf("  no region useful\n");
+      continue;
+    }
+    for (const broker::HierarchicalSelection& sel : selected) {
+      std::printf("  root -> %s -> %s (est NoDoc %.1f, AvgSim %.3f)\n",
+                  sel.region.c_str(), sel.engine.c_str(),
+                  sel.estimate.no_doc, sel.estimate.avg_sim);
+    }
+    auto results = hier.Search(raw.text, threshold, estimator);
+    if (results.ok() && !results.value().empty()) {
+      const broker::MetasearchResult& top = results.value()[0];
+      std::printf("  best document: %.3f %s (%s)\n", top.score,
+                  top.doc_id.c_str(), top.engine.c_str());
+    }
+  }
+  return 0;
+}

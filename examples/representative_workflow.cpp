@@ -1,0 +1,119 @@
+// Representative lifecycle: how a production broker would maintain its
+// metadata. Builds quadruplet representatives for a federation, compresses
+// them with one-byte quantization, persists them to disk, reloads, and
+// verifies that selection decisions survive the compression round trip —
+// the operational counterpart of the paper's §3.2.
+//
+//   build/examples/representative_workflow [dir]
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "corpus/newsgroup_sim.h"
+#include "corpus/query_log.h"
+#include "estimate/subrange_estimator.h"
+#include "ir/search_engine.h"
+#include "represent/builder.h"
+#include "represent/quantized.h"
+#include "represent/serialize.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace useful;
+  std::filesystem::path dir =
+      argc > 1 ? argv[1]
+               : std::filesystem::temp_directory_path() / "useful_reps";
+  std::filesystem::create_directories(dir);
+
+  corpus::NewsgroupSimOptions sim_opts;
+  sim_opts.num_groups = 6;
+  sim_opts.vocabulary_size = 6000;
+  sim_opts.topical_terms_per_group = 250;
+  corpus::NewsgroupSimulator sim(sim_opts);
+  text::Analyzer analyzer;
+
+  std::size_t exact_bytes = 0, quantized_bytes = 0, raw_bytes = 0;
+  std::vector<std::unique_ptr<ir::SearchEngine>> engines;
+  std::vector<std::string> paths;
+  for (const corpus::Collection& group : sim.groups()) {
+    auto engine = std::make_unique<ir::SearchEngine>(group.name(), &analyzer);
+    if (!engine->AddCollection(group).ok() || !engine->Finalize().ok()) {
+      return 1;
+    }
+
+    auto rep = represent::BuildRepresentative(*engine);
+    if (!rep.ok()) {
+      std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
+      return 1;
+    }
+    auto quantized = represent::QuantizeRepresentative(rep.value());
+    if (!quantized.ok()) {
+      std::fprintf(stderr, "%s\n", quantized.status().ToString().c_str());
+      return 1;
+    }
+
+    raw_bytes += group.TextBytes();
+    exact_bytes += rep.value().PaperBytes(4);
+    quantized_bytes += quantized.value().representative.PaperBytes(1) +
+                       4 * ByteQuantizer::CodebookBytes();
+
+    std::string path = (dir / (group.name() + ".rep")).string();
+    if (Status s = represent::SaveRepresentative(
+            quantized.value().representative, path);
+        !s.ok()) {
+      std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    paths.push_back(path);
+    engines.push_back(std::move(engine));
+  }
+
+  std::printf("collections: %s raw text\n", HumanBytes(raw_bytes).c_str());
+  std::printf("exact representatives:      %s (%.2f%% of raw)\n",
+              HumanBytes(exact_bytes).c_str(),
+              100.0 * static_cast<double>(exact_bytes) /
+                  static_cast<double>(raw_bytes));
+  std::printf("quantized representatives:  %s (%.2f%% of raw)\n",
+              HumanBytes(quantized_bytes).c_str(),
+              100.0 * static_cast<double>(quantized_bytes) /
+                  static_cast<double>(raw_bytes));
+
+  // Reload from disk and verify that usefulness decisions agree with
+  // freshly built exact representatives on a probe workload.
+  corpus::QueryLogOptions q_opts;
+  q_opts.num_queries = 200;
+  std::vector<corpus::Query> probes =
+      corpus::QueryLogGenerator(q_opts).Generate(sim);
+
+  estimate::SubrangeEstimator estimator;
+  std::size_t decisions = 0, agreements = 0;
+  for (std::size_t e = 0; e < engines.size(); ++e) {
+    auto reloaded = represent::LoadRepresentative(paths[e]);
+    if (!reloaded.ok()) {
+      std::fprintf(stderr, "load: %s\n", reloaded.status().ToString().c_str());
+      return 1;
+    }
+    auto exact = represent::BuildRepresentative(*engines[e]);
+    for (const corpus::Query& raw : probes) {
+      ir::Query q = ir::ParseQuery(analyzer, raw.text, raw.id);
+      if (q.empty()) continue;
+      ++decisions;
+      bool useful_exact =
+          estimate::RoundNoDoc(
+              estimator.Estimate(exact.value(), q, 0.2).no_doc) >= 1;
+      bool useful_reloaded =
+          estimate::RoundNoDoc(
+              estimator.Estimate(reloaded.value(), q, 0.2).no_doc) >= 1;
+      agreements += useful_exact == useful_reloaded;
+    }
+  }
+  std::printf(
+      "\nselection agreement after quantize+serialize round trip: "
+      "%zu/%zu (%.2f%%)\n",
+      agreements, decisions,
+      100.0 * static_cast<double>(agreements) /
+          static_cast<double>(decisions));
+  std::printf("representatives stored under %s\n", dir.string().c_str());
+  return 0;
+}

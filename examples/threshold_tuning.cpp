@@ -1,0 +1,94 @@
+// Threshold tuning: the paper's usefulness measure is threshold-aware —
+// unlike gGlOSS-era rankings, the same engine ranks differently as the
+// user's quality bar moves. This example sweeps the threshold for one
+// query against a federation and shows how each method's engine ranking
+// responds, including the crossover where sparse-but-excellent engines
+// overtake broad-but-mediocre ones.
+//
+//   build/examples/threshold_tuning ["query text"]
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "broker/metasearcher.h"
+#include "corpus/newsgroup_sim.h"
+#include "estimate/gloss_estimators.h"
+#include "estimate/subrange_estimator.h"
+#include "ir/search_engine.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace useful;
+
+  corpus::NewsgroupSimOptions sim_opts;
+  sim_opts.num_groups = 8;
+  sim_opts.vocabulary_size = 6000;
+  sim_opts.topical_terms_per_group = 250;
+  corpus::NewsgroupSimulator sim(sim_opts);
+  text::Analyzer analyzer;
+
+  std::vector<std::unique_ptr<ir::SearchEngine>> engines;
+  broker::Metasearcher broker(&analyzer);
+  for (const corpus::Collection& group : sim.groups()) {
+    auto engine = std::make_unique<ir::SearchEngine>(group.name(), &analyzer);
+    if (!engine->AddCollection(group).ok() || !engine->Finalize().ok()) {
+      return 1;
+    }
+    if (!broker.RegisterEngine(engine.get()).ok()) return 1;
+    engines.push_back(std::move(engine));
+  }
+
+  // Default query: two topical terms from different groups, so coverage
+  // genuinely differs across engines.
+  std::string query_text;
+  if (argc > 1) {
+    query_text = argv[1];
+  } else {
+    query_text = sim.vocabulary().word(sim.topical_terms(0)[0]) + " " +
+                 sim.vocabulary().word(sim.topical_terms(0)[1]);
+  }
+  ir::Query q = ir::ParseQuery(analyzer, query_text, "probe");
+  if (q.empty()) {
+    std::fprintf(stderr, "query \"%s\" has no content terms\n",
+                 query_text.c_str());
+    return 1;
+  }
+  std::printf("query: \"%s\"\n\n", query_text.c_str());
+
+  estimate::SubrangeEstimator subrange;
+  estimate::HighCorrelationEstimator high_corr;
+
+  for (double t : {0.05, 0.15, 0.25, 0.35, 0.5}) {
+    std::printf("T = %.2f\n", t);
+    std::printf("  %-22s %-30s %s\n", "true ranking",
+                "subrange (threshold-aware)", "high-correlation");
+    // Ground truth ranking by exact NoDoc.
+    std::vector<std::pair<std::string, std::size_t>> truth;
+    for (const auto& engine : engines) {
+      truth.emplace_back(engine->name(),
+                         engine->TrueUsefulness(q, t).no_doc);
+    }
+    std::sort(truth.begin(), truth.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    auto sub_ranked = broker.RankEngines(q, t, subrange);
+    auto hc_ranked = broker.RankEngines(q, t, high_corr);
+    for (std::size_t i = 0; i < 3 && i < truth.size(); ++i) {
+      std::printf("  %-22s %-30s %s\n",
+                  StringPrintf("%s(%zu)", truth[i].first.c_str(),
+                               truth[i].second)
+                      .c_str(),
+                  StringPrintf("%s(%.1f)", sub_ranked[i].engine.c_str(),
+                               sub_ranked[i].estimate.no_doc)
+                      .c_str(),
+                  StringPrintf("%s(%.1f)", hc_ranked[i].engine.c_str(),
+                               hc_ranked[i].estimate.no_doc)
+                      .c_str());
+    }
+  }
+  std::printf(
+      "\nnote how the subrange ranking tracks the true ranking as T moves "
+      "while a correlation-assumption ranking degrades at high T.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "broker/allocator.h"
+
+#include <cmath>
+
+namespace useful::broker {
+
+namespace {
+
+double TotalNoDocAt(const Metasearcher& broker, const ir::Query& q,
+                    const estimate::UsefulnessEstimator& estimator,
+                    double threshold,
+                    std::vector<EngineSelection>* ranked_out) {
+  std::vector<EngineSelection> ranked =
+      broker.RankEngines(q, threshold, estimator);
+  double total = 0.0;
+  for (const EngineSelection& sel : ranked) total += sel.estimate.no_doc;
+  if (ranked_out != nullptr) *ranked_out = std::move(ranked);
+  return total;
+}
+
+}  // namespace
+
+Result<AllocationPlan> PlanAllocation(
+    const Metasearcher& broker, const ir::Query& q,
+    const estimate::UsefulnessEstimator& estimator, std::size_t desired_docs,
+    AllocatorOptions options) {
+  if (q.empty()) {
+    return Status::InvalidArgument("PlanAllocation: empty query");
+  }
+  if (desired_docs == 0) {
+    return Status::InvalidArgument("PlanAllocation: desired_docs must be > 0");
+  }
+  if (!(options.max_threshold > options.min_threshold)) {
+    return Status::InvalidArgument("PlanAllocation: bad threshold bracket");
+  }
+  const double target = static_cast<double>(desired_docs);
+
+  // Estimated total NoDoc is non-increasing in T: bisect for the largest
+  // threshold still expected to yield `target` documents.
+  double lo = options.min_threshold;  // invariant: total(lo) >= target...
+  double hi = options.max_threshold;
+  double total_at_lo = TotalNoDocAt(broker, q, estimator, lo, nullptr);
+  if (total_at_lo < target) {
+    // The federation cannot supply that many even at the loosest
+    // threshold; fall back to everything available there.
+    hi = lo;
+  } else {
+    for (int i = 0; i < options.iterations; ++i) {
+      double mid = 0.5 * (lo + hi);
+      double total = TotalNoDocAt(broker, q, estimator, mid, nullptr);
+      if (total >= target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    hi = lo;  // the feasible side of the bracket
+  }
+
+  AllocationPlan plan;
+  plan.threshold = hi;
+  std::vector<EngineSelection> ranked;
+  plan.expected_docs = TotalNoDocAt(broker, q, estimator, hi, &ranked);
+  for (const EngineSelection& sel : ranked) {
+    auto docs = static_cast<std::size_t>(
+        std::lround(std::ceil(sel.estimate.no_doc)));
+    if (docs == 0) continue;
+    plan.allocations.push_back(EngineAllocation{sel.engine, docs,
+                                                sel.estimate});
+  }
+  return plan;
+}
+
+}  // namespace useful::broker

@@ -1,0 +1,57 @@
+// Translating "the user wants k documents" into a routing plan.
+//
+// §2 of the paper faults threshold-oblivious rankings for needing "a
+// separate method ... to convert these measures to the number of
+// documents to retrieve from each search engine". With a threshold-aware
+// NoDoc estimate the conversion is direct: find the similarity threshold
+// T* at which the federation's total estimated NoDoc is ~k (estimated
+// NoDoc is monotonically non-increasing in T, so bisection applies), then
+// ask each selected engine for its estimated share at T*.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "broker/metasearcher.h"
+
+namespace useful::broker {
+
+/// Per-engine slice of a k-document plan.
+struct EngineAllocation {
+  std::string engine;
+  /// Documents to request from this engine (>= 1).
+  std::size_t docs = 0;
+  /// The engine's estimated usefulness at the plan threshold.
+  estimate::UsefulnessEstimate estimate;
+};
+
+/// A complete routing plan.
+struct AllocationPlan {
+  /// The similarity threshold at which the federation is expected to hold
+  /// ~desired_docs documents.
+  double threshold = 0.0;
+  /// Expected total (sum of per-engine estimated NoDoc at `threshold`).
+  double expected_docs = 0.0;
+  std::vector<EngineAllocation> allocations;
+};
+
+/// Options for plan construction.
+struct AllocatorOptions {
+  /// Bisection bracket; cosine similarities live in [0, 1].
+  double min_threshold = 0.0;
+  double max_threshold = 1.0;
+  /// Bisection iterations (2^-40 threshold resolution by default).
+  int iterations = 40;
+};
+
+/// Builds a plan to retrieve ~`desired_docs` documents for `q` across the
+/// broker's engines using `estimator`. Fails if the query is empty or
+/// `desired_docs` is zero. If even at min_threshold the federation holds
+/// fewer than `desired_docs` expected documents, the plan allocates
+/// whatever exists at min_threshold.
+Result<AllocationPlan> PlanAllocation(
+    const Metasearcher& broker, const ir::Query& q,
+    const estimate::UsefulnessEstimator& estimator, std::size_t desired_docs,
+    AllocatorOptions options = {});
+
+}  // namespace useful::broker

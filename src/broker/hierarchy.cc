@@ -1,0 +1,100 @@
+#include "broker/hierarchy.h"
+
+#include <algorithm>
+
+#include "represent/builder.h"
+
+namespace useful::broker {
+
+HierarchicalMetasearcher::HierarchicalMetasearcher(
+    const text::Analyzer* analyzer)
+    : analyzer_(analyzer), root_(analyzer) {}
+
+Status HierarchicalMetasearcher::AddRegion(
+    const std::string& region_name,
+    const std::vector<const ir::SearchEngine*>& engines) {
+  if (engines.empty()) {
+    return Status::InvalidArgument("AddRegion: no engines for " + region_name);
+  }
+  if (FindRegion(region_name) != nullptr) {
+    return Status::InvalidArgument("AddRegion: duplicate region: " +
+                                   region_name);
+  }
+
+  auto region_broker = std::make_unique<Metasearcher>(analyzer_);
+  std::vector<represent::Representative> reps;
+  reps.reserve(engines.size());
+  for (const ir::SearchEngine* engine : engines) {
+    auto rep = represent::BuildRepresentative(*engine);
+    if (!rep.ok()) return rep.status();
+    reps.push_back(std::move(rep).value());
+    USEFUL_RETURN_IF_ERROR(region_broker->RegisterEngine(engine));
+  }
+
+  std::vector<const represent::Representative*> parts;
+  parts.reserve(reps.size());
+  for (const represent::Representative& r : reps) parts.push_back(&r);
+  auto merged = represent::MergeRepresentatives(parts, region_name);
+  if (!merged.ok()) return merged.status();
+  USEFUL_RETURN_IF_ERROR(
+      root_.RegisterRepresentative(std::move(merged).value()));
+
+  regions_.push_back(Region{region_name, std::move(region_broker)});
+  num_engines_ += engines.size();
+  return Status::OK();
+}
+
+const HierarchicalMetasearcher::Region* HierarchicalMetasearcher::FindRegion(
+    std::string_view name) const {
+  for (const Region& r : regions_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<HierarchicalSelection> HierarchicalMetasearcher::SelectEngines(
+    const ir::Query& q, double threshold,
+    const estimate::UsefulnessEstimator& estimator) const {
+  std::vector<HierarchicalSelection> out;
+  for (const EngineSelection& region_sel :
+       root_.SelectEngines(q, threshold, estimator)) {
+    const Region* region = FindRegion(region_sel.engine);
+    if (region == nullptr) continue;  // defensive; cannot happen
+    for (const EngineSelection& engine_sel :
+         region->broker->SelectEngines(q, threshold, estimator)) {
+      out.push_back(HierarchicalSelection{region->name, engine_sel.engine,
+                                          engine_sel.estimate});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<MetasearchResult>> HierarchicalMetasearcher::Search(
+    std::string_view raw_query, double threshold,
+    const estimate::UsefulnessEstimator& estimator) const {
+  ir::Query q = ir::ParseQuery(*analyzer_, raw_query);
+  if (q.empty()) {
+    return Status::InvalidArgument(
+        "query has no content terms after analysis");
+  }
+  std::vector<MetasearchResult> merged;
+  for (const EngineSelection& region_sel :
+       root_.SelectEngines(q, threshold, estimator)) {
+    const Region* region = FindRegion(region_sel.engine);
+    if (region == nullptr) continue;
+    auto results = region->broker->Search(raw_query, threshold, estimator);
+    if (!results.ok()) return results.status();
+    for (MetasearchResult& r : results.value()) {
+      merged.push_back(std::move(r));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const MetasearchResult& a, const MetasearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.engine != b.engine) return a.engine < b.engine;
+              return a.doc_id < b.doc_id;
+            });
+  return merged;
+}
+
+}  // namespace useful::broker

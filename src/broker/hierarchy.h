@@ -1,0 +1,78 @@
+// Two-level metasearch hierarchy (the paper's "the approach can be
+// generalized to more than two levels").
+//
+// A HierarchicalMetasearcher owns a root broker whose entries are *merged*
+// representatives, one per region; each region is itself a Metasearcher
+// over its live engines. A query is estimated once against the (few)
+// region summaries, and only the useful regions estimate it against their
+// engines — selection work scales with the fan-out at each level rather
+// than the engine count, and the root stores one representative per
+// region instead of one per engine.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/metasearcher.h"
+#include "represent/merge.h"
+
+namespace useful::broker {
+
+/// One engine chosen by hierarchical selection, with its path.
+struct HierarchicalSelection {
+  std::string region;
+  std::string engine;
+  /// The engine-level estimate (region-level estimates are internal).
+  estimate::UsefulnessEstimate estimate;
+};
+
+/// Root-plus-regions broker tree.
+class HierarchicalMetasearcher {
+ public:
+  /// `analyzer` must outlive this object and match the engines'.
+  explicit HierarchicalMetasearcher(const text::Analyzer* analyzer);
+
+  /// Creates a region containing `engines` (all finalized, outliving this
+  /// object). Builds each engine's representative, registers it with the
+  /// region's broker, merges them into the region summary, and registers
+  /// that with the root. Region names must be unique; engine document
+  /// sets must be disjoint across the whole hierarchy (the paper's
+  /// architecture) for the merged statistics to be exact.
+  Status AddRegion(const std::string& region_name,
+                   const std::vector<const ir::SearchEngine*>& engines);
+
+  std::size_t num_regions() const { return regions_.size(); }
+  std::size_t num_engines() const { return num_engines_; }
+
+  /// Hierarchical selection: regions first (rounded est NoDoc >= 1 at the
+  /// root), then engines within each selected region, ordered by region
+  /// rank then engine rank.
+  std::vector<HierarchicalSelection> SelectEngines(
+      const ir::Query& q, double threshold,
+      const estimate::UsefulnessEstimator& estimator) const;
+
+  /// Full search through both levels: select, dispatch to the selected
+  /// engines, merge results globally by descending similarity.
+  Result<std::vector<MetasearchResult>> Search(
+      std::string_view raw_query, double threshold,
+      const estimate::UsefulnessEstimator& estimator) const;
+
+  /// The root-level broker (for inspection of merged representatives).
+  const Metasearcher& root() const { return root_; }
+
+ private:
+  struct Region {
+    std::string name;
+    std::unique_ptr<Metasearcher> broker;
+  };
+
+  const Region* FindRegion(std::string_view name) const;
+
+  const text::Analyzer* analyzer_;
+  Metasearcher root_;
+  std::vector<Region> regions_;
+  std::size_t num_engines_ = 0;
+};
+
+}  // namespace useful::broker

@@ -1,0 +1,122 @@
+#include "broker/metasearcher.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "represent/builder.h"
+
+namespace useful::broker {
+
+Metasearcher::Metasearcher(const text::Analyzer* analyzer)
+    : analyzer_(analyzer) {
+  assert(analyzer_ != nullptr);
+}
+
+Status Metasearcher::RegisterEngine(const ir::SearchEngine* engine,
+                                    represent::RepresentativeKind kind) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("RegisterEngine: null engine");
+  }
+  auto rep = represent::BuildRepresentative(*engine, kind);
+  if (!rep.ok()) return rep.status();
+  for (const Entry& e : entries_) {
+    if (e.rep.engine_name() == engine->name()) {
+      return Status::InvalidArgument("duplicate engine name: " +
+                                     engine->name());
+    }
+  }
+  entries_.push_back(Entry{std::move(rep).value(), engine});
+  return Status::OK();
+}
+
+Status Metasearcher::RegisterRepresentative(represent::Representative rep) {
+  for (const Entry& e : entries_) {
+    if (e.rep.engine_name() == rep.engine_name()) {
+      return Status::InvalidArgument("duplicate engine name: " +
+                                     rep.engine_name());
+    }
+  }
+  entries_.push_back(Entry{std::move(rep), nullptr});
+  return Status::OK();
+}
+
+std::vector<EngineSelection> Metasearcher::RankEngines(
+    const ir::Query& q, double threshold,
+    const estimate::UsefulnessEstimator& estimator) const {
+  std::vector<EngineSelection> ranked;
+  ranked.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    ranked.push_back(EngineSelection{
+        e.rep.engine_name(), estimator.Estimate(e.rep, q, threshold)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const EngineSelection& a, const EngineSelection& b) {
+              if (a.estimate.no_doc != b.estimate.no_doc) {
+                return a.estimate.no_doc > b.estimate.no_doc;
+              }
+              if (a.estimate.avg_sim != b.estimate.avg_sim) {
+                return a.estimate.avg_sim > b.estimate.avg_sim;
+              }
+              return a.engine < b.engine;
+            });
+  return ranked;
+}
+
+std::vector<EngineSelection> Metasearcher::SelectEngines(
+    const ir::Query& q, double threshold,
+    const estimate::UsefulnessEstimator& estimator) const {
+  std::vector<EngineSelection> ranked = RankEngines(q, threshold, estimator);
+  std::erase_if(ranked, [](const EngineSelection& s) {
+    return estimate::RoundNoDoc(s.estimate.no_doc) < 1;
+  });
+  return ranked;
+}
+
+Result<std::vector<MetasearchResult>> Metasearcher::Search(
+    std::string_view raw_query, double threshold,
+    const estimate::UsefulnessEstimator& estimator,
+    std::size_t max_engines) const {
+  ir::Query q = ir::ParseQuery(*analyzer_, raw_query);
+  if (q.empty()) {
+    return Status::InvalidArgument(
+        "query has no content terms after analysis");
+  }
+  std::vector<EngineSelection> selected =
+      SelectEngines(q, threshold, estimator);
+  if (selected.size() > max_engines) selected.resize(max_engines);
+
+  std::vector<MetasearchResult> merged;
+  for (const EngineSelection& sel : selected) {
+    const Entry* entry = nullptr;
+    for (const Entry& e : entries_) {
+      if (e.rep.engine_name() == sel.engine) {
+        entry = &e;
+        break;
+      }
+    }
+    if (entry == nullptr || entry->live == nullptr) continue;
+    for (const ir::ScoredDoc& sd :
+         entry->live->SearchAboveThreshold(q, threshold)) {
+      merged.push_back(MetasearchResult{
+          sel.engine, entry->live->doc_external_id(sd.doc), sd.score});
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const MetasearchResult& a, const MetasearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.engine != b.engine) return a.engine < b.engine;
+              return a.doc_id < b.doc_id;
+            });
+  return merged;
+}
+
+Result<const represent::Representative*> Metasearcher::FindRepresentative(
+    std::string_view engine_name) const {
+  for (const Entry& e : entries_) {
+    if (e.rep.engine_name() == engine_name) return &e.rep;
+  }
+  return Status::NotFound(std::string("no such engine: ") +
+                          std::string(engine_name));
+}
+
+}  // namespace useful::broker

@@ -1,0 +1,90 @@
+// The metasearch engine of the paper's introduction: keeps one
+// representative per local search engine, estimates per-query usefulness,
+// forwards the query to the engines predicted useful, and merges their
+// results under the global similarity function.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "estimate/estimator.h"
+#include "ir/query.h"
+#include "ir/search_engine.h"
+#include "represent/representative.h"
+#include "text/analyzer.h"
+#include "util/status.h"
+
+namespace useful::broker {
+
+/// One engine's predicted usefulness for a query.
+struct EngineSelection {
+  std::string engine;
+  estimate::UsefulnessEstimate estimate;
+};
+
+/// One merged result document.
+struct MetasearchResult {
+  std::string engine;
+  std::string doc_id;
+  double score = 0.0;
+};
+
+/// The broker. Engines are registered with (optionally) a live
+/// ir::SearchEngine for dispatch; selection needs only representatives.
+class Metasearcher {
+ public:
+  /// `analyzer` parses user queries; it must match the engines' analyzers
+  /// and outlive the broker.
+  explicit Metasearcher(const text::Analyzer* analyzer);
+
+  /// Registers a live engine: its representative is built on the spot and
+  /// queries can be dispatched to it. The engine must be finalized and
+  /// outlive the broker. Duplicate names are rejected.
+  Status RegisterEngine(
+      const ir::SearchEngine* engine,
+      represent::RepresentativeKind kind =
+          represent::RepresentativeKind::kQuadruplet);
+
+  /// Registers a representative without a live engine (selection-only
+  /// mode, e.g. when the engine is remote). Duplicate names are rejected.
+  Status RegisterRepresentative(represent::Representative rep);
+
+  std::size_t num_engines() const { return entries_.size(); }
+
+  /// Estimated usefulness of every registered engine for `q` at
+  /// `threshold`, ranked by descending estimated NoDoc (ties: AvgSim, then
+  /// name).
+  std::vector<EngineSelection> RankEngines(
+      const ir::Query& q, double threshold,
+      const estimate::UsefulnessEstimator& estimator) const;
+
+  /// The engines the paper would invoke: those whose rounded estimated
+  /// NoDoc is at least 1, in rank order.
+  std::vector<EngineSelection> SelectEngines(
+      const ir::Query& q, double threshold,
+      const estimate::UsefulnessEstimator& estimator) const;
+
+  /// End-to-end metasearch: parse, select (capped at `max_engines`),
+  /// dispatch to the selected live engines, merge results by descending
+  /// global similarity. Representative-only engines are skipped at
+  /// dispatch. Fails when the parsed query is empty.
+  Result<std::vector<MetasearchResult>> Search(
+      std::string_view raw_query, double threshold,
+      const estimate::UsefulnessEstimator& estimator,
+      std::size_t max_engines = static_cast<std::size_t>(-1)) const;
+
+  /// The stored representative of `engine_name` (for inspection).
+  Result<const represent::Representative*> FindRepresentative(
+      std::string_view engine_name) const;
+
+ private:
+  struct Entry {
+    represent::Representative rep;
+    const ir::SearchEngine* live = nullptr;  // null: selection-only
+  };
+
+  const text::Analyzer* analyzer_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace useful::broker

@@ -1,0 +1,35 @@
+#include "broker/selection_policy.h"
+
+#include "estimate/estimator.h"
+
+namespace useful::broker {
+
+std::vector<EngineSelection> ThresholdPolicy::Apply(
+    std::vector<EngineSelection> ranked) const {
+  std::erase_if(ranked, [this](const EngineSelection& s) {
+    return estimate::RoundNoDoc(s.estimate.no_doc) < min_docs_;
+  });
+  return ranked;
+}
+
+std::vector<EngineSelection> TopKPolicy::Apply(
+    std::vector<EngineSelection> ranked) const {
+  ranked = ThresholdPolicy(1).Apply(std::move(ranked));
+  if (ranked.size() > k_) ranked.resize(k_);
+  return ranked;
+}
+
+std::vector<EngineSelection> CoveragePolicy::Apply(
+    std::vector<EngineSelection> ranked) const {
+  ranked = ThresholdPolicy(1).Apply(std::move(ranked));
+  double covered = 0.0;
+  std::size_t keep = 0;
+  while (keep < ranked.size() && covered < desired_docs_) {
+    covered += ranked[keep].estimate.no_doc;
+    ++keep;
+  }
+  ranked.resize(keep);
+  return ranked;
+}
+
+}  // namespace useful::broker

@@ -1,0 +1,73 @@
+// Engine-selection policies layered on top of usefulness estimates.
+//
+// The paper's criterion — invoke every engine whose rounded estimated
+// NoDoc is at least one — is the baseline policy. Deployments usually add
+// operational constraints; the policies here cover the common ones:
+//
+//   * ThresholdPolicy  — the paper's rule (estimated NoDoc >= min_docs).
+//   * TopKPolicy       — contact at most k engines, best first.
+//   * CoveragePolicy   — contact engines (best first) until the summed
+//                        estimated NoDoc reaches the number of documents
+//                        the user asked for; the threshold-aware analogue
+//                        of "how many documents to retrieve from each
+//                        engine" that §2 faults earlier work for lacking.
+//
+// All policies consume the broker's ranked EngineSelection list, so they
+// compose with any estimator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "broker/metasearcher.h"
+
+namespace useful::broker {
+
+/// Interface: prunes/reorders a ranked engine list.
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  /// `ranked` is sorted by decreasing estimated usefulness (the broker's
+  /// RankEngines order). Returns the engines to contact, in contact order.
+  virtual std::vector<EngineSelection> Apply(
+      std::vector<EngineSelection> ranked) const = 0;
+};
+
+/// The paper's rule: keep engines whose rounded estimated NoDoc is at
+/// least `min_docs` (default 1).
+class ThresholdPolicy : public SelectionPolicy {
+ public:
+  explicit ThresholdPolicy(long min_docs = 1) : min_docs_(min_docs) {}
+  std::vector<EngineSelection> Apply(
+      std::vector<EngineSelection> ranked) const override;
+
+ private:
+  long min_docs_;
+};
+
+/// Keep at most `k` useful engines.
+class TopKPolicy : public SelectionPolicy {
+ public:
+  explicit TopKPolicy(std::size_t k) : k_(k) {}
+  std::vector<EngineSelection> Apply(
+      std::vector<EngineSelection> ranked) const override;
+
+ private:
+  std::size_t k_;
+};
+
+/// Keep useful engines, best first, until their estimated NoDoc sums to at
+/// least `desired_docs` (or the useful engines run out).
+class CoveragePolicy : public SelectionPolicy {
+ public:
+  explicit CoveragePolicy(double desired_docs)
+      : desired_docs_(desired_docs) {}
+  std::vector<EngineSelection> Apply(
+      std::vector<EngineSelection> ranked) const override;
+
+ private:
+  double desired_docs_;
+};
+
+}  // namespace useful::broker

@@ -1,0 +1,16 @@
+#include "corpus/document.h"
+
+namespace useful::corpus {
+
+void Collection::Merge(const Collection& other) {
+  docs_.reserve(docs_.size() + other.docs_.size());
+  for (const Document& d : other.docs_) docs_.push_back(d);
+}
+
+std::size_t Collection::TextBytes() const {
+  std::size_t total = 0;
+  for (const Document& d : docs_) total += d.text.size() + d.id.size();
+  return total;
+}
+
+}  // namespace useful::corpus

@@ -1,0 +1,47 @@
+// Document and Collection: the raw-text units the rest of the library
+// consumes. A Collection models one local search engine's database (one
+// newsgroup snapshot in the paper's testbed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace useful::corpus {
+
+/// One raw document: an external identifier plus its text.
+struct Document {
+  std::string id;
+  std::string text;
+};
+
+/// A named set of documents — the database behind one local search engine.
+class Collection {
+ public:
+  Collection() = default;
+  explicit Collection(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+  const Document& doc(std::size_t i) const { return docs_[i]; }
+  const std::vector<Document>& docs() const { return docs_; }
+
+  void Add(Document doc) { docs_.push_back(std::move(doc)); }
+
+  /// Appends every document of `other` (documents are copied; ids are kept).
+  /// Models the paper's construction of D2/D3 by merging newsgroups.
+  void Merge(const Collection& other);
+
+  /// Total bytes of raw text plus ids — the "collection size" used in the
+  /// paper's §3.2 scalability accounting.
+  std::size_t TextBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<Document> docs_;
+};
+
+}  // namespace useful::corpus

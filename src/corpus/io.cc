@@ -1,0 +1,120 @@
+#include "corpus/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace useful::corpus {
+
+namespace {
+
+std::string FileStem(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  std::size_t start = (slash == std::string::npos) ? 0 : slash + 1;
+  std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || dot < start) dot = path.size();
+  return path.substr(start, dot - start);
+}
+
+// Strips a single trailing '\r' (files written on Windows).
+void ChompCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+}  // namespace
+
+Status SaveCollection(const Collection& collection, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "<NAME>" << collection.name() << "</NAME>\n";
+  for (const Document& d : collection.docs()) {
+    out << "<DOC>\n<DOCNO>" << d.id << "</DOCNO>\n<TEXT>\n"
+        << d.text << "\n</TEXT>\n</DOC>\n";
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Collection> LoadCollection(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+
+  Collection coll(FileStem(path));
+  std::string line;
+  Document current;
+  bool in_doc = false;
+  bool in_text = false;
+  std::string text;
+
+  while (std::getline(in, line)) {
+    ChompCr(&line);
+    if (StartsWith(line, "<NAME>")) {
+      std::size_t end = line.find("</NAME>");
+      if (end == std::string::npos) {
+        return Status::Corruption("unterminated <NAME> in " + path);
+      }
+      coll.set_name(line.substr(6, end - 6));
+    } else if (line == "<DOC>") {
+      if (in_doc) return Status::Corruption("nested <DOC> in " + path);
+      in_doc = true;
+      current = Document{};
+      text.clear();
+    } else if (line == "</DOC>") {
+      if (!in_doc) return Status::Corruption("stray </DOC> in " + path);
+      if (in_text) return Status::Corruption("unterminated <TEXT> in " + path);
+      current.text = text;
+      coll.Add(std::move(current));
+      in_doc = false;
+    } else if (StartsWith(line, "<DOCNO>")) {
+      if (!in_doc) return Status::Corruption("stray <DOCNO> in " + path);
+      std::size_t end = line.find("</DOCNO>");
+      if (end == std::string::npos) {
+        return Status::Corruption("unterminated <DOCNO> in " + path);
+      }
+      current.id = line.substr(7, end - 7);
+    } else if (line == "<TEXT>") {
+      if (!in_doc) return Status::Corruption("stray <TEXT> in " + path);
+      in_text = true;
+    } else if (line == "</TEXT>") {
+      in_text = false;
+    } else if (in_text) {
+      if (!text.empty()) text += '\n';
+      text += line;
+    }
+  }
+  if (in_doc) return Status::Corruption("unterminated <DOC> in " + path);
+  return coll;
+}
+
+Status SaveQueryLog(const std::vector<Query>& queries,
+                    const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  for (const Query& q : queries) {
+    out << q.id << '\t' << q.text << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Query>> LoadQueryLog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::vector<Query> queries;
+  std::string line;
+  while (std::getline(in, line)) {
+    ChompCr(&line);
+    if (line.empty()) continue;
+    std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::Corruption("query line without tab in " + path);
+    }
+    queries.push_back(Query{line.substr(0, tab), line.substr(tab + 1)});
+  }
+  return queries;
+}
+
+}  // namespace useful::corpus

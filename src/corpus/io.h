@@ -1,0 +1,38 @@
+// Plain-text persistence for collections and query logs, in a TREC-like
+// tagged format:
+//
+//   <DOC>
+//   <DOCNO>group00/d00001</DOCNO>
+//   <TEXT>
+//   ... raw text ...
+//   </TEXT>
+//   </DOC>
+//
+// Queries are stored one per line as "<id>\t<text>". The formats are
+// line-oriented and append-friendly so real corpora can be dropped in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+#include "corpus/query_log.h"
+#include "util/status.h"
+
+namespace useful::corpus {
+
+/// Writes `collection` to `path` in the tagged format above.
+Status SaveCollection(const Collection& collection, const std::string& path);
+
+/// Reads a collection from `path`. The collection's name is taken from the
+/// file stem unless a <NAME> header line is present.
+Result<Collection> LoadCollection(const std::string& path);
+
+/// Writes a query log, one "<id>\t<text>" per line.
+Status SaveQueryLog(const std::vector<Query>& queries,
+                    const std::string& path);
+
+/// Reads a query log written by SaveQueryLog.
+Result<std::vector<Query>> LoadQueryLog(const std::string& path);
+
+}  // namespace useful::corpus

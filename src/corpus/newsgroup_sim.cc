@@ -1,0 +1,169 @@
+#include "corpus/newsgroup_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace useful::corpus {
+
+std::vector<std::size_t> NewsgroupSimulator::GroupSizes(
+    const NewsgroupSimOptions& opts) {
+  const std::size_t g = opts.num_groups;
+  std::vector<std::size_t> sizes;
+  sizes.reserve(g);
+  if (g == 53) {
+    // Pinned to reproduce the paper's D1/D2/D3 document counts:
+    // sizes[0] = 761 (D1), sizes[0]+sizes[1] = 1466 (D2), and the smallest
+    // 26 sum to 1014 (D3).
+    sizes.push_back(761);
+    sizes.push_back(705);
+    // Middle 25 groups: geometric decay 500 -> 60.
+    for (int i = 0; i < 25; ++i) {
+      double f = static_cast<double>(i) / 24.0;
+      sizes.push_back(
+          static_cast<std::size_t>(std::lround(500.0 * std::pow(0.12, f))));
+    }
+    // Smallest 26 groups: geometric decay, then rescaled to sum to 1014.
+    std::vector<double> tail(26);
+    double tail_sum = 0.0;
+    for (int i = 0; i < 26; ++i) {
+      tail[i] = 58.0 * std::pow(22.0 / 58.0, static_cast<double>(i) / 25.0);
+      tail_sum += tail[i];
+    }
+    // Every tail size stays in [1, 59] — strictly below the middle block's
+    // minimum of 60 — so that "the 26 smallest groups" is exactly this
+    // tail. Rounding residue is then redistributed under the same cap.
+    long acc = 0;
+    for (int i = 0; i < 26; ++i) {
+      long s = std::clamp(std::lround(tail[i] * 1014.0 / tail_sum), 1L, 59L);
+      sizes.push_back(static_cast<std::size_t>(s));
+      acc += s;
+    }
+    long residue = 1014L - acc;
+    for (std::size_t i = 27; i < 53 && residue != 0; ++i) {
+      long v = static_cast<long>(sizes[i]);
+      long adjusted = std::clamp(v + residue, 1L, 59L);
+      residue -= adjusted - v;
+      sizes[i] = static_cast<std::size_t>(adjusted);
+    }
+  } else {
+    // Generic power-law sizes for non-default group counts (tests).
+    for (std::size_t i = 0; i < g; ++i) {
+      double f = 800.0 / std::pow(static_cast<double>(i + 1), 0.9);
+      sizes.push_back(static_cast<std::size_t>(std::max(3.0, f)));
+    }
+  }
+  // Descending by construction except possibly across the tail boundary;
+  // restore order (stable for equal sizes).
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  return sizes;
+}
+
+NewsgroupSimulator::NewsgroupSimulator(NewsgroupSimOptions options)
+    : options_(options), vocab_(options.vocabulary_size, options.seed) {
+  const std::vector<std::size_t> sizes = GroupSizes(options_);
+  const std::size_t v = vocab_.size();
+
+  groups_.reserve(sizes.size());
+  topics_.reserve(sizes.size());
+
+  for (std::size_t g = 0; g < sizes.size(); ++g) {
+    Pcg32 rng(options_.seed + 0x9e3779b97f4a7c15ULL * (g + 1),
+              /*stream=*/g);
+
+    // Pick the group's topical terms: a random subset of the vocabulary,
+    // biased away from the very top background ranks so topics are
+    // discriminative (top background words appear everywhere anyway).
+    std::unordered_set<std::size_t> topic_set;
+    std::vector<std::size_t> topic;
+    topic.reserve(options_.topical_terms_per_group);
+    while (topic.size() < options_.topical_terms_per_group) {
+      // Skew topical picks toward mid-frequency vocabulary.
+      std::size_t lo = v / 50;  // skip the ubiquitous head
+      std::size_t rank = lo + rng.NextBounded(static_cast<std::uint32_t>(
+                                  v - lo));
+      if (topic_set.insert(rank).second) topic.push_back(rank);
+    }
+
+    Collection coll(StringPrintf("group%02zu", g));
+    for (std::size_t d = 0; d < sizes[g]; ++d) {
+      // Lognormal document length.
+      double log_len = std::log(options_.median_doc_length) +
+                       options_.doc_length_sigma * rng.NextGaussian();
+      auto len = static_cast<std::size_t>(
+          std::clamp(std::exp(log_len), 30.0, 2000.0));
+
+      std::string text;
+      text.reserve(len * 8);
+      auto append_rank = [&](std::size_t rank) {
+        if (!text.empty()) text += ' ';
+        text += vocab_.word(rank);
+      };
+
+      std::size_t emitted = 0;
+      // Focus terms: a few topical terms repeated, giving documents where a
+      // term's weight is far above the term's average — the upper subranges
+      // the estimator models.
+      if (rng.NextDouble() < options_.focus_prob) {
+        std::size_t n_focus = 1 + rng.NextBounded(3);
+        for (std::size_t f = 0; f < n_focus && emitted < len; ++f) {
+          std::size_t rank =
+              topic[rng.NextZipf(topic.size(), options_.topical_zipf)];
+          std::size_t reps = 2 + rng.NextBounded(5);
+          for (std::size_t r = 0; r < reps && emitted < len; ++r) {
+            append_rank(rank);
+            ++emitted;
+          }
+        }
+      }
+      while (emitted < len) {
+        std::size_t rank;
+        if (rng.NextDouble() < options_.topical_mix) {
+          rank = topic[rng.NextZipf(topic.size(), options_.topical_zipf)];
+        } else {
+          rank = rng.NextZipf(v, options_.background_zipf);
+        }
+        append_rank(rank);
+        ++emitted;
+      }
+
+      Document doc;
+      doc.id = StringPrintf("%s/d%05zu", coll.name().c_str(), d);
+      doc.text = std::move(text);
+      coll.Add(std::move(doc));
+    }
+
+    groups_.push_back(std::move(coll));
+    topics_.push_back(std::move(topic));
+  }
+}
+
+Collection NewsgroupSimulator::BuildD1() const {
+  assert(!groups_.empty());
+  Collection d1("D1");
+  d1.Merge(groups_[0]);
+  return d1;
+}
+
+Collection NewsgroupSimulator::BuildD2() const {
+  assert(groups_.size() >= 2);
+  Collection d2("D2");
+  d2.Merge(groups_[0]);
+  d2.Merge(groups_[1]);
+  return d2;
+}
+
+Collection NewsgroupSimulator::BuildD3() const {
+  assert(groups_.size() >= 26);
+  Collection d3("D3");
+  for (std::size_t i = groups_.size() - 26; i < groups_.size(); ++i) {
+    d3.Merge(groups_[i]);
+  }
+  return d3;
+}
+
+}  // namespace useful::corpus

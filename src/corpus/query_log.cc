@@ -1,0 +1,50 @@
+#include "corpus/query_log.h"
+
+#include <unordered_set>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace useful::corpus {
+
+std::vector<Query> QueryLogGenerator::Generate(
+    const NewsgroupSimulator& sim) const {
+  Pcg32 rng(options_.seed, /*stream=*/0xc0ffee);
+  const Vocabulary& vocab = sim.vocabulary();
+  const std::size_t num_groups = sim.groups().size();
+
+  std::vector<Query> log;
+  log.reserve(options_.num_queries);
+  for (std::size_t i = 0; i < options_.num_queries; ++i) {
+    std::size_t group = rng.NextBounded(static_cast<std::uint32_t>(num_groups));
+    const std::vector<std::size_t>& topic = sim.topical_terms(group);
+
+    std::size_t len = 1 + rng.NextDiscrete(options_.length_probs);
+
+    std::unordered_set<std::size_t> picked;
+    std::string text;
+    // Cap the attempts so a pathological configuration (tiny topic set)
+    // cannot loop forever; a shorter query is acceptable.
+    std::size_t attempts = 0;
+    while (picked.size() < len && attempts < len * 20) {
+      ++attempts;
+      std::size_t rank;
+      if (rng.NextDouble() < options_.topical_mix) {
+        rank = topic[rng.NextZipf(topic.size(), options_.topical_zipf)];
+      } else {
+        rank = rng.NextZipf(vocab.size(), 1.05);
+      }
+      if (!picked.insert(rank).second) continue;
+      if (!text.empty()) text += ' ';
+      text += vocab.word(rank);
+    }
+
+    Query q;
+    q.id = StringPrintf("q%05zu", i);
+    q.text = std::move(text);
+    log.push_back(std::move(q));
+  }
+  return log;
+}
+
+}  // namespace useful::corpus

@@ -1,0 +1,56 @@
+// Synthetic stand-in for the paper's 6,234 real SIFT Netnews queries.
+//
+// The paper keeps only queries of at most 6 terms; about 30 % of them are
+// single-term. SIFT queries are standing user-interest profiles, i.e.
+// topical words — we reproduce that by sampling query terms from the
+// topical distribution of a randomly chosen newsgroup, with a small
+// admixture of background vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/newsgroup_sim.h"
+
+namespace useful::corpus {
+
+/// One user query: an id plus raw query text.
+struct Query {
+  std::string id;
+  std::string text;
+};
+
+/// Knobs for the query-log generator.
+struct QueryLogOptions {
+  /// Number of queries (the paper uses 6,234).
+  std::size_t num_queries = 6234;
+  /// P(query length = k) for k = 1..6; the paper reports ~30 % single-term
+  /// queries and a 6-term maximum.
+  std::vector<double> length_probs = {0.30, 0.24, 0.18, 0.13, 0.09, 0.06};
+  /// Probability that a query term is drawn from the chosen group's topical
+  /// terms (vs the background law).
+  double topical_mix = 0.8;
+  /// Zipf exponent used when sampling topical terms for queries.
+  double topical_zipf = 0.6;
+  /// Seed for the query stream (independent of the corpus seed).
+  std::uint64_t seed = 7791;
+};
+
+/// Generates a reproducible query log against a simulated testbed.
+class QueryLogGenerator {
+ public:
+  explicit QueryLogGenerator(QueryLogOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Samples the log. Terms within one query are distinct, as in typical
+  /// profile queries.
+  std::vector<Query> Generate(const NewsgroupSimulator& sim) const;
+
+  const QueryLogOptions& options() const { return options_; }
+
+ private:
+  QueryLogOptions options_;
+};
+
+}  // namespace useful::corpus

@@ -1,0 +1,48 @@
+#include "corpus/vocabulary.h"
+
+#include <unordered_set>
+
+#include "util/random.h"
+
+namespace useful::corpus {
+
+namespace {
+
+// Syllable inventory for pronounceable pseudo-words. Pseudo-words never
+// collide with the stop-word list (minimum two syllables = four letters,
+// and the letter patterns below avoid common English words by using rare
+// digraph onsets for the first syllable).
+const char* const kOnsets[] = {"b",  "d",  "f",  "g",  "k",  "l",  "m",
+                               "n",  "p",  "r",  "s",  "t",  "v",  "z",
+                               "br", "dr", "gr", "kr", "pl", "tr", "zh",
+                               "sk", "sp", "st", "vl", "zw"};
+const char* const kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ei", "ou"};
+const char* const kCodas[] = {"", "", "", "n", "r", "s", "t", "l", "k", "m"};
+
+std::string MakeSyllable(useful::Pcg32* rng) {
+  std::string s = kOnsets[rng->NextBounded(std::size(kOnsets))];
+  s += kNuclei[rng->NextBounded(std::size(kNuclei))];
+  s += kCodas[rng->NextBounded(std::size(kCodas))];
+  return s;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(std::size_t size, std::uint64_t seed) {
+  Pcg32 rng(seed, /*stream=*/0x5ee0cab);
+  std::unordered_set<std::string> seen;
+  words_.reserve(size);
+  while (words_.size() < size) {
+    // 2-3 syllables; longer words become rarer ranks naturally since we
+    // append in generation order and ranks are assigned by position.
+    int syllables = 2 + static_cast<int>(rng.NextBounded(2));
+    std::string w;
+    for (int i = 0; i < syllables; ++i) w += MakeSyllable(&rng);
+    if (w.size() < 4) continue;
+    if (seen.insert(w).second) {
+      words_.push_back(std::move(w));
+    }
+  }
+}
+
+}  // namespace useful::corpus

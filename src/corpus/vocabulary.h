@@ -1,0 +1,33 @@
+// Synthetic vocabulary: deterministic pseudo-words with a global Zipfian
+// frequency law. Used by the newsgroup simulator in place of the (not
+// publicly available) Stanford gGlOSS corpus — what matters downstream is
+// the skewed document-frequency and weight distributions, which Zipfian
+// sampling provides.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace useful::corpus {
+
+/// A vocabulary of `size` pseudo-words, ordered by decreasing global
+/// frequency rank (word 0 is the most common).
+class Vocabulary {
+ public:
+  /// Builds `size` distinct pronounceable pseudo-words. Deterministic in
+  /// (size, seed).
+  Vocabulary(std::size_t size, std::uint64_t seed);
+
+  std::size_t size() const { return words_.size(); }
+
+  /// The word at global frequency rank `rank`.
+  const std::string& word(std::size_t rank) const { return words_[rank]; }
+
+  const std::vector<std::string>& words() const { return words_; }
+
+ private:
+  std::vector<std::string> words_;
+};
+
+}  // namespace useful::corpus

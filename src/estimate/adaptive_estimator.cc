@@ -1,0 +1,55 @@
+#include "estimate/adaptive_estimator.h"
+
+#include <algorithm>
+
+#include "util/normal.h"
+
+namespace useful::estimate {
+
+UsefulnessEstimate AdaptiveEstimator::Estimate(
+    const represent::Representative& rep, const ir::Query& q,
+    double threshold) const {
+  // First pass: which query terms the database knows at all.
+  std::vector<std::pair<double, represent::TermStats>> matched;  // (u, stats)
+  matched.reserve(q.terms.size());
+  for (const ir::QueryTerm& qt : q.terms) {
+    auto ts = rep.Find(qt.term);
+    if (!ts || ts->p <= 0.0 || ts->avg_weight <= 0.0 || qt.weight <= 0.0) {
+      continue;
+    }
+    matched.emplace_back(qt.weight, *ts);
+  }
+
+  std::vector<TermPolynomial> factors;
+  factors.reserve(matched.size());
+  const double r = static_cast<double>(matched.size());
+  for (const auto& [u, ts] : matched) {
+    double p = ts.p;
+    double w = ts.avg_weight;
+    if (ts.stddev > 0.0 && threshold > 0.0) {
+      // Per-term weight cutoff for an even threshold share.
+      double lambda = (threshold / r) / u;
+      double z = (lambda - w) / ts.stddev;
+      double tail = normal::UpperTailProb(z);
+      if (tail > 0.0) {
+        p = ts.p * tail;
+        w = ts.avg_weight + ts.stddev * normal::UpperTailMean(z);
+      } else {
+        p = 0.0;
+      }
+    }
+    if (p <= 0.0 || w <= 0.0) continue;
+    TermPolynomial poly;
+    poly.spikes.push_back(Spike{u * w, std::min(p, 1.0)});
+    factors.push_back(std::move(poly));
+  }
+
+  SimilarityDistribution dist =
+      SimilarityDistribution::Expand(factors, expand_);
+  UsefulnessEstimate est;
+  est.no_doc = dist.EstimateNoDoc(threshold, rep.num_docs());
+  est.avg_sim = dist.EstimateAvgSim(threshold);
+  return est;
+}
+
+}  // namespace useful::estimate

@@ -1,0 +1,28 @@
+#include "estimate/basic_estimator.h"
+
+namespace useful::estimate {
+
+UsefulnessEstimate BasicEstimator::Estimate(
+    const represent::Representative& rep, const ir::Query& q,
+    double threshold) const {
+  std::vector<TermPolynomial> factors;
+  factors.reserve(q.terms.size());
+  for (const ir::QueryTerm& qt : q.terms) {
+    auto ts = rep.Find(qt.term);
+    if (!ts || ts->p <= 0.0 || ts->avg_weight <= 0.0 || qt.weight <= 0.0) {
+      continue;
+    }
+    TermPolynomial poly;
+    poly.spikes.push_back(Spike{qt.weight * ts->avg_weight, ts->p});
+    factors.push_back(std::move(poly));
+  }
+
+  SimilarityDistribution dist =
+      SimilarityDistribution::Expand(factors, expand_);
+  UsefulnessEstimate est;
+  est.no_doc = dist.EstimateNoDoc(threshold, rep.num_docs());
+  est.avg_sim = dist.EstimateAvgSim(threshold);
+  return est;
+}
+
+}  // namespace useful::estimate

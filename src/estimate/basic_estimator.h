@@ -1,0 +1,28 @@
+// The basic generating-function method (Proposition 1): every document
+// containing a term is assumed to carry the term's *average* weight, so
+// each query term contributes the two-spike factor p*X^(u*w) + (1-p).
+// This is the uniform-weight baseline the subrange decomposition improves
+// upon; it is also the starting point of the VLDB'98 adaptive method.
+#pragma once
+
+#include "estimate/estimator.h"
+#include "estimate/generating_function.h"
+
+namespace useful::estimate {
+
+/// Uniform-weight generating-function estimator.
+class BasicEstimator : public UsefulnessEstimator {
+ public:
+  explicit BasicEstimator(ExpandOptions expand = {}) : expand_(expand) {}
+
+  std::string name() const override { return "basic"; }
+
+  UsefulnessEstimate Estimate(const represent::Representative& rep,
+                              const ir::Query& q,
+                              double threshold) const override;
+
+ private:
+  ExpandOptions expand_;
+};
+
+}  // namespace useful::estimate

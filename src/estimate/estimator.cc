@@ -1,0 +1,12 @@
+#include "estimate/estimator.h"
+
+#include <cmath>
+
+namespace useful::estimate {
+
+long RoundNoDoc(double no_doc) {
+  if (no_doc <= 0.0) return 0;
+  return std::lround(no_doc);
+}
+
+}  // namespace useful::estimate

@@ -1,0 +1,44 @@
+// Common interface of all usefulness estimators.
+//
+// An estimator sees only a database's Representative (never its documents)
+// plus the query and threshold, and predicts the usefulness pair
+// (NoDoc, AvgSim). The evaluation harness compares these predictions with
+// the exact values computed by ir::SearchEngine.
+#pragma once
+
+#include <string>
+
+#include "ir/query.h"
+#include "represent/representative.h"
+
+namespace useful::estimate {
+
+/// An estimated usefulness pair. `no_doc` is the *expected* count (a real
+/// number); the paper rounds it to an integer before comparison, which the
+/// eval module does via RoundNoDoc.
+struct UsefulnessEstimate {
+  double no_doc = 0.0;
+  double avg_sim = 0.0;
+};
+
+/// Rounds an expected document count the way the paper does before the
+/// match/mismatch and d-N comparisons ("all estimated usefulnesses are
+/// rounded to integers").
+long RoundNoDoc(double no_doc);
+
+/// Interface implemented by the subrange method and every baseline.
+class UsefulnessEstimator {
+ public:
+  virtual ~UsefulnessEstimator() = default;
+
+  /// Human-readable method name for tables and logs.
+  virtual std::string name() const = 0;
+
+  /// Estimates the usefulness of the database summarized by `rep` for
+  /// query `q` at similarity threshold `threshold`.
+  virtual UsefulnessEstimate Estimate(const represent::Representative& rep,
+                                      const ir::Query& q,
+                                      double threshold) const = 0;
+};
+
+}  // namespace useful::estimate

@@ -1,0 +1,103 @@
+#include "estimate/generating_function.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace useful::estimate {
+
+double TermPolynomial::ZeroProb() const {
+  double present = 0.0;
+  for (const Spike& s : spikes) present += s.prob;
+  return std::max(0.0, 1.0 - present);
+}
+
+namespace {
+
+// Collects like terms: sorts by exponent, merges runs whose exponents fall
+// within `resolution` of the run head (probability-weighted exponent), and
+// prunes tiny probabilities.
+void Canonicalize(std::vector<Spike>* spikes, const ExpandOptions& options) {
+  std::sort(spikes->begin(), spikes->end(),
+            [](const Spike& a, const Spike& b) {
+              return a.exponent > b.exponent;
+            });
+  std::vector<Spike> merged;
+  merged.reserve(spikes->size());
+  for (const Spike& s : *spikes) {
+    if (s.prob < options.prob_floor) continue;
+    if (!merged.empty() &&
+        merged.back().exponent - s.exponent <= options.exponent_resolution) {
+      Spike& head = merged.back();
+      double total = head.prob + s.prob;
+      head.exponent =
+          (head.exponent * head.prob + s.exponent * s.prob) / total;
+      head.prob = total;
+    } else {
+      merged.push_back(s);
+    }
+  }
+  *spikes = std::move(merged);
+}
+
+}  // namespace
+
+SimilarityDistribution SimilarityDistribution::Expand(
+    const std::vector<TermPolynomial>& factors, ExpandOptions options) {
+  SimilarityDistribution dist;
+  dist.spikes_ = {Spike{0.0, 1.0}};
+
+  for (const TermPolynomial& factor : factors) {
+    double zero = factor.ZeroProb();
+    std::vector<Spike> next;
+    next.reserve(dist.spikes_.size() * (factor.spikes.size() + 1));
+    for (const Spike& have : dist.spikes_) {
+      if (zero > 0.0) {
+        next.push_back(Spike{have.exponent, have.prob * zero});
+      }
+      for (const Spike& add : factor.spikes) {
+        next.push_back(
+            Spike{have.exponent + add.exponent, have.prob * add.prob});
+      }
+    }
+    Canonicalize(&next, options);
+    dist.spikes_ = std::move(next);
+  }
+  return dist;
+}
+
+double SimilarityDistribution::TotalMass() const {
+  double total = 0.0;
+  for (const Spike& s : spikes_) total += s.prob;
+  return total;
+}
+
+double SimilarityDistribution::MassAbove(double threshold) const {
+  double total = 0.0;
+  for (const Spike& s : spikes_) {
+    if (s.exponent <= threshold) break;  // descending order
+    total += s.prob;
+  }
+  return total;
+}
+
+double SimilarityDistribution::WeightedMassAbove(double threshold) const {
+  double total = 0.0;
+  for (const Spike& s : spikes_) {
+    if (s.exponent <= threshold) break;
+    total += s.prob * s.exponent;
+  }
+  return total;
+}
+
+double SimilarityDistribution::EstimateNoDoc(double threshold,
+                                             std::size_t num_docs) const {
+  return static_cast<double>(num_docs) * MassAbove(threshold);
+}
+
+double SimilarityDistribution::EstimateAvgSim(double threshold) const {
+  double mass = MassAbove(threshold);
+  if (mass <= 0.0) return 0.0;
+  return WeightedMassAbove(threshold) / mass;
+}
+
+}  // namespace useful::estimate

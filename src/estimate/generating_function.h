@@ -1,0 +1,84 @@
+// The probability generating function at the heart of the paper (§3.1).
+//
+// For a query q = (u_1..u_r) over a database represented by per-term
+// statistics, each query term contributes one polynomial factor
+//
+//     sum_j p_j * X^(u * w_j)  +  (1 - p)
+//
+// whose spikes (exponent, probability) describe the term's possible
+// similarity contributions. Under term independence, the coefficient of
+// X^s in the product is the probability that a random document of the
+// database has similarity s with q (Proposition 1). Multiplying by the
+// database size n turns coefficient mass above a threshold T into the
+// NoDoc estimate (Eq. 6), and the weighted mass into AvgSim (Eq. 7).
+//
+// Exponents are real numbers, so "collecting like terms" merges spikes
+// whose exponents agree up to a resolution; probabilities below a floor
+// are pruned. Both knobs bound the expansion size without visibly moving
+// the estimates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace useful::estimate {
+
+/// One outcome of a term factor or of the expanded product: a similarity
+/// contribution `exponent` occurring with probability `prob`.
+struct Spike {
+  double exponent = 0.0;
+  double prob = 0.0;
+};
+
+/// A single query term's polynomial factor. `spikes` hold the
+/// positive-contribution outcomes; the implicit remaining mass
+/// (1 - sum of spike probs) is the term-absent outcome X^0.
+struct TermPolynomial {
+  std::vector<Spike> spikes;
+
+  /// Probability that the term contributes nothing.
+  double ZeroProb() const;
+};
+
+/// Expansion controls.
+struct ExpandOptions {
+  /// Spikes whose exponents differ by less than this merge into one
+  /// (probability-weighted exponent).
+  double exponent_resolution = 1e-9;
+  /// Spikes with probability below this are dropped after each factor.
+  double prob_floor = 1e-12;
+};
+
+/// The fully expanded distribution: Expression (5) of the paper,
+/// a_1*X^b_1 + ... + a_c*X^b_c with b_1 > b_2 > ... > b_c.
+class SimilarityDistribution {
+ public:
+  /// Multiplies out the factors. An empty factor list yields the unit
+  /// distribution (all mass at similarity 0).
+  static SimilarityDistribution Expand(
+      const std::vector<TermPolynomial>& factors, ExpandOptions options = {});
+
+  /// Spikes in strictly descending exponent order. Includes the
+  /// zero-similarity spike when it has mass.
+  const std::vector<Spike>& spikes() const { return spikes_; }
+
+  /// Total probability mass (should be ~1 for well-formed factors).
+  double TotalMass() const;
+
+  /// sum of a_i with b_i > threshold.
+  double MassAbove(double threshold) const;
+
+  /// sum of a_i * b_i with b_i > threshold.
+  double WeightedMassAbove(double threshold) const;
+
+  /// The paper's estimates: est_NoDoc = n * MassAbove(T) (Eq. 6) and
+  /// est_AvgSim = WeightedMassAbove(T) / MassAbove(T) (Eq. 7, 0 when the
+  /// mass is 0).
+  double EstimateNoDoc(double threshold, std::size_t num_docs) const;
+  double EstimateAvgSim(double threshold) const;
+
+ private:
+  std::vector<Spike> spikes_;
+};
+
+}  // namespace useful::estimate

@@ -1,0 +1,87 @@
+#include "estimate/gloss_estimators.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace useful::estimate {
+
+namespace {
+
+struct MatchedTerm {
+  double u = 0.0;
+  double avg_weight = 0.0;
+  std::uint32_t doc_freq = 0;
+};
+
+std::vector<MatchedTerm> MatchTerms(const represent::Representative& rep,
+                                    const ir::Query& q) {
+  std::vector<MatchedTerm> matched;
+  matched.reserve(q.terms.size());
+  for (const ir::QueryTerm& qt : q.terms) {
+    auto ts = rep.Find(qt.term);
+    if (!ts || ts->doc_freq == 0 || qt.weight <= 0.0) continue;
+    matched.push_back(MatchedTerm{qt.weight, ts->avg_weight, ts->doc_freq});
+  }
+  return matched;
+}
+
+}  // namespace
+
+UsefulnessEstimate HighCorrelationEstimator::Estimate(
+    const represent::Representative& rep, const ir::Query& q,
+    double threshold) const {
+  std::vector<MatchedTerm> terms = MatchTerms(rep, q);
+  UsefulnessEstimate est;
+  if (terms.empty()) return est;
+
+  // Nesting order: descending document frequency.
+  std::sort(terms.begin(), terms.end(),
+            [](const MatchedTerm& a, const MatchedTerm& b) {
+              return a.doc_freq > b.doc_freq;
+            });
+
+  // Layer j (1-based): df_(j) - df_(j+1) documents contain exactly the
+  // top-j terms and have similarity sim_j = prefix dot product. sim_j is
+  // non-decreasing in j, so documents above the threshold are exactly the
+  // df_(j*) docs of the deepest layers.
+  double sim = 0.0;
+  double count_above = 0.0;
+  double sim_sum_above = 0.0;
+  for (std::size_t j = 0; j < terms.size(); ++j) {
+    sim += terms[j].u * terms[j].avg_weight;
+    double layer =
+        static_cast<double>(terms[j].doc_freq) -
+        (j + 1 < terms.size() ? static_cast<double>(terms[j + 1].doc_freq)
+                              : 0.0);
+    // Equal doc frequencies give empty intermediate layers; that is fine.
+    if (layer <= 0.0) continue;
+    if (sim > threshold) {
+      count_above += layer;
+      sim_sum_above += layer * sim;
+    }
+  }
+  est.no_doc = count_above;
+  est.avg_sim = count_above > 0.0 ? sim_sum_above / count_above : 0.0;
+  return est;
+}
+
+UsefulnessEstimate DisjointEstimator::Estimate(
+    const represent::Representative& rep, const ir::Query& q,
+    double threshold) const {
+  std::vector<MatchedTerm> terms = MatchTerms(rep, q);
+  UsefulnessEstimate est;
+  double count_above = 0.0;
+  double sim_sum_above = 0.0;
+  for (const MatchedTerm& t : terms) {
+    double sim = t.u * t.avg_weight;
+    if (sim > threshold) {
+      count_above += static_cast<double>(t.doc_freq);
+      sim_sum_above += static_cast<double>(t.doc_freq) * sim;
+    }
+  }
+  est.no_doc = count_above;
+  est.avg_sim = count_above > 0.0 ? sim_sum_above / count_above : 0.0;
+  return est;
+}
+
+}  // namespace useful::estimate

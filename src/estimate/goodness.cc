@@ -1,0 +1,11 @@
+#include "estimate/goodness.h"
+
+namespace useful::estimate {
+
+double EstimateGoodness(const UsefulnessEstimator& estimator,
+                        const represent::Representative& rep,
+                        const ir::Query& q, double threshold) {
+  return GoodnessOf(estimator.Estimate(rep, q, threshold));
+}
+
+}  // namespace useful::estimate

@@ -1,0 +1,64 @@
+#include "estimate/registry.h"
+
+#include <cstdlib>
+
+#include "estimate/adaptive_estimator.h"
+#include "estimate/basic_estimator.h"
+#include "estimate/gloss_estimators.h"
+#include "estimate/subrange_estimator.h"
+#include "util/string_util.h"
+
+namespace useful::estimate {
+
+Result<std::unique_ptr<UsefulnessEstimator>> MakeEstimator(
+    const std::string& name) {
+  if (name == "subrange") {
+    return std::unique_ptr<UsefulnessEstimator>(new SubrangeEstimator());
+  }
+  if (name == "subrange-nomax") {
+    auto config = SubrangeConfig::Custom(
+        SubrangeConfig::PaperSix().subranges(), /*with_max_subrange=*/false);
+    if (!config.ok()) return config.status();
+    SubrangeEstimatorOptions opts;
+    opts.config = std::move(config).value();
+    return std::unique_ptr<UsefulnessEstimator>(
+        new SubrangeEstimator(std::move(opts)));
+  }
+  if (StartsWith(name, "subrange-k")) {
+    char* end = nullptr;
+    long k = std::strtol(name.c_str() + 10, &end, 10);
+    if (end == nullptr || *end != '\0' || k < 1) {
+      return Status::InvalidArgument("bad subrange-k<N> spec: " + name);
+    }
+    auto config = SubrangeConfig::Uniform(static_cast<std::size_t>(k),
+                                          /*with_max_subrange=*/true);
+    if (!config.ok()) return config.status();
+    SubrangeEstimatorOptions opts;
+    opts.config = std::move(config).value();
+    return std::unique_ptr<UsefulnessEstimator>(
+        new SubrangeEstimator(std::move(opts)));
+  }
+  if (name == "basic") {
+    return std::unique_ptr<UsefulnessEstimator>(new BasicEstimator());
+  }
+  if (name == "adaptive") {
+    return std::unique_ptr<UsefulnessEstimator>(new AdaptiveEstimator());
+  }
+  if (name == "high-correlation") {
+    return std::unique_ptr<UsefulnessEstimator>(
+        new HighCorrelationEstimator());
+  }
+  if (name == "disjoint") {
+    return std::unique_ptr<UsefulnessEstimator>(new DisjointEstimator());
+  }
+  return Status::NotFound("unknown estimator: " + name +
+                          " (try: subrange, subrange-nomax, subrange-k<N>, "
+                          "basic, adaptive, high-correlation, disjoint)");
+}
+
+std::vector<std::string> KnownEstimators() {
+  return {"subrange",  "subrange-nomax",   "basic",
+          "adaptive",  "high-correlation", "disjoint"};
+}
+
+}  // namespace useful::estimate

@@ -1,0 +1,29 @@
+// Name-based estimator construction for CLI tools and config files.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "estimate/estimator.h"
+#include "util/status.h"
+
+namespace useful::estimate {
+using useful::Result;
+
+/// Builds an estimator by name:
+///   "subrange"          — paper six-subrange config with max subrange
+///   "subrange-k<N>"     — N equal subranges plus max subrange (1<=N<=64)
+///   "subrange-nomax"    — paper fractions without the max subrange
+///   "basic"             — uniform-weight generating function
+///   "adaptive"          — VLDB'98 threshold-adaptive method
+///   "high-correlation"  — gGlOSS high-correlation baseline
+///   "disjoint"          — gGlOSS disjoint baseline
+Result<std::unique_ptr<UsefulnessEstimator>> MakeEstimator(
+    const std::string& name);
+
+/// The names MakeEstimator accepts (the fixed ones; "subrange-k<N>" is a
+/// pattern).
+std::vector<std::string> KnownEstimators();
+
+}  // namespace useful::estimate

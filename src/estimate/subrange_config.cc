@@ -1,0 +1,88 @@
+#include "estimate/subrange_config.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace useful::estimate {
+
+SubrangeConfig SubrangeConfig::PaperSix() {
+  // Boundaries 100/96/90.2/50/25/0 -> medians and fractions below.
+  return SubrangeConfig(
+      {
+          {98.0, 0.040},
+          {93.1, 0.058},
+          {70.0, 0.402},
+          {37.5, 0.250},
+          {12.5, 0.250},
+      },
+      /*with_max=*/true);
+}
+
+SubrangeConfig SubrangeConfig::FourEqual() {
+  return SubrangeConfig(
+      {
+          {87.5, 0.25},
+          {62.5, 0.25},
+          {37.5, 0.25},
+          {12.5, 0.25},
+      },
+      /*with_max=*/false);
+}
+
+Result<SubrangeConfig> SubrangeConfig::Uniform(std::size_t k,
+                                               bool with_max_subrange) {
+  if (k == 0 || k > 64) {
+    return Status::InvalidArgument("Uniform: k must be in [1, 64]");
+  }
+  std::vector<Subrange> subranges;
+  subranges.reserve(k);
+  double fraction = 1.0 / static_cast<double>(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    // The i-th (from the top) subrange covers percentiles
+    // (100*(k-i-1)/k, 100*(k-i)/k]; its median sits midway.
+    double median =
+        100.0 * (static_cast<double>(k - i) - 0.5) / static_cast<double>(k);
+    subranges.push_back(Subrange{median, fraction});
+  }
+  return SubrangeConfig(std::move(subranges), with_max_subrange);
+}
+
+Result<SubrangeConfig> SubrangeConfig::Custom(std::vector<Subrange> subranges,
+                                              bool with_max_subrange) {
+  if (subranges.empty()) {
+    return Status::InvalidArgument("Custom: at least one subrange required");
+  }
+  double sum = 0.0;
+  double prev_pct = 100.0;
+  for (const Subrange& s : subranges) {
+    if (s.fraction <= 0.0) {
+      return Status::InvalidArgument("Custom: fractions must be positive");
+    }
+    if (s.median_percentile <= 0.0 || s.median_percentile >= 100.0) {
+      return Status::InvalidArgument(
+          "Custom: percentiles must lie strictly inside (0, 100)");
+    }
+    if (s.median_percentile >= prev_pct) {
+      return Status::InvalidArgument(
+          "Custom: percentiles must be strictly decreasing");
+    }
+    prev_pct = s.median_percentile;
+    sum += s.fraction;
+  }
+  if (std::abs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument(
+        StringPrintf("Custom: fractions sum to %.12f, expected 1", sum));
+  }
+  return SubrangeConfig(std::move(subranges), with_max_subrange);
+}
+
+std::string SubrangeConfig::ToString() const {
+  std::string out = with_max_subrange_ ? "[max]" : "";
+  for (const Subrange& s : subranges_) {
+    out += StringPrintf("[%.4g%%:%.4g]", s.median_percentile, s.fraction);
+  }
+  return out;
+}
+
+}  // namespace useful::estimate

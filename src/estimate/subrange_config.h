@@ -1,0 +1,68 @@
+// Subrange layouts for the subrange-based estimator (paper §3.1 and §4).
+//
+// A subrange approximates a slice of a term's weight distribution by a
+// single median weight w + Phi^{-1}(median_percentile) * sigma carrying a
+// fixed fraction of the term's containment probability. The paper's
+// experiments use six subranges: a special highest subrange holding only
+// the maximum normalized weight (probability 1/n), plus five normal-
+// approximated subranges with medians at the 98, 93.1, 70, 37.5 and 12.5
+// percentiles (boundaries 100 / 96 / 90.2 / 50 / 25 / 0 — narrower at the
+// top because large weights dominate high-threshold estimates).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace useful::estimate {
+
+/// One normal-approximated subrange.
+struct Subrange {
+  /// Percentile (0-100) of the subrange's median within the term's weight
+  /// distribution.
+  double median_percentile = 0.0;
+  /// Fraction (0-1) of the term's containment probability carried by this
+  /// subrange.
+  double fraction = 0.0;
+};
+
+/// A complete subrange layout.
+class SubrangeConfig {
+ public:
+  /// The paper's experimental layout: max-weight subrange + five subranges
+  /// with medians {98, 93.1, 70, 37.5, 12.5} and fractions
+  /// {4, 5.8, 40.2, 25, 25} percent.
+  static SubrangeConfig PaperSix();
+
+  /// The four-equal-subrange layout from the paper's exposition (medians
+  /// {87.5, 62.5, 37.5, 12.5}, fractions 25% each, no max subrange).
+  static SubrangeConfig FourEqual();
+
+  /// An even split into `k` equal subranges (optionally with the max
+  /// subrange). Fails for k == 0 or k > 64.
+  static Result<SubrangeConfig> Uniform(std::size_t k, bool with_max_subrange);
+
+  /// Validated custom layout: fractions must be positive and sum to 1
+  /// (tolerance 1e-9); percentiles strictly decreasing in (0, 100).
+  static Result<SubrangeConfig> Custom(std::vector<Subrange> subranges,
+                                       bool with_max_subrange);
+
+  /// Subranges ordered by descending median percentile.
+  const std::vector<Subrange>& subranges() const { return subranges_; }
+
+  /// Whether the highest subrange holds only the maximum normalized weight
+  /// with probability 1/n (the paper's key accuracy ingredient).
+  bool with_max_subrange() const { return with_max_subrange_; }
+
+  std::string ToString() const;
+
+ private:
+  SubrangeConfig(std::vector<Subrange> subranges, bool with_max)
+      : subranges_(std::move(subranges)), with_max_subrange_(with_max) {}
+
+  std::vector<Subrange> subranges_;
+  bool with_max_subrange_ = false;
+};
+
+}  // namespace useful::estimate

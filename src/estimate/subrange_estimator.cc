@@ -1,0 +1,100 @@
+#include "estimate/subrange_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/normal.h"
+
+namespace useful::estimate {
+
+std::string SubrangeEstimator::name() const {
+  return "subrange" + options_.config.ToString();
+}
+
+TermPolynomial SubrangeEstimator::BuildTermPolynomial(
+    const represent::TermStats& ts, double u, std::size_t num_docs,
+    represent::RepresentativeKind kind) const {
+  TermPolynomial poly;
+  if (ts.p <= 0.0 || u <= 0.0 || num_docs == 0) return poly;
+
+  const SubrangeConfig& config = options_.config;
+  const double n = static_cast<double>(num_docs);
+
+  // Resolve the maximum weight: stored (quadruplet) or the normal
+  // approximation's high percentile (triplet, Tables 10-12).
+  double max_weight;
+  if (kind == represent::RepresentativeKind::kQuadruplet) {
+    max_weight = ts.max_weight;
+  } else {
+    max_weight =
+        ts.avg_weight +
+        normal::Quantile(options_.estimated_max_percentile / 100.0) *
+            ts.stddev;
+    max_weight = std::max(max_weight, ts.avg_weight);
+  }
+
+  // The highest subrange holds only the maximum weight, with probability
+  // 1/n (an underestimate by the paper's own argument, but usually there
+  // is a single document attaining the maximum normalized weight).
+  double max_spike_prob = 0.0;
+  if (config.with_max_subrange()) {
+    max_spike_prob = std::min(1.0 / n, ts.p);
+    if (max_weight > 0.0 && max_spike_prob > 0.0) {
+      poly.spikes.push_back(Spike{u * max_weight, max_spike_prob});
+    }
+  }
+
+  // Distribute the rest of the containment probability over the normal-
+  // approximated subranges. The max spike's mass is carved out of the
+  // topmost subranges (cascading, since a small-df term may have a top
+  // fraction smaller than 1/n).
+  double carve = max_spike_prob;
+  for (const Subrange& sr : config.subranges()) {
+    double prob = ts.p * sr.fraction;
+    if (carve > 0.0) {
+      double take = std::min(carve, prob);
+      prob -= take;
+      carve -= take;
+    }
+    if (prob <= 0.0) continue;
+
+    double w = ts.avg_weight +
+               normal::Quantile(sr.median_percentile / 100.0) * ts.stddev;
+    // Clamp into the physically meaningful range: no subrange median can
+    // exceed the maximum weight, and none can be non-positive — every
+    // document containing the term has some positive weight, so a
+    // negative normal-approximated median is a model artifact and is
+    // floored at a tiny positive value (it still cannot clear any real
+    // threshold, but it keeps the containment mass intact at T = 0).
+    // Must stay well above ExpandOptions::exponent_resolution, or the
+    // floored spike would merge with the zero-similarity outcome.
+    constexpr double kWeightFloor = 1e-6;
+    if (max_weight < kWeightFloor) continue;
+    w = std::clamp(w, kWeightFloor, max_weight);
+    poly.spikes.push_back(Spike{u * w, prob});
+  }
+  return poly;
+}
+
+UsefulnessEstimate SubrangeEstimator::Estimate(
+    const represent::Representative& rep, const ir::Query& q,
+    double threshold) const {
+  std::vector<TermPolynomial> factors;
+  factors.reserve(q.terms.size());
+  for (const ir::QueryTerm& qt : q.terms) {
+    auto ts = rep.Find(qt.term);
+    if (!ts) continue;  // p = 0: the factor is identically 1
+    TermPolynomial poly =
+        BuildTermPolynomial(*ts, qt.weight, rep.num_docs(), rep.kind());
+    if (!poly.spikes.empty()) factors.push_back(std::move(poly));
+  }
+
+  SimilarityDistribution dist =
+      SimilarityDistribution::Expand(factors, options_.expand);
+  UsefulnessEstimate est;
+  est.no_doc = dist.EstimateNoDoc(threshold, rep.num_docs());
+  est.avg_sim = dist.EstimateAvgSim(threshold);
+  return est;
+}
+
+}  // namespace useful::estimate

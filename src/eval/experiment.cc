@@ -1,0 +1,83 @@
+#include "eval/experiment.h"
+
+#include <cassert>
+
+namespace useful::eval {
+
+std::vector<ThresholdRow> RunExperimentParsed(
+    const ir::SearchEngine& engine, const std::vector<ir::Query>& queries,
+    const std::vector<MethodUnderTest>& methods,
+    const ExperimentConfig& config) {
+  assert(engine.finalized());
+  const std::size_t num_thresholds = config.thresholds.size();
+  const std::size_t num_methods = methods.size();
+
+  // accs[t][m]
+  std::vector<std::vector<AccuracyAccumulator>> accs(
+      num_thresholds, std::vector<AccuracyAccumulator>(num_methods));
+
+  for (const ir::Query& q : queries) {
+    if (q.empty()) continue;
+    // Ground truth: all positive similarities once, sorted descending;
+    // per-threshold truth is then a prefix scan.
+    std::vector<ir::ScoredDoc> scored = engine.SearchAboveThreshold(q, 0.0);
+
+    for (std::size_t t = 0; t < num_thresholds; ++t) {
+      const double threshold = config.thresholds[t];
+      ir::Usefulness truth;
+      double sum = 0.0;
+      for (const ir::ScoredDoc& sd : scored) {
+        if (sd.score <= threshold) break;  // sorted descending
+        ++truth.no_doc;
+        sum += sd.score;
+      }
+      if (truth.no_doc > 0) {
+        truth.avg_sim = sum / static_cast<double>(truth.no_doc);
+      }
+
+      for (std::size_t m = 0; m < num_methods; ++m) {
+        const MethodUnderTest& mut = methods[m];
+        estimate::UsefulnessEstimate est =
+            mut.estimator->Estimate(*mut.representative, q, threshold);
+        accs[t][m].Add(truth, est);
+      }
+    }
+  }
+
+  std::vector<ThresholdRow> rows;
+  rows.reserve(num_thresholds);
+  for (std::size_t t = 0; t < num_thresholds; ++t) {
+    ThresholdRow row;
+    row.threshold = config.thresholds[t];
+    row.useful_queries =
+        num_methods > 0 ? accs[t][0].useful_queries() : 0;
+    for (std::size_t m = 0; m < num_methods; ++m) {
+      const MethodUnderTest& mut = methods[m];
+      MethodAccuracy acc;
+      acc.method =
+          mut.label.empty() ? mut.estimator->name() : mut.label;
+      acc.match = accs[t][m].match();
+      acc.mismatch = accs[t][m].mismatch();
+      acc.d_n = accs[t][m].d_n();
+      acc.d_s = accs[t][m].d_s();
+      row.methods.push_back(std::move(acc));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<ThresholdRow> RunExperiment(
+    const ir::SearchEngine& engine,
+    const std::vector<corpus::Query>& queries,
+    const std::vector<MethodUnderTest>& methods,
+    const ExperimentConfig& config) {
+  std::vector<ir::Query> parsed;
+  parsed.reserve(queries.size());
+  for (const corpus::Query& q : queries) {
+    parsed.push_back(ir::ParseQuery(engine.analyzer(), q.text, q.id));
+  }
+  return RunExperimentParsed(engine, parsed, methods, config);
+}
+
+}  // namespace useful::eval

@@ -1,0 +1,33 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace useful::eval {
+
+void AccuracyAccumulator::Add(const ir::Usefulness& truth,
+                              const estimate::UsefulnessEstimate& est) {
+  long est_nodoc = estimate::RoundNoDoc(est.no_doc);
+  bool est_useful = est_nodoc >= 1;
+  if (truth.no_doc >= 1) {
+    ++useful_;
+    if (est_useful) ++match_;
+    abs_nodoc_err_sum_ +=
+        std::abs(static_cast<double>(truth.no_doc) -
+                 static_cast<double>(est_nodoc));
+    abs_avgsim_err_sum_ += std::abs(truth.avg_sim - est.avg_sim);
+  } else if (est_useful) {
+    ++mismatch_;
+  }
+}
+
+double AccuracyAccumulator::d_n() const {
+  if (useful_ == 0) return 0.0;
+  return abs_nodoc_err_sum_ / static_cast<double>(useful_);
+}
+
+double AccuracyAccumulator::d_s() const {
+  if (useful_ == 0) return 0.0;
+  return abs_avgsim_err_sum_ / static_cast<double>(useful_);
+}
+
+}  // namespace useful::eval

@@ -1,0 +1,63 @@
+// The paper's three evaluation criteria (§4):
+//
+//   match/mismatch — of the U queries for which the database is truly
+//       useful (true NoDoc >= 1), how many the method also flags useful
+//       (rounded estimated NoDoc >= 1); and how many truly useless queries
+//       the method wrongly flags.
+//   d-N — mean |true NoDoc - rounded estimated NoDoc| over the U useful
+//       queries.
+//   d-S — mean |true AvgSim - estimated AvgSim| over the U useful queries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "estimate/estimator.h"
+#include "ir/search_engine.h"
+
+namespace useful::eval {
+
+/// Accumulates the paper's criteria for one (method, threshold) cell.
+class AccuracyAccumulator {
+ public:
+  /// Feeds one query's ground truth and estimate.
+  void Add(const ir::Usefulness& truth,
+           const estimate::UsefulnessEstimate& est);
+
+  /// Queries with true NoDoc >= 1 (the paper's U column).
+  std::size_t useful_queries() const { return useful_; }
+  /// Useful queries also flagged useful by the estimate.
+  std::size_t match() const { return match_; }
+  /// Useless queries wrongly flagged useful.
+  std::size_t mismatch() const { return mismatch_; }
+  /// Mean |true NoDoc - est NoDoc| over useful queries (0 when U == 0).
+  double d_n() const;
+  /// Mean |true AvgSim - est AvgSim| over useful queries (0 when U == 0).
+  double d_s() const;
+
+ private:
+  std::size_t useful_ = 0;
+  std::size_t match_ = 0;
+  std::size_t mismatch_ = 0;
+  double abs_nodoc_err_sum_ = 0.0;
+  double abs_avgsim_err_sum_ = 0.0;
+};
+
+/// A finished cell.
+struct MethodAccuracy {
+  std::string method;
+  std::size_t match = 0;
+  std::size_t mismatch = 0;
+  double d_n = 0.0;
+  double d_s = 0.0;
+};
+
+/// One threshold's row across all methods.
+struct ThresholdRow {
+  double threshold = 0.0;
+  std::size_t useful_queries = 0;  // U
+  std::vector<MethodAccuracy> methods;
+};
+
+}  // namespace useful::eval

@@ -1,0 +1,123 @@
+#include "eval/selection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace useful::eval {
+
+std::vector<SelectionQuality> EvaluateSelection(
+    const std::vector<FederationMember>& federation,
+    const text::Analyzer& analyzer,
+    const std::vector<corpus::Query>& queries,
+    const std::vector<std::pair<std::string,
+                                const estimate::UsefulnessEstimator*>>&
+        methods,
+    const std::vector<double>& thresholds) {
+  struct Accumulator {
+    double precision_sum = 0.0;
+    std::size_t precision_n = 0;
+    double recall_sum = 0.0;
+    double contacted_sum = 0.0;
+    std::size_t best_hits = 0;
+    std::size_t answerable = 0;
+    std::size_t query_count = 0;
+  };
+  // acc[t][m]
+  std::vector<std::vector<Accumulator>> acc(
+      thresholds.size(), std::vector<Accumulator>(methods.size()));
+
+  const std::size_t e_count = federation.size();
+  for (const corpus::Query& raw : queries) {
+    ir::Query q = ir::ParseQuery(analyzer, raw.text, raw.id);
+    if (q.empty()) continue;
+
+    // Per-engine similarity lists once per query.
+    std::vector<std::vector<ir::ScoredDoc>> scored(e_count);
+    for (std::size_t e = 0; e < e_count; ++e) {
+      scored[e] = federation[e].engine->SearchAboveThreshold(q, 0.0);
+    }
+
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
+      const double threshold = thresholds[t];
+      // Truth: which engines hold at least one doc above threshold, and
+      // which holds the most.
+      std::vector<bool> truly_useful(e_count, false);
+      std::size_t best_engine = e_count;  // sentinel: none
+      std::size_t best_count = 0;
+      std::size_t truth_size = 0;
+      for (std::size_t e = 0; e < e_count; ++e) {
+        std::size_t count = 0;
+        for (const ir::ScoredDoc& sd : scored[e]) {
+          if (sd.score <= threshold) break;
+          ++count;
+        }
+        if (count > 0) {
+          truly_useful[e] = true;
+          ++truth_size;
+        }
+        if (count > best_count) {
+          best_count = count;
+          best_engine = e;
+        }
+      }
+
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        Accumulator& a = acc[t][m];
+        ++a.query_count;
+        std::size_t selected = 0, correct = 0;
+        bool best_selected = false;
+        for (std::size_t e = 0; e < e_count; ++e) {
+          estimate::UsefulnessEstimate est = methods[m].second->Estimate(
+              *federation[e].representative, q, threshold);
+          if (estimate::RoundNoDoc(est.no_doc) >= 1) {
+            ++selected;
+            if (truly_useful[e]) ++correct;
+            if (e == best_engine) best_selected = true;
+          }
+        }
+        a.contacted_sum += static_cast<double>(selected);
+        if (selected > 0) {
+          a.precision_sum += static_cast<double>(correct) /
+                             static_cast<double>(selected);
+          ++a.precision_n;
+        }
+        if (truth_size > 0) {
+          ++a.answerable;
+          a.recall_sum += static_cast<double>(correct) /
+                          static_cast<double>(truth_size);
+          if (best_selected) ++a.best_hits;
+        }
+      }
+    }
+  }
+
+  std::vector<SelectionQuality> out;
+  for (std::size_t t = 0; t < thresholds.size(); ++t) {
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      const Accumulator& a = acc[t][m];
+      SelectionQuality sq;
+      sq.method = methods[m].first;
+      sq.threshold = thresholds[t];
+      sq.answerable_queries = a.answerable;
+      sq.precision = a.precision_n > 0
+                         ? a.precision_sum / static_cast<double>(a.precision_n)
+                         : 0.0;
+      sq.recall = a.answerable > 0
+                      ? a.recall_sum / static_cast<double>(a.answerable)
+                      : 0.0;
+      sq.engines_contacted =
+          a.query_count > 0
+              ? a.contacted_sum / static_cast<double>(a.query_count)
+              : 0.0;
+      sq.best_engine_hit =
+          a.answerable > 0
+              ? static_cast<double>(a.best_hits) /
+                    static_cast<double>(a.answerable)
+              : 0.0;
+      out.push_back(std::move(sq));
+    }
+  }
+  return out;
+}
+
+}  // namespace useful::eval

@@ -1,0 +1,56 @@
+// Federation-level selection quality: the operational counterpart of the
+// per-database match/mismatch tables. For each query, the truly useful
+// engine set (true NoDoc >= 1) is compared with the set a method selects;
+// precision, recall and contact cost are averaged over the workload.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/query_log.h"
+#include "estimate/estimator.h"
+#include "ir/search_engine.h"
+#include "represent/representative.h"
+#include "text/analyzer.h"
+
+namespace useful::eval {
+
+/// Selection quality of one method at one threshold.
+struct SelectionQuality {
+  std::string method;
+  double threshold = 0.0;
+  /// Queries with at least one truly useful engine.
+  std::size_t answerable_queries = 0;
+  /// Mean |selected ∩ truth| / |selected| over queries where the method
+  /// selected anything (1.0 when it always selects only useful engines).
+  double precision = 0.0;
+  /// Mean |selected ∩ truth| / |truth| over answerable queries.
+  double recall = 0.0;
+  /// Mean engines contacted per query (the network/processing cost the
+  /// paper's introduction motivates minimizing).
+  double engines_contacted = 0.0;
+  /// Fraction of answerable queries whose single best engine (largest
+  /// true NoDoc) was selected.
+  double best_engine_hit = 0.0;
+};
+
+/// One engine of the federation under evaluation.
+struct FederationMember {
+  const ir::SearchEngine* engine = nullptr;          // ground truth
+  const represent::Representative* representative = nullptr;  // estimator input
+};
+
+/// Evaluates `methods` over `federation` for every query and threshold.
+/// Returns one SelectionQuality per (method, threshold), grouped by
+/// threshold then method order.
+std::vector<SelectionQuality> EvaluateSelection(
+    const std::vector<FederationMember>& federation,
+    const text::Analyzer& analyzer,
+    const std::vector<corpus::Query>& queries,
+    const std::vector<std::pair<std::string,
+                                const estimate::UsefulnessEstimator*>>&
+        methods,
+    const std::vector<double>& thresholds);
+
+}  // namespace useful::eval

@@ -1,0 +1,108 @@
+#include "eval/table.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace useful::eval {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += cell;
+      if (c + 1 < cols) {
+        out.append(width[c] - cell.size() + 2, ' ');
+      }
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < cols; ++c) rule += width[c] + 2;
+    out.append(rule > 2 ? rule - 2 : rule, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string RenderMatchTable(const std::vector<ThresholdRow>& rows) {
+  TextTable table;
+  std::vector<std::string> header = {"T", "U"};
+  if (!rows.empty()) {
+    for (const MethodAccuracy& m : rows[0].methods) header.push_back(m.method);
+  }
+  table.SetHeader(std::move(header));
+  for (const ThresholdRow& row : rows) {
+    std::vector<std::string> cells = {
+        StringPrintf("%.1f", row.threshold),
+        StringPrintf("%zu", row.useful_queries)};
+    for (const MethodAccuracy& m : row.methods) {
+      cells.push_back(StringPrintf("%zu/%zu", m.match, m.mismatch));
+    }
+    table.AddRow(std::move(cells));
+  }
+  return table.Render();
+}
+
+std::string RenderErrorTable(const std::vector<ThresholdRow>& rows) {
+  TextTable table;
+  std::vector<std::string> header = {"T", "U"};
+  if (!rows.empty()) {
+    for (const MethodAccuracy& m : rows[0].methods) {
+      header.push_back(m.method + " d-N");
+      header.push_back(m.method + " d-S");
+    }
+  }
+  table.SetHeader(std::move(header));
+  for (const ThresholdRow& row : rows) {
+    std::vector<std::string> cells = {
+        StringPrintf("%.1f", row.threshold),
+        StringPrintf("%zu", row.useful_queries)};
+    for (const MethodAccuracy& m : row.methods) {
+      cells.push_back(StringPrintf("%.2f", m.d_n));
+      cells.push_back(StringPrintf("%.3f", m.d_s));
+    }
+    table.AddRow(std::move(cells));
+  }
+  return table.Render();
+}
+
+std::string RenderCompactTable(const std::vector<ThresholdRow>& rows,
+                               std::size_t method_index) {
+  TextTable table;
+  table.SetHeader({"T", "m/mis", "d-N", "d-S"});
+  for (const ThresholdRow& row : rows) {
+    if (method_index >= row.methods.size()) continue;
+    const MethodAccuracy& m = row.methods[method_index];
+    table.AddRow({StringPrintf("%.1f", row.threshold),
+                  StringPrintf("%zu/%zu", m.match, m.mismatch),
+                  StringPrintf("%.2f", m.d_n), StringPrintf("%.3f", m.d_s)});
+  }
+  return table.Render();
+}
+
+}  // namespace useful::eval

@@ -1,0 +1,41 @@
+// Fixed-width ASCII table rendering for the bench harness, so the output
+// lines up with the paper's table layout for eyeball comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace useful::eval {
+
+/// Generic column-aligned text table.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row (cells may be fewer than header columns).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with single-space-padded columns and a rule under the header.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders the paper's match/mismatch table (Tables 1/3/5 layout):
+/// one row per threshold, columns T, U, then "match/mismatch" per method.
+std::string RenderMatchTable(const std::vector<ThresholdRow>& rows);
+
+/// Renders the paper's d-N / d-S table (Tables 2/4/6 layout).
+std::string RenderErrorTable(const std::vector<ThresholdRow>& rows);
+
+/// Renders the compact combined layout of Tables 7-12: per threshold,
+/// "m/mis", d-N and d-S of a single method.
+std::string RenderCompactTable(const std::vector<ThresholdRow>& rows,
+                               std::size_t method_index = 0);
+
+}  // namespace useful::eval

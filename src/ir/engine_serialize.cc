@@ -1,0 +1,166 @@
+// SearchEngine::Save / Load — index persistence.
+//
+// Format (little-endian):
+//   magic "UIX1" | u8 weighting | u8 normalization | f64 pivot_slope
+//   u32 name_len, name | u64 num_terms | per term: u32 len, bytes
+//   u64 num_docs | per doc: u32 id_len, id bytes,
+//                           u32 entries, per entry: u32 term, f64 weight
+// The inverted index is derivative state and is rebuilt on load.
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "ir/search_engine.h"
+
+namespace useful::ir {
+
+namespace {
+
+constexpr char kMagic[4] = {'U', 'I', 'X', '1'};
+constexpr std::uint32_t kMaxStringLen = 1u << 20;
+constexpr std::uint64_t kMaxCount = 1ull << 32;
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WritePod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Status ReadString(std::istream& in, std::string* s) {
+  std::uint32_t len = 0;
+  if (!ReadPod(in, &len)) return Status::Corruption("truncated string");
+  if (len > kMaxStringLen) return Status::Corruption("string too long");
+  s->resize(len);
+  in.read(s->data(), len);
+  if (!in) return Status::Corruption("truncated string body");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SearchEngine::Save(std::ostream& out) const {
+  if (!finalized_) {
+    return Status::FailedPrecondition("Save: engine not finalized");
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, static_cast<std::uint8_t>(options_.weighting));
+  WritePod(out, static_cast<std::uint8_t>(options_.normalization));
+  WritePod(out, options_.pivot_slope);
+  WriteString(out, name_);
+
+  WritePod(out, static_cast<std::uint64_t>(dict_.size()));
+  for (TermId t = 0; t < dict_.size(); ++t) {
+    WriteString(out, dict_.term(t));
+  }
+
+  WritePod(out, static_cast<std::uint64_t>(doc_vectors_.size()));
+  for (DocId d = 0; d < doc_vectors_.size(); ++d) {
+    WriteString(out, doc_ids_[d]);
+    const auto& entries = doc_vectors_[d].entries();
+    WritePod(out, static_cast<std::uint32_t>(entries.size()));
+    for (const auto& [term, weight] : entries) {
+      WritePod(out, term);
+      WritePod(out, weight);
+    }
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<SearchEngine> SearchEngine::Load(std::istream& in,
+                                        const text::Analyzer* analyzer) {
+  if (analyzer == nullptr) {
+    return Status::InvalidArgument("Load: null analyzer");
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic (not an engine file)");
+  }
+  std::uint8_t weighting = 0, normalization = 0;
+  double pivot_slope = 0.0;
+  if (!ReadPod(in, &weighting) || !ReadPod(in, &normalization) ||
+      !ReadPod(in, &pivot_slope)) {
+    return Status::Corruption("truncated header");
+  }
+  if (weighting > static_cast<std::uint8_t>(WeightingScheme::kLogTfIdf) ||
+      normalization > static_cast<std::uint8_t>(Normalization::kPivoted)) {
+    return Status::Corruption("unknown engine options");
+  }
+  SearchEngineOptions options;
+  options.weighting = static_cast<WeightingScheme>(weighting);
+  options.normalization = static_cast<Normalization>(normalization);
+  options.pivot_slope = pivot_slope;
+
+  std::string name;
+  USEFUL_RETURN_IF_ERROR(ReadString(in, &name));
+  SearchEngine engine(std::move(name), analyzer, options);
+
+  std::uint64_t num_terms = 0;
+  if (!ReadPod(in, &num_terms)) return Status::Corruption("truncated terms");
+  if (num_terms > kMaxCount) return Status::Corruption("term count");
+  for (std::uint64_t t = 0; t < num_terms; ++t) {
+    std::string term;
+    USEFUL_RETURN_IF_ERROR(ReadString(in, &term));
+    TermId id = engine.dict_.GetOrAdd(term);
+    if (id != t) {
+      return Status::Corruption("duplicate term in dictionary: " + term);
+    }
+  }
+
+  std::uint64_t num_docs = 0;
+  if (!ReadPod(in, &num_docs)) return Status::Corruption("truncated docs");
+  if (num_docs > kMaxCount) return Status::Corruption("doc count");
+  engine.doc_ids_.reserve(num_docs);
+  engine.doc_vectors_.reserve(num_docs);
+  for (std::uint64_t d = 0; d < num_docs; ++d) {
+    std::string id;
+    USEFUL_RETURN_IF_ERROR(ReadString(in, &id));
+    std::uint32_t entries = 0;
+    if (!ReadPod(in, &entries)) return Status::Corruption("truncated doc");
+    if (entries > num_terms) return Status::Corruption("doc entry count");
+    std::vector<SparseVector::Entry> vec;
+    vec.reserve(entries);
+    for (std::uint32_t e = 0; e < entries; ++e) {
+      TermId term = kInvalidTerm;
+      double weight = 0.0;
+      if (!ReadPod(in, &term) || !ReadPod(in, &weight)) {
+        return Status::Corruption("truncated entry");
+      }
+      if (term >= num_terms) return Status::Corruption("entry term id");
+      vec.emplace_back(term, weight);
+    }
+    engine.doc_ids_.push_back(std::move(id));
+    engine.doc_vectors_.push_back(SparseVector::FromEntries(std::move(vec)));
+  }
+
+  engine.index_.Build(engine.doc_vectors_, engine.dict_.size());
+  engine.finalized_ = true;
+  return engine;
+}
+
+Status SearchEngine::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  return Save(out);
+}
+
+Result<SearchEngine> SearchEngine::LoadFromFile(
+    const std::string& path, const text::Analyzer* analyzer) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  return Load(in, analyzer);
+}
+
+}  // namespace useful::ir

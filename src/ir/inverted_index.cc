@@ -1,0 +1,30 @@
+#include "ir/inverted_index.h"
+
+namespace useful::ir {
+
+void InvertedIndex::Build(const std::vector<SparseVector>& doc_vectors,
+                          std::size_t num_terms) {
+  postings_.assign(num_terms, {});
+  num_docs_ = doc_vectors.size();
+
+  // First pass: exact per-term reservation avoids re-allocation churn.
+  std::vector<std::size_t> freq(num_terms, 0);
+  for (const SparseVector& v : doc_vectors) {
+    for (const auto& [term, weight] : v.entries()) ++freq[term];
+  }
+  for (std::size_t t = 0; t < num_terms; ++t) postings_[t].reserve(freq[t]);
+
+  for (DocId d = 0; d < doc_vectors.size(); ++d) {
+    for (const auto& [term, weight] : doc_vectors[d].entries()) {
+      postings_[term].push_back(Posting{d, weight});
+    }
+  }
+}
+
+std::size_t InvertedIndex::TotalPostings() const {
+  std::size_t total = 0;
+  for (const auto& plist : postings_) total += plist.size();
+  return total;
+}
+
+}  // namespace useful::ir

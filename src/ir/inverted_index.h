@@ -1,0 +1,47 @@
+// Inverted index over normalized document vectors: for each term, the list
+// of (document, normalized weight) postings. This single structure serves
+// both exact query evaluation (ground-truth NoDoc/AvgSim) and the
+// representative builder (per-term weight statistics).
+#pragma once
+
+#include <vector>
+
+#include "ir/sparse_vector.h"
+#include "ir/types.h"
+
+namespace useful::ir {
+
+/// One posting: a document and the term's weight in it.
+struct Posting {
+  DocId doc = kInvalidDoc;
+  double weight = 0.0;
+};
+
+/// Term-major postings storage.
+class InvertedIndex {
+ public:
+  /// Builds postings from final (already weighted/normalized) document
+  /// vectors. `num_terms` is the dictionary size.
+  void Build(const std::vector<SparseVector>& doc_vectors,
+             std::size_t num_terms);
+
+  std::size_t num_terms() const { return postings_.size(); }
+  std::size_t num_docs() const { return num_docs_; }
+
+  /// Postings for `term`, ordered by increasing DocId.
+  const std::vector<Posting>& postings(TermId term) const {
+    return postings_[term];
+  }
+
+  /// Document frequency of `term`.
+  std::size_t DocFreq(TermId term) const { return postings_[term].size(); }
+
+  /// Total number of postings across all terms.
+  std::size_t TotalPostings() const;
+
+ private:
+  std::vector<std::vector<Posting>> postings_;
+  std::size_t num_docs_ = 0;
+};
+
+}  // namespace useful::ir

@@ -1,0 +1,31 @@
+#include "ir/query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace useful::ir {
+
+Query ParseQuery(const text::Analyzer& analyzer, std::string_view text,
+                 std::string id) {
+  Query q;
+  q.id = std::move(id);
+
+  std::map<std::string, double> tf;  // ordered: deterministic term order
+  for (std::string& token : analyzer.Analyze(text)) {
+    tf[std::move(token)] += 1.0;
+  }
+  if (tf.empty()) return q;
+
+  double norm_sq = 0.0;
+  for (const auto& [term, f] : tf) norm_sq += f * f;
+  double inv_norm = 1.0 / std::sqrt(norm_sq);
+
+  q.terms.reserve(tf.size());
+  for (auto& [term, f] : tf) {
+    q.terms.push_back(QueryTerm{term, f * inv_norm});
+  }
+  return q;
+}
+
+}  // namespace useful::ir

@@ -1,0 +1,39 @@
+// Engine-independent query representation.
+//
+// The metasearch broker and the usefulness estimators all see a query as a
+// list of (term string, weight) with cosine-normalized weights — the
+// *global* similarity function of the paper. Each local engine then maps
+// term strings into its private id space.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/analyzer.h"
+
+namespace useful::ir {
+
+/// One query term with its normalized weight.
+struct QueryTerm {
+  std::string term;
+  double weight = 0.0;
+};
+
+/// A parsed, weighted, cosine-normalized query.
+struct Query {
+  std::string id;
+  std::vector<QueryTerm> terms;
+
+  bool empty() const { return terms.empty(); }
+  std::size_t size() const { return terms.size(); }
+};
+
+/// Analyzes raw query text into a Query: term frequencies become weights,
+/// then the vector is scaled to unit norm (so a single-term query has
+/// weight exactly 1, as in the paper's §3.1 argument). Duplicate terms are
+/// merged. An all-stopword query yields an empty Query.
+Query ParseQuery(const text::Analyzer& analyzer, std::string_view text,
+                 std::string id = "");
+
+}  // namespace useful::ir

@@ -1,0 +1,154 @@
+#include "ir/search_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace useful::ir {
+
+SearchEngine::SearchEngine(std::string name, const text::Analyzer* analyzer,
+                           SearchEngineOptions options)
+    : name_(std::move(name)), analyzer_(analyzer), options_(options) {
+  assert(analyzer_ != nullptr);
+}
+
+Status SearchEngine::Add(const corpus::Document& doc) {
+  if (finalized_) {
+    return Status::FailedPrecondition("engine already finalized: " + name_);
+  }
+  std::vector<SparseVector::Entry> entries;
+  for (const std::string& token : analyzer_->Analyze(doc.text)) {
+    entries.emplace_back(dict_.GetOrAdd(token), 1.0);
+  }
+  doc_ids_.push_back(doc.id);
+  doc_vectors_.push_back(SparseVector::FromEntries(std::move(entries)));
+  return Status::OK();
+}
+
+Status SearchEngine::AddCollection(const corpus::Collection& collection) {
+  for (const corpus::Document& doc : collection.docs()) {
+    USEFUL_RETURN_IF_ERROR(Add(doc));
+  }
+  return Status::OK();
+}
+
+Status SearchEngine::Finalize() {
+  if (finalized_) return Status::OK();
+
+  // Document frequencies are needed by the *Idf schemes before weighting.
+  std::vector<std::size_t> doc_freq(dict_.size(), 0);
+  for (const SparseVector& v : doc_vectors_) {
+    for (const auto& [term, tf] : v.entries()) ++doc_freq[term];
+  }
+
+  const std::size_t n = doc_vectors_.size();
+  for (SparseVector& v : doc_vectors_) {
+    std::vector<SparseVector::Entry> weighted;
+    weighted.reserve(v.size());
+    for (const auto& [term, tf] : v.entries()) {
+      double w = ComputeWeight(options_.weighting, tf, n, doc_freq[term]);
+      weighted.emplace_back(term, w);
+    }
+    v = SparseVector::FromEntries(std::move(weighted));
+  }
+
+  switch (options_.normalization) {
+    case Normalization::kNone:
+      break;
+    case Normalization::kCosine:
+      for (SparseVector& v : doc_vectors_) {
+        v.Normalize();  // an empty document stays empty, which is fine
+      }
+      break;
+    case Normalization::kPivoted: {
+      // Pivot = mean norm over documents with content.
+      double norm_sum = 0.0;
+      std::size_t with_content = 0;
+      for (const SparseVector& v : doc_vectors_) {
+        if (!v.empty()) {
+          norm_sum += v.Norm();
+          ++with_content;
+        }
+      }
+      double pivot = with_content > 0
+                         ? norm_sum / static_cast<double>(with_content)
+                         : 1.0;
+      double slope = options_.pivot_slope;
+      for (SparseVector& v : doc_vectors_) {
+        if (v.empty()) continue;
+        double denom = (1.0 - slope) * pivot + slope * v.Norm();
+        if (denom > 0.0) v.Scale(1.0 / denom);
+      }
+      break;
+    }
+  }
+
+  index_.Build(doc_vectors_, dict_.size());
+  finalized_ = true;
+  return Status::OK();
+}
+
+std::vector<double> SearchEngine::ScoreAll(const Query& q) const {
+  assert(finalized_);
+  std::vector<double> scores(doc_vectors_.size(), 0.0);
+  for (const QueryTerm& qt : q.terms) {
+    TermId t = dict_.Lookup(qt.term);
+    if (t == kInvalidTerm) continue;
+    for (const Posting& p : index_.postings(t)) {
+      scores[p.doc] += qt.weight * p.weight;
+    }
+  }
+  return scores;
+}
+
+std::vector<ScoredDoc> SearchEngine::SearchAboveThreshold(
+    const Query& q, double threshold) const {
+  std::vector<double> scores = ScoreAll(q);
+  std::vector<ScoredDoc> out;
+  for (DocId d = 0; d < scores.size(); ++d) {
+    if (scores[d] > threshold) out.push_back(ScoredDoc{d, scores[d]});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  return out;
+}
+
+std::vector<ScoredDoc> SearchEngine::SearchTopK(const Query& q,
+                                                std::size_t k) const {
+  std::vector<double> scores = ScoreAll(q);
+  std::vector<ScoredDoc> out;
+  out.reserve(scores.size());
+  for (DocId d = 0; d < scores.size(); ++d) {
+    if (scores[d] > 0.0) out.push_back(ScoredDoc{d, scores[d]});
+  }
+  auto cmp = [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  };
+  if (out.size() > k) {
+    std::partial_sort(out.begin(), out.begin() + static_cast<long>(k),
+                      out.end(), cmp);
+    out.resize(k);
+  } else {
+    std::sort(out.begin(), out.end(), cmp);
+  }
+  return out;
+}
+
+Usefulness SearchEngine::TrueUsefulness(const Query& q,
+                                        double threshold) const {
+  std::vector<double> scores = ScoreAll(q);
+  Usefulness u;
+  double sum = 0.0;
+  for (double s : scores) {
+    if (s > threshold) {
+      ++u.no_doc;
+      sum += s;
+    }
+  }
+  if (u.no_doc > 0) u.avg_sim = sum / static_cast<double>(u.no_doc);
+  return u;
+}
+
+}  // namespace useful::ir

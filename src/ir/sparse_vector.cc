@@ -1,0 +1,67 @@
+#include "ir/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace useful::ir {
+
+SparseVector SparseVector::FromEntries(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  SparseVector v;
+  v.entries_.reserve(entries.size());
+  for (const Entry& e : entries) {
+    if (!v.entries_.empty() && v.entries_.back().first == e.first) {
+      v.entries_.back().second += e.second;
+    } else {
+      v.entries_.push_back(e);
+    }
+  }
+  std::erase_if(v.entries_, [](const Entry& e) { return e.second == 0.0; });
+  return v;
+}
+
+double SparseVector::Norm() const {
+  double sum = 0.0;
+  for (const Entry& e : entries_) sum += e.second * e.second;
+  return std::sqrt(sum);
+}
+
+void SparseVector::Scale(double factor) {
+  for (Entry& e : entries_) e.second *= factor;
+}
+
+bool SparseVector::Normalize() {
+  double norm = Norm();
+  if (norm == 0.0) return false;
+  Scale(1.0 / norm);
+  return true;
+}
+
+double SparseVector::Dot(const SparseVector& other) const {
+  double sum = 0.0;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->first < b->first) {
+      ++a;
+    } else if (b->first < a->first) {
+      ++b;
+    } else {
+      sum += a->second * b->second;
+      ++a;
+      ++b;
+    }
+  }
+  return sum;
+}
+
+double SparseVector::WeightOf(TermId term) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), term,
+      [](const Entry& e, TermId t) { return e.first < t; });
+  if (it == entries_.end() || it->first != term) return 0.0;
+  return it->second;
+}
+
+}  // namespace useful::ir

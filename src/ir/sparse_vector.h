@@ -1,0 +1,49 @@
+// Sparse term-weight vectors: the representation of documents and queries
+// in the vector-space model (Salton & McGill). Entries are kept sorted by
+// TermId so dot products are linear merges.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "ir/types.h"
+
+namespace useful::ir {
+
+/// Immutable-after-build sparse vector of (term, weight) pairs sorted by
+/// term id. Weights are doubles; zero weights are dropped.
+class SparseVector {
+ public:
+  using Entry = std::pair<TermId, double>;
+
+  SparseVector() = default;
+
+  /// Builds from possibly unsorted entries; duplicate term ids are summed
+  /// and zero weights dropped.
+  static SparseVector FromEntries(std::vector<Entry> entries);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Euclidean norm.
+  double Norm() const;
+
+  /// Multiplies all weights by `factor`.
+  void Scale(double factor);
+
+  /// Scales to unit norm. Returns false (and leaves the vector unchanged)
+  /// when the norm is zero.
+  bool Normalize();
+
+  /// Dot product with `other` (linear merge).
+  double Dot(const SparseVector& other) const;
+
+  /// Weight of `term`, or 0 when absent (binary search).
+  double WeightOf(TermId term) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace useful::ir

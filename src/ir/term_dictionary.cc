@@ -1,0 +1,19 @@
+#include "ir/term_dictionary.h"
+
+namespace useful::ir {
+
+TermId TermDictionary::GetOrAdd(std::string_view term) {
+  auto it = ids_.find(term);
+  if (it != ids_.end()) return it->second;
+  auto id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId TermDictionary::Lookup(std::string_view term) const {
+  auto it = ids_.find(term);
+  return it == ids_.end() ? kInvalidTerm : it->second;
+}
+
+}  // namespace useful::ir

@@ -1,0 +1,51 @@
+// Bidirectional term <-> TermId mapping, private to one search engine.
+//
+// Engines deliberately do NOT share a dictionary: in a metasearch
+// deployment every local engine indexes independently, and the broker's
+// representatives are keyed by term *string*. This mirrors the paper's
+// architecture.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/types.h"
+
+namespace useful::ir {
+
+/// Append-only term dictionary.
+class TermDictionary {
+ public:
+  /// Returns the id of `term`, adding it when unseen.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id of `term` or kInvalidTerm when absent.
+  TermId Lookup(std::string_view term) const;
+
+  /// The term string for `id` (must be valid).
+  const std::string& term(TermId id) const { return terms_[id]; }
+
+  std::size_t size() const { return terms_.size(); }
+
+ private:
+  // Heterogeneous lookup so Lookup(string_view) does not allocate.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::unordered_map<std::string, TermId, Hash, Eq> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace useful::ir

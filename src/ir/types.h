@@ -1,0 +1,17 @@
+// Core identifier types for the vector-space engine.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace useful::ir {
+
+/// Dense per-engine term identifier.
+using TermId = std::uint32_t;
+/// Dense per-engine document identifier.
+using DocId = std::uint32_t;
+
+inline constexpr TermId kInvalidTerm = std::numeric_limits<TermId>::max();
+inline constexpr DocId kInvalidDoc = std::numeric_limits<DocId>::max();
+
+}  // namespace useful::ir

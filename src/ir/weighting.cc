@@ -1,0 +1,54 @@
+#include "ir/weighting.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace useful::ir {
+
+double ComputeWeight(WeightingScheme scheme, double tf, std::size_t num_docs,
+                     std::size_t doc_freq) {
+  if (tf <= 0.0) return 0.0;
+  switch (scheme) {
+    case WeightingScheme::kTf:
+      return tf;
+    case WeightingScheme::kLogTf:
+      return 1.0 + std::log(tf);
+    case WeightingScheme::kTfIdf: {
+      assert(doc_freq > 0);
+      double idf = std::log(1.0 + static_cast<double>(num_docs) /
+                                      static_cast<double>(doc_freq));
+      return tf * idf;
+    }
+    case WeightingScheme::kLogTfIdf: {
+      assert(doc_freq > 0);
+      double idf = std::log(1.0 + static_cast<double>(num_docs) /
+                                      static_cast<double>(doc_freq));
+      return (1.0 + std::log(tf)) * idf;
+    }
+  }
+  return 0.0;
+}
+
+const char* WeightingSchemeName(WeightingScheme scheme) {
+  switch (scheme) {
+    case WeightingScheme::kTf:
+      return "tf";
+    case WeightingScheme::kLogTf:
+      return "logtf";
+    case WeightingScheme::kTfIdf:
+      return "tfidf";
+    case WeightingScheme::kLogTfIdf:
+      return "logtfidf";
+  }
+  return "?";
+}
+
+Result<WeightingScheme> ParseWeightingScheme(const std::string& name) {
+  if (name == "tf") return WeightingScheme::kTf;
+  if (name == "logtf") return WeightingScheme::kLogTf;
+  if (name == "tfidf") return WeightingScheme::kTfIdf;
+  if (name == "logtfidf") return WeightingScheme::kLogTfIdf;
+  return Status::InvalidArgument("unknown weighting scheme: " + name);
+}
+
+}  // namespace useful::ir

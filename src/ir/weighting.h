@@ -1,0 +1,38 @@
+// Term-weighting schemes for document vectors.
+//
+// The paper's experiments use raw term frequency with cosine (unit-norm)
+// normalization — the classic tf/cosine configuration of the SMART system
+// and of gGlOSS. Log-tf and tf-idf are provided for completeness and for
+// the pivoted-normalization discussion the paper cites [16].
+#pragma once
+
+#include <string>
+
+#include "util/status.h"
+
+namespace useful::ir {
+
+/// How a raw within-document term frequency becomes a vector weight.
+enum class WeightingScheme {
+  /// weight = tf.
+  kTf,
+  /// weight = 1 + ln(tf)  (tf > 0).
+  kLogTf,
+  /// weight = tf * ln(1 + N/df).
+  kTfIdf,
+  /// weight = (1 + ln(tf)) * ln(1 + N/df).
+  kLogTfIdf,
+};
+
+/// Computes the (pre-normalization) weight for one term occurrence count.
+/// `num_docs` and `doc_freq` are only consulted by the *Idf schemes.
+double ComputeWeight(WeightingScheme scheme, double tf, std::size_t num_docs,
+                     std::size_t doc_freq);
+
+/// Scheme name for logs and CLI flags ("tf", "logtf", "tfidf", "logtfidf").
+const char* WeightingSchemeName(WeightingScheme scheme);
+
+/// Parses a scheme name accepted by WeightingSchemeName.
+Result<WeightingScheme> ParseWeightingScheme(const std::string& name);
+
+}  // namespace useful::ir

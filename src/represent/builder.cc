@@ -1,0 +1,39 @@
+#include "represent/builder.h"
+
+#include "util/summary_stats.h"
+
+namespace useful::represent {
+
+Result<Representative> BuildRepresentative(const ir::SearchEngine& engine,
+                                           RepresentativeKind kind) {
+  if (!engine.finalized()) {
+    return Status::FailedPrecondition(
+        "BuildRepresentative: engine not finalized: " + engine.name());
+  }
+  const std::size_t n = engine.num_docs();
+  if (n == 0) {
+    return Status::FailedPrecondition(
+        "BuildRepresentative: empty database: " + engine.name());
+  }
+
+  Representative rep(engine.name(), n, kind);
+  const ir::InvertedIndex& index = engine.index();
+  for (ir::TermId t = 0; t < engine.num_terms(); ++t) {
+    const auto& postings = index.postings(t);
+    if (postings.empty()) continue;
+    SummaryStats acc;
+    for (const ir::Posting& posting : postings) acc.Add(posting.weight);
+
+    TermStats ts;
+    ts.doc_freq = static_cast<std::uint32_t>(postings.size());
+    ts.p = static_cast<double>(postings.size()) / static_cast<double>(n);
+    ts.avg_weight = acc.mean();
+    ts.stddev = acc.stddev();
+    ts.max_weight =
+        kind == RepresentativeKind::kQuadruplet ? acc.max() : 0.0;
+    rep.Put(engine.dictionary().term(t), ts);
+  }
+  return rep;
+}
+
+}  // namespace useful::represent

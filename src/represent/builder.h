@@ -1,0 +1,21 @@
+// Builds a Representative from an indexed SearchEngine.
+//
+// Statistics are computed over the engine's *normalized* document weights
+// (the quantities the global cosine similarity actually multiplies), term
+// by term from the inverted index: df, mean, population stddev, and max.
+#pragma once
+
+#include "ir/search_engine.h"
+#include "represent/representative.h"
+#include "util/status.h"
+
+namespace useful::represent {
+
+/// Extracts the representative of `engine`. The engine must be finalized.
+/// `kind` selects triplet vs quadruplet; triplet representatives still set
+/// max_weight = 0 (estimators must not read it).
+Result<Representative> BuildRepresentative(
+    const ir::SearchEngine& engine,
+    RepresentativeKind kind = RepresentativeKind::kQuadruplet);
+
+}  // namespace useful::represent

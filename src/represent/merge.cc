@@ -1,0 +1,67 @@
+#include "represent/merge.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace useful::represent {
+
+Result<Representative> MergeRepresentatives(
+    const std::vector<const Representative*>& parts,
+    std::string merged_name) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("MergeRepresentatives: no parts");
+  }
+  RepresentativeKind kind = parts[0]->kind();
+  std::size_t total_docs = 0;
+  for (const Representative* part : parts) {
+    if (part == nullptr) {
+      return Status::InvalidArgument("MergeRepresentatives: null part");
+    }
+    if (part->kind() != kind) {
+      return Status::InvalidArgument(
+          "MergeRepresentatives: mixed representative kinds");
+    }
+    if (part->num_docs() == 0) {
+      return Status::FailedPrecondition(
+          "MergeRepresentatives: empty part: " + part->engine_name());
+    }
+    total_docs += part->num_docs();
+  }
+
+  struct Moments {
+    std::uint64_t df = 0;
+    double sum = 0.0;
+    double sumsq = 0.0;
+    double max = 0.0;
+  };
+  std::unordered_map<std::string, Moments> acc;
+  for (const Representative* part : parts) {
+    for (const auto& [term, ts] : part->stats()) {
+      Moments& m = acc[term];
+      double df = static_cast<double>(ts.doc_freq);
+      m.df += ts.doc_freq;
+      m.sum += df * ts.avg_weight;
+      m.sumsq +=
+          df * (ts.stddev * ts.stddev + ts.avg_weight * ts.avg_weight);
+      m.max = std::max(m.max, ts.max_weight);
+    }
+  }
+
+  Representative merged(std::move(merged_name), total_docs, kind);
+  const double n = static_cast<double>(total_docs);
+  for (const auto& [term, m] : acc) {
+    if (m.df == 0) continue;
+    double df = static_cast<double>(m.df);
+    TermStats ts;
+    ts.doc_freq = static_cast<std::uint32_t>(m.df);
+    ts.p = df / n;
+    ts.avg_weight = m.sum / df;
+    double var = m.sumsq / df - ts.avg_weight * ts.avg_weight;
+    ts.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+    ts.max_weight = kind == RepresentativeKind::kQuadruplet ? m.max : 0.0;
+    merged.Put(term, ts);
+  }
+  return merged;
+}
+
+}  // namespace useful::represent

@@ -1,0 +1,35 @@
+// Exact merging of representatives.
+//
+// The paper notes its two-level architecture "can be generalized to more
+// than two levels": a higher-level broker then needs a representative for
+// an entire *group* of engines. Because the per-term statistics are
+// moments, the union's representative is computable exactly from the
+// parts, without touching any document:
+//
+//   df    adds;            p = df_total / n_total
+//   sum   adds  (df*w);    w = sum_total / df_total
+//   sumsq adds  (df*(sigma^2 + w^2)); sigma from the merged moments
+//   mw    maxes
+//
+// so MergeRepresentatives(reps of D_1..D_k) equals the representative
+// built directly over D_1 ∪ ... ∪ D_k (up to floating-point rounding) —
+// a property the tests verify against the index-based builder.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "represent/representative.h"
+#include "util/status.h"
+
+namespace useful::represent {
+
+/// Merges `parts` into the representative of their union collection.
+/// All parts must share the same kind (triplet vs quadruplet) and each
+/// must be non-empty (n > 0). Engines whose document sets overlap cannot
+/// be merged correctly (statistics would double-count); callers own that
+/// invariant, as in the paper's disjoint-database architecture.
+Result<Representative> MergeRepresentatives(
+    const std::vector<const Representative*>& parts, std::string merged_name);
+
+}  // namespace useful::represent

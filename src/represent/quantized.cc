@@ -1,0 +1,68 @@
+#include "represent/quantized.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace useful::represent {
+
+Result<QuantizationResult> QuantizeRepresentative(const Representative& rep) {
+  if (rep.num_terms() == 0) {
+    return Status::FailedPrecondition(
+        "QuantizeRepresentative: empty representative");
+  }
+  const bool quad = rep.kind() == RepresentativeKind::kQuadruplet;
+
+  std::vector<double> ps, ws, sds, mws;
+  ps.reserve(rep.num_terms());
+  ws.reserve(rep.num_terms());
+  sds.reserve(rep.num_terms());
+  if (quad) mws.reserve(rep.num_terms());
+  double w_hi = 0.0, sd_hi = 0.0, mw_hi = 0.0;
+  for (const auto& [term, ts] : rep.stats()) {
+    ps.push_back(ts.p);
+    ws.push_back(ts.avg_weight);
+    sds.push_back(ts.stddev);
+    w_hi = std::max(w_hi, ts.avg_weight);
+    sd_hi = std::max(sd_hi, ts.stddev);
+    if (quad) {
+      mws.push_back(ts.max_weight);
+      mw_hi = std::max(mw_hi, ts.max_weight);
+    }
+  }
+
+  // Probabilities live in [0,1] (the paper's example). Weight-like fields
+  // are quantized over [0, observed max] so the 256 intervals are not
+  // wasted when weights are normalized well below 1.
+  auto eps = [](double hi) { return hi > 0.0 ? hi : 1.0; };
+  auto pq = ByteQuantizer::Train(ps, 0.0, 1.0);
+  auto wq = ByteQuantizer::Train(ws, 0.0, eps(w_hi));
+  auto sq = ByteQuantizer::Train(sds, 0.0, eps(sd_hi));
+  if (!pq.ok()) return pq.status();
+  if (!wq.ok()) return wq.status();
+  if (!sq.ok()) return sq.status();
+
+  QuantizationResult result{
+      Representative(rep.engine_name(), rep.num_docs(), rep.kind()),
+      pq.value(), wq.value(), sq.value(), ByteQuantizer()};
+  if (quad) {
+    auto mq = ByteQuantizer::Train(mws, 0.0, eps(mw_hi));
+    if (!mq.ok()) return mq.status();
+    result.max_weight_quantizer = std::move(mq).value();
+  }
+
+  const double n = static_cast<double>(rep.num_docs());
+  for (const auto& [term, ts] : rep.stats()) {
+    TermStats q;
+    q.p = result.p_quantizer.Approximate(ts.p);
+    q.avg_weight = result.weight_quantizer.Approximate(ts.avg_weight);
+    q.stddev = result.stddev_quantizer.Approximate(ts.stddev);
+    q.max_weight =
+        quad ? result.max_weight_quantizer.Approximate(ts.max_weight) : 0.0;
+    q.doc_freq = static_cast<std::uint32_t>(
+        std::max(1.0, std::round(q.p * n)));
+    result.representative.Put(term, q);
+  }
+  return result;
+}
+
+}  // namespace useful::represent

@@ -1,0 +1,33 @@
+// One-byte approximation of a representative (paper §3.2).
+//
+// Each numeric field (p, w, sigma, mw) is quantized independently with a
+// 256-interval codebook trained on that field's values across the whole
+// representative: every value is replaced by the average of the values in
+// its interval. The experiments in Tables 7-9 show the approximation has
+// essentially no effect on estimation accuracy while cutting the per-term
+// number storage from 16 to 4 bytes.
+#pragma once
+
+#include "represent/representative.h"
+#include "util/quantize.h"
+#include "util/status.h"
+
+namespace useful::represent {
+
+/// The trained per-field quantizers plus the resulting approximate
+/// representative.
+struct QuantizationResult {
+  Representative representative;
+  ByteQuantizer p_quantizer;
+  ByteQuantizer weight_quantizer;
+  ByteQuantizer stddev_quantizer;
+  ByteQuantizer max_weight_quantizer;  // trained only in quadruplet mode
+};
+
+/// Quantizes every numeric field of `rep` to one byte via interval-average
+/// codebooks. doc_freq is recomputed as round(p_approx * n) so the gGlOSS
+/// baselines see consistently degraded data too. Fails on an empty
+/// representative.
+Result<QuantizationResult> QuantizeRepresentative(const Representative& rep);
+
+}  // namespace useful::represent

@@ -1,0 +1,17 @@
+#include "represent/representative.h"
+
+namespace useful::represent {
+
+std::optional<TermStats> Representative::Find(std::string_view term) const {
+  auto it = stats_.find(term);
+  if (it == stats_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Representative::PaperBytes(std::size_t bytes_per_number) const {
+  std::size_t numbers =
+      kind_ == RepresentativeKind::kQuadruplet ? 4 : 3;
+  return stats_.size() * (4 + numbers * bytes_per_number);
+}
+
+}  // namespace useful::represent

@@ -1,0 +1,72 @@
+// The database representative: the only information a metasearch broker
+// keeps about a local search engine. Maps term string -> TermStats, plus
+// the database size n.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "represent/term_stats.h"
+
+namespace useful::represent {
+
+/// Compact statistical summary of one search engine's database.
+class Representative {
+ public:
+  Representative() = default;
+  Representative(std::string engine_name, std::size_t num_docs,
+                 RepresentativeKind kind)
+      : engine_name_(std::move(engine_name)),
+        num_docs_(num_docs),
+        kind_(kind) {}
+
+  const std::string& engine_name() const { return engine_name_; }
+  std::size_t num_docs() const { return num_docs_; }
+  RepresentativeKind kind() const { return kind_; }
+  std::size_t num_terms() const { return stats_.size(); }
+
+  /// Inserts or overwrites the stats of `term`.
+  void Put(std::string term, TermStats stats) {
+    stats_[std::move(term)] = stats;
+  }
+
+  /// Stats for `term`, or nullopt when the term does not occur in the
+  /// database (equivalently p = 0).
+  std::optional<TermStats> Find(std::string_view term) const;
+
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+  using StatsMap = std::unordered_map<std::string, TermStats, Hash, Eq>;
+
+  /// Iteration over all (term, stats) pairs (unspecified order).
+  const StatsMap& stats() const { return stats_; }
+  StatsMap& mutable_stats() { return stats_; }
+
+  /// Storage cost in bytes under the paper's §3.2 accounting: 4 bytes per
+  /// term string (dictionary slot) plus `bytes_per_number` for each stored
+  /// number (4 quadruplet / 3 triplet numbers). The paper's headline
+  /// figures: 20*k for quadruplets with 4-byte numbers, 8*k with
+  /// one-byte numbers.
+  std::size_t PaperBytes(std::size_t bytes_per_number = 4) const;
+
+ private:
+  std::string engine_name_;
+  std::size_t num_docs_ = 0;
+  RepresentativeKind kind_ = RepresentativeKind::kQuadruplet;
+  StatsMap stats_;
+};
+
+}  // namespace useful::represent

@@ -1,0 +1,112 @@
+#include "represent/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace useful::represent {
+
+namespace {
+
+constexpr char kMagic[4] = {'U', 'R', 'P', '1'};
+// Guards against corrupt headers allocating absurd buffers.
+constexpr std::uint32_t kMaxStringLen = 1u << 20;
+constexpr std::uint64_t kMaxTerms = 1ull << 32;
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WritePod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Status ReadString(std::istream& in, std::string* s) {
+  std::uint32_t len = 0;
+  if (!ReadPod(in, &len)) return Status::Corruption("truncated string length");
+  if (len > kMaxStringLen) return Status::Corruption("string too long");
+  s->resize(len);
+  in.read(s->data(), len);
+  if (!in) return Status::Corruption("truncated string body");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteRepresentative(const Representative& rep, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, static_cast<std::uint8_t>(rep.kind()));
+  WritePod(out, static_cast<std::uint64_t>(rep.num_docs()));
+  WriteString(out, rep.engine_name());
+  WritePod(out, static_cast<std::uint64_t>(rep.num_terms()));
+  for (const auto& [term, ts] : rep.stats()) {
+    WriteString(out, term);
+    WritePod(out, ts.doc_freq);
+    WritePod(out, ts.p);
+    WritePod(out, ts.avg_weight);
+    WritePod(out, ts.stddev);
+    WritePod(out, ts.max_weight);
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<Representative> ReadRepresentative(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic (not a representative file)");
+  }
+  std::uint8_t kind_raw = 0;
+  std::uint64_t num_docs = 0;
+  if (!ReadPod(in, &kind_raw) || !ReadPod(in, &num_docs)) {
+    return Status::Corruption("truncated header");
+  }
+  if (kind_raw > static_cast<std::uint8_t>(RepresentativeKind::kQuadruplet)) {
+    return Status::Corruption("unknown representative kind");
+  }
+  std::string name;
+  USEFUL_RETURN_IF_ERROR(ReadString(in, &name));
+
+  Representative rep(std::move(name), static_cast<std::size_t>(num_docs),
+                     static_cast<RepresentativeKind>(kind_raw));
+
+  std::uint64_t num_terms = 0;
+  if (!ReadPod(in, &num_terms)) return Status::Corruption("truncated count");
+  if (num_terms > kMaxTerms) return Status::Corruption("term count too large");
+  for (std::uint64_t i = 0; i < num_terms; ++i) {
+    std::string term;
+    USEFUL_RETURN_IF_ERROR(ReadString(in, &term));
+    TermStats ts;
+    if (!ReadPod(in, &ts.doc_freq) || !ReadPod(in, &ts.p) ||
+        !ReadPod(in, &ts.avg_weight) || !ReadPod(in, &ts.stddev) ||
+        !ReadPod(in, &ts.max_weight)) {
+      return Status::Corruption("truncated term record");
+    }
+    rep.Put(std::move(term), ts);
+  }
+  return rep;
+}
+
+Status SaveRepresentative(const Representative& rep, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  return WriteRepresentative(rep, out);
+}
+
+Result<Representative> LoadRepresentative(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  return ReadRepresentative(in);
+}
+
+}  // namespace useful::represent

@@ -1,0 +1,27 @@
+// Binary persistence for representatives, so a broker can ship/refresh
+// engine metadata without re-crawling. Little-endian, versioned format:
+//
+//   magic "URP1" | u8 kind | u64 num_docs | u32 name_len | name bytes
+//   u64 num_terms | repeat: u32 term_len, term bytes, u32 doc_freq,
+//                            f64 p, f64 avg_weight, f64 stddev, f64 max_w
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "represent/representative.h"
+#include "util/status.h"
+
+namespace useful::represent {
+
+/// Serializes `rep` to `out`.
+Status WriteRepresentative(const Representative& rep, std::ostream& out);
+
+/// Parses a representative from `in`, validating the header and structure.
+Result<Representative> ReadRepresentative(std::istream& in);
+
+/// File convenience wrappers.
+Status SaveRepresentative(const Representative& rep, const std::string& path);
+Result<Representative> LoadRepresentative(const std::string& path);
+
+}  // namespace useful::represent

@@ -1,0 +1,41 @@
+// Per-term statistics stored in a database representative.
+//
+// The paper's quadruplet (p, w, sigma, mw):
+//   p     — probability that a document of the database contains the term
+//   w     — mean of the term's normalized weights over containing documents
+//   sigma — standard deviation of those weights
+//   mw    — maximum normalized weight of the term in the database
+// Triplet representatives omit mw (it is then estimated as the
+// 99.9-percentile of the normal approximation).
+#pragma once
+
+#include <cstdint>
+
+namespace useful::represent {
+
+/// Statistics for one term in one database.
+struct TermStats {
+  /// Containment probability p = df / n.
+  double p = 0.0;
+  /// Mean normalized weight over the df containing documents.
+  double avg_weight = 0.0;
+  /// Population standard deviation of those weights.
+  double stddev = 0.0;
+  /// Maximum normalized weight (only meaningful in quadruplet mode).
+  double max_weight = 0.0;
+  /// Document frequency df (integer form of p; used by the gGlOSS
+  /// baselines and to reconstruct p after quantization).
+  std::uint32_t doc_freq = 0;
+};
+
+/// Which fields a representative carries — determines its storage cost and
+/// which estimators can run at full fidelity.
+enum class RepresentativeKind {
+  /// (p, w, sigma): 16 bytes of numbers per term (paper §3.2 counts 4-byte
+  /// term + numbers; we follow its accounting).
+  kTriplet,
+  /// (p, w, sigma, mw): the full 20-bytes-per-term form.
+  kQuadruplet,
+};
+
+}  // namespace useful::represent

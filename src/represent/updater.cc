@@ -1,0 +1,101 @@
+#include "represent/updater.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace useful::represent {
+
+RepresentativeUpdater::RepresentativeUpdater(std::string engine_name,
+                                             const text::Analyzer* analyzer,
+                                             UpdaterOptions options)
+    : engine_name_(std::move(engine_name)),
+      analyzer_(analyzer),
+      options_(options) {
+  assert(analyzer_ != nullptr);
+}
+
+std::unordered_map<std::string, double> RepresentativeUpdater::WeightsOf(
+    const corpus::Document& doc) const {
+  std::unordered_map<std::string, double> tf;
+  for (std::string& token : analyzer_->Analyze(doc.text)) {
+    tf[std::move(token)] += 1.0;
+  }
+  if (options_.cosine_normalize && !tf.empty()) {
+    double norm_sq = 0.0;
+    for (const auto& [term, f] : tf) norm_sq += f * f;
+    double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& [term, f] : tf) f *= inv;
+  }
+  return tf;
+}
+
+void RepresentativeUpdater::Add(const corpus::Document& doc) {
+  ++num_docs_;
+  for (const auto& [term, w] : WeightsOf(doc)) {
+    Sufficient& s = stats_[term];
+    ++s.df;
+    s.sum += w;
+    s.sumsq += w * w;
+    s.max = std::max(s.max, w);
+  }
+}
+
+Status RepresentativeUpdater::Remove(const corpus::Document& doc) {
+  if (num_docs_ == 0) {
+    return Status::FailedPrecondition("Remove: no documents accumulated");
+  }
+  auto weights = WeightsOf(doc);
+  // Validate before mutating so a failed removal leaves state intact.
+  for (const auto& [term, w] : weights) {
+    auto it = stats_.find(term);
+    if (it == stats_.end() || it->second.df == 0 ||
+        it->second.max < w - 1e-12) {
+      return Status::InvalidArgument(
+          "Remove: document statistics inconsistent for term '" + term + "'");
+    }
+  }
+  --num_docs_;
+  for (const auto& [term, w] : weights) {
+    Sufficient& s = stats_[term];
+    --s.df;
+    s.sum -= w;
+    s.sumsq -= w * w;
+    if (s.df == 0) {
+      stats_.erase(term);
+      continue;
+    }
+    // Clamp tiny negative residue from floating-point cancellation.
+    s.sum = std::max(s.sum, 0.0);
+    s.sumsq = std::max(s.sumsq, 0.0);
+    if (w >= s.max - 1e-12) {
+      // The removed document may have been the maximum; the stored value
+      // is now only an upper bound.
+      needs_rebuild_ = true;
+    }
+  }
+  return Status::OK();
+}
+
+Result<Representative> RepresentativeUpdater::Snapshot(
+    RepresentativeKind kind) const {
+  if (num_docs_ == 0) {
+    return Status::FailedPrecondition("Snapshot: no documents accumulated");
+  }
+  Representative rep(engine_name_, num_docs_, kind);
+  const double n = static_cast<double>(num_docs_);
+  for (const auto& [term, s] : stats_) {
+    if (s.df == 0) continue;
+    const double df = static_cast<double>(s.df);
+    TermStats ts;
+    ts.doc_freq = static_cast<std::uint32_t>(s.df);
+    ts.p = df / n;
+    ts.avg_weight = s.sum / df;
+    double var = s.sumsq / df - ts.avg_weight * ts.avg_weight;
+    ts.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+    ts.max_weight = kind == RepresentativeKind::kQuadruplet ? s.max : 0.0;
+    rep.Put(term, ts);
+  }
+  return rep;
+}
+
+}  // namespace useful::represent

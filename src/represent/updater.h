@@ -1,0 +1,90 @@
+// Streaming construction and incremental maintenance of representatives.
+//
+// The paper's architecture assumes local engines periodically push fresh
+// metadata to the broker ("the propagation can be done infrequently as the
+// metadata are ... statistical in nature"). A remote engine does not need
+// a full inverted index to produce its quadruplets: per term it suffices
+// to maintain the sufficient statistics
+//
+//     df, sum(weight), sum(weight^2), max(weight)
+//
+// over the documents seen so far. This class maintains exactly those and
+// can snapshot a Representative at any time; document additions are exact
+// and O(|doc|). Removals decrement df/sum/sumsq exactly; the stored max
+// is an upper bound after a removal (tracked via needs_rebuild()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "corpus/document.h"
+#include "represent/representative.h"
+#include "text/analyzer.h"
+#include "util/status.h"
+
+namespace useful::represent {
+
+/// Options for streaming representative maintenance.
+struct UpdaterOptions {
+  /// Cosine-normalize each document's weights before accumulation (the
+  /// paper's setting; similarities then live in [0,1]).
+  bool cosine_normalize = true;
+};
+
+/// Accumulates per-term sufficient statistics document by document.
+class RepresentativeUpdater {
+ public:
+  /// `analyzer` must outlive the updater and match the engines' analyzer.
+  RepresentativeUpdater(std::string engine_name,
+                        const text::Analyzer* analyzer,
+                        UpdaterOptions options = {});
+
+  /// Folds one document into the statistics. Documents with no content
+  /// terms still count toward the collection size n.
+  void Add(const corpus::Document& doc);
+
+  /// Removes a document given its (re-supplied) content. df/sum/sumsq/n
+  /// are reverted exactly; the per-term max may become stale (an upper
+  /// bound), in which case needs_rebuild() turns true. Fails if the
+  /// removal would drive any statistic negative (document was never
+  /// added, or content changed).
+  Status Remove(const corpus::Document& doc);
+
+  /// Documents accumulated so far.
+  std::size_t num_docs() const { return num_docs_; }
+  std::size_t num_terms() const { return stats_.size(); }
+
+  /// True when some term's stored max weight may exceed the true maximum
+  /// (a document that attained it was removed). Estimates remain safe —
+  /// max weights only err upward — but a periodic rebuild restores
+  /// exactness.
+  bool needs_rebuild() const { return needs_rebuild_; }
+
+  /// Emits the current representative. Fails when no documents have been
+  /// added.
+  Result<Representative> Snapshot(
+      RepresentativeKind kind = RepresentativeKind::kQuadruplet) const;
+
+ private:
+  struct Sufficient {
+    std::uint64_t df = 0;
+    double sum = 0.0;
+    double sumsq = 0.0;
+    double max = 0.0;
+  };
+
+  /// Analyzes and (optionally) normalizes one document into per-term
+  /// weights.
+  std::unordered_map<std::string, double> WeightsOf(
+      const corpus::Document& doc) const;
+
+  std::string engine_name_;
+  const text::Analyzer* analyzer_;
+  UpdaterOptions options_;
+  std::size_t num_docs_ = 0;
+  bool needs_rebuild_ = false;
+  std::unordered_map<std::string, Sufficient> stats_;
+};
+
+}  // namespace useful::represent

@@ -1,0 +1,18 @@
+#include "text/analyzer.h"
+
+namespace useful::text {
+
+std::vector<std::string> Analyzer::Analyze(std::string_view input) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(input);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& token : tokens) {
+    if (options_.remove_stopwords && stopwords_.Contains(token)) continue;
+    if (options_.stem) stemmer_.StemInPlace(&token);
+    if (token.size() < options_.min_token_length) continue;
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+}  // namespace useful::text

@@ -1,0 +1,44 @@
+// The full analysis chain: tokenize -> stop-word filter -> (optional) stem.
+// Documents and queries must pass through the SAME analyzer so that their
+// term spaces agree — the Analyzer object is therefore shared by
+// ir::SearchEngine and the query front ends.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace useful::text {
+
+/// Configuration for an analysis chain.
+struct AnalyzerOptions {
+  /// Drop words from the standard stop list ("the", "of", ...).
+  bool remove_stopwords = true;
+  /// Conflate morphological variants with the Porter stemmer.
+  bool stem = false;
+  /// Drop tokens shorter than this after analysis.
+  std::size_t min_token_length = 1;
+};
+
+/// Converts raw text into index terms.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {}) : options_(options) {}
+
+  /// Analyzes `input` into index terms.
+  std::vector<std::string> Analyze(std::string_view input) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+  Tokenizer tokenizer_;
+  StopwordList stopwords_;
+  PorterStemmer stemmer_;
+};
+
+}  // namespace useful::text

@@ -1,0 +1,312 @@
+#include "text/porter_stemmer.h"
+
+// Faithful implementation of the five-step algorithm from
+// M. F. Porter, "An algorithm for suffix stripping", Program 14(3), 1980.
+//
+// Notation: a word is viewed as [C](VC)^m[V]; m is the "measure" of the
+// stem preceding a candidate suffix. Conditions *v* (stem contains a
+// vowel), *d (double consonant ending), and *o (cvc ending where the last
+// c is not w, x or y) follow the paper exactly.
+
+namespace useful::text {
+
+namespace {
+
+class Context {
+ public:
+  explicit Context(std::string* w) : w_(*w) {}
+
+  void Run() {
+    if (w_.size() <= 2) return;
+    Step1a();
+    Step1b();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5a();
+    Step5b();
+  }
+
+ private:
+  std::string& w_;
+  // End of the current stem candidate (exclusive); j_ marks the end of the
+  // stem when a suffix match is being considered.
+  std::size_t j_ = 0;
+
+  bool IsConsonant(std::size_t i) const {
+    char c = w_[i];
+    switch (c) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure m of w_[0, j_).
+  int Measure() const {
+    int m = 0;
+    std::size_t i = 0;
+    // Skip initial consonants.
+    while (true) {
+      if (i >= j_) return m;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      // Skip vowels.
+      while (true) {
+        if (i >= j_) return m;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++m;
+      // Skip consonants.
+      while (true) {
+        if (i >= j_) return m;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool StemHasVowel() const {
+    for (std::size_t i = 0; i < j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonantAt(std::size_t end) const {
+    if (end < 2) return false;
+    if (w_[end - 1] != w_[end - 2]) return false;
+    return IsConsonant(end - 1);
+  }
+
+  // *o: stem ends cvc where the final c is not w, x or y.
+  bool EndsCvc(std::size_t end) const {
+    if (end < 3) return false;
+    if (!IsConsonant(end - 1) || IsConsonant(end - 2) || !IsConsonant(end - 3))
+      return false;
+    char c = w_[end - 1];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool EndsWith(std::string_view suffix) {
+    if (w_.size() < suffix.size()) return false;
+    if (w_.compare(w_.size() - suffix.size(), suffix.size(), suffix) != 0)
+      return false;
+    j_ = w_.size() - suffix.size();
+    return true;
+  }
+
+  void ReplaceSuffix(std::string_view repl) {
+    w_.resize(j_);
+    w_.append(repl);
+  }
+
+  // Replaces the matched suffix by repl when m > 0.
+  bool ReplaceIfM(std::string_view suffix, std::string_view repl, int min_m) {
+    if (!EndsWith(suffix)) return false;
+    if (Measure() > min_m - 1) ReplaceSuffix(repl);
+    return true;
+  }
+
+  void Step1a() {
+    if (EndsWith("sses")) {
+      ReplaceSuffix("ss");
+    } else if (EndsWith("ies")) {
+      ReplaceSuffix("i");
+    } else if (EndsWith("ss")) {
+      // unchanged
+    } else if (EndsWith("s")) {
+      ReplaceSuffix("");
+    }
+  }
+
+  void Step1b() {
+    bool restore_e = false;
+    if (EndsWith("eed")) {
+      if (Measure() > 0) ReplaceSuffix("ee");
+    } else if (EndsWith("ed")) {
+      if (StemHasVowel()) {
+        ReplaceSuffix("");
+        restore_e = true;
+      }
+    } else if (EndsWith("ing")) {
+      if (StemHasVowel()) {
+        ReplaceSuffix("");
+        restore_e = true;
+      }
+    }
+    if (!restore_e) return;
+    // Post-trim fixups: at/bl/iz -> +e ; double consonant (not l,s,z) ->
+    // single ; m=1 and *o -> +e.
+    if (EndsWith("at") || EndsWith("bl") || EndsWith("iz")) {
+      w_ += 'e';
+      return;
+    }
+    if (DoubleConsonantAt(w_.size())) {
+      char c = w_.back();
+      if (c != 'l' && c != 's' && c != 'z') w_.pop_back();
+      return;
+    }
+    j_ = w_.size();
+    if (Measure() == 1 && EndsCvc(w_.size())) w_ += 'e';
+  }
+
+  void Step1c() {
+    if (EndsWith("y") && StemHasVowel()) w_.back() = 'i';
+  }
+
+  void Step2() {
+    if (w_.size() < 3) return;
+    // Dispatch on the penultimate character as in Porter's original code.
+    switch (w_[w_.size() - 2]) {
+      case 'a':
+        if (ReplaceIfM("ational", "ate", 1)) return;
+        if (ReplaceIfM("tional", "tion", 1)) return;
+        break;
+      case 'c':
+        if (ReplaceIfM("enci", "ence", 1)) return;
+        if (ReplaceIfM("anci", "ance", 1)) return;
+        break;
+      case 'e':
+        if (ReplaceIfM("izer", "ize", 1)) return;
+        break;
+      case 'l':
+        if (ReplaceIfM("abli", "able", 1)) return;
+        if (ReplaceIfM("alli", "al", 1)) return;
+        if (ReplaceIfM("entli", "ent", 1)) return;
+        if (ReplaceIfM("eli", "e", 1)) return;
+        if (ReplaceIfM("ousli", "ous", 1)) return;
+        break;
+      case 'o':
+        if (ReplaceIfM("ization", "ize", 1)) return;
+        if (ReplaceIfM("ation", "ate", 1)) return;
+        if (ReplaceIfM("ator", "ate", 1)) return;
+        break;
+      case 's':
+        if (ReplaceIfM("alism", "al", 1)) return;
+        if (ReplaceIfM("iveness", "ive", 1)) return;
+        if (ReplaceIfM("fulness", "ful", 1)) return;
+        if (ReplaceIfM("ousness", "ous", 1)) return;
+        break;
+      case 't':
+        if (ReplaceIfM("aliti", "al", 1)) return;
+        if (ReplaceIfM("iviti", "ive", 1)) return;
+        if (ReplaceIfM("biliti", "ble", 1)) return;
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    if (w_.empty()) return;
+    switch (w_.back()) {
+      case 'e':
+        if (ReplaceIfM("icate", "ic", 1)) return;
+        if (ReplaceIfM("ative", "", 1)) return;
+        if (ReplaceIfM("alize", "al", 1)) return;
+        break;
+      case 'i':
+        if (ReplaceIfM("iciti", "ic", 1)) return;
+        break;
+      case 'l':
+        if (ReplaceIfM("ical", "ic", 1)) return;
+        if (ReplaceIfM("ful", "", 1)) return;
+        break;
+      case 's':
+        if (ReplaceIfM("ness", "", 1)) return;
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    if (w_.size() < 3) return;
+    bool matched = false;
+    switch (w_[w_.size() - 2]) {
+      case 'a':
+        matched = EndsWith("al");
+        break;
+      case 'c':
+        matched = EndsWith("ance") || EndsWith("ence");
+        break;
+      case 'e':
+        matched = EndsWith("er");
+        break;
+      case 'i':
+        matched = EndsWith("ic");
+        break;
+      case 'l':
+        matched = EndsWith("able") || EndsWith("ible");
+        break;
+      case 'n':
+        matched = EndsWith("ant") || EndsWith("ement") || EndsWith("ment") ||
+                  EndsWith("ent");
+        break;
+      case 'o':
+        // "ion" requires the stem to end in s or t.
+        if (EndsWith("ion") && j_ > 0 &&
+            (w_[j_ - 1] == 's' || w_[j_ - 1] == 't')) {
+          matched = true;
+        } else {
+          matched = EndsWith("ou");
+        }
+        break;
+      case 's':
+        matched = EndsWith("ism");
+        break;
+      case 't':
+        matched = EndsWith("ate") || EndsWith("iti");
+        break;
+      case 'u':
+        matched = EndsWith("ous");
+        break;
+      case 'v':
+        matched = EndsWith("ive");
+        break;
+      case 'z':
+        matched = EndsWith("ize");
+        break;
+      default:
+        break;
+    }
+    if (matched && Measure() > 1) ReplaceSuffix("");
+  }
+
+  void Step5a() {
+    if (!EndsWith("e")) return;
+    int m = Measure();
+    if (m > 1 || (m == 1 && !EndsCvc(j_))) ReplaceSuffix("");
+  }
+
+  void Step5b() {
+    j_ = w_.size();
+    if (w_.size() >= 2 && w_.back() == 'l' && DoubleConsonantAt(w_.size()) &&
+        Measure() > 1) {
+      w_.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+void PorterStemmer::StemInPlace(std::string* word) const {
+  Context(word).Run();
+}
+
+}  // namespace useful::text

@@ -1,0 +1,26 @@
+// Porter stemming algorithm (Porter, 1980) — the canonical English suffix
+// stripper used throughout classical IR. Optional in the analyzer chain;
+// the paper's experiments conflate morphological variants the same way the
+// SMART system does.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace useful::text {
+
+/// Stateless Porter stemmer. Thread-safe.
+class PorterStemmer {
+ public:
+  /// Stems `word` (assumed lower-case ASCII) in place.
+  void StemInPlace(std::string* word) const;
+
+  /// Returns the stem of `word`.
+  std::string Stem(std::string_view word) const {
+    std::string w(word);
+    StemInPlace(&w);
+    return w;
+  }
+};
+
+}  // namespace useful::text

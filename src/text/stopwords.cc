@@ -1,0 +1,47 @@
+#include "text/stopwords.h"
+
+namespace useful::text {
+
+namespace {
+
+// SMART-derived English stop words, restricted to the high-frequency core.
+// string_view literals point into static storage, so the default list costs
+// no allocations per instance beyond the hash set nodes.
+const std::string_view kEnglishStopwords[] = {
+    "a",         "about",   "above",    "after",   "again",    "against",
+    "all",       "am",      "an",       "and",     "any",      "are",
+    "aren't",    "as",      "at",       "be",      "because",  "been",
+    "before",    "being",   "below",    "between", "both",     "but",
+    "by",        "can",     "cannot",   "could",   "couldn't", "did",
+    "didn't",    "do",      "does",     "doesn't", "doing",    "don't",
+    "down",      "during",  "each",     "few",     "for",      "from",
+    "further",   "had",     "hadn't",   "has",     "hasn't",   "have",
+    "haven't",   "having",  "he",       "her",     "here",     "hers",
+    "herself",   "him",     "himself",  "his",     "how",      "i",
+    "if",        "in",      "into",     "is",      "isn't",    "it",
+    "its",       "itself",  "just",     "me",      "more",     "most",
+    "mustn't",   "my",      "myself",   "no",      "nor",      "not",
+    "now",       "of",      "off",      "on",      "once",     "only",
+    "or",        "other",   "ought",    "our",     "ours",     "ourselves",
+    "out",       "over",    "own",      "same",    "shan't",   "she",
+    "should",    "shouldn't", "so",     "some",    "such",     "than",
+    "that",      "the",     "their",    "theirs",  "them",     "themselves",
+    "then",      "there",   "these",    "they",    "this",     "those",
+    "through",   "to",      "too",      "under",   "until",    "up",
+    "very",      "was",     "wasn't",   "we",      "were",     "weren't",
+    "what",      "when",    "where",    "which",   "while",    "who",
+    "whom",      "why",     "will",     "with",    "won't",    "would",
+    "wouldn't",  "you",     "your",     "yours",   "yourself", "yourselves",
+    "also",      "however", "thus",     "hence",   "therefore", "may",
+    "might",     "must",    "shall",    "upon",    "via",      "etc",
+    "e.g",       "i.e",     "per",      "vs",
+};
+
+}  // namespace
+
+StopwordList::StopwordList() {
+  words_.reserve(std::size(kEnglishStopwords));
+  for (std::string_view w : kEnglishStopwords) words_.insert(w);
+}
+
+}  // namespace useful::text

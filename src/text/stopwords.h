@@ -1,0 +1,31 @@
+// Stop-word filtering ("non-content words such as 'the', 'of'" — paper §4).
+#pragma once
+
+#include <string_view>
+#include <unordered_set>
+
+namespace useful::text {
+
+/// Immutable stop-word list. Default-constructed instances carry the
+/// standard English list (SMART-derived, 170+ words); custom lists can be
+/// supplied for other domains.
+class StopwordList {
+ public:
+  /// The standard English list.
+  StopwordList();
+
+  /// A custom list.
+  explicit StopwordList(std::unordered_set<std::string_view> words)
+      : words_(std::move(words)) {}
+
+  bool Contains(std::string_view word) const {
+    return words_.count(word) > 0;
+  }
+
+  std::size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string_view> words_;
+};
+
+}  // namespace useful::text

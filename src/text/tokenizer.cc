@@ -1,0 +1,57 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace useful::text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '\'' || c == '-';
+}
+
+bool IsAllDigits(std::string_view s) {
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return !s.empty();
+}
+
+}  // namespace
+
+void Tokenizer::Tokenize(std::string_view input,
+                         std::vector<std::string>* tokens) const {
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  while (i < n) {
+    while (i < n && !IsWordChar(input[i])) ++i;
+    std::size_t start = i;
+    while (i < n && IsWordChar(input[i])) ++i;
+    if (i == start) continue;
+    std::string_view raw = input.substr(start, i - start);
+    // Trim leading/trailing punctuation-like characters.
+    while (!raw.empty() && (raw.front() == '\'' || raw.front() == '-')) {
+      raw.remove_prefix(1);
+    }
+    while (!raw.empty() && (raw.back() == '\'' || raw.back() == '-')) {
+      raw.remove_suffix(1);
+    }
+    if (raw.empty()) continue;
+    if (raw.size() > kMaxTokenLength) raw = raw.substr(0, kMaxTokenLength);
+    if (IsAllDigits(raw) && raw.size() > 4) continue;
+    std::string token(raw);
+    for (char& c : token) {
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    }
+    tokens->push_back(std::move(token));
+  }
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view input) const {
+  std::vector<std::string> tokens;
+  Tokenize(input, &tokens);
+  return tokens;
+}
+
+}  // namespace useful::text

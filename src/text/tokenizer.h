@@ -1,0 +1,32 @@
+// Lexical analysis of raw document/query text.
+//
+// The paper's preprocessing is classic vector-space IR (Salton & McGill):
+// split into words, lower-case, drop non-content (stop) words, and —
+// optionally — conflate morphological variants with a stemmer. The output
+// token stream feeds ir::TermDictionary.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace useful::text {
+
+/// Splits text into lower-cased alphanumeric tokens.
+///
+/// A token is a maximal run of ASCII letters, digits, or intra-word
+/// apostrophes/hyphens (trimmed from the ends). Everything else is a
+/// separator. Tokens longer than kMaxTokenLength are truncated, and pure
+/// numbers longer than 4 digits are dropped (index noise).
+class Tokenizer {
+ public:
+  static constexpr std::size_t kMaxTokenLength = 64;
+
+  /// Tokenizes `input`, appending to `tokens`.
+  void Tokenize(std::string_view input, std::vector<std::string>* tokens) const;
+
+  /// Convenience: tokenize into a fresh vector.
+  std::vector<std::string> Tokenize(std::string_view input) const;
+};
+
+}  // namespace useful::text

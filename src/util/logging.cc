@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace useful {
+
+namespace {
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+std::atomic<LogSink> g_sink{nullptr};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(level); }
+LogLevel GetLogLevel() { return g_min_level.load(); }
+void SetLogSink(LogSink sink) { g_sink.store(sink); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < g_min_level.load()) return;
+  std::string line = stream_.str();
+  line += '\n';
+  if (LogSink sink = g_sink.load()) {
+    sink(level_, line);
+  } else {
+    std::fputs(line.c_str(), stderr);
+  }
+}
+
+}  // namespace internal
+}  // namespace useful

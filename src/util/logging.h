@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr. Meant for tools/benches; the library
+// itself reports errors through Status, not logs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace useful {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Redirects emitted log lines to `sink` (pass nullptr to restore the
+/// default stderr sink). The sink receives the formatted line including
+/// the trailing newline. Not thread-safe with concurrent logging; meant
+/// for embedders and tests.
+using LogSink = void (*)(LogLevel level, const std::string& line);
+void SetLogSink(LogSink sink);
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace useful
+
+#define USEFUL_LOG(level)                                             \
+  ::useful::internal::LogMessage(::useful::LogLevel::k##level,        \
+                                 __FILE__, __LINE__)                  \
+      .stream()

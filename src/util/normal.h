@@ -1,0 +1,32 @@
+// Standard-normal distribution functions used by the subrange estimators.
+//
+// The paper approximates each term's weight distribution by a normal with
+// the term's observed (mean, stddev); subrange medians become
+// w + Phi^{-1}(percentile) * sigma. This header provides the pdf, cdf,
+// quantile (inverse cdf), and truncated-normal moments needed by the
+// estimators.
+#pragma once
+
+namespace useful::normal {
+
+/// Standard normal probability density phi(x).
+double Pdf(double x);
+
+/// Standard normal cumulative distribution Phi(x). Max absolute error
+/// below 1e-15 (uses erfc).
+double Cdf(double x);
+
+/// Inverse of Cdf: Phi^{-1}(p) for p in (0, 1). Acklam's rational
+/// approximation refined by one Halley step; |error| < 1e-13.
+/// p <= 0 returns -inf, p >= 1 returns +inf.
+double Quantile(double p);
+
+/// Mean of a standard normal truncated to [a, +inf):
+/// E[Z | Z >= a] = phi(a) / (1 - Phi(a)).
+/// For very large a the ratio approaches a (returns a conservative value).
+double UpperTailMean(double a);
+
+/// Probability mass of the upper tail: P(Z >= a) = 1 - Phi(a).
+double UpperTailProb(double a);
+
+}  // namespace useful::normal

@@ -1,0 +1,46 @@
+#include "util/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace useful {
+
+Result<ByteQuantizer> ByteQuantizer::Train(const std::vector<double>& values,
+                                           double lo, double hi) {
+  if (values.empty()) {
+    return Status::InvalidArgument("ByteQuantizer: no values to train on");
+  }
+  if (!(hi > lo)) {
+    return Status::InvalidArgument("ByteQuantizer: hi must exceed lo");
+  }
+  ByteQuantizer q;
+  q.lo_ = lo;
+  q.hi_ = hi;
+  q.width_ = (hi - lo) / 256.0;
+
+  std::array<double, 256> sums{};
+  std::array<std::uint32_t, 256> counts{};
+  for (double v : values) {
+    std::uint8_t code = q.Encode(v);
+    sums[code] += std::clamp(v, lo, hi);
+    counts[code] += 1;
+  }
+  for (int i = 0; i < 256; ++i) {
+    if (counts[i] > 0) {
+      q.codebook_[i] = sums[i] / counts[i];
+    } else {
+      // Interval midpoint keeps decoding total and monotone.
+      q.codebook_[i] = lo + (i + 0.5) * q.width_;
+    }
+  }
+  return q;
+}
+
+std::uint8_t ByteQuantizer::Encode(double value) const {
+  double v = std::clamp(value, lo_, hi_);
+  auto idx = static_cast<int>((v - lo_) / width_);
+  idx = std::clamp(idx, 0, 255);
+  return static_cast<std::uint8_t>(idx);
+}
+
+}  // namespace useful

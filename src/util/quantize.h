@@ -1,0 +1,59 @@
+// One-byte scalar quantization of representative statistics (paper §3.2).
+//
+// The paper's scheme: partition the value range into 256 equal-length
+// intervals, compute the average of the values that fall into each interval,
+// and replace every value by the average of its interval. The codebook of
+// (up to) 256 averages is stored once per field per database; each value then
+// costs a single byte.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace useful {
+
+/// Codebook-based one-byte quantizer for a single statistical field
+/// (probabilities, average weights, standard deviations, or max weights).
+class ByteQuantizer {
+ public:
+  /// Builds a quantizer for `values` over the range [lo, hi]. Values outside
+  /// the range are clamped. Empty intervals reuse their midpoint so that
+  /// decoding any byte is always defined. Fails if hi <= lo or values is
+  /// empty.
+  static Result<ByteQuantizer> Train(const std::vector<double>& values,
+                                     double lo, double hi);
+
+  /// Encodes one value to its interval index.
+  std::uint8_t Encode(double value) const;
+
+  /// Decodes an interval index to the trained interval average.
+  double Decode(std::uint8_t code) const { return codebook_[code]; }
+
+  /// Round-trip convenience: the approximation the paper applies.
+  double Approximate(double value) const { return Decode(Encode(value)); }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// The 256 decoded values.
+  const std::array<double, 256>& codebook() const { return codebook_; }
+
+  /// Bytes needed to persist the codebook (256 doubles) — amortized over all
+  /// terms of a database, per the paper's size accounting.
+  static constexpr std::size_t CodebookBytes() { return 256 * sizeof(double); }
+
+  /// Default-constructed quantizer decodes every byte to 0; Train() is the
+  /// normal way to obtain a useful instance.
+  ByteQuantizer() = default;
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  double width_ = 1.0 / 256.0;
+  std::array<double, 256> codebook_{};
+};
+
+}  // namespace useful

@@ -1,0 +1,119 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace useful {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) {
+  state_ = 0u;
+  inc_ = (stream << 1u) | 1u;
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+std::uint32_t Pcg32::NextU32() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Pcg32::NextBounded(std::uint32_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to remove modulo bias.
+  std::uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    std::uint32_t r = NextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::NextDouble() {
+  // 53 random bits scaled to [0,1).
+  std::uint64_t hi = NextU32();
+  std::uint64_t lo = NextU32();
+  std::uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+double Pcg32::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Pcg32::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double mul = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * mul;
+  has_cached_gaussian_ = true;
+  return u * mul;
+}
+
+double Pcg32::NextExponential(double rate) {
+  assert(rate > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Pcg32::NextZipf(std::uint64_t n, double s) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  if (s == 0.0) return NextBounded(static_cast<std::uint32_t>(n));
+  // Rejection-inversion (Hörmann & Derflinger). Works for any s >= 0,
+  // s != 1 handled via the generalized harmonic integral H(x).
+  const double nd = static_cast<double>(n);
+  auto H = [s](double x) {
+    if (s == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto Hinv = [s](double y) {
+    if (s == 1.0) return std::exp(y);
+    return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double h_n = H(nd + 0.5);
+  const double h_1 = H(1.5) - 1.0;  // H(1.5) - pmf(1)
+  for (;;) {
+    double u = h_1 + NextDouble() * (h_n - h_1);
+    double x = Hinv(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    double kd = static_cast<double>(k);
+    if (u >= H(kd + 0.5) - std::pow(kd, -s)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+std::size_t Pcg32::NextDiscrete(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;  // target == total due to rounding
+}
+
+}  // namespace useful

@@ -1,0 +1,74 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace useful {
+
+std::vector<std::string_view> SplitNonEmpty(std::string_view input,
+                                            std::string_view delims) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start < input.size()) {
+    std::size_t end = input.find_first_of(delims, start);
+    if (end == std::string_view::npos) end = input.size();
+    if (end > start) out.push_back(input.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+void ToLowerAscii(std::string* s) {
+  for (char& c : *s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+}
+
+std::string LowerAscii(std::string_view s) {
+  std::string out(s);
+  ToLowerAscii(&out);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string StringPrintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string HumanBytes(std::size_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return StringPrintf("%zu B", bytes);
+  return StringPrintf("%.1f %s", value, units[unit]);
+}
+
+}  // namespace useful

@@ -1,0 +1,33 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace useful {
+
+/// Splits `input` on any character in `delims`, dropping empty pieces.
+std::vector<std::string_view> SplitNonEmpty(std::string_view input,
+                                            std::string_view delims);
+
+/// ASCII lower-casing in place.
+void ToLowerAscii(std::string* s);
+
+/// ASCII lower-cased copy.
+std::string LowerAscii(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Human-readable byte count ("1.5 KB", "3.2 MB").
+std::string HumanBytes(std::size_t bytes);
+
+}  // namespace useful

@@ -1,0 +1,44 @@
+// Streaming summary statistics (Welford) plus exact percentiles over a
+// retained sample, used by representative builders and the evaluation
+// harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace useful {
+
+/// Single-pass mean / variance accumulator (Welford's algorithm), with
+/// min/max tracking. Numerically stable for long streams.
+class SummaryStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by N). Zero when fewer than 2 samples.
+  double variance() const;
+  /// Population standard deviation.
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void Merge(const SummaryStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile of `values` (copied and partially sorted). `pct` is in
+/// [0, 100]; linear interpolation between order statistics. Returns 0 for an
+/// empty vector.
+double Percentile(std::vector<double> values, double pct);
+
+}  // namespace useful

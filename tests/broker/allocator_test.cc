@@ -1,0 +1,113 @@
+#include "broker/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "corpus/newsgroup_sim.h"
+#include "estimate/subrange_estimator.h"
+
+namespace useful::broker {
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus::NewsgroupSimOptions opts;
+    opts.num_groups = 6;
+    opts.vocabulary_size = 3000;
+    opts.topical_terms_per_group = 150;
+    opts.median_doc_length = 40.0;
+    sim_ = std::make_unique<corpus::NewsgroupSimulator>(opts);
+    broker_ = std::make_unique<Metasearcher>(&analyzer_);
+    for (const corpus::Collection& g : sim_->groups()) {
+      auto engine = std::make_unique<ir::SearchEngine>(g.name(), &analyzer_);
+      ASSERT_TRUE(engine->AddCollection(g).ok());
+      ASSERT_TRUE(engine->Finalize().ok());
+      ASSERT_TRUE(broker_->RegisterEngine(engine.get()).ok());
+      engines_.push_back(std::move(engine));
+    }
+    // A query with broad coverage: a frequent background word.
+    query_ = ir::ParseQuery(analyzer_, sim_->vocabulary().word(0));
+    ASSERT_FALSE(query_.empty());
+  }
+
+  text::Analyzer analyzer_;
+  std::unique_ptr<corpus::NewsgroupSimulator> sim_;
+  std::vector<std::unique_ptr<ir::SearchEngine>> engines_;
+  std::unique_ptr<Metasearcher> broker_;
+  estimate::SubrangeEstimator estimator_;
+  ir::Query query_;
+};
+
+TEST_F(AllocatorTest, RejectsEmptyQuery) {
+  auto plan = PlanAllocation(*broker_, ir::Query{}, estimator_, 10);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(AllocatorTest, RejectsZeroDocs) {
+  auto plan = PlanAllocation(*broker_, query_, estimator_, 0);
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(AllocatorTest, RejectsBadBracket) {
+  AllocatorOptions opts;
+  opts.min_threshold = 0.5;
+  opts.max_threshold = 0.5;
+  EXPECT_FALSE(PlanAllocation(*broker_, query_, estimator_, 5, opts).ok());
+}
+
+TEST_F(AllocatorTest, PlanCoversRequestedDocuments) {
+  auto plan = PlanAllocation(*broker_, query_, estimator_, 20);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GE(plan.value().expected_docs, 20.0 - 1.0);
+  std::size_t allocated = 0;
+  for (const EngineAllocation& a : plan.value().allocations) {
+    EXPECT_GE(a.docs, 1u);
+    allocated += a.docs;
+  }
+  EXPECT_GE(allocated, 20u);
+}
+
+TEST_F(AllocatorTest, LargerRequestsLowerTheThreshold) {
+  auto small = PlanAllocation(*broker_, query_, estimator_, 5);
+  auto large = PlanAllocation(*broker_, query_, estimator_, 100);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GE(small.value().threshold, large.value().threshold);
+  EXPECT_GE(large.value().expected_docs, small.value().expected_docs);
+}
+
+TEST_F(AllocatorTest, ImpossibleRequestFallsBackToEverything) {
+  // Far more documents than the whole federation holds.
+  auto plan = PlanAllocation(*broker_, query_, estimator_, 10'000'000);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan.value().threshold, 0.0);
+  EXPECT_LT(plan.value().expected_docs, 10'000'000.0);
+  EXPECT_FALSE(plan.value().allocations.empty());
+}
+
+TEST_F(AllocatorTest, AllocationsAreRankOrdered) {
+  auto plan = PlanAllocation(*broker_, query_, estimator_, 50);
+  ASSERT_TRUE(plan.ok());
+  const auto& allocs = plan.value().allocations;
+  for (std::size_t i = 1; i < allocs.size(); ++i) {
+    EXPECT_GE(allocs[i - 1].estimate.no_doc, allocs[i].estimate.no_doc);
+  }
+}
+
+TEST_F(AllocatorTest, TopicalQueryConcentratesAllocation) {
+  // A query from one group's topical vocabulary should allocate most of
+  // its documents to that group.
+  const auto& topic = sim_->topical_terms(0);
+  ir::Query q = ir::ParseQuery(analyzer_, sim_->vocabulary().word(topic[0]));
+  ASSERT_FALSE(q.empty());
+  auto plan = PlanAllocation(*broker_, q, estimator_, 10);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_FALSE(plan.value().allocations.empty());
+  EXPECT_EQ(plan.value().allocations[0].engine, sim_->groups()[0].name());
+}
+
+}  // namespace
+}  // namespace useful::broker

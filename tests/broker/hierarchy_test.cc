@@ -1,0 +1,140 @@
+#include "broker/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "estimate/subrange_estimator.h"
+
+namespace useful::broker {
+namespace {
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two regions of two engines each, with distinct topics plus a term
+    // ("shared") present everywhere.
+    engines_.push_back(MakeEngine(
+        "sports1", {"football goal shared", "football stadium"}));
+    engines_.push_back(MakeEngine("sports2", {"referee goal", "goal goal"}));
+    engines_.push_back(MakeEngine(
+        "science1", {"quantum particle shared", "particle collider"}));
+    engines_.push_back(
+        MakeEngine("science2", {"quantum entanglement", "quantum qubit"}));
+
+    hier_ = std::make_unique<HierarchicalMetasearcher>(&analyzer_);
+    ASSERT_TRUE(hier_->AddRegion("sports",
+                                 {engines_[0].get(), engines_[1].get()})
+                    .ok());
+    ASSERT_TRUE(hier_->AddRegion("science",
+                                 {engines_[2].get(), engines_[3].get()})
+                    .ok());
+  }
+
+  std::unique_ptr<ir::SearchEngine> MakeEngine(
+      const std::string& name, const std::vector<std::string>& docs) {
+    auto engine = std::make_unique<ir::SearchEngine>(name, &analyzer_);
+    int i = 0;
+    for (const std::string& text : docs) {
+      EXPECT_TRUE(engine->Add({name + "/" + std::to_string(i++), text}).ok());
+    }
+    EXPECT_TRUE(engine->Finalize().ok());
+    return engine;
+  }
+
+  text::Analyzer analyzer_;
+  std::vector<std::unique_ptr<ir::SearchEngine>> engines_;
+  std::unique_ptr<HierarchicalMetasearcher> hier_;
+  estimate::SubrangeEstimator estimator_;
+};
+
+TEST_F(HierarchyTest, Counts) {
+  EXPECT_EQ(hier_->num_regions(), 2u);
+  EXPECT_EQ(hier_->num_engines(), 4u);
+  EXPECT_EQ(hier_->root().num_engines(), 2u);  // one merged rep per region
+}
+
+TEST_F(HierarchyTest, RejectsEmptyRegion) {
+  EXPECT_FALSE(hier_->AddRegion("empty", {}).ok());
+}
+
+TEST_F(HierarchyTest, RejectsDuplicateRegion) {
+  Status s = hier_->AddRegion("sports", {engines_[0].get()});
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(HierarchyTest, TopicalQueryDescendsIntoOneRegion) {
+  ir::Query q = ir::ParseQuery(analyzer_, "quantum");
+  auto selected = hier_->SelectEngines(q, 0.1, estimator_);
+  ASSERT_FALSE(selected.empty());
+  for (const HierarchicalSelection& sel : selected) {
+    EXPECT_EQ(sel.region, "science");
+  }
+  // Both science engines contain "quantum".
+  EXPECT_EQ(selected.size(), 2u);
+}
+
+TEST_F(HierarchyTest, SharedTermReachesBothRegions) {
+  ir::Query q = ir::ParseQuery(analyzer_, "shared");
+  auto selected = hier_->SelectEngines(q, 0.05, estimator_);
+  std::set<std::string> regions;
+  for (const HierarchicalSelection& sel : selected) {
+    regions.insert(sel.region);
+  }
+  EXPECT_EQ(regions.size(), 2u);
+  // And only the engines that actually hold the term are contacted.
+  for (const HierarchicalSelection& sel : selected) {
+    EXPECT_TRUE(sel.engine == "sports1" || sel.engine == "science1")
+        << sel.engine;
+  }
+}
+
+TEST_F(HierarchyTest, SearchMatchesFlatBroker) {
+  // Hierarchical routing must return the same documents as a flat broker
+  // over the same engines (selection is exact for these single-term
+  // probes, so no region can hide a useful engine).
+  Metasearcher flat(&analyzer_);
+  for (const auto& engine : engines_) {
+    ASSERT_TRUE(flat.RegisterEngine(engine.get()).ok());
+  }
+  for (const char* query : {"quantum", "goal", "shared"}) {
+    auto hier_results = hier_->Search(query, 0.1, estimator_);
+    auto flat_results = flat.Search(query, 0.1, estimator_);
+    ASSERT_TRUE(hier_results.ok());
+    ASSERT_TRUE(flat_results.ok());
+    ASSERT_EQ(hier_results.value().size(), flat_results.value().size())
+        << query;
+    for (std::size_t i = 0; i < hier_results.value().size(); ++i) {
+      EXPECT_EQ(hier_results.value()[i].doc_id,
+                flat_results.value()[i].doc_id);
+      EXPECT_DOUBLE_EQ(hier_results.value()[i].score,
+                       flat_results.value()[i].score);
+    }
+  }
+}
+
+TEST_F(HierarchyTest, SearchRejectsEmptyQuery) {
+  auto r = hier_->Search("the of", 0.1, estimator_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(HierarchyTest, MergedRegionRepHasUnionStatistics) {
+  auto rep = hier_->root().FindRepresentative("sports");
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.value()->num_docs(), 4u);  // 2 + 2 engines' documents
+  auto goal = rep.value()->Find("goal");
+  ASSERT_TRUE(goal.has_value());
+  EXPECT_EQ(goal->doc_freq, 3u);  // sports1/0 + sports2/0 + sports2/1
+}
+
+TEST_F(HierarchyTest, NoUsefulRegionSelectsNothing) {
+  ir::Query q = ir::ParseQuery(analyzer_, "ghostword");
+  EXPECT_TRUE(hier_->SelectEngines(q, 0.1, estimator_).empty());
+  auto r = hier_->Search("ghostword", 0.1, estimator_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+}  // namespace
+}  // namespace useful::broker

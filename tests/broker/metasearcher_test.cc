@@ -1,0 +1,163 @@
+#include "broker/metasearcher.h"
+
+#include <gtest/gtest.h>
+
+#include "estimate/subrange_estimator.h"
+#include "represent/builder.h"
+
+namespace useful::broker {
+namespace {
+
+// Three small engines with distinct topical vocabularies plus overlap on
+// "shared". Pseudo-words keep the stop list out of the way.
+class MetasearcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engines_.push_back(MakeEngine(
+        "sports", {"football goal referee", "football stadium crowd",
+                   "goal keeper shared"}));
+    engines_.push_back(MakeEngine(
+        "science", {"quantum particle physics", "particle collider shared",
+                    "quantum entanglement"}));
+    engines_.push_back(MakeEngine(
+        "cooking", {"recipe flour oven", "oven temperature shared",
+                    "recipe butter sugar"}));
+    broker_ = std::make_unique<Metasearcher>(&analyzer_);
+    for (auto& e : engines_) {
+      ASSERT_TRUE(broker_->RegisterEngine(e.get()).ok());
+    }
+  }
+
+  std::unique_ptr<ir::SearchEngine> MakeEngine(
+      const std::string& name, std::vector<std::string> docs) {
+    auto engine = std::make_unique<ir::SearchEngine>(name, &analyzer_);
+    int i = 0;
+    for (const std::string& text : docs) {
+      EXPECT_TRUE(
+          engine->Add({name + "/d" + std::to_string(i++), text}).ok());
+    }
+    EXPECT_TRUE(engine->Finalize().ok());
+    return engine;
+  }
+
+  text::Analyzer analyzer_;
+  std::vector<std::unique_ptr<ir::SearchEngine>> engines_;
+  std::unique_ptr<Metasearcher> broker_;
+  estimate::SubrangeEstimator estimator_;
+};
+
+TEST_F(MetasearcherTest, RegistersEngines) {
+  EXPECT_EQ(broker_->num_engines(), 3u);
+}
+
+TEST_F(MetasearcherTest, RejectsDuplicateNames) {
+  Status s = broker_->RegisterEngine(engines_[0].get());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(MetasearcherTest, RejectsNullEngine) {
+  EXPECT_FALSE(broker_->RegisterEngine(nullptr).ok());
+}
+
+TEST_F(MetasearcherTest, RankEnginesCoversAll) {
+  ir::Query q = ir::ParseQuery(analyzer_, "football");
+  auto ranked = broker_->RankEngines(q, 0.1, estimator_);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].engine, "sports");
+  EXPECT_GT(ranked[0].estimate.no_doc, ranked[1].estimate.no_doc);
+}
+
+TEST_F(MetasearcherTest, SelectDropsUselessEngines) {
+  ir::Query q = ir::ParseQuery(analyzer_, "quantum");
+  auto selected = broker_->SelectEngines(q, 0.1, estimator_);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0].engine, "science");
+}
+
+TEST_F(MetasearcherTest, SharedTermSelectsSeveral) {
+  ir::Query q = ir::ParseQuery(analyzer_, "shared");
+  auto selected = broker_->SelectEngines(q, 0.05, estimator_);
+  EXPECT_EQ(selected.size(), 3u);
+}
+
+TEST_F(MetasearcherTest, SearchMergesByScore) {
+  auto results = broker_->Search("football goal", 0.05, estimator_);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_FALSE(results.value().empty());
+  for (std::size_t i = 1; i < results.value().size(); ++i) {
+    EXPECT_GE(results.value()[i - 1].score, results.value()[i].score);
+  }
+  // All results come from the sports engine.
+  for (const MetasearchResult& r : results.value()) {
+    EXPECT_EQ(r.engine, "sports");
+    EXPECT_GT(r.score, 0.05);
+  }
+}
+
+TEST_F(MetasearcherTest, SearchRespectsMaxEngines) {
+  auto results = broker_->Search("shared", 0.01, estimator_, 1);
+  ASSERT_TRUE(results.ok());
+  // Only the top-ranked engine was dispatched.
+  std::unordered_set<std::string> engines;
+  for (const MetasearchResult& r : results.value()) engines.insert(r.engine);
+  EXPECT_EQ(engines.size(), 1u);
+}
+
+TEST_F(MetasearcherTest, SearchRejectsEmptyQuery) {
+  auto results = broker_->Search("the of", 0.1, estimator_);
+  EXPECT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(MetasearcherTest, RepresentativeOnlyEngineSelectsButSkipsDispatch) {
+  // A representative without a live engine participates in selection but
+  // contributes no documents.
+  auto live = MakeEngine("remote", {"football football football"});
+  auto rep = represent::BuildRepresentative(*live);
+  ASSERT_TRUE(rep.ok());
+  represent::Representative renamed = std::move(rep).value();
+  Metasearcher broker(&analyzer_);
+  ASSERT_TRUE(broker.RegisterRepresentative(renamed).ok());
+  ir::Query q = ir::ParseQuery(analyzer_, "football");
+  EXPECT_EQ(broker.SelectEngines(q, 0.1, estimator_).size(), 1u);
+  auto results = broker.Search("football", 0.1, estimator_);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results.value().empty());
+}
+
+TEST_F(MetasearcherTest, FindRepresentative) {
+  auto rep = broker_->FindRepresentative("science");
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.value()->engine_name(), "science");
+  EXPECT_GT(rep.value()->num_terms(), 0u);
+  auto missing = broker_->FindRepresentative("nope");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Status::Code::kNotFound);
+}
+
+TEST_F(MetasearcherTest, DuplicateRepresentativeRejected) {
+  represent::Representative rep(
+      "sports", 3, represent::RepresentativeKind::kQuadruplet);
+  EXPECT_FALSE(broker_->RegisterRepresentative(rep).ok());
+}
+
+TEST_F(MetasearcherTest, SingleTermRoutingPrefersHighestMaxWeight) {
+  // §3.1 guarantee applied end-to-end: with a threshold between the top
+  // engines' maximum normalized weights for "football", only the sports
+  // engine is selected.
+  ir::Query q = ir::ParseQuery(analyzer_, "football");
+  auto science_rep = broker_->FindRepresentative("science");
+  ASSERT_TRUE(science_rep.ok());
+  EXPECT_FALSE(science_rep.value()->Find("football").has_value());
+  auto sports_rep = broker_->FindRepresentative("sports");
+  ASSERT_TRUE(sports_rep.ok());
+  double mw = sports_rep.value()->Find("football")->max_weight;
+  auto selected = broker_->SelectEngines(q, mw * 0.99, estimator_);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0].engine, "sports");
+  // Above the maximum weight nothing is selected.
+  EXPECT_TRUE(broker_->SelectEngines(q, mw, estimator_).empty());
+}
+
+}  // namespace
+}  // namespace useful::broker

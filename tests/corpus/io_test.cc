@@ -1,0 +1,133 @@
+#include "corpus/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace useful::corpus {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("useful_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+Collection MakeCollection() {
+  Collection c("newsgroup-x");
+  c.Add(Document{"x/d1", "alpha beta gamma"});
+  c.Add(Document{"x/d2", "delta epsilon"});
+  c.Add(Document{"x/d3", ""});  // empty body must round-trip
+  return c;
+}
+
+TEST_F(IoTest, CollectionRoundTrip) {
+  Collection orig = MakeCollection();
+  ASSERT_TRUE(SaveCollection(orig, Path("c.txt")).ok());
+  auto loaded = LoadCollection(Path("c.txt"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Collection& c = loaded.value();
+  EXPECT_EQ(c.name(), "newsgroup-x");
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.doc(0).id, "x/d1");
+  EXPECT_EQ(c.doc(0).text, "alpha beta gamma");
+  EXPECT_EQ(c.doc(2).text, "");
+}
+
+TEST_F(IoTest, MultilineTextRoundTrip) {
+  Collection c("ml");
+  c.Add(Document{"d", "line one\nline two\nline three"});
+  ASSERT_TRUE(SaveCollection(c, Path("ml.txt")).ok());
+  auto loaded = LoadCollection(Path("ml.txt"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().doc(0).text, "line one\nline two\nline three");
+}
+
+TEST_F(IoTest, LoadMissingFileFails) {
+  auto r = LoadCollection(Path("nope.txt"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIOError);
+}
+
+TEST_F(IoTest, LoadDetectsUnterminatedDoc) {
+  std::ofstream out(Path("bad.txt"));
+  out << "<DOC>\n<DOCNO>d</DOCNO>\n<TEXT>\nbody\n</TEXT>\n";  // no </DOC>
+  out.close();
+  auto r = LoadCollection(Path("bad.txt"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(IoTest, LoadDetectsNestedDoc) {
+  std::ofstream out(Path("nested.txt"));
+  out << "<DOC>\n<DOC>\n";
+  out.close();
+  EXPECT_FALSE(LoadCollection(Path("nested.txt")).ok());
+}
+
+TEST_F(IoTest, LoadDetectsStrayCloseDoc) {
+  std::ofstream out(Path("stray.txt"));
+  out << "</DOC>\n";
+  out.close();
+  EXPECT_FALSE(LoadCollection(Path("stray.txt")).ok());
+}
+
+TEST_F(IoTest, NameFallsBackToFileStem) {
+  std::ofstream out(Path("unnamed.txt"));
+  out << "<DOC>\n<DOCNO>d</DOCNO>\n<TEXT>\nx\n</TEXT>\n</DOC>\n";
+  out.close();
+  auto r = LoadCollection(Path("unnamed.txt"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().name(), "unnamed");
+}
+
+TEST_F(IoTest, QueryLogRoundTrip) {
+  std::vector<Query> queries = {{"q1", "alpha beta"}, {"q2", "gamma"}};
+  ASSERT_TRUE(SaveQueryLog(queries, Path("q.tsv")).ok());
+  auto loaded = LoadQueryLog(Path("q.tsv"));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].id, "q1");
+  EXPECT_EQ(loaded.value()[0].text, "alpha beta");
+  EXPECT_EQ(loaded.value()[1].text, "gamma");
+}
+
+TEST_F(IoTest, QueryLogRejectsMissingTab) {
+  std::ofstream out(Path("badq.tsv"));
+  out << "no-tab-here\n";
+  out.close();
+  auto r = LoadQueryLog(Path("badq.tsv"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(IoTest, QueryLogSkipsBlankLines) {
+  std::ofstream out(Path("blank.tsv"));
+  out << "q1\talpha\n\nq2\tbeta\n";
+  out.close();
+  auto r = LoadQueryLog(Path("blank.tsv"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST_F(IoTest, HandlesCrLfFiles) {
+  std::ofstream out(Path("crlf.tsv"));
+  out << "q1\talpha beta\r\n";
+  out.close();
+  auto r = LoadQueryLog(Path("crlf.tsv"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].text, "alpha beta");
+}
+
+}  // namespace
+}  // namespace useful::corpus

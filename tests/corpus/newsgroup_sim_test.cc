@@ -1,0 +1,156 @@
+#include "corpus/newsgroup_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "text/analyzer.h"
+
+namespace useful::corpus {
+namespace {
+
+// A scaled-down configuration so construction stays fast in unit tests.
+NewsgroupSimOptions SmallOptions() {
+  NewsgroupSimOptions opts;
+  opts.num_groups = 8;
+  opts.vocabulary_size = 3000;
+  opts.topical_terms_per_group = 150;
+  opts.median_doc_length = 40.0;
+  return opts;
+}
+
+TEST(GroupSizesTest, PaperPinnedCounts) {
+  NewsgroupSimOptions opts;  // 53 groups
+  auto sizes = NewsgroupSimulator::GroupSizes(opts);
+  ASSERT_EQ(sizes.size(), 53u);
+  // D1: largest group has 761 documents.
+  EXPECT_EQ(sizes[0], 761u);
+  // D2: two largest sum to 1,466.
+  EXPECT_EQ(sizes[0] + sizes[1], 1466u);
+  // D3: 26 smallest sum to 1,014.
+  std::size_t tail =
+      std::accumulate(sizes.end() - 26, sizes.end(), std::size_t{0});
+  EXPECT_EQ(tail, 1014u);
+}
+
+TEST(GroupSizesTest, Descending) {
+  auto sizes = NewsgroupSimulator::GroupSizes(NewsgroupSimOptions{});
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GE(sizes[i - 1], sizes[i]);
+  }
+}
+
+TEST(GroupSizesTest, GenericCountsNonEmpty) {
+  NewsgroupSimOptions opts;
+  opts.num_groups = 10;
+  auto sizes = NewsgroupSimulator::GroupSizes(opts);
+  ASSERT_EQ(sizes.size(), 10u);
+  for (std::size_t s : sizes) EXPECT_GE(s, 3u);
+}
+
+TEST(NewsgroupSimulatorTest, BuildsRequestedGroups) {
+  NewsgroupSimulator sim(SmallOptions());
+  EXPECT_EQ(sim.groups().size(), 8u);
+  for (const Collection& g : sim.groups()) {
+    EXPECT_FALSE(g.empty());
+  }
+}
+
+TEST(NewsgroupSimulatorTest, DeterministicForSeed) {
+  NewsgroupSimulator a(SmallOptions()), b(SmallOptions());
+  ASSERT_EQ(a.groups().size(), b.groups().size());
+  for (std::size_t g = 0; g < a.groups().size(); ++g) {
+    ASSERT_EQ(a.groups()[g].size(), b.groups()[g].size());
+    for (std::size_t d = 0; d < a.groups()[g].size(); ++d) {
+      ASSERT_EQ(a.groups()[g].doc(d).text, b.groups()[g].doc(d).text);
+    }
+  }
+}
+
+TEST(NewsgroupSimulatorTest, SeedChangesContent) {
+  NewsgroupSimOptions opts = SmallOptions();
+  NewsgroupSimulator a(opts);
+  opts.seed += 1;
+  NewsgroupSimulator b(opts);
+  EXPECT_NE(a.groups()[0].doc(0).text, b.groups()[0].doc(0).text);
+}
+
+TEST(NewsgroupSimulatorTest, DocumentIdsAreUniqueWithinGroup) {
+  NewsgroupSimulator sim(SmallOptions());
+  const Collection& g = sim.groups()[0];
+  std::unordered_set<std::string> ids;
+  for (const Document& d : g.docs()) {
+    EXPECT_TRUE(ids.insert(d.id).second) << d.id;
+  }
+}
+
+TEST(NewsgroupSimulatorTest, TopicalTermsPerGroup) {
+  NewsgroupSimulator sim(SmallOptions());
+  for (std::size_t g = 0; g < sim.groups().size(); ++g) {
+    EXPECT_EQ(sim.topical_terms(g).size(), 150u);
+  }
+}
+
+TEST(NewsgroupSimulatorTest, GroupsHaveDistinctTopics) {
+  NewsgroupSimulator sim(SmallOptions());
+  const auto& t0 = sim.topical_terms(0);
+  const auto& t1 = sim.topical_terms(1);
+  std::unordered_set<std::size_t> s0(t0.begin(), t0.end());
+  std::size_t shared = 0;
+  for (std::size_t r : t1) shared += s0.count(r);
+  // Random 150-of-3000 subsets overlap by ~7.5 terms; demand well below
+  // half shared.
+  EXPECT_LT(shared, 75u);
+}
+
+TEST(NewsgroupSimulatorTest, DocLengthsWithinConfiguredBand) {
+  NewsgroupSimulator sim(SmallOptions());
+  text::AnalyzerOptions no_stop;
+  no_stop.remove_stopwords = false;
+  text::Analyzer analyzer(no_stop);
+  for (const Document& d : sim.groups()[0].docs()) {
+    std::size_t tokens = analyzer.Analyze(d.text).size();
+    EXPECT_GE(tokens, 30u);
+    EXPECT_LE(tokens, 2000u);
+  }
+}
+
+TEST(NewsgroupSimulatorTest, D1D2D3Recipe) {
+  NewsgroupSimulator sim(SmallOptions());
+  Collection d1 = sim.BuildD1();
+  Collection d2 = sim.BuildD2();
+  EXPECT_EQ(d1.name(), "D1");
+  EXPECT_EQ(d1.size(), sim.groups()[0].size());
+  EXPECT_EQ(d2.size(), sim.groups()[0].size() + sim.groups()[1].size());
+}
+
+TEST(NewsgroupSimulatorTest, FullScaleDatabaseCounts) {
+  // The headline reproduction invariant: |D1| = 761, |D2| = 1466,
+  // |D3| = 1014 as in the paper's testbed.
+  NewsgroupSimOptions opts;
+  opts.vocabulary_size = 8000;  // smaller vocab to keep this test quick
+  NewsgroupSimulator sim(opts);
+  EXPECT_EQ(sim.BuildD1().size(), 761u);
+  EXPECT_EQ(sim.BuildD2().size(), 1466u);
+  EXPECT_EQ(sim.BuildD3().size(), 1014u);
+}
+
+TEST(CollectionTest, MergeAppendsDocs) {
+  Collection a("a"), b("b");
+  a.Add(Document{"1", "x"});
+  b.Add(Document{"2", "y"});
+  b.Add(Document{"3", "z"});
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.doc(2).id, "3");
+  EXPECT_EQ(b.size(), 2u);  // source untouched
+}
+
+TEST(CollectionTest, TextBytesCountsIdAndText) {
+  Collection c("c");
+  c.Add(Document{"ab", "hello"});
+  EXPECT_EQ(c.TextBytes(), 7u);
+}
+
+}  // namespace
+}  // namespace useful::corpus

@@ -1,0 +1,122 @@
+#include "corpus/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "text/analyzer.h"
+#include "util/string_util.h"
+
+namespace useful::corpus {
+namespace {
+
+class QueryLogTest : public ::testing::Test {
+ protected:
+  static const NewsgroupSimulator& Sim() {
+    static const NewsgroupSimulator* sim = [] {
+      NewsgroupSimOptions opts;
+      opts.num_groups = 8;
+      opts.vocabulary_size = 3000;
+      opts.topical_terms_per_group = 150;
+      opts.median_doc_length = 40.0;
+      return new NewsgroupSimulator(opts);
+    }();
+    return *sim;
+  }
+};
+
+TEST_F(QueryLogTest, GeneratesRequestedCount) {
+  QueryLogOptions opts;
+  opts.num_queries = 500;
+  auto queries = QueryLogGenerator(opts).Generate(Sim());
+  EXPECT_EQ(queries.size(), 500u);
+}
+
+TEST_F(QueryLogTest, DefaultCountMatchesPaper) {
+  QueryLogOptions opts;
+  EXPECT_EQ(opts.num_queries, 6234u);
+}
+
+TEST_F(QueryLogTest, QueriesHaveAtMostSixDistinctTerms) {
+  QueryLogOptions opts;
+  opts.num_queries = 2000;
+  auto queries = QueryLogGenerator(opts).Generate(Sim());
+  for (const Query& q : queries) {
+    auto words = SplitNonEmpty(q.text, " ");
+    EXPECT_GE(words.size(), 1u);
+    EXPECT_LE(words.size(), 6u);
+    std::unordered_set<std::string_view> distinct(words.begin(), words.end());
+    EXPECT_EQ(distinct.size(), words.size()) << q.text;
+  }
+}
+
+TEST_F(QueryLogTest, AboutThirtyPercentSingleTerm) {
+  QueryLogOptions opts;
+  opts.num_queries = 4000;
+  auto queries = QueryLogGenerator(opts).Generate(Sim());
+  std::size_t single = 0;
+  for (const Query& q : queries) {
+    if (q.text.find(' ') == std::string::npos) ++single;
+  }
+  double frac = static_cast<double>(single) / 4000.0;
+  EXPECT_NEAR(frac, 0.30, 0.03);
+}
+
+TEST_F(QueryLogTest, DeterministicForSeed) {
+  QueryLogOptions opts;
+  opts.num_queries = 100;
+  auto a = QueryLogGenerator(opts).Generate(Sim());
+  auto b = QueryLogGenerator(opts).Generate(Sim());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].text, b[i].text);
+  }
+}
+
+TEST_F(QueryLogTest, SeedChangesQueries) {
+  QueryLogOptions opts;
+  opts.num_queries = 100;
+  auto a = QueryLogGenerator(opts).Generate(Sim());
+  opts.seed += 1;
+  auto b = QueryLogGenerator(opts).Generate(Sim());
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].text != b[i].text) ++differing;
+  }
+  EXPECT_GT(differing, 50u);
+}
+
+TEST_F(QueryLogTest, IdsAreUnique) {
+  QueryLogOptions opts;
+  opts.num_queries = 300;
+  auto queries = QueryLogGenerator(opts).Generate(Sim());
+  std::unordered_set<std::string> ids;
+  for (const Query& q : queries) {
+    EXPECT_TRUE(ids.insert(q.id).second);
+  }
+}
+
+TEST_F(QueryLogTest, QueryTermsComeFromVocabulary) {
+  const Vocabulary& vocab = Sim().vocabulary();
+  std::unordered_set<std::string_view> words;
+  for (const std::string& w : vocab.words()) words.insert(w);
+  QueryLogOptions opts;
+  opts.num_queries = 200;
+  for (const Query& q : QueryLogGenerator(opts).Generate(Sim())) {
+    for (std::string_view w : SplitNonEmpty(q.text, " ")) {
+      EXPECT_TRUE(words.count(w)) << w;
+    }
+  }
+}
+
+TEST_F(QueryLogTest, CustomLengthDistribution) {
+  QueryLogOptions opts;
+  opts.num_queries = 500;
+  opts.length_probs = {1.0};  // all single-term
+  for (const Query& q : QueryLogGenerator(opts).Generate(Sim())) {
+    EXPECT_EQ(q.text.find(' '), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace useful::corpus

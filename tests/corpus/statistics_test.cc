@@ -1,0 +1,139 @@
+// Statistical realism of the synthetic testbed: the substitution for the
+// Stanford corpus is only valid if the generated text exhibits the
+// skewed laws the estimators are sensitive to — Zipfian document
+// frequencies, sublinear vocabulary growth, within-term weight variance
+// (what the subranges model), and cross-group topical separation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "corpus/newsgroup_sim.h"
+#include "ir/search_engine.h"
+#include "represent/builder.h"
+
+namespace useful::corpus {
+namespace {
+
+class StatisticsTest : public ::testing::Test {
+ protected:
+  static const NewsgroupSimulator& Sim() {
+    static const NewsgroupSimulator* sim = [] {
+      NewsgroupSimOptions opts;
+      opts.num_groups = 6;
+      opts.vocabulary_size = 6000;
+      opts.topical_terms_per_group = 250;
+      return new NewsgroupSimulator(opts);
+    }();
+    return *sim;
+  }
+
+  static const ir::SearchEngine& Engine() {
+    static const ir::SearchEngine* engine = [] {
+      static text::Analyzer analyzer;
+      auto* e = new ir::SearchEngine("g0", &analyzer);
+      EXPECT_TRUE(e->AddCollection(Sim().groups()[0]).ok());
+      EXPECT_TRUE(e->Finalize().ok());
+      return e;
+    }();
+    return *engine;
+  }
+};
+
+TEST_F(StatisticsTest, DocumentFrequenciesAreSkewed) {
+  const ir::SearchEngine& engine = Engine();
+  std::vector<std::size_t> dfs;
+  for (ir::TermId t = 0; t < engine.num_terms(); ++t) {
+    dfs.push_back(engine.index().DocFreq(t));
+  }
+  std::sort(dfs.begin(), dfs.end(), std::greater<>());
+  ASSERT_GT(dfs.size(), 100u);
+  // Zipf-like head/tail contrast: the top term appears in far more
+  // documents than the median term.
+  EXPECT_GT(dfs[0], 20 * dfs[dfs.size() / 2]);
+  // And a long tail of hapax-like terms exists.
+  std::size_t rare = 0;
+  for (std::size_t df : dfs) rare += (df <= 2);
+  EXPECT_GT(rare, dfs.size() / 4);
+}
+
+TEST_F(StatisticsTest, VocabularyGrowsSublinearly) {
+  // Heaps-law flavour: doubling the text should far less than double the
+  // vocabulary.
+  const Collection& g = Sim().groups()[0];
+  text::Analyzer analyzer;
+  std::unordered_set<std::string> half_vocab, full_vocab;
+  for (std::size_t d = 0; d < g.size(); ++d) {
+    for (const std::string& token : analyzer.Analyze(g.doc(d).text)) {
+      if (d < g.size() / 2) half_vocab.insert(token);
+      full_vocab.insert(token);
+    }
+  }
+  double growth = static_cast<double>(full_vocab.size()) /
+                  static_cast<double>(half_vocab.size());
+  EXPECT_LT(growth, 1.6);
+  EXPECT_GT(growth, 1.0);
+}
+
+TEST_F(StatisticsTest, TermWeightsHaveVariance) {
+  // The subrange decomposition only matters if sigma > 0 for a healthy
+  // share of multi-document terms.
+  auto rep = represent::BuildRepresentative(Engine());
+  ASSERT_TRUE(rep.ok());
+  std::size_t multi = 0, with_variance = 0;
+  for (const auto& [term, ts] : rep.value().stats()) {
+    if (ts.doc_freq < 3) continue;
+    ++multi;
+    if (ts.stddev > 0.01 * ts.avg_weight) ++with_variance;
+  }
+  ASSERT_GT(multi, 50u);
+  EXPECT_GT(static_cast<double>(with_variance) / static_cast<double>(multi),
+            0.8);
+}
+
+TEST_F(StatisticsTest, MaxWeightExceedsAverageForBurstyTerms) {
+  // Focus-term generation must create documents far above the term mean —
+  // the upper subrange the paper's method feeds on.
+  auto rep = represent::BuildRepresentative(Engine());
+  ASSERT_TRUE(rep.ok());
+  std::size_t bursty = 0, considered = 0;
+  for (const auto& [term, ts] : rep.value().stats()) {
+    if (ts.doc_freq < 5) continue;
+    ++considered;
+    if (ts.max_weight > ts.avg_weight + 2.0 * ts.stddev) ++bursty;
+  }
+  ASSERT_GT(considered, 30u);
+  EXPECT_GT(static_cast<double>(bursty) / static_cast<double>(considered),
+            0.3);
+}
+
+TEST_F(StatisticsTest, GroupsAreTopicallySeparated) {
+  // A group's documents must look more like their own group's term
+  // distribution than like another group's — the property that makes
+  // source selection non-trivial. Proxy: per-group top terms overlap
+  // little across groups.
+  text::Analyzer analyzer;
+  auto top_terms = [&](const Collection& g) {
+    std::unordered_map<std::string, std::size_t> tf;
+    for (const Document& d : g.docs()) {
+      for (const std::string& token : analyzer.Analyze(d.text)) ++tf[token];
+    }
+    std::vector<std::pair<std::size_t, std::string>> ranked;
+    for (auto& [term, f] : tf) ranked.emplace_back(f, term);
+    std::sort(ranked.begin(), ranked.end(), std::greater<>());
+    std::unordered_set<std::string> top;
+    for (std::size_t i = 30; i < ranked.size() && top.size() < 50; ++i) {
+      top.insert(ranked[i].second);  // skip the shared background head
+    }
+    return top;
+  };
+  auto a = top_terms(Sim().groups()[1]);
+  auto b = top_terms(Sim().groups()[2]);
+  std::size_t shared = 0;
+  for (const std::string& t : a) shared += b.count(t);
+  EXPECT_LT(shared, a.size() / 2);
+}
+
+}  // namespace
+}  // namespace useful::corpus

@@ -1,0 +1,56 @@
+#include "corpus/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "text/analyzer.h"
+
+namespace useful::corpus {
+namespace {
+
+TEST(VocabularyTest, GeneratesRequestedSize) {
+  Vocabulary v(1000, 1);
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+TEST(VocabularyTest, WordsAreDistinct) {
+  Vocabulary v(5000, 2);
+  std::unordered_set<std::string> seen(v.words().begin(), v.words().end());
+  EXPECT_EQ(seen.size(), v.size());
+}
+
+TEST(VocabularyTest, DeterministicForSeed) {
+  Vocabulary a(500, 42), b(500, 42);
+  EXPECT_EQ(a.words(), b.words());
+}
+
+TEST(VocabularyTest, DifferentSeedsDiffer) {
+  Vocabulary a(500, 1), b(500, 2);
+  EXPECT_NE(a.words(), b.words());
+}
+
+TEST(VocabularyTest, WordsAreLowercaseAlpha) {
+  Vocabulary v(2000, 3);
+  for (const std::string& w : v.words()) {
+    EXPECT_GE(w.size(), 4u);
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    }
+  }
+}
+
+TEST(VocabularyTest, WordsSurviveTheAnalyzer) {
+  // Pseudo-words must not be stop words or get mangled by tokenization —
+  // otherwise synthetic documents would silently lose terms.
+  Vocabulary v(2000, 4);
+  text::Analyzer analyzer;
+  for (std::size_t i = 0; i < v.size(); i += 37) {
+    auto terms = analyzer.Analyze(v.word(i));
+    ASSERT_EQ(terms.size(), 1u) << v.word(i);
+    EXPECT_EQ(terms[0], v.word(i));
+  }
+}
+
+}  // namespace
+}  // namespace useful::corpus

@@ -1,0 +1,110 @@
+#include "estimate/adaptive_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "estimate/basic_estimator.h"
+
+namespace useful::estimate {
+namespace {
+
+represent::Representative OneTermRep(double p, double w, double sigma,
+                                     std::size_t n) {
+  represent::Representative rep("e", n,
+                                represent::RepresentativeKind::kQuadruplet);
+  represent::TermStats ts;
+  ts.p = p;
+  ts.avg_weight = w;
+  ts.stddev = sigma;
+  ts.max_weight = w + 3 * sigma;
+  ts.doc_freq = static_cast<std::uint32_t>(p * static_cast<double>(n));
+  rep.Put("t", ts);
+  return rep;
+}
+
+ir::Query OneTermQuery(double u = 1.0) {
+  ir::Query q;
+  q.terms = {{"t", u}};
+  return q;
+}
+
+TEST(AdaptiveEstimatorTest, ZeroThresholdMatchesBasic) {
+  auto rep = OneTermRep(0.4, 0.3, 0.1, 100);
+  AdaptiveEstimator adaptive;
+  BasicEstimator basic;
+  UsefulnessEstimate a = adaptive.Estimate(rep, OneTermQuery(), 0.0);
+  UsefulnessEstimate b = basic.Estimate(rep, OneTermQuery(), 0.0);
+  EXPECT_NEAR(a.no_doc, b.no_doc, 1e-9);
+  EXPECT_NEAR(a.avg_sim, b.avg_sim, 1e-9);
+}
+
+TEST(AdaptiveEstimatorTest, ZeroSigmaMatchesBasicAtAnyThreshold) {
+  auto rep = OneTermRep(0.4, 0.3, 0.0, 100);
+  AdaptiveEstimator adaptive;
+  BasicEstimator basic;
+  for (double t : {0.1, 0.2, 0.5}) {
+    UsefulnessEstimate a = adaptive.Estimate(rep, OneTermQuery(), t);
+    UsefulnessEstimate b = basic.Estimate(rep, OneTermQuery(), t);
+    EXPECT_NEAR(a.no_doc, b.no_doc, 1e-9) << t;
+  }
+}
+
+TEST(AdaptiveEstimatorTest, HighThresholdSeesUpperTail) {
+  // Basic: spike at w = 0.3 < T = 0.5 -> estimates zero. Adaptive shifts
+  // to the tail above the cutoff and predicts a small positive count —
+  // exactly the behaviour that made the VLDB'98 method better than basic.
+  auto rep = OneTermRep(0.4, 0.3, 0.15, 1000);
+  AdaptiveEstimator adaptive;
+  BasicEstimator basic;
+  UsefulnessEstimate b = basic.Estimate(rep, OneTermQuery(), 0.5);
+  EXPECT_EQ(b.no_doc, 0.0);
+  UsefulnessEstimate a = adaptive.Estimate(rep, OneTermQuery(), 0.5);
+  EXPECT_GT(a.no_doc, 0.0);
+  EXPECT_LT(a.no_doc, 0.4 * 1000);  // only a tail fraction
+  EXPECT_GT(a.avg_sim, 0.5);        // conditional mean clears the cutoff
+}
+
+TEST(AdaptiveEstimatorTest, AdjustedCountDecreasesWithThreshold) {
+  auto rep = OneTermRep(0.5, 0.3, 0.1, 500);
+  AdaptiveEstimator adaptive;
+  double prev = 501.0;
+  for (double t = 0.0; t <= 0.9; t += 0.05) {
+    UsefulnessEstimate u = adaptive.Estimate(rep, OneTermQuery(), t);
+    EXPECT_LE(u.no_doc, prev + 1e-9) << t;
+    prev = u.no_doc;
+  }
+}
+
+TEST(AdaptiveEstimatorTest, MultiTermSharesThreshold) {
+  represent::Representative rep("e", 100,
+                                represent::RepresentativeKind::kQuadruplet);
+  for (const char* term : {"a", "b"}) {
+    represent::TermStats ts;
+    ts.p = 0.3;
+    ts.avg_weight = 0.2;
+    ts.stddev = 0.08;
+    ts.max_weight = 0.5;
+    ts.doc_freq = 30;
+    rep.Put(term, ts);
+  }
+  ir::Query q;
+  q.terms = {{"a", 0.7}, {"b", 0.7}};
+  AdaptiveEstimator adaptive;
+  UsefulnessEstimate u = adaptive.Estimate(rep, q, 0.3);
+  EXPECT_GE(u.no_doc, 0.0);
+  EXPECT_LE(u.no_doc, 100.0);
+}
+
+TEST(AdaptiveEstimatorTest, MissingTermsIgnored) {
+  auto rep = OneTermRep(0.4, 0.3, 0.1, 100);
+  ir::Query q;
+  q.terms = {{"ghost", 1.0}};
+  UsefulnessEstimate u = AdaptiveEstimator().Estimate(rep, q, 0.1);
+  EXPECT_EQ(u.no_doc, 0.0);
+}
+
+TEST(AdaptiveEstimatorTest, Name) {
+  EXPECT_EQ(AdaptiveEstimator().name(), "adaptive-vldb98");
+}
+
+}  // namespace
+}  // namespace useful::estimate

@@ -1,0 +1,80 @@
+#include "estimate/basic_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace useful::estimate {
+namespace {
+
+// The representative of Example 3.1: five documents, three terms.
+represent::Representative Example31Rep() {
+  represent::Representative rep("ex31", 5,
+                                represent::RepresentativeKind::kQuadruplet);
+  rep.Put("t1", represent::TermStats{0.6, 2.0, 0.816, 3.0, 3});
+  rep.Put("t2", represent::TermStats{0.2, 1.0, 0.0, 1.0, 1});
+  rep.Put("t3", represent::TermStats{0.4, 2.0, 0.0, 2.0, 2});
+  return rep;
+}
+
+ir::Query UnitQuery() {
+  ir::Query q;
+  q.terms = {{"t1", 1.0}, {"t2", 1.0}, {"t3", 1.0}};
+  return q;
+}
+
+TEST(BasicEstimatorTest, Example32NoDoc) {
+  BasicEstimator est;
+  UsefulnessEstimate u = est.Estimate(Example31Rep(), UnitQuery(), 3.0);
+  // est_NoDoc(3, q, D) = 5 * (0.048 + 0.192) = 1.2.
+  EXPECT_NEAR(u.no_doc, 1.2, 1e-9);
+  // est_AvgSim(3, q, D) = 4.2.
+  EXPECT_NEAR(u.avg_sim, 4.2, 1e-9);
+}
+
+TEST(BasicEstimatorTest, Example32OtherThresholds) {
+  BasicEstimator est;
+  // Above T = 1: mass 0.048+0.192+0.104+0.416 = 0.76 -> 3.8 docs.
+  UsefulnessEstimate u = est.Estimate(Example31Rep(), UnitQuery(), 1.0);
+  EXPECT_NEAR(u.no_doc, 3.8, 1e-9);
+  // Above T = 0: adds the X^1 spike: 0.808 -> 4.04 docs.
+  u = est.Estimate(Example31Rep(), UnitQuery(), 0.0);
+  EXPECT_NEAR(u.no_doc, 4.04, 1e-9);
+}
+
+TEST(BasicEstimatorTest, ThresholdAboveMaxGivesZero) {
+  BasicEstimator est;
+  UsefulnessEstimate u = est.Estimate(Example31Rep(), UnitQuery(), 5.0);
+  EXPECT_EQ(u.no_doc, 0.0);
+  EXPECT_EQ(u.avg_sim, 0.0);
+}
+
+TEST(BasicEstimatorTest, IgnoresUnknownQueryTerms) {
+  BasicEstimator est;
+  ir::Query q = UnitQuery();
+  q.terms.push_back({"ghost", 1.0});
+  UsefulnessEstimate u = est.Estimate(Example31Rep(), q, 3.0);
+  EXPECT_NEAR(u.no_doc, 1.2, 1e-9);
+}
+
+TEST(BasicEstimatorTest, QueryWeightsScaleExponents) {
+  BasicEstimator est;
+  ir::Query q;
+  q.terms = {{"t1", 2.0}};  // similarity spike at 2*2 = 4 with prob 0.6
+  UsefulnessEstimate u = est.Estimate(Example31Rep(), q, 3.9);
+  EXPECT_NEAR(u.no_doc, 3.0, 1e-9);  // 5 * 0.6
+  EXPECT_NEAR(u.avg_sim, 4.0, 1e-9);
+  u = est.Estimate(Example31Rep(), q, 4.0);  // strict threshold
+  EXPECT_EQ(u.no_doc, 0.0);
+}
+
+TEST(BasicEstimatorTest, EmptyQuery) {
+  BasicEstimator est;
+  UsefulnessEstimate u = est.Estimate(Example31Rep(), ir::Query{}, 0.1);
+  EXPECT_EQ(u.no_doc, 0.0);
+}
+
+TEST(BasicEstimatorTest, Name) {
+  EXPECT_EQ(BasicEstimator().name(), "basic");
+}
+
+}  // namespace
+}  // namespace useful::estimate

@@ -1,0 +1,146 @@
+#include "estimate/gloss_estimators.h"
+
+#include <gtest/gtest.h>
+
+namespace useful::estimate {
+namespace {
+
+// Three query terms with document frequencies 50 > 30 > 10 in a database
+// of 100 documents, all average weights 0.2, query weights 1.
+represent::Representative NestedRep() {
+  represent::Representative rep("e", 100,
+                                represent::RepresentativeKind::kQuadruplet);
+  rep.Put("a", represent::TermStats{0.5, 0.2, 0.0, 0.2, 50});
+  rep.Put("b", represent::TermStats{0.3, 0.2, 0.0, 0.2, 30});
+  rep.Put("c", represent::TermStats{0.1, 0.2, 0.0, 0.2, 10});
+  return rep;
+}
+
+ir::Query Abc() {
+  ir::Query q;
+  q.terms = {{"a", 1.0}, {"b", 1.0}, {"c", 1.0}};
+  return q;
+}
+
+TEST(HighCorrelationTest, LayeredCounts) {
+  // Under high-correlation: 10 docs score 0.6, 20 docs score 0.4,
+  // 20 docs score 0.2.
+  HighCorrelationEstimator est;
+  UsefulnessEstimate u = est.Estimate(NestedRep(), Abc(), 0.5);
+  EXPECT_DOUBLE_EQ(u.no_doc, 10.0);
+  EXPECT_NEAR(u.avg_sim, 0.6, 1e-12);
+
+  u = est.Estimate(NestedRep(), Abc(), 0.3);
+  EXPECT_DOUBLE_EQ(u.no_doc, 30.0);
+  EXPECT_NEAR(u.avg_sim, (10 * 0.6 + 20 * 0.4) / 30.0, 1e-12);
+
+  u = est.Estimate(NestedRep(), Abc(), 0.1);
+  EXPECT_DOUBLE_EQ(u.no_doc, 50.0);
+  EXPECT_NEAR(u.avg_sim, (10 * 0.6 + 20 * 0.4 + 20 * 0.2) / 50.0, 1e-12);
+}
+
+TEST(HighCorrelationTest, ThresholdIsStrict) {
+  // Binary-exact weights (0.25) so the deepest layer's similarity is
+  // exactly 0.75: it must not clear T = 0.75 (sim > T is strict).
+  represent::Representative rep("e", 100,
+                                represent::RepresentativeKind::kQuadruplet);
+  rep.Put("a", represent::TermStats{0.5, 0.25, 0.0, 0.25, 50});
+  rep.Put("b", represent::TermStats{0.3, 0.25, 0.0, 0.25, 30});
+  rep.Put("c", represent::TermStats{0.1, 0.25, 0.0, 0.25, 10});
+  HighCorrelationEstimator est;
+  UsefulnessEstimate u = est.Estimate(rep, Abc(), 0.75);
+  EXPECT_EQ(u.no_doc, 0.0);
+  u = est.Estimate(rep, Abc(), 0.7);
+  EXPECT_DOUBLE_EQ(u.no_doc, 10.0);
+}
+
+TEST(HighCorrelationTest, EqualDocFreqsCollapseLayers) {
+  represent::Representative rep("e", 100,
+                                represent::RepresentativeKind::kQuadruplet);
+  rep.Put("a", represent::TermStats{0.2, 0.3, 0.0, 0.3, 20});
+  rep.Put("b", represent::TermStats{0.2, 0.3, 0.0, 0.3, 20});
+  ir::Query q;
+  q.terms = {{"a", 1.0}, {"b", 1.0}};
+  // All 20 docs contain both terms: similarity 0.6, no 1-term layer.
+  UsefulnessEstimate u = HighCorrelationEstimator().Estimate(rep, q, 0.4);
+  EXPECT_DOUBLE_EQ(u.no_doc, 20.0);
+  EXPECT_NEAR(u.avg_sim, 0.6, 1e-12);
+  u = HighCorrelationEstimator().Estimate(rep, q, 0.7);
+  EXPECT_EQ(u.no_doc, 0.0);
+}
+
+TEST(HighCorrelationTest, SingleTerm) {
+  HighCorrelationEstimator est;
+  ir::Query q;
+  q.terms = {{"a", 1.0}};
+  UsefulnessEstimate u = est.Estimate(NestedRep(), q, 0.1);
+  EXPECT_DOUBLE_EQ(u.no_doc, 50.0);
+  EXPECT_NEAR(u.avg_sim, 0.2, 1e-12);
+}
+
+TEST(HighCorrelationTest, UnknownTermsIgnored) {
+  HighCorrelationEstimator est;
+  ir::Query q = Abc();
+  q.terms.push_back({"ghost", 1.0});
+  UsefulnessEstimate u = est.Estimate(NestedRep(), q, 0.5);
+  EXPECT_DOUBLE_EQ(u.no_doc, 10.0);
+}
+
+TEST(HighCorrelationTest, EmptyQueryGivesZero) {
+  UsefulnessEstimate u =
+      HighCorrelationEstimator().Estimate(NestedRep(), ir::Query{}, 0.1);
+  EXPECT_EQ(u.no_doc, 0.0);
+  EXPECT_EQ(u.avg_sim, 0.0);
+}
+
+TEST(DisjointTest, SumsQualifyingTerms) {
+  // Disjoint: 50 docs score 0.2, 30 docs score 0.2, 10 docs score 0.2.
+  DisjointEstimator est;
+  UsefulnessEstimate u = est.Estimate(NestedRep(), Abc(), 0.1);
+  EXPECT_DOUBLE_EQ(u.no_doc, 90.0);
+  EXPECT_NEAR(u.avg_sim, 0.2, 1e-12);
+  // No document can clear 0.3 under disjointness.
+  u = est.Estimate(NestedRep(), Abc(), 0.3);
+  EXPECT_EQ(u.no_doc, 0.0);
+}
+
+TEST(DisjointTest, WeightedAvgSim) {
+  represent::Representative rep("e", 100,
+                                represent::RepresentativeKind::kQuadruplet);
+  rep.Put("a", represent::TermStats{0.1, 0.6, 0.0, 0.6, 10});
+  rep.Put("b", represent::TermStats{0.3, 0.4, 0.0, 0.4, 30});
+  ir::Query q;
+  q.terms = {{"a", 1.0}, {"b", 1.0}};
+  UsefulnessEstimate u = DisjointEstimator().Estimate(rep, q, 0.3);
+  EXPECT_DOUBLE_EQ(u.no_doc, 40.0);
+  EXPECT_NEAR(u.avg_sim, (10 * 0.6 + 30 * 0.4) / 40.0, 1e-12);
+}
+
+TEST(DisjointTest, NeverExceedsHighCorrelationOnNestedData) {
+  // On a high threshold the disjoint assumption can see no multi-term
+  // documents, so its count is at most high-correlation's for T above the
+  // single-term scores.
+  DisjointEstimator disjoint;
+  HighCorrelationEstimator high;
+  UsefulnessEstimate d = disjoint.Estimate(NestedRep(), Abc(), 0.25);
+  UsefulnessEstimate h = high.Estimate(NestedRep(), Abc(), 0.25);
+  EXPECT_EQ(d.no_doc, 0.0);
+  EXPECT_GT(h.no_doc, 0.0);
+}
+
+TEST(GlossTest, Names) {
+  EXPECT_EQ(HighCorrelationEstimator().name(), "high-correlation");
+  EXPECT_EQ(DisjointEstimator().name(), "disjoint");
+}
+
+TEST(RoundNoDocTest, PaperRounding) {
+  EXPECT_EQ(RoundNoDoc(0.0), 0);
+  EXPECT_EQ(RoundNoDoc(0.49), 0);
+  EXPECT_EQ(RoundNoDoc(0.5), 1);
+  EXPECT_EQ(RoundNoDoc(1.2), 1);
+  EXPECT_EQ(RoundNoDoc(1.5), 2);
+  EXPECT_EQ(RoundNoDoc(-0.3), 0);
+}
+
+}  // namespace
+}  // namespace useful::estimate

@@ -1,0 +1,96 @@
+#include "estimate/subrange_config.h"
+
+#include <gtest/gtest.h>
+
+namespace useful::estimate {
+namespace {
+
+double FractionSum(const SubrangeConfig& c) {
+  double sum = 0.0;
+  for (const Subrange& s : c.subranges()) sum += s.fraction;
+  return sum;
+}
+
+TEST(SubrangeConfigTest, PaperSixLayout) {
+  SubrangeConfig c = SubrangeConfig::PaperSix();
+  EXPECT_TRUE(c.with_max_subrange());
+  ASSERT_EQ(c.subranges().size(), 5u);
+  // Medians from §4: 98, 93.1, 70, 37.5, 12.5 percentiles.
+  EXPECT_DOUBLE_EQ(c.subranges()[0].median_percentile, 98.0);
+  EXPECT_DOUBLE_EQ(c.subranges()[1].median_percentile, 93.1);
+  EXPECT_DOUBLE_EQ(c.subranges()[2].median_percentile, 70.0);
+  EXPECT_DOUBLE_EQ(c.subranges()[3].median_percentile, 37.5);
+  EXPECT_DOUBLE_EQ(c.subranges()[4].median_percentile, 12.5);
+  EXPECT_NEAR(FractionSum(c), 1.0, 1e-12);
+}
+
+TEST(SubrangeConfigTest, FourEqualLayout) {
+  SubrangeConfig c = SubrangeConfig::FourEqual();
+  EXPECT_FALSE(c.with_max_subrange());
+  ASSERT_EQ(c.subranges().size(), 4u);
+  // §3.1: medians at 87.5, 62.5, 37.5, 12.5; 25% each.
+  EXPECT_DOUBLE_EQ(c.subranges()[0].median_percentile, 87.5);
+  EXPECT_DOUBLE_EQ(c.subranges()[3].median_percentile, 12.5);
+  for (const Subrange& s : c.subranges()) {
+    EXPECT_DOUBLE_EQ(s.fraction, 0.25);
+  }
+}
+
+TEST(SubrangeConfigTest, UniformLayout) {
+  auto r = SubrangeConfig::Uniform(5, true);
+  ASSERT_TRUE(r.ok());
+  const SubrangeConfig& c = r.value();
+  EXPECT_TRUE(c.with_max_subrange());
+  ASSERT_EQ(c.subranges().size(), 5u);
+  EXPECT_DOUBLE_EQ(c.subranges()[0].median_percentile, 90.0);
+  EXPECT_DOUBLE_EQ(c.subranges()[4].median_percentile, 10.0);
+  EXPECT_NEAR(FractionSum(c), 1.0, 1e-12);
+}
+
+TEST(SubrangeConfigTest, UniformRejectsBadK) {
+  EXPECT_FALSE(SubrangeConfig::Uniform(0, false).ok());
+  EXPECT_FALSE(SubrangeConfig::Uniform(65, false).ok());
+  EXPECT_TRUE(SubrangeConfig::Uniform(1, false).ok());
+  EXPECT_TRUE(SubrangeConfig::Uniform(64, false).ok());
+}
+
+TEST(SubrangeConfigTest, CustomAcceptsValid) {
+  auto r = SubrangeConfig::Custom({{90.0, 0.5}, {40.0, 0.5}}, false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().subranges().size(), 2u);
+}
+
+TEST(SubrangeConfigTest, CustomRejectsEmpty) {
+  EXPECT_FALSE(SubrangeConfig::Custom({}, false).ok());
+}
+
+TEST(SubrangeConfigTest, CustomRejectsNonUnitSum) {
+  EXPECT_FALSE(SubrangeConfig::Custom({{90.0, 0.5}, {40.0, 0.4}}, false).ok());
+}
+
+TEST(SubrangeConfigTest, CustomRejectsNonDecreasingPercentiles) {
+  EXPECT_FALSE(SubrangeConfig::Custom({{40.0, 0.5}, {90.0, 0.5}}, false).ok());
+  EXPECT_FALSE(SubrangeConfig::Custom({{40.0, 0.5}, {40.0, 0.5}}, false).ok());
+}
+
+TEST(SubrangeConfigTest, CustomRejectsBoundaryPercentiles) {
+  EXPECT_FALSE(SubrangeConfig::Custom({{100.0, 1.0}}, false).ok());
+  EXPECT_FALSE(SubrangeConfig::Custom({{0.0, 1.0}}, false).ok());
+}
+
+TEST(SubrangeConfigTest, CustomRejectsNonPositiveFraction) {
+  EXPECT_FALSE(
+      SubrangeConfig::Custom({{90.0, 1.0}, {40.0, 0.0}}, false).ok());
+  EXPECT_FALSE(
+      SubrangeConfig::Custom({{90.0, 1.5}, {40.0, -0.5}}, false).ok());
+}
+
+TEST(SubrangeConfigTest, ToStringMentionsMax) {
+  EXPECT_NE(SubrangeConfig::PaperSix().ToString().find("[max]"),
+            std::string::npos);
+  EXPECT_EQ(SubrangeConfig::FourEqual().ToString().find("[max]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace useful::estimate

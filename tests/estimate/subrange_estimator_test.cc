@@ -1,0 +1,229 @@
+#include "estimate/subrange_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace useful::estimate {
+namespace {
+
+ir::Query SingleTermQuery(const std::string& term) {
+  ir::Query q;
+  q.terms.push_back(ir::QueryTerm{term, 1.0});
+  return q;
+}
+
+TEST(SubrangeEstimatorTest, Example33Polynomial) {
+  // Paper Example 3.3: w = 2.8, sigma = 1.3, p = 0.32, query weight u = 2,
+  // four equal subranges -> 0.08 X^8.59 + 0.08 X^6.4268 + 0.08 X^4.7732 +
+  // 0.08 X^2.61 + 0.68.
+  SubrangeEstimatorOptions opts;
+  opts.config = SubrangeConfig::FourEqual();
+  SubrangeEstimator est(opts);
+
+  represent::TermStats ts;
+  ts.p = 0.32;
+  ts.avg_weight = 2.8;
+  ts.stddev = 1.3;
+  ts.max_weight = 100.0;  // no clamping in this example
+  ts.doc_freq = 32;
+
+  TermPolynomial poly = est.BuildTermPolynomial(
+      ts, 2.0, 100, represent::RepresentativeKind::kQuadruplet);
+  ASSERT_EQ(poly.spikes.size(), 4u);
+  const double expected_exponents[] = {8.59, 6.4268, 4.7732, 2.61};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(poly.spikes[i].exponent, expected_exponents[i], 0.01) << i;
+    EXPECT_NEAR(poly.spikes[i].prob, 0.08, 1e-12) << i;
+  }
+  EXPECT_NEAR(poly.ZeroProb(), 0.68, 1e-12);
+}
+
+TEST(SubrangeEstimatorTest, MaxSubrangeGetsOneOverN) {
+  SubrangeEstimator est;  // PaperSix: with max subrange
+  represent::TermStats ts;
+  ts.p = 0.5;
+  ts.avg_weight = 0.2;
+  ts.stddev = 0.05;
+  ts.max_weight = 0.8;
+  ts.doc_freq = 50;
+  TermPolynomial poly = est.BuildTermPolynomial(
+      ts, 1.0, 100, represent::RepresentativeKind::kQuadruplet);
+  ASSERT_FALSE(poly.spikes.empty());
+  // Highest spike: exponent u * mw with probability 1/n.
+  EXPECT_DOUBLE_EQ(poly.spikes[0].exponent, 0.8);
+  EXPECT_DOUBLE_EQ(poly.spikes[0].prob, 0.01);
+}
+
+TEST(SubrangeEstimatorTest, ProbabilityMassConserved) {
+  SubrangeEstimator est;
+  represent::TermStats ts;
+  ts.p = 0.37;
+  ts.avg_weight = 0.3;
+  ts.stddev = 0.1;
+  ts.max_weight = 0.9;
+  ts.doc_freq = 37;
+  TermPolynomial poly = est.BuildTermPolynomial(
+      ts, 1.0, 100, represent::RepresentativeKind::kQuadruplet);
+  double total = 0.0;
+  for (const Spike& s : poly.spikes) total += s.prob;
+  EXPECT_NEAR(total, ts.p, 1e-12);
+}
+
+TEST(SubrangeEstimatorTest, SmallDfCascadesMaxCarveOut) {
+  // df = 2 over n = 100: the top fraction 4% of p = 0.02*0.04 is far below
+  // 1/n, so the carve-out must cascade without losing mass or creating
+  // negative probabilities.
+  SubrangeEstimator est;
+  represent::TermStats ts;
+  ts.p = 0.02;
+  ts.avg_weight = 0.3;
+  ts.stddev = 0.1;
+  ts.max_weight = 0.5;
+  ts.doc_freq = 2;
+  TermPolynomial poly = est.BuildTermPolynomial(
+      ts, 1.0, 100, represent::RepresentativeKind::kQuadruplet);
+  double total = 0.0;
+  for (const Spike& s : poly.spikes) {
+    EXPECT_GE(s.prob, 0.0);
+    total += s.prob;
+  }
+  EXPECT_NEAR(total, ts.p, 1e-12);
+}
+
+TEST(SubrangeEstimatorTest, DfOneYieldsOnlyMaxSpike) {
+  SubrangeEstimator est;
+  represent::TermStats ts;
+  ts.p = 0.01;
+  ts.avg_weight = 0.4;
+  ts.stddev = 0.0;
+  ts.max_weight = 0.4;
+  ts.doc_freq = 1;
+  TermPolynomial poly = est.BuildTermPolynomial(
+      ts, 1.0, 100, represent::RepresentativeKind::kQuadruplet);
+  ASSERT_EQ(poly.spikes.size(), 1u);
+  EXPECT_DOUBLE_EQ(poly.spikes[0].exponent, 0.4);
+  EXPECT_DOUBLE_EQ(poly.spikes[0].prob, 0.01);
+}
+
+TEST(SubrangeEstimatorTest, MediansClampedToMaxWeight) {
+  SubrangeEstimator est;
+  represent::TermStats ts;
+  ts.p = 0.5;
+  ts.avg_weight = 0.5;
+  ts.stddev = 0.4;  // w + 2.05*sigma would exceed mw
+  ts.max_weight = 0.6;
+  ts.doc_freq = 50;
+  TermPolynomial poly = est.BuildTermPolynomial(
+      ts, 1.0, 100, represent::RepresentativeKind::kQuadruplet);
+  for (const Spike& s : poly.spikes) {
+    EXPECT_LE(s.exponent, 0.6 + 1e-12);
+  }
+}
+
+TEST(SubrangeEstimatorTest, TripletEstimatesMaxAt999Percentile) {
+  SubrangeEstimator est;
+  represent::TermStats ts;
+  ts.p = 0.5;
+  ts.avg_weight = 0.3;
+  ts.stddev = 0.1;
+  ts.max_weight = 0.0;  // triplet: not stored
+  ts.doc_freq = 50;
+  TermPolynomial poly = est.BuildTermPolynomial(
+      ts, 1.0, 100, represent::RepresentativeKind::kTriplet);
+  ASSERT_FALSE(poly.spikes.empty());
+  // 99.9 percentile of N(0.3, 0.1^2) = 0.3 + 3.0902 * 0.1.
+  EXPECT_NEAR(poly.spikes[0].exponent, 0.3 + 3.0902 * 0.1, 1e-3);
+}
+
+TEST(SubrangeEstimatorTest, ZeroSigmaDegeneratesToAverageWeight) {
+  SubrangeEstimatorOptions opts;
+  opts.config = SubrangeConfig::FourEqual();
+  SubrangeEstimator est(opts);
+  represent::TermStats ts;
+  ts.p = 0.4;
+  ts.avg_weight = 0.25;
+  ts.stddev = 0.0;
+  ts.max_weight = 0.25;
+  ts.doc_freq = 40;
+  TermPolynomial poly = est.BuildTermPolynomial(
+      ts, 1.0, 100, represent::RepresentativeKind::kQuadruplet);
+  for (const Spike& s : poly.spikes) {
+    EXPECT_DOUBLE_EQ(s.exponent, 0.25);
+  }
+}
+
+TEST(SubrangeEstimatorTest, MissingTermsYieldZeroEstimate) {
+  SubrangeEstimator est;
+  represent::Representative rep("e", 100,
+                                represent::RepresentativeKind::kQuadruplet);
+  UsefulnessEstimate u = est.Estimate(rep, SingleTermQuery("ghost"), 0.1);
+  EXPECT_EQ(u.no_doc, 0.0);
+  EXPECT_EQ(u.avg_sim, 0.0);
+}
+
+TEST(SubrangeEstimatorTest, EstimateBoundedByCollectionSize) {
+  Pcg32 rng(10);
+  SubrangeEstimator est;
+  represent::Representative rep("e", 50,
+                                represent::RepresentativeKind::kQuadruplet);
+  ir::Query q;
+  for (int i = 0; i < 4; ++i) {
+    represent::TermStats ts;
+    ts.doc_freq = 1 + rng.NextBounded(50);
+    ts.p = ts.doc_freq / 50.0;
+    ts.avg_weight = rng.NextDouble() * 0.4 + 0.05;
+    ts.stddev = rng.NextDouble() * 0.1;
+    ts.max_weight = std::min(1.0, ts.avg_weight + 3 * ts.stddev);
+    std::string term = "t" + std::to_string(i);
+    rep.Put(term, ts);
+    q.terms.push_back(ir::QueryTerm{term, 0.5});
+  }
+  for (double t = 0.0; t <= 1.0; t += 0.1) {
+    UsefulnessEstimate u = est.Estimate(rep, q, t);
+    EXPECT_GE(u.no_doc, 0.0);
+    EXPECT_LE(u.no_doc, 50.0 + 1e-9);
+  }
+}
+
+// §3.1's headline guarantee: with the max-weight subrange stored, a
+// single-term query selects exactly the engines whose maximum normalized
+// weight exceeds the threshold.
+class SingleTermGuarantee : public ::testing::TestWithParam<double> {};
+
+TEST_P(SingleTermGuarantee, SelectsExactlyEnginesAboveThreshold) {
+  const double mws[] = {0.9, 0.7, 0.5, 0.3, 0.1};
+  const double threshold = GetParam();
+  SubrangeEstimator est;  // PaperSix
+  for (int i = 0; i < 5; ++i) {
+    represent::Representative rep(
+        "engine" + std::to_string(i), 200,
+        represent::RepresentativeKind::kQuadruplet);
+    represent::TermStats ts;
+    ts.doc_freq = 40;
+    ts.p = 0.2;
+    ts.avg_weight = mws[i] / 3.0;
+    ts.stddev = mws[i] / 10.0;
+    ts.max_weight = mws[i];
+    rep.Put("term", ts);
+    UsefulnessEstimate u = est.Estimate(rep, SingleTermQuery("term"), threshold);
+    if (mws[i] > threshold) {
+      EXPECT_GE(RoundNoDoc(u.no_doc), 1) << "engine " << i;
+    } else {
+      EXPECT_EQ(RoundNoDoc(u.no_doc), 0) << "engine " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThresholdsBetweenMaxWeights, SingleTermGuarantee,
+                         ::testing::Values(0.95, 0.8, 0.6, 0.4, 0.2, 0.05));
+
+TEST(SubrangeEstimatorTest, NameReflectsConfig) {
+  EXPECT_NE(SubrangeEstimator().name().find("subrange"), std::string::npos);
+  EXPECT_NE(SubrangeEstimator().name().find("[max]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace useful::estimate

@@ -1,0 +1,128 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "estimate/basic_estimator.h"
+#include "estimate/gloss_estimators.h"
+#include "estimate/subrange_estimator.h"
+#include "represent/builder.h"
+
+namespace useful::eval {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus::Collection c("db");
+    c.Add({"d0", "zorp zorp zorp"});
+    c.Add({"d1", "zorp quix"});
+    c.Add({"d2", "blat blat"});
+    c.Add({"d3", "zorp zorp blat blat"});
+    c.Add({"d4", "mumble"});
+    engine_ = std::make_unique<ir::SearchEngine>("db", &analyzer_);
+    ASSERT_TRUE(engine_->AddCollection(c).ok());
+    ASSERT_TRUE(engine_->Finalize().ok());
+    auto rep = represent::BuildRepresentative(*engine_);
+    ASSERT_TRUE(rep.ok());
+    rep_ = std::make_unique<represent::Representative>(std::move(rep).value());
+  }
+
+  text::Analyzer analyzer_;
+  std::unique_ptr<ir::SearchEngine> engine_;
+  std::unique_ptr<represent::Representative> rep_;
+  estimate::SubrangeEstimator subrange_;
+  estimate::BasicEstimator basic_;
+};
+
+TEST_F(ExperimentTest, RowShapeMatchesConfig) {
+  std::vector<corpus::Query> queries = {{"q0", "zorp"}, {"q1", "blat"}};
+  ExperimentConfig config;
+  config.thresholds = {0.1, 0.5};
+  auto rows = RunExperiment(*engine_, queries,
+                            {{&subrange_, rep_.get(), ""}}, config);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].threshold, 0.1);
+  EXPECT_DOUBLE_EQ(rows[1].threshold, 0.5);
+  ASSERT_EQ(rows[0].methods.size(), 1u);
+  EXPECT_NE(rows[0].methods[0].method.find("subrange"), std::string::npos);
+}
+
+TEST_F(ExperimentTest, LabelOverridesName) {
+  auto rows = RunExperiment(*engine_, {{"q0", "zorp"}},
+                            {{&subrange_, rep_.get(), "mylabel"}});
+  EXPECT_EQ(rows[0].methods[0].method, "mylabel");
+}
+
+TEST_F(ExperimentTest, UsefulCountMatchesGroundTruth) {
+  // "zorp" has sims {1, 1/sqrt(2), 1/sqrt(2)}; "mumble" sims {1};
+  // "ghost" matches nothing.
+  std::vector<corpus::Query> queries = {
+      {"q0", "zorp"}, {"q1", "mumble"}, {"q2", "ghost"}};
+  ExperimentConfig config;
+  config.thresholds = {0.5, 0.9};
+  auto rows = RunExperiment(*engine_, queries,
+                            {{&subrange_, rep_.get(), ""}}, config);
+  EXPECT_EQ(rows[0].useful_queries, 2u);  // T=0.5: zorp and mumble
+  EXPECT_EQ(rows[1].useful_queries, 2u);  // T=0.9: sims of 1.0 survive
+}
+
+TEST_F(ExperimentTest, PerfectEstimatorOnSingleTermQueries) {
+  // With stored max weights, single-term queries are matched exactly
+  // (§3.1): no mismatches at any threshold strictly between weights.
+  std::vector<corpus::Query> queries = {
+      {"q0", "zorp"}, {"q1", "blat"}, {"q2", "quix"}, {"q3", "mumble"}};
+  ExperimentConfig config;
+  config.thresholds = {0.3, 0.6, 0.9};
+  auto rows = RunExperiment(*engine_, queries,
+                            {{&subrange_, rep_.get(), ""}}, config);
+  for (const ThresholdRow& row : rows) {
+    EXPECT_EQ(row.methods[0].match, row.useful_queries)
+        << "T=" << row.threshold;
+    EXPECT_EQ(row.methods[0].mismatch, 0u) << "T=" << row.threshold;
+  }
+}
+
+TEST_F(ExperimentTest, MultipleMethodsShareGroundTruth) {
+  estimate::HighCorrelationEstimator high;
+  std::vector<corpus::Query> queries = {{"q0", "zorp blat"}, {"q1", "quix"}};
+  auto rows = RunExperiment(
+      *engine_, queries,
+      {{&subrange_, rep_.get(), "s"}, {&high, rep_.get(), "h"}});
+  for (const ThresholdRow& row : rows) {
+    ASSERT_EQ(row.methods.size(), 2u);
+    EXPECT_EQ(row.methods[0].method, "s");
+    EXPECT_EQ(row.methods[1].method, "h");
+  }
+}
+
+TEST_F(ExperimentTest, EmptyQueriesSkipped) {
+  std::vector<corpus::Query> queries = {{"q0", "the of"}, {"q1", "zorp"}};
+  auto rows = RunExperiment(*engine_, queries,
+                            {{&subrange_, rep_.get(), ""}});
+  // Only q1 contributes; at T=0.1 it is useful.
+  EXPECT_EQ(rows[0].useful_queries, 1u);
+}
+
+TEST_F(ExperimentTest, NoMethods) {
+  auto rows = RunExperiment(*engine_, {{"q0", "zorp"}}, {});
+  ASSERT_EQ(rows.size(), 6u);  // default thresholds
+  EXPECT_TRUE(rows[0].methods.empty());
+  EXPECT_EQ(rows[0].useful_queries, 0u);  // U needs at least one accumulator
+}
+
+TEST_F(ExperimentTest, ParsedVariantAgrees) {
+  std::vector<corpus::Query> raw = {{"q0", "zorp blat"}};
+  std::vector<ir::Query> parsed = {
+      ir::ParseQuery(analyzer_, "zorp blat", "q0")};
+  auto a = RunExperiment(*engine_, raw, {{&basic_, rep_.get(), ""}});
+  auto b = RunExperimentParsed(*engine_, parsed, {{&basic_, rep_.get(), ""}});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].useful_queries, b[i].useful_queries);
+    EXPECT_EQ(a[i].methods[0].match, b[i].methods[0].match);
+    EXPECT_DOUBLE_EQ(a[i].methods[0].d_n, b[i].methods[0].d_n);
+  }
+}
+
+}  // namespace
+}  // namespace useful::eval

@@ -1,0 +1,94 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace useful::eval {
+namespace {
+
+ir::Usefulness Truth(std::size_t no_doc, double avg_sim) {
+  return ir::Usefulness{no_doc, avg_sim};
+}
+
+estimate::UsefulnessEstimate Est(double no_doc, double avg_sim) {
+  return estimate::UsefulnessEstimate{no_doc, avg_sim};
+}
+
+TEST(AccuracyAccumulatorTest, EmptyIsZero) {
+  AccuracyAccumulator acc;
+  EXPECT_EQ(acc.useful_queries(), 0u);
+  EXPECT_EQ(acc.match(), 0u);
+  EXPECT_EQ(acc.mismatch(), 0u);
+  EXPECT_EQ(acc.d_n(), 0.0);
+  EXPECT_EQ(acc.d_s(), 0.0);
+}
+
+TEST(AccuracyAccumulatorTest, MatchCountsUsefulAgreement) {
+  AccuracyAccumulator acc;
+  acc.Add(Truth(3, 0.4), Est(2.6, 0.35));  // useful, flagged -> match
+  EXPECT_EQ(acc.useful_queries(), 1u);
+  EXPECT_EQ(acc.match(), 1u);
+  EXPECT_EQ(acc.mismatch(), 0u);
+}
+
+TEST(AccuracyAccumulatorTest, MissedUsefulIsNotMatch) {
+  AccuracyAccumulator acc;
+  acc.Add(Truth(3, 0.4), Est(0.2, 0.0));  // useful, est rounds to 0
+  EXPECT_EQ(acc.useful_queries(), 1u);
+  EXPECT_EQ(acc.match(), 0u);
+  EXPECT_EQ(acc.mismatch(), 0u);
+}
+
+TEST(AccuracyAccumulatorTest, MismatchCountsFalseAlarm) {
+  AccuracyAccumulator acc;
+  acc.Add(Truth(0, 0.0), Est(1.4, 0.3));  // useless, flagged -> mismatch
+  EXPECT_EQ(acc.useful_queries(), 0u);
+  EXPECT_EQ(acc.mismatch(), 1u);
+}
+
+TEST(AccuracyAccumulatorTest, UselessAgreementIsSilent) {
+  AccuracyAccumulator acc;
+  acc.Add(Truth(0, 0.0), Est(0.3, 0.0));
+  EXPECT_EQ(acc.useful_queries(), 0u);
+  EXPECT_EQ(acc.match(), 0u);
+  EXPECT_EQ(acc.mismatch(), 0u);
+}
+
+TEST(AccuracyAccumulatorTest, RoundingAtHalf) {
+  AccuracyAccumulator acc;
+  acc.Add(Truth(0, 0.0), Est(0.5, 0.1));  // rounds to 1 -> mismatch
+  EXPECT_EQ(acc.mismatch(), 1u);
+  acc.Add(Truth(0, 0.0), Est(0.49, 0.1));  // rounds to 0 -> fine
+  EXPECT_EQ(acc.mismatch(), 1u);
+}
+
+TEST(AccuracyAccumulatorTest, DnUsesRoundedEstimates) {
+  AccuracyAccumulator acc;
+  acc.Add(Truth(5, 0.5), Est(2.6, 0.5));  // |5 - 3| = 2
+  acc.Add(Truth(1, 0.5), Est(1.4, 0.5));  // |1 - 1| = 0
+  EXPECT_DOUBLE_EQ(acc.d_n(), 1.0);
+}
+
+TEST(AccuracyAccumulatorTest, DnIgnoresUselessQueries) {
+  AccuracyAccumulator acc;
+  acc.Add(Truth(4, 0.5), Est(2.0, 0.5));  // |4-2| = 2 over U = 1
+  acc.Add(Truth(0, 0.0), Est(9.0, 0.9));  // mismatch, but not in d-N
+  EXPECT_DOUBLE_EQ(acc.d_n(), 2.0);
+}
+
+TEST(AccuracyAccumulatorTest, DsAveragesAbsoluteSimError) {
+  AccuracyAccumulator acc;
+  acc.Add(Truth(2, 0.50), Est(2.0, 0.40));  // 0.10
+  acc.Add(Truth(2, 0.30), Est(2.0, 0.36));  // 0.06
+  EXPECT_NEAR(acc.d_s(), 0.08, 1e-12);
+}
+
+TEST(AccuracyAccumulatorTest, DsCountsMissedQueriesWithZeroEstimate) {
+  // A useful query whose estimate found no documents contributes the full
+  // true AvgSim to d-S (est avg_sim = 0).
+  AccuracyAccumulator acc;
+  acc.Add(Truth(2, 0.45), Est(0.0, 0.0));
+  EXPECT_NEAR(acc.d_s(), 0.45, 1e-12);
+}
+
+}  // namespace
+}  // namespace useful::eval

@@ -1,0 +1,108 @@
+#include "eval/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "estimate/subrange_estimator.h"
+#include "represent/builder.h"
+
+namespace useful::eval {
+namespace {
+
+class SelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AddEngine("alpha", {"zorp zorp", "zorp blat"});
+    AddEngine("beta", {"blat blat blat", "blat quix"});
+    AddEngine("gamma", {"mumble wozzle", "wozzle dap"});
+    for (std::size_t e = 0; e < engines_.size(); ++e) {
+      federation_.push_back(
+          FederationMember{engines_[e].get(), &reps_[e]});
+    }
+  }
+
+  void AddEngine(const std::string& name,
+                 const std::vector<std::string>& docs) {
+    auto engine = std::make_unique<ir::SearchEngine>(name, &analyzer_);
+    int i = 0;
+    for (const std::string& text : docs) {
+      ASSERT_TRUE(engine->Add({name + std::to_string(i++), text}).ok());
+    }
+    ASSERT_TRUE(engine->Finalize().ok());
+    reps_.push_back(
+        std::move(represent::BuildRepresentative(*engine)).value());
+    engines_.push_back(std::move(engine));
+  }
+
+  text::Analyzer analyzer_;
+  std::vector<std::unique_ptr<ir::SearchEngine>> engines_;
+  std::vector<represent::Representative> reps_;
+  std::vector<FederationMember> federation_;
+  estimate::SubrangeEstimator subrange_;
+};
+
+TEST_F(SelectionTest, OneResultPerMethodThresholdPair) {
+  std::vector<corpus::Query> queries = {{"q0", "zorp"}};
+  auto results = EvaluateSelection(
+      federation_, analyzer_, queries,
+      {{"a", &subrange_}, {"b", &subrange_}}, {0.1, 0.5});
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].method, "a");
+  EXPECT_EQ(results[1].method, "b");
+  EXPECT_DOUBLE_EQ(results[0].threshold, 0.1);
+  EXPECT_DOUBLE_EQ(results[2].threshold, 0.5);
+}
+
+TEST_F(SelectionTest, PerfectSelectionOnSingleTermQueries) {
+  // Single-term queries + stored max weights: the subrange method selects
+  // exactly the right engines, so precision = recall = best-hit = 1.
+  std::vector<corpus::Query> queries = {
+      {"q0", "zorp"}, {"q1", "blat"}, {"q2", "wozzle"}};
+  auto results = EvaluateSelection(federation_, analyzer_, queries,
+                                   {{"sub", &subrange_}}, {0.3});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].answerable_queries, 3u);
+  EXPECT_DOUBLE_EQ(results[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(results[0].recall, 1.0);
+  EXPECT_DOUBLE_EQ(results[0].best_engine_hit, 1.0);
+}
+
+TEST_F(SelectionTest, ContactCostCountsSelectedEngines) {
+  // "zorp" is useful only in alpha; "blat" in alpha and beta.
+  std::vector<corpus::Query> queries = {{"q0", "zorp"}, {"q1", "blat"}};
+  auto results = EvaluateSelection(federation_, analyzer_, queries,
+                                   {{"sub", &subrange_}}, {0.2});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NEAR(results[0].engines_contacted, 1.5, 1e-9);
+}
+
+TEST_F(SelectionTest, UnanswerableQueriesExcludedFromRecall) {
+  std::vector<corpus::Query> queries = {{"q0", "ghostword"}};
+  auto results = EvaluateSelection(federation_, analyzer_, queries,
+                                   {{"sub", &subrange_}}, {0.2});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].answerable_queries, 0u);
+  EXPECT_EQ(results[0].recall, 0.0);
+  EXPECT_EQ(results[0].engines_contacted, 0.0);
+}
+
+TEST_F(SelectionTest, EmptyQueriesIgnored) {
+  std::vector<corpus::Query> queries = {{"q0", "the of"}, {"q1", "zorp"}};
+  auto results = EvaluateSelection(federation_, analyzer_, queries,
+                                   {{"sub", &subrange_}}, {0.2});
+  EXPECT_EQ(results[0].answerable_queries, 1u);
+}
+
+TEST_F(SelectionTest, ThresholdAboveEverythingSelectsNothing) {
+  std::vector<corpus::Query> queries = {{"q0", "zorp"}};
+  auto results = EvaluateSelection(federation_, analyzer_, queries,
+                                   {{"sub", &subrange_}}, {0.9999});
+  // "zorp zorp" is a pure zorp doc (normalized weight 1.0 > 0.9999)...
+  // verify consistency between truth and selection either way.
+  EXPECT_DOUBLE_EQ(results[0].recall,
+                   results[0].answerable_queries > 0 ? 1.0 : 0.0);
+}
+
+}  // namespace
+}  // namespace useful::eval

@@ -1,0 +1,104 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace useful::eval {
+namespace {
+
+std::vector<ThresholdRow> SampleRows() {
+  std::vector<ThresholdRow> rows(2);
+  rows[0].threshold = 0.1;
+  rows[0].useful_queries = 1475;
+  rows[0].methods = {{"high-corr", 296, 35, 16.87, 0.121},
+                     {"subrange", 1423, 13, 7.05, 0.017}};
+  rows[1].threshold = 0.2;
+  rows[1].useful_queries = 440;
+  rows[1].methods = {{"high-corr", 24, 3, 17.61, 0.242},
+                     {"subrange", 421, 2, 7.34, 0.029}};
+  return rows;
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"a", "long-header", "c"});
+  t.AddRow({"xxxxxx", "y", "z"});
+  std::string out = t.Render();
+  // Both rows have the same prefix width before column 2.
+  std::size_t header_c = out.find(" c");
+  std::size_t row_z = out.find(" z");
+  ASSERT_NE(header_c, std::string::npos);
+  ASSERT_NE(row_z, std::string::npos);
+  std::size_t header_line_start = 0;
+  std::size_t row_line_start = out.rfind('\n', row_z);
+  EXPECT_EQ(header_c - header_line_start, row_z - (row_line_start + 1));
+}
+
+TEST(TextTableTest, NoTrailingSpaces) {
+  TextTable t;
+  t.SetHeader({"col", "x"});
+  t.AddRow({"a", "b"});
+  std::string out = t.Render();
+  std::size_t pos = 0;
+  while ((pos = out.find('\n', pos)) != std::string::npos) {
+    if (pos > 0) {
+      EXPECT_NE(out[pos - 1], ' ');
+    }
+    ++pos;
+  }
+}
+
+TEST(TextTableTest, RowsWithFewerCellsRender) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TextTableTest, HeaderlessTable) {
+  TextTable t;
+  t.AddRow({"only", "data"});
+  std::string out = t.Render();
+  EXPECT_EQ(out.find('-'), std::string::npos);
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(RenderMatchTableTest, PaperLayout) {
+  std::string out = RenderMatchTable(SampleRows());
+  EXPECT_NE(out.find("T"), std::string::npos);
+  EXPECT_NE(out.find("U"), std::string::npos);
+  EXPECT_NE(out.find("high-corr"), std::string::npos);
+  EXPECT_NE(out.find("296/35"), std::string::npos);
+  EXPECT_NE(out.find("1423/13"), std::string::npos);
+  EXPECT_NE(out.find("0.1"), std::string::npos);
+  EXPECT_NE(out.find("1475"), std::string::npos);
+}
+
+TEST(RenderErrorTableTest, PaperLayout) {
+  std::string out = RenderErrorTable(SampleRows());
+  EXPECT_NE(out.find("16.87"), std::string::npos);
+  EXPECT_NE(out.find("0.121"), std::string::npos);
+  EXPECT_NE(out.find("subrange d-N"), std::string::npos);
+  EXPECT_NE(out.find("subrange d-S"), std::string::npos);
+}
+
+TEST(RenderCompactTableTest, SingleMethodSlice) {
+  std::string out = RenderCompactTable(SampleRows(), 1);
+  EXPECT_NE(out.find("1423/13"), std::string::npos);
+  EXPECT_EQ(out.find("296/35"), std::string::npos);  // method 0 excluded
+  EXPECT_NE(out.find("m/mis"), std::string::npos);
+}
+
+TEST(RenderCompactTableTest, OutOfRangeMethodYieldsHeaderOnly) {
+  std::string out = RenderCompactTable(SampleRows(), 7);
+  EXPECT_NE(out.find("m/mis"), std::string::npos);
+  EXPECT_EQ(out.find("0.1"), std::string::npos);
+}
+
+TEST(RenderTest, EmptyRows) {
+  EXPECT_FALSE(RenderMatchTable({}).empty());
+  EXPECT_FALSE(RenderErrorTable({}).empty());
+}
+
+}  // namespace
+}  // namespace useful::eval

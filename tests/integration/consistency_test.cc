@@ -1,0 +1,182 @@
+// Cross-feature consistency: different construction paths for the same
+// logical object must agree, and the whole pipeline must be deterministic.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "corpus/newsgroup_sim.h"
+#include "corpus/query_log.h"
+#include "estimate/subrange_estimator.h"
+#include "eval/experiment.h"
+#include "represent/builder.h"
+#include "represent/merge.h"
+#include "represent/quantized.h"
+#include "represent/updater.h"
+
+namespace useful {
+namespace {
+
+class ConsistencyTest : public ::testing::Test {
+ protected:
+  static const corpus::NewsgroupSimulator& Sim() {
+    static const corpus::NewsgroupSimulator* sim = [] {
+      corpus::NewsgroupSimOptions opts;
+      opts.num_groups = 4;
+      opts.vocabulary_size = 2500;
+      opts.topical_terms_per_group = 120;
+      opts.median_doc_length = 40.0;
+      return new corpus::NewsgroupSimulator(opts);
+    }();
+    return *sim;
+  }
+
+  std::unique_ptr<ir::SearchEngine> Index(const corpus::Collection& c) {
+    auto engine = std::make_unique<ir::SearchEngine>(c.name(), &analyzer_);
+    EXPECT_TRUE(engine->AddCollection(c).ok());
+    EXPECT_TRUE(engine->Finalize().ok());
+    return engine;
+  }
+
+  text::Analyzer analyzer_;
+};
+
+TEST_F(ConsistencyTest, FourPathsToTheSameRepresentative) {
+  // Path 1: index the merged collection, build from the inverted index.
+  // Path 2: stream both collections through the updater.
+  // Path 3: build each group's rep from its index, then merge.
+  // Path 4: stream each group separately, snapshot, then merge.
+  const corpus::Collection& g0 = Sim().groups()[0];
+  const corpus::Collection& g1 = Sim().groups()[1];
+  corpus::Collection merged("m");
+  merged.Merge(g0);
+  merged.Merge(g1);
+
+  auto engine = Index(merged);
+  represent::Representative via_index =
+      std::move(represent::BuildRepresentative(*engine)).value();
+
+  represent::RepresentativeUpdater updater("m", &analyzer_);
+  for (const corpus::Document& d : merged.docs()) updater.Add(d);
+  represent::Representative via_stream = std::move(updater.Snapshot()).value();
+
+  auto e0 = Index(g0);
+  auto e1 = Index(g1);
+  represent::Representative r0 =
+      std::move(represent::BuildRepresentative(*e0)).value();
+  represent::Representative r1 =
+      std::move(represent::BuildRepresentative(*e1)).value();
+  represent::Representative via_merge =
+      std::move(represent::MergeRepresentatives({&r0, &r1}, "m")).value();
+
+  represent::RepresentativeUpdater u0("g0", &analyzer_), u1("g1", &analyzer_);
+  for (const corpus::Document& d : g0.docs()) u0.Add(d);
+  for (const corpus::Document& d : g1.docs()) u1.Add(d);
+  represent::Representative s0 = std::move(u0.Snapshot()).value();
+  represent::Representative s1 = std::move(u1.Snapshot()).value();
+  represent::Representative via_stream_merge =
+      std::move(represent::MergeRepresentatives({&s0, &s1}, "m")).value();
+
+  for (const represent::Representative* other :
+       {&via_stream, &via_merge, &via_stream_merge}) {
+    ASSERT_EQ(other->num_docs(), via_index.num_docs());
+    ASSERT_EQ(other->num_terms(), via_index.num_terms());
+    for (const auto& [term, expected] : via_index.stats()) {
+      auto got = other->Find(term);
+      ASSERT_TRUE(got.has_value()) << term;
+      EXPECT_EQ(got->doc_freq, expected.doc_freq) << term;
+      EXPECT_NEAR(got->avg_weight, expected.avg_weight, 1e-9) << term;
+      EXPECT_NEAR(got->stddev, expected.stddev, 1e-6) << term;
+      EXPECT_NEAR(got->max_weight, expected.max_weight, 1e-12) << term;
+    }
+  }
+}
+
+TEST_F(ConsistencyTest, ExperimentIsDeterministic) {
+  const corpus::Collection& g0 = Sim().groups()[0];
+  auto engine = Index(g0);
+  represent::Representative rep =
+      std::move(represent::BuildRepresentative(*engine)).value();
+  corpus::QueryLogOptions q_opts;
+  q_opts.num_queries = 150;
+  std::vector<corpus::Query> queries =
+      corpus::QueryLogGenerator(q_opts).Generate(Sim());
+
+  estimate::SubrangeEstimator subrange;
+  auto run = [&] {
+    return eval::RunExperiment(*engine, queries,
+                               {{&subrange, &rep, "sub"}});
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].useful_queries, b[i].useful_queries);
+    EXPECT_EQ(a[i].methods[0].match, b[i].methods[0].match);
+    EXPECT_EQ(a[i].methods[0].mismatch, b[i].methods[0].mismatch);
+    EXPECT_DOUBLE_EQ(a[i].methods[0].d_n, b[i].methods[0].d_n);
+    EXPECT_DOUBLE_EQ(a[i].methods[0].d_s, b[i].methods[0].d_s);
+  }
+}
+
+TEST_F(ConsistencyTest, QuantizeAfterMergeEqualsQuantizeOfDirectBuild) {
+  // Quantization must commute with the construction path (same input
+  // statistics -> same codebooks -> same approximation).
+  const corpus::Collection& g0 = Sim().groups()[0];
+  const corpus::Collection& g1 = Sim().groups()[1];
+  corpus::Collection merged("m");
+  merged.Merge(g0);
+  merged.Merge(g1);
+  auto engine = Index(merged);
+  represent::Representative direct =
+      std::move(represent::BuildRepresentative(*engine)).value();
+
+  auto e0 = Index(g0);
+  auto e1 = Index(g1);
+  represent::Representative r0 =
+      std::move(represent::BuildRepresentative(*e0)).value();
+  represent::Representative r1 =
+      std::move(represent::BuildRepresentative(*e1)).value();
+  represent::Representative merged_rep =
+      std::move(represent::MergeRepresentatives({&r0, &r1}, "m")).value();
+
+  auto q_direct = represent::QuantizeRepresentative(direct);
+  auto q_merged = represent::QuantizeRepresentative(merged_rep);
+  ASSERT_TRUE(q_direct.ok());
+  ASSERT_TRUE(q_merged.ok());
+  for (const auto& [term, expected] :
+       q_direct.value().representative.stats()) {
+    auto got = q_merged.value().representative.Find(term);
+    ASSERT_TRUE(got.has_value()) << term;
+    EXPECT_NEAR(got->p, expected.p, 1e-9) << term;
+    EXPECT_NEAR(got->avg_weight, expected.avg_weight, 1e-6) << term;
+  }
+}
+
+TEST_F(ConsistencyTest, EstimatesIdenticalAcrossConstructionPaths) {
+  // The estimator must not care how the representative was produced.
+  const corpus::Collection& g0 = Sim().groups()[0];
+  auto engine = Index(g0);
+  represent::Representative via_index =
+      std::move(represent::BuildRepresentative(*engine)).value();
+  represent::RepresentativeUpdater updater("g0", &analyzer_);
+  for (const corpus::Document& d : g0.docs()) updater.Add(d);
+  represent::Representative via_stream = std::move(updater.Snapshot()).value();
+
+  estimate::SubrangeEstimator subrange;
+  corpus::QueryLogOptions q_opts;
+  q_opts.num_queries = 60;
+  for (const corpus::Query& raw :
+       corpus::QueryLogGenerator(q_opts).Generate(Sim())) {
+    ir::Query q = ir::ParseQuery(analyzer_, raw.text, raw.id);
+    if (q.empty()) continue;
+    for (double t : {0.1, 0.3}) {
+      auto a = subrange.Estimate(via_index, q, t);
+      auto b = subrange.Estimate(via_stream, q, t);
+      EXPECT_NEAR(a.no_doc, b.no_doc, 1e-9) << raw.text;
+      EXPECT_NEAR(a.avg_sim, b.avg_sim, 1e-9) << raw.text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace useful

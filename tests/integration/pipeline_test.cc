@@ -1,0 +1,189 @@
+// End-to-end integration: simulator -> engines -> representatives ->
+// estimators -> evaluation, at reduced scale so the full paper pipeline
+// runs inside the unit-test budget.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "corpus/newsgroup_sim.h"
+#include "corpus/query_log.h"
+#include "estimate/adaptive_estimator.h"
+#include "estimate/basic_estimator.h"
+#include "estimate/gloss_estimators.h"
+#include "estimate/subrange_estimator.h"
+#include "eval/experiment.h"
+#include "represent/builder.h"
+#include "represent/quantized.h"
+
+namespace useful {
+namespace {
+
+// One shared reduced-scale testbed for every test in this file.
+class PipelineTest : public ::testing::Test {
+ protected:
+  struct Testbed {
+    text::Analyzer analyzer;
+    std::unique_ptr<corpus::NewsgroupSimulator> sim;
+    std::unique_ptr<ir::SearchEngine> engine;  // merged "D3-like" database
+    represent::Representative rep;
+    std::vector<corpus::Query> queries;
+  };
+
+  static const Testbed& GetTestbed() {
+    static const Testbed* tb = [] {
+      auto* t = new Testbed();
+      corpus::NewsgroupSimOptions opts;
+      opts.num_groups = 10;
+      opts.vocabulary_size = 5000;
+      opts.topical_terms_per_group = 200;
+      opts.median_doc_length = 60.0;
+      t->sim = std::make_unique<corpus::NewsgroupSimulator>(opts);
+
+      corpus::Collection merged("merged");
+      for (std::size_t g = 5; g < 10; ++g) {
+        merged.Merge(t->sim->groups()[g]);
+      }
+      t->engine = std::make_unique<ir::SearchEngine>("merged", &t->analyzer);
+      EXPECT_TRUE(t->engine->AddCollection(merged).ok());
+      EXPECT_TRUE(t->engine->Finalize().ok());
+      t->rep = std::move(represent::BuildRepresentative(*t->engine)).value();
+
+      corpus::QueryLogOptions q_opts;
+      q_opts.num_queries = 600;
+      t->queries = corpus::QueryLogGenerator(q_opts).Generate(*t->sim);
+      return t;
+    }();
+    return *tb;
+  }
+};
+
+TEST_F(PipelineTest, SubrangeBeatsBaselinesOnMatch) {
+  const Testbed& tb = GetTestbed();
+  estimate::SubrangeEstimator subrange;
+  estimate::AdaptiveEstimator adaptive;
+  estimate::HighCorrelationEstimator high_corr;
+  auto rows = eval::RunExperiment(
+      *tb.engine, tb.queries,
+      {{&high_corr, &tb.rep, "hc"},
+       {&adaptive, &tb.rep, "ad"},
+       {&subrange, &tb.rep, "sub"}});
+  // The paper's headline ordering: subrange dominates both baselines at
+  // every threshold where the database is useful to a meaningful number
+  // of queries; the adaptive baseline beats high-correlation in aggregate
+  // (per-threshold inversions occur on some corpora, as in the paper's
+  // own D3 table at T = 0.1 where high-correlation trades a large
+  // mismatch count for matches).
+  std::size_t ad_total = 0, hc_total = 0;
+  for (const eval::ThresholdRow& row : rows) {
+    const auto& hc = row.methods[0];
+    const auto& ad = row.methods[1];
+    const auto& sub = row.methods[2];
+    hc_total += hc.match;
+    ad_total += ad.match;
+    if (row.useful_queries < 20) continue;
+    EXPECT_GE(sub.match, ad.match) << "T=" << row.threshold;
+    EXPECT_GE(sub.match, hc.match) << "T=" << row.threshold;
+    // Subrange recovers nearly all useful queries (the paper's own rates
+    // run 80-96% across Tables 1/3/5).
+    EXPECT_GE(static_cast<double>(sub.match),
+              0.8 * static_cast<double>(row.useful_queries))
+        << "T=" << row.threshold;
+    // And its AvgSim error is the smallest.
+    EXPECT_LE(sub.d_s, ad.d_s + 1e-9) << "T=" << row.threshold;
+    EXPECT_LE(sub.d_s, hc.d_s + 1e-9) << "T=" << row.threshold;
+    // The adaptive method models similarity magnitudes far better than
+    // the correlation assumption at every threshold.
+    EXPECT_LE(ad.d_s, hc.d_s + 1e-9) << "T=" << row.threshold;
+  }
+  EXPECT_GE(ad_total, hc_total);
+}
+
+TEST_F(PipelineTest, QuantizationBarelyMoves) {
+  const Testbed& tb = GetTestbed();
+  auto quantized = represent::QuantizeRepresentative(tb.rep);
+  ASSERT_TRUE(quantized.ok());
+  estimate::SubrangeEstimator subrange;
+  auto rows = eval::RunExperiment(
+      *tb.engine, tb.queries,
+      {{&subrange, &tb.rep, "exact"},
+       {&subrange, &quantized.value().representative, "1byte"}});
+  for (const eval::ThresholdRow& row : rows) {
+    const auto& exact = row.methods[0];
+    const auto& approx = row.methods[1];
+    // Match counts agree within 2%; d-S within 0.01 absolute.
+    double tolerance =
+        std::max(3.0, 0.02 * static_cast<double>(row.useful_queries));
+    EXPECT_NEAR(static_cast<double>(approx.match),
+                static_cast<double>(exact.match), tolerance)
+        << "T=" << row.threshold;
+    EXPECT_NEAR(approx.d_s, exact.d_s, 0.01) << "T=" << row.threshold;
+  }
+}
+
+TEST_F(PipelineTest, TripletDegradesVersusQuadruplet) {
+  const Testbed& tb = GetTestbed();
+  auto triplet = represent::BuildRepresentative(
+      *tb.engine, represent::RepresentativeKind::kTriplet);
+  ASSERT_TRUE(triplet.ok());
+  estimate::SubrangeEstimator subrange;
+  auto rows = eval::RunExperiment(
+      *tb.engine, tb.queries,
+      {{&subrange, &tb.rep, "quad"}, {&subrange, &triplet.value(), "trip"}});
+  // Aggregate over thresholds: stored max weights match strictly more
+  // useful queries overall and produce no more false alarms. (Per
+  // threshold the triplet can occasionally edge ahead on match by
+  // over-flagging — the mismatch column is what pays for it.)
+  std::size_t quad_match = 0, trip_match = 0;
+  std::size_t quad_mismatch = 0, trip_mismatch = 0;
+  for (const eval::ThresholdRow& row : rows) {
+    quad_match += row.methods[0].match;
+    trip_match += row.methods[1].match;
+    quad_mismatch += row.methods[0].mismatch;
+    trip_mismatch += row.methods[1].mismatch;
+  }
+  EXPECT_GT(quad_match, trip_match);
+  EXPECT_LE(quad_mismatch, trip_mismatch);
+}
+
+TEST_F(PipelineTest, EstimatedNoDocTracksTruthInAggregate) {
+  // Not a per-query guarantee, but the estimator is a consistent
+  // statistical model: summed over the workload, estimated and true
+  // NoDoc at a moderate threshold agree within 30%.
+  const Testbed& tb = GetTestbed();
+  estimate::SubrangeEstimator subrange;
+  double est_total = 0.0, true_total = 0.0;
+  for (const corpus::Query& raw : tb.queries) {
+    ir::Query q = ir::ParseQuery(tb.analyzer, raw.text, raw.id);
+    if (q.empty()) continue;
+    est_total += subrange.Estimate(tb.rep, q, 0.2).no_doc;
+    true_total +=
+        static_cast<double>(tb.engine->TrueUsefulness(q, 0.2).no_doc);
+  }
+  ASSERT_GT(true_total, 0.0);
+  EXPECT_NEAR(est_total / true_total, 1.0, 0.3);
+}
+
+TEST_F(PipelineTest, SingleTermQueriesMatchedExactly) {
+  // §3.1: with quadruplets, single-term queries select the database
+  // correctly at every threshold strictly between distinct weights.
+  const Testbed& tb = GetTestbed();
+  estimate::SubrangeEstimator subrange;
+  std::size_t checked = 0;
+  for (const corpus::Query& raw : tb.queries) {
+    if (raw.text.find(' ') != std::string::npos) continue;
+    ir::Query q = ir::ParseQuery(tb.analyzer, raw.text, raw.id);
+    if (q.empty()) continue;
+    for (double t : {0.15, 0.35, 0.55, 0.75}) {
+      bool truly_useful = tb.engine->TrueUsefulness(q, t).no_doc >= 1;
+      bool flagged = estimate::RoundNoDoc(
+                         subrange.Estimate(tb.rep, q, t).no_doc) >= 1;
+      EXPECT_EQ(flagged, truly_useful)
+          << raw.text << " T=" << t;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 400u);  // the log really contains single-term queries
+}
+
+}  // namespace
+}  // namespace useful

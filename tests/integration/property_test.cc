@@ -1,0 +1,167 @@
+// Randomized property tests: invariants that must hold for every
+// estimator on arbitrary databases and queries. Parameterized over seeds
+// so each sweep exercises a fresh random corpus.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "estimate/adaptive_estimator.h"
+#include "estimate/basic_estimator.h"
+#include "estimate/gloss_estimators.h"
+#include "estimate/subrange_estimator.h"
+#include "ir/search_engine.h"
+#include "represent/builder.h"
+#include "util/random.h"
+
+namespace useful {
+namespace {
+
+// A small random engine: `n` documents over a `v`-word vocabulary with
+// Zipfian skew, plus the matching representative.
+struct RandomDb {
+  std::unique_ptr<text::Analyzer> analyzer;
+  std::unique_ptr<ir::SearchEngine> engine;
+  represent::Representative rep;
+  std::vector<std::string> vocab;
+};
+
+RandomDb MakeRandomDb(std::uint64_t seed, std::size_t n = 60,
+                      std::size_t v = 40) {
+  Pcg32 rng(seed);
+  RandomDb db;
+  db.analyzer = std::make_unique<text::Analyzer>();
+  db.engine = std::make_unique<ir::SearchEngine>("rand", db.analyzer.get());
+  for (std::size_t i = 0; i < v; ++i) {
+    // Pseudo-words immune to the stop list and stemmer.
+    db.vocab.push_back("zq" + std::to_string(i) + "x");
+  }
+  for (std::size_t d = 0; d < n; ++d) {
+    std::string text;
+    std::size_t len = 3 + rng.NextBounded(30);
+    for (std::size_t k = 0; k < len; ++k) {
+      if (!text.empty()) text += ' ';
+      text += db.vocab[rng.NextZipf(v, 1.0)];
+    }
+    EXPECT_TRUE(db.engine->Add({"d" + std::to_string(d), text}).ok());
+  }
+  EXPECT_TRUE(db.engine->Finalize().ok());
+  db.rep = std::move(represent::BuildRepresentative(*db.engine)).value();
+  return db;
+}
+
+ir::Query RandomQuery(const RandomDb& db, Pcg32* rng) {
+  std::size_t len = 1 + rng->NextBounded(5);
+  std::string text;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (!text.empty()) text += ' ';
+    text += db.vocab[rng->NextZipf(db.vocab.size(), 0.8)];
+  }
+  return ir::ParseQuery(*db.analyzer, text);
+}
+
+class EstimatorProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EstimatorProperties, EstimatesAreSaneForAllMethods) {
+  RandomDb db = MakeRandomDb(GetParam());
+  Pcg32 rng(GetParam() ^ 0xabcdef);
+  estimate::SubrangeEstimator subrange;
+  estimate::BasicEstimator basic;
+  estimate::AdaptiveEstimator adaptive;
+  estimate::HighCorrelationEstimator high_corr;
+  estimate::DisjointEstimator disjoint;
+  const estimate::UsefulnessEstimator* methods[] = {
+      &subrange, &basic, &adaptive, &high_corr, &disjoint};
+
+  const double n = static_cast<double>(db.engine->num_docs());
+  for (int trial = 0; trial < 30; ++trial) {
+    ir::Query q = RandomQuery(db, &rng);
+    for (double t : {0.0, 0.1, 0.3, 0.5, 0.8}) {
+      for (const auto* m : methods) {
+        estimate::UsefulnessEstimate u = m->Estimate(db.rep, q, t);
+        EXPECT_GE(u.no_doc, 0.0) << m->name();
+        EXPECT_TRUE(std::isfinite(u.no_doc)) << m->name();
+        EXPECT_GE(u.avg_sim, 0.0) << m->name();
+        EXPECT_TRUE(std::isfinite(u.avg_sim)) << m->name();
+        // Generating-function methods cannot exceed the collection size;
+        // the disjoint baseline can (it double-counts, which is exactly
+        // why the paper discards it).
+        if (m != &disjoint) {
+          EXPECT_LE(u.no_doc, n + 1e-6) << m->name() << " T=" << t;
+        }
+        // Any predicted document lies above the threshold.
+        if (u.no_doc > 1e-9) {
+          EXPECT_GT(u.avg_sim, t) << m->name() << " T=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(EstimatorProperties, NoDocMonotoneInThreshold) {
+  RandomDb db = MakeRandomDb(GetParam() + 1000);
+  Pcg32 rng(GetParam() ^ 0x1234);
+  estimate::SubrangeEstimator subrange;
+  estimate::BasicEstimator basic;
+  for (int trial = 0; trial < 10; ++trial) {
+    ir::Query q = RandomQuery(db, &rng);
+    for (const estimate::UsefulnessEstimator* m :
+         {static_cast<const estimate::UsefulnessEstimator*>(&subrange),
+          static_cast<const estimate::UsefulnessEstimator*>(&basic)}) {
+      double prev = std::numeric_limits<double>::infinity();
+      for (double t = 0.0; t < 1.0; t += 0.05) {
+        double nd = m->Estimate(db.rep, q, t).no_doc;
+        EXPECT_LE(nd, prev + 1e-9) << m->name() << " T=" << t;
+        prev = nd;
+      }
+    }
+  }
+}
+
+TEST_P(EstimatorProperties, SingleTermSelectionIsExact) {
+  RandomDb db = MakeRandomDb(GetParam() + 2000);
+  estimate::SubrangeEstimator subrange;
+  for (const std::string& word : db.vocab) {
+    ir::Query q = ir::ParseQuery(*db.analyzer, word);
+    ASSERT_EQ(q.size(), 1u);
+    for (double t : {0.05, 0.25, 0.45, 0.65, 0.85}) {
+      bool truly_useful = db.engine->TrueUsefulness(q, t).no_doc >= 1;
+      bool flagged =
+          estimate::RoundNoDoc(subrange.Estimate(db.rep, q, t).no_doc) >= 1;
+      EXPECT_EQ(flagged, truly_useful) << word << " T=" << t;
+    }
+  }
+}
+
+TEST_P(EstimatorProperties, SingleTermNoDocIsReasonable) {
+  // For single-term queries the subrange distribution approximates the
+  // real weight histogram: estimated NoDoc never exceeds the term's df
+  // and is within df of the truth trivially; sharper: at T = 0 the
+  // estimate equals df exactly (all containing docs contribute).
+  RandomDb db = MakeRandomDb(GetParam() + 3000);
+  estimate::SubrangeEstimator subrange;
+  for (const std::string& word : db.vocab) {
+    auto ts = db.rep.Find(word);
+    if (!ts) continue;
+    ir::Query q = ir::ParseQuery(*db.analyzer, word);
+    double nd = subrange.Estimate(db.rep, q, 0.0).no_doc;
+    EXPECT_NEAR(nd, static_cast<double>(ts->doc_freq), 1e-6) << word;
+  }
+}
+
+TEST_P(EstimatorProperties, QueriesWithForeignTermsEstimateZero) {
+  RandomDb db = MakeRandomDb(GetParam() + 4000);
+  ir::Query q = ir::ParseQuery(*db.analyzer, "foreignword anotherone");
+  estimate::SubrangeEstimator subrange;
+  estimate::HighCorrelationEstimator high_corr;
+  for (double t : {0.0, 0.2}) {
+    EXPECT_EQ(subrange.Estimate(db.rep, q, t).no_doc, 0.0);
+    EXPECT_EQ(high_corr.Estimate(db.rep, q, t).no_doc, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 42, 99));
+
+}  // namespace
+}  // namespace useful

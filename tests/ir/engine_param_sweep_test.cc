@@ -1,0 +1,153 @@
+// Parameterized sweep: engine invariants must hold for every combination
+// of weighting scheme and normalization, and the subrange estimator's
+// single-term guarantee must hold for every normalization that stores
+// true maximum weights.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "estimate/subrange_estimator.h"
+#include "ir/search_engine.h"
+#include "represent/builder.h"
+#include "util/random.h"
+
+namespace useful::ir {
+namespace {
+
+corpus::Collection RandomCollection(std::uint64_t seed) {
+  Pcg32 rng(seed);
+  corpus::Collection c("sweep");
+  const char* vocab[] = {"zorpa", "blatu", "quixo", "mumba", "wozzle",
+                         "dapli", "nergo", "fribb", "toska", "vilmo"};
+  for (int d = 0; d < 40; ++d) {
+    std::string text;
+    std::size_t len = 2 + rng.NextBounded(25);
+    for (std::size_t k = 0; k < len; ++k) {
+      if (!text.empty()) text += ' ';
+      text += vocab[rng.NextZipf(10, 0.9)];
+    }
+    c.Add({"d" + std::to_string(d), text});
+  }
+  return c;
+}
+
+using SweepParam = std::tuple<WeightingScheme, Normalization>;
+
+class EngineSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  void SetUp() override {
+    SearchEngineOptions opts;
+    opts.weighting = std::get<0>(GetParam());
+    opts.normalization = std::get<1>(GetParam());
+    engine_ = std::make_unique<SearchEngine>("sweep", &analyzer_, opts);
+    ASSERT_TRUE(engine_->AddCollection(RandomCollection(99)).ok());
+    ASSERT_TRUE(engine_->Finalize().ok());
+  }
+
+  text::Analyzer analyzer_;
+  std::unique_ptr<SearchEngine> engine_;
+};
+
+TEST_P(EngineSweep, ScoresAreFiniteNonNegativeAndSorted) {
+  Query q = ParseQuery(analyzer_, "zorpa blatu quixo");
+  auto results = engine_->SearchAboveThreshold(q, 0.0);
+  ASSERT_FALSE(results.empty());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(results[i].score));
+    EXPECT_GT(results[i].score, 0.0);
+    if (i > 0) {
+      EXPECT_LE(results[i].score, results[i - 1].score);
+    }
+  }
+}
+
+TEST_P(EngineSweep, CosineScoresBoundedByOne) {
+  if (std::get<1>(GetParam()) != Normalization::kCosine) GTEST_SKIP();
+  Query q = ParseQuery(analyzer_, "zorpa blatu quixo mumba");
+  for (const ScoredDoc& sd : engine_->SearchAboveThreshold(q, 0.0)) {
+    EXPECT_LE(sd.score, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(EngineSweep, TrueUsefulnessConsistentWithSearch) {
+  Query q = ParseQuery(analyzer_, "zorpa wozzle");
+  for (double frac : {0.2, 0.5, 0.9}) {
+    auto all = engine_->SearchAboveThreshold(q, 0.0);
+    if (all.empty()) continue;
+    double t = all[0].score * frac;
+    Usefulness u = engine_->TrueUsefulness(q, t);
+    auto above = engine_->SearchAboveThreshold(q, t);
+    EXPECT_EQ(u.no_doc, above.size());
+    if (!above.empty()) {
+      double sum = 0.0;
+      for (const ScoredDoc& sd : above) sum += sd.score;
+      EXPECT_NEAR(u.avg_sim, sum / static_cast<double>(above.size()), 1e-12);
+    }
+  }
+}
+
+TEST_P(EngineSweep, RepresentativeMaxMatchesBestSingleTermScore) {
+  // The stored max weight must equal the best exact score of the
+  // corresponding single-term query — the bridge the §3.1 guarantee
+  // stands on, for every weighting/normalization combination.
+  auto rep = represent::BuildRepresentative(*engine_);
+  ASSERT_TRUE(rep.ok());
+  for (const char* word : {"zorpa", "blatu", "vilmo"}) {
+    Query q = ParseQuery(analyzer_, word);
+    auto top = engine_->SearchTopK(q, 1);
+    auto ts = rep.value().Find(word);
+    if (top.empty()) {
+      EXPECT_FALSE(ts.has_value());
+      continue;
+    }
+    ASSERT_TRUE(ts.has_value()) << word;
+    EXPECT_NEAR(ts->max_weight, top[0].score, 1e-12) << word;
+  }
+}
+
+TEST_P(EngineSweep, SingleTermSelectionExactUnderAllConfigs) {
+  auto rep = represent::BuildRepresentative(*engine_);
+  ASSERT_TRUE(rep.ok());
+  estimate::SubrangeEstimator subrange;
+  for (const char* word : {"zorpa", "quixo", "toska"}) {
+    Query q = ParseQuery(analyzer_, word);
+    auto top = engine_->SearchTopK(q, 1);
+    if (top.empty()) continue;
+    for (double frac : {0.5, 0.99, 1.01}) {
+      double t = top[0].score * frac;
+      bool truly = engine_->TrueUsefulness(q, t).no_doc >= 1;
+      bool flagged = estimate::RoundNoDoc(
+                         subrange.Estimate(rep.value(), q, t).no_doc) >= 1;
+      EXPECT_EQ(flagged, truly) << word << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, EngineSweep,
+    ::testing::Combine(
+        ::testing::Values(WeightingScheme::kTf, WeightingScheme::kLogTf,
+                          WeightingScheme::kTfIdf,
+                          WeightingScheme::kLogTfIdf),
+        ::testing::Values(Normalization::kNone, Normalization::kCosine,
+                          Normalization::kPivoted)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name = WeightingSchemeName(std::get<0>(info.param));
+      switch (std::get<1>(info.param)) {
+        case Normalization::kNone:
+          name += "_raw";
+          break;
+        case Normalization::kCosine:
+          name += "_cosine";
+          break;
+        case Normalization::kPivoted:
+          name += "_pivoted";
+          break;
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace useful::ir

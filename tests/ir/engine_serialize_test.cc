@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "ir/search_engine.h"
+#include "represent/builder.h"
+
+namespace useful::ir {
+namespace {
+
+corpus::Collection ToyCollection() {
+  corpus::Collection c("toy");
+  c.Add({"d0", "zorp zorp zorp"});
+  c.Add({"d1", "zorp quix"});
+  c.Add({"d2", "blat blat"});
+  c.Add({"d3", "zorp zorp blat blat"});
+  c.Add({"d4", "mumble"});
+  return c;
+}
+
+class EngineSerializeTest : public ::testing::Test {
+ protected:
+  SearchEngine MakeEngine(SearchEngineOptions opts = {}) {
+    SearchEngine engine("toy", &analyzer_, opts);
+    EXPECT_TRUE(engine.AddCollection(ToyCollection()).ok());
+    EXPECT_TRUE(engine.Finalize().ok());
+    return engine;
+  }
+  text::Analyzer analyzer_;
+};
+
+TEST_F(EngineSerializeTest, RoundTripPreservesSearchBehaviour) {
+  SearchEngine orig = MakeEngine();
+  std::stringstream ss;
+  ASSERT_TRUE(orig.Save(ss).ok());
+  auto loaded = SearchEngine::Load(ss, &analyzer_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded.value().name(), "toy");
+  EXPECT_EQ(loaded.value().num_docs(), orig.num_docs());
+  EXPECT_EQ(loaded.value().num_terms(), orig.num_terms());
+  EXPECT_TRUE(loaded.value().finalized());
+
+  for (const char* text : {"zorp", "blat quix", "zorp blat mumble"}) {
+    Query q = ParseQuery(analyzer_, text);
+    auto a = orig.SearchAboveThreshold(q, 0.0);
+    auto b = loaded.value().SearchAboveThreshold(q, 0.0);
+    ASSERT_EQ(a.size(), b.size()) << text;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(orig.doc_external_id(a[i].doc),
+                loaded.value().doc_external_id(b[i].doc));
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST_F(EngineSerializeTest, RoundTripPreservesRepresentative) {
+  SearchEngine orig = MakeEngine();
+  std::stringstream ss;
+  ASSERT_TRUE(orig.Save(ss).ok());
+  auto loaded = SearchEngine::Load(ss, &analyzer_);
+  ASSERT_TRUE(loaded.ok());
+  auto rep_a = represent::BuildRepresentative(orig);
+  auto rep_b = represent::BuildRepresentative(loaded.value());
+  ASSERT_TRUE(rep_a.ok());
+  ASSERT_TRUE(rep_b.ok());
+  ASSERT_EQ(rep_a.value().num_terms(), rep_b.value().num_terms());
+  for (const auto& [term, expected] : rep_a.value().stats()) {
+    auto got = rep_b.value().Find(term);
+    ASSERT_TRUE(got.has_value()) << term;
+    EXPECT_DOUBLE_EQ(got->avg_weight, expected.avg_weight);
+    EXPECT_DOUBLE_EQ(got->max_weight, expected.max_weight);
+  }
+}
+
+TEST_F(EngineSerializeTest, OptionsRoundTrip) {
+  SearchEngineOptions opts;
+  opts.weighting = WeightingScheme::kLogTfIdf;
+  opts.normalization = Normalization::kPivoted;
+  opts.pivot_slope = 0.42;
+  SearchEngine orig = MakeEngine(opts);
+  std::stringstream ss;
+  ASSERT_TRUE(orig.Save(ss).ok());
+  auto loaded = SearchEngine::Load(ss, &analyzer_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().options().weighting, WeightingScheme::kLogTfIdf);
+  EXPECT_EQ(loaded.value().options().normalization, Normalization::kPivoted);
+  EXPECT_DOUBLE_EQ(loaded.value().options().pivot_slope, 0.42);
+}
+
+TEST_F(EngineSerializeTest, SaveRequiresFinalized) {
+  SearchEngine engine("raw", &analyzer_);
+  ASSERT_TRUE(engine.Add({"d", "word"}).ok());
+  std::stringstream ss;
+  EXPECT_EQ(engine.Save(ss).code(), Status::Code::kFailedPrecondition);
+}
+
+TEST_F(EngineSerializeTest, LoadedEngineRejectsFurtherAdds) {
+  SearchEngine orig = MakeEngine();
+  std::stringstream ss;
+  ASSERT_TRUE(orig.Save(ss).ok());
+  auto loaded = SearchEngine::Load(ss, &analyzer_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded.value().Add({"late", "text"}).ok());
+}
+
+TEST_F(EngineSerializeTest, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "JUNKDATA";
+  auto r = SearchEngine::Load(ss, &analyzer_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(EngineSerializeTest, RejectsNullAnalyzer) {
+  std::stringstream ss;
+  EXPECT_FALSE(SearchEngine::Load(ss, nullptr).ok());
+}
+
+TEST_F(EngineSerializeTest, RejectsTruncation) {
+  SearchEngine orig = MakeEngine();
+  std::stringstream ss;
+  ASSERT_TRUE(orig.Save(ss).ok());
+  std::string bytes = ss.str();
+  for (std::size_t cut :
+       {bytes.size() - 1, bytes.size() / 2, bytes.size() / 4, 5ul}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    auto r = SearchEngine::Load(truncated, &analyzer_);
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+}
+
+TEST_F(EngineSerializeTest, FileRoundTrip) {
+  auto path =
+      std::filesystem::temp_directory_path() / "useful_engine_test.idx";
+  SearchEngine orig = MakeEngine();
+  ASSERT_TRUE(orig.SaveToFile(path.string()).ok());
+  auto loaded = SearchEngine::LoadFromFile(path.string(), &analyzer_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_docs(), 5u);
+  std::filesystem::remove(path);
+}
+
+TEST_F(EngineSerializeTest, LoadMissingFileFails) {
+  auto r = SearchEngine::LoadFromFile("/no/such/file.idx", &analyzer_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace useful::ir

@@ -1,0 +1,77 @@
+#include "ir/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace useful::ir {
+namespace {
+
+std::vector<SparseVector> ToyVectors() {
+  // Example 3.1 of the paper: five documents over three terms.
+  return {
+      SparseVector::FromEntries({{0, 3.0}}),
+      SparseVector::FromEntries({{0, 1.0}, {1, 1.0}}),
+      SparseVector::FromEntries({{2, 2.0}}),
+      SparseVector::FromEntries({{0, 2.0}, {2, 2.0}}),
+      SparseVector::FromEntries({}),
+  };
+}
+
+TEST(InvertedIndexTest, DocFreqMatchesExample31) {
+  InvertedIndex index;
+  index.Build(ToyVectors(), 3);
+  EXPECT_EQ(index.DocFreq(0), 3u);  // p1 = 0.6 over 5 docs
+  EXPECT_EQ(index.DocFreq(1), 1u);  // p2 = 0.2
+  EXPECT_EQ(index.DocFreq(2), 2u);  // p3 = 0.4
+}
+
+TEST(InvertedIndexTest, PostingsOrderedByDocId) {
+  InvertedIndex index;
+  index.Build(ToyVectors(), 3);
+  const auto& p = index.postings(0);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0].doc, 0u);
+  EXPECT_EQ(p[1].doc, 1u);
+  EXPECT_EQ(p[2].doc, 3u);
+}
+
+TEST(InvertedIndexTest, PostingWeightsPreserved) {
+  InvertedIndex index;
+  index.Build(ToyVectors(), 3);
+  EXPECT_DOUBLE_EQ(index.postings(0)[0].weight, 3.0);
+  EXPECT_DOUBLE_EQ(index.postings(0)[2].weight, 2.0);
+  EXPECT_DOUBLE_EQ(index.postings(2)[0].weight, 2.0);
+}
+
+TEST(InvertedIndexTest, Counts) {
+  InvertedIndex index;
+  index.Build(ToyVectors(), 3);
+  EXPECT_EQ(index.num_docs(), 5u);
+  EXPECT_EQ(index.num_terms(), 3u);
+  EXPECT_EQ(index.TotalPostings(), 6u);
+}
+
+TEST(InvertedIndexTest, EmptyCollection) {
+  InvertedIndex index;
+  index.Build({}, 0);
+  EXPECT_EQ(index.num_docs(), 0u);
+  EXPECT_EQ(index.num_terms(), 0u);
+  EXPECT_EQ(index.TotalPostings(), 0u);
+}
+
+TEST(InvertedIndexTest, TermWithNoPostings) {
+  InvertedIndex index;
+  index.Build({SparseVector::FromEntries({{0, 1.0}})}, 3);
+  EXPECT_TRUE(index.postings(1).empty());
+  EXPECT_TRUE(index.postings(2).empty());
+}
+
+TEST(InvertedIndexTest, RebuildReplacesContents) {
+  InvertedIndex index;
+  index.Build(ToyVectors(), 3);
+  index.Build({SparseVector::FromEntries({{0, 1.0}})}, 1);
+  EXPECT_EQ(index.num_docs(), 1u);
+  EXPECT_EQ(index.TotalPostings(), 1u);
+}
+
+}  // namespace
+}  // namespace useful::ir

@@ -1,0 +1,76 @@
+#include "ir/query.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace useful::ir {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  text::Analyzer analyzer_;
+};
+
+TEST_F(QueryTest, SingleTermHasWeightOne) {
+  // Paper §3.1: "the query has a normalized weight of 1 for t".
+  Query q = ParseQuery(analyzer_, "database");
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.terms[0].term, "database");
+  EXPECT_DOUBLE_EQ(q.terms[0].weight, 1.0);
+}
+
+TEST_F(QueryTest, DistinctTermsGetEqualNormalizedWeights) {
+  Query q = ParseQuery(analyzer_, "database search engine");
+  ASSERT_EQ(q.size(), 3u);
+  for (const QueryTerm& t : q.terms) {
+    EXPECT_NEAR(t.weight, 1.0 / std::sqrt(3.0), 1e-12);
+  }
+}
+
+TEST_F(QueryTest, QueryVectorIsUnitNorm) {
+  Query q = ParseQuery(analyzer_, "alpha beta beta gamma gamma gamma");
+  double norm_sq = 0.0;
+  for (const QueryTerm& t : q.terms) norm_sq += t.weight * t.weight;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+}
+
+TEST_F(QueryTest, RepeatedTermsMergeWithTfWeights) {
+  Query q = ParseQuery(analyzer_, "data data mining");
+  ASSERT_EQ(q.size(), 2u);
+  // tf(data)=2, tf(mining)=1, norm = sqrt(5).
+  double data_w = 0.0, mining_w = 0.0;
+  for (const QueryTerm& t : q.terms) {
+    if (t.term == "data") data_w = t.weight;
+    if (t.term == "mining") mining_w = t.weight;
+  }
+  EXPECT_NEAR(data_w, 2.0 / std::sqrt(5.0), 1e-12);
+  EXPECT_NEAR(mining_w, 1.0 / std::sqrt(5.0), 1e-12);
+}
+
+TEST_F(QueryTest, StopwordsRemoved) {
+  Query q = ParseQuery(analyzer_, "the search of engines");
+  ASSERT_EQ(q.size(), 2u);
+}
+
+TEST_F(QueryTest, AllStopwordsGiveEmptyQuery) {
+  Query q = ParseQuery(analyzer_, "the of and");
+  EXPECT_TRUE(q.empty());
+}
+
+TEST_F(QueryTest, IdIsPreserved) {
+  Query q = ParseQuery(analyzer_, "alpha", "q42");
+  EXPECT_EQ(q.id, "q42");
+}
+
+TEST_F(QueryTest, TermOrderIsDeterministic) {
+  Query a = ParseQuery(analyzer_, "zeta alpha mu");
+  Query b = ParseQuery(analyzer_, "mu zeta alpha");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.terms[i].term, b.terms[i].term);
+  }
+}
+
+}  // namespace
+}  // namespace useful::ir

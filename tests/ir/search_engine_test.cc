@@ -1,0 +1,182 @@
+#include "ir/search_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace useful::ir {
+namespace {
+
+corpus::Collection ToyCollection() {
+  // Unique pseudo-words so the stop list cannot interfere. Documents mirror
+  // the structure of the paper's Example 3.1 (terms: zorp, quix, blat).
+  corpus::Collection c("toy");
+  c.Add({"d0", "zorp zorp zorp"});
+  c.Add({"d1", "zorp quix"});
+  c.Add({"d2", "blat blat"});
+  c.Add({"d3", "zorp zorp blat blat"});
+  c.Add({"d4", "mumble"});
+  return c;
+}
+
+class SearchEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<SearchEngine>("toy", &analyzer_, options_);
+    ASSERT_TRUE(engine_->AddCollection(ToyCollection()).ok());
+    ASSERT_TRUE(engine_->Finalize().ok());
+  }
+
+  text::Analyzer analyzer_;
+  SearchEngineOptions options_;  // tf + cosine (paper setting)
+  std::unique_ptr<SearchEngine> engine_;
+};
+
+TEST_F(SearchEngineTest, BasicCounts) {
+  EXPECT_EQ(engine_->num_docs(), 5u);
+  EXPECT_EQ(engine_->num_terms(), 4u);
+  EXPECT_TRUE(engine_->finalized());
+}
+
+TEST_F(SearchEngineTest, AddAfterFinalizeFails) {
+  Status s = engine_->Add({"late", "too late"});
+  EXPECT_EQ(s.code(), Status::Code::kFailedPrecondition);
+}
+
+TEST_F(SearchEngineTest, FinalizeIsIdempotent) {
+  EXPECT_TRUE(engine_->Finalize().ok());
+  EXPECT_EQ(engine_->num_docs(), 5u);
+}
+
+TEST_F(SearchEngineTest, DocVectorsAreUnitNorm) {
+  for (DocId d = 0; d < engine_->num_docs(); ++d) {
+    EXPECT_NEAR(engine_->doc_vector(d).Norm(), 1.0, 1e-12) << d;
+  }
+}
+
+TEST_F(SearchEngineTest, SingleTermSimilarityIsNormalizedWeight) {
+  // sim(q, d) for single-term q is the term's normalized weight in d.
+  Query q = ParseQuery(analyzer_, "zorp");
+  auto results = engine_->SearchAboveThreshold(q, 0.0);
+  ASSERT_EQ(results.size(), 3u);
+  // d0 is purely "zorp": normalized weight 1 -> top hit.
+  EXPECT_EQ(results[0].doc, 0u);
+  EXPECT_NEAR(results[0].score, 1.0, 1e-12);
+  // d1: zorp weight 1 of norm sqrt(2).
+  // d3: zorp weight 2 of norm sqrt(8) = 1/sqrt(2) as well; tie broken by id.
+  EXPECT_NEAR(results[1].score, 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(results[2].score, 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_LT(results[1].doc, results[2].doc);
+}
+
+TEST_F(SearchEngineTest, MultiTermCosine) {
+  Query q = ParseQuery(analyzer_, "zorp blat");
+  // d3 = (2,0,2)/sqrt(8): sim = (2+2)/(sqrt(2)*sqrt(8)) = 1.
+  auto results = engine_->SearchAboveThreshold(q, 0.0);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].doc, 3u);
+  EXPECT_NEAR(results[0].score, 1.0, 1e-12);
+}
+
+TEST_F(SearchEngineTest, ThresholdIsStrict) {
+  Query q = ParseQuery(analyzer_, "zorp");
+  // d0 scores exactly 1.0; threshold 1.0 must exclude it (sim > T).
+  auto results = engine_->SearchAboveThreshold(q, 1.0);
+  EXPECT_TRUE(results.empty());
+  results = engine_->SearchAboveThreshold(q, 0.999);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].doc, 0u);
+}
+
+TEST_F(SearchEngineTest, UnknownTermsScoreNothing) {
+  Query q = ParseQuery(analyzer_, "nonexistent");
+  EXPECT_TRUE(engine_->SearchAboveThreshold(q, 0.0).empty());
+}
+
+TEST_F(SearchEngineTest, MixedKnownUnknownTerms) {
+  Query q = ParseQuery(analyzer_, "zorp nonexistent");
+  auto results = engine_->SearchAboveThreshold(q, 0.0);
+  EXPECT_EQ(results.size(), 3u);
+  // Scores are scaled by the query weight 1/sqrt(2).
+  EXPECT_NEAR(results[0].score, 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST_F(SearchEngineTest, SearchTopK) {
+  Query q = ParseQuery(analyzer_, "zorp");
+  auto top2 = engine_->SearchTopK(q, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].doc, 0u);
+  auto top10 = engine_->SearchTopK(q, 10);
+  EXPECT_EQ(top10.size(), 3u);  // only 3 docs have positive score
+}
+
+TEST_F(SearchEngineTest, TrueUsefulnessMatchesDefinition) {
+  Query q = ParseQuery(analyzer_, "zorp");
+  Usefulness u = engine_->TrueUsefulness(q, 0.8);
+  EXPECT_EQ(u.no_doc, 1u);
+  EXPECT_NEAR(u.avg_sim, 1.0, 1e-12);
+
+  u = engine_->TrueUsefulness(q, 0.5);
+  EXPECT_EQ(u.no_doc, 3u);
+  EXPECT_NEAR(u.avg_sim, (1.0 + 2.0 / std::sqrt(2.0)) / 3.0, 1e-12);
+
+  u = engine_->TrueUsefulness(q, 1.0);
+  EXPECT_EQ(u.no_doc, 0u);
+  EXPECT_EQ(u.avg_sim, 0.0);
+}
+
+TEST_F(SearchEngineTest, ExternalIdsPreserved) {
+  EXPECT_EQ(engine_->doc_external_id(0), "d0");
+  EXPECT_EQ(engine_->doc_external_id(4), "d4");
+}
+
+TEST(SearchEngineUnnormalizedTest, RawTfWeights) {
+  text::Analyzer analyzer;
+  SearchEngineOptions opts;
+  opts.normalization = Normalization::kNone;
+  SearchEngine engine("raw", &analyzer, opts);
+  ASSERT_TRUE(engine.AddCollection(ToyCollection()).ok());
+  ASSERT_TRUE(engine.Finalize().ok());
+  // Without normalization, d0's zorp weight is the raw tf 3.
+  Query q = ParseQuery(analyzer, "zorp");
+  auto results = engine.SearchAboveThreshold(q, 0.0);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_NEAR(results[0].score, 3.0, 1e-12);
+}
+
+TEST(SearchEngineTfIdfTest, IdfDemotesCommonTerms) {
+  text::Analyzer analyzer;
+  SearchEngineOptions opts;
+  opts.weighting = WeightingScheme::kTfIdf;
+  opts.normalization = Normalization::kNone;
+  SearchEngine engine("tfidf", &analyzer, opts);
+  corpus::Collection c("c");
+  c.Add({"d0", "common rare"});
+  c.Add({"d1", "common"});
+  c.Add({"d2", "common"});
+  ASSERT_TRUE(engine.AddCollection(c).ok());
+  ASSERT_TRUE(engine.Finalize().ok());
+  // In d0, tf is 1 for both terms, but "rare" has higher idf.
+  TermId common = engine.dictionary().Lookup("common");
+  TermId rare = engine.dictionary().Lookup("rare");
+  ASSERT_NE(common, kInvalidTerm);
+  ASSERT_NE(rare, kInvalidTerm);
+  EXPECT_GT(engine.doc_vector(0).WeightOf(rare),
+            engine.doc_vector(0).WeightOf(common));
+}
+
+TEST(SearchEngineEmptyDocTest, EmptyDocumentsAreAllowed) {
+  text::Analyzer analyzer;
+  SearchEngine engine("e", &analyzer);
+  corpus::Collection c("c");
+  c.Add({"d0", ""});
+  c.Add({"d1", "word"});
+  ASSERT_TRUE(engine.AddCollection(c).ok());
+  ASSERT_TRUE(engine.Finalize().ok());
+  EXPECT_EQ(engine.num_docs(), 2u);
+  Query q = ParseQuery(analyzer, "word");
+  EXPECT_EQ(engine.SearchAboveThreshold(q, 0.0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace useful::ir

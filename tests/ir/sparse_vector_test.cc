@@ -1,0 +1,118 @@
+#include "ir/sparse_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace useful::ir {
+namespace {
+
+TEST(SparseVectorTest, FromEntriesSortsByTerm) {
+  auto v = SparseVector::FromEntries({{5, 1.0}, {2, 2.0}, {9, 3.0}});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.entries()[0].first, 2u);
+  EXPECT_EQ(v.entries()[1].first, 5u);
+  EXPECT_EQ(v.entries()[2].first, 9u);
+}
+
+TEST(SparseVectorTest, FromEntriesMergesDuplicates) {
+  auto v = SparseVector::FromEntries({{3, 1.0}, {3, 2.5}, {3, 0.5}});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].second, 4.0);
+}
+
+TEST(SparseVectorTest, FromEntriesDropsZeros) {
+  auto v = SparseVector::FromEntries({{1, 0.0}, {2, 1.0}, {3, -1.0}, {3, 1.0}});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.entries()[0].first, 2u);
+}
+
+TEST(SparseVectorTest, EmptyVector) {
+  SparseVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.Norm(), 0.0);
+  EXPECT_FALSE(v.Normalize());
+  EXPECT_EQ(v.Dot(v), 0.0);
+}
+
+TEST(SparseVectorTest, NormIsEuclidean) {
+  auto v = SparseVector::FromEntries({{0, 3.0}, {1, 4.0}});
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+}
+
+TEST(SparseVectorTest, NormalizeToUnit) {
+  auto v = SparseVector::FromEntries({{0, 3.0}, {1, 4.0}});
+  ASSERT_TRUE(v.Normalize());
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(v.entries()[0].second, 0.6);
+  EXPECT_DOUBLE_EQ(v.entries()[1].second, 0.8);
+}
+
+TEST(SparseVectorTest, ScaleMultipliesWeights) {
+  auto v = SparseVector::FromEntries({{0, 1.0}, {1, 2.0}});
+  v.Scale(3.0);
+  EXPECT_DOUBLE_EQ(v.entries()[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(v.entries()[1].second, 6.0);
+}
+
+TEST(SparseVectorTest, DotDisjointIsZero) {
+  auto a = SparseVector::FromEntries({{0, 1.0}, {2, 1.0}});
+  auto b = SparseVector::FromEntries({{1, 1.0}, {3, 1.0}});
+  EXPECT_EQ(a.Dot(b), 0.0);
+}
+
+TEST(SparseVectorTest, DotOverlapping) {
+  auto a = SparseVector::FromEntries({{0, 2.0}, {1, 3.0}, {5, 1.0}});
+  auto b = SparseVector::FromEntries({{1, 4.0}, {5, 2.0}, {9, 7.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 3.0 * 4.0 + 1.0 * 2.0);
+}
+
+TEST(SparseVectorTest, DotIsSymmetric) {
+  Pcg32 rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<SparseVector::Entry> ea, eb;
+    for (int i = 0; i < 20; ++i) {
+      ea.emplace_back(rng.NextBounded(30), rng.NextDouble());
+      eb.emplace_back(rng.NextBounded(30), rng.NextDouble());
+    }
+    auto a = SparseVector::FromEntries(ea);
+    auto b = SparseVector::FromEntries(eb);
+    EXPECT_NEAR(a.Dot(b), b.Dot(a), 1e-12);
+  }
+}
+
+TEST(SparseVectorTest, CauchySchwarzOnUnitVectors) {
+  Pcg32 rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<SparseVector::Entry> ea, eb;
+    for (int i = 0; i < 15; ++i) {
+      ea.emplace_back(rng.NextBounded(25), rng.NextDouble() + 0.01);
+      eb.emplace_back(rng.NextBounded(25), rng.NextDouble() + 0.01);
+    }
+    auto a = SparseVector::FromEntries(ea);
+    auto b = SparseVector::FromEntries(eb);
+    ASSERT_TRUE(a.Normalize());
+    ASSERT_TRUE(b.Normalize());
+    double dot = a.Dot(b);
+    EXPECT_GE(dot, 0.0);
+    EXPECT_LE(dot, 1.0 + 1e-12);
+  }
+}
+
+TEST(SparseVectorTest, WeightOfPresent) {
+  auto v = SparseVector::FromEntries({{2, 1.5}, {7, 2.5}});
+  EXPECT_DOUBLE_EQ(v.WeightOf(2), 1.5);
+  EXPECT_DOUBLE_EQ(v.WeightOf(7), 2.5);
+}
+
+TEST(SparseVectorTest, WeightOfAbsentIsZero) {
+  auto v = SparseVector::FromEntries({{2, 1.5}, {7, 2.5}});
+  EXPECT_EQ(v.WeightOf(0), 0.0);
+  EXPECT_EQ(v.WeightOf(5), 0.0);
+  EXPECT_EQ(v.WeightOf(100), 0.0);
+}
+
+}  // namespace
+}  // namespace useful::ir

@@ -1,0 +1,62 @@
+#include "ir/term_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace useful::ir {
+namespace {
+
+TEST(TermDictionaryTest, AssignsSequentialIds) {
+  TermDictionary d;
+  EXPECT_EQ(d.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(d.GetOrAdd("beta"), 1u);
+  EXPECT_EQ(d.GetOrAdd("gamma"), 2u);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(TermDictionaryTest, GetOrAddIsIdempotent) {
+  TermDictionary d;
+  TermId a = d.GetOrAdd("alpha");
+  EXPECT_EQ(d.GetOrAdd("alpha"), a);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(TermDictionaryTest, LookupFindsExisting) {
+  TermDictionary d;
+  d.GetOrAdd("alpha");
+  d.GetOrAdd("beta");
+  EXPECT_EQ(d.Lookup("beta"), 1u);
+}
+
+TEST(TermDictionaryTest, LookupMissingReturnsInvalid) {
+  TermDictionary d;
+  d.GetOrAdd("alpha");
+  EXPECT_EQ(d.Lookup("missing"), kInvalidTerm);
+  EXPECT_EQ(d.Lookup(""), kInvalidTerm);
+}
+
+TEST(TermDictionaryTest, TermRoundTrip) {
+  TermDictionary d;
+  for (const char* w : {"one", "two", "three"}) d.GetOrAdd(w);
+  for (TermId id = 0; id < d.size(); ++id) {
+    EXPECT_EQ(d.Lookup(d.term(id)), id);
+  }
+}
+
+TEST(TermDictionaryTest, StableUnderRehash) {
+  TermDictionary d;
+  std::vector<std::string> words;
+  for (int i = 0; i < 10000; ++i) {
+    std::string w = "w";
+    w += std::to_string(i);
+    words.push_back(std::move(w));
+  }
+  for (const auto& w : words) d.GetOrAdd(w);
+  // Pointers into terms_ keys must have stayed valid through growth.
+  for (std::size_t i = 0; i < words.size(); i += 997) {
+    EXPECT_EQ(d.Lookup(words[i]), static_cast<TermId>(i));
+    EXPECT_EQ(d.term(static_cast<TermId>(i)), words[i]);
+  }
+}
+
+}  // namespace
+}  // namespace useful::ir

@@ -1,0 +1,62 @@
+#include "ir/weighting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace useful::ir {
+namespace {
+
+TEST(WeightingTest, TfIsIdentity) {
+  EXPECT_DOUBLE_EQ(ComputeWeight(WeightingScheme::kTf, 3.0, 10, 5), 3.0);
+  EXPECT_DOUBLE_EQ(ComputeWeight(WeightingScheme::kTf, 1.0, 10, 5), 1.0);
+}
+
+TEST(WeightingTest, ZeroTfIsZeroForAllSchemes) {
+  for (auto scheme :
+       {WeightingScheme::kTf, WeightingScheme::kLogTf, WeightingScheme::kTfIdf,
+        WeightingScheme::kLogTfIdf}) {
+    EXPECT_EQ(ComputeWeight(scheme, 0.0, 10, 5), 0.0);
+  }
+}
+
+TEST(WeightingTest, LogTf) {
+  EXPECT_DOUBLE_EQ(ComputeWeight(WeightingScheme::kLogTf, 1.0, 10, 5), 1.0);
+  EXPECT_DOUBLE_EQ(ComputeWeight(WeightingScheme::kLogTf, std::exp(1.0), 10, 5),
+                   2.0);
+}
+
+TEST(WeightingTest, TfIdfGrowsWithRarity) {
+  double common = ComputeWeight(WeightingScheme::kTfIdf, 2.0, 1000, 900);
+  double rare = ComputeWeight(WeightingScheme::kTfIdf, 2.0, 1000, 3);
+  EXPECT_GT(rare, common);
+}
+
+TEST(WeightingTest, TfIdfFormula) {
+  double w = ComputeWeight(WeightingScheme::kTfIdf, 2.0, 100, 25);
+  EXPECT_DOUBLE_EQ(w, 2.0 * std::log(1.0 + 100.0 / 25.0));
+}
+
+TEST(WeightingTest, LogTfIdfFormula) {
+  double w = ComputeWeight(WeightingScheme::kLogTfIdf, std::exp(2.0), 100, 50);
+  EXPECT_NEAR(w, 3.0 * std::log(3.0), 1e-12);
+}
+
+TEST(WeightingTest, NamesRoundTrip) {
+  for (auto scheme :
+       {WeightingScheme::kTf, WeightingScheme::kLogTf, WeightingScheme::kTfIdf,
+        WeightingScheme::kLogTfIdf}) {
+    auto parsed = ParseWeightingScheme(WeightingSchemeName(scheme));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), scheme);
+  }
+}
+
+TEST(WeightingTest, ParseRejectsUnknown) {
+  auto r = ParseWeightingScheme("bm25");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace useful::ir

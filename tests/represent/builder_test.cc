@@ -1,0 +1,134 @@
+#include "represent/builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/search_engine.h"
+
+namespace useful::represent {
+namespace {
+
+// Example 3.1 of the paper with raw tf weights (no normalization) so the
+// triplet values can be checked against the worked numbers: term "zorp"
+// appears in 3 of 5 documents with weights {3, 1, 2} -> (p, w) = (0.6, 2).
+corpus::Collection Example31() {
+  corpus::Collection c("ex31");
+  c.Add({"d0", "zorp zorp zorp"});
+  c.Add({"d1", "zorp quix"});
+  c.Add({"d2", "blat blat"});
+  c.Add({"d3", "zorp zorp blat blat"});
+  c.Add({"d4", "mumble"});
+  return c;
+}
+
+class BuilderTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<ir::SearchEngine> MakeEngine(bool normalize) {
+    ir::SearchEngineOptions opts;
+    opts.normalization = normalize ? ir::Normalization::kCosine : ir::Normalization::kNone;
+    auto engine =
+        std::make_unique<ir::SearchEngine>("ex31", &analyzer_, opts);
+    EXPECT_TRUE(engine->AddCollection(Example31()).ok());
+    EXPECT_TRUE(engine->Finalize().ok());
+    return engine;
+  }
+  text::Analyzer analyzer_;
+};
+
+TEST_F(BuilderTest, Example31Statistics) {
+  auto engine = MakeEngine(/*normalize=*/false);
+  auto rep = BuildRepresentative(*engine);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.value().num_docs(), 5u);
+  EXPECT_EQ(rep.value().num_terms(), 4u);
+  EXPECT_EQ(rep.value().kind(), RepresentativeKind::kQuadruplet);
+
+  auto zorp = rep.value().Find("zorp");
+  ASSERT_TRUE(zorp.has_value());
+  EXPECT_DOUBLE_EQ(zorp->p, 0.6);
+  EXPECT_DOUBLE_EQ(zorp->avg_weight, 2.0);  // mean of {3,1,2}
+  EXPECT_NEAR(zorp->stddev, std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(zorp->max_weight, 3.0);
+  EXPECT_EQ(zorp->doc_freq, 3u);
+
+  auto quix = rep.value().Find("quix");
+  ASSERT_TRUE(quix.has_value());
+  EXPECT_DOUBLE_EQ(quix->p, 0.2);
+  EXPECT_DOUBLE_EQ(quix->avg_weight, 1.0);
+  EXPECT_DOUBLE_EQ(quix->stddev, 0.0);
+
+  auto blat = rep.value().Find("blat");
+  ASSERT_TRUE(blat.has_value());
+  EXPECT_DOUBLE_EQ(blat->p, 0.4);
+  EXPECT_DOUBLE_EQ(blat->avg_weight, 2.0);
+}
+
+TEST_F(BuilderTest, NormalizedWeightsBoundedByOne) {
+  auto engine = MakeEngine(/*normalize=*/true);
+  auto rep = BuildRepresentative(*engine);
+  ASSERT_TRUE(rep.ok());
+  for (const auto& [term, ts] : rep.value().stats()) {
+    EXPECT_GT(ts.avg_weight, 0.0) << term;
+    EXPECT_LE(ts.max_weight, 1.0 + 1e-12) << term;
+    EXPECT_GE(ts.max_weight, ts.avg_weight - 1e-12) << term;
+  }
+}
+
+TEST_F(BuilderTest, TripletLeavesMaxWeightZero) {
+  auto engine = MakeEngine(true);
+  auto rep = BuildRepresentative(*engine, RepresentativeKind::kTriplet);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.value().kind(), RepresentativeKind::kTriplet);
+  for (const auto& [term, ts] : rep.value().stats()) {
+    EXPECT_EQ(ts.max_weight, 0.0) << term;
+  }
+}
+
+TEST_F(BuilderTest, MissingTermAbsent) {
+  auto engine = MakeEngine(true);
+  auto rep = BuildRepresentative(*engine);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_FALSE(rep.value().Find("nonexistent").has_value());
+}
+
+TEST_F(BuilderTest, RejectsUnfinalizedEngine) {
+  ir::SearchEngine engine("raw", &analyzer_);
+  ASSERT_TRUE(engine.Add({"d", "word"}).ok());
+  auto rep = BuildRepresentative(engine);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST_F(BuilderTest, RejectsEmptyEngine) {
+  ir::SearchEngine engine("empty", &analyzer_);
+  ASSERT_TRUE(engine.Finalize().ok());
+  auto rep = BuildRepresentative(engine);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(RepresentativeTest, PaperBytesAccounting) {
+  Representative quad("e", 10, RepresentativeKind::kQuadruplet);
+  Representative trip("e", 10, RepresentativeKind::kTriplet);
+  for (int i = 0; i < 7; ++i) {
+    quad.Put("t" + std::to_string(i), TermStats{});
+    trip.Put("t" + std::to_string(i), TermStats{});
+  }
+  // Quadruplet: 4 (term) + 4*4 = 20 bytes/term, the paper's 20k figure.
+  EXPECT_EQ(quad.PaperBytes(), 7u * 20u);
+  // One-byte numbers: 4 + 4*1 = 8 bytes/term, the paper's 8k figure.
+  EXPECT_EQ(quad.PaperBytes(1), 7u * 8u);
+  // Triplet: 4 + 3*4 = 16 bytes/term.
+  EXPECT_EQ(trip.PaperBytes(), 7u * 16u);
+}
+
+TEST(RepresentativeTest, PutOverwrites) {
+  Representative rep("e", 5, RepresentativeKind::kQuadruplet);
+  rep.Put("t", TermStats{.p = 0.1});
+  rep.Put("t", TermStats{.p = 0.9});
+  EXPECT_EQ(rep.num_terms(), 1u);
+  EXPECT_DOUBLE_EQ(rep.Find("t")->p, 0.9);
+}
+
+}  // namespace
+}  // namespace useful::represent

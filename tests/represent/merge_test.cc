@@ -1,0 +1,136 @@
+#include "represent/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "corpus/newsgroup_sim.h"
+#include "ir/search_engine.h"
+#include "represent/builder.h"
+
+namespace useful::represent {
+namespace {
+
+class MergeTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<ir::SearchEngine> Index(const corpus::Collection& c) {
+    auto engine = std::make_unique<ir::SearchEngine>(c.name(), &analyzer_);
+    EXPECT_TRUE(engine->AddCollection(c).ok());
+    EXPECT_TRUE(engine->Finalize().ok());
+    return engine;
+  }
+  Representative Rep(const corpus::Collection& c,
+                     RepresentativeKind kind =
+                         RepresentativeKind::kQuadruplet) {
+    auto engine = Index(c);
+    return std::move(BuildRepresentative(*engine, kind)).value();
+  }
+  text::Analyzer analyzer_;
+};
+
+TEST_F(MergeTest, MergedRepEqualsRepOfMergedCollection) {
+  // The paper's D2 construction, done two ways: merge collections then
+  // summarize, vs summarize then merge representatives. Must agree.
+  corpus::NewsgroupSimOptions opts;
+  opts.num_groups = 4;
+  opts.vocabulary_size = 2500;
+  opts.topical_terms_per_group = 120;
+  opts.median_doc_length = 40.0;
+  corpus::NewsgroupSimulator sim(opts);
+
+  Representative rep_a = Rep(sim.groups()[0]);
+  Representative rep_b = Rep(sim.groups()[1]);
+
+  corpus::Collection both("both");
+  both.Merge(sim.groups()[0]);
+  both.Merge(sim.groups()[1]);
+  Representative direct = Rep(both);
+
+  auto merged = MergeRepresentatives({&rep_a, &rep_b}, "both");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().num_docs(), direct.num_docs());
+  ASSERT_EQ(merged.value().num_terms(), direct.num_terms());
+  for (const auto& [term, expected] : direct.stats()) {
+    auto got = merged.value().Find(term);
+    ASSERT_TRUE(got.has_value()) << term;
+    EXPECT_EQ(got->doc_freq, expected.doc_freq) << term;
+    EXPECT_NEAR(got->p, expected.p, 1e-12) << term;
+    EXPECT_NEAR(got->avg_weight, expected.avg_weight, 1e-9) << term;
+    EXPECT_NEAR(got->stddev, expected.stddev, 1e-7) << term;
+    EXPECT_NEAR(got->max_weight, expected.max_weight, 1e-12) << term;
+  }
+}
+
+TEST_F(MergeTest, HandMergedMoments) {
+  // Two single-term reps with known moments.
+  Representative a("a", 4, RepresentativeKind::kQuadruplet);
+  a.Put("t", TermStats{0.5, 0.3, 0.1, 0.5, 2});  // weights with mean .3 sd .1
+  Representative b("b", 6, RepresentativeKind::kQuadruplet);
+  b.Put("t", TermStats{0.5, 0.5, 0.2, 0.8, 3});
+
+  auto merged = MergeRepresentatives({&a, &b}, "ab");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().num_docs(), 10u);
+  auto t = merged.value().Find("t");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->doc_freq, 5u);
+  EXPECT_NEAR(t->p, 0.5, 1e-12);
+  // Weighted mean: (2*0.3 + 3*0.5)/5 = 0.42.
+  EXPECT_NEAR(t->avg_weight, 0.42, 1e-12);
+  // Pooled E[w^2] = (2*(0.01+0.09) + 3*(0.04+0.25))/5 = 0.214;
+  // sigma = sqrt(0.214 - 0.42^2) = sqrt(0.0376).
+  EXPECT_NEAR(t->stddev, std::sqrt(0.0376), 1e-12);
+  EXPECT_DOUBLE_EQ(t->max_weight, 0.8);
+}
+
+TEST_F(MergeTest, DisjointVocabulariesUnion) {
+  Representative a("a", 2, RepresentativeKind::kQuadruplet);
+  a.Put("only-a", TermStats{0.5, 0.4, 0.0, 0.4, 1});
+  Representative b("b", 3, RepresentativeKind::kQuadruplet);
+  b.Put("only-b", TermStats{1.0, 0.2, 0.05, 0.3, 3});
+
+  auto merged = MergeRepresentatives({&a, &b}, "ab");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().num_terms(), 2u);
+  EXPECT_NEAR(merged.value().Find("only-a")->p, 0.2, 1e-12);  // 1/5
+  EXPECT_NEAR(merged.value().Find("only-b")->p, 0.6, 1e-12);  // 3/5
+}
+
+TEST_F(MergeTest, SinglePartIsIdentity) {
+  Representative a("a", 3, RepresentativeKind::kTriplet);
+  a.Put("t", TermStats{1.0 / 3.0, 0.25, 0.1, 0.0, 1});
+  auto merged = MergeRepresentatives({&a}, "same");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().num_docs(), 3u);
+  EXPECT_NEAR(merged.value().Find("t")->avg_weight, 0.25, 1e-12);
+  EXPECT_EQ(merged.value().kind(), RepresentativeKind::kTriplet);
+}
+
+TEST_F(MergeTest, RejectsEmptyInput) {
+  EXPECT_FALSE(MergeRepresentatives({}, "x").ok());
+}
+
+TEST_F(MergeTest, RejectsNullPart) {
+  Representative a("a", 1, RepresentativeKind::kQuadruplet);
+  EXPECT_FALSE(MergeRepresentatives({&a, nullptr}, "x").ok());
+}
+
+TEST_F(MergeTest, RejectsMixedKinds) {
+  Representative a("a", 1, RepresentativeKind::kQuadruplet);
+  Representative b("b", 1, RepresentativeKind::kTriplet);
+  a.Put("t", TermStats{1, 0.1, 0, 0.1, 1});
+  b.Put("t", TermStats{1, 0.1, 0, 0.0, 1});
+  auto r = MergeRepresentatives({&a, &b}, "x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(MergeTest, RejectsEmptyDatabasePart) {
+  Representative a("a", 0, RepresentativeKind::kQuadruplet);
+  Representative b("b", 1, RepresentativeKind::kQuadruplet);
+  EXPECT_FALSE(MergeRepresentatives({&a, &b}, "x").ok());
+}
+
+}  // namespace
+}  // namespace useful::represent

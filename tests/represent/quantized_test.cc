@@ -1,0 +1,126 @@
+#include "represent/quantized.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace useful::represent {
+namespace {
+
+Representative RandomRep(std::size_t terms, std::uint64_t seed,
+                         RepresentativeKind kind) {
+  Pcg32 rng(seed);
+  Representative rep("rand", 1000, kind);
+  for (std::size_t i = 0; i < terms; ++i) {
+    TermStats ts;
+    ts.doc_freq = 1 + rng.NextBounded(999);
+    ts.p = ts.doc_freq / 1000.0;
+    ts.avg_weight = rng.NextDouble() * 0.5 + 0.01;
+    ts.stddev = rng.NextDouble() * 0.2;
+    ts.max_weight = kind == RepresentativeKind::kQuadruplet
+                        ? std::min(1.0, ts.avg_weight + 3.0 * ts.stddev)
+                        : 0.0;
+    rep.Put("term" + std::to_string(i), ts);
+  }
+  return rep;
+}
+
+TEST(QuantizedTest, RejectsEmptyRepresentative) {
+  Representative rep("e", 10, RepresentativeKind::kQuadruplet);
+  auto r = QuantizeRepresentative(rep);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(QuantizedTest, PreservesStructure) {
+  Representative rep = RandomRep(500, 1, RepresentativeKind::kQuadruplet);
+  auto r = QuantizeRepresentative(rep);
+  ASSERT_TRUE(r.ok());
+  const Representative& q = r.value().representative;
+  EXPECT_EQ(q.engine_name(), rep.engine_name());
+  EXPECT_EQ(q.num_docs(), rep.num_docs());
+  EXPECT_EQ(q.num_terms(), rep.num_terms());
+  EXPECT_EQ(q.kind(), rep.kind());
+}
+
+TEST(QuantizedTest, ProbabilityErrorBounded) {
+  Representative rep = RandomRep(2000, 2, RepresentativeKind::kQuadruplet);
+  auto r = QuantizeRepresentative(rep);
+  ASSERT_TRUE(r.ok());
+  // p is quantized over [0,1]: error below one interval width.
+  const double p_width = 1.0 / 256.0;
+  for (const auto& [term, ts] : rep.stats()) {
+    auto qs = r.value().representative.Find(term);
+    ASSERT_TRUE(qs.has_value());
+    EXPECT_NEAR(qs->p, ts.p, p_width) << term;
+  }
+}
+
+TEST(QuantizedTest, WeightFieldsErrorBounded) {
+  Representative rep = RandomRep(2000, 3, RepresentativeKind::kQuadruplet);
+  double w_hi = 0.0, sd_hi = 0.0, mw_hi = 0.0;
+  for (const auto& [term, ts] : rep.stats()) {
+    w_hi = std::max(w_hi, ts.avg_weight);
+    sd_hi = std::max(sd_hi, ts.stddev);
+    mw_hi = std::max(mw_hi, ts.max_weight);
+  }
+  auto r = QuantizeRepresentative(rep);
+  ASSERT_TRUE(r.ok());
+  for (const auto& [term, ts] : rep.stats()) {
+    auto qs = r.value().representative.Find(term);
+    ASSERT_TRUE(qs.has_value());
+    EXPECT_NEAR(qs->avg_weight, ts.avg_weight, w_hi / 256.0);
+    EXPECT_NEAR(qs->stddev, ts.stddev, sd_hi / 256.0);
+    EXPECT_NEAR(qs->max_weight, ts.max_weight, mw_hi / 256.0);
+  }
+}
+
+TEST(QuantizedTest, DocFreqReconstructedFromP) {
+  Representative rep = RandomRep(500, 4, RepresentativeKind::kQuadruplet);
+  auto r = QuantizeRepresentative(rep);
+  ASSERT_TRUE(r.ok());
+  for (const auto& [term, ts] : rep.stats()) {
+    auto qs = r.value().representative.Find(term);
+    ASSERT_TRUE(qs.has_value());
+    EXPECT_GE(qs->doc_freq, 1u);
+    // round(p_approx * n) stays within the quantization error of df.
+    EXPECT_NEAR(static_cast<double>(qs->doc_freq),
+                static_cast<double>(ts.doc_freq), 1000.0 / 256.0 + 1.0);
+  }
+}
+
+TEST(QuantizedTest, TripletModeSkipsMaxWeight) {
+  Representative rep = RandomRep(100, 5, RepresentativeKind::kTriplet);
+  auto r = QuantizeRepresentative(rep);
+  ASSERT_TRUE(r.ok());
+  for (const auto& [term, qs] : r.value().representative.stats()) {
+    EXPECT_EQ(qs.max_weight, 0.0) << term;
+  }
+}
+
+TEST(QuantizedTest, RequantizationNearlyLossless) {
+  // Quantizing an already-quantized representative changes p not at all
+  // (fixed [0,1] range: codebook values re-encode to the same intervals)
+  // and weight fields by at most one interval width (their range is
+  // re-derived from the observed maximum, which may shrink slightly).
+  Representative rep = RandomRep(800, 6, RepresentativeKind::kQuadruplet);
+  auto once = QuantizeRepresentative(rep);
+  ASSERT_TRUE(once.ok());
+  double w_hi = 0.0;
+  for (const auto& [term, q1] : once.value().representative.stats()) {
+    w_hi = std::max(w_hi, q1.avg_weight);
+  }
+  auto twice = QuantizeRepresentative(once.value().representative);
+  ASSERT_TRUE(twice.ok());
+  for (const auto& [term, q1] : once.value().representative.stats()) {
+    auto q2 = twice.value().representative.Find(term);
+    ASSERT_TRUE(q2.has_value());
+    EXPECT_DOUBLE_EQ(q2->p, q1.p) << term;
+    EXPECT_NEAR(q2->avg_weight, q1.avg_weight, w_hi / 256.0) << term;
+  }
+}
+
+}  // namespace
+}  // namespace useful::represent

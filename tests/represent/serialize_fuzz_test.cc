@@ -1,0 +1,99 @@
+// Robustness of the representative reader against corrupted input: random
+// byte flips and truncations must never crash, hang, or allocate absurdly
+// — they either fail with Corruption/IOError or (rarely, when the flip
+// lands in a numeric payload) yield a structurally valid representative.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "represent/serialize.h"
+#include "util/random.h"
+
+namespace useful::represent {
+namespace {
+
+std::string SerializedFixture() {
+  Representative rep("fuzz-engine", 321, RepresentativeKind::kQuadruplet);
+  Pcg32 rng(7);
+  for (int i = 0; i < 64; ++i) {
+    TermStats ts;
+    ts.p = rng.NextDouble();
+    ts.avg_weight = rng.NextDouble();
+    ts.stddev = rng.NextDouble() * 0.2;
+    ts.max_weight = ts.avg_weight + ts.stddev;
+    ts.doc_freq = 1 + rng.NextBounded(320);
+    rep.Put("term" + std::to_string(i), ts);
+  }
+  std::stringstream out;
+  EXPECT_TRUE(WriteRepresentative(rep, out).ok());
+  return out.str();
+}
+
+class SerializeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializeFuzz, SingleByteFlipsNeverCrash) {
+  const std::string bytes = SerializedFixture();
+  Pcg32 rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = bytes;
+    std::size_t pos = rng.NextBounded(static_cast<std::uint32_t>(
+        mutated.size()));
+    mutated[pos] =
+        static_cast<char>(mutated[pos] ^ (1 + rng.NextBounded(255)));
+    std::stringstream in(mutated);
+    auto r = ReadRepresentative(in);
+    if (r.ok()) {
+      // A surviving parse must still be structurally sound.
+      EXPECT_LE(r.value().num_terms(), 64u);
+    } else {
+      EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+    }
+  }
+}
+
+TEST_P(SerializeFuzz, MultiByteScramblesNeverCrash) {
+  const std::string bytes = SerializedFixture();
+  Pcg32 rng(GetParam() ^ 0xfeed);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string mutated = bytes;
+    int flips = 2 + static_cast<int>(rng.NextBounded(30));
+    for (int f = 0; f < flips; ++f) {
+      std::size_t pos = rng.NextBounded(static_cast<std::uint32_t>(
+          mutated.size()));
+      mutated[pos] = static_cast<char>(rng.NextU32());
+    }
+    std::stringstream in(mutated);
+    auto r = ReadRepresentative(in);
+    (void)r;  // any outcome is fine as long as it returns
+    SUCCEED();
+  }
+}
+
+TEST_P(SerializeFuzz, RandomTruncationsFailCleanly) {
+  const std::string bytes = SerializedFixture();
+  Pcg32 rng(GetParam() ^ 0xcafe);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::size_t cut = rng.NextBounded(
+        static_cast<std::uint32_t>(bytes.size()));  // strictly shorter
+    std::stringstream in(bytes.substr(0, cut));
+    auto r = ReadRepresentative(in);
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+}
+
+TEST_P(SerializeFuzz, RandomGarbageFailsCleanly) {
+  Pcg32 rng(GetParam() ^ 0xdead);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string garbage(8 + rng.NextBounded(512), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.NextU32());
+    std::stringstream in(garbage);
+    auto r = ReadRepresentative(in);
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeFuzz,
+                         ::testing::Values(1, 2, 3, 17, 255));
+
+}  // namespace
+}  // namespace useful::represent

@@ -1,0 +1,153 @@
+#include "represent/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace useful::represent {
+namespace {
+
+Representative MakeRep() {
+  Representative rep("engine-7", 1234, RepresentativeKind::kQuadruplet);
+  rep.Put("alpha", TermStats{0.5, 0.12, 0.03, 0.4, 617});
+  rep.Put("beta", TermStats{0.001, 0.9, 0.0, 0.9, 1});
+  rep.Put("", TermStats{0.25, 0.5, 0.1, 0.6, 308});  // empty term survives
+  return rep;
+}
+
+TEST(SerializeTest, StreamRoundTrip) {
+  Representative orig = MakeRep();
+  std::stringstream ss;
+  ASSERT_TRUE(WriteRepresentative(orig, ss).ok());
+  auto loaded = ReadRepresentative(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Representative& rep = loaded.value();
+  EXPECT_EQ(rep.engine_name(), "engine-7");
+  EXPECT_EQ(rep.num_docs(), 1234u);
+  EXPECT_EQ(rep.kind(), RepresentativeKind::kQuadruplet);
+  ASSERT_EQ(rep.num_terms(), 3u);
+  auto alpha = rep.Find("alpha");
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_DOUBLE_EQ(alpha->p, 0.5);
+  EXPECT_DOUBLE_EQ(alpha->avg_weight, 0.12);
+  EXPECT_DOUBLE_EQ(alpha->stddev, 0.03);
+  EXPECT_DOUBLE_EQ(alpha->max_weight, 0.4);
+  EXPECT_EQ(alpha->doc_freq, 617u);
+  EXPECT_TRUE(rep.Find("").has_value());
+}
+
+TEST(SerializeTest, TripletKindRoundTrips) {
+  Representative orig("t", 5, RepresentativeKind::kTriplet);
+  orig.Put("x", TermStats{0.2, 0.3, 0.1, 0.0, 1});
+  std::stringstream ss;
+  ASSERT_TRUE(WriteRepresentative(orig, ss).ok());
+  auto loaded = ReadRepresentative(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().kind(), RepresentativeKind::kTriplet);
+}
+
+TEST(SerializeTest, EmptyRepresentativeRoundTrips) {
+  Representative orig("empty", 0, RepresentativeKind::kQuadruplet);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteRepresentative(orig, ss).ok());
+  auto loaded = ReadRepresentative(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_terms(), 0u);
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOPE garbage";
+  auto r = ReadRepresentative(ss);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+}
+
+TEST(SerializeTest, RejectsTruncatedHeader) {
+  std::stringstream ss;
+  ss << "URP1";
+  auto r = ReadRepresentative(ss);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializeTest, RejectsTruncatedBody) {
+  Representative orig = MakeRep();
+  std::stringstream ss;
+  ASSERT_TRUE(WriteRepresentative(orig, ss).ok());
+  std::string bytes = ss.str();
+  for (std::size_t cut : {bytes.size() - 1, bytes.size() / 2, 6ul}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    auto r = ReadRepresentative(truncated);
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+    EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  }
+}
+
+TEST(SerializeTest, RejectsUnknownKind) {
+  Representative orig = MakeRep();
+  std::stringstream ss;
+  ASSERT_TRUE(WriteRepresentative(orig, ss).ok());
+  std::string bytes = ss.str();
+  bytes[4] = 9;  // kind byte
+  std::stringstream bad(bytes);
+  auto r = ReadRepresentative(bad);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializeTest, RejectsAbsurdStringLength) {
+  // Header: magic, kind, num_docs, then a name length of ~4 GB.
+  std::string bytes = "URP1";
+  bytes.push_back(1);
+  std::uint64_t docs = 1;
+  bytes.append(reinterpret_cast<const char*>(&docs), 8);
+  std::uint32_t len = 0xfffffff0;
+  bytes.append(reinterpret_cast<const char*>(&len), 4);
+  std::stringstream bad(bytes);
+  auto r = ReadRepresentative(bad);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  auto path = std::filesystem::temp_directory_path() / "useful_rep_test.bin";
+  Representative orig = MakeRep();
+  ASSERT_TRUE(SaveRepresentative(orig, path.string()).ok());
+  auto loaded = LoadRepresentative(path.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_terms(), orig.num_terms());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, LoadMissingFileFails) {
+  auto r = LoadRepresentative("/nonexistent/rep.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIOError);
+}
+
+TEST(SerializeTest, LargeRepresentativeRoundTrip) {
+  Pcg32 rng(9);
+  Representative orig("big", 100000, RepresentativeKind::kQuadruplet);
+  for (int i = 0; i < 20000; ++i) {
+    TermStats ts;
+    ts.p = rng.NextDouble();
+    ts.avg_weight = rng.NextDouble();
+    ts.stddev = rng.NextDouble() * 0.1;
+    ts.max_weight = ts.avg_weight + ts.stddev;
+    ts.doc_freq = rng.NextBounded(100000);
+    orig.Put("term" + std::to_string(i), ts);
+  }
+  std::stringstream ss;
+  ASSERT_TRUE(WriteRepresentative(orig, ss).ok());
+  auto loaded = ReadRepresentative(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_terms(), 20000u);
+  auto t = loaded.value().Find("term12345");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(t->p, orig.Find("term12345")->p);
+}
+
+}  // namespace
+}  // namespace useful::represent

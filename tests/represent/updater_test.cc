@@ -1,0 +1,159 @@
+#include "represent/updater.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/search_engine.h"
+#include "represent/builder.h"
+
+namespace useful::represent {
+namespace {
+
+corpus::Collection ToyCollection() {
+  corpus::Collection c("toy");
+  c.Add({"d0", "zorp zorp zorp"});
+  c.Add({"d1", "zorp quix"});
+  c.Add({"d2", "blat blat"});
+  c.Add({"d3", "zorp zorp blat blat"});
+  c.Add({"d4", "mumble"});
+  return c;
+}
+
+class UpdaterTest : public ::testing::Test {
+ protected:
+  text::Analyzer analyzer_;
+};
+
+TEST_F(UpdaterTest, SnapshotMatchesIndexBuilder) {
+  // The streaming path must agree exactly with the index-derived path.
+  corpus::Collection c = ToyCollection();
+  ir::SearchEngine engine("toy", &analyzer_);
+  ASSERT_TRUE(engine.AddCollection(c).ok());
+  ASSERT_TRUE(engine.Finalize().ok());
+  auto from_index = BuildRepresentative(engine);
+  ASSERT_TRUE(from_index.ok());
+
+  RepresentativeUpdater updater("toy", &analyzer_);
+  for (const corpus::Document& d : c.docs()) updater.Add(d);
+  auto from_stream = updater.Snapshot();
+  ASSERT_TRUE(from_stream.ok());
+
+  EXPECT_EQ(from_stream.value().num_docs(), from_index.value().num_docs());
+  EXPECT_EQ(from_stream.value().num_terms(), from_index.value().num_terms());
+  for (const auto& [term, expected] : from_index.value().stats()) {
+    auto got = from_stream.value().Find(term);
+    ASSERT_TRUE(got.has_value()) << term;
+    EXPECT_NEAR(got->p, expected.p, 1e-12) << term;
+    EXPECT_NEAR(got->avg_weight, expected.avg_weight, 1e-12) << term;
+    EXPECT_NEAR(got->stddev, expected.stddev, 1e-9) << term;
+    EXPECT_NEAR(got->max_weight, expected.max_weight, 1e-12) << term;
+    EXPECT_EQ(got->doc_freq, expected.doc_freq) << term;
+  }
+}
+
+TEST_F(UpdaterTest, SnapshotBeforeAnyDocFails) {
+  RepresentativeUpdater updater("e", &analyzer_);
+  auto r = updater.Snapshot();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST_F(UpdaterTest, AddThenRemoveRestoresStatistics) {
+  RepresentativeUpdater updater("e", &analyzer_);
+  corpus::Collection c = ToyCollection();
+  for (const corpus::Document& d : c.docs()) updater.Add(d);
+  auto before = updater.Snapshot();
+  ASSERT_TRUE(before.ok());
+
+  corpus::Document extra{"d5", "zorp blat fresh"};
+  updater.Add(extra);
+  EXPECT_EQ(updater.num_docs(), 6u);
+  ASSERT_TRUE(updater.Remove(extra).ok());
+  EXPECT_EQ(updater.num_docs(), 5u);
+
+  auto after = updater.Snapshot();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().num_terms(), before.value().num_terms());
+  for (const auto& [term, expected] : before.value().stats()) {
+    auto got = after.value().Find(term);
+    ASSERT_TRUE(got.has_value()) << term;
+    EXPECT_NEAR(got->p, expected.p, 1e-12);
+    EXPECT_NEAR(got->avg_weight, expected.avg_weight, 1e-9);
+    EXPECT_NEAR(got->stddev, expected.stddev, 1e-6);
+    EXPECT_EQ(got->doc_freq, expected.doc_freq);
+  }
+  // "fresh" disappeared entirely.
+  EXPECT_FALSE(after.value().Find("fresh").has_value());
+}
+
+TEST_F(UpdaterTest, RemovingMaxHolderFlagsRebuild) {
+  RepresentativeUpdater updater("e", &analyzer_);
+  corpus::Document heavy{"d0", "zorp zorp zorp"};   // zorp weight 1.0
+  corpus::Document light{"d1", "zorp quix"};        // zorp weight ~0.707
+  updater.Add(heavy);
+  updater.Add(light);
+  EXPECT_FALSE(updater.needs_rebuild());
+  ASSERT_TRUE(updater.Remove(heavy).ok());
+  EXPECT_TRUE(updater.needs_rebuild());
+  // The remaining stats are still usable; max is an upper bound.
+  auto rep = updater.Snapshot();
+  ASSERT_TRUE(rep.ok());
+  auto zorp = rep.value().Find("zorp");
+  ASSERT_TRUE(zorp.has_value());
+  EXPECT_EQ(zorp->doc_freq, 1u);
+  EXPECT_GE(zorp->max_weight, 1.0 / std::sqrt(2.0) - 1e-12);
+}
+
+TEST_F(UpdaterTest, RemovingUnknownDocumentFails) {
+  RepresentativeUpdater updater("e", &analyzer_);
+  updater.Add({"d0", "zorp"});
+  Status s = updater.Remove({"dx", "neverseen"});
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  // State unchanged by the failed removal.
+  EXPECT_EQ(updater.num_docs(), 1u);
+  EXPECT_TRUE(updater.Snapshot().ok());
+}
+
+TEST_F(UpdaterTest, RemoveFromEmptyFails) {
+  RepresentativeUpdater updater("e", &analyzer_);
+  EXPECT_EQ(updater.Remove({"d", "x"}).code(),
+            Status::Code::kFailedPrecondition);
+}
+
+TEST_F(UpdaterTest, EmptyDocumentCountsTowardN) {
+  RepresentativeUpdater updater("e", &analyzer_);
+  updater.Add({"d0", "zorp"});
+  updater.Add({"d1", ""});
+  auto rep = updater.Snapshot();
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.value().num_docs(), 2u);
+  EXPECT_NEAR(rep.value().Find("zorp")->p, 0.5, 1e-12);
+}
+
+TEST_F(UpdaterTest, TripletSnapshot) {
+  RepresentativeUpdater updater("e", &analyzer_);
+  updater.Add({"d0", "zorp zorp blat"});
+  auto rep = updater.Snapshot(RepresentativeKind::kTriplet);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.value().kind(), RepresentativeKind::kTriplet);
+  EXPECT_EQ(rep.value().Find("zorp")->max_weight, 0.0);
+}
+
+TEST_F(UpdaterTest, UnnormalizedMode) {
+  UpdaterOptions opts;
+  opts.cosine_normalize = false;
+  RepresentativeUpdater updater("e", &analyzer_, opts);
+  updater.Add({"d0", "zorp zorp zorp"});
+  updater.Add({"d1", "zorp"});
+  auto rep = updater.Snapshot();
+  ASSERT_TRUE(rep.ok());
+  auto zorp = rep.value().Find("zorp");
+  ASSERT_TRUE(zorp.has_value());
+  EXPECT_DOUBLE_EQ(zorp->avg_weight, 2.0);  // mean of tf {3, 1}
+  EXPECT_DOUBLE_EQ(zorp->max_weight, 3.0);
+  EXPECT_DOUBLE_EQ(zorp->stddev, 1.0);
+}
+
+}  // namespace
+}  // namespace useful::represent

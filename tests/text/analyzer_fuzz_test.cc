@@ -1,0 +1,53 @@
+// The analysis chain must digest arbitrary bytes without crashing and
+// always emit well-formed tokens — documents on the open web are exactly
+// that hostile.
+#include <gtest/gtest.h>
+
+#include "text/analyzer.h"
+#include "util/random.h"
+
+namespace useful::text {
+namespace {
+
+class AnalyzerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalyzerFuzz, ArbitraryBytesNeverCrash) {
+  Pcg32 rng(GetParam());
+  AnalyzerOptions opts;
+  opts.stem = true;  // run the whole chain
+  Analyzer analyzer(opts);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input(rng.NextBounded(2048), '\0');
+    for (char& c : input) c = static_cast<char>(rng.NextU32());
+    for (const std::string& token : analyzer.Analyze(input)) {
+      ASSERT_FALSE(token.empty());
+      ASSERT_LE(token.size(), Tokenizer::kMaxTokenLength);
+      for (char c : token) {
+        // Tokens are lower-case alphanumerics with inner '/'-free
+        // apostrophes/hyphens only.
+        ASSERT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '\'' || c == '-')
+            << static_cast<int>(c);
+      }
+    }
+  }
+}
+
+TEST_P(AnalyzerFuzz, StemmerHandlesArbitraryLowercaseWords) {
+  Pcg32 rng(GetParam() ^ 0xbeef);
+  PorterStemmer stemmer;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string word(1 + rng.NextBounded(24), 'a');
+    for (char& c : word) {
+      c = static_cast<char>('a' + rng.NextBounded(26));
+    }
+    std::string stem = stemmer.Stem(word);
+    ASSERT_LE(stem.size(), word.size());
+    ASSERT_GE(stem.size(), word.empty() ? 0u : 1u) << word;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyzerFuzz, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace useful::text

@@ -1,0 +1,70 @@
+#include "text/analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace useful::text {
+namespace {
+
+TEST(AnalyzerTest, DefaultRemovesStopwordsNoStemming) {
+  Analyzer a;
+  auto terms = a.Analyze("The usefulness of the search engines");
+  EXPECT_EQ(terms,
+            (std::vector<std::string>{"usefulness", "search", "engines"}));
+}
+
+TEST(AnalyzerTest, StemmingEnabled) {
+  AnalyzerOptions opts;
+  opts.stem = true;
+  Analyzer a(opts);
+  auto terms = a.Analyze("searching searched searches");
+  EXPECT_EQ(terms, (std::vector<std::string>{"search", "search", "search"}));
+}
+
+TEST(AnalyzerTest, StopwordRemovalDisabled) {
+  AnalyzerOptions opts;
+  opts.remove_stopwords = false;
+  Analyzer a(opts);
+  auto terms = a.Analyze("the cat");
+  EXPECT_EQ(terms, (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(AnalyzerTest, MinTokenLengthFilters) {
+  AnalyzerOptions opts;
+  opts.remove_stopwords = false;
+  opts.min_token_length = 3;
+  Analyzer a(opts);
+  auto terms = a.Analyze("go to the market");
+  EXPECT_EQ(terms, (std::vector<std::string>{"the", "market"}));
+}
+
+TEST(AnalyzerTest, MinLengthAppliesAfterStemming) {
+  AnalyzerOptions opts;
+  opts.stem = true;
+  opts.min_token_length = 4;
+  Analyzer a(opts);
+  // "ties" stems to "ti" (length 2) and is then dropped.
+  auto terms = a.Analyze("ties bundles");
+  EXPECT_EQ(terms, (std::vector<std::string>{"bundl"}));
+}
+
+TEST(AnalyzerTest, AllStopwordsYieldEmpty) {
+  Analyzer a;
+  EXPECT_TRUE(a.Analyze("the of and is").empty());
+  EXPECT_TRUE(a.Analyze("").empty());
+}
+
+TEST(AnalyzerTest, PreservesDuplicates) {
+  Analyzer a;
+  auto terms = a.Analyze("data data data");
+  EXPECT_EQ(terms.size(), 3u);
+}
+
+TEST(AnalyzerTest, QueryAndDocumentAgree) {
+  // The core invariant: the same surface form analyzes identically whether
+  // it came from a document or a query.
+  Analyzer a;
+  EXPECT_EQ(a.Analyze("Metasearch ENGINES!"), a.Analyze("metasearch engines"));
+}
+
+}  // namespace
+}  // namespace useful::text

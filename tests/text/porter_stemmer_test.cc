@@ -1,0 +1,138 @@
+#include "text/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace useful::text {
+namespace {
+
+class PorterTest : public ::testing::Test {
+ protected:
+  std::string Stem(std::string_view w) { return stemmer_.Stem(w); }
+  PorterStemmer stemmer_;
+};
+
+// Vectors from Porter's 1980 paper, step by step.
+TEST_F(PorterTest, Step1aPlurals) {
+  EXPECT_EQ(Stem("caresses"), "caress");
+  EXPECT_EQ(Stem("ponies"), "poni");
+  EXPECT_EQ(Stem("caress"), "caress");
+  EXPECT_EQ(Stem("cats"), "cat");
+}
+
+TEST_F(PorterTest, Step1bPastAndGerund) {
+  EXPECT_EQ(Stem("feed"), "feed");
+  EXPECT_EQ(Stem("agreed"), "agre");
+  EXPECT_EQ(Stem("plastered"), "plaster");
+  EXPECT_EQ(Stem("bled"), "bled");
+  EXPECT_EQ(Stem("motoring"), "motor");
+  EXPECT_EQ(Stem("sing"), "sing");
+}
+
+TEST_F(PorterTest, Step1bFixups) {
+  EXPECT_EQ(Stem("conflated"), "conflat");
+  EXPECT_EQ(Stem("troubled"), "troubl");
+  EXPECT_EQ(Stem("sized"), "size");
+  EXPECT_EQ(Stem("hopping"), "hop");
+  EXPECT_EQ(Stem("tanned"), "tan");
+  EXPECT_EQ(Stem("falling"), "fall");
+  EXPECT_EQ(Stem("hissing"), "hiss");
+  EXPECT_EQ(Stem("fizzed"), "fizz");
+  EXPECT_EQ(Stem("failing"), "fail");
+  EXPECT_EQ(Stem("filing"), "file");
+}
+
+TEST_F(PorterTest, Step1cYToI) {
+  EXPECT_EQ(Stem("happy"), "happi");
+  EXPECT_EQ(Stem("sky"), "sky");
+}
+
+TEST_F(PorterTest, Step2Suffixes) {
+  EXPECT_EQ(Stem("relational"), "relat");
+  EXPECT_EQ(Stem("conditional"), "condit");
+  EXPECT_EQ(Stem("rational"), "ration");
+  EXPECT_EQ(Stem("valenci"), "valenc");
+  EXPECT_EQ(Stem("hesitanci"), "hesit");
+  EXPECT_EQ(Stem("digitizer"), "digit");
+  EXPECT_EQ(Stem("conformabli"), "conform");
+  EXPECT_EQ(Stem("radicalli"), "radic");
+  EXPECT_EQ(Stem("differentli"), "differ");
+  EXPECT_EQ(Stem("vileli"), "vile");
+  EXPECT_EQ(Stem("analogousli"), "analog");
+  EXPECT_EQ(Stem("vietnamization"), "vietnam");
+  EXPECT_EQ(Stem("predication"), "predic");
+  EXPECT_EQ(Stem("operator"), "oper");
+  EXPECT_EQ(Stem("feudalism"), "feudal");
+  EXPECT_EQ(Stem("decisiveness"), "decis");
+  EXPECT_EQ(Stem("hopefulness"), "hope");
+  EXPECT_EQ(Stem("callousness"), "callous");
+  EXPECT_EQ(Stem("formaliti"), "formal");
+  EXPECT_EQ(Stem("sensitiviti"), "sensit");
+  EXPECT_EQ(Stem("sensibiliti"), "sensibl");
+}
+
+TEST_F(PorterTest, Step3Suffixes) {
+  EXPECT_EQ(Stem("triplicate"), "triplic");
+  EXPECT_EQ(Stem("formative"), "form");
+  EXPECT_EQ(Stem("formalize"), "formal");
+  // Porter's per-step examples show -iciti/-ical -> -ic, but the full
+  // algorithm's step 4 then strips the -ic (m > 1), as in the reference
+  // implementation.
+  EXPECT_EQ(Stem("electriciti"), "electr");
+  EXPECT_EQ(Stem("electrical"), "electr");
+  EXPECT_EQ(Stem("hopeful"), "hope");
+  EXPECT_EQ(Stem("goodness"), "good");
+}
+
+TEST_F(PorterTest, Step4Suffixes) {
+  EXPECT_EQ(Stem("revival"), "reviv");
+  EXPECT_EQ(Stem("allowance"), "allow");
+  EXPECT_EQ(Stem("inference"), "infer");
+  EXPECT_EQ(Stem("airliner"), "airlin");
+  EXPECT_EQ(Stem("gyroscopic"), "gyroscop");
+  EXPECT_EQ(Stem("adjustable"), "adjust");
+  EXPECT_EQ(Stem("defensible"), "defens");
+  EXPECT_EQ(Stem("irritant"), "irrit");
+  EXPECT_EQ(Stem("replacement"), "replac");
+  EXPECT_EQ(Stem("adjustment"), "adjust");
+  EXPECT_EQ(Stem("dependent"), "depend");
+  EXPECT_EQ(Stem("adoption"), "adopt");
+  EXPECT_EQ(Stem("homologou"), "homolog");
+  EXPECT_EQ(Stem("communism"), "commun");
+  EXPECT_EQ(Stem("activate"), "activ");
+  EXPECT_EQ(Stem("angulariti"), "angular");
+  EXPECT_EQ(Stem("homologous"), "homolog");
+  EXPECT_EQ(Stem("effective"), "effect");
+  EXPECT_EQ(Stem("bowdlerize"), "bowdler");
+}
+
+TEST_F(PorterTest, Step5Cleanup) {
+  EXPECT_EQ(Stem("probate"), "probat");
+  EXPECT_EQ(Stem("rate"), "rate");
+  EXPECT_EQ(Stem("cease"), "ceas");
+  EXPECT_EQ(Stem("controll"), "control");
+  EXPECT_EQ(Stem("roll"), "roll");
+}
+
+TEST_F(PorterTest, ShortWordsUntouched) {
+  EXPECT_EQ(Stem("a"), "a");
+  EXPECT_EQ(Stem("is"), "is");
+  EXPECT_EQ(Stem(""), "");
+}
+
+TEST_F(PorterTest, IrConflation) {
+  // The practical point: morphological variants conflate.
+  EXPECT_EQ(Stem("connect"), Stem("connected"));
+  EXPECT_EQ(Stem("connect"), Stem("connecting"));
+  EXPECT_EQ(Stem("connect"), Stem("connection"));
+  EXPECT_EQ(Stem("connect"), Stem("connections"));
+  EXPECT_EQ(Stem("retrieval"), Stem("retrieve"));  // both "retriev"
+}
+
+TEST_F(PorterTest, StemInPlace) {
+  std::string w = "running";
+  PorterStemmer().StemInPlace(&w);
+  EXPECT_EQ(w, "run");
+}
+
+}  // namespace
+}  // namespace useful::text

@@ -1,0 +1,46 @@
+#include "text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace useful::text {
+namespace {
+
+TEST(StopwordListTest, ContainsClassicStopwords) {
+  StopwordList list;
+  // The paper's own examples of "non-content words".
+  EXPECT_TRUE(list.Contains("the"));
+  EXPECT_TRUE(list.Contains("of"));
+  EXPECT_TRUE(list.Contains("and"));
+  EXPECT_TRUE(list.Contains("is"));
+  EXPECT_TRUE(list.Contains("a"));
+}
+
+TEST(StopwordListTest, DoesNotContainContentWords) {
+  StopwordList list;
+  EXPECT_FALSE(list.Contains("search"));
+  EXPECT_FALSE(list.Contains("engine"));
+  EXPECT_FALSE(list.Contains("database"));
+  EXPECT_FALSE(list.Contains(""));
+}
+
+TEST(StopwordListTest, CaseSensitiveByDesign) {
+  // Tokens are lower-cased before the filter; the list stores lower case.
+  StopwordList list;
+  EXPECT_FALSE(list.Contains("The"));
+}
+
+TEST(StopwordListTest, HasSubstantialCoverage) {
+  StopwordList list;
+  EXPECT_GE(list.size(), 150u);
+}
+
+TEST(StopwordListTest, CustomList) {
+  StopwordList list({{"foo"}, {"bar"}});
+  EXPECT_TRUE(list.Contains("foo"));
+  EXPECT_TRUE(list.Contains("bar"));
+  EXPECT_FALSE(list.Contains("the"));
+  EXPECT_EQ(list.size(), 2u);
+}
+
+}  // namespace
+}  // namespace useful::text

@@ -1,0 +1,77 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace useful::text {
+namespace {
+
+std::vector<std::string> Tok(std::string_view s) {
+  return Tokenizer().Tokenize(s);
+}
+
+TEST(TokenizerTest, SplitsOnWhitespace) {
+  EXPECT_EQ(Tok("alpha beta gamma"),
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+}
+
+TEST(TokenizerTest, Lowercases) {
+  EXPECT_EQ(Tok("Alpha BETA"), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(TokenizerTest, StripsPunctuation) {
+  EXPECT_EQ(Tok("hello, world! (really)"),
+            (std::vector<std::string>{"hello", "world", "really"}));
+}
+
+TEST(TokenizerTest, KeepsIntraWordApostrophesAndHyphens) {
+  EXPECT_EQ(Tok("don't meta-search"),
+            (std::vector<std::string>{"don't", "meta-search"}));
+}
+
+TEST(TokenizerTest, TrimsEdgePunctuationFromTokens) {
+  EXPECT_EQ(Tok("'quoted' -flag- --"),
+            (std::vector<std::string>{"quoted", "flag"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tok("").empty());
+  EXPECT_TRUE(Tok("   \t\n  ").empty());
+  EXPECT_TRUE(Tok("!!! ... ???").empty());
+}
+
+TEST(TokenizerTest, KeepsShortNumbers) {
+  EXPECT_EQ(Tok("top 10 of 1999"),
+            (std::vector<std::string>{"top", "10", "of", "1999"}));
+}
+
+TEST(TokenizerTest, DropsLongNumbers) {
+  EXPECT_EQ(Tok("id 1234567890 ok"),
+            (std::vector<std::string>{"id", "ok"}));
+}
+
+TEST(TokenizerTest, KeepsAlphanumericMixes) {
+  EXPECT_EQ(Tok("ipv6 x86-64"),
+            (std::vector<std::string>{"ipv6", "x86-64"}));
+}
+
+TEST(TokenizerTest, TruncatesOverlongTokens) {
+  std::string longword(200, 'a');
+  auto tokens = Tok(longword);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].size(), Tokenizer::kMaxTokenLength);
+}
+
+TEST(TokenizerTest, NonAsciiActsAsSeparator) {
+  EXPECT_EQ(Tok("caf\xc3\xa9 bar"),
+            (std::vector<std::string>{"caf", "bar"}));
+}
+
+TEST(TokenizerTest, AppendsToExistingVector) {
+  Tokenizer t;
+  std::vector<std::string> out = {"seed"};
+  t.Tokenize("one two", &out);
+  EXPECT_EQ(out, (std::vector<std::string>{"seed", "one", "two"}));
+}
+
+}  // namespace
+}  // namespace useful::text

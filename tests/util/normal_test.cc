@@ -1,0 +1,105 @@
+#include "util/normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace useful::normal {
+namespace {
+
+TEST(NormalTest, PdfAtZero) {
+  EXPECT_NEAR(Pdf(0.0), 0.3989422804, 1e-9);
+}
+
+TEST(NormalTest, PdfSymmetric) {
+  for (double x : {0.3, 1.0, 2.5}) {
+    EXPECT_DOUBLE_EQ(Pdf(x), Pdf(-x));
+  }
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(Cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Cdf(1.0), 0.8413447461, 1e-9);
+  EXPECT_NEAR(Cdf(-1.0), 0.1586552539, 1e-9);
+  EXPECT_NEAR(Cdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(Cdf(3.0), 0.9986501020, 1e-9);
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(Quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(Quantile(0.975), 1.959963985, 1e-8);
+  EXPECT_NEAR(Quantile(0.999), 3.090232306, 1e-7);
+  // The paper's four-subrange constants (Example 3.3): c1 = 1.15 for the
+  // 87.5 percentile, c2 = 0.318 for 62.5 (the paper rounds to 3 digits).
+  EXPECT_NEAR(Quantile(0.875), 1.1503, 1e-3);
+  EXPECT_NEAR(Quantile(0.625), 0.3186, 1e-3);
+  EXPECT_NEAR(Quantile(0.375), -0.3186, 1e-3);
+  EXPECT_NEAR(Quantile(0.125), -1.1503, 1e-3);
+}
+
+TEST(NormalTest, QuantileEdges) {
+  EXPECT_EQ(Quantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Quantile(1.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Quantile(-0.5), -std::numeric_limits<double>::infinity());
+}
+
+TEST(NormalTest, QuantileCdfRoundTrip) {
+  for (double p = 0.001; p < 1.0; p += 0.007) {
+    EXPECT_NEAR(Cdf(Quantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileSymmetry) {
+  for (double p : {0.01, 0.1, 0.3, 0.45}) {
+    EXPECT_NEAR(Quantile(p), -Quantile(1.0 - p), 1e-9);
+  }
+}
+
+TEST(NormalTest, QuantileMonotone) {
+  double prev = Quantile(0.0005);
+  for (double p = 0.001; p < 1.0; p += 0.001) {
+    double q = Quantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(NormalTest, UpperTailProbMatchesCdf) {
+  for (double a : {-2.0, -0.5, 0.0, 0.7, 2.3}) {
+    EXPECT_NEAR(UpperTailProb(a), 1.0 - Cdf(a), 1e-12);
+  }
+}
+
+TEST(NormalTest, UpperTailMeanAtZero) {
+  // E[Z | Z >= 0] = sqrt(2/pi) ~ 0.7979.
+  EXPECT_NEAR(UpperTailMean(0.0), std::sqrt(2.0 / M_PI), 1e-9);
+}
+
+TEST(NormalTest, UpperTailMeanOfWholeLineIsZero) {
+  // As a -> -inf the conditional mean approaches the unconditional mean 0.
+  EXPECT_NEAR(UpperTailMean(-8.0), 0.0, 1e-10);
+}
+
+TEST(NormalTest, UpperTailMeanExceedsCutoff) {
+  for (double a : {-1.0, 0.0, 0.5, 1.5, 3.0}) {
+    EXPECT_GT(UpperTailMean(a), a);
+  }
+}
+
+TEST(NormalTest, UpperTailMeanMonotone) {
+  double prev = UpperTailMean(-4.0);
+  for (double a = -3.9; a < 4.0; a += 0.1) {
+    double m = UpperTailMean(a);
+    EXPECT_GT(m, prev) << "a=" << a;
+    prev = m;
+  }
+}
+
+TEST(NormalTest, UpperTailMeanDeepTailFinite) {
+  double m = UpperTailMean(40.0);
+  EXPECT_TRUE(std::isfinite(m));
+  EXPECT_GE(m, 40.0);
+}
+
+}  // namespace
+}  // namespace useful::normal

@@ -1,0 +1,119 @@
+#include "util/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace useful {
+namespace {
+
+TEST(ByteQuantizerTest, TrainRejectsEmpty) {
+  auto r = ByteQuantizer::Train({}, 0.0, 1.0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ByteQuantizerTest, TrainRejectsBadRange) {
+  EXPECT_FALSE(ByteQuantizer::Train({0.5}, 1.0, 1.0).ok());
+  EXPECT_FALSE(ByteQuantizer::Train({0.5}, 2.0, 1.0).ok());
+}
+
+TEST(ByteQuantizerTest, RoundTripErrorBoundedByIntervalWidth) {
+  Pcg32 rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.NextDouble());
+  auto r = ByteQuantizer::Train(values, 0.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  const ByteQuantizer& q = r.value();
+  const double width = 1.0 / 256.0;
+  for (double v : values) {
+    EXPECT_NEAR(q.Approximate(v), v, width);
+  }
+}
+
+TEST(ByteQuantizerTest, DecodeIsIntervalAverage) {
+  // Two values in the same interval decode to their average. Interval 25
+  // spans [25/256, 26/256) = [0.09766, 0.10156).
+  std::vector<double> values = {0.098, 0.101};
+  auto r = ByteQuantizer::Train(values, 0.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Encode(0.098), r.value().Encode(0.101));
+  EXPECT_NEAR(r.value().Approximate(0.098), 0.0995, 1e-12);
+}
+
+TEST(ByteQuantizerTest, EmptyIntervalsDecodeToMidpoint) {
+  auto r = ByteQuantizer::Train({0.5}, 0.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  // Interval 0 saw no values; its decode is the midpoint.
+  EXPECT_NEAR(r.value().Decode(0), 0.5 / 256.0, 1e-12);
+  EXPECT_NEAR(r.value().Decode(255), (255.0 + 0.5) / 256.0, 1e-12);
+}
+
+TEST(ByteQuantizerTest, OutOfRangeValuesClamp) {
+  auto r = ByteQuantizer::Train({0.2, 0.9}, 0.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Encode(-5.0), 0);
+  EXPECT_EQ(r.value().Encode(42.0), 255);
+}
+
+TEST(ByteQuantizerTest, EncodeMonotone) {
+  Pcg32 rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.NextDouble() * 3.0);
+  auto r = ByteQuantizer::Train(values, 0.0, 3.0);
+  ASSERT_TRUE(r.ok());
+  for (double v = 0.0; v < 2.99; v += 0.01) {
+    EXPECT_LE(r.value().Encode(v), r.value().Encode(v + 0.01));
+  }
+}
+
+TEST(ByteQuantizerTest, NonUnitRange) {
+  std::vector<double> values = {10.0, 20.0, 30.0};
+  auto r = ByteQuantizer::Train(values, 0.0, 40.0);
+  ASSERT_TRUE(r.ok());
+  const double width = 40.0 / 256.0;
+  for (double v : values) {
+    EXPECT_NEAR(r.value().Approximate(v), v, width);
+  }
+}
+
+TEST(ByteQuantizerTest, HiBoundaryValueEncodesTo255) {
+  auto r = ByteQuantizer::Train({1.0}, 0.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Encode(1.0), 255);
+  EXPECT_NEAR(r.value().Approximate(1.0), 1.0, 1e-12);
+}
+
+TEST(ByteQuantizerTest, CodebookBytesConstant) {
+  EXPECT_EQ(ByteQuantizer::CodebookBytes(), 256 * sizeof(double));
+}
+
+// Property sweep: quantization of skewed distributions keeps the mean
+// nearly unchanged (interval-average codebooks are mean-preserving).
+class QuantizerMeanPreservation : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantizerMeanPreservation, MeanPreserved) {
+  Pcg32 rng(7);
+  const double exponent = GetParam();
+  std::vector<double> values;
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    double v = std::pow(rng.NextDouble(), exponent);
+    values.push_back(v);
+    sum += v;
+  }
+  auto r = ByteQuantizer::Train(values, 0.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  double approx_sum = 0.0;
+  for (double v : values) approx_sum += r.value().Approximate(v);
+  EXPECT_NEAR(approx_sum / sum, 1.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, QuantizerMeanPreservation,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 5.0, 10.0));
+
+}  // namespace
+}  // namespace useful

@@ -1,0 +1,172 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace useful {
+namespace {
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  Pcg32 a(123, 7), b(123, 7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() != b.NextU32()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Pcg32Test, DifferentStreamsDiffer) {
+  Pcg32 a(1, 10), b(1, 11);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() != b.NextU32()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Pcg32Test, BoundedStaysInBounds) {
+  Pcg32 rng(99);
+  for (std::uint32_t bound : {1u, 2u, 3u, 17u, 1000u}) {
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32Test, BoundedOneAlwaysZero) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Pcg32Test, DoubleInUnitInterval) {
+  Pcg32 rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Pcg32Test, DoubleMeanNearHalf) {
+  Pcg32 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Pcg32Test, UniformRange) {
+  Pcg32 rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextUniform(-3.0, 7.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 7.0);
+  }
+}
+
+TEST(Pcg32Test, GaussianMoments) {
+  Pcg32 rng(21);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Pcg32Test, GaussianShiftScale) {
+  Pcg32 rng(22);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Pcg32Test, ExponentialMean) {
+  Pcg32 rng(33);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double e = rng.NextExponential(2.0);
+    ASSERT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Pcg32Test, ZipfInRange) {
+  Pcg32 rng(44);
+  for (double s : {0.0, 0.5, 1.0, 1.5}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.NextZipf(100, s), 100u);
+    }
+  }
+}
+
+TEST(Pcg32Test, ZipfSingleElement) {
+  Pcg32 rng(45);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextZipf(1, 1.2), 0u);
+}
+
+TEST(Pcg32Test, ZipfRankZeroMostFrequent) {
+  Pcg32 rng(46);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[rng.NextZipf(20, 1.0)];
+  }
+  // Frequencies must be (statistically) decreasing with rank; check the
+  // strong head-vs-tail contrast instead of exact ratios.
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], 5 * counts[19]);
+  // Rank 0 should draw about 1/H_20 of the mass (~28%).
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 50000.0, 0.28, 0.04);
+}
+
+TEST(Pcg32Test, ZipfExponentZeroIsUniform) {
+  Pcg32 rng(47);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.NextZipf(10, 0.0)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 50000.0, 0.1, 0.015);
+  }
+}
+
+TEST(Pcg32Test, DiscreteRespectsWeights) {
+  Pcg32 rng(55);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.NextDiscrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 40000.0, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 40000.0, 0.75, 0.02);
+}
+
+TEST(Pcg32Test, ShuffleIsPermutation) {
+  Pcg32 rng(66);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v.begin(), v.end());
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), orig.begin()));  // overwhelming
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace useful

@@ -1,0 +1,76 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace useful {
+namespace {
+
+TEST(SplitNonEmptyTest, BasicSplit) {
+  auto parts = SplitNonEmpty("a b c", " ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitNonEmptyTest, DropsEmptyPieces) {
+  auto parts = SplitNonEmpty("  a   b  ", " ");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(SplitNonEmptyTest, MultipleDelimiters) {
+  auto parts = SplitNonEmpty("a,b;c", ",;");
+  ASSERT_EQ(parts.size(), 3u);
+}
+
+TEST(SplitNonEmptyTest, EmptyInput) {
+  EXPECT_TRUE(SplitNonEmpty("", " ").empty());
+  EXPECT_TRUE(SplitNonEmpty("   ", " ").empty());
+}
+
+TEST(LowerAsciiTest, Lowercases) {
+  EXPECT_EQ(LowerAscii("HeLLo World"), "hello world");
+  EXPECT_EQ(LowerAscii("abc123!"), "abc123!");
+}
+
+TEST(LowerAsciiTest, InPlace) {
+  std::string s = "ABC";
+  ToLowerAscii(&s);
+  EXPECT_EQ(s, "abc");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringPrintfTest, Formats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+TEST(StringPrintfTest, LongOutput) {
+  std::string long_arg(5000, 'y');
+  std::string out = StringPrintf("%s", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5000u);
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("foo", "foobar"));
+  EXPECT_FALSE(StartsWith("foo", "bar"));
+}
+
+TEST(HumanBytesTest, Units) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+}  // namespace
+}  // namespace useful

@@ -1,0 +1,112 @@
+#include "util/summary_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace useful {
+namespace {
+
+TEST(SummaryStatsTest, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(SummaryStatsTest, SingleValue) {
+  SummaryStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.sum(), 3.5);
+}
+
+TEST(SummaryStatsTest, KnownPopulationStats) {
+  // Paper Example 3.1 term 1: weights {3, 1, 2} -> mean 2.
+  SummaryStats s;
+  for (double v : {3.0, 1.0, 2.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  // Population variance = ((1)^2 + (1)^2 + 0)/3 = 2/3.
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(SummaryStatsTest, NumericallyStableForShiftedData) {
+  SummaryStats s;
+  // Large offset would destroy a naive sum-of-squares implementation.
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(SummaryStatsTest, MergeMatchesSequential) {
+  Pcg32 rng(3);
+  SummaryStats all, left, right;
+  for (int i = 0; i < 2000; ++i) {
+    double v = rng.NextGaussian(2.0, 5.0);
+    all.Add(v);
+    (i < 700 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(SummaryStatsTest, MergeWithEmpty) {
+  SummaryStats a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  SummaryStats a_copy = a;
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), a_copy.mean());
+  b.Merge(a);  // adopts
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), 1.5);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(PercentileTest, SingleValue) {
+  EXPECT_EQ(Percentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(Percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(PercentileTest, Median) {
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0}, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0};
+  EXPECT_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_EQ(Percentile(v, 100.0), 5.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  // 25th percentile of {0, 10}: rank 0.25 -> 2.5.
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(PercentileTest, ClampsPct) {
+  std::vector<double> v = {1.0, 2.0};
+  EXPECT_EQ(Percentile(v, -5.0), 1.0);
+  EXPECT_EQ(Percentile(v, 105.0), 2.0);
+}
+
+}  // namespace
+}  // namespace useful

@@ -1,0 +1,97 @@
+// useful_repgen: builds the binary representative file for a collection —
+// the artifact a local search engine would ship to the metasearch broker.
+//
+//   useful_repgen <collection.trec> <out.rep> [--triplet] [--quantize]
+//                 [--save-index <out.idx>]
+#include <cstdio>
+#include <cstring>
+
+#include "corpus/io.h"
+#include "ir/search_engine.h"
+#include "represent/builder.h"
+#include "represent/quantized.h"
+#include "represent/serialize.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace useful;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: useful_repgen <collection.trec> <out.rep> "
+                 "[--triplet] [--quantize]\n");
+    return 2;
+  }
+  represent::RepresentativeKind kind =
+      represent::RepresentativeKind::kQuadruplet;
+  bool quantize = false;
+  std::string index_path;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--triplet") == 0) {
+      kind = represent::RepresentativeKind::kTriplet;
+    } else if (std::strcmp(argv[i], "--quantize") == 0) {
+      quantize = true;
+    } else if (std::strcmp(argv[i], "--save-index") == 0 && i + 1 < argc) {
+      index_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto collection = corpus::LoadCollection(argv[1]);
+  if (!collection.ok()) {
+    std::fprintf(stderr, "load: %s\n",
+                 collection.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %s: %zu docs, %s of text\n",
+              collection.value().name().c_str(), collection.value().size(),
+              HumanBytes(collection.value().TextBytes()).c_str());
+
+  text::Analyzer analyzer;
+  ir::SearchEngine engine(collection.value().name(), &analyzer);
+  if (Status s = engine.AddCollection(collection.value()); !s.ok()) {
+    std::fprintf(stderr, "index: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = engine.Finalize(); !s.ok()) {
+    std::fprintf(stderr, "finalize: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  if (!index_path.empty()) {
+    if (Status s = engine.SaveToFile(index_path); !s.ok()) {
+      std::fprintf(stderr, "save index: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote index to %s\n", index_path.c_str());
+  }
+
+  auto rep = represent::BuildRepresentative(engine, kind);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "build: %s\n", rep.status().ToString().c_str());
+    return 1;
+  }
+  represent::Representative final_rep = std::move(rep).value();
+  if (quantize) {
+    auto q = represent::QuantizeRepresentative(final_rep);
+    if (!q.ok()) {
+      std::fprintf(stderr, "quantize: %s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    final_rep = std::move(q).value().representative;
+  }
+
+  if (Status s = represent::SaveRepresentative(final_rep, argv[2]); !s.ok()) {
+    std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %s: %zu terms, n=%zu, %s (paper accounting: %s%s)\n", argv[2],
+      final_rep.num_terms(), final_rep.num_docs(),
+      kind == represent::RepresentativeKind::kQuadruplet ? "quadruplets"
+                                                         : "triplets",
+      HumanBytes(final_rep.PaperBytes(quantize ? 1 : 4)).c_str(),
+      quantize ? ", one-byte numbers" : "");
+  return 0;
+}
