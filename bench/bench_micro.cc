@@ -5,13 +5,17 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "broker/metasearcher.h"
 #include "common.h"
 #include "estimate/adaptive_estimator.h"
 #include "estimate/basic_estimator.h"
 #include "estimate/gloss_estimators.h"
+#include "estimate/resolved_query.h"
 #include "estimate/subrange_estimator.h"
+#include "eval/experiment.h"
 #include "represent/builder.h"
 #include "represent/quantized.h"
 #include "represent/serialize.h"
@@ -100,6 +104,57 @@ BENCHMARK(BM_Estimator<estimate::AdaptiveEstimator>);
 BENCHMARK(BM_Estimator<estimate::HighCorrelationEstimator>);
 BENCHMARK(BM_Estimator<estimate::DisjointEstimator>);
 
+// The paper's evaluation scores every query at 6 thresholds. Scalar sweep:
+// 6 independent Estimate calls (re-resolving terms and re-expanding each
+// time). Batch sweep: one ResolvedQuery + one EstimateBatch through a
+// reused workspace. The ratio of these two is the single-thread win of the
+// batched pipeline.
+const std::vector<double>& SweepThresholds() {
+  static const std::vector<double> thresholds = {0.1, 0.2, 0.3,
+                                                 0.4, 0.5, 0.6};
+  return thresholds;
+}
+
+template <typename Estimator>
+void BM_EstimatorScalarSweep(benchmark::State& state) {
+  const auto& f = GetD1();
+  Estimator est;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const ir::Query& q = f.queries[i++ % f.queries.size()];
+    for (double threshold : SweepThresholds()) {
+      auto u = est.Estimate(f.rep, q, threshold);
+      benchmark::DoNotOptimize(u);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(SweepThresholds().size()));
+}
+BENCHMARK(BM_EstimatorScalarSweep<estimate::SubrangeEstimator>);
+BENCHMARK(BM_EstimatorScalarSweep<estimate::BasicEstimator>);
+BENCHMARK(BM_EstimatorScalarSweep<estimate::AdaptiveEstimator>);
+
+template <typename Estimator>
+void BM_EstimatorBatchSweep(benchmark::State& state) {
+  const auto& f = GetD1();
+  Estimator est;
+  estimate::ExpansionWorkspace ws;
+  std::vector<estimate::UsefulnessEstimate> out(SweepThresholds().size());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const ir::Query& q = f.queries[i++ % f.queries.size()];
+    estimate::ResolvedQuery rq(f.rep, q);
+    est.EstimateBatch(rq, SweepThresholds(), ws,
+                      std::span<estimate::UsefulnessEstimate>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(SweepThresholds().size()));
+}
+BENCHMARK(BM_EstimatorBatchSweep<estimate::SubrangeEstimator>);
+BENCHMARK(BM_EstimatorBatchSweep<estimate::BasicEstimator>);
+BENCHMARK(BM_EstimatorBatchSweep<estimate::AdaptiveEstimator>);
+
 void BM_ExactEvaluation(benchmark::State& state) {
   const auto& f = GetD1();
   std::size_t i = 0;
@@ -158,6 +213,58 @@ void BM_BrokerSelection53Engines(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BrokerSelection53Engines);
+
+// Thread scaling of the broker's rank/select fan-out over 53 engines.
+// Arg = thread count; 1 is the serial path. Selections are bit-identical
+// at every setting (asserted by the broker tests); only latency moves.
+void BM_BrokerSelectionThreads(benchmark::State& state) {
+  static const auto* setup = [] {
+    const auto& tb = bench::GetTestbed();
+    auto* s = new std::pair<std::vector<std::unique_ptr<ir::SearchEngine>>,
+                            std::unique_ptr<broker::Metasearcher>>();
+    s->second = std::make_unique<broker::Metasearcher>(&tb.analyzer);
+    for (const corpus::Collection& g : tb.sim->groups()) {
+      s->first.push_back(bench::BuildEngine(g));
+      if (!s->second->RegisterEngine(s->first.back().get()).ok()) std::abort();
+    }
+    return s;
+  }();
+  setup->second->SetParallelism(static_cast<std::size_t>(state.range(0)));
+  const auto& f = GetD1();
+  estimate::SubrangeEstimator est;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const ir::Query& q = f.queries[i++ % f.queries.size()];
+    auto selected = setup->second->SelectEngines(q, 0.2, est);
+    benchmark::DoNotOptimize(selected);
+  }
+  setup->second->SetParallelism(1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 53);
+}
+BENCHMARK(BM_BrokerSelectionThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Thread scaling of the full experiment runner (512 queries x 6
+// thresholds x subrange) — the eval-side parallel reduction.
+void BM_ExperimentRunnerThreads(benchmark::State& state) {
+  const auto& f = GetD1();
+  estimate::SubrangeEstimator est;
+  std::vector<eval::MethodUnderTest> methods = {{&est, &f.rep, ""}};
+  eval::ExperimentConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto rows = eval::RunExperimentParsed(*f.engine, f.queries, methods,
+                                          config);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.queries.size()));
+}
+BENCHMARK(BM_ExperimentRunnerThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -12,30 +12,41 @@ Metasearcher::Metasearcher(const text::Analyzer* analyzer)
   assert(analyzer_ != nullptr);
 }
 
+void Metasearcher::SetParallelism(std::size_t threads) {
+  std::size_t resolved = util::ThreadPool::ResolveThreads(threads);
+  pool_ = resolved <= 1 ? nullptr
+                        : std::make_unique<util::ThreadPool>(resolved);
+}
+
+std::size_t Metasearcher::IndexOf(std::string_view name) const {
+  auto it = index_by_name_.find(name);
+  return it == index_by_name_.end() ? entries_.size() : it->second;
+}
+
 Status Metasearcher::RegisterEngine(const ir::SearchEngine* engine,
                                     represent::RepresentativeKind kind) {
   if (engine == nullptr) {
     return Status::InvalidArgument("RegisterEngine: null engine");
   }
+  // Reject duplicates before paying for the representative build — for a
+  // large engine the build walks the entire inverted index.
+  if (IndexOf(engine->name()) != entries_.size()) {
+    return Status::InvalidArgument("duplicate engine name: " +
+                                   engine->name());
+  }
   auto rep = represent::BuildRepresentative(*engine, kind);
   if (!rep.ok()) return rep.status();
-  for (const Entry& e : entries_) {
-    if (e.rep.engine_name() == engine->name()) {
-      return Status::InvalidArgument("duplicate engine name: " +
-                                     engine->name());
-    }
-  }
+  index_by_name_.emplace(engine->name(), entries_.size());
   entries_.push_back(Entry{std::move(rep).value(), engine});
   return Status::OK();
 }
 
 Status Metasearcher::RegisterRepresentative(represent::Representative rep) {
-  for (const Entry& e : entries_) {
-    if (e.rep.engine_name() == rep.engine_name()) {
-      return Status::InvalidArgument("duplicate engine name: " +
-                                     rep.engine_name());
-    }
+  if (IndexOf(rep.engine_name()) != entries_.size()) {
+    return Status::InvalidArgument("duplicate engine name: " +
+                                   rep.engine_name());
   }
+  index_by_name_.emplace(rep.engine_name(), entries_.size());
   entries_.push_back(Entry{std::move(rep), nullptr});
   return Status::OK();
 }
@@ -43,11 +54,19 @@ Status Metasearcher::RegisterRepresentative(represent::Representative rep) {
 std::vector<EngineSelection> Metasearcher::RankEngines(
     const ir::Query& q, double threshold,
     const estimate::UsefulnessEstimator& estimator) const {
-  std::vector<EngineSelection> ranked;
-  ranked.reserve(entries_.size());
-  for (const Entry& e : entries_) {
-    ranked.push_back(EngineSelection{
-        e.rep.engine_name(), estimator.Estimate(e.rep, q, threshold)});
+  std::vector<EngineSelection> ranked(entries_.size());
+  auto score_one = [&](std::size_t i) {
+    const Entry& e = entries_[i];
+    ranked[i] = EngineSelection{e.rep.engine_name(),
+                                estimator.Estimate(e.rep, q, threshold)};
+  };
+  if (pool_ != nullptr) {
+    // Order-stable fan-out: every estimate lands at its engine's index, so
+    // the pre-sort sequence — and therefore the sorted output — is
+    // identical to the serial loop below.
+    pool_->ParallelFor(entries_.size(), score_one);
+  } else {
+    for (std::size_t i = 0; i < entries_.size(); ++i) score_one(i);
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const EngineSelection& a, const EngineSelection& b) {
@@ -87,18 +106,14 @@ Result<std::vector<MetasearchResult>> Metasearcher::Search(
 
   std::vector<MetasearchResult> merged;
   for (const EngineSelection& sel : selected) {
-    const Entry* entry = nullptr;
-    for (const Entry& e : entries_) {
-      if (e.rep.engine_name() == sel.engine) {
-        entry = &e;
-        break;
-      }
-    }
-    if (entry == nullptr || entry->live == nullptr) continue;
+    std::size_t idx = IndexOf(sel.engine);
+    if (idx == entries_.size()) continue;
+    const Entry& entry = entries_[idx];
+    if (entry.live == nullptr) continue;
     for (const ir::ScoredDoc& sd :
-         entry->live->SearchAboveThreshold(q, threshold)) {
+         entry.live->SearchAboveThreshold(q, threshold)) {
       merged.push_back(MetasearchResult{
-          sel.engine, entry->live->doc_external_id(sd.doc), sd.score});
+          sel.engine, entry.live->doc_external_id(sd.doc), sd.score});
     }
   }
   std::sort(merged.begin(), merged.end(),
@@ -112,11 +127,12 @@ Result<std::vector<MetasearchResult>> Metasearcher::Search(
 
 Result<const represent::Representative*> Metasearcher::FindRepresentative(
     std::string_view engine_name) const {
-  for (const Entry& e : entries_) {
-    if (e.rep.engine_name() == engine_name) return &e.rep;
+  std::size_t idx = IndexOf(engine_name);
+  if (idx == entries_.size()) {
+    return Status::NotFound(std::string("no such engine: ") +
+                            std::string(engine_name));
   }
-  return Status::NotFound(std::string("no such engine: ") +
-                          std::string(engine_name));
+  return &entries_[idx].rep;
 }
 
 }  // namespace useful::broker

@@ -4,7 +4,9 @@
 // results under the global similarity function.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "estimate/estimator.h"
@@ -13,6 +15,7 @@
 #include "represent/representative.h"
 #include "text/analyzer.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace useful::broker {
 
@@ -51,6 +54,14 @@ class Metasearcher {
 
   std::size_t num_engines() const { return entries_.size(); }
 
+  /// Parallelism of RankEngines/SelectEngines across engines. 1 (the
+  /// default) keeps the fully serial path; 0 means hardware concurrency.
+  /// Results are bit-identical at every setting: per-engine estimates land
+  /// by engine index before the deterministic sort, so scheduling never
+  /// leaks into the output. Not thread-safe against concurrent queries —
+  /// configure the broker before serving.
+  void SetParallelism(std::size_t threads);
+
   /// Estimated usefulness of every registered engine for `q` at
   /// `threshold`, ranked by descending estimated NoDoc (ties: AvgSim, then
   /// name).
@@ -83,8 +94,18 @@ class Metasearcher {
     const ir::SearchEngine* live = nullptr;  // null: selection-only
   };
 
+  /// Index of `name` in entries_, or entries_.size() when unknown.
+  std::size_t IndexOf(std::string_view name) const;
+
   const text::Analyzer* analyzer_;
   std::vector<Entry> entries_;
+  // name -> index into entries_; makes duplicate checks, FindRepresentative
+  // and per-selection dispatch O(1) instead of a linear (or quadratic, in
+  // Search's case) scan over engines.
+  std::unordered_map<std::string, std::size_t, represent::Representative::Hash,
+                     represent::Representative::Eq>
+      index_by_name_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null: serial ranking
 };
 
 }  // namespace useful::broker

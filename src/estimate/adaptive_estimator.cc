@@ -6,49 +6,64 @@
 
 namespace useful::estimate {
 
+void AdaptiveEstimator::EstimateBatch(const ResolvedQuery& rq,
+                                      std::span<const double> thresholds,
+                                      ExpansionWorkspace& ws,
+                                      std::span<UsefulnessEstimate> out) const {
+  // r counts the matched terms before any threshold adjustment.
+  std::size_t num_matched = 0;
+  for (const ResolvedTerm& rt : rq.terms()) {
+    if (rt.stats.p > 0.0 && rt.stats.avg_weight > 0.0) ++num_matched;
+  }
+  const double r = static_cast<double>(num_matched);
+
+  // The truncated-normal adjustment depends on the threshold, so each
+  // threshold gets its own factor build and expansion; the resolution and
+  // the workspace buffers are what the sweep amortizes.
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const double threshold = thresholds[i];
+    ws.ResetFactors(num_matched);
+    std::size_t used = 0;
+    for (const ResolvedTerm& rt : rq.terms()) {
+      const represent::TermStats& ts = rt.stats;
+      if (ts.p <= 0.0 || ts.avg_weight <= 0.0) continue;
+      const double u = rt.weight;
+      double p = ts.p;
+      double w = ts.avg_weight;
+      if (ts.stddev > 0.0 && threshold > 0.0) {
+        // Per-term weight cutoff for an even threshold share.
+        double lambda = (threshold / r) / u;
+        double z = (lambda - w) / ts.stddev;
+        double tail = normal::UpperTailProb(z);
+        if (tail > 0.0) {
+          p = ts.p * tail;
+          w = ts.avg_weight + ts.stddev * normal::UpperTailMean(z);
+        } else {
+          p = 0.0;
+        }
+      }
+      if (p <= 0.0 || w <= 0.0) continue;
+      TermPolynomial& poly = ws.factors()[used++];
+      poly.spikes.push_back(Spike{u * w, std::min(p, 1.0)});
+    }
+    ws.factors().resize(used);
+
+    std::span<const Spike> spikes =
+        SimilarityDistribution::ExpandWith(ws, expand_);
+    out[i].no_doc = SimilarityDistribution::EstimateNoDoc(spikes, threshold,
+                                                          rq.num_docs());
+    out[i].avg_sim = SimilarityDistribution::EstimateAvgSim(spikes, threshold);
+  }
+}
+
 UsefulnessEstimate AdaptiveEstimator::Estimate(
     const represent::Representative& rep, const ir::Query& q,
     double threshold) const {
-  // First pass: which query terms the database knows at all.
-  std::vector<std::pair<double, represent::TermStats>> matched;  // (u, stats)
-  matched.reserve(q.terms.size());
-  for (const ir::QueryTerm& qt : q.terms) {
-    auto ts = rep.Find(qt.term);
-    if (!ts || ts->p <= 0.0 || ts->avg_weight <= 0.0 || qt.weight <= 0.0) {
-      continue;
-    }
-    matched.emplace_back(qt.weight, *ts);
-  }
-
-  std::vector<TermPolynomial> factors;
-  factors.reserve(matched.size());
-  const double r = static_cast<double>(matched.size());
-  for (const auto& [u, ts] : matched) {
-    double p = ts.p;
-    double w = ts.avg_weight;
-    if (ts.stddev > 0.0 && threshold > 0.0) {
-      // Per-term weight cutoff for an even threshold share.
-      double lambda = (threshold / r) / u;
-      double z = (lambda - w) / ts.stddev;
-      double tail = normal::UpperTailProb(z);
-      if (tail > 0.0) {
-        p = ts.p * tail;
-        w = ts.avg_weight + ts.stddev * normal::UpperTailMean(z);
-      } else {
-        p = 0.0;
-      }
-    }
-    if (p <= 0.0 || w <= 0.0) continue;
-    TermPolynomial poly;
-    poly.spikes.push_back(Spike{u * w, std::min(p, 1.0)});
-    factors.push_back(std::move(poly));
-  }
-
-  SimilarityDistribution dist =
-      SimilarityDistribution::Expand(factors, expand_);
+  ResolvedQuery rq(rep, q);
+  ExpansionWorkspace ws;
   UsefulnessEstimate est;
-  est.no_doc = dist.EstimateNoDoc(threshold, rep.num_docs());
-  est.avg_sim = dist.EstimateAvgSim(threshold);
+  EstimateBatch(rq, std::span<const double>(&threshold, 1), ws,
+                std::span<UsefulnessEstimate>(&est, 1));
   return est;
 }
 

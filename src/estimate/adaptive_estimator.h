@@ -39,6 +39,14 @@ class AdaptiveEstimator : public UsefulnessEstimator {
                               const ir::Query& q,
                               double threshold) const override;
 
+  /// The (p, w) adjustment is threshold-dependent, so each threshold still
+  /// expands its own distribution; the batch form amortizes term
+  /// resolution and reuses the workspace's spike buffers.
+  void EstimateBatch(const ResolvedQuery& rq,
+                     std::span<const double> thresholds,
+                     ExpansionWorkspace& ws,
+                     std::span<UsefulnessEstimate> out) const override;
+
  private:
   ExpandOptions expand_;
 };

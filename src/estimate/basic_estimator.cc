@@ -2,26 +2,38 @@
 
 namespace useful::estimate {
 
+void BasicEstimator::EstimateBatch(const ResolvedQuery& rq,
+                                   std::span<const double> thresholds,
+                                   ExpansionWorkspace& ws,
+                                   std::span<UsefulnessEstimate> out) const {
+  ws.ResetFactors(rq.terms().size());
+  std::size_t used = 0;
+  for (const ResolvedTerm& rt : rq.terms()) {
+    if (rt.stats.p <= 0.0 || rt.stats.avg_weight <= 0.0) continue;
+    TermPolynomial& poly = ws.factors()[used++];
+    poly.spikes.push_back(Spike{rt.weight * rt.stats.avg_weight, rt.stats.p});
+  }
+  ws.factors().resize(used);
+
+  // The factor list does not depend on the threshold, so one expansion
+  // serves the whole sweep.
+  std::span<const Spike> spikes = SimilarityDistribution::ExpandWith(ws, expand_);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    out[i].no_doc = SimilarityDistribution::EstimateNoDoc(
+        spikes, thresholds[i], rq.num_docs());
+    out[i].avg_sim = SimilarityDistribution::EstimateAvgSim(spikes,
+                                                            thresholds[i]);
+  }
+}
+
 UsefulnessEstimate BasicEstimator::Estimate(
     const represent::Representative& rep, const ir::Query& q,
     double threshold) const {
-  std::vector<TermPolynomial> factors;
-  factors.reserve(q.terms.size());
-  for (const ir::QueryTerm& qt : q.terms) {
-    auto ts = rep.Find(qt.term);
-    if (!ts || ts->p <= 0.0 || ts->avg_weight <= 0.0 || qt.weight <= 0.0) {
-      continue;
-    }
-    TermPolynomial poly;
-    poly.spikes.push_back(Spike{qt.weight * ts->avg_weight, ts->p});
-    factors.push_back(std::move(poly));
-  }
-
-  SimilarityDistribution dist =
-      SimilarityDistribution::Expand(factors, expand_);
+  ResolvedQuery rq(rep, q);
+  ExpansionWorkspace ws;
   UsefulnessEstimate est;
-  est.no_doc = dist.EstimateNoDoc(threshold, rep.num_docs());
-  est.avg_sim = dist.EstimateAvgSim(threshold);
+  EstimateBatch(rq, std::span<const double>(&threshold, 1), ws,
+                std::span<UsefulnessEstimate>(&est, 1));
   return est;
 }
 

@@ -21,6 +21,13 @@ class BasicEstimator : public UsefulnessEstimator {
                               const ir::Query& q,
                               double threshold) const override;
 
+  /// Threshold-independent factors: resolves once, expands once, then reads
+  /// every threshold off the same distribution.
+  void EstimateBatch(const ResolvedQuery& rq,
+                     std::span<const double> thresholds,
+                     ExpansionWorkspace& ws,
+                     std::span<UsefulnessEstimate> out) const override;
+
  private:
   ExpandOptions expand_;
 };

@@ -9,4 +9,13 @@ long RoundNoDoc(double no_doc) {
   return std::lround(no_doc);
 }
 
+void UsefulnessEstimator::EstimateBatch(
+    const ResolvedQuery& rq, std::span<const double> thresholds,
+    ExpansionWorkspace& ws, std::span<UsefulnessEstimate> out) const {
+  (void)ws;  // the scalar fallback has no scratch to reuse
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    out[i] = Estimate(rq.representative(), rq.query(), thresholds[i]);
+  }
+}
+
 }  // namespace useful::estimate

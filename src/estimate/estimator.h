@@ -6,8 +6,11 @@
 // the exact values computed by ir::SearchEngine.
 #pragma once
 
+#include <span>
 #include <string>
 
+#include "estimate/generating_function.h"
+#include "estimate/resolved_query.h"
 #include "ir/query.h"
 #include "represent/representative.h"
 
@@ -39,6 +42,20 @@ class UsefulnessEstimator {
   virtual UsefulnessEstimate Estimate(const represent::Representative& rep,
                                       const ir::Query& q,
                                       double threshold) const = 0;
+
+  /// Batched form of Estimate: one already-resolved (query, representative)
+  /// pair scored at every threshold in `thresholds`, writing `out[i]` for
+  /// `thresholds[i]` (`out.size() >= thresholds.size()`). `ws` supplies
+  /// reusable expansion scratch; it must be private to the calling thread.
+  ///
+  /// Contract: bit-identical to calling Estimate(rq.representative(),
+  /// rq.query(), thresholds[i]) for each i — overrides exist purely to
+  /// amortize term resolution and expansion work, never to change values.
+  /// The default implementation is that scalar loop.
+  virtual void EstimateBatch(const ResolvedQuery& rq,
+                             std::span<const double> thresholds,
+                             ExpansionWorkspace& ws,
+                             std::span<UsefulnessEstimate> out) const;
 };
 
 }  // namespace useful::estimate

@@ -41,28 +41,48 @@ void Canonicalize(std::vector<Spike>* spikes, const ExpandOptions& options) {
 
 }  // namespace
 
-SimilarityDistribution SimilarityDistribution::Expand(
-    const std::vector<TermPolynomial>& factors, ExpandOptions options) {
-  SimilarityDistribution dist;
-  dist.spikes_ = {Spike{0.0, 1.0}};
+void ExpansionWorkspace::ResetFactors(std::size_t count) {
+  if (factors_.size() > count) factors_.resize(count);
+  for (TermPolynomial& f : factors_) f.spikes.clear();
+  while (factors_.size() < count) factors_.emplace_back();
+}
+
+void SimilarityDistribution::ExpandCore(
+    const std::vector<TermPolynomial>& factors, const ExpandOptions& options,
+    std::vector<Spike>* cur, std::vector<Spike>* next) {
+  cur->clear();
+  cur->push_back(Spike{0.0, 1.0});
 
   for (const TermPolynomial& factor : factors) {
     double zero = factor.ZeroProb();
-    std::vector<Spike> next;
-    next.reserve(dist.spikes_.size() * (factor.spikes.size() + 1));
-    for (const Spike& have : dist.spikes_) {
+    next->clear();
+    next->reserve(cur->size() * (factor.spikes.size() + 1));
+    for (const Spike& have : *cur) {
       if (zero > 0.0) {
-        next.push_back(Spike{have.exponent, have.prob * zero});
+        next->push_back(Spike{have.exponent, have.prob * zero});
       }
       for (const Spike& add : factor.spikes) {
-        next.push_back(
+        next->push_back(
             Spike{have.exponent + add.exponent, have.prob * add.prob});
       }
     }
-    Canonicalize(&next, options);
-    dist.spikes_ = std::move(next);
+    Canonicalize(next, options);
+    std::swap(*cur, *next);
   }
+}
+
+SimilarityDistribution SimilarityDistribution::Expand(
+    const std::vector<TermPolynomial>& factors, ExpandOptions options) {
+  SimilarityDistribution dist;
+  std::vector<Spike> scratch;
+  ExpandCore(factors, options, &dist.spikes_, &scratch);
   return dist;
+}
+
+std::span<const Spike> SimilarityDistribution::ExpandWith(
+    ExpansionWorkspace& ws, const ExpandOptions& options) {
+  ExpandCore(ws.factors_, options, &ws.cur_, &ws.next_);
+  return std::span<const Spike>(ws.cur_);
 }
 
 double SimilarityDistribution::TotalMass() const {
@@ -71,33 +91,54 @@ double SimilarityDistribution::TotalMass() const {
   return total;
 }
 
-double SimilarityDistribution::MassAbove(double threshold) const {
+double SimilarityDistribution::MassAbove(std::span<const Spike> spikes,
+                                         double threshold) {
   double total = 0.0;
-  for (const Spike& s : spikes_) {
+  for (const Spike& s : spikes) {
     if (s.exponent <= threshold) break;  // descending order
     total += s.prob;
   }
   return total;
 }
 
-double SimilarityDistribution::WeightedMassAbove(double threshold) const {
+double SimilarityDistribution::WeightedMassAbove(std::span<const Spike> spikes,
+                                                 double threshold) {
   double total = 0.0;
-  for (const Spike& s : spikes_) {
+  for (const Spike& s : spikes) {
     if (s.exponent <= threshold) break;
     total += s.prob * s.exponent;
   }
   return total;
 }
 
+double SimilarityDistribution::EstimateNoDoc(std::span<const Spike> spikes,
+                                             double threshold,
+                                             std::size_t num_docs) {
+  return static_cast<double>(num_docs) * MassAbove(spikes, threshold);
+}
+
+double SimilarityDistribution::EstimateAvgSim(std::span<const Spike> spikes,
+                                              double threshold) {
+  double mass = MassAbove(spikes, threshold);
+  if (mass <= 0.0) return 0.0;
+  return WeightedMassAbove(spikes, threshold) / mass;
+}
+
+double SimilarityDistribution::MassAbove(double threshold) const {
+  return MassAbove(std::span<const Spike>(spikes_), threshold);
+}
+
+double SimilarityDistribution::WeightedMassAbove(double threshold) const {
+  return WeightedMassAbove(std::span<const Spike>(spikes_), threshold);
+}
+
 double SimilarityDistribution::EstimateNoDoc(double threshold,
                                              std::size_t num_docs) const {
-  return static_cast<double>(num_docs) * MassAbove(threshold);
+  return EstimateNoDoc(std::span<const Spike>(spikes_), threshold, num_docs);
 }
 
 double SimilarityDistribution::EstimateAvgSim(double threshold) const {
-  double mass = MassAbove(threshold);
-  if (mass <= 0.0) return 0.0;
-  return WeightedMassAbove(threshold) / mass;
+  return EstimateAvgSim(std::span<const Spike>(spikes_), threshold);
 }
 
 }  // namespace useful::estimate

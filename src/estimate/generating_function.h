@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace useful::estimate {
@@ -49,6 +50,33 @@ struct ExpandOptions {
   double prob_floor = 1e-12;
 };
 
+/// Reusable scratch memory for repeated expansions (the batched estimation
+/// hot path). Holds the factor list an estimator fills per (query, rep)
+/// pair plus the ping-pong spike buffers the product multiplies through,
+/// so a steady-state Expand allocates nothing once capacities have grown
+/// to the workload's working set.
+///
+/// A workspace is single-threaded state: one per thread, never shared.
+/// The span returned by SimilarityDistribution::ExpandWith points into the
+/// workspace and is invalidated by the next ExpandWith on it.
+class ExpansionWorkspace {
+ public:
+  /// The factor list for the next ExpandWith call. Use ResetFactors to
+  /// reuse the inner spike vectors' capacity across calls.
+  std::vector<TermPolynomial>& factors() { return factors_; }
+
+  /// Clears every factor's spike list and trims the list to `count`
+  /// entries without freeing inner capacity (grows if needed). After the
+  /// call, factors()[0..count) are empty polynomials ready to be filled.
+  void ResetFactors(std::size_t count);
+
+ private:
+  friend class SimilarityDistribution;
+  std::vector<TermPolynomial> factors_;
+  std::vector<Spike> cur_;
+  std::vector<Spike> next_;
+};
+
 /// The fully expanded distribution: Expression (5) of the paper,
 /// a_1*X^b_1 + ... + a_c*X^b_c with b_1 > b_2 > ... > b_c.
 class SimilarityDistribution {
@@ -57,6 +85,14 @@ class SimilarityDistribution {
   /// distribution (all mass at similarity 0).
   static SimilarityDistribution Expand(
       const std::vector<TermPolynomial>& factors, ExpandOptions options = {});
+
+  /// Allocation-free variant: multiplies out `ws.factors()` inside the
+  /// workspace's reusable buffers and returns the resulting spikes
+  /// (descending exponent order). The span stays valid until the next
+  /// ExpandWith on the same workspace. Produces bit-identical spikes to
+  /// Expand on the same factors.
+  static std::span<const Spike> ExpandWith(ExpansionWorkspace& ws,
+                                           const ExpandOptions& options = {});
 
   /// Spikes in strictly descending exponent order. Includes the
   /// zero-similarity spike when it has mass.
@@ -77,7 +113,21 @@ class SimilarityDistribution {
   double EstimateNoDoc(double threshold, std::size_t num_docs) const;
   double EstimateAvgSim(double threshold) const;
 
+  /// Span forms of the queries above, for distributions living in an
+  /// ExpansionWorkspace. `spikes` must be in descending exponent order.
+  static double MassAbove(std::span<const Spike> spikes, double threshold);
+  static double WeightedMassAbove(std::span<const Spike> spikes,
+                                  double threshold);
+  static double EstimateNoDoc(std::span<const Spike> spikes, double threshold,
+                              std::size_t num_docs);
+  static double EstimateAvgSim(std::span<const Spike> spikes,
+                               double threshold);
+
  private:
+  static void ExpandCore(const std::vector<TermPolynomial>& factors,
+                         const ExpandOptions& options,
+                         std::vector<Spike>* cur, std::vector<Spike>* next);
+
   std::vector<Spike> spikes_;
 };
 

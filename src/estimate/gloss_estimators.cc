@@ -13,28 +13,33 @@ struct MatchedTerm {
   std::uint32_t doc_freq = 0;
 };
 
-std::vector<MatchedTerm> MatchTerms(const represent::Representative& rep,
-                                    const ir::Query& q) {
+std::vector<MatchedTerm> MatchTerms(const ResolvedQuery& rq) {
   std::vector<MatchedTerm> matched;
-  matched.reserve(q.terms.size());
-  for (const ir::QueryTerm& qt : q.terms) {
-    auto ts = rep.Find(qt.term);
-    if (!ts || ts->doc_freq == 0 || qt.weight <= 0.0) continue;
-    matched.push_back(MatchedTerm{qt.weight, ts->avg_weight, ts->doc_freq});
+  matched.reserve(rq.terms().size());
+  for (const ResolvedTerm& rt : rq.terms()) {
+    if (rt.stats.doc_freq == 0) continue;
+    matched.push_back(
+        MatchedTerm{rt.weight, rt.stats.avg_weight, rt.stats.doc_freq});
   }
   return matched;
 }
 
 }  // namespace
 
-UsefulnessEstimate HighCorrelationEstimator::Estimate(
-    const represent::Representative& rep, const ir::Query& q,
-    double threshold) const {
-  std::vector<MatchedTerm> terms = MatchTerms(rep, q);
-  UsefulnessEstimate est;
-  if (terms.empty()) return est;
+void HighCorrelationEstimator::EstimateBatch(
+    const ResolvedQuery& rq, std::span<const double> thresholds,
+    ExpansionWorkspace& ws, std::span<UsefulnessEstimate> out) const {
+  (void)ws;  // no generating-function expansion in the gGlOSS baselines
+  std::vector<MatchedTerm> terms = MatchTerms(rq);
+  if (terms.empty()) {
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      out[i] = UsefulnessEstimate{};
+    }
+    return;
+  }
 
-  // Nesting order: descending document frequency.
+  // Nesting order: descending document frequency. Sorted once for the
+  // whole threshold sweep.
   std::sort(terms.begin(), terms.end(),
             [](const MatchedTerm& a, const MatchedTerm& b) {
               return a.doc_freq > b.doc_freq;
@@ -43,44 +48,78 @@ UsefulnessEstimate HighCorrelationEstimator::Estimate(
   // Layer j (1-based): df_(j) - df_(j+1) documents contain exactly the
   // top-j terms and have similarity sim_j = prefix dot product. sim_j is
   // non-decreasing in j, so documents above the threshold are exactly the
-  // df_(j*) docs of the deepest layers.
+  // df_(j*) docs of the deepest layers. The prefix sums and layer sizes
+  // are threshold-independent; compute them once.
+  std::vector<double> prefix_sim(terms.size());
+  std::vector<double> layer_size(terms.size());
   double sim = 0.0;
-  double count_above = 0.0;
-  double sim_sum_above = 0.0;
   for (std::size_t j = 0; j < terms.size(); ++j) {
     sim += terms[j].u * terms[j].avg_weight;
-    double layer =
+    prefix_sim[j] = sim;
+    layer_size[j] =
         static_cast<double>(terms[j].doc_freq) -
         (j + 1 < terms.size() ? static_cast<double>(terms[j + 1].doc_freq)
                               : 0.0);
-    // Equal doc frequencies give empty intermediate layers; that is fine.
-    if (layer <= 0.0) continue;
-    if (sim > threshold) {
-      count_above += layer;
-      sim_sum_above += layer * sim;
-    }
   }
-  est.no_doc = count_above;
-  est.avg_sim = count_above > 0.0 ? sim_sum_above / count_above : 0.0;
+
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const double threshold = thresholds[i];
+    double count_above = 0.0;
+    double sim_sum_above = 0.0;
+    for (std::size_t j = 0; j < terms.size(); ++j) {
+      // Equal doc frequencies give empty intermediate layers; that is fine.
+      if (layer_size[j] <= 0.0) continue;
+      if (prefix_sim[j] > threshold) {
+        count_above += layer_size[j];
+        sim_sum_above += layer_size[j] * prefix_sim[j];
+      }
+    }
+    out[i].no_doc = count_above;
+    out[i].avg_sim = count_above > 0.0 ? sim_sum_above / count_above : 0.0;
+  }
+}
+
+UsefulnessEstimate HighCorrelationEstimator::Estimate(
+    const represent::Representative& rep, const ir::Query& q,
+    double threshold) const {
+  ResolvedQuery rq(rep, q);
+  ExpansionWorkspace ws;
+  UsefulnessEstimate est;
+  EstimateBatch(rq, std::span<const double>(&threshold, 1), ws,
+                std::span<UsefulnessEstimate>(&est, 1));
   return est;
+}
+
+void DisjointEstimator::EstimateBatch(const ResolvedQuery& rq,
+                                      std::span<const double> thresholds,
+                                      ExpansionWorkspace& ws,
+                                      std::span<UsefulnessEstimate> out) const {
+  (void)ws;
+  std::vector<MatchedTerm> terms = MatchTerms(rq);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const double threshold = thresholds[i];
+    double count_above = 0.0;
+    double sim_sum_above = 0.0;
+    for (const MatchedTerm& t : terms) {
+      double sim = t.u * t.avg_weight;
+      if (sim > threshold) {
+        count_above += static_cast<double>(t.doc_freq);
+        sim_sum_above += static_cast<double>(t.doc_freq) * sim;
+      }
+    }
+    out[i].no_doc = count_above;
+    out[i].avg_sim = count_above > 0.0 ? sim_sum_above / count_above : 0.0;
+  }
 }
 
 UsefulnessEstimate DisjointEstimator::Estimate(
     const represent::Representative& rep, const ir::Query& q,
     double threshold) const {
-  std::vector<MatchedTerm> terms = MatchTerms(rep, q);
+  ResolvedQuery rq(rep, q);
+  ExpansionWorkspace ws;
   UsefulnessEstimate est;
-  double count_above = 0.0;
-  double sim_sum_above = 0.0;
-  for (const MatchedTerm& t : terms) {
-    double sim = t.u * t.avg_weight;
-    if (sim > threshold) {
-      count_above += static_cast<double>(t.doc_freq);
-      sim_sum_above += static_cast<double>(t.doc_freq) * sim;
-    }
-  }
-  est.no_doc = count_above;
-  est.avg_sim = count_above > 0.0 ? sim_sum_above / count_above : 0.0;
+  EstimateBatch(rq, std::span<const double>(&threshold, 1), ws,
+                std::span<UsefulnessEstimate>(&est, 1));
   return est;
 }
 

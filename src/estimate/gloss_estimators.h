@@ -30,6 +30,13 @@ class HighCorrelationEstimator : public UsefulnessEstimator {
   UsefulnessEstimate Estimate(const represent::Representative& rep,
                               const ir::Query& q,
                               double threshold) const override;
+
+  /// Sorts the matched terms and forms the nested-layer prefix sums once
+  /// for the whole threshold sweep.
+  void EstimateBatch(const ResolvedQuery& rq,
+                     std::span<const double> thresholds,
+                     ExpansionWorkspace& ws,
+                     std::span<UsefulnessEstimate> out) const override;
 };
 
 /// gGlOSS disjoint estimator.
@@ -40,6 +47,12 @@ class DisjointEstimator : public UsefulnessEstimator {
   UsefulnessEstimate Estimate(const represent::Representative& rep,
                               const ir::Query& q,
                               double threshold) const override;
+
+  /// Resolves the matched terms once for the whole threshold sweep.
+  void EstimateBatch(const ResolvedQuery& rq,
+                     std::span<const double> thresholds,
+                     ExpansionWorkspace& ws,
+                     std::span<UsefulnessEstimate> out) const override;
 };
 
 }  // namespace useful::estimate

@@ -1,0 +1,20 @@
+#include "estimate/resolved_query.h"
+
+namespace useful::estimate {
+
+ResolvedQuery::ResolvedQuery(const represent::Representative& rep,
+                             const ir::Query& q)
+    : rep_(&rep),
+      query_(&q),
+      num_docs_(rep.num_docs()),
+      kind_(rep.kind()) {
+  terms_.reserve(q.terms.size());
+  for (const ir::QueryTerm& qt : q.terms) {
+    if (qt.weight <= 0.0) continue;
+    auto ts = rep.Find(qt.term);
+    if (!ts) continue;
+    terms_.push_back(ResolvedTerm{qt.weight, *ts});
+  }
+}
+
+}  // namespace useful::estimate

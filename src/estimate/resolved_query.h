@@ -1,0 +1,70 @@
+// A query resolved against one representative's term statistics.
+//
+// Every estimator starts the same way: look each query term up in the
+// representative's term -> TermStats hash map and keep the hits. In the
+// scalar API that lookup happens again for every (estimator, threshold)
+// combination — the broker ranks E engines at one threshold, the eval
+// runner scores M methods at T thresholds — so the same string hashing is
+// redone up to M*T times per (query, rep) pair. A ResolvedQuery performs
+// the resolution exactly once and is then shared, read-only, across all
+// thresholds and estimators that score this query against this
+// representative.
+//
+// Lifetime: a ResolvedQuery copies the matched TermStats (they are small
+// POD) but keeps non-owning pointers to the Representative and the Query
+// it was built from, because the generic UsefulnessEstimator::EstimateBatch
+// fallback routes through the scalar Estimate(rep, q, T) API. Both must
+// therefore outlive the ResolvedQuery and must not be mutated while it is
+// in use. Resolution is a snapshot: mutating the representative afterwards
+// does not update an existing ResolvedQuery.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ir/query.h"
+#include "represent/representative.h"
+#include "represent/term_stats.h"
+
+namespace useful::estimate {
+
+/// One query term that the representative knows, with its query weight.
+struct ResolvedTerm {
+  /// The query-side weight u of the term (always > 0).
+  double weight = 0.0;
+  /// The representative's stats for the term (p > 0 not guaranteed:
+  /// quantization can round small probabilities; estimators keep their own
+  /// p/weight guards exactly as in the scalar path).
+  represent::TermStats stats;
+};
+
+/// The query terms found in one representative, in query order, plus the
+/// representative-level facts every estimator needs (n, kind).
+class ResolvedQuery {
+ public:
+  /// Resolves `q` against `rep`. Terms absent from the representative or
+  /// with non-positive query weight are dropped — every estimator ignores
+  /// both (an absent term's factor is identically 1).
+  ResolvedQuery(const represent::Representative& rep, const ir::Query& q);
+
+  /// The matched terms, in the query's term order.
+  const std::vector<ResolvedTerm>& terms() const { return terms_; }
+
+  std::size_t num_docs() const { return num_docs_; }
+  represent::RepresentativeKind kind() const { return kind_; }
+
+  /// The inputs the query was resolved from (non-owning; see lifetime note
+  /// above). Used by the generic EstimateBatch fallback.
+  const represent::Representative& representative() const { return *rep_; }
+  const ir::Query& query() const { return *query_; }
+
+ private:
+  const represent::Representative* rep_;
+  const ir::Query* query_;
+  std::vector<ResolvedTerm> terms_;
+  std::size_t num_docs_ = 0;
+  represent::RepresentativeKind kind_ =
+      represent::RepresentativeKind::kQuadruplet;
+};
+
+}  // namespace useful::estimate

@@ -15,7 +15,16 @@ TermPolynomial SubrangeEstimator::BuildTermPolynomial(
     const represent::TermStats& ts, double u, std::size_t num_docs,
     represent::RepresentativeKind kind) const {
   TermPolynomial poly;
-  if (ts.p <= 0.0 || u <= 0.0 || num_docs == 0) return poly;
+  AppendTermSpikes(ts, u, num_docs, kind, &poly);
+  return poly;
+}
+
+void SubrangeEstimator::AppendTermSpikes(const represent::TermStats& ts,
+                                         double u, std::size_t num_docs,
+                                         represent::RepresentativeKind kind,
+                                         TermPolynomial* out) const {
+  TermPolynomial& poly = *out;
+  if (ts.p <= 0.0 || u <= 0.0 || num_docs == 0) return;
 
   const SubrangeConfig& config = options_.config;
   const double n = static_cast<double>(num_docs);
@@ -73,27 +82,41 @@ TermPolynomial SubrangeEstimator::BuildTermPolynomial(
     w = std::clamp(w, kWeightFloor, max_weight);
     poly.spikes.push_back(Spike{u * w, prob});
   }
-  return poly;
+}
+
+void SubrangeEstimator::EstimateBatch(const ResolvedQuery& rq,
+                                      std::span<const double> thresholds,
+                                      ExpansionWorkspace& ws,
+                                      std::span<UsefulnessEstimate> out) const {
+  ws.ResetFactors(rq.terms().size());
+  std::size_t used = 0;
+  for (const ResolvedTerm& rt : rq.terms()) {
+    TermPolynomial& poly = ws.factors()[used];
+    AppendTermSpikes(rt.stats, rt.weight, rq.num_docs(), rq.kind(), &poly);
+    if (!poly.spikes.empty()) ++used;  // empty factor: reuse the slot
+  }
+  ws.factors().resize(used);
+
+  // The subrange decomposition does not depend on the threshold, so one
+  // expansion serves the whole sweep.
+  std::span<const Spike> spikes =
+      SimilarityDistribution::ExpandWith(ws, options_.expand);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    out[i].no_doc = SimilarityDistribution::EstimateNoDoc(
+        spikes, thresholds[i], rq.num_docs());
+    out[i].avg_sim = SimilarityDistribution::EstimateAvgSim(spikes,
+                                                            thresholds[i]);
+  }
 }
 
 UsefulnessEstimate SubrangeEstimator::Estimate(
     const represent::Representative& rep, const ir::Query& q,
     double threshold) const {
-  std::vector<TermPolynomial> factors;
-  factors.reserve(q.terms.size());
-  for (const ir::QueryTerm& qt : q.terms) {
-    auto ts = rep.Find(qt.term);
-    if (!ts) continue;  // p = 0: the factor is identically 1
-    TermPolynomial poly =
-        BuildTermPolynomial(*ts, qt.weight, rep.num_docs(), rep.kind());
-    if (!poly.spikes.empty()) factors.push_back(std::move(poly));
-  }
-
-  SimilarityDistribution dist =
-      SimilarityDistribution::Expand(factors, options_.expand);
+  ResolvedQuery rq(rep, q);
+  ExpansionWorkspace ws;
   UsefulnessEstimate est;
-  est.no_doc = dist.EstimateNoDoc(threshold, rep.num_docs());
-  est.avg_sim = dist.EstimateAvgSim(threshold);
+  EstimateBatch(rq, std::span<const double>(&threshold, 1), ws,
+                std::span<UsefulnessEstimate>(&est, 1));
   return est;
 }
 

@@ -43,6 +43,13 @@ class SubrangeEstimator : public UsefulnessEstimator {
                               const ir::Query& q,
                               double threshold) const override;
 
+  /// Threshold-independent factors: resolves once, expands once, then reads
+  /// every threshold off the same distribution.
+  void EstimateBatch(const ResolvedQuery& rq,
+                     std::span<const double> thresholds,
+                     ExpansionWorkspace& ws,
+                     std::span<UsefulnessEstimate> out) const override;
+
   /// Exposed for tests and for composing custom generating functions: the
   /// polynomial factor of one query term with weight `u` against stats
   /// `ts` in a database of `num_docs` documents.
@@ -53,6 +60,13 @@ class SubrangeEstimator : public UsefulnessEstimator {
   const SubrangeEstimatorOptions& options() const { return options_; }
 
  private:
+  /// Appends the term's spikes into `poly` (assumed empty) — the
+  /// allocation-free core of BuildTermPolynomial.
+  void AppendTermSpikes(const represent::TermStats& ts, double u,
+                        std::size_t num_docs,
+                        represent::RepresentativeKind kind,
+                        TermPolynomial* poly) const;
+
   SubrangeEstimatorOptions options_;
 };
 

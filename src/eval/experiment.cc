@@ -2,7 +2,24 @@
 
 #include <cassert>
 
+#include "estimate/resolved_query.h"
+#include "util/thread_pool.h"
+
 namespace useful::eval {
+
+namespace {
+
+// Everything one query contributes to the tables, stored at the query's
+// index so the parallel fan-out stays order-stable: the fold below reads
+// these in query order, which makes the accumulated sums bit-identical to
+// the serial run no matter how the queries were scheduled.
+struct QueryCells {
+  bool skipped = false;
+  std::vector<ir::Usefulness> truth;                // [t]
+  std::vector<estimate::UsefulnessEstimate> est;    // [m * T + t]
+};
+
+}  // namespace
 
 std::vector<ThresholdRow> RunExperimentParsed(
     const ir::SearchEngine& engine, const std::vector<ir::Query>& queries,
@@ -12,16 +29,22 @@ std::vector<ThresholdRow> RunExperimentParsed(
   const std::size_t num_thresholds = config.thresholds.size();
   const std::size_t num_methods = methods.size();
 
-  // accs[t][m]
-  std::vector<std::vector<AccuracyAccumulator>> accs(
-      num_thresholds, std::vector<AccuracyAccumulator>(num_methods));
-
-  for (const ir::Query& q : queries) {
-    if (q.empty()) continue;
+  // Phase 1 — per-query work, parallel across queries. Each query resolves
+  // every method's representative once and batch-estimates the whole
+  // threshold sweep against it.
+  std::vector<QueryCells> cells(queries.size());
+  util::ThreadPool pool(config.threads);
+  pool.ParallelFor(queries.size(), [&](std::size_t qi) {
+    const ir::Query& q = queries[qi];
+    QueryCells& cell = cells[qi];
+    if (q.empty()) {
+      cell.skipped = true;
+      return;
+    }
     // Ground truth: all positive similarities once, sorted descending;
     // per-threshold truth is then a prefix scan.
     std::vector<ir::ScoredDoc> scored = engine.SearchAboveThreshold(q, 0.0);
-
+    cell.truth.resize(num_thresholds);
     for (std::size_t t = 0; t < num_thresholds; ++t) {
       const double threshold = config.thresholds[t];
       ir::Usefulness truth;
@@ -34,12 +57,32 @@ std::vector<ThresholdRow> RunExperimentParsed(
       if (truth.no_doc > 0) {
         truth.avg_sim = sum / static_cast<double>(truth.no_doc);
       }
+      cell.truth[t] = truth;
+    }
 
+    cell.est.resize(num_methods * num_thresholds);
+    static thread_local estimate::ExpansionWorkspace workspace;
+    for (std::size_t m = 0; m < num_methods; ++m) {
+      const MethodUnderTest& mut = methods[m];
+      estimate::ResolvedQuery rq(*mut.representative, q);
+      mut.estimator->EstimateBatch(
+          rq, config.thresholds,
+          workspace,
+          std::span<estimate::UsefulnessEstimate>(
+              cell.est.data() + m * num_thresholds, num_thresholds));
+    }
+  });
+
+  // Phase 2 — fold in query order on this thread, preserving the exact
+  // accumulation order (query-major, then threshold, then method) of the
+  // serial implementation.
+  std::vector<std::vector<AccuracyAccumulator>> accs(
+      num_thresholds, std::vector<AccuracyAccumulator>(num_methods));
+  for (const QueryCells& cell : cells) {
+    if (cell.skipped) continue;
+    for (std::size_t t = 0; t < num_thresholds; ++t) {
       for (std::size_t m = 0; m < num_methods; ++m) {
-        const MethodUnderTest& mut = methods[m];
-        estimate::UsefulnessEstimate est =
-            mut.estimator->Estimate(*mut.representative, q, threshold);
-        accs[t][m].Add(truth, est);
+        accs[t][m].Add(cell.truth[t], cell.est[m * num_thresholds + t]);
       }
     }
   }

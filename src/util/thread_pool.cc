@@ -1,0 +1,92 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace useful::util {
+
+std::size_t ThreadPool::ResolveThreads(std::size_t threads) {
+  if (threads != 0) return threads;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(ResolveThreads(num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunJob() {
+  // Pull indices until the job's range is exhausted. The counter is the
+  // only shared mutable state on the fast path.
+  const std::function<void(std::size_t)>& fn = *job_fn_;
+  const std::size_t n = job_size_;
+  for (std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+       i < n; i = next_index_.fetch_add(1, std::memory_order_relaxed)) {
+    fn(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ready_.wait(lock, [&] {
+        return shutdown_ || job_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+      ++workers_started_;
+      ++workers_active_;
+    }
+    RunJob();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_active_;
+    }
+    job_done_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Serial fast path: no locks, no handoff — identical to a plain loop.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    workers_started_ = 0;
+    ++job_generation_;
+  }
+  job_ready_.notify_all();
+  RunJob();  // the calling thread participates
+  // `fn` lives on this frame, so do not return until every worker has both
+  // observed this generation (started) and finished its share (active == 0);
+  // a late-waking worker still checks in, finds the range drained, and
+  // leaves immediately.
+  std::unique_lock<std::mutex> lock(mu_);
+  job_done_.wait(lock, [&] {
+    return workers_started_ == workers_.size() && workers_active_ == 0;
+  });
+  job_fn_ = nullptr;
+  job_size_ = 0;
+}
+
+}  // namespace useful::util

@@ -1,0 +1,79 @@
+// A small fixed-size thread pool with an order-stable ParallelFor.
+//
+// The pool exists for the broker/eval hot path: fan an index range
+// [0, n) out over a few worker threads and have every result land at its
+// own index, so the output of a parallel run is a pure function of the
+// input — independent of scheduling, core count, or how indices happened
+// to interleave. Callers write `results[i]` from `fn(i)` and never touch
+// another index, which is the entire synchronization contract.
+//
+// Determinism note: ParallelFor gives no ordering guarantee on *when*
+// fn(i) runs, only that every i in [0, n) runs exactly once and that
+// ParallelFor returns after all of them finished. Reductions that need
+// bit-identical floating-point results must therefore store per-index
+// partials and fold them in index order on the calling thread (see
+// eval::RunExperimentParsed).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace useful::util {
+
+/// Fixed set of worker threads executing index-range jobs.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. 0 means std::thread::hardware_concurrency
+  /// (at least 1). A pool of size 1 spawns no threads at all: ParallelFor
+  /// then runs entirely on the calling thread, byte-for-byte the serial path.
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Joins all workers. Must not be called while a ParallelFor is running.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that participate in ParallelFor (workers + caller).
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) exactly once for every i in [0, n), on the workers and the
+  /// calling thread, and blocks until all calls returned. Indices are
+  /// handed out dynamically (atomic counter), so fn should be safe to call
+  /// concurrently; writes must stay confined to the caller's own slot i.
+  /// Reentrant calls (fn itself calling ParallelFor on this pool) are not
+  /// supported. fn must not throw.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// The number of threads ParallelFor effectively uses for a caller-chosen
+  /// `threads` setting: 0 -> hardware concurrency (>= 1), otherwise the
+  /// value itself. Shared by the --threads flags of the CLI tools.
+  static std::size_t ResolveThreads(std::size_t threads);
+
+ private:
+  void WorkerLoop();
+  void RunJob();
+
+  std::size_t num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  // Current job; guarded by mu_ except next_index_ which is the work queue.
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::uint64_t job_generation_ = 0;
+  std::size_t workers_started_ = 0;  // workers that observed this generation
+  std::size_t workers_active_ = 0;
+  std::atomic<std::size_t> next_index_{0};
+  bool shutdown_ = false;
+};
+
+}  // namespace useful::util

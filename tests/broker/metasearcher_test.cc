@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "estimate/registry.h"
 #include "estimate/subrange_estimator.h"
 #include "represent/builder.h"
 
@@ -139,6 +140,109 @@ TEST_F(MetasearcherTest, DuplicateRepresentativeRejected) {
   represent::Representative rep(
       "sports", 3, represent::RepresentativeKind::kQuadruplet);
   EXPECT_FALSE(broker_->RegisterRepresentative(rep).ok());
+}
+
+TEST_F(MetasearcherTest, DuplicateCheckPrecedesRepresentativeBuild) {
+  // An *unfinalized* engine whose name collides must be rejected as a
+  // duplicate, not with the representative builder's failed-precondition
+  // error — i.e. the name check runs before the (expensive) build.
+  ir::SearchEngine unfinalized("sports", &analyzer_);
+  ASSERT_TRUE(unfinalized.Add({"x", "football"}).ok());
+  Status s = broker_->RegisterEngine(&unfinalized);
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("duplicate"), std::string::npos)
+      << s.ToString();
+}
+
+// A broker with 100 engines: exercises the name -> index map on every
+// path (registration duplicate check, FindRepresentative, dispatch in
+// Search) and the parallel ranking fan-out.
+class HundredEngineBrokerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    broker_ = std::make_unique<Metasearcher>(&analyzer_);
+    for (int e = 0; e < 100; ++e) {
+      std::string name = "engine" + std::to_string(e);
+      // Every engine shares "common"; each has a private term and a small
+      // tier term shared by every tenth engine.
+      std::string tier = "tier" + std::to_string(e % 10);
+      auto engine = std::make_unique<ir::SearchEngine>(name, &analyzer_);
+      ASSERT_TRUE(engine
+                      ->Add({name + "/d0", "common " + tier + " private" +
+                                               std::to_string(e)})
+                      .ok());
+      ASSERT_TRUE(
+          engine->Add({name + "/d1", "common common " + tier}).ok());
+      ASSERT_TRUE(engine->Finalize().ok());
+      ASSERT_TRUE(broker_->RegisterEngine(engine.get()).ok());
+      engines_.push_back(std::move(engine));
+    }
+  }
+
+  text::Analyzer analyzer_;
+  std::vector<std::unique_ptr<ir::SearchEngine>> engines_;
+  std::unique_ptr<Metasearcher> broker_;
+};
+
+TEST_F(HundredEngineBrokerTest, MapBackedLookupAndDispatch) {
+  EXPECT_EQ(broker_->num_engines(), 100u);
+  // FindRepresentative hits every name, including the last registered.
+  for (int e : {0, 1, 42, 99}) {
+    auto rep = broker_->FindRepresentative("engine" + std::to_string(e));
+    ASSERT_TRUE(rep.ok()) << e;
+    EXPECT_EQ(rep.value()->engine_name(), "engine" + std::to_string(e));
+  }
+  EXPECT_FALSE(broker_->FindRepresentative("engine100").ok());
+  // Duplicates still rejected at scale.
+  EXPECT_FALSE(broker_->RegisterEngine(engines_[57].get()).ok());
+  // Dispatch reaches exactly the engines owning the queried private term.
+  estimate::SubrangeEstimator est;
+  auto results = broker_->Search("private42", 0.1, est);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results.value().empty());
+  for (const MetasearchResult& r : results.value()) {
+    EXPECT_EQ(r.engine, "engine42");
+  }
+}
+
+TEST_F(HundredEngineBrokerTest, RankAndSelectBitIdenticalAcrossThreads) {
+  // The determinism contract for every registered estimator: serial and
+  // 8-thread ranking produce byte-identical selections.
+  std::vector<std::string> names = estimate::KnownEstimators();
+  const char* queries[] = {"common", "tier3", "private7 common",
+                           "tier1 tier2 private11"};
+  Metasearcher& serial = *broker_;
+  Metasearcher parallel(&analyzer_);
+  for (auto& engine : engines_) {
+    ASSERT_TRUE(parallel.RegisterEngine(engine.get()).ok());
+  }
+  parallel.SetParallelism(8);
+  for (const std::string& name : names) {
+    auto est = estimate::MakeEstimator(name);
+    ASSERT_TRUE(est.ok()) << name;
+    for (const char* text : queries) {
+      ir::Query q = ir::ParseQuery(analyzer_, text);
+      for (double threshold : {0.05, 0.2, 0.5}) {
+        auto a = serial.RankEngines(q, threshold, *est.value());
+        auto b = parallel.RankEngines(q, threshold, *est.value());
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          EXPECT_EQ(a[i].engine, b[i].engine)
+              << name << " " << text << " T=" << threshold << " rank " << i;
+          EXPECT_EQ(a[i].estimate.no_doc, b[i].estimate.no_doc);
+          EXPECT_EQ(a[i].estimate.avg_sim, b[i].estimate.avg_sim);
+        }
+        auto sa = serial.SelectEngines(q, threshold, *est.value());
+        auto sb = parallel.SelectEngines(q, threshold, *est.value());
+        ASSERT_EQ(sa.size(), sb.size());
+        for (std::size_t i = 0; i < sa.size(); ++i) {
+          EXPECT_EQ(sa[i].engine, sb[i].engine);
+          EXPECT_EQ(sa[i].estimate.no_doc, sb[i].estimate.no_doc);
+          EXPECT_EQ(sa[i].estimate.avg_sim, sb[i].estimate.avg_sim);
+        }
+      }
+    }
+  }
 }
 
 TEST_F(MetasearcherTest, SingleTermRoutingPrefersHighestMaxWeight) {

@@ -184,5 +184,88 @@ TEST(GeneratingFunctionTest, SixTermsBySixSpikesStaysTractable) {
   EXPECT_LE(dist.spikes().size(), 117649u);  // 7^6
 }
 
+TEST(GeneratingFunctionTest, ExpandWithMatchesExpandBitForBit) {
+  std::vector<TermPolynomial> factors;
+  Pcg32 rng(7);
+  for (int f = 0; f < 4; ++f) {
+    TermPolynomial poly;
+    for (int s = 0; s < 5; ++s) {
+      poly.spikes.push_back(Spike{rng.NextDouble(), 0.18});
+    }
+    factors.push_back(std::move(poly));
+  }
+  auto dist = SimilarityDistribution::Expand(factors);
+
+  ExpansionWorkspace ws;
+  ws.ResetFactors(factors.size());
+  for (std::size_t f = 0; f < factors.size(); ++f) {
+    ws.factors()[f].spikes = factors[f].spikes;
+  }
+  std::span<const Spike> spikes = SimilarityDistribution::ExpandWith(ws);
+
+  ASSERT_EQ(spikes.size(), dist.spikes().size());
+  for (std::size_t i = 0; i < spikes.size(); ++i) {
+    EXPECT_EQ(spikes[i].exponent, dist.spikes()[i].exponent) << i;
+    EXPECT_EQ(spikes[i].prob, dist.spikes()[i].prob) << i;
+  }
+  EXPECT_EQ(SimilarityDistribution::MassAbove(spikes, 0.5),
+            dist.MassAbove(0.5));
+  EXPECT_EQ(SimilarityDistribution::WeightedMassAbove(spikes, 0.5),
+            dist.WeightedMassAbove(0.5));
+  EXPECT_EQ(SimilarityDistribution::EstimateNoDoc(spikes, 0.5, 1000),
+            dist.EstimateNoDoc(0.5, 1000));
+  EXPECT_EQ(SimilarityDistribution::EstimateAvgSim(spikes, 0.5),
+            dist.EstimateAvgSim(0.5));
+}
+
+TEST(GeneratingFunctionTest, WorkspaceReuseAcrossExpansionsIsClean) {
+  ExpansionWorkspace ws;
+  // First expansion: two factors.
+  ws.ResetFactors(2);
+  ws.factors()[0].spikes.push_back(Spike{0.5, 0.3});
+  ws.factors()[1].spikes.push_back(Spike{0.25, 0.4});
+  std::span<const Spike> first = SimilarityDistribution::ExpandWith(ws);
+  EXPECT_EQ(first.size(), 4u);  // {0.75, 0.5, 0.25, 0}
+
+  // Second expansion on the same workspace: one factor; stale factors and
+  // spikes from the first run must be gone.
+  ws.ResetFactors(1);
+  ws.factors()[0].spikes.push_back(Spike{0.9, 0.1});
+  std::span<const Spike> second = SimilarityDistribution::ExpandWith(ws);
+  auto expected = SimilarityDistribution::Expand(
+      {TermPolynomial{{Spike{0.9, 0.1}}}});
+  ASSERT_EQ(second.size(), expected.spikes().size());
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_EQ(second[i].exponent, expected.spikes()[i].exponent);
+    EXPECT_EQ(second[i].prob, expected.spikes()[i].prob);
+  }
+}
+
+TEST(GeneratingFunctionTest, ResetFactorsKeepsSlotCountExact) {
+  ExpansionWorkspace ws;
+  ws.ResetFactors(3);
+  EXPECT_EQ(ws.factors().size(), 3u);
+  ws.factors()[2].spikes.push_back(Spike{1.0, 0.5});
+  ws.ResetFactors(2);
+  EXPECT_EQ(ws.factors().size(), 2u);
+  for (const TermPolynomial& f : ws.factors()) {
+    EXPECT_TRUE(f.spikes.empty());
+  }
+  ws.ResetFactors(5);
+  EXPECT_EQ(ws.factors().size(), 5u);
+  for (const TermPolynomial& f : ws.factors()) {
+    EXPECT_TRUE(f.spikes.empty());
+  }
+}
+
+TEST(GeneratingFunctionTest, ExpandWithEmptyFactorListIsUnitDistribution) {
+  ExpansionWorkspace ws;
+  ws.ResetFactors(0);
+  std::span<const Spike> spikes = SimilarityDistribution::ExpandWith(ws);
+  ASSERT_EQ(spikes.size(), 1u);
+  EXPECT_EQ(spikes[0].exponent, 0.0);
+  EXPECT_EQ(spikes[0].prob, 1.0);
+}
+
 }  // namespace
 }  // namespace useful::estimate

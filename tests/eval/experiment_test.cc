@@ -4,7 +4,9 @@
 
 #include "estimate/basic_estimator.h"
 #include "estimate/gloss_estimators.h"
+#include "estimate/registry.h"
 #include "estimate/subrange_estimator.h"
+#include "eval/table.h"
 #include "represent/builder.h"
 
 namespace useful::eval {
@@ -108,6 +110,55 @@ TEST_F(ExperimentTest, NoMethods) {
   ASSERT_EQ(rows.size(), 6u);  // default thresholds
   EXPECT_TRUE(rows[0].methods.empty());
   EXPECT_EQ(rows[0].useful_queries, 0u);  // U needs at least one accumulator
+}
+
+TEST_F(ExperimentTest, ThreadsProduceBitIdenticalTables) {
+  // The tentpole determinism criterion: the full experiment — every
+  // registered estimator, a real query mix — renders byte-identical
+  // tables with threads=1 and threads=8.
+  std::vector<std::unique_ptr<estimate::UsefulnessEstimator>> estimators;
+  std::vector<MethodUnderTest> methods;
+  for (const std::string& name : estimate::KnownEstimators()) {
+    auto est = estimate::MakeEstimator(name);
+    ASSERT_TRUE(est.ok()) << name;
+    estimators.push_back(std::move(est).value());
+    methods.push_back(MethodUnderTest{estimators.back().get(), rep_.get(),
+                                      name});
+  }
+  std::vector<corpus::Query> queries;
+  const char* texts[] = {"zorp", "blat", "quix", "mumble", "zorp blat",
+                         "quix mumble", "zorp quix blat", "ghost",
+                         "mumble mumble zorp", "blat quix"};
+  int id = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (const char* text : texts) {
+      queries.push_back({"q" + std::to_string(id++), text});
+    }
+  }
+
+  ExperimentConfig serial_config;
+  serial_config.threads = 1;
+  ExperimentConfig parallel_config;
+  parallel_config.threads = 8;
+  auto a = RunExperiment(*engine_, queries, methods, serial_config);
+  auto b = RunExperiment(*engine_, queries, methods, parallel_config);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a[t].useful_queries, b[t].useful_queries);
+    ASSERT_EQ(a[t].methods.size(), b[t].methods.size());
+    for (std::size_t m = 0; m < a[t].methods.size(); ++m) {
+      EXPECT_EQ(a[t].methods[m].match, b[t].methods[m].match);
+      EXPECT_EQ(a[t].methods[m].mismatch, b[t].methods[m].mismatch);
+      EXPECT_EQ(a[t].methods[m].d_n, b[t].methods[m].d_n)
+          << a[t].methods[m].method << " T=" << a[t].threshold;
+      EXPECT_EQ(a[t].methods[m].d_s, b[t].methods[m].d_s)
+          << a[t].methods[m].method << " T=" << a[t].threshold;
+    }
+  }
+  // Belt and braces: the rendered ASCII tables are byte-identical.
+  EXPECT_EQ(RenderMatchTable(a), RenderMatchTable(b));
+  EXPECT_EQ(RenderErrorTable(a), RenderErrorTable(b));
 }
 
 TEST_F(ExperimentTest, ParsedVariantAgrees) {

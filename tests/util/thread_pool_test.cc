@@ -1,0 +1,98 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace useful::util {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadsZeroMeansHardware) {
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(7), 7u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolSpawnsNothingAndRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(64);
+  pool.ParallelFor(seen.size(),
+                   [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ResultsLandByIndex) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 4096;
+  std::vector<std::size_t> out(kN, 0);
+  pool.ParallelFor(kN, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, OrderStableReductionMatchesSerial) {
+  // The determinism contract: per-index partials folded in index order on
+  // the caller give bit-identical doubles regardless of thread count.
+  constexpr std::size_t kN = 2000;
+  std::vector<double> inputs(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    inputs[i] = 1.0 / static_cast<double>(3 * i + 1);
+  }
+  auto run = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> partial(kN);
+    pool.ParallelFor(kN, [&](std::size_t i) {
+      partial[i] = inputs[i] * inputs[i] + 0.25 * inputs[i];
+    });
+    double sum = 0.0;
+    for (double p : partial) sum += p;  // index-order fold
+    return sum;
+  };
+  double serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ThreadPoolTest, BackToBackJobsReuseWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.ParallelFor(100, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2u);
+  }
+}
+
+TEST(ThreadPoolTest, MorePoolThreadsThanWork) {
+  ThreadPool pool(16);
+  std::vector<int> out(3, 0);
+  pool.ParallelFor(3, [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 3);
+}
+
+}  // namespace
+}  // namespace useful::util

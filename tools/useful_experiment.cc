@@ -5,6 +5,7 @@
 //   useful_experiment --db D.trec --queries q.tsv
 //       [--methods subrange,adaptive,high-correlation]
 //       [--thresholds 0.1,0.2,...] [--triplet] [--quantize]
+//       [--threads N]   (default: hardware concurrency; 1 = serial)
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "represent/builder.h"
 #include "represent/quantized.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -27,7 +29,9 @@ void Usage() {
       stderr,
       "usage: useful_experiment --db <collection.trec> --queries <log.tsv>\n"
       "         [--methods m1,m2,...] [--thresholds t1,t2,...]\n"
-      "         [--triplet] [--quantize]\n"
+      "         [--triplet] [--quantize] [--threads N]\n"
+      "--threads: query-parallel evaluation; default hardware concurrency,\n"
+      "           1 preserves the serial path (tables identical either way)\n"
       "methods: subrange (default), subrange-nomax, subrange-k<N>, basic,\n"
       "         adaptive, high-correlation, disjoint\n");
 }
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
   std::string methods_arg = "high-correlation,adaptive,subrange";
   std::string thresholds_arg = "0.1,0.2,0.3,0.4,0.5,0.6";
   bool triplet = false, quantize = false;
+  std::size_t threads = 0;  // 0: hardware concurrency
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -61,6 +66,8 @@ int main(int argc, char** argv) {
       triplet = true;
     } else if (std::strcmp(argv[i], "--quantize") == 0) {
       quantize = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = std::strtoul(need_value("--threads"), nullptr, 10);
     } else {
       Usage();
       return 2;
@@ -129,11 +136,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "no thresholds\n");
     return 2;
   }
+  config.threads = util::ThreadPool::ResolveThreads(threads);
 
-  std::printf("db=%s (%zu docs, %zu terms)  queries=%zu  rep=%s%s\n\n",
+  std::printf("db=%s (%zu docs, %zu terms)  queries=%zu  rep=%s%s  "
+              "threads=%zu\n\n",
               engine.name().c_str(), engine.num_docs(), engine.num_terms(),
               queries.value().size(), triplet ? "triplet" : "quadruplet",
-              quantize ? "+1byte" : "");
+              quantize ? "+1byte" : "", config.threads);
   auto rows = eval::RunExperiment(engine, queries.value(), methods, config);
   std::printf("%s\n%s", eval::RenderMatchTable(rows).c_str(),
               eval::RenderErrorTable(rows).c_str());

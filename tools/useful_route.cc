@@ -3,8 +3,13 @@
 // routed to under a chosen estimator and threshold — without touching any
 // document data, exactly as the paper's metasearch engine operates.
 //
-//   useful_route [--estimator NAME] [--threshold T] [--topk K] <rep>...
+//   useful_route [--estimator NAME] [--threshold T] [--topk K]
+//                [--threads N] <rep>...
 //   echo "fox dog" | useful_route --threshold 0.2 a.rep b.rep
+//
+// --threads parallelizes per-query engine ranking across the registered
+// representatives (default: hardware concurrency; 1 = the serial path;
+// rankings are bit-identical at any setting).
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -20,7 +25,8 @@ int main(int argc, char** argv) {
   using namespace useful;
   std::string estimator_name = "subrange";
   double threshold = 0.2;
-  std::size_t topk = 0;  // 0: paper rule only
+  std::size_t topk = 0;     // 0: paper rule only
+  std::size_t threads = 0;  // 0: hardware concurrency
   std::vector<std::string> rep_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -37,6 +43,8 @@ int main(int argc, char** argv) {
       threshold = std::strtod(need_value("--threshold"), nullptr);
     } else if (std::strcmp(argv[i], "--topk") == 0) {
       topk = std::strtoul(need_value("--topk"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = std::strtoul(need_value("--threads"), nullptr, 10);
     } else {
       rep_paths.push_back(argv[i]);
     }
@@ -44,7 +52,7 @@ int main(int argc, char** argv) {
   if (rep_paths.empty()) {
     std::fprintf(stderr,
                  "usage: useful_route [--estimator NAME] [--threshold T] "
-                 "[--topk K] <rep-file>...\n");
+                 "[--topk K] [--threads N] <rep-file>...\n");
     return 2;
   }
 
@@ -56,6 +64,7 @@ int main(int argc, char** argv) {
 
   text::Analyzer analyzer;
   broker::Metasearcher broker(&analyzer);
+  broker.SetParallelism(threads);
   for (const std::string& path : rep_paths) {
     auto rep = represent::LoadRepresentative(path);
     if (!rep.ok()) {
