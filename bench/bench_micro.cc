@@ -4,12 +4,24 @@
 // and broker selection across 53 engines.
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <span>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "broker/metasearcher.h"
 #include "common.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/service.h"
 #include "estimate/adaptive_estimator.h"
 #include "estimate/basic_estimator.h"
 #include "estimate/gloss_estimators.h"
@@ -265,6 +277,159 @@ BENCHMARK(BM_ExperimentRunnerThreads)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// --- Serving layer ---------------------------------------------------------
+// Cached vs uncached ROUTE latency through service::Service (socket-free),
+// and single-connection QPS through the full TCP server. The cached row is
+// the steady-state repeat-query path; the uncached row forces a miss every
+// iteration by shrinking the cache to one entry and cycling queries.
+
+struct ServiceFixture {
+  std::filesystem::path dir;
+  std::vector<std::string> rep_paths;
+  std::vector<std::string> route_lines;
+};
+
+const ServiceFixture& GetServiceFixture() {
+  static const ServiceFixture* fixture = [] {
+    auto* f = new ServiceFixture();
+    const auto& tb = bench::GetTestbed();
+    f->dir = std::filesystem::temp_directory_path() / "useful_bench_service";
+    std::filesystem::create_directories(f->dir);
+    std::size_t count = 0;
+    for (const corpus::Collection& g : tb.sim->groups()) {
+      if (count == 8) break;
+      auto engine = bench::BuildEngine(g);
+      auto rep = represent::BuildRepresentative(*engine);
+      std::string path =
+          (f->dir / ("engine" + std::to_string(count) + ".rep")).string();
+      if (!rep.ok() ||
+          !represent::SaveRepresentative(rep.value(), path).ok()) {
+        std::abort();
+      }
+      f->rep_paths.push_back(std::move(path));
+      ++count;
+    }
+    // Keep only queries that survive analysis, so every benchmark
+    // iteration measures a real ranking, not an error reply.
+    service::ServiceOptions probe_options;
+    probe_options.representative_paths = f->rep_paths;
+    auto probe = service::Service::Create(&tb.analyzer, probe_options);
+    if (!probe.ok()) std::abort();
+    for (std::size_t i = 0; i < 256 && f->route_lines.size() < 64; ++i) {
+      std::string line = "ROUTE subrange 0.2 0 " + tb.queries[i].text;
+      if (probe.value()->Execute(line).status.ok()) {
+        f->route_lines.push_back(std::move(line));
+      }
+    }
+    if (f->route_lines.size() < 2) std::abort();
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_ServiceRouteCached(benchmark::State& state) {
+  const auto& f = GetServiceFixture();
+  const auto& tb = bench::GetTestbed();
+  service::ServiceOptions options;
+  options.representative_paths = f.rep_paths;
+  auto service = service::Service::Create(&tb.analyzer, options);
+  if (!service.ok()) std::abort();
+  for (auto _ : state) {
+    auto reply = service.value()->Execute(f.route_lines[0]);
+    benchmark::DoNotOptimize(reply.payload.data());
+  }
+}
+BENCHMARK(BM_ServiceRouteCached);
+
+void BM_ServiceRouteUncached(benchmark::State& state) {
+  const auto& f = GetServiceFixture();
+  const auto& tb = bench::GetTestbed();
+  service::ServiceOptions options;
+  options.representative_paths = f.rep_paths;
+  options.cache.max_entries = 1;  // cycling queries: every lookup misses
+  options.cache.shards = 1;
+  auto service = service::Service::Create(&tb.analyzer, options);
+  if (!service.ok()) std::abort();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto reply = service.value()->Execute(f.route_lines[i++ %
+                                                        f.route_lines.size()]);
+    benchmark::DoNotOptimize(reply.payload.data());
+  }
+}
+BENCHMARK(BM_ServiceRouteUncached);
+
+// One client, one connection, request/response round-trips over loopback:
+// items/sec is the single-connection QPS ceiling (wire framing + service).
+void BM_ServerSingleConnQPS(benchmark::State& state) {
+  const auto& f = GetServiceFixture();
+  const auto& tb = bench::GetTestbed();
+  service::ServiceOptions options;
+  options.representative_paths = f.rep_paths;
+  auto service = service::Service::Create(&tb.analyzer, options);
+  if (!service.ok()) std::abort();
+  service::ServerOptions server_options;
+  server_options.threads = 2;
+  service::Server server(service.value().get(), server_options);
+  if (!server.Start().ok()) std::abort();
+  std::thread serve_thread([&server] { (void)server.Serve(); });
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::abort();
+  }
+
+  std::string buffer;
+  auto read_line = [&](std::string* line) {
+    for (;;) {
+      std::size_t pos = buffer.find('\n');
+      if (pos != std::string::npos) {
+        *line = buffer.substr(0, pos);
+        buffer.erase(0, pos + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  };
+  auto round_trip = [&](const std::string& request) {
+    std::string data = request + "\n";
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    std::string header;
+    if (!read_line(&header)) return false;
+    auto parsed = service::ParseResponseHeader(header);
+    if (!parsed.ok() || !parsed.value().ok) return false;
+    for (std::size_t i = 0; i < parsed.value().payload_lines; ++i) {
+      std::string payload;
+      if (!read_line(&payload)) return false;
+    }
+    return true;
+  };
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (!round_trip(f.route_lines[i++ % f.route_lines.size()])) std::abort();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+
+  ::close(fd);
+  server.RequestStop();
+  serve_thread.join();
+}
+BENCHMARK(BM_ServerSingleConnQPS);
 
 }  // namespace
 

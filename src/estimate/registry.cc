@@ -51,9 +51,11 @@ Result<std::unique_ptr<UsefulnessEstimator>> MakeEstimator(
   if (name == "disjoint") {
     return std::unique_ptr<UsefulnessEstimator>(new DisjointEstimator());
   }
-  return Status::NotFound("unknown estimator: " + name +
-                          " (try: subrange, subrange-nomax, subrange-k<N>, "
-                          "basic, adaptive, high-correlation, disjoint)");
+  // List the registered names so the CLI error is self-serving; built
+  // from KnownEstimators() so the list can never drift from the registry.
+  return Status::NotFound("unknown estimator: " + name + " (try: " +
+                          Join(KnownEstimators(), ", ") +
+                          ", subrange-k<N>)");
 }
 
 std::vector<std::string> KnownEstimators() {

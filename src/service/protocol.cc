@@ -1,0 +1,142 @@
+#include "service/protocol.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace useful::service {
+
+namespace {
+
+constexpr std::string_view kKnownCommands =
+    "ROUTE, ESTIMATE, STATS, RELOAD, QUIT";
+
+Result<double> ParseThreshold(std::string_view token) {
+  std::string copy(token);
+  char* end = nullptr;
+  double value = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str() || *end != '\0' || !std::isfinite(value) ||
+      value < 0.0) {
+    return Status::InvalidArgument("bad threshold: " + copy);
+  }
+  return value;
+}
+
+Result<std::size_t> ParseTopK(std::string_view token) {
+  std::string copy(token);
+  char* end = nullptr;
+  unsigned long value = std::strtoul(copy.c_str(), &end, 10);
+  if (end == copy.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad topk: " + copy);
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Re-joins query tokens with single spaces; the analyzer re-splits anyway.
+std::string JoinQuery(const std::vector<std::string_view>& tokens,
+                      std::size_t first) {
+  std::string out;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    if (!out.empty()) out.push_back(' ');
+    out.append(tokens[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* CommandName(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kRoute:
+      return "route";
+    case CommandKind::kEstimate:
+      return "estimate";
+    case CommandKind::kStats:
+      return "stats";
+    case CommandKind::kReload:
+      return "reload";
+    case CommandKind::kQuit:
+      return "quit";
+    case CommandKind::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+Result<Request> ParseRequest(std::string_view line) {
+  std::vector<std::string_view> tokens = SplitNonEmpty(line, " \t\r");
+  if (tokens.empty()) return Status::InvalidArgument("empty request");
+  std::string_view cmd = tokens[0];
+
+  Request req;
+  if (cmd == "STATS" || cmd == "RELOAD" || cmd == "QUIT") {
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument(std::string(cmd) +
+                                     " takes no arguments");
+    }
+    req.kind = cmd == "STATS"    ? CommandKind::kStats
+               : cmd == "RELOAD" ? CommandKind::kReload
+                                 : CommandKind::kQuit;
+    return req;
+  }
+
+  if (cmd == "ROUTE" || cmd == "ESTIMATE") {
+    bool route = cmd == "ROUTE";
+    // ROUTE estimator threshold topk query... / ESTIMATE estimator
+    // threshold query...
+    std::size_t fixed = route ? 4 : 3;
+    if (tokens.size() < fixed + 1) {
+      return Status::InvalidArgument(
+          std::string(cmd) + " needs: <estimator> <threshold> " +
+          (route ? "<topk> " : "") + "<query terms...>");
+    }
+    req.kind = route ? CommandKind::kRoute : CommandKind::kEstimate;
+    req.estimator = std::string(tokens[1]);
+    auto threshold = ParseThreshold(tokens[2]);
+    if (!threshold.ok()) return threshold.status();
+    req.threshold = threshold.value();
+    if (route) {
+      auto topk = ParseTopK(tokens[3]);
+      if (!topk.ok()) return topk.status();
+      req.topk = topk.value();
+    }
+    req.query_text = JoinQuery(tokens, fixed);
+    return req;
+  }
+
+  return Status::InvalidArgument("unknown command: " + std::string(cmd) +
+                                 " (commands: " + std::string(kKnownCommands) +
+                                 ")");
+}
+
+std::string FormatOkHeader(std::size_t payload_lines) {
+  return StringPrintf("OK %zu", payload_lines);
+}
+
+std::string FormatErrorHeader(const Status& status) {
+  return "ERR " + status.ToString();
+}
+
+Result<ResponseHeader> ParseResponseHeader(std::string_view line) {
+  ResponseHeader header;
+  if (StartsWith(line, "OK ")) {
+    std::string count(line.substr(3));
+    char* end = nullptr;
+    unsigned long n = std::strtoul(count.c_str(), &end, 10);
+    if (end == count.c_str() || *end != '\0') {
+      return Status::Corruption("bad OK header: " + std::string(line));
+    }
+    header.ok = true;
+    header.payload_lines = static_cast<std::size_t>(n);
+    return header;
+  }
+  if (StartsWith(line, "ERR ")) {
+    header.ok = false;
+    header.error = std::string(line.substr(4));
+    return header;
+  }
+  return Status::Corruption("bad response header: " + std::string(line));
+}
+
+}  // namespace useful::service

@@ -1,0 +1,73 @@
+// The broker service's line-delimited text protocol.
+//
+// Requests are single lines of whitespace-separated tokens:
+//
+//   ROUTE <estimator> <threshold> <topk> <query terms...>
+//   ESTIMATE <estimator> <threshold> <query terms...>
+//   STATS
+//   RELOAD
+//   QUIT
+//
+// ROUTE applies the selection policy (the paper's rounded-NoDoc >= 1 rule,
+// capped at <topk> engines when topk > 0); ESTIMATE returns the full
+// ranked estimate list for every registered engine. Responses are framed
+// so a client never has to guess where one ends:
+//
+//   OK <n>\n            followed by exactly n payload lines, or
+//   ERR <Code>: <msg>\n with no payload.
+//
+// Parsing and rendering live here, socket-free, so the framing is unit
+// testable and shared by the server, the client tool, and the tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace useful::service {
+using useful::Result;
+using useful::Status;
+
+/// The protocol's commands. kCount_ is a sentinel for array sizing.
+enum class CommandKind { kRoute = 0, kEstimate, kStats, kReload, kQuit, kCount_ };
+
+/// Number of real commands.
+inline constexpr std::size_t kNumCommands =
+    static_cast<std::size_t>(CommandKind::kCount_);
+
+/// Lower-case wire-adjacent name ("route", "estimate", ...) for stats keys.
+const char* CommandName(CommandKind kind);
+
+/// One parsed request line.
+struct Request {
+  CommandKind kind = CommandKind::kQuit;
+  std::string estimator;    // ROUTE / ESTIMATE
+  double threshold = 0.0;   // ROUTE / ESTIMATE
+  std::size_t topk = 0;     // ROUTE; 0 = paper rule only
+  std::string query_text;   // ROUTE / ESTIMATE: raw terms, re-joined
+};
+
+/// Parses one request line (no trailing newline). Errors name the offending
+/// token and, for an unknown command, list the known ones.
+Result<Request> ParseRequest(std::string_view line);
+
+/// "OK <n>" — announces n payload lines.
+std::string FormatOkHeader(std::size_t payload_lines);
+
+/// "ERR <Code>: <message>" for a non-OK status.
+std::string FormatErrorHeader(const Status& status);
+
+/// A client-side view of a response header line.
+struct ResponseHeader {
+  bool ok = false;
+  std::size_t payload_lines = 0;  // valid when ok
+  std::string error;              // valid when !ok ("<Code>: <msg>")
+};
+
+/// Parses "OK <n>" / "ERR ..." header lines; fails on anything else.
+Result<ResponseHeader> ParseResponseHeader(std::string_view line);
+
+}  // namespace useful::service

@@ -1,0 +1,138 @@
+#include "service/query_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace useful::service {
+
+namespace {
+// Rough fixed cost of one entry beyond its strings: list/map node plus
+// vector header. Keeps the byte budget honest for many tiny entries.
+constexpr std::size_t kEntryOverhead = 96;
+
+// Exact bit pattern of a double as 16 hex digits, so keying never depends
+// on decimal formatting precision.
+void AppendDoubleBits(std::string* out, double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  out->append(StringPrintf("%016llx", static_cast<unsigned long long>(bits)));
+}
+}  // namespace
+
+QueryCache::QueryCache(QueryCacheOptions options) {
+  std::size_t num_shards = std::max<std::size_t>(1, options.shards);
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  entries_per_shard_ =
+      std::max<std::size_t>(1, options.max_entries / num_shards);
+  bytes_per_shard_ = options.max_bytes / num_shards;
+}
+
+std::string QueryCache::MakeKey(std::string_view estimator, double threshold,
+                                const ir::Query& query) {
+  // (term, weight) pairs sorted by term; ParseQuery already merged
+  // duplicates, so terms are unique and the sort is a total order.
+  std::vector<const ir::QueryTerm*> terms;
+  terms.reserve(query.terms.size());
+  for (const ir::QueryTerm& t : query.terms) terms.push_back(&t);
+  std::sort(terms.begin(), terms.end(),
+            [](const ir::QueryTerm* a, const ir::QueryTerm* b) {
+              return a->term < b->term;
+            });
+  std::string key;
+  key.reserve(estimator.size() + 18 + query.terms.size() * 24);
+  key.append(estimator);
+  key.push_back('\x1f');
+  AppendDoubleBits(&key, threshold);
+  for (const ir::QueryTerm* t : terms) {
+    key.push_back('\x1f');
+    key.append(t->term);
+    key.push_back('\x1e');
+    AppendDoubleBits(&key, t->weight);
+  }
+  return key;
+}
+
+QueryCache::Shard& QueryCache::ShardFor(std::string_view key) {
+  return *shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+std::size_t QueryCache::EntryBytes(std::string_view key,
+                                   const CachedRanking& value) {
+  std::size_t bytes = kEntryOverhead + key.size();
+  for (const broker::EngineSelection& sel : value) {
+    bytes += sel.engine.size() + sizeof(broker::EngineSelection);
+  }
+  return bytes;
+}
+
+std::optional<CachedRanking> QueryCache::Get(std::string_view key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->value;
+}
+
+void QueryCache::Put(std::string_view key, const CachedRanking& value) {
+  std::size_t bytes = EntryBytes(key, value);
+  if (bytes_per_shard_ > 0 && bytes > bytes_per_shard_) return;  // oversize
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    it->second->value = value;
+    it->second->bytes = bytes;
+    shard.bytes += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{std::string(key), value, bytes});
+    shard.index.emplace(std::string_view(shard.lru.front().key),
+                        shard.lru.begin());
+    shard.bytes += bytes;
+  }
+  while (shard.lru.size() > entries_per_shard_ ||
+         (bytes_per_shard_ > 0 && shard.bytes > bytes_per_shard_ &&
+          shard.lru.size() > 1)) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(std::string_view(victim.key));
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void QueryCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->index.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+}
+
+QueryCache::Counters QueryCache::counters() const {
+  Counters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    c.entries += shard->lru.size();
+    c.bytes += shard->bytes;
+  }
+  return c;
+}
+
+}  // namespace useful::service

@@ -1,0 +1,104 @@
+// Sharded LRU cache of broker rankings for the serving layer.
+//
+// The cacheable unit is the full RankEngines output for a canonical key
+// (estimator, threshold, normalized query terms) — deliberately *not*
+// including topk, so ROUTE requests that differ only in their selection
+// policy, and ESTIMATE requests for the same query, all share one entry;
+// the policy is applied after the cache. Keys carry the service's snapshot
+// generation as a prefix, which makes RELOAD invalidation race-free: a
+// stale Put that loses the race with a reload lands under an unreachable
+// key and ages out of the LRU.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/metasearcher.h"
+#include "ir/query.h"
+
+namespace useful::service {
+
+struct QueryCacheOptions {
+  /// Total entry budget across shards (per-shard budget is the even split,
+  /// at least one entry).
+  std::size_t max_entries = 4096;
+  /// Total byte budget across shards, accounting keys, engine names, and a
+  /// fixed per-entry overhead. Values too large for one shard's budget are
+  /// not cached at all.
+  std::size_t max_bytes = 8u << 20;
+  /// Lock shards; more shards = less contention under concurrent traffic.
+  std::size_t shards = 8;
+};
+
+/// The cached value: a ranked EngineSelection list (RankEngines output).
+using CachedRanking = std::vector<broker::EngineSelection>;
+
+/// Thread-safe sharded LRU with entry-count and byte budgets plus
+/// hit/miss/eviction counters. All methods may be called concurrently.
+class QueryCache {
+ public:
+  explicit QueryCache(QueryCacheOptions options = {});
+
+  /// Canonical key for (estimator, threshold, query): the query's
+  /// (term, weight-bits) pairs sorted by term, so raw-text term order and
+  /// spacing never split the cache. Threshold and weights are keyed by
+  /// their exact bit patterns.
+  static std::string MakeKey(std::string_view estimator, double threshold,
+                             const ir::Query& query);
+
+  /// Returns a copy of the cached ranking and refreshes its LRU position,
+  /// or nullopt on miss. Counts a hit or miss.
+  std::optional<CachedRanking> Get(std::string_view key);
+
+  /// Inserts or refreshes `key`. Evicts least-recently-used entries while
+  /// the shard is over either budget.
+  void Put(std::string_view key, const CachedRanking& value);
+
+  /// Drops every entry (reload invalidation). Counters keep their totals.
+  void Clear();
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedRanking value;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    // Views into the list nodes' keys; list nodes never move.
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& ShardFor(std::string_view key);
+  static std::size_t EntryBytes(std::string_view key,
+                                const CachedRanking& value);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t entries_per_shard_;
+  std::size_t bytes_per_shard_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace useful::service

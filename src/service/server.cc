@@ -1,0 +1,215 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "service/protocol.h"
+#include "util/thread_pool.h"
+
+namespace useful::service {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// Builds the full wire response for one reply: header line plus payload.
+std::string RenderReply(const Service::Reply& reply) {
+  std::string out;
+  if (!reply.status.ok()) {
+    out = FormatErrorHeader(reply.status);
+    out.push_back('\n');
+    return out;
+  }
+  out = FormatOkHeader(reply.payload.size());
+  out.push_back('\n');
+  for (const std::string& line : reply.payload) {
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace
+
+Server::Server(Service* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status Server::Start() {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = ErrnoStatus("bind " + options_.host);
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    Status s = ErrnoStatus("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status s = ErrnoStatus("getsockname");
+    ::close(fd);
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  return Status::OK();
+}
+
+Status Server::Serve() {
+  if (listen_fd_ < 0) {
+    return Status::FailedPrecondition("Serve before Start");
+  }
+  std::thread acceptor([this] { AcceptLoop(); });
+  std::size_t workers = util::ThreadPool::ResolveThreads(options_.threads);
+  {
+    // One ParallelFor job whose every index is a worker loop: indices are
+    // claimed dynamically, each claimed loop runs until shutdown, and
+    // ParallelFor's barrier IS the drain — it returns only after every
+    // handler finished its connection.
+    util::ThreadPool pool(workers);
+    pool.ParallelFor(workers, [this](std::size_t) { WorkerLoop(); });
+  }
+  acceptor.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  pollfd pfd{listen_fd_, POLLIN, 0};
+  while (!stopping()) {
+    int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.poll_interval_ms),
+          [&] { return !pending_.empty() || queue_closed_; });
+      if (!pending_.empty()) {
+        if (queue_closed_) {
+          // Stopping: connections that never got a worker are dropped —
+          // they have no requests in flight.
+          ::close(pending_.front());
+          pending_.pop_front();
+          continue;
+        }
+        fd = pending_.front();
+        pending_.pop_front();
+      } else if (queue_closed_) {
+        return;
+      }
+    }
+    if (fd >= 0) HandleConnection(fd);
+  }
+}
+
+bool Server::SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Server::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    // Serve every complete line already buffered.
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      Service::Reply reply = service_->Execute(line);
+      if (!SendAll(fd, RenderReply(reply))) {
+        open = false;
+        break;
+      }
+      if (reply.shutdown_server) RequestStop();
+      if (reply.close_connection) {
+        open = false;
+        break;
+      }
+    }
+    if (!open) break;
+    if (buffer.size() > options_.max_line_bytes) {
+      SendAll(fd, RenderReply(Service::Reply{
+                      Status::InvalidArgument("request line too long"),
+                      {},
+                      true,
+                      false}));
+      break;
+    }
+    // Wait for more bytes; a finite poll keeps the stop flag observable,
+    // so a shutdown drains buffered requests but never waits on an idle
+    // peer.
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) {
+      if (stopping()) break;
+      continue;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // peer closed or error
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+}
+
+}  // namespace useful::service

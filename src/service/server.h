@@ -1,0 +1,83 @@
+// Dependency-free TCP front end for service::Service.
+//
+// POSIX sockets only: Start() binds and listens (port 0 picks an
+// ephemeral port, readable via port()), Serve() runs a blocking accept
+// loop on a dedicated thread while connection handlers execute on a
+// util::ThreadPool — one long-lived ParallelFor whose workers pull
+// accepted sockets from a queue, which is exactly the pool's documented
+// contract (fn called concurrently, no cross-index writes).
+//
+// Shutdown: a QUIT request or RequestStop() (e.g. from a SIGINT handler;
+// it is a single atomic store, safe in signal context) makes the accept
+// loop stop, and every worker finishes the requests already buffered on
+// its connection before closing it — in-flight requests drain, idle
+// connections are dropped. Serve() returns once all workers exited.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "service/service.h"
+#include "util/status.h"
+
+namespace useful::service {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;          // 0: OS-assigned ephemeral port
+  std::size_t threads = 0;         // connection workers; 0 = hardware
+  std::size_t max_line_bytes = 1u << 16;  // longer request lines are fatal
+  int backlog = 64;
+  int poll_interval_ms = 50;       // stop-flag latency for blocked waits
+};
+
+class Server {
+ public:
+  /// `service` must outlive the server.
+  Server(Service* service, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Creates, binds, and listens on the socket. Must be called once,
+  /// before Serve(); after it returns port() is the real port.
+  Status Start();
+
+  /// The bound port (valid after a successful Start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks serving connections until QUIT or RequestStop(), then drains
+  /// and returns. Call from the thread that should own the accept loop's
+  /// lifetime (typically main).
+  Status Serve();
+
+  /// Asks Serve() to wind down. Thread- and signal-safe.
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  bool stopping() const { return stop_.load(std::memory_order_relaxed); }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+  bool SendAll(int fd, const std::string& data);
+
+  Service* service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+
+  // Accepted sockets waiting for a worker.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+  bool queue_closed_ = false;
+};
+
+}  // namespace useful::service

@@ -1,0 +1,199 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "broker/selection_policy.h"
+#include "estimate/registry.h"
+#include "represent/serialize.h"
+#include "util/string_util.h"
+
+namespace useful::service {
+
+namespace {
+
+std::uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  auto micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  return micros < 0 ? 0 : static_cast<std::uint64_t>(micros);
+}
+
+/// One payload line per engine. %.17g round-trips doubles exactly, so the
+/// wire never loses precision against the in-process estimates.
+std::string FormatSelection(const broker::EngineSelection& sel) {
+  return StringPrintf("%s %.17g %.17g", sel.engine.c_str(),
+                      sel.estimate.no_doc, sel.estimate.avg_sim);
+}
+
+}  // namespace
+
+Service::Service(const text::Analyzer* analyzer, ServiceOptions options)
+    : analyzer_(analyzer),
+      options_(std::move(options)),
+      cache_(options_.cache) {}
+
+Result<std::unique_ptr<Service>> Service::Create(const text::Analyzer* analyzer,
+                                                 ServiceOptions options) {
+  if (analyzer == nullptr) {
+    return Status::InvalidArgument("Service: null analyzer");
+  }
+  if (options.representative_paths.empty()) {
+    return Status::InvalidArgument("Service: no representative paths");
+  }
+  std::unique_ptr<Service> service(new Service(analyzer, std::move(options)));
+  auto snapshot = service->LoadSnapshot();
+  if (!snapshot.ok()) return snapshot.status();
+  service->broker_ = std::move(snapshot).value();
+  return service;
+}
+
+Result<std::shared_ptr<const broker::Metasearcher>> Service::LoadSnapshot()
+    const {
+  auto next = std::make_shared<broker::Metasearcher>(analyzer_);
+  for (const std::string& path : options_.representative_paths) {
+    auto rep = represent::LoadRepresentative(path);
+    if (!rep.ok()) {
+      // Keep the original code (Corruption vs IOError) but add which file.
+      std::string msg = path + ": " + rep.status().message();
+      return rep.status().code() == Status::Code::kCorruption
+                 ? Status::Corruption(std::move(msg))
+                 : Status::IOError(std::move(msg));
+    }
+    USEFUL_RETURN_IF_ERROR(
+        next->RegisterRepresentative(std::move(rep).value()));
+  }
+  return std::shared_ptr<const broker::Metasearcher>(std::move(next));
+}
+
+Service::SnapshotRef Service::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return SnapshotRef{broker_, generation_};
+}
+
+std::shared_ptr<const broker::Metasearcher> Service::snapshot() const {
+  return GetSnapshot().broker;
+}
+
+Status Service::Reload() {
+  auto next = LoadSnapshot();
+  if (!next.ok()) return next.status();
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    broker_ = std::move(next).value();
+    ++generation_;
+  }
+  // Old-generation entries are already unreachable (the generation is part
+  // of every key); Clear just returns their memory promptly.
+  cache_.Clear();
+  stats_.RecordReload();
+  return Status::OK();
+}
+
+Result<const estimate::UsefulnessEstimator*> Service::GetEstimator(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(estimators_mu_);
+  auto it = estimators_.find(name);
+  if (it != estimators_.end()) return it->second.get();
+  auto built = estimate::MakeEstimator(name);
+  if (!built.ok()) return built.status();
+  auto [inserted, _] = estimators_.emplace(name, std::move(built).value());
+  return inserted->second.get();
+}
+
+Service::Reply Service::Execute(std::string_view line) {
+  auto start = std::chrono::steady_clock::now();
+  auto parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    stats_.RecordParseError();
+    return Reply{parsed.status(), {}, false, false};
+  }
+  const Request& request = parsed.value();
+
+  Reply reply;
+  switch (request.kind) {
+    case CommandKind::kRoute:
+      reply = DoRank(request, /*apply_policy=*/true);
+      break;
+    case CommandKind::kEstimate:
+      reply = DoRank(request, /*apply_policy=*/false);
+      break;
+    case CommandKind::kStats:
+      reply = DoStats();
+      break;
+    case CommandKind::kReload:
+      reply = DoReload();
+      break;
+    case CommandKind::kQuit:
+      reply.close_connection = true;
+      reply.shutdown_server = true;
+      break;
+    case CommandKind::kCount_:
+      reply.status = Status::Internal("bad command kind");
+      break;
+  }
+  stats_.RecordCommand(request.kind, MicrosSince(start), reply.status.ok());
+  return reply;
+}
+
+Service::Reply Service::DoRank(const Request& request, bool apply_policy) {
+  Reply reply;
+  ir::Query query = ir::ParseQuery(*analyzer_, request.query_text);
+  if (query.empty()) {
+    reply.status = Status::InvalidArgument(
+        "query has no content terms after analysis");
+    return reply;
+  }
+  auto estimator = GetEstimator(request.estimator);
+  if (!estimator.ok()) {
+    reply.status = estimator.status();
+    return reply;
+  }
+
+  SnapshotRef snapshot = GetSnapshot();
+  std::string key =
+      StringPrintf("%llu\x1f",
+                   static_cast<unsigned long long>(snapshot.generation)) +
+      QueryCache::MakeKey(request.estimator, request.threshold, query);
+
+  std::optional<CachedRanking> ranked = cache_.Get(key);
+  if (!ranked.has_value()) {
+    ranked = snapshot.broker->RankEngines(query, request.threshold,
+                                          *estimator.value());
+    cache_.Put(key, *ranked);
+  }
+
+  std::vector<broker::EngineSelection> selected;
+  if (apply_policy) {
+    // The paper's rule first, then the optional top-k cap — matching
+    // useful_route's flag semantics.
+    selected = broker::ThresholdPolicy().Apply(std::move(*ranked));
+    if (request.topk > 0) {
+      selected = broker::TopKPolicy(request.topk).Apply(std::move(selected));
+    }
+  } else {
+    selected = std::move(*ranked);
+  }
+  reply.payload.reserve(selected.size());
+  for (const broker::EngineSelection& sel : selected) {
+    reply.payload.push_back(FormatSelection(sel));
+  }
+  return reply;
+}
+
+Service::Reply Service::DoStats() {
+  Reply reply;
+  reply.payload = stats_.Render(cache_.counters(), num_engines());
+  return reply;
+}
+
+Service::Reply Service::DoReload() {
+  Reply reply;
+  reply.status = Reload();
+  if (reply.status.ok()) {
+    reply.payload.push_back(StringPrintf("engines %zu", num_engines()));
+  }
+  return reply;
+}
+
+}  // namespace useful::service

@@ -1,0 +1,110 @@
+// The broker service's command engine, socket-free.
+//
+// Service owns the serving state — a broker::Metasearcher snapshot built
+// from representative files, the query cache, the estimator registry
+// instances, and the stats — and executes one protocol line at a time.
+// The TCP layer (service::Server) only moves bytes; every behavior here
+// is unit-testable in-process.
+//
+// Concurrency model: Execute may be called from any number of threads.
+// The Metasearcher snapshot is immutable and shared via shared_ptr, so a
+// RELOAD builds a complete replacement off to the side and swaps the
+// pointer — in-flight requests keep ranking against the snapshot they
+// grabbed, and the swap can never be observed half-done. The snapshot's
+// ranking runs serially (Metasearcher parallelism 1) because the service
+// parallelizes *across* requests, not within one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/metasearcher.h"
+#include "estimate/estimator.h"
+#include "service/protocol.h"
+#include "service/query_cache.h"
+#include "service/stats.h"
+#include "text/analyzer.h"
+#include "util/status.h"
+
+namespace useful::service {
+
+struct ServiceOptions {
+  /// Representative files to serve; RELOAD re-reads exactly these paths.
+  std::vector<std::string> representative_paths;
+  QueryCacheOptions cache;
+};
+
+class Service {
+ public:
+  /// Loads every representative and builds the first snapshot. Fails
+  /// without constructing a half-loaded service.
+  static Result<std::unique_ptr<Service>> Create(
+      const text::Analyzer* analyzer, ServiceOptions options);
+
+  /// Outcome of one request line.
+  struct Reply {
+    Status status;                      // !ok(): send ERR, no payload
+    std::vector<std::string> payload;   // lines after the OK header
+    bool close_connection = false;      // QUIT: close after responding
+    bool shutdown_server = false;       // QUIT: stop accepting, drain, exit
+  };
+
+  /// Executes one protocol line. Thread-safe.
+  Reply Execute(std::string_view line);
+
+  /// Re-reads the representative files, swaps the snapshot, and bumps the
+  /// cache generation. On failure the old snapshot keeps serving.
+  /// Thread-safe (concurrent reloads serialize on the swap lock).
+  Status Reload();
+
+  /// Current snapshot (for tests and tools).
+  std::shared_ptr<const broker::Metasearcher> snapshot() const;
+
+  std::size_t num_engines() const { return snapshot()->num_engines(); }
+  const Stats& stats() const { return stats_; }
+  const QueryCache& cache() const { return cache_; }
+
+ private:
+  Service(const text::Analyzer* analyzer, ServiceOptions options);
+
+  /// Loads options_.representative_paths into a fresh Metasearcher.
+  Result<std::shared_ptr<const broker::Metasearcher>> LoadSnapshot() const;
+
+  /// Snapshot plus the cache-key generation it belongs to.
+  struct SnapshotRef {
+    std::shared_ptr<const broker::Metasearcher> broker;
+    std::uint64_t generation = 0;
+  };
+  SnapshotRef GetSnapshot() const;
+
+  /// Estimator instance for `name`, shared across requests (estimators are
+  /// immutable once built). NotFound errors list the known names.
+  Result<const estimate::UsefulnessEstimator*> GetEstimator(
+      const std::string& name);
+
+  Reply DoRank(const Request& request, bool apply_policy);
+  Reply DoStats();
+  Reply DoReload();
+
+  const text::Analyzer* analyzer_;
+  ServiceOptions options_;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const broker::Metasearcher> broker_;
+  std::uint64_t generation_ = 0;  // bumped by every successful reload
+
+  std::mutex estimators_mu_;
+  std::unordered_map<std::string,
+                     std::unique_ptr<estimate::UsefulnessEstimator>>
+      estimators_;
+
+  QueryCache cache_;
+  Stats stats_;
+};
+
+}  // namespace useful::service

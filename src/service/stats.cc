@@ -1,0 +1,58 @@
+#include "service/stats.h"
+
+#include "util/string_util.h"
+
+namespace useful::service {
+
+void Stats::RecordCommand(CommandKind kind, std::uint64_t micros, bool ok) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) errors_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t i = static_cast<std::size_t>(kind);
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  latency_[i].Record(micros);
+}
+
+void Stats::RecordParseError() {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Stats::RecordReload() {
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::string> Stats::Render(const QueryCache::Counters& cache,
+                                       std::size_t num_engines) const {
+  std::vector<std::string> lines;
+  auto add = [&](const char* key, std::uint64_t value) {
+    lines.push_back(StringPrintf("%s %llu", key,
+                                 static_cast<unsigned long long>(value)));
+  };
+  add("requests_total", requests_total());
+  add("errors_total", errors_total());
+  add("engines", num_engines);
+  add("reloads", reloads());
+  add("cache_hits", cache.hits);
+  add("cache_misses", cache.misses);
+  add("cache_evictions", cache.evictions);
+  add("cache_entries", cache.entries);
+  add("cache_bytes", cache.bytes);
+  for (std::size_t i = 0; i < kNumCommands; ++i) {
+    CommandKind kind = static_cast<CommandKind>(i);
+    const util::LatencyHistogram& h = latency_[i];
+    const char* name = CommandName(kind);
+    lines.push_back(StringPrintf("cmd_%s_count %llu", name,
+                                 static_cast<unsigned long long>(h.count())));
+    lines.push_back(StringPrintf("cmd_%s_p50_us %llu", name,
+                                 static_cast<unsigned long long>(
+                                     h.ValueAtPercentile(50.0))));
+    lines.push_back(StringPrintf("cmd_%s_p99_us %llu", name,
+                                 static_cast<unsigned long long>(
+                                     h.ValueAtPercentile(99.0))));
+    lines.push_back(StringPrintf("cmd_%s_max_us %llu", name,
+                                 static_cast<unsigned long long>(h.max())));
+  }
+  return lines;
+}
+
+}  // namespace useful::service

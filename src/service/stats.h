@@ -1,0 +1,60 @@
+// Live counters and latency histograms for the broker service, rendered
+// by the STATS command. Everything is atomic: recording is wait-free on
+// the request path, and Render takes no lock that a request could hold.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/query_cache.h"
+#include "util/histogram.h"
+
+namespace useful::service {
+
+/// Per-process serving statistics. Thread-safe.
+class Stats {
+ public:
+  /// Records one completed command with its wall latency.
+  void RecordCommand(CommandKind kind, std::uint64_t micros, bool ok);
+
+  /// Records a request line that did not parse into any command.
+  void RecordParseError();
+
+  /// Records one successful representative reload.
+  void RecordReload();
+
+  std::uint64_t requests_total() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t errors_total() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t reloads() const {
+    return reloads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t command_count(CommandKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
+  }
+  const util::LatencyHistogram& latency(CommandKind kind) const {
+    return latency_[static_cast<std::size_t>(kind)];
+  }
+
+  /// "key value" lines for the STATS payload: request totals, reloads, the
+  /// cache counters, engine count, then per-command count/p50/p99/max µs.
+  std::vector<std::string> Render(const QueryCache::Counters& cache,
+                                  std::size_t num_engines) const;
+
+ private:
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::array<std::atomic<std::uint64_t>, kNumCommands> counts_{};
+  std::array<util::LatencyHistogram, kNumCommands> latency_{};
+};
+
+}  // namespace useful::service

@@ -1,0 +1,82 @@
+#include "util/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+namespace useful::util {
+
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  unsigned octave = std::bit_width(value) - 1;  // 2^octave <= value
+  if (octave > kMaxOctave) {
+    octave = kMaxOctave;
+    value = (std::uint64_t{1} << (kMaxOctave + 1)) - 1;
+  }
+  // Top kSubBucketBits bits below the leading one select the linear slot.
+  std::uint64_t sub = (value >> (octave - kSubBucketBits)) & (kSubBuckets - 1);
+  return kSubBuckets + (octave - kSubBucketBits) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::BucketLow(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  std::size_t rel = index - kSubBuckets;
+  unsigned octave = kSubBucketBits + static_cast<unsigned>(rel / kSubBuckets);
+  std::uint64_t sub = rel % kSubBuckets;
+  return (std::uint64_t{1} << octave) | (sub << (octave - kSubBucketBits));
+}
+
+std::uint64_t LatencyHistogram::BucketWidth(std::size_t index) {
+  if (index < kSubBuckets) return 1;
+  std::size_t rel = index - kSubBuckets;
+  unsigned octave = kSubBucketBits + static_cast<unsigned>(rel / kSubBuckets);
+  return std::uint64_t{1} << (octave - kSubBucketBits);
+}
+
+void LatencyHistogram::Record(std::uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::mean() const {
+  std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+double LatencyHistogram::ValueAtPercentile(double pct) const {
+  // Snapshot first so the percentile is computed over one consistent set
+  // of buckets even while writers keep recording.
+  std::vector<std::uint64_t> snap(kNumBuckets);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0.0;
+  if (pct < 0.0) pct = 0.0;
+  if (pct > 100.0) pct = 100.0;
+  // Nearest-rank percentile, 1-based; pct=0 -> first sample.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += snap[i];
+    if (cumulative >= rank) {
+      return static_cast<double>(BucketLow(i)) +
+             static_cast<double>(BucketWidth(i) - 1) / 2.0;
+    }
+  }
+  return static_cast<double>(BucketLow(kNumBuckets - 1));
+}
+
+}  // namespace useful::util

@@ -1,0 +1,69 @@
+// Lock-free log-linear latency histogram for long-running servers.
+//
+// A serving process cannot retain every sample the way the evaluation
+// harness does (util::Percentile copies and sorts), so the service layer
+// records latencies into fixed atomic buckets instead: 8 linear
+// sub-buckets per power of two, which bounds the relative error of any
+// reported percentile by one sub-bucket width (~6%) while keeping Record
+// a single relaxed fetch_add on the hot path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace useful::util {
+
+/// Fixed-memory histogram of non-negative integer samples (microseconds,
+/// by convention). Record is wait-free and safe from any number of
+/// threads; readers take a self-consistent snapshot of the buckets, so a
+/// percentile computed concurrently with writers is exact for some recent
+/// prefix of the stream.
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per octave: 2^kSubBucketBits.
+  static constexpr unsigned kSubBucketBits = 3;
+  /// Largest distinguishable octave; samples at or above 2^(kMaxOctave+1)
+  /// land in the top bucket.
+  static constexpr unsigned kMaxOctave = 39;  // ~2^40 us =~ 12.7 days
+
+  /// Adds one sample.
+  void Record(std::uint64_t value);
+
+  /// Total samples recorded.
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Mean of all samples (0 when empty).
+  double mean() const;
+
+  /// Largest sample recorded exactly (0 when empty).
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Approximate value at percentile `pct` in [0, 100]: the midpoint of
+  /// the bucket where the cumulative count crosses pct% of the snapshot
+  /// total. 0 when empty.
+  double ValueAtPercentile(double pct) const;
+
+ private:
+  static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+  // Buckets [0, kSubBuckets) are exact values; each further octave o in
+  // [kSubBucketBits, kMaxOctave] contributes kSubBuckets linear buckets.
+  static constexpr std::size_t kNumBuckets =
+      kSubBuckets + (kMaxOctave - kSubBucketBits + 1) * kSubBuckets;
+
+  static std::size_t BucketIndex(std::uint64_t value);
+  /// Inclusive lower bound of bucket `index`.
+  static std::uint64_t BucketLow(std::size_t index);
+  /// Width of bucket `index` (>= 1).
+  static std::uint64_t BucketWidth(std::size_t index);
+
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace useful::util

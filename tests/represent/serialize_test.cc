@@ -111,6 +111,63 @@ TEST(SerializeTest, RejectsAbsurdStringLength) {
   EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
 }
 
+// Builds a valid header (magic, kind, num_docs, name) claiming
+// `num_terms` term records; callers append the (possibly short) records.
+std::string HeaderClaiming(std::uint64_t num_terms) {
+  std::string bytes = "URP1";
+  bytes.push_back(1);  // kQuadruplet
+  std::uint64_t docs = 10;
+  bytes.append(reinterpret_cast<const char*>(&docs), 8);
+  std::uint32_t name_len = 3;
+  bytes.append(reinterpret_cast<const char*>(&name_len), 4);
+  bytes.append("eng");
+  bytes.append(reinterpret_cast<const char*>(&num_terms), 8);
+  return bytes;
+}
+
+TEST(SerializeTest, RejectsTruncatedTermTable) {
+  // Header promises two terms but the body carries only one full record.
+  std::string bytes = HeaderClaiming(2);
+  std::uint32_t term_len = 5;
+  bytes.append(reinterpret_cast<const char*>(&term_len), 4);
+  bytes.append("alpha");
+  std::uint32_t doc_freq = 4;
+  bytes.append(reinterpret_cast<const char*>(&doc_freq), 4);
+  double numbers[4] = {0.4, 0.5, 0.1, 0.9};
+  bytes.append(reinterpret_cast<const char*>(numbers), sizeof(numbers));
+  std::stringstream in(bytes);
+  auto r = ReadRepresentative(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+}
+
+TEST(SerializeTest, RejectsTruncatedTermStringBody) {
+  // A term announces 100 bytes but the stream ends after 3.
+  std::string bytes = HeaderClaiming(1);
+  std::uint32_t term_len = 100;
+  bytes.append(reinterpret_cast<const char*>(&term_len), 4);
+  bytes.append("abc");
+  std::stringstream in(bytes);
+  auto r = ReadRepresentative(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(r.status().message().find("truncated string body"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, RejectsTermLengthOverCap) {
+  // Term length just past kMaxStringLen (1 MiB) must fail cleanly before
+  // any allocation, not attempt a giant read.
+  std::string bytes = HeaderClaiming(1);
+  std::uint32_t term_len = (1u << 20) + 1;
+  bytes.append(reinterpret_cast<const char*>(&term_len), 4);
+  std::stringstream in(bytes);
+  auto r = ReadRepresentative(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(r.status().message().find("string too long"), std::string::npos);
+}
+
 TEST(SerializeTest, FileRoundTrip) {
   auto path = std::filesystem::temp_directory_path() / "useful_rep_test.bin";
   Representative orig = MakeRep();

@@ -1,0 +1,96 @@
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace useful::service {
+namespace {
+
+TEST(ProtocolTest, ParsesRoute) {
+  auto r = ParseRequest("ROUTE subrange 0.2 3 quick brown fox");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().kind, CommandKind::kRoute);
+  EXPECT_EQ(r.value().estimator, "subrange");
+  EXPECT_DOUBLE_EQ(r.value().threshold, 0.2);
+  EXPECT_EQ(r.value().topk, 3u);
+  EXPECT_EQ(r.value().query_text, "quick brown fox");
+}
+
+TEST(ProtocolTest, ParsesEstimateWithoutTopk) {
+  auto r = ParseRequest("ESTIMATE basic 0.35 fox");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().kind, CommandKind::kEstimate);
+  EXPECT_EQ(r.value().estimator, "basic");
+  EXPECT_DOUBLE_EQ(r.value().threshold, 0.35);
+  EXPECT_EQ(r.value().topk, 0u);
+  EXPECT_EQ(r.value().query_text, "fox");
+}
+
+TEST(ProtocolTest, CollapsesWhitespaceInQuery) {
+  auto r = ParseRequest("ROUTE subrange 0.2 0   fox \t dog ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().query_text, "fox dog");
+}
+
+TEST(ProtocolTest, ParsesArgumentFreeCommands) {
+  EXPECT_EQ(ParseRequest("STATS").value().kind, CommandKind::kStats);
+  EXPECT_EQ(ParseRequest("RELOAD").value().kind, CommandKind::kReload);
+  EXPECT_EQ(ParseRequest("QUIT").value().kind, CommandKind::kQuit);
+}
+
+TEST(ProtocolTest, RejectsArgumentsOnBareCommands) {
+  EXPECT_FALSE(ParseRequest("STATS now").ok());
+  EXPECT_FALSE(ParseRequest("QUIT 1").ok());
+}
+
+TEST(ProtocolTest, RejectsEmptyAndUnknown) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("   ").ok());
+  auto r = ParseRequest("FETCH foo");
+  ASSERT_FALSE(r.ok());
+  // The error teaches the protocol.
+  EXPECT_NE(r.status().message().find("ROUTE"), std::string::npos);
+  EXPECT_NE(r.status().message().find("QUIT"), std::string::npos);
+}
+
+TEST(ProtocolTest, RejectsBadNumbers) {
+  EXPECT_FALSE(ParseRequest("ROUTE subrange nan 0 fox").ok());
+  EXPECT_FALSE(ParseRequest("ROUTE subrange -0.1 0 fox").ok());
+  EXPECT_FALSE(ParseRequest("ROUTE subrange 0.2 many fox").ok());
+  EXPECT_FALSE(ParseRequest("ROUTE subrange 0.2x 0 fox").ok());
+}
+
+TEST(ProtocolTest, RejectsMissingQuery) {
+  EXPECT_FALSE(ParseRequest("ROUTE subrange 0.2 0").ok());
+  EXPECT_FALSE(ParseRequest("ESTIMATE subrange 0.2").ok());
+}
+
+TEST(ProtocolTest, ResponseHeaderRoundTrip) {
+  auto ok = ParseResponseHeader(FormatOkHeader(17));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value().ok);
+  EXPECT_EQ(ok.value().payload_lines, 17u);
+
+  auto err = ParseResponseHeader(
+      FormatErrorHeader(Status::NotFound("no such thing")));
+  ASSERT_TRUE(err.ok());
+  EXPECT_FALSE(err.value().ok);
+  EXPECT_EQ(err.value().error, "NotFound: no such thing");
+}
+
+TEST(ProtocolTest, RejectsMalformedResponseHeaders) {
+  EXPECT_FALSE(ParseResponseHeader("").ok());
+  EXPECT_FALSE(ParseResponseHeader("OK").ok());
+  EXPECT_FALSE(ParseResponseHeader("OK x").ok());
+  EXPECT_FALSE(ParseResponseHeader("HELLO 3").ok());
+}
+
+TEST(ProtocolTest, CommandNamesAreStable) {
+  EXPECT_STREQ(CommandName(CommandKind::kRoute), "route");
+  EXPECT_STREQ(CommandName(CommandKind::kEstimate), "estimate");
+  EXPECT_STREQ(CommandName(CommandKind::kStats), "stats");
+  EXPECT_STREQ(CommandName(CommandKind::kReload), "reload");
+  EXPECT_STREQ(CommandName(CommandKind::kQuit), "quit");
+}
+
+}  // namespace
+}  // namespace useful::service

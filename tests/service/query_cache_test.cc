@@ -1,0 +1,147 @@
+#include "service/query_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace useful::service {
+namespace {
+
+CachedRanking MakeRanking(const std::string& engine, double no_doc) {
+  return {broker::EngineSelection{engine, {no_doc, 0.5}}};
+}
+
+ir::Query MakeQuery(std::vector<std::pair<std::string, double>> terms) {
+  ir::Query q;
+  for (auto& [term, weight] : terms) {
+    q.terms.push_back(ir::QueryTerm{term, weight});
+  }
+  return q;
+}
+
+TEST(QueryCacheKeyTest, TermOrderDoesNotSplitTheCache) {
+  ir::Query a = MakeQuery({{"fox", 0.6}, {"dog", 0.8}});
+  ir::Query b = MakeQuery({{"dog", 0.8}, {"fox", 0.6}});
+  EXPECT_EQ(QueryCache::MakeKey("subrange", 0.2, a),
+            QueryCache::MakeKey("subrange", 0.2, b));
+}
+
+TEST(QueryCacheKeyTest, DistinguishesEstimatorThresholdAndWeights) {
+  ir::Query q = MakeQuery({{"fox", 0.6}});
+  std::string base = QueryCache::MakeKey("subrange", 0.2, q);
+  EXPECT_NE(base, QueryCache::MakeKey("basic", 0.2, q));
+  EXPECT_NE(base, QueryCache::MakeKey("subrange", 0.3, q));
+  ir::Query other_weight = MakeQuery({{"fox", 0.7}});
+  EXPECT_NE(base, QueryCache::MakeKey("subrange", 0.2, other_weight));
+}
+
+TEST(QueryCacheTest, MissThenHit) {
+  QueryCache cache({.max_entries = 8, .max_bytes = 1u << 20, .shards = 1});
+  EXPECT_FALSE(cache.Get("k1").has_value());
+  cache.Put("k1", MakeRanking("e", 2.0));
+  auto hit = cache.Get("k1");
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0].engine, "e");
+  EXPECT_DOUBLE_EQ((*hit)[0].estimate.no_doc, 2.0);
+  auto c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.entries, 1u);
+  EXPECT_GT(c.bytes, 0u);
+}
+
+TEST(QueryCacheTest, EvictsLeastRecentlyUsedInOrder) {
+  QueryCache cache({.max_entries = 3, .max_bytes = 1u << 20, .shards = 1});
+  cache.Put("a", MakeRanking("a", 1));
+  cache.Put("b", MakeRanking("b", 1));
+  cache.Put("c", MakeRanking("c", 1));
+  // Touch "a" so "b" becomes the LRU victim.
+  EXPECT_TRUE(cache.Get("a").has_value());
+  cache.Put("d", MakeRanking("d", 1));
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_TRUE(cache.Get("d").has_value());
+  // Still at the entry budget.
+  EXPECT_EQ(cache.counters().entries, 3u);
+}
+
+TEST(QueryCacheTest, RefreshingAKeyUpdatesValueWithoutGrowth) {
+  QueryCache cache({.max_entries = 4, .max_bytes = 1u << 20, .shards = 1});
+  cache.Put("k", MakeRanking("old", 1.0));
+  cache.Put("k", MakeRanking("new", 9.0));
+  EXPECT_EQ(cache.counters().entries, 1u);
+  auto hit = cache.Get("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].engine, "new");
+}
+
+TEST(QueryCacheTest, ByteBudgetEvicts) {
+  // Each entry costs ~kEntryOverhead + key + value strings; a budget of
+  // ~2 entries must hold the cache near two entries regardless of the
+  // (larger) entry budget.
+  QueryCache cache({.max_entries = 100, .max_bytes = 300, .shards = 1});
+  for (int i = 0; i < 10; ++i) {
+    cache.Put("key" + std::to_string(i), MakeRanking("engine", 1.0));
+  }
+  auto c = cache.counters();
+  EXPECT_GT(c.evictions, 0u);
+  EXPECT_LE(c.bytes, 300u);
+  EXPECT_LT(c.entries, 10u);
+}
+
+TEST(QueryCacheTest, OversizeValueIsNotCached) {
+  QueryCache cache({.max_entries = 8, .max_bytes = 200, .shards = 1});
+  CachedRanking huge;
+  for (int i = 0; i < 100; ++i) huge.push_back({"engine-name", {1.0, 0.5}});
+  cache.Put("huge", huge);
+  EXPECT_EQ(cache.counters().entries, 0u);
+  EXPECT_FALSE(cache.Get("huge").has_value());
+}
+
+TEST(QueryCacheTest, ClearDropsEntriesButKeepsCounterTotals) {
+  QueryCache cache({.max_entries = 8, .max_bytes = 1u << 20, .shards = 2});
+  cache.Put("a", MakeRanking("a", 1));
+  cache.Put("b", MakeRanking("b", 1));
+  EXPECT_TRUE(cache.Get("a").has_value());
+  cache.Clear();
+  auto c = cache.counters();
+  EXPECT_EQ(c.entries, 0u);
+  EXPECT_EQ(c.bytes, 0u);
+  EXPECT_EQ(c.hits, 1u);  // history survives
+  EXPECT_FALSE(cache.Get("a").has_value());
+}
+
+TEST(QueryCacheTest, ConcurrentHammeringKeepsCountersConsistent) {
+  QueryCache cache({.max_entries = 64, .max_bytes = 1u << 20, .shards = 8});
+  constexpr std::size_t kOps = 4000;
+  constexpr std::size_t kKeys = 97;
+  std::atomic<std::uint64_t> observed_hits{0};
+  util::ThreadPool pool(8);
+  pool.ParallelFor(kOps, [&](std::size_t i) {
+    std::string key = "key" + std::to_string(i % kKeys);
+    auto hit = cache.Get(key);
+    if (hit.has_value()) {
+      observed_hits.fetch_add(1, std::memory_order_relaxed);
+      // A cached ranking is always intact, never half-written.
+      ASSERT_EQ(hit->size(), 1u);
+      EXPECT_EQ((*hit)[0].engine, "e" + std::to_string(i % kKeys));
+    } else {
+      cache.Put(key, MakeRanking("e" + std::to_string(i % kKeys), 1.0));
+    }
+  });
+  auto c = cache.counters();
+  // Every Get counted exactly once, as either a hit or a miss.
+  EXPECT_EQ(c.hits + c.misses, kOps);
+  EXPECT_EQ(c.hits, observed_hits.load());
+  EXPECT_LE(c.entries, 64u);
+}
+
+}  // namespace
+}  // namespace useful::service

@@ -1,0 +1,240 @@
+// Socket-level tests: a real service::Server on an ephemeral loopback
+// port, driven by a raw TCP client. The heavy behavioral coverage lives
+// in service_test.cc (socket-free); here we prove the wire layer —
+// framing, concurrent connections, QUIT-driven shutdown, drain.
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ir/search_engine.h"
+#include "represent/builder.h"
+#include "represent/serialize.h"
+#include "service/protocol.h"
+
+namespace useful::service {
+namespace {
+
+/// Minimal blocking protocol client for tests.
+class TestClient {
+ public:
+  ~TestClient() { Close(); }
+
+  bool Connect(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  bool Send(const std::string& line) {
+    std::string data = line + "\n";
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      std::size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        *line = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Sends a request, returns the whole framed response (header first).
+  std::vector<std::string> RoundTrip(const std::string& request) {
+    std::vector<std::string> lines;
+    if (!Send(request)) return lines;
+    std::string header;
+    if (!ReadLine(&header)) return lines;
+    lines.push_back(header);
+    auto parsed = ParseResponseHeader(header);
+    if (!parsed.ok() || !parsed.value().ok) return lines;
+    for (std::size_t i = 0; i < parsed.value().payload_lines; ++i) {
+      std::string payload;
+      if (!ReadLine(&payload)) break;
+      lines.push_back(payload);
+    }
+    return lines;
+  }
+
+  /// True when the peer has closed (read returns EOF).
+  bool WaitForClose() {
+    std::string unused;
+    return !ReadLine(&unused);
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("useful_server_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::create_directories(dir_);
+    WriteRep("sports", {"football goal referee", "football stadium crowd"});
+    WriteRep("science", {"quantum particle physics", "quantum entanglement"});
+
+    ServiceOptions options;
+    options.representative_paths = {(dir_ / "sports.rep").string(),
+                                    (dir_ / "science.rep").string()};
+    auto service = Service::Create(&analyzer_, options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    service_ = std::move(service).value();
+
+    ServerOptions server_options;
+    server_options.threads = 4;
+    server_ = std::make_unique<Server>(service_.get(), server_options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+    serve_thread_ = std::thread([this] { serve_status_ = server_->Serve(); });
+  }
+
+  void TearDown() override {
+    server_->RequestStop();
+    if (serve_thread_.joinable()) serve_thread_.join();
+    EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void WriteRep(const std::string& name, std::vector<std::string> docs) {
+    ir::SearchEngine engine(name, &analyzer_);
+    int i = 0;
+    for (const std::string& text : docs) {
+      ASSERT_TRUE(engine.Add({name + "/d" + std::to_string(i++), text}).ok());
+    }
+    ASSERT_TRUE(engine.Finalize().ok());
+    auto rep = represent::BuildRepresentative(engine);
+    ASSERT_TRUE(rep.ok());
+    ASSERT_TRUE(represent::SaveRepresentative(
+                    rep.value(), (dir_ / (name + ".rep")).string())
+                    .ok());
+  }
+
+  text::Analyzer analyzer_;
+  std::filesystem::path dir_;
+  std::unique_ptr<Service> service_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+  Status serve_status_;
+};
+
+TEST_F(ServerTest, RouteOverTcpMatchesInProcessExecution) {
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  auto wire = client.RoundTrip("ROUTE subrange 0.1 0 football");
+  ASSERT_FALSE(wire.empty());
+  EXPECT_EQ(wire[0], "OK 1");
+
+  auto direct = service_->Execute("ROUTE subrange 0.1 0 football");
+  ASSERT_TRUE(direct.status.ok());
+  ASSERT_EQ(wire.size(), 1u + direct.payload.size());
+  for (std::size_t i = 0; i < direct.payload.size(); ++i) {
+    EXPECT_EQ(wire[1 + i], direct.payload[i]);
+  }
+}
+
+TEST_F(ServerTest, ErrorsAreFramedAsErr) {
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  auto wire = client.RoundTrip("NONSENSE");
+  ASSERT_EQ(wire.size(), 1u);
+  EXPECT_EQ(wire[0].substr(0, 4), "ERR ");
+  // The connection survives an error; the next request still works.
+  auto stats = client.RoundTrip("STATS");
+  ASSERT_FALSE(stats.empty());
+  EXPECT_EQ(stats[0].substr(0, 3), "OK ");
+}
+
+TEST_F(ServerTest, MultipleConcurrentConnections) {
+  constexpr int kClients = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client;
+      if (!client.Connect(server_->port())) return;
+      for (int i = 0; i < 20; ++i) {
+        auto wire = client.RoundTrip(
+            c % 2 == 0 ? "ROUTE subrange 0.1 0 football quantum"
+                       : "ESTIMATE basic 0.2 quantum");
+        if (wire.empty() || wire[0].substr(0, 3) != "OK ") return;
+      }
+      ok_count.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), kClients);
+  // 120 requests landed in the stats.
+  EXPECT_GE(service_->stats().requests_total(), 120u);
+}
+
+TEST_F(ServerTest, QuitShutsTheServerDownCleanly) {
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  auto wire = client.RoundTrip("QUIT");
+  ASSERT_EQ(wire.size(), 1u);
+  EXPECT_EQ(wire[0], "OK 0");
+  EXPECT_TRUE(client.WaitForClose());
+  serve_thread_.join();  // Serve() returns without RequestStop
+  EXPECT_TRUE(serve_status_.ok());
+  EXPECT_TRUE(server_->stopping());
+}
+
+TEST_F(ServerTest, OverlongRequestLineIsRejected) {
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  // Default max_line_bytes is 64 KiB; send 80 KiB without a newline.
+  std::string big(80 * 1024, 'x');
+  ASSERT_TRUE(client.Send(big));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.substr(0, 4), "ERR ");
+  EXPECT_TRUE(client.WaitForClose());
+}
+
+}  // namespace
+}  // namespace useful::service

@@ -1,0 +1,284 @@
+// In-process (socket-free) coverage of the broker service: every protocol
+// command is exercised through service::Service directly, which is the
+// same code path the TCP server drives.
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/selection_policy.h"
+#include "estimate/registry.h"
+#include "ir/search_engine.h"
+#include "represent/builder.h"
+#include "represent/serialize.h"
+#include "util/string_util.h"
+
+namespace useful::service {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("useful_service_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::create_directories(dir_);
+    WriteRep("sports", {"football goal referee", "football stadium crowd",
+                        "goal keeper shared"});
+    WriteRep("science", {"quantum particle physics",
+                         "particle collider shared", "quantum entanglement"});
+    WriteRep("cooking", {"recipe flour oven", "oven temperature shared",
+                         "recipe butter sugar"});
+    auto service = Service::Create(&analyzer_, MakeOptions());
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    service_ = std::move(service).value();
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  ServiceOptions MakeOptions() {
+    ServiceOptions options;
+    for (const char* name : {"sports", "science", "cooking"}) {
+      options.representative_paths.push_back(RepPath(name));
+    }
+    return options;
+  }
+
+  std::string RepPath(const std::string& name) {
+    return (dir_ / (name + ".rep")).string();
+  }
+
+  void WriteRep(const std::string& name, std::vector<std::string> docs) {
+    ir::SearchEngine engine(name, &analyzer_);
+    int i = 0;
+    for (const std::string& text : docs) {
+      ASSERT_TRUE(engine.Add({name + "/d" + std::to_string(i++), text}).ok());
+    }
+    ASSERT_TRUE(engine.Finalize().ok());
+    auto rep = represent::BuildRepresentative(engine);
+    ASSERT_TRUE(rep.ok());
+    ASSERT_TRUE(
+        represent::SaveRepresentative(rep.value(), RepPath(name)).ok());
+  }
+
+  text::Analyzer analyzer_;
+  std::filesystem::path dir_;
+  std::unique_ptr<Service> service_;
+};
+
+TEST_F(ServiceTest, LoadsAllEngines) {
+  EXPECT_EQ(service_->num_engines(), 3u);
+}
+
+TEST_F(ServiceTest, CreateFailsOnMissingFile) {
+  ServiceOptions options;
+  options.representative_paths.push_back((dir_ / "nope.rep").string());
+  auto service = Service::Create(&analyzer_, options);
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), Status::Code::kIOError);
+}
+
+TEST_F(ServiceTest, CreateRequiresPaths) {
+  EXPECT_FALSE(Service::Create(&analyzer_, ServiceOptions{}).ok());
+  EXPECT_FALSE(Service::Create(nullptr, MakeOptions()).ok());
+}
+
+// Acceptance: the service's ROUTE answers equal the one-shot CLI path —
+// the same RankEngines output under the paper's selection rule.
+TEST_F(ServiceTest, RouteMatchesDirectBrokerSelection) {
+  auto reply = service_->Execute("ROUTE subrange 0.1 0 football");
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+
+  auto estimator = estimate::MakeEstimator("subrange");
+  ASSERT_TRUE(estimator.ok());
+  ir::Query q = ir::ParseQuery(analyzer_, "football");
+  auto expected = broker::ThresholdPolicy().Apply(
+      service_->snapshot()->RankEngines(q, 0.1, *estimator.value()));
+
+  ASSERT_EQ(reply.payload.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(reply.payload[i],
+              StringPrintf("%s %.17g %.17g", expected[i].engine.c_str(),
+                           expected[i].estimate.no_doc,
+                           expected[i].estimate.avg_sim));
+  }
+  ASSERT_FALSE(reply.payload.empty());
+  EXPECT_EQ(reply.payload[0].substr(0, 6), "sports");
+}
+
+TEST_F(ServiceTest, EstimateReturnsEveryEngine) {
+  auto reply = service_->Execute("ESTIMATE subrange 0.1 shared");
+  ASSERT_TRUE(reply.status.ok());
+  EXPECT_EQ(reply.payload.size(), 3u);  // no policy filtering
+}
+
+TEST_F(ServiceTest, TopkCapsTheSelection) {
+  auto uncapped = service_->Execute("ROUTE subrange 0.01 0 shared");
+  ASSERT_TRUE(uncapped.status.ok());
+  ASSERT_GE(uncapped.payload.size(), 2u);
+  auto capped = service_->Execute("ROUTE subrange 0.01 1 shared");
+  ASSERT_TRUE(capped.status.ok());
+  EXPECT_EQ(capped.payload.size(), 1u);
+  EXPECT_EQ(capped.payload[0], uncapped.payload[0]);
+}
+
+TEST_F(ServiceTest, RepeatedQueryHitsCacheAndPolicyDoesNotSplitIt) {
+  auto first = service_->Execute("ROUTE subrange 0.1 0 football");
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(service_->cache().counters().hits, 0u);
+  EXPECT_EQ(service_->cache().counters().misses, 1u);
+
+  auto second = service_->Execute("ROUTE subrange 0.1 0 football");
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(service_->cache().counters().hits, 1u);
+  EXPECT_EQ(second.payload, first.payload);
+
+  // Same key despite different topk / command: policy applies post-cache.
+  ASSERT_TRUE(service_->Execute("ROUTE subrange 0.1 2 football").status.ok());
+  ASSERT_TRUE(service_->Execute("ESTIMATE subrange 0.1 football").status.ok());
+  EXPECT_EQ(service_->cache().counters().hits, 3u);
+  EXPECT_EQ(service_->cache().counters().misses, 1u);
+
+  // Different threshold is a different key.
+  ASSERT_TRUE(service_->Execute("ROUTE subrange 0.2 0 football").status.ok());
+  EXPECT_EQ(service_->cache().counters().misses, 2u);
+}
+
+TEST_F(ServiceTest, CachedAnswersAreByteIdenticalToUncached) {
+  auto uncached = service_->Execute("ESTIMATE adaptive 0.15 shared recipe");
+  auto cached = service_->Execute("ESTIMATE adaptive 0.15 shared recipe");
+  ASSERT_TRUE(uncached.status.ok());
+  ASSERT_TRUE(cached.status.ok());
+  EXPECT_EQ(uncached.payload, cached.payload);
+  EXPECT_EQ(service_->cache().counters().hits, 1u);
+}
+
+TEST_F(ServiceTest, UnknownEstimatorListsRegisteredNames) {
+  auto reply = service_->Execute("ROUTE bogus 0.1 0 football");
+  ASSERT_FALSE(reply.status.ok());
+  EXPECT_EQ(reply.status.code(), Status::Code::kNotFound);
+  for (const std::string& name : estimate::KnownEstimators()) {
+    EXPECT_NE(reply.status.message().find(name), std::string::npos)
+        << "error should list " << name;
+  }
+}
+
+TEST_F(ServiceTest, EmptyQueryAfterAnalysisErrors) {
+  auto reply = service_->Execute("ROUTE subrange 0.1 0 the of and");
+  ASSERT_FALSE(reply.status.ok());
+  EXPECT_EQ(reply.status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(ServiceTest, UnknownCommandErrors) {
+  auto reply = service_->Execute("FETCH stuff");
+  ASSERT_FALSE(reply.status.ok());
+  EXPECT_EQ(reply.status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(ServiceTest, StatsRendersCountersAndLatencies) {
+  ASSERT_TRUE(service_->Execute("ROUTE subrange 0.1 0 football").status.ok());
+  ASSERT_TRUE(service_->Execute("ROUTE subrange 0.1 0 football").status.ok());
+  service_->Execute("ROUTE bogus 0.1 0 football");  // one error
+  auto reply = service_->Execute("STATS");
+  ASSERT_TRUE(reply.status.ok());
+
+  auto find = [&](const std::string& key) -> std::string {
+    for (const std::string& line : reply.payload) {
+      if (line.rfind(key + " ", 0) == 0) return line.substr(key.size() + 1);
+    }
+    return "<missing>";
+  };
+  // The snapshot is taken before the in-flight STATS is recorded, so it
+  // covers exactly the three ROUTEs that preceded it.
+  EXPECT_EQ(find("requests_total"), "3");
+  EXPECT_EQ(find("errors_total"), "1");
+  EXPECT_EQ(find("engines"), "3");
+  EXPECT_EQ(find("reloads"), "0");
+  EXPECT_EQ(find("cache_hits"), "1");
+  EXPECT_EQ(find("cache_misses"), "1");
+  EXPECT_EQ(find("cmd_route_count"), "3");
+  EXPECT_EQ(find("cmd_stats_count"), "0");
+  EXPECT_NE(find("cmd_route_p50_us"), "<missing>");
+  EXPECT_NE(find("cmd_route_p99_us"), "<missing>");
+
+  // A second STATS sees the first one counted.
+  reply = service_->Execute("STATS");
+  ASSERT_TRUE(reply.status.ok());
+  EXPECT_EQ(find("requests_total"), "4");
+  EXPECT_EQ(find("cmd_stats_count"), "1");
+}
+
+TEST_F(ServiceTest, QuitRequestsShutdownAndCloses) {
+  auto reply = service_->Execute("QUIT");
+  ASSERT_TRUE(reply.status.ok());
+  EXPECT_TRUE(reply.close_connection);
+  EXPECT_TRUE(reply.shutdown_server);
+  EXPECT_TRUE(reply.payload.empty());
+}
+
+TEST_F(ServiceTest, ReloadSwapsRepresentativesAndInvalidatesCache) {
+  auto before = service_->Execute("ROUTE subrange 0.1 0 volleyball");
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_TRUE(before.payload.empty());  // term unknown to every engine
+
+  // The old snapshot must keep working for in-flight requests even after
+  // the swap.
+  auto old_snapshot = service_->snapshot();
+
+  WriteRep("sports", {"volleyball net serve", "volleyball beach game",
+                      "goal keeper shared"});
+  auto reply = service_->Execute("RELOAD");
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  ASSERT_EQ(reply.payload.size(), 1u);
+  EXPECT_EQ(reply.payload[0], "engines 3");
+
+  auto after = service_->Execute("ROUTE subrange 0.1 0 volleyball");
+  ASSERT_TRUE(after.status.ok());
+  ASSERT_FALSE(after.payload.empty());
+  EXPECT_EQ(after.payload[0].substr(0, 6), "sports");
+
+  // The cache did not leak the pre-reload (empty) answer: the second
+  // volleyball ROUTE was a fresh miss under the new generation.
+  EXPECT_EQ(service_->cache().counters().hits, 0u);
+  EXPECT_EQ(service_->stats().reloads(), 1u);
+
+  // Old snapshot still answers from the pre-reload world.
+  ir::Query q = ir::ParseQuery(analyzer_, "volleyball");
+  auto estimator = estimate::MakeEstimator("subrange");
+  ASSERT_TRUE(estimator.ok());
+  EXPECT_TRUE(old_snapshot->SelectEngines(q, 0.1, *estimator.value()).empty());
+}
+
+TEST_F(ServiceTest, FailedReloadKeepsServingOldSnapshot) {
+  ASSERT_TRUE(service_->Execute("ROUTE subrange 0.1 0 football").status.ok());
+  // Corrupt one file on disk.
+  {
+    std::ofstream out(RepPath("science"), std::ios::binary | std::ios::trunc);
+    out << "not a representative";
+  }
+  auto reply = service_->Execute("RELOAD");
+  ASSERT_FALSE(reply.status.ok());
+  EXPECT_EQ(reply.status.code(), Status::Code::kCorruption);
+  EXPECT_NE(reply.status.message().find("science"), std::string::npos);
+
+  // Service still answers with the previous snapshot.
+  EXPECT_EQ(service_->num_engines(), 3u);
+  auto after = service_->Execute("ROUTE subrange 0.1 0 football");
+  ASSERT_TRUE(after.status.ok());
+  ASSERT_FALSE(after.payload.empty());
+  EXPECT_EQ(service_->stats().reloads(), 0u);
+}
+
+}  // namespace
+}  // namespace useful::service

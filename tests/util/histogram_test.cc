@@ -1,0 +1,80 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/thread_pool.h"
+
+namespace useful::util {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtPercentile(50.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // Values below 2^kSubBucketBits get one bucket each, so percentiles on
+  // them are exact.
+  LatencyHistogram h;
+  for (std::uint64_t v : {1, 2, 3, 4, 5, 6, 7}) h.Record(v);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtPercentile(50.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtPercentile(100.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtPercentile(0.0), 1.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesStayWithinOneSubBucket) {
+  // 8 linear sub-buckets per octave bound the relative error of any
+  // percentile by 1/8 = 12.5%; the midpoint convention roughly halves it.
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.Record(v);
+  for (double pct : {10.0, 50.0, 90.0, 99.0}) {
+    double expected = pct / 100.0 * 100000.0;
+    double actual = h.ValueAtPercentile(pct);
+    EXPECT_NEAR(actual, expected, expected * 0.125)
+        << "pct=" << pct;
+  }
+  EXPECT_EQ(h.max(), 100000u);
+  EXPECT_NEAR(h.mean(), 50000.5, 0.5);
+}
+
+TEST(LatencyHistogramTest, SkewedDistributionSeparatesP50AndP99) {
+  LatencyHistogram h;
+  for (int i = 0; i < 990; ++i) h.Record(100);
+  for (int i = 0; i < 10; ++i) h.Record(100000);
+  double p50 = h.ValueAtPercentile(50.0);
+  double p99 = h.ValueAtPercentile(99.0);
+  EXPECT_NEAR(p50, 100.0, 100.0 * 0.125);
+  EXPECT_LT(p50, 200.0);
+  EXPECT_GT(p99, 50.0);  // p99 is the last of the fast samples...
+  double p999 = h.ValueAtPercentile(99.95);
+  EXPECT_NEAR(p999, 100000.0, 100000.0 * 0.125);  // ...p99.95 is the tail
+}
+
+TEST(LatencyHistogramTest, HugeValuesClampIntoTopBucket) {
+  LatencyHistogram h;
+  h.Record(std::uint64_t{1} << 60);  // way past kMaxOctave
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), std::uint64_t{1} << 60);  // max tracked exactly
+  EXPECT_GT(h.ValueAtPercentile(50.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsLoseNothing) {
+  LatencyHistogram h;
+  constexpr std::size_t kPerThread = 10000;
+  ThreadPool pool(8);
+  pool.ParallelFor(8 * kPerThread,
+                   [&](std::size_t i) { h.Record(i % 1000); });
+  EXPECT_EQ(h.count(), 8 * kPerThread);
+  EXPECT_EQ(h.max(), 999u);
+}
+
+}  // namespace
+}  // namespace useful::util

@@ -1,0 +1,60 @@
+#!/bin/sh
+# End-to-end socket smoke test for the serving layer, run by ctest.
+#
+#   served_smoke.sh <useful_served> <useful_client> <rep0> <rep1> <workdir>
+#
+# Spawns useful_served on an ephemeral port, scrapes the announced port,
+# drives ROUTE (twice, so the second hits the query cache), STATS, and
+# QUIT through useful_client over TCP, asserts the cache hit is visible in
+# STATS, and verifies the server exits cleanly after QUIT.
+set -e
+
+SERVED=$1
+CLIENT=$2
+REP0=$3
+REP1=$4
+DIR=$5
+
+OUT="$DIR/served_smoke.out"
+rm -f "$OUT"
+
+"$SERVED" --port 0 "$REP0" "$REP1" > "$OUT" 2>&1 &
+SERVER_PID=$!
+
+PORT=
+i=0
+while [ $i -lt 100 ]; do
+  PORT=$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' "$OUT" | head -1)
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server died before announcing a port:"
+    cat "$OUT"
+    exit 1
+  fi
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ -z "$PORT" ]; then
+  echo "server never announced a port:"
+  cat "$OUT"
+  kill "$SERVER_PID" 2>/dev/null || true
+  exit 1
+fi
+
+REPLY=$(printf 'ROUTE subrange 0.15 0 fox dog\nROUTE subrange 0.15 0 fox dog\nSTATS\nQUIT\n' | "$CLIENT" --port "$PORT")
+echo "$REPLY"
+
+echo "$REPLY" | grep -q '^cache_hits 1$' || {
+  echo "expected the repeated ROUTE to hit the cache (cache_hits 1)"
+  kill "$SERVER_PID" 2>/dev/null || true
+  exit 1
+}
+echo "$REPLY" | grep -q '^cache_misses 1$' || {
+  echo "expected exactly one cache miss"
+  kill "$SERVER_PID" 2>/dev/null || true
+  exit 1
+}
+
+# QUIT must shut the server down cleanly (exit 0).
+wait "$SERVER_PID"
+grep -q 'shut down cleanly' "$OUT"

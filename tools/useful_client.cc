@@ -1,0 +1,158 @@
+// useful_client: line-protocol client for useful_served. Reads request
+// lines from stdin, sends each to the server, and prints every response
+// line (header and payload) to stdout — a transparent protocol echo that
+// scripts can grep.
+//
+//   printf 'ROUTE subrange 0.2 0 fox dog\nSTATS\nQUIT\n' |
+//       useful_client --port 7979
+//
+// Exits 0 when every request got an OK response, 1 when any got an ERR or
+// the connection failed mid-stream, 2 on usage/connect errors.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace {
+
+/// Buffered line reads from a socket.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads one '\n'-terminated line (without the terminator). False on
+  /// EOF/error before a full line arrived.
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      std::size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        *line = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace useful;
+  std::string host = "127.0.0.1";
+  unsigned long port = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      host = need_value("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      port = std::strtoul(need_value("--port"), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "usage: useful_client [--host H] --port P\n");
+    return 2;
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 2;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "bad host: %s\n", host.c_str());
+    ::close(fd);
+    return 2;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror("connect");
+    ::close(fd);
+    return 2;
+  }
+
+  LineReader reader(fd);
+  bool any_error = false;
+  std::string request;
+  while (std::getline(std::cin, request)) {
+    if (request.empty()) continue;
+    if (!SendAll(fd, request + "\n")) {
+      std::fprintf(stderr, "send failed\n");
+      ::close(fd);
+      return 1;
+    }
+    std::string header_line;
+    if (!reader.ReadLine(&header_line)) {
+      std::fprintf(stderr, "connection closed before response\n");
+      ::close(fd);
+      return 1;
+    }
+    std::printf("%s\n", header_line.c_str());
+    auto header = service::ParseResponseHeader(header_line);
+    if (!header.ok()) {
+      std::fprintf(stderr, "%s\n", header.status().ToString().c_str());
+      ::close(fd);
+      return 1;
+    }
+    if (!header.value().ok) {
+      any_error = true;
+      continue;
+    }
+    for (std::size_t i = 0; i < header.value().payload_lines; ++i) {
+      std::string payload_line;
+      if (!reader.ReadLine(&payload_line)) {
+        std::fprintf(stderr, "truncated response\n");
+        ::close(fd);
+        return 1;
+      }
+      std::printf("%s\n", payload_line.c_str());
+    }
+  }
+  ::close(fd);
+  return any_error ? 1 : 0;
+}

@@ -119,7 +119,10 @@ int main(int argc, char** argv) {
   for (std::string_view name : SplitNonEmpty(methods_arg, ",")) {
     auto est = estimate::MakeEstimator(std::string(name));
     if (!est.ok()) {
-      std::fprintf(stderr, "%s\n", est.status().ToString().c_str());
+      std::fprintf(stderr, "%s\nregistered estimators: %s (plus the "
+                   "subrange-k<N> pattern)\n",
+                   est.status().ToString().c_str(),
+                   Join(estimate::KnownEstimators(), ", ").c_str());
       return 2;
     }
     estimators.push_back(std::move(est).value());

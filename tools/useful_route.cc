@@ -20,6 +20,7 @@
 #include "broker/selection_policy.h"
 #include "estimate/registry.h"
 #include "represent/serialize.h"
+#include "util/string_util.h"
 
 int main(int argc, char** argv) {
   using namespace useful;
@@ -58,7 +59,10 @@ int main(int argc, char** argv) {
 
   auto estimator = estimate::MakeEstimator(estimator_name);
   if (!estimator.ok()) {
-    std::fprintf(stderr, "%s\n", estimator.status().ToString().c_str());
+    std::fprintf(stderr, "%s\nregistered estimators: %s (plus the "
+                 "subrange-k<N> pattern)\n",
+                 estimator.status().ToString().c_str(),
+                 Join(estimate::KnownEstimators(), ", ").c_str());
     return 2;
   }
 

@@ -1,0 +1,101 @@
+// useful_served: the broker as a long-running metasearch service. Loads
+// representative files, listens on a TCP port, and answers the line
+// protocol (ROUTE / ESTIMATE / STATS / RELOAD / QUIT) until a QUIT
+// request or SIGINT winds it down gracefully.
+//
+//   useful_served [--host H] [--port P] [--threads N]
+//                 [--cache-entries N] [--cache-bytes N] <rep>...
+//   useful_served --port 7979 a.rep b.rep
+//
+// --port 0 (the default) binds an ephemeral port; the chosen port is
+// announced on stdout as "listening on H:P" before serving starts, so
+// scripts can scrape it. ROUTE results are identical to useful_route on
+// the same representatives; repeated queries are served from the query
+// cache (see STATS), and RELOAD re-reads the representative files without
+// dropping in-flight requests.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/server.h"
+#include "service/service.h"
+#include "text/analyzer.h"
+
+namespace {
+useful::service::Server* g_server = nullptr;
+
+void HandleSigint(int) {
+  // RequestStop is one atomic store: signal-safe. Serve() notices within
+  // its poll interval and drains.
+  if (g_server != nullptr) g_server->RequestStop();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace useful;
+  service::ServerOptions server_options;
+  service::ServiceOptions service_options;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      server_options.host = need_value("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      server_options.port = static_cast<std::uint16_t>(
+          std::strtoul(need_value("--port"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      server_options.threads =
+          std::strtoul(need_value("--threads"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--cache-entries") == 0) {
+      service_options.cache.max_entries =
+          std::strtoul(need_value("--cache-entries"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--cache-bytes") == 0) {
+      service_options.cache.max_bytes =
+          std::strtoul(need_value("--cache-bytes"), nullptr, 10);
+    } else {
+      service_options.representative_paths.push_back(argv[i]);
+    }
+  }
+  if (service_options.representative_paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: useful_served [--host H] [--port P] [--threads N] "
+                 "[--cache-entries N] [--cache-bytes N] <rep-file>...\n");
+    return 2;
+  }
+
+  text::Analyzer analyzer;
+  auto service = service::Service::Create(&analyzer, service_options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %zu engines\n", service.value()->num_engines());
+
+  service::Server server(service.value().get(), server_options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+
+  std::printf("listening on %s:%u\n", server_options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);  // scripts scrape the port from a pipe
+
+  if (Status s = server.Serve(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("shut down cleanly\n");
+  return 0;
+}
