@@ -431,6 +431,84 @@ void BM_ServerSingleConnQPS(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerSingleConnQPS);
 
+// Pipelined variant: a batch of requests lands in one write and the
+// replies are drained together — the throughput the consumed-offset
+// framing enables (per-line head erase would make this quadratic in the
+// batch). Compare items/sec against BM_ServerSingleConnQPS to see what
+// the per-round-trip latency costs.
+void BM_ServerPipelinedQPS(benchmark::State& state) {
+  const auto& f = GetServiceFixture();
+  const auto& tb = bench::GetTestbed();
+  service::ServiceOptions options;
+  options.representative_paths = f.rep_paths;
+  auto service = service::Service::Create(&tb.analyzer, options);
+  if (!service.ok()) std::abort();
+  service::ServerOptions server_options;
+  server_options.threads = 2;
+  service::Server server(service.value().get(), server_options);
+  if (!server.Start().ok()) std::abort();
+  std::thread serve_thread([&server] { (void)server.Serve(); });
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::abort();
+  }
+
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::string request_block;
+  for (std::size_t i = 0; i < batch; ++i) {
+    request_block += f.route_lines[i % f.route_lines.size()];
+    request_block.push_back('\n');
+  }
+
+  std::string buffer;
+  auto read_line = [&](std::string* line) {
+    for (;;) {
+      std::size_t pos = buffer.find('\n');
+      if (pos != std::string::npos) {
+        *line = buffer.substr(0, pos);
+        buffer.erase(0, pos + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  };
+
+  for (auto _ : state) {
+    std::size_t sent = 0;
+    while (sent < request_block.size()) {
+      ssize_t n = ::send(fd, request_block.data() + sent,
+                         request_block.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) std::abort();
+      sent += static_cast<std::size_t>(n);
+    }
+    for (std::size_t i = 0; i < batch; ++i) {
+      std::string header;
+      if (!read_line(&header)) std::abort();
+      auto parsed = service::ParseResponseHeader(header);
+      if (!parsed.ok() || !parsed.value().ok) std::abort();
+      for (std::size_t j = 0; j < parsed.value().payload_lines; ++j) {
+        std::string payload;
+        if (!read_line(&payload)) std::abort();
+      }
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch));
+
+  ::close(fd);
+  server.RequestStop();
+  serve_thread.join();
+}
+BENCHMARK(BM_ServerPipelinedQPS)->Arg(16)->Arg(256);
+
 }  // namespace
 
 BENCHMARK_MAIN();

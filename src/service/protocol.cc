@@ -1,5 +1,6 @@
 #include "service/protocol.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 
@@ -23,14 +24,28 @@ Result<double> ParseThreshold(std::string_view token) {
   return value;
 }
 
-Result<std::size_t> ParseTopK(std::string_view token) {
+/// Strict non-negative decimal parse. Unlike bare strtoul this rejects
+/// sign characters (strtoul silently wraps "-1" to 2^64-1), leading
+/// whitespace, and ERANGE overflow, and enforces an explicit cap — the
+/// three ways a count token can smuggle in a giant value.
+bool ParseCount(std::string_view token, std::size_t max, std::size_t* out) {
+  if (token.empty() || token[0] < '0' || token[0] > '9') return false;
   std::string copy(token);
   char* end = nullptr;
-  unsigned long value = std::strtoul(copy.c_str(), &end, 10);
-  if (end == copy.c_str() || *end != '\0') {
-    return Status::InvalidArgument("bad topk: " + copy);
+  errno = 0;
+  unsigned long long value = std::strtoull(copy.c_str(), &end, 10);
+  if (end == copy.c_str() || *end != '\0' || errno == ERANGE) return false;
+  if (value > max) return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+Result<std::size_t> ParseTopK(std::string_view token) {
+  std::size_t value = 0;
+  if (!ParseCount(token, kMaxTopK, &value)) {
+    return Status::InvalidArgument("bad topk: " + std::string(token));
   }
-  return static_cast<std::size_t>(value);
+  return value;
 }
 
 /// Re-joins query tokens with single spaces; the analyzer re-splits anyway.
@@ -121,14 +136,12 @@ std::string FormatErrorHeader(const Status& status) {
 Result<ResponseHeader> ParseResponseHeader(std::string_view line) {
   ResponseHeader header;
   if (StartsWith(line, "OK ")) {
-    std::string count(line.substr(3));
-    char* end = nullptr;
-    unsigned long n = std::strtoul(count.c_str(), &end, 10);
-    if (end == count.c_str() || *end != '\0') {
+    std::size_t n = 0;
+    if (!ParseCount(line.substr(3), kMaxPayloadLines, &n)) {
       return Status::Corruption("bad OK header: " + std::string(line));
     }
     header.ok = true;
-    header.payload_lines = static_cast<std::size_t>(n);
+    header.payload_lines = n;
     return header;
   }
   if (StartsWith(line, "ERR ")) {

@@ -41,6 +41,15 @@ inline constexpr std::size_t kNumCommands =
 /// Lower-case wire-adjacent name ("route", "estimate", ...) for stats keys.
 const char* CommandName(CommandKind kind);
 
+/// Upper bound accepted for ROUTE's <topk>. Far above any plausible engine
+/// registry; mainly rejects garbage like "-1" wrapped through strtoul.
+inline constexpr std::size_t kMaxTopK = 1u << 20;
+
+/// Upper bound accepted for the payload-line count in an "OK <n>" header.
+/// Caps how long a client will loop reading payload from a corrupt or
+/// hostile server before declaring the stream broken.
+inline constexpr std::size_t kMaxPayloadLines = 1u << 24;
+
 /// One parsed request line.
 struct Request {
   CommandKind kind = CommandKind::kQuit;

@@ -1,7 +1,9 @@
 #include "service/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -17,6 +19,8 @@
 namespace useful::service {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 Status ErrnoStatus(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
@@ -37,6 +41,24 @@ std::string RenderReply(const Service::Reply& reply) {
     out.push_back('\n');
   }
   return out;
+}
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// accept() errno values that mean "out of descriptors or buffers": the
+/// listen socket stays level-triggered readable, so retrying immediately
+/// would spin a core without ever succeeding.
+bool IsAcceptResourceError(int err) {
+  return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM;
+}
+
+std::uint64_t ElapsedMs(Clock::time_point since, Clock::time_point now) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - since)
+          .count());
 }
 
 }  // namespace
@@ -104,12 +126,51 @@ Status Server::Serve() {
 }
 
 void Server::AcceptLoop() {
+  Stats* stats = service_->mutable_stats();
+  int one = 1;
   pollfd pfd{listen_fd_, POLLIN, 0};
   while (!stopping()) {
     int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
     if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
     int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      if (IsAcceptResourceError(errno)) {
+        stats->RecordAcceptError();
+        // The condition clears only when some connection closes; sleeping
+        // cedes the core and bounds the retry rate. Short enough that the
+        // stop flag is still observed promptly.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.accept_backoff_ms));
+      }
+      continue;
+    }
+
+    std::size_t queued;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queued = pending_.size();
+    }
+    bool over_connections =
+        options_.max_connections > 0 &&
+        open_connections() >= options_.max_connections;
+    bool over_queue = options_.max_accept_queue > 0 &&
+                      queued >= options_.max_accept_queue;
+    if (over_connections || over_queue) {
+      stats->RecordOverloadShed();
+      TrySendError(fd, Status::Unavailable(
+                           over_connections
+                               ? "overloaded: connection limit reached"
+                               : "overloaded: accept queue full"));
+      ::close(fd);
+      continue;
+    }
+
+    SetNonBlocking(fd);
+    // Replies go out as one small send per request; Nagle would pair with
+    // the peer's delayed ACK and stall pipelined batches ~40 ms per
+    // coalesce, so turn it off (request/response servers always do).
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       pending_.push_back(fd);
@@ -137,6 +198,7 @@ void Server::WorkerLoop() {
           // they have no requests in flight.
           ::close(pending_.front());
           pending_.pop_front();
+          open_connections_.fetch_sub(1, std::memory_order_relaxed);
           continue;
         }
         fd = pending_.front();
@@ -149,31 +211,72 @@ void Server::WorkerLoop() {
   }
 }
 
-bool Server::SendAll(int fd, const std::string& data) {
+bool Server::SendAll(int fd, std::string_view data) {
   std::size_t sent = 0;
+  const bool bounded = options_.write_timeout_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options_.write_timeout_ms);
   while (sent < data.size()) {
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                        MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
     }
-    sent += static_cast<std::size_t>(n);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Peer not draining. Wait for writability in poll-interval slices
+      // (keeps the stop flag's latency bound) up to the write deadline.
+      if (bounded && Clock::now() >= deadline) {
+        service_->mutable_stats()->RecordWriteTimeout();
+        return false;
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      ::poll(&pfd, 1, options_.poll_interval_ms);
+      continue;
+    }
+    return false;  // peer closed or hard error
   }
   return true;
 }
 
+void Server::TrySendError(int fd, const Status& status) {
+  std::string line = FormatErrorHeader(status);
+  line.push_back('\n');
+  // One non-blocking shot: if the peer's receive window is already full it
+  // was not reading anyway, and this path must never block the acceptor or
+  // delay reclaiming a timed-out worker.
+  ::send(fd, line.data(), line.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+}
+
 void Server::HandleConnection(int fd) {
+  Stats* stats = service_->mutable_stats();
+  stats->RecordConnectionOpened();
+  const Clock::time_point opened = Clock::now();
+
   std::string buffer;
-  char chunk[4096];
+  char chunk[8192];
   bool open = true;
+  // Deadline bookkeeping: last_activity is the last time the connection
+  // made progress (bytes arrived or a request completed); request_start
+  // is the arrival time of the first byte of the currently-pending
+  // partial request line. The request timer is measured from
+  // request_start, so a slow-loris writer trickling bytes cannot push the
+  // deadline out by keeping last_activity fresh.
+  Clock::time_point last_activity = opened;
+  Clock::time_point request_start{};
+  bool request_pending = false;
+
   while (open) {
-    // Serve every complete line already buffered.
+    // Serve every complete line already buffered. Track a consumed offset
+    // and compact once afterwards: erasing the buffer head per line would
+    // make a pipelined batch of n requests cost O(n^2) in memmoves.
+    std::size_t consumed = 0;
     std::size_t pos;
-    while ((pos = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, pos);
-      buffer.erase(0, pos + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
+    while ((pos = buffer.find('\n', consumed)) != std::string::npos) {
+      std::string_view line(buffer.data() + consumed, pos - consumed);
+      consumed = pos + 1;
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
       if (line.empty()) continue;
       Service::Reply reply = service_->Execute(line);
       if (!SendAll(fd, RenderReply(reply))) {
@@ -187,6 +290,15 @@ void Server::HandleConnection(int fd) {
       }
     }
     if (!open) break;
+    if (consumed > 0) {
+      buffer.erase(0, consumed);
+      last_activity = Clock::now();
+      request_pending = false;
+    }
+    if (!buffer.empty() && !request_pending) {
+      request_pending = true;
+      request_start = last_activity;
+    }
     if (buffer.size() > options_.max_line_bytes) {
       SendAll(fd, RenderReply(Service::Reply{
                       Status::InvalidArgument("request line too long"),
@@ -195,9 +307,27 @@ void Server::HandleConnection(int fd) {
                       false}));
       break;
     }
-    // Wait for more bytes; a finite poll keeps the stop flag observable,
-    // so a shutdown drains buffered requests but never waits on an idle
-    // peer.
+
+    // Enforce the lifecycle deadlines before blocking again.
+    Clock::time_point now = Clock::now();
+    if (request_pending && options_.request_timeout_ms > 0 &&
+        ElapsedMs(request_start, now) >=
+            static_cast<std::uint64_t>(options_.request_timeout_ms)) {
+      stats->RecordRequestTimeout();
+      TrySendError(fd, Status::DeadlineExceeded("request timeout"));
+      break;
+    }
+    if (!request_pending && options_.idle_timeout_ms > 0 &&
+        ElapsedMs(last_activity, now) >=
+            static_cast<std::uint64_t>(options_.idle_timeout_ms)) {
+      stats->RecordIdleTimeout();
+      TrySendError(fd, Status::DeadlineExceeded("idle timeout"));
+      break;
+    }
+
+    // Wait for more bytes; a finite poll keeps the stop flag and the
+    // deadlines observable, so a shutdown drains buffered requests but
+    // never waits on an idle peer.
     pollfd pfd{fd, POLLIN, 0};
     int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
     if (ready < 0 && errno != EINTR) break;
@@ -206,10 +336,22 @@ void Server::HandleConnection(int fd) {
       continue;
     }
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;  // peer closed or error
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      // The socket is non-blocking: a readiness false positive is not an
+      // error, only a reason to poll again.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      break;
+    }
     buffer.append(chunk, static_cast<std::size_t>(n));
+    last_activity = Clock::now();
   }
   ::close(fd);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  stats->RecordConnectionClosed(
+      ElapsedMs(opened, Clock::now()) * 1000);
 }
 
 }  // namespace useful::service

@@ -7,6 +7,23 @@
 // accepted sockets from a queue, which is exactly the pool's documented
 // contract (fn called concurrently, no cross-index writes).
 //
+// Connection lifecycle: every accepted socket is non-blocking and lives
+// under three deadlines — idle_timeout_ms (no request in progress, no
+// bytes arriving), request_timeout_ms (a partial request line pending;
+// trickling one byte at a time does NOT reset it, so slow-loris writers
+// are cut off), and write_timeout_ms (the peer stops draining our
+// replies). Expired connections get a best-effort one-line ERR and are
+// closed; each expiry increments a Stats counter rendered by STATS.
+//
+// Backpressure: the server sheds rather than queues unboundedly. A
+// connection accepted while open connections >= max_connections or while
+// the accept queue holds >= max_accept_queue sockets receives a single
+// "ERR Unavailable: overloaded ..." line and is closed immediately —
+// no worker time, no unbounded memory. accept() failures that signal fd
+// exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) back off for
+// accept_backoff_ms instead of hot-spinning on the level-triggered
+// listen socket.
+//
 // Shutdown: a QUIT request or RequestStop() (e.g. from a SIGINT handler;
 // it is a single atomic store, safe in signal context) makes the accept
 // loop stop, and every worker finishes the requests already buffered on
@@ -20,6 +37,7 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "service/service.h"
 #include "util/status.h"
@@ -33,6 +51,26 @@ struct ServerOptions {
   std::size_t max_line_bytes = 1u << 16;  // longer request lines are fatal
   int backlog = 64;
   int poll_interval_ms = 50;       // stop-flag latency for blocked waits
+
+  // --- Connection lifecycle (0 disables the corresponding limit) -------
+  /// Close a connection with no request in progress after this long
+  /// without traffic.
+  int idle_timeout_ms = 60'000;
+  /// Close a connection whose partial request line has been pending this
+  /// long, measured from its first byte — slow writers cannot reset it.
+  int request_timeout_ms = 10'000;
+  /// Give up on a reply the peer has not drained within this long.
+  int write_timeout_ms = 10'000;
+
+  // --- Overload shedding (0 disables the corresponding limit) ----------
+  /// Open connections (queued + in handlers) above which new arrivals are
+  /// shed with an ERR line instead of queued.
+  std::size_t max_connections = 1024;
+  /// Accepted sockets allowed to wait for a worker; arrivals beyond this
+  /// are shed even below max_connections.
+  std::size_t max_accept_queue = 256;
+  /// Pause after an fd-exhaustion accept() failure before retrying.
+  int accept_backoff_ms = 100;
 };
 
 class Server {
@@ -61,17 +99,28 @@ class Server {
 
   bool stopping() const { return stop_.load(std::memory_order_relaxed); }
 
+  /// Open connections: accepted and not yet closed (queued or in a
+  /// handler). Sheds never count.
+  std::size_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+
  private:
   void AcceptLoop();
   void WorkerLoop();
   void HandleConnection(int fd);
-  bool SendAll(int fd, const std::string& data);
+  /// Writes all of `data`, polling for POLLOUT under write_timeout_ms.
+  bool SendAll(int fd, std::string_view data);
+  /// Best-effort single-shot error line (never blocks); used on the shed
+  /// and timeout paths where the peer may not be reading.
+  void TrySendError(int fd, const Status& status);
 
   Service* service_;
   ServerOptions options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> open_connections_{0};
 
   // Accepted sockets waiting for a worker.
   std::mutex queue_mu_;

@@ -67,6 +67,10 @@ class Service {
 
   std::size_t num_engines() const { return snapshot()->num_engines(); }
   const Stats& stats() const { return stats_; }
+  /// Mutable stats handle for the transport layer (Stats is internally
+  /// thread-safe): the TCP server records connection lifecycle events —
+  /// timeouts, sheds, accept errors — into the same registry STATS renders.
+  Stats* mutable_stats() { return &stats_; }
   const QueryCache& cache() const { return cache_; }
 
  private:

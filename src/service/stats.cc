@@ -21,6 +21,34 @@ void Stats::RecordReload() {
   reloads_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Stats::RecordConnectionOpened() {
+  conns_opened_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Stats::RecordConnectionClosed(std::uint64_t lifetime_micros) {
+  conn_lifetime_.Record(lifetime_micros);
+}
+
+void Stats::RecordOverloadShed() {
+  sheds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Stats::RecordIdleTimeout() {
+  idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Stats::RecordRequestTimeout() {
+  request_timeouts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Stats::RecordWriteTimeout() {
+  write_timeouts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Stats::RecordAcceptError() {
+  accept_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::vector<std::string> Stats::Render(const QueryCache::Counters& cache,
                                        std::size_t num_engines) const {
   std::vector<std::string> lines;
@@ -37,6 +65,18 @@ std::vector<std::string> Stats::Render(const QueryCache::Counters& cache,
   add("cache_evictions", cache.evictions);
   add("cache_entries", cache.entries);
   add("cache_bytes", cache.bytes);
+  add("conns_opened", connections_opened());
+  add("conns_closed", conn_lifetime_.count());
+  add("conns_shed", overload_sheds());
+  add("conns_idle_timeout", idle_timeouts());
+  add("conns_request_timeout", request_timeouts());
+  add("conns_write_timeout", write_timeouts());
+  add("accept_errors", accept_errors());
+  add("conn_lifetime_p50_us",
+      static_cast<std::uint64_t>(conn_lifetime_.ValueAtPercentile(50.0)));
+  add("conn_lifetime_p99_us",
+      static_cast<std::uint64_t>(conn_lifetime_.ValueAtPercentile(99.0)));
+  add("conn_lifetime_max_us", conn_lifetime_.max());
   for (std::size_t i = 0; i < kNumCommands; ++i) {
     CommandKind kind = static_cast<CommandKind>(i);
     const util::LatencyHistogram& h = latency_[i];

@@ -27,6 +27,26 @@ class Stats {
   /// Records one successful representative reload.
   void RecordReload();
 
+  // --- Connection lifecycle (recorded by service::Server) ---------------
+
+  /// Records one accepted connection handed to a worker.
+  void RecordConnectionOpened();
+  /// Records a connection's close with its total lifetime.
+  void RecordConnectionClosed(std::uint64_t lifetime_micros);
+  /// Records a connection shed at accept time because the server was over
+  /// its connection or queue limit.
+  void RecordOverloadShed();
+  /// Records a connection dropped because it sat idle past the deadline.
+  void RecordIdleTimeout();
+  /// Records a connection dropped with a partial request pending too long
+  /// (slow-loris writer).
+  void RecordRequestTimeout();
+  /// Records a connection dropped because the peer stopped draining our
+  /// writes.
+  void RecordWriteTimeout();
+  /// Records one failed accept() worth backing off for (EMFILE & friends).
+  void RecordAcceptError();
+
   std::uint64_t requests_total() const {
     return requests_.load(std::memory_order_relaxed);
   }
@@ -35,6 +55,24 @@ class Stats {
   }
   std::uint64_t reloads() const {
     return reloads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_opened() const {
+    return conns_opened_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t overload_sheds() const {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t idle_timeouts() const {
+    return idle_timeouts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t request_timeouts() const {
+    return request_timeouts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t write_timeouts() const {
+    return write_timeouts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t accept_errors() const {
+    return accept_errors_.load(std::memory_order_relaxed);
   }
   std::uint64_t command_count(CommandKind kind) const {
     return counts_[static_cast<std::size_t>(kind)].load(
@@ -53,8 +91,15 @@ class Stats {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> conns_opened_{0};
+  std::atomic<std::uint64_t> sheds_{0};
+  std::atomic<std::uint64_t> idle_timeouts_{0};
+  std::atomic<std::uint64_t> request_timeouts_{0};
+  std::atomic<std::uint64_t> write_timeouts_{0};
+  std::atomic<std::uint64_t> accept_errors_{0};
   std::array<std::atomic<std::uint64_t>, kNumCommands> counts_{};
   std::array<util::LatencyHistogram, kNumCommands> latency_{};
+  util::LatencyHistogram conn_lifetime_;
 };
 
 }  // namespace useful::service

@@ -27,6 +27,8 @@ class Status {
     kCorruption,
     kIOError,
     kInternal,
+    kDeadlineExceeded,
+    kUnavailable,
   };
 
   /// Default-constructed Status is OK.
@@ -55,6 +57,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

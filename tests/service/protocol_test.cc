@@ -59,6 +59,26 @@ TEST(ProtocolTest, RejectsBadNumbers) {
   EXPECT_FALSE(ParseRequest("ROUTE subrange 0.2x 0 fox").ok());
 }
 
+TEST(ProtocolTest, RejectsSignedAndOverflowingTopk) {
+  // strtoul would silently wrap "-1" to 2^64-1; the parser must not.
+  EXPECT_FALSE(ParseRequest("ROUTE basic 0.2 -1 q").ok());
+  EXPECT_FALSE(ParseRequest("ROUTE basic 0.2 +1 q").ok());
+  EXPECT_FALSE(ParseRequest("ROUTE basic 0.2 -0 q").ok());
+  // ERANGE overflow (way past 2^64) must be detected, not saturated.
+  EXPECT_FALSE(
+      ParseRequest("ROUTE basic 0.2 99999999999999999999999999 q").ok());
+}
+
+TEST(ProtocolTest, CapsTopkAtSaneBound) {
+  auto at_cap = ParseRequest("ROUTE basic 0.2 " + std::to_string(kMaxTopK) +
+                             " q");
+  ASSERT_TRUE(at_cap.ok()) << at_cap.status().ToString();
+  EXPECT_EQ(at_cap.value().topk, kMaxTopK);
+  EXPECT_FALSE(
+      ParseRequest("ROUTE basic 0.2 " + std::to_string(kMaxTopK + 1) + " q")
+          .ok());
+}
+
 TEST(ProtocolTest, RejectsMissingQuery) {
   EXPECT_FALSE(ParseRequest("ROUTE subrange 0.2 0").ok());
   EXPECT_FALSE(ParseRequest("ESTIMATE subrange 0.2").ok());
@@ -82,6 +102,22 @@ TEST(ProtocolTest, RejectsMalformedResponseHeaders) {
   EXPECT_FALSE(ParseResponseHeader("OK").ok());
   EXPECT_FALSE(ParseResponseHeader("OK x").ok());
   EXPECT_FALSE(ParseResponseHeader("HELLO 3").ok());
+}
+
+TEST(ProtocolTest, RejectsSignedAndOverflowingResponseHeaders) {
+  // A corrupt or hostile "OK <n>" header must not drive a client into
+  // reading (effectively) forever.
+  EXPECT_FALSE(ParseResponseHeader("OK -1").ok());
+  EXPECT_FALSE(ParseResponseHeader("OK +2").ok());
+  EXPECT_FALSE(ParseResponseHeader("OK  7").ok());  // strtoul ate spaces
+  EXPECT_FALSE(ParseResponseHeader("OK 99999999999999999999999999").ok());
+  EXPECT_FALSE(ParseResponseHeader(
+                   "OK " + std::to_string(kMaxPayloadLines + 1))
+                   .ok());
+  auto at_cap =
+      ParseResponseHeader("OK " + std::to_string(kMaxPayloadLines));
+  ASSERT_TRUE(at_cap.ok());
+  EXPECT_EQ(at_cap.value().payload_lines, kMaxPayloadLines);
 }
 
 TEST(ProtocolTest, CommandNamesAreStable) {

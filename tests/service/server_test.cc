@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -34,6 +35,10 @@ class TestClient {
   bool Connect(std::uint16_t port) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return false;
+    if (tiny_rcvbuf_) {
+      int bytes = 4096;  // kernel clamps to its minimum; small is enough
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -42,8 +47,11 @@ class TestClient {
                      sizeof(addr)) == 0;
   }
 
-  bool Send(const std::string& line) {
-    std::string data = line + "\n";
+  bool Send(const std::string& line) { return SendRaw(line + "\n"); }
+
+  /// Sends bytes exactly as given — no newline appended, so tests can
+  /// write partial requests and pipelined batches.
+  bool SendRaw(const std::string& data) {
     std::size_t sent = 0;
     while (sent < data.size()) {
       ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
@@ -53,6 +61,13 @@ class TestClient {
     }
     return true;
   }
+
+  /// Shrinks the kernel receive buffer (before Connect) so a test can
+  /// simulate a reader that stops draining the server's replies.
+  void SetTinyReceiveBuffer() { tiny_rcvbuf_ = true; }
+
+  /// Half-closes the write side: the server sees EOF after our request.
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
 
   bool ReadLine(std::string* line) {
     for (;;) {
@@ -102,6 +117,7 @@ class TestClient {
 
  private:
   int fd_ = -1;
+  bool tiny_rcvbuf_ = false;
   std::string buffer_;
 };
 
@@ -126,10 +142,36 @@ class ServerTest : public ::testing::Test {
 
     ServerOptions server_options;
     server_options.threads = 4;
+    StartServer(server_options);
+  }
+
+  void StartServer(ServerOptions server_options) {
     server_ = std::make_unique<Server>(service_.get(), server_options);
     ASSERT_TRUE(server_->Start().ok());
     ASSERT_GT(server_->port(), 0);
     serve_thread_ = std::thread([this] { serve_status_ = server_->Serve(); });
+  }
+
+  /// Tears the SetUp server down and starts one with custom lifecycle
+  /// options — for the timeout/shed tests, which need tight deadlines.
+  void RestartServer(ServerOptions server_options) {
+    server_->RequestStop();
+    serve_thread_.join();
+    ASSERT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+    server_.reset();
+    StartServer(std::move(server_options));
+  }
+
+  /// Spins until `predicate` holds, failing after `deadline_ms`.
+  template <typename Fn>
+  bool WaitFor(Fn predicate, int deadline_ms = 10'000) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(deadline_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (predicate()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return predicate();
   }
 
   void TearDown() override {
@@ -234,6 +276,192 @@ TEST_F(ServerTest, OverlongRequestLineIsRejected) {
   ASSERT_TRUE(client.ReadLine(&line));
   EXPECT_EQ(line.substr(0, 4), "ERR ");
   EXPECT_TRUE(client.WaitForClose());
+}
+
+TEST_F(ServerTest, PipelinedBatchInOneWriteIsServedInOrder) {
+  // Many requests in a single send: the server must frame every reply and
+  // keep them in request order (and the O(n) consumed-offset framing must
+  // not regress correctness for batches).
+  constexpr int kBatch = 200;
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  std::string batch;
+  for (int i = 0; i < kBatch; ++i) {
+    batch += i % 2 == 0 ? "ROUTE subrange 0.1 0 football\n"
+                        : "ESTIMATE basic 0.2 quantum\n";
+  }
+  ASSERT_TRUE(client.SendRaw(batch));
+
+  auto route = service_->Execute("ROUTE subrange 0.1 0 football");
+  auto estimate = service_->Execute("ESTIMATE basic 0.2 quantum");
+  ASSERT_TRUE(route.status.ok());
+  ASSERT_TRUE(estimate.status.ok());
+  for (int i = 0; i < kBatch; ++i) {
+    const auto& expected = i % 2 == 0 ? route.payload : estimate.payload;
+    std::string header;
+    ASSERT_TRUE(client.ReadLine(&header)) << "response " << i;
+    auto parsed = ParseResponseHeader(header);
+    ASSERT_TRUE(parsed.ok()) << header;
+    ASSERT_TRUE(parsed.value().ok) << header;
+    ASSERT_EQ(parsed.value().payload_lines, expected.size());
+    for (std::size_t j = 0; j < expected.size(); ++j) {
+      std::string payload;
+      ASSERT_TRUE(client.ReadLine(&payload));
+      EXPECT_EQ(payload, expected[j]);
+    }
+  }
+}
+
+TEST_F(ServerTest, IdleConnectionIsClosedAfterIdleTimeout) {
+  ServerOptions options;
+  options.threads = 2;
+  options.poll_interval_ms = 10;
+  options.idle_timeout_ms = 150;
+  RestartServer(options);
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  // The server announces why before hanging up, then closes.
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_NE(line.find("idle timeout"), std::string::npos) << line;
+  EXPECT_TRUE(client.WaitForClose());
+  EXPECT_GE(service_->stats().idle_timeouts(), 1u);
+}
+
+TEST_F(ServerTest, SlowLorisPartialRequestIsCutOff) {
+  ServerOptions options;
+  options.threads = 2;
+  options.poll_interval_ms = 10;
+  options.idle_timeout_ms = 10'000;   // idle is NOT what must fire
+  options.request_timeout_ms = 200;
+  RestartServer(options);
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  ASSERT_TRUE(client.SendRaw("ROUTE subrange 0.2"));  // never a newline
+  // Keep trickling bytes: each one refreshes last-activity but must NOT
+  // push out the request deadline, which runs from the first byte.
+  std::thread trickle([&client] {
+    for (int i = 0; i < 100; ++i) {
+      if (!client.SendRaw("x")) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_NE(line.find("request timeout"), std::string::npos) << line;
+  EXPECT_TRUE(client.WaitForClose());
+  trickle.join();
+  EXPECT_GE(service_->stats().request_timeouts(), 1u);
+  EXPECT_EQ(service_->stats().idle_timeouts(), 0u);
+}
+
+TEST_F(ServerTest, OverloadIsShedWithAnOverloadedError) {
+  ServerOptions options;
+  options.threads = 2;
+  options.poll_interval_ms = 10;
+  options.idle_timeout_ms = 10'000;
+  options.max_connections = 2;
+  // Queue bound left roomy: with a tight queue the second pinned
+  // connection could itself be shed before a worker dequeues the first.
+  options.max_accept_queue = 16;
+  RestartServer(options);
+
+  TestClient pinned1, pinned2;
+  ASSERT_TRUE(pinned1.Connect(server_->port()));
+  ASSERT_TRUE(pinned2.Connect(server_->port()));
+  ASSERT_TRUE(WaitFor([&] { return server_->open_connections() >= 2; }));
+
+  TestClient shed;
+  ASSERT_TRUE(shed.Connect(server_->port()));
+  std::string line;
+  ASSERT_TRUE(shed.ReadLine(&line));
+  EXPECT_EQ(line.substr(0, 4), "ERR ");
+  EXPECT_NE(line.find("overloaded"), std::string::npos) << line;
+  EXPECT_TRUE(shed.WaitForClose());
+  EXPECT_GE(service_->stats().overload_sheds(), 1u);
+  // The pinned connections were never disturbed.
+  auto wire = pinned1.RoundTrip("ROUTE subrange 0.1 0 football");
+  ASSERT_FALSE(wire.empty());
+  EXPECT_EQ(wire[0].substr(0, 3), "OK ");
+}
+
+TEST_F(ServerTest, NewClientIsServedOnceIdlePeersTimeOut) {
+  // The acceptance scenario: every worker pinned by an idle peer, and a
+  // well-behaved newcomer still gets an answer within ~one idle-timeout
+  // interval because the timeouts reclaim the workers.
+  ServerOptions options;
+  options.threads = 2;
+  options.poll_interval_ms = 10;
+  options.idle_timeout_ms = 200;
+  RestartServer(options);
+
+  TestClient idle1, idle2;
+  ASSERT_TRUE(idle1.Connect(server_->port()));
+  ASSERT_TRUE(idle2.Connect(server_->port()));
+  ASSERT_TRUE(WaitFor([&] { return server_->open_connections() >= 2; }));
+
+  TestClient newcomer;
+  ASSERT_TRUE(newcomer.Connect(server_->port()));
+  auto wire = newcomer.RoundTrip("ROUTE subrange 0.1 0 football");
+  ASSERT_FALSE(wire.empty());
+  EXPECT_EQ(wire[0].substr(0, 3), "OK ");
+  EXPECT_GE(service_->stats().idle_timeouts(), 1u);
+}
+
+TEST_F(ServerTest, MidRequestDisconnectLeavesServerHealthy) {
+  {
+    TestClient aborter;
+    ASSERT_TRUE(aborter.Connect(server_->port()));
+    ASSERT_TRUE(aborter.SendRaw("ROUTE subrange 0.1 0 foot"));
+    aborter.Close();  // mid-request disconnect
+  }
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  auto wire = client.RoundTrip("ROUTE subrange 0.1 0 football");
+  ASSERT_FALSE(wire.empty());
+  EXPECT_EQ(wire[0].substr(0, 3), "OK ");
+}
+
+TEST_F(ServerTest, HalfClosedPeerStillGetsItsReply) {
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  ASSERT_TRUE(client.Send("ROUTE subrange 0.1 0 football"));
+  client.ShutdownWrite();  // EOF after the request
+  std::string header;
+  ASSERT_TRUE(client.ReadLine(&header));
+  auto parsed = ParseResponseHeader(header);
+  ASSERT_TRUE(parsed.ok()) << header;
+  EXPECT_TRUE(parsed.value().ok);
+  for (std::size_t i = 0; i < parsed.value().payload_lines; ++i) {
+    std::string payload;
+    ASSERT_TRUE(client.ReadLine(&payload));
+  }
+  EXPECT_TRUE(client.WaitForClose());
+}
+
+TEST_F(ServerTest, StuckReaderIsDroppedByWriteTimeout) {
+  ServerOptions options;
+  options.threads = 2;
+  options.poll_interval_ms = 10;
+  options.idle_timeout_ms = 30'000;
+  options.request_timeout_ms = 30'000;
+  options.write_timeout_ms = 300;
+  RestartServer(options);
+
+  TestClient client;
+  client.SetTinyReceiveBuffer();
+  ASSERT_TRUE(client.Connect(server_->port()));
+  // Pipeline far more STATS output than the socket buffers can hold and
+  // never read a byte: the server's send must eventually block, hit the
+  // write deadline, and reclaim the worker. The client's send may itself
+  // fail once the server drops the connection — that is the point.
+  std::string batch;
+  for (int i = 0; i < 20'000; ++i) batch += "STATS\n";
+  (void)client.SendRaw(batch);
+  EXPECT_TRUE(WaitFor(
+      [&] { return service_->stats().write_timeouts() >= 1u; }, 30'000));
 }
 
 }  // namespace

@@ -33,6 +33,9 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
       {Status::Corruption("bad"), Status::Code::kCorruption, "Corruption"},
       {Status::IOError("bad"), Status::Code::kIOError, "IOError"},
       {Status::Internal("bad"), Status::Code::kInternal, "Internal"},
+      {Status::DeadlineExceeded("bad"), Status::Code::kDeadlineExceeded,
+       "DeadlineExceeded"},
+      {Status::Unavailable("bad"), Status::Code::kUnavailable, "Unavailable"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

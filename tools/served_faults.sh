@@ -1,0 +1,89 @@
+#!/bin/sh
+# End-to-end fault-injection smoke test for the serving layer's
+# hardening, run by ctest.
+#
+#   served_faults.sh <useful_served> <useful_client> <useful_faultclient>
+#                    <rep0> <rep1> <workdir>
+#
+# Spawns useful_served with tight timeouts and low connection limits,
+# then drives every fault path through useful_faultclient: a half-open
+# peer (idle timeout), a slow-loris writer (request timeout), a
+# mid-request disconnect, and a connection flood (overload shed). Finally
+# asserts via STATS that the corresponding counters are nonzero and that
+# a well-behaved client is still served afterwards.
+set -e
+
+SERVED=$1
+CLIENT=$2
+FAULT=$3
+REP0=$4
+REP1=$5
+DIR=$6
+
+OUT="$DIR/served_faults.out"
+rm -f "$OUT"
+
+"$SERVED" --port 0 --threads 2 \
+  --idle-timeout-ms 300 --request-timeout-ms 300 --write-timeout-ms 1000 \
+  --max-connections 4 --max-accept-queue 2 \
+  "$REP0" "$REP1" > "$OUT" 2>&1 &
+SERVER_PID=$!
+
+PORT=
+i=0
+while [ $i -lt 100 ]; do
+  PORT=$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' "$OUT" | head -1)
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server died before announcing a port:"
+    cat "$OUT"
+    exit 1
+  fi
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ -z "$PORT" ]; then
+  echo "server never announced a port:"
+  cat "$OUT"
+  kill "$SERVER_PID" 2>/dev/null || true
+  exit 1
+fi
+
+fail() {
+  echo "$1"
+  kill "$SERVER_PID" 2>/dev/null || true
+  exit 1
+}
+
+# Idle peer: the server must hang up on us (timeout 300 ms, wait <= 10 s).
+"$FAULT" --port "$PORT" --mode halfopen --timeout-ms 10000 ||
+  fail "halfopen peer was never disconnected"
+
+# Slow-loris: one byte every 20 ms, never a newline — cut off mid-write.
+"$FAULT" --port "$PORT" --mode slowloris --delay-ms 20 --timeout-ms 10000 ||
+  fail "slow-loris writer was never cut off"
+
+# Mid-request disconnect: must not disturb the server.
+"$FAULT" --port "$PORT" --mode midclose ||
+  fail "midclose fault failed"
+
+# Flood: 12 idle connections against max-connections 4 — some must be
+# shed with an overloaded ERR instead of queueing.
+"$FAULT" --port "$PORT" --mode flood --count 12 --timeout-ms 10000 ||
+  fail "connection flood was never shed"
+
+# A polite client still gets served, and STATS shows each defense fired.
+REPLY=$(printf 'ROUTE subrange 0.15 0 fox dog\nSTATS\nQUIT\n' |
+  "$CLIENT" --port "$PORT" --timeout-ms 10000)
+echo "$REPLY"
+
+echo "$REPLY" | grep -Eq '^conns_idle_timeout [1-9]' ||
+  fail "expected a nonzero conns_idle_timeout counter"
+echo "$REPLY" | grep -Eq '^conns_request_timeout [1-9]' ||
+  fail "expected a nonzero conns_request_timeout counter"
+echo "$REPLY" | grep -Eq '^conns_shed [1-9]' ||
+  fail "expected a nonzero conns_shed counter"
+
+# QUIT must still shut the server down cleanly (exit 0).
+wait "$SERVER_PID"
+grep -q 'shut down cleanly' "$OUT"

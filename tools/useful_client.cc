@@ -6,11 +6,16 @@
 //   printf 'ROUTE subrange 0.2 0 fox dog\nSTATS\nQUIT\n' |
 //       useful_client --port 7979
 //
-// Exits 0 when every request got an OK response, 1 when any got an ERR or
-// the connection failed mid-stream, 2 on usage/connect errors.
+// --timeout-ms N bounds every socket send/recv (SO_SNDTIMEO/SO_RCVTIMEO),
+// so a wedged or overloaded server fails the client instead of hanging
+// it; the OK-header payload count is capped (service::kMaxPayloadLines),
+// so a corrupt "OK 99999999999" header cannot make the client read
+// forever. Exits 0 when every request got an OK response, 1 when any got
+// an ERR or the connection failed mid-stream, 2 on usage/connect errors.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -74,6 +79,7 @@ int main(int argc, char** argv) {
   using namespace useful;
   std::string host = "127.0.0.1";
   unsigned long port = 0;
+  unsigned long timeout_ms = 0;  // 0: no socket deadline
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -87,13 +93,17 @@ int main(int argc, char** argv) {
       host = need_value("--host");
     } else if (std::strcmp(argv[i], "--port") == 0) {
       port = std::strtoul(need_value("--port"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
+      timeout_ms = std::strtoul(need_value("--timeout-ms"), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
     }
   }
   if (port == 0 || port > 65535) {
-    std::fprintf(stderr, "usage: useful_client [--host H] --port P\n");
+    std::fprintf(stderr,
+                 "usage: useful_client [--host H] [--timeout-ms N] "
+                 "--port P\n");
     return 2;
   }
 
@@ -101,6 +111,13 @@ int main(int argc, char** argv) {
   if (fd < 0) {
     std::perror("socket");
     return 2;
+  }
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;

@@ -1,0 +1,233 @@
+// useful_faultclient: a deliberately badly-behaved client for exercising
+// the serving layer's hardening paths. Each mode injects one class of
+// fault against a running useful_served and prints what the server did,
+// so smoke scripts can assert the defense fired:
+//
+//   --mode halfopen   connect, send nothing, wait — expects the idle
+//                     timeout to disconnect us ("closed ...").
+//   --mode slowloris  trickle a request line one byte at a time without
+//                     ever finishing it — expects the request timeout to
+//                     cut us off mid-write.
+//   --mode midclose   send half a request line and disconnect — the
+//                     server must just reclaim the connection.
+//   --mode flood      open --count concurrent idle connections at once —
+//                     expects connections beyond the server's limits to
+//                     be shed with "ERR Unavailable: overloaded ...".
+//
+//   useful_faultclient --port P --mode M [--count N] [--delay-ms D]
+//                      [--timeout-ms T]
+//
+// Exits 0 when the server exhibited the expected defense, 1 when it did
+// not (e.g. a half-open peer was never disconnected), 2 on usage errors.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int Connect(const std::string& host, std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Reads until EOF or `timeout_ms`, appending to *out. Returns true when
+/// the peer closed the connection within the deadline.
+bool ReadUntilClose(int fd, int timeout_ms, std::string* out) {
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  char chunk[4096];
+  for (;;) {
+    int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now())
+            .count());
+    if (remaining <= 0) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, remaining);
+    if (ready <= 0) continue;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return true;  // EOF (or reset): server dropped us
+    out->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+int RunHalfOpen(const std::string& host, std::uint16_t port,
+                int timeout_ms) {
+  int fd = Connect(host, port);
+  if (fd < 0) {
+    std::perror("connect");
+    return 2;
+  }
+  Clock::time_point start = Clock::now();
+  std::string received;
+  bool closed = ReadUntilClose(fd, timeout_ms, &received);
+  ::close(fd);
+  if (!closed) {
+    std::printf("halfopen: still connected after %d ms\n", timeout_ms);
+    return 1;
+  }
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - start)
+                .count();
+  std::printf("halfopen: closed by server after %lld ms (%s)\n",
+              static_cast<long long>(ms),
+              received.empty() ? "no data" : received.c_str());
+  return 0;
+}
+
+int RunSlowLoris(const std::string& host, std::uint16_t port, int delay_ms,
+                 int timeout_ms) {
+  int fd = Connect(host, port);
+  if (fd < 0) {
+    std::perror("connect");
+    return 2;
+  }
+  const std::string request = "ROUTE subrange 0.2 0 never finished";
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::size_t written = 0;
+  bool cut_off = false;
+  // Never send the newline: keep the request eternally partial, one byte
+  // per delay, looping over the body until the server gives up on us.
+  while (Clock::now() < deadline) {
+    char byte = request[written % request.size()];
+    ssize_t n = ::send(fd, &byte, 1, MSG_NOSIGNAL);
+    if (n <= 0) {
+      cut_off = true;
+      break;
+    }
+    ++written;
+    std::string received;
+    if (ReadUntilClose(fd, delay_ms, &received)) {
+      std::printf("slowloris: closed by server after %zu bytes (%s)\n",
+                  written, received.empty() ? "no data" : received.c_str());
+      ::close(fd);
+      return 0;
+    }
+  }
+  ::close(fd);
+  if (cut_off) {
+    std::printf("slowloris: send failed after %zu bytes (reset)\n", written);
+    return 0;
+  }
+  std::printf("slowloris: still connected after %d ms (%zu bytes)\n",
+              timeout_ms, written);
+  return 1;
+}
+
+int RunMidClose(const std::string& host, std::uint16_t port) {
+  int fd = Connect(host, port);
+  if (fd < 0) {
+    std::perror("connect");
+    return 2;
+  }
+  const char partial[] = "ROUTE subrange 0.2";  // no newline: mid-request
+  (void)::send(fd, partial, sizeof(partial) - 1, MSG_NOSIGNAL);
+  ::close(fd);
+  std::printf("midclose: sent partial request and disconnected\n");
+  return 0;
+}
+
+int RunFlood(const std::string& host, std::uint16_t port, int count,
+             int timeout_ms) {
+  std::vector<int> fds;
+  for (int i = 0; i < count; ++i) {
+    int fd = Connect(host, port);
+    if (fd < 0) break;
+    fds.push_back(fd);
+  }
+  int shed = 0, dropped = 0, held = 0;
+  for (int fd : fds) {
+    std::string received;
+    bool closed = ReadUntilClose(fd, timeout_ms, &received);
+    if (received.find("overloaded") != std::string::npos) {
+      ++shed;
+    } else if (closed) {
+      ++dropped;  // accepted, then idle-timed-out or drained at shutdown
+    } else {
+      ++held;  // still connected (accepted and within its idle budget)
+    }
+    ::close(fd);
+  }
+  std::printf("flood: opened %zu shed %d dropped %d held %d\n", fds.size(),
+              shed, dropped, held);
+  // The flood "succeeds" when the server pushed back on at least one
+  // connection instead of queueing everything.
+  return shed > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string mode;
+  unsigned long port = 0;
+  int count = 16;
+  int delay_ms = 20;
+  int timeout_ms = 10'000;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      host = need_value("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      port = std::strtoul(need_value("--port"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--mode") == 0) {
+      mode = need_value("--mode");
+    } else if (std::strcmp(argv[i], "--count") == 0) {
+      count = static_cast<int>(std::strtol(need_value("--count"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--delay-ms") == 0) {
+      delay_ms =
+          static_cast<int>(std::strtol(need_value("--delay-ms"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
+      timeout_ms = static_cast<int>(
+          std::strtol(need_value("--timeout-ms"), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (port == 0 || port > 65535 || mode.empty()) {
+    std::fprintf(stderr,
+                 "usage: useful_faultclient --port P --mode "
+                 "halfopen|slowloris|midclose|flood [--host H] [--count N] "
+                 "[--delay-ms D] [--timeout-ms T]\n");
+    return 2;
+  }
+
+  std::uint16_t p = static_cast<std::uint16_t>(port);
+  if (mode == "halfopen") return RunHalfOpen(host, p, timeout_ms);
+  if (mode == "slowloris") return RunSlowLoris(host, p, delay_ms, timeout_ms);
+  if (mode == "midclose") return RunMidClose(host, p);
+  if (mode == "flood") return RunFlood(host, p, count, timeout_ms);
+  std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+  return 2;
+}

@@ -4,7 +4,10 @@
 // request or SIGINT winds it down gracefully.
 //
 //   useful_served [--host H] [--port P] [--threads N]
-//                 [--cache-entries N] [--cache-bytes N] <rep>...
+//                 [--cache-entries N] [--cache-bytes N]
+//                 [--idle-timeout-ms N] [--request-timeout-ms N]
+//                 [--write-timeout-ms N] [--max-connections N]
+//                 [--max-accept-queue N] <rep>...
 //   useful_served --port 7979 a.rep b.rep
 //
 // --port 0 (the default) binds an ephemeral port; the chosen port is
@@ -13,6 +16,12 @@
 // the same representatives; repeated queries are served from the query
 // cache (see STATS), and RELOAD re-reads the representative files without
 // dropping in-flight requests.
+//
+// The timeout/limit flags map 1:1 onto ServerOptions: idle peers and
+// slow-loris writers are disconnected, stuck readers are dropped after
+// the write timeout, and connections beyond --max-connections (or beyond
+// the accept queue bound) are shed with "ERR Unavailable: overloaded".
+// Pass 0 to disable any individual limit.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -54,6 +63,21 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       server_options.threads =
           std::strtoul(need_value("--threads"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
+      server_options.idle_timeout_ms = static_cast<int>(
+          std::strtol(need_value("--idle-timeout-ms"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--request-timeout-ms") == 0) {
+      server_options.request_timeout_ms = static_cast<int>(
+          std::strtol(need_value("--request-timeout-ms"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--write-timeout-ms") == 0) {
+      server_options.write_timeout_ms = static_cast<int>(
+          std::strtol(need_value("--write-timeout-ms"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-connections") == 0) {
+      server_options.max_connections =
+          std::strtoul(need_value("--max-connections"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-accept-queue") == 0) {
+      server_options.max_accept_queue =
+          std::strtoul(need_value("--max-accept-queue"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--cache-entries") == 0) {
       service_options.cache.max_entries =
           std::strtoul(need_value("--cache-entries"), nullptr, 10);
@@ -67,7 +91,10 @@ int main(int argc, char** argv) {
   if (service_options.representative_paths.empty()) {
     std::fprintf(stderr,
                  "usage: useful_served [--host H] [--port P] [--threads N] "
-                 "[--cache-entries N] [--cache-bytes N] <rep-file>...\n");
+                 "[--cache-entries N] [--cache-bytes N] "
+                 "[--idle-timeout-ms N] [--request-timeout-ms N] "
+                 "[--write-timeout-ms N] [--max-connections N] "
+                 "[--max-accept-queue N] <rep-file>...\n");
     return 2;
   }
 
