@@ -61,6 +61,19 @@ std::string JoinQuery(const std::vector<std::string_view>& tokens,
 
 }  // namespace
 
+std::string FormatScore(double value) { return StringPrintf("%.17g", value); }
+
+Result<double> ParseScore(std::string_view token) {
+  if (token.empty()) return Status::InvalidArgument("empty score");
+  std::string copy(token);
+  char* end = nullptr;
+  double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) {
+    return Status::InvalidArgument("bad score: " + copy);
+  }
+  return value;
+}
+
 const char* CommandName(CommandKind kind) {
   switch (kind) {
     case CommandKind::kRoute:

@@ -63,6 +63,18 @@ struct Request {
 /// token and, for an unknown command, list the known ones.
 Result<Request> ParseRequest(std::string_view line);
 
+/// Serializes a score (NoDoc / AvgSim) for the wire. %.17g prints enough
+/// significant digits that every finite double — including denormals and
+/// signed zeros — parses back bit-exactly; a client or cache that
+/// re-serializes a score can never drift from the server.
+std::string FormatScore(double value);
+
+/// Parses one score token. Fails unless the entire token is consumed; the
+/// value is whatever strtod yields (including infinities, which FormatScore
+/// also round-trips — estimators never produce NaN, but the parser is a
+/// plain inverse, not a validator).
+Result<double> ParseScore(std::string_view token);
+
 /// "OK <n>" — announces n payload lines.
 std::string FormatOkHeader(std::size_t payload_lines);
 

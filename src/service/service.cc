@@ -19,11 +19,11 @@ std::uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
   return micros < 0 ? 0 : static_cast<std::uint64_t>(micros);
 }
 
-/// One payload line per engine. %.17g round-trips doubles exactly, so the
-/// wire never loses precision against the in-process estimates.
+/// One payload line per engine; FormatScore keeps the wire bit-exact
+/// against the in-process estimates.
 std::string FormatSelection(const broker::EngineSelection& sel) {
-  return StringPrintf("%s %.17g %.17g", sel.engine.c_str(),
-                      sel.estimate.no_doc, sel.estimate.avg_sim);
+  return sel.engine + ' ' + FormatScore(sel.estimate.no_doc) + ' ' +
+         FormatScore(sel.estimate.avg_sim);
 }
 
 }  // namespace

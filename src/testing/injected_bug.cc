@@ -1,0 +1,47 @@
+#include "testing/injected_bug.h"
+
+#include "estimate/subrange_estimator.h"
+#include "represent/representative.h"
+
+namespace useful::testing {
+
+namespace {
+
+class OffByOneSubrangeEstimator : public estimate::UsefulnessEstimator {
+ public:
+  std::string name() const override {
+    return "subrange[injected-df-off-by-one]";
+  }
+
+  estimate::UsefulnessEstimate Estimate(const represent::Representative& rep,
+                                        const ir::Query& q,
+                                        double threshold) const override {
+    // The bug: every term's containment probability is computed from
+    // df + 1. Everything else is the genuine subrange estimator, so the
+    // failure only shows where the coefficient matters.
+    represent::Representative bumped(rep.engine_name(), rep.num_docs(),
+                                     rep.kind());
+    const double n = static_cast<double>(rep.num_docs());
+    for (const auto& [term, stats] : rep.stats()) {
+      represent::TermStats ts = stats;
+      ts.doc_freq += 1;
+      ts.p = n > 0.0 ? static_cast<double>(ts.doc_freq) / n : 0.0;
+      bumped.Put(term, ts);
+    }
+    return inner_.Estimate(bumped, q, threshold);
+  }
+
+  // EstimateBatch is inherited: the scalar fallback keeps batch and
+  // scalar bit-identical, so only the coefficient invariants fire.
+
+ private:
+  estimate::SubrangeEstimator inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<estimate::UsefulnessEstimator> MakeOffByOneSubrangeEstimator() {
+  return std::make_unique<OffByOneSubrangeEstimator>();
+}
+
+}  // namespace useful::testing

@@ -1,0 +1,294 @@
+#include "testing/invariants.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "estimate/generating_function.h"
+#include "estimate/resolved_query.h"
+#include "util/string_util.h"
+
+namespace useful::testing {
+
+namespace {
+
+std::uint64_t Bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+bool Near(double a, double b, double rel = 1e-9) {
+  return std::abs(a - b) <= rel * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// Re-checks a query with the shrinker and refreshes the failure report
+/// so `query_text` names the minimal repro.
+InvariantFailure ShrinkAndRefresh(
+    const ir::Query& query, const std::string& property,
+    const std::function<std::optional<InvariantFailure>(const ir::Query&)>&
+        check) {
+  auto fails = [&](const ir::Query& candidate) {
+    auto f = check(candidate);
+    return f.has_value() && f->property == property;
+  };
+  ir::Query minimal = ShrinkQuery(query, fails);
+  // check() is deterministic, so the minimal query still fails.
+  InvariantFailure failure = *check(minimal);
+  failure.query_text = QueryTermsText(minimal);
+  return failure;
+}
+
+}  // namespace
+
+std::string InvariantFailure::ToString() const {
+  return StringPrintf("[%s] %s T=%.17g query=\"%s\": %s", property.c_str(),
+                      estimator.c_str(), threshold, query_text.c_str(),
+                      detail.c_str());
+}
+
+std::string QueryTermsText(const ir::Query& query) {
+  std::string text;
+  for (const ir::QueryTerm& qt : query.terms) {
+    if (!text.empty()) text += ' ';
+    text += qt.term;
+  }
+  return text;
+}
+
+ir::Query ShrinkQuery(const ir::Query& query,
+                      const std::function<bool(const ir::Query&)>& fails) {
+  ir::Query current = query;
+  bool improved = true;
+  while (improved && current.terms.size() > 1) {
+    improved = false;
+    for (std::size_t i = 0; i < current.terms.size(); ++i) {
+      ir::Query candidate = current;
+      candidate.terms.erase(candidate.terms.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (fails(candidate)) {
+        current = std::move(candidate);
+        improved = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+std::optional<InvariantFailure> CheckQuery(
+    const estimate::UsefulnessEstimator& estimator,
+    const represent::Representative& rep, const ExactOracle* oracle,
+    const ir::Query& query, const InvariantOptions& options) {
+  const double n = static_cast<double>(rep.num_docs());
+  InvariantFailure failure;
+  failure.estimator = estimator.name();
+  failure.query_text = QueryTermsText(query);
+  auto fail = [&](const char* property, double threshold,
+                  std::string detail) -> std::optional<InvariantFailure> {
+    failure.property = property;
+    failure.threshold = threshold;
+    failure.detail = std::move(detail);
+    return failure;
+  };
+
+  std::vector<double> thresholds = options.thresholds;
+  std::sort(thresholds.begin(), thresholds.end());
+
+  // One batched sweep plus one scalar call per threshold: the scalar
+  // values are the reference, the batch must be bit-identical.
+  estimate::ResolvedQuery rq(rep, query);
+  estimate::ExpansionWorkspace ws;
+  std::vector<estimate::UsefulnessEstimate> batch(thresholds.size());
+  estimator.EstimateBatch(rq, thresholds, ws,
+                          std::span<estimate::UsefulnessEstimate>(batch));
+
+  double prev_no_doc = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const double t = thresholds[i];
+    estimate::UsefulnessEstimate scalar = estimator.Estimate(rep, query, t);
+    if (Bits(scalar.no_doc) != Bits(batch[i].no_doc) ||
+        Bits(scalar.avg_sim) != Bits(batch[i].avg_sim)) {
+      return fail("batch-scalar-identity", t,
+                  StringPrintf("scalar=(%.17g, %.17g) batch=(%.17g, %.17g)",
+                               scalar.no_doc, scalar.avg_sim, batch[i].no_doc,
+                               batch[i].avg_sim));
+    }
+    const estimate::UsefulnessEstimate& u = batch[i];
+    if (!std::isfinite(u.no_doc) || u.no_doc < 0.0) {
+      return fail("nodoc-range", t, StringPrintf("NoDoc=%.17g", u.no_doc));
+    }
+    if (options.nodoc_upper_bound && u.no_doc > n * (1.0 + 1e-9) + 1e-6) {
+      return fail("nodoc-range", t,
+                  StringPrintf("NoDoc=%.17g exceeds n=%.17g", u.no_doc, n));
+    }
+    if (!std::isfinite(u.avg_sim) || u.avg_sim < 0.0) {
+      return fail("avgsim-range", t, StringPrintf("AvgSim=%.17g", u.avg_sim));
+    }
+    if (u.no_doc > 1e-9 && !(u.avg_sim > t)) {
+      return fail("avgsim-above-threshold", t,
+                  StringPrintf("NoDoc=%.17g but AvgSim=%.17g <= T", u.no_doc,
+                               u.avg_sim));
+    }
+    if (u.no_doc > prev_no_doc + 1e-9) {
+      return fail("nodoc-monotone", t,
+                  StringPrintf("NoDoc rose from %.17g to %.17g", prev_no_doc,
+                               u.no_doc));
+    }
+    prev_no_doc = u.no_doc;
+  }
+
+  if (options.check_single_term_exact && oracle != nullptr &&
+      query.size() == 1 &&
+      rep.kind() == represent::RepresentativeKind::kQuadruplet) {
+    // The paper's §3.1 guarantee: with a stored max weight, a single-term
+    // query is flagged useful exactly when it is. Checked at the oracle's
+    // safe thresholds only — similarity midpoints, where the guarantee is
+    // robust to the one-ulp summation differences between the oracle's
+    // norms and the engine's. (An arbitrary grid threshold can land inside
+    // that ulp and flip the exact side without any estimator error.)
+    for (double t : oracle->SafeThresholds(query)) {
+      bool flagged =
+          estimate::RoundNoDoc(estimator.Estimate(rep, query, t).no_doc) >= 1;
+      bool truly = oracle->TrueUsefulness(query, t).no_doc >= 1;
+      if (flagged != truly) {
+        return fail("single-term-selection", t,
+                    StringPrintf("flagged=%d exact=%d", flagged ? 1 : 0,
+                                 truly ? 1 : 0));
+      }
+    }
+    // At T = 0 every containing document clears the threshold, so the
+    // estimate must equal df exactly (up to rounding in the expansion).
+    if (auto stats = rep.Find(query.terms[0].term); stats.has_value()) {
+      double nd0 = estimator.Estimate(rep, query, 0.0).no_doc;
+      double df = static_cast<double>(stats->doc_freq);
+      if (!Near(nd0, df, 1e-9)) {
+        return fail("single-term-nodoc-df", 0.0,
+                    StringPrintf("NoDoc(T=0)=%.17g df=%.17g", nd0, df));
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+std::optional<InvariantFailure> CheckEstimator(
+    const estimate::UsefulnessEstimator& estimator,
+    const represent::Representative& rep, const ExactOracle* oracle,
+    const std::vector<ir::Query>& queries, const InvariantOptions& options) {
+  for (const ir::Query& query : queries) {
+    auto check = [&](const ir::Query& q) {
+      return CheckQuery(estimator, rep, oracle, q, options);
+    };
+    if (auto failure = check(query); failure.has_value()) {
+      return ShrinkAndRefresh(query, failure->property, check);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<InvariantFailure> CheckEngineAgainstOracle(
+    const ir::SearchEngine& engine, const ExactOracle& oracle,
+    const std::vector<ir::Query>& queries) {
+  InvariantFailure failure;
+  failure.estimator = "ir::SearchEngine";
+  if (engine.num_docs() != oracle.num_docs()) {
+    failure.property = "oracle-doc-count";
+    failure.detail = StringPrintf("engine n=%zu oracle n=%zu",
+                                  engine.num_docs(), oracle.num_docs());
+    return failure;
+  }
+
+  auto check = [&](const ir::Query& q) -> std::optional<InvariantFailure> {
+    InvariantFailure f;
+    f.estimator = "ir::SearchEngine";
+    f.query_text = QueryTermsText(q);
+
+    // Per-document similarities: every document scores > -1, so this
+    // retrieves the engine's full score vector.
+    std::vector<double> oracle_sims = oracle.Similarities(q);
+    std::vector<double> engine_sims(oracle_sims.size(), 0.0);
+    for (const ir::ScoredDoc& sd : engine.SearchAboveThreshold(q, -1.0)) {
+      engine_sims[sd.doc] = sd.score;
+    }
+    for (std::size_t d = 0; d < oracle_sims.size(); ++d) {
+      if (!Near(engine_sims[d], oracle_sims[d])) {
+        f.property = "oracle-sim";
+        f.detail = StringPrintf("doc %zu: engine=%.17g oracle=%.17g", d,
+                                engine_sims[d], oracle_sims[d]);
+        return f;
+      }
+    }
+
+    for (double t : oracle.SafeThresholds(q)) {
+      ir::Usefulness eng = engine.TrueUsefulness(q, t);
+      ExactUsefulness orc = oracle.TrueUsefulness(q, t);
+      if (eng.no_doc != orc.no_doc) {
+        f.property = "oracle-nodoc";
+        f.threshold = t;
+        f.detail = StringPrintf("engine NoDoc=%zu oracle NoDoc=%zu",
+                                eng.no_doc, orc.no_doc);
+        return f;
+      }
+      if (!Near(eng.avg_sim, orc.avg_sim)) {
+        f.property = "oracle-avgsim";
+        f.threshold = t;
+        f.detail = StringPrintf("engine AvgSim=%.17g oracle AvgSim=%.17g",
+                                eng.avg_sim, orc.avg_sim);
+        return f;
+      }
+    }
+    return std::nullopt;
+  };
+
+  for (const ir::Query& query : queries) {
+    if (auto f = check(query); f.has_value()) {
+      return ShrinkAndRefresh(query, f->property, check);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<InvariantFailure> CheckRepresentativeAgainstOracle(
+    const represent::Representative& built, const ExactOracle& oracle) {
+  represent::Representative ref =
+      oracle.BuildRepresentative(built.engine_name(), built.kind());
+  InvariantFailure failure;
+  failure.estimator = "represent::BuildRepresentative";
+
+  if (built.num_docs() != ref.num_docs()) {
+    failure.property = "oracle-rep-docs";
+    failure.detail = StringPrintf("built n=%zu oracle n=%zu", built.num_docs(),
+                                  ref.num_docs());
+    return failure;
+  }
+  if (built.num_terms() != ref.num_terms()) {
+    failure.property = "oracle-rep-terms";
+    failure.detail = StringPrintf("built %zu terms, oracle %zu",
+                                  built.num_terms(), ref.num_terms());
+    return failure;
+  }
+  for (const auto& [term, want] : ref.stats()) {
+    auto got = built.Find(term);
+    if (!got.has_value()) {
+      failure.property = "oracle-rep-terms";
+      failure.detail = "missing term: " + term;
+      return failure;
+    }
+    if (got->doc_freq != want.doc_freq || !Near(got->p, want.p) ||
+        !Near(got->avg_weight, want.avg_weight) ||
+        !Near(got->stddev, want.stddev) ||
+        !Near(got->max_weight, want.max_weight)) {
+      failure.property = "oracle-rep-stats";
+      failure.query_text = term;
+      failure.detail = StringPrintf(
+          "built (df=%u p=%.17g w=%.17g sigma=%.17g mw=%.17g) vs oracle "
+          "(df=%u p=%.17g w=%.17g sigma=%.17g mw=%.17g)",
+          got->doc_freq, got->p, got->avg_weight, got->stddev, got->max_weight,
+          want.doc_freq, want.p, want.avg_weight, want.stddev,
+          want.max_weight);
+      return failure;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace useful::testing

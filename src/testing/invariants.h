@@ -1,0 +1,108 @@
+// The property/invariant suite run against every registered estimator,
+// plus the differential checks against the brute-force oracle and the
+// greedy query shrinker that turns a failing case into a minimal repro.
+//
+// Invariants (the names appear in failure reports):
+//   nodoc-range              0 <= NoDoc (<= n unless the estimator
+//                            double-counts by design), finite
+//   avgsim-range             AvgSim >= 0, finite
+//   avgsim-above-threshold   NoDoc > 0  =>  AvgSim > T
+//   nodoc-monotone           NoDoc non-increasing in T
+//   batch-scalar-identity    EstimateBatch bit-identical to scalar
+//                            Estimate at every threshold
+//   single-term-selection    quadruplet + max subrange, 1-term query:
+//                            rounded NoDoc >= 1  <=>  exact NoDoc >= 1
+//                            (the paper's §3.1 guarantee), at every safe
+//                            threshold of the oracle (midpoints between
+//                            distinct similarities, where one-ulp norm
+//                            differences cannot flip either side)
+//   single-term-nodoc-df     same setting, T = 0: NoDoc equals df
+//   oracle-sim / oracle-nodoc / oracle-avgsim / oracle-rep-*
+//                            ir::SearchEngine and represent::Builder
+//                            agree with the brute-force oracle
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "estimate/estimator.h"
+#include "ir/query.h"
+#include "ir/search_engine.h"
+#include "represent/representative.h"
+#include "testing/oracle.h"
+
+namespace useful::testing {
+
+/// One violated invariant, shrunk to a minimal repro where applicable.
+struct InvariantFailure {
+  /// Which invariant (names above).
+  std::string property;
+  /// estimator->name(), or the component under differential test.
+  std::string estimator;
+  /// Space-joined terms of the (shrunk) failing query.
+  std::string query_text;
+  /// The threshold at which the violation was observed (0 when the
+  /// property is not threshold-specific).
+  double threshold = 0.0;
+  /// Human-readable values involved.
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct InvariantOptions {
+  /// Threshold sweep (checked in ascending order). Defaults to the paper
+  /// grid plus 0 and a high outlier.
+  std::vector<double> thresholds = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8};
+  /// Enforce NoDoc <= n. Off for the gGlOSS disjoint baseline, which
+  /// double-counts across terms by design (the paper discards it for
+  /// exactly this reason).
+  bool nodoc_upper_bound = true;
+  /// Check the paper's single-term exactness guarantee against the
+  /// oracle. Only valid for quadruplet representatives scored by a
+  /// subrange estimator that stores the max subrange.
+  bool check_single_term_exact = false;
+};
+
+/// Runs every applicable invariant for one (estimator, representative,
+/// query). `oracle` may be null when no exactness check is requested.
+/// Returns the first violation, un-shrunk.
+std::optional<InvariantFailure> CheckQuery(
+    const estimate::UsefulnessEstimator& estimator,
+    const represent::Representative& rep, const ExactOracle* oracle,
+    const ir::Query& query, const InvariantOptions& options);
+
+/// Runs CheckQuery over every query; on failure, shrinks the failing
+/// query to a minimal term subset that still violates the same property.
+std::optional<InvariantFailure> CheckEstimator(
+    const estimate::UsefulnessEstimator& estimator,
+    const represent::Representative& rep, const ExactOracle* oracle,
+    const std::vector<ir::Query>& queries, const InvariantOptions& options);
+
+/// Differential ground truth: the inverted-index engine must agree with
+/// the oracle on every per-document similarity (1e-9 tolerance) and on
+/// NoDoc/AvgSim at every safe threshold (NoDoc exactly). Failing queries
+/// are shrunk.
+std::optional<InvariantFailure> CheckEngineAgainstOracle(
+    const ir::SearchEngine& engine, const ExactOracle& oracle,
+    const std::vector<ir::Query>& queries);
+
+/// Differential statistics: a representative built by the production
+/// builder must match the oracle's brute-force statistics term by term.
+std::optional<InvariantFailure> CheckRepresentativeAgainstOracle(
+    const represent::Representative& built, const ExactOracle& oracle);
+
+/// Greedy delta debugging: repeatedly drops query terms while `fails`
+/// still returns true, until no single term can be removed. `fails` must
+/// be true for `query` itself; the result has the same property (weights
+/// are preserved, not renormalized — estimators accept any positive
+/// weights).
+ir::Query ShrinkQuery(const ir::Query& query,
+                      const std::function<bool(const ir::Query&)>& fails);
+
+/// Space-joined terms, for reports.
+std::string QueryTermsText(const ir::Query& query);
+
+}  // namespace useful::testing

@@ -1,0 +1,117 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace useful::testing {
+
+ExactOracle::ExactOracle(const text::Analyzer& analyzer,
+                         const corpus::Collection& collection) {
+  docs_.reserve(collection.size());
+  for (const corpus::Document& doc : collection.docs()) {
+    std::map<std::string, double> tf;
+    for (const std::string& token : analyzer.Analyze(doc.text)) {
+      tf[token] += 1.0;
+    }
+    double sumsq = 0.0;
+    for (const auto& [term, count] : tf) sumsq += count * count;
+    if (sumsq > 0.0) {
+      double norm = std::sqrt(sumsq);
+      for (auto& [term, count] : tf) count /= norm;
+    }
+    docs_.push_back(std::move(tf));
+  }
+}
+
+std::vector<double> ExactOracle::Similarities(const ir::Query& q) const {
+  std::vector<double> sims;
+  sims.reserve(docs_.size());
+  for (const auto& doc : docs_) {
+    double sim = 0.0;
+    for (const ir::QueryTerm& qt : q.terms) {
+      auto it = doc.find(qt.term);
+      if (it != doc.end()) sim += qt.weight * it->second;
+    }
+    sims.push_back(sim);
+  }
+  return sims;
+}
+
+ExactUsefulness ExactOracle::TrueUsefulness(const ir::Query& q,
+                                            double threshold) const {
+  ExactUsefulness result;
+  double sum = 0.0;
+  for (double sim : Similarities(q)) {
+    if (sim > threshold) {
+      ++result.no_doc;
+      sum += sim;
+    }
+  }
+  if (result.no_doc > 0) {
+    result.avg_sim = sum / static_cast<double>(result.no_doc);
+  }
+  return result;
+}
+
+std::vector<double> ExactOracle::SafeThresholds(const ir::Query& q) const {
+  std::vector<double> sims = Similarities(q);
+  std::sort(sims.begin(), sims.end());
+  sims.erase(std::unique(sims.begin(), sims.end()), sims.end());
+
+  std::vector<double> thresholds;
+  if (sims.empty()) {
+    thresholds.push_back(0.5);
+    return thresholds;
+  }
+  // Below every similarity (but never negative: the protocol and the
+  // estimators only accept T >= 0, and similarities are non-negative
+  // under cosine). A sentinel strictly below 0 would be unreachable
+  // through the public APIs anyway.
+  if (sims.front() > 0.0) thresholds.push_back(sims.front() / 2.0);
+  // Midpoints — but only across gaps that dwarf the one-ulp summation
+  // differences between independent implementations. Two documents whose
+  // similarities differ by a few ulps are "tied" as far as any tolerance-
+  // aware comparison goes; a midpoint inside that noise would make the
+  // exact-count comparison flaky without any real bug.
+  for (std::size_t i = 0; i + 1 < sims.size(); ++i) {
+    double gap = sims[i + 1] - sims[i];
+    if (gap <= 1e-9 * std::max(1.0, std::abs(sims[i + 1]))) continue;
+    thresholds.push_back(sims[i] + gap / 2.0);
+  }
+  // Above every similarity.
+  thresholds.push_back(sims.back() + std::max(1.0, std::abs(sims.back())));
+  return thresholds;
+}
+
+represent::Representative ExactOracle::BuildRepresentative(
+    std::string engine_name, represent::RepresentativeKind kind) const {
+  // Term -> every containing document's normalized weight, in document
+  // order (std::map: deterministic iteration for the stats loops).
+  std::map<std::string, std::vector<double>> weights;
+  for (const auto& doc : docs_) {
+    for (const auto& [term, w] : doc) weights[term].push_back(w);
+  }
+
+  represent::Representative rep(std::move(engine_name), docs_.size(), kind);
+  const double n = static_cast<double>(docs_.size());
+  for (const auto& [term, ws] : weights) {
+    const double df = static_cast<double>(ws.size());
+    double sum = 0.0, sumsq = 0.0, mx = 0.0;
+    for (double w : ws) {
+      sum += w;
+      sumsq += w * w;
+      mx = std::max(mx, w);
+    }
+    represent::TermStats ts;
+    ts.doc_freq = static_cast<std::uint32_t>(ws.size());
+    ts.p = n > 0.0 ? df / n : 0.0;
+    ts.avg_weight = sum / df;
+    double var = sumsq / df - ts.avg_weight * ts.avg_weight;
+    ts.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+    ts.max_weight = kind == represent::RepresentativeKind::kQuadruplet ? mx : 0.0;
+    rep.Put(term, ts);
+  }
+  return rep;
+}
+
+}  // namespace useful::testing

@@ -1,0 +1,72 @@
+// ExactOracle: brute-force ground truth computed straight from raw
+// documents.
+//
+// This is a deliberately independent second implementation of the paper's
+// Eqs. (1)-(2) and of the representative statistics: no inverted index,
+// no SparseVector, no SummaryStats — just per-document term-frequency
+// maps, cosine normalization, and direct summation in sorted term order.
+// Agreement with ir::SearchEngine::TrueUsefulness and with
+// represent::BuildRepresentative is therefore a real differential check,
+// not a tautology; and for the paper's single-term exactness guarantee
+// the oracle *is* the ground truth the estimate must reproduce.
+//
+// Scope: raw-tf weighting with cosine normalization — the configuration
+// the paper's experiments use and the harness generates corpora for.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+#include "ir/query.h"
+#include "represent/representative.h"
+#include "text/analyzer.h"
+
+namespace useful::testing {
+
+/// The exact usefulness pair of the paper's Eqs. (1)-(2).
+struct ExactUsefulness {
+  /// Number of documents with sim(q, d) > T.
+  std::size_t no_doc = 0;
+  /// Mean similarity of those documents; 0 when no_doc == 0.
+  double avg_sim = 0.0;
+};
+
+class ExactOracle {
+ public:
+  /// Analyzes every document of `collection` with `analyzer` and stores
+  /// its cosine-normalized tf vector. `analyzer` is only used during
+  /// construction.
+  ExactOracle(const text::Analyzer& analyzer,
+              const corpus::Collection& collection);
+
+  std::size_t num_docs() const { return docs_.size(); }
+
+  /// sim(q, d) for every document, indexed by collection order.
+  std::vector<double> Similarities(const ir::Query& q) const;
+
+  /// NoDoc/AvgSim straight from the definition.
+  ExactUsefulness TrueUsefulness(const ir::Query& q, double threshold) const;
+
+  /// Thresholds at which *any* correct implementation of Eqs. (1)-(2)
+  /// must agree exactly with this one: midpoints between consecutive
+  /// distinct similarity values whose gap dwarfs one-ulp summation noise
+  /// (so a disagreement requires an error of half the gap, not one ulp),
+  /// plus sentinels below the minimum and above the maximum. Never empty;
+  /// ascending.
+  std::vector<double> SafeThresholds(const ir::Query& q) const;
+
+  /// The representative of the collection, built by brute force: per-term
+  /// weight lists collected document by document, then df, mean,
+  /// population stddev, and max computed directly.
+  represent::Representative BuildRepresentative(
+      std::string engine_name, represent::RepresentativeKind kind) const;
+
+ private:
+  /// Normalized weight vectors; std::map keeps accumulation order (and
+  /// therefore floating-point results) independent of hash seeds.
+  std::vector<std::map<std::string, double>> docs_;
+};
+
+}  // namespace useful::testing

@@ -1,0 +1,329 @@
+#include "testing/protocol_fuzzer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "service/protocol.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace useful::testing {
+
+namespace {
+
+/// Stream tag for the fuzzer; each iteration gets its own Pcg32 stream so
+/// GenerateFuzzLine(seed, i) replays line i without replaying 0..i-1.
+constexpr std::uint64_t kFuzzStream = 0xf0220000;
+
+const char* Pick(Pcg32& rng, const std::vector<const char*>& options) {
+  return options[rng.NextBounded(static_cast<std::uint32_t>(options.size()))];
+}
+
+std::string PickToken(Pcg32& rng, const std::vector<std::string>& dictionary,
+                      const std::vector<const char*>& fallback) {
+  if (!dictionary.empty() && rng.NextDouble() < 0.5) {
+    return dictionary[rng.NextBounded(
+        static_cast<std::uint32_t>(dictionary.size()))];
+  }
+  return Pick(rng, fallback);
+}
+
+std::string TemplateLine(Pcg32& rng,
+                         const std::vector<std::string>& dictionary) {
+  static const std::vector<const char*> kCommands = {
+      "ROUTE", "ESTIMATE", "STATS", "RELOAD", "QUIT",
+      "route", "FROB",     "",      "OK",     "ERR"};
+  static const std::vector<const char*> kEstimators = {
+      "subrange", "subrange-nomax", "subrange-k3", "basic",
+      "adaptive", "high-correlation", "disjoint", "nope", "SUBRANGE", ""};
+  static const std::vector<const char*> kThresholds = {
+      "0",    "0.2",  "0.75",   "-1",     "1e309", "nan",
+      "inf",  "-inf", "1e-320", "0.5x",   "",      "0x1p-3"};
+  static const std::vector<const char*> kTopks = {
+      "0", "1", "3", "1048577", "-1", "99999999999999999999", "7abc", ""};
+  static const std::vector<const char*> kTerms = {
+      "zq0x", "zq1x", "the", "a", "zzzz", "...", "\x01", "1e9",
+      "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"};
+
+  std::string line = Pick(rng, kCommands);
+  bool wants_estimator = line == "ROUTE" || line == "ESTIMATE" ||
+                         rng.NextDouble() < 0.2;
+  if (wants_estimator) {
+    line += ' ';
+    line += PickToken(rng, dictionary, kEstimators);
+    line += ' ';
+    if (rng.NextDouble() < 0.7) {
+      line += Pick(rng, kThresholds);
+    } else {
+      line += StringPrintf("%.17g", rng.NextUniform(-2.0, 2.0));
+    }
+    if (line.compare(0, 5, "ROUTE") == 0 || rng.NextDouble() < 0.3) {
+      line += ' ';
+      line += Pick(rng, kTopks);
+    }
+    std::size_t terms = rng.NextBounded(6);
+    for (std::size_t i = 0; i < terms; ++i) {
+      line += ' ';
+      line += PickToken(rng, dictionary, kTerms);
+    }
+  }
+  return line;
+}
+
+void Mutate(Pcg32& rng, std::string& line) {
+  const std::uint32_t op = rng.NextBounded(7);
+  const auto pos = [&]() -> std::size_t {
+    return line.empty() ? 0 : rng.NextBounded(
+        static_cast<std::uint32_t>(line.size()));
+  };
+  switch (op) {
+    case 0:  // insert a random byte (any value; '\n' fixed up below)
+      line.insert(line.begin() + static_cast<std::ptrdiff_t>(pos()),
+                  static_cast<char>(rng.NextBounded(256)));
+      break;
+    case 1:  // delete a byte
+      if (!line.empty()) {
+        line.erase(line.begin() + static_cast<std::ptrdiff_t>(pos()));
+      }
+      break;
+    case 2:  // replace a byte
+      if (!line.empty()) {
+        line[pos()] = static_cast<char>(rng.NextBounded(256));
+      }
+      break;
+    case 3:  // truncate
+      line.resize(pos());
+      break;
+    case 4:  // duplicate a span
+      if (!line.empty()) {
+        std::size_t a = pos();
+        std::size_t len = std::min<std::size_t>(
+            line.size() - a, 1 + rng.NextBounded(16));
+        line.insert(a, line.substr(a, len));
+      }
+      break;
+    case 5: {  // insert a framing-adjacent control byte
+      static const char kControls[] = {'\0', '\r', '\t', ' ', '\x7f', '\xff'};
+      line.insert(line.begin() + static_cast<std::ptrdiff_t>(pos()),
+                  kControls[rng.NextBounded(6)]);
+      break;
+    }
+    default:  // swap two bytes
+      if (line.size() >= 2) {
+        std::swap(line[pos()], line[pos()]);
+      }
+      break;
+  }
+}
+
+std::string RandomBytesLine(Pcg32& rng) {
+  std::size_t len = rng.NextBounded(80);
+  std::string line(len, '\0');
+  for (char& c : line) c = static_cast<char>(rng.NextBounded(256));
+  return line;
+}
+
+std::uint64_t Bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// A payload score token must parse as a double and survive a %.17g
+/// round trip bit-exactly — otherwise a client re-serializing the value
+/// (the cache, the eval tools) would drift from the server.
+bool ScoreTokenRoundTrips(const std::string& token) {
+  if (token.empty()) return false;
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  double v = std::strtod(begin, &end);
+  if (end != begin + token.size()) return false;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  char* end2 = nullptr;
+  double v2 = std::strtod(buf, &end2);
+  if (end2 == buf) return false;
+  return Bits(v2) == Bits(v);
+}
+
+std::vector<std::string> SplitTokens(std::string_view s) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && s[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ') ++j;
+    if (j > i) tokens.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::string EscapeLine(std::string_view line) {
+  std::string out = "\"";
+  for (unsigned char c : line) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c >= 0x20 && c < 0x7f) {
+      out += static_cast<char>(c);
+    } else {
+      out += StringPrintf("\\x%02x", c);
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string FuzzFailure::ToString() const {
+  return StringPrintf("protocol violation (seed=%llu iteration=%zu): %s\n  line=%s",
+                      static_cast<unsigned long long>(seed), iteration,
+                      reason.c_str(), EscapeLine(line).c_str());
+}
+
+std::optional<std::string> ValidateReply(
+    std::string_view line, const service::Service::Reply& reply) {
+  // The reply must render to a parseable frame regardless of input.
+  if (reply.status.ok()) {
+    std::string header = service::FormatOkHeader(reply.payload.size());
+    auto parsed = service::ParseResponseHeader(header);
+    if (!parsed.ok() || !parsed.value().ok ||
+        parsed.value().payload_lines != reply.payload.size()) {
+      return "OK header does not round-trip: " + header;
+    }
+    if (reply.payload.size() > service::kMaxPayloadLines) {
+      return StringPrintf("payload of %zu lines exceeds kMaxPayloadLines",
+                          reply.payload.size());
+    }
+  } else {
+    if (reply.status.code() == Status::Code::kInternal) {
+      return "internal error leaked to the wire: " + reply.status.ToString();
+    }
+    std::string header = service::FormatErrorHeader(reply.status);
+    auto parsed = service::ParseResponseHeader(header);
+    if (!parsed.ok() || parsed.value().ok) {
+      return "ERR header does not round-trip: " + header;
+    }
+    if (!reply.payload.empty()) {
+      return "error reply carries payload";
+    }
+  }
+
+  for (const std::string& payload_line : reply.payload) {
+    if (payload_line.find_first_of(std::string_view("\n\r\0", 3)) !=
+        std::string::npos) {
+      return "payload line contains a framing byte: " + EscapeLine(payload_line);
+    }
+  }
+
+  auto request = service::ParseRequest(line);
+  if ((reply.shutdown_server || reply.close_connection) &&
+      (!request.ok() ||
+       request.value().kind != service::CommandKind::kQuit)) {
+    return "non-QUIT line closed the connection";
+  }
+  if (request.ok() && reply.status.ok() &&
+      (request.value().kind == service::CommandKind::kRoute ||
+       request.value().kind == service::CommandKind::kEstimate)) {
+    // Selection payload: "<engine> <no_doc> <avg_sim>" per line, scores
+    // in bit-exact %.17g.
+    for (const std::string& payload_line : reply.payload) {
+      std::vector<std::string> tokens = SplitTokens(payload_line);
+      if (tokens.size() != 3 || !ScoreTokenRoundTrips(tokens[1]) ||
+          !ScoreTokenRoundTrips(tokens[2])) {
+        return "malformed selection line: " + EscapeLine(payload_line);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string GenerateFuzzLine(std::uint64_t seed, std::size_t iteration,
+                             const std::vector<std::string>& dictionary) {
+  Pcg32 rng(seed, kFuzzStream ^ iteration);
+  std::string line;
+  const double strategy = rng.NextDouble();
+  if (strategy < 0.4) {
+    line = TemplateLine(rng, dictionary);
+  } else if (strategy < 0.8) {
+    line = TemplateLine(rng, dictionary);
+    std::size_t mutations = 1 + rng.NextBounded(8);
+    for (std::size_t m = 0; m < mutations; ++m) Mutate(rng, line);
+  } else {
+    line = RandomBytesLine(rng);
+  }
+  // The transport strips '\n' before Execute ever sees a line; keep the
+  // generated bytes inside that contract.
+  std::replace(line.begin(), line.end(), '\n', ' ');
+  return line;
+}
+
+std::string ShrinkLine(std::string line,
+                       const std::function<bool(const std::string&)>& fails) {
+  // Pass 1: drop whole whitespace-separated tokens.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::vector<std::string> tokens = SplitTokens(line);
+    if (tokens.size() < 2) break;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      std::string candidate;
+      for (std::size_t j = 0; j < tokens.size(); ++j) {
+        if (j == i) continue;
+        if (!candidate.empty()) candidate += ' ';
+        candidate += tokens[j];
+      }
+      if (fails(candidate)) {
+        line = std::move(candidate);
+        improved = true;
+        break;
+      }
+    }
+  }
+  // Pass 2: drop single bytes.
+  improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      std::string candidate = line;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (fails(candidate)) {
+        line = std::move(candidate);
+        improved = true;
+        break;
+      }
+    }
+  }
+  return line;
+}
+
+std::optional<FuzzFailure> FuzzProtocol(service::Service& service,
+                                        const FuzzProtocolOptions& options) {
+  for (std::size_t i = 0; i < options.iterations; ++i) {
+    std::string line = GenerateFuzzLine(options.seed, i, options.dictionary);
+    auto reason = ValidateReply(line, service.Execute(line));
+    if (!reason.has_value()) continue;
+
+    FuzzFailure failure;
+    failure.seed = options.seed;
+    failure.iteration = i;
+    failure.reason = *reason;
+    auto fails = [&](const std::string& candidate) {
+      auto r = ValidateReply(candidate, service.Execute(candidate));
+      return r.has_value() && *r == failure.reason;
+    };
+    failure.line = ShrinkLine(std::move(line), fails);
+    // Re-derive the reason for the shrunk line (detail strings may embed
+    // the line itself).
+    if (auto final_reason =
+            ValidateReply(failure.line, service.Execute(failure.line));
+        final_reason.has_value()) {
+      failure.reason = *final_reason;
+    }
+    return failure;
+  }
+  return std::nullopt;
+}
+
+}  // namespace useful::testing

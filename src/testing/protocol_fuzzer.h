@@ -1,0 +1,75 @@
+// Byte-level fuzzer for the broker's line protocol.
+//
+// Feeds template-based, mutated, and fully random request lines into a
+// socket-free service::Service and asserts that every single line yields
+// a well-formed reply: an OK header whose count matches the payload, or
+// an ERR header that parses back — never a crash, a hang, an internal
+// error, or payload that would corrupt the line framing. The transport
+// guarantees Execute never sees a '\n' (framing strips it), so generated
+// lines cover every other byte value, including '\0', '\r', and high
+// bytes.
+//
+// Failures shrink to a minimal line (greedy token- then byte-removal)
+// and carry the seed + iteration needed to replay them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/service.h"
+
+namespace useful::testing {
+
+/// One protocol violation, shrunk to a minimal failing line.
+struct FuzzFailure {
+  /// The (shrunk) request line, raw bytes.
+  std::string line;
+  /// What the reply violated.
+  std::string reason;
+  /// Replay coordinates: rerun with --seed <seed> to regenerate the
+  /// original (un-shrunk) line at iteration `iteration`.
+  std::uint64_t seed = 0;
+  std::size_t iteration = 0;
+
+  /// Report with the line escaped for terminals/logs.
+  std::string ToString() const;
+};
+
+struct FuzzProtocolOptions {
+  std::uint64_t seed = 1;
+  std::size_t iterations = 2000;
+  /// Extra tokens (estimator names, query terms) mixed into generated
+  /// lines so well-formed requests hit real engines and terms.
+  std::vector<std::string> dictionary;
+};
+
+/// `line` escaped for display: printable ASCII kept, everything else as
+/// \xNN, the whole thing quoted.
+std::string EscapeLine(std::string_view line);
+
+/// Checks one Execute() reply against the protocol contract. Returns a
+/// reason string on violation, nullopt when well-formed. Stateless.
+std::optional<std::string> ValidateReply(std::string_view line,
+                                         const service::Service::Reply& reply);
+
+/// Runs `options.iterations` generated lines through `service`, validating
+/// every reply. On violation, shrinks the line (same reason must persist)
+/// and returns the failure; nullopt when the whole run is clean.
+std::optional<FuzzFailure> FuzzProtocol(service::Service& service,
+                                        const FuzzProtocolOptions& options);
+
+/// Deterministic line generator used by FuzzProtocol, exposed for tests:
+/// the `iteration`-th line of stream `seed` given `dictionary`.
+std::string GenerateFuzzLine(std::uint64_t seed, std::size_t iteration,
+                             const std::vector<std::string>& dictionary);
+
+/// Greedy shrink: removes whitespace-separated tokens, then single bytes,
+/// while `fails` stays true. `fails(line)` must hold on entry.
+std::string ShrinkLine(std::string line,
+                       const std::function<bool(const std::string&)>& fails);
+
+}  // namespace useful::testing

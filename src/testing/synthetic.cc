@@ -1,0 +1,93 @@
+#include "testing/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace useful::testing {
+
+namespace {
+
+/// Independent stream ids so each aspect of generation has its own
+/// deterministic sequence (adding a knob never perturbs the others).
+constexpr std::uint64_t kDocStream = 0x5eed0001;
+constexpr std::uint64_t kQueryStream = 0x5eed0002;
+constexpr std::uint64_t kShapeStream = 0x5eed0003;
+
+}  // namespace
+
+SyntheticCorpusOptions VaryForSeed(std::uint64_t seed) {
+  Pcg32 rng(seed, kShapeStream);
+  SyntheticCorpusOptions options;
+  options.seed = seed;
+  // Cover degenerate shapes on purpose: single-document engines, tiny
+  // vocabularies (forcing p = 1 terms), and flat vs steep skew.
+  options.num_docs = 1 + rng.NextBounded(120);
+  options.vocab_size = 4 + rng.NextBounded(96);
+  options.zipf_exponent = rng.NextUniform(0.6, 1.6);
+  options.median_doc_length = rng.NextUniform(4.0, 40.0);
+  options.doc_length_sigma = rng.NextUniform(0.2, 0.9);
+  options.focus_prob = rng.NextUniform(0.0, 0.6);
+  return options;
+}
+
+std::string SyntheticTerm(std::size_t rank) {
+  return "zq" + std::to_string(rank) + "x";
+}
+
+corpus::Collection MakeSyntheticCollection(
+    const SyntheticCorpusOptions& options, std::string name) {
+  Pcg32 rng(options.seed, kDocStream);
+  corpus::Collection collection(std::move(name));
+  const double log_median = std::log(std::max(1.0, options.median_doc_length));
+
+  for (std::size_t d = 0; d < options.num_docs; ++d) {
+    // Log-normal document length, clamped to keep the brute-force oracle
+    // cheap even at adversarial option settings.
+    double len = std::exp(rng.NextGaussian(log_median, options.doc_length_sigma));
+    std::size_t tokens =
+        static_cast<std::size_t>(std::clamp(std::lround(len), 1L, 400L));
+
+    std::string text;
+    for (std::size_t k = 0; k < tokens; ++k) {
+      if (!text.empty()) text += ' ';
+      text += SyntheticTerm(
+          rng.NextZipf(options.vocab_size, options.zipf_exponent));
+    }
+    if (rng.NextDouble() < options.focus_prob) {
+      // Repeat one focus term: a handful of documents carry a much larger
+      // weight for it than the term's average, stretching sigma and mw.
+      std::string focus = SyntheticTerm(
+          rng.NextZipf(options.vocab_size, options.zipf_exponent));
+      std::size_t repeats = 2 + rng.NextBounded(6);
+      for (std::size_t k = 0; k < repeats; ++k) text += ' ' + focus;
+    }
+    collection.Add({"d" + std::to_string(d), text});
+  }
+  return collection;
+}
+
+std::vector<std::string> MakeSyntheticQueryTexts(
+    const SyntheticCorpusOptions& corpus, const SyntheticQueryOptions& options,
+    std::uint64_t seed) {
+  Pcg32 rng(seed, kQueryStream);
+  std::vector<std::string> texts;
+  texts.reserve(options.count);
+  for (std::size_t i = 0; i < options.count; ++i) {
+    std::size_t terms = 1 + rng.NextBounded(
+        static_cast<std::uint32_t>(std::max<std::size_t>(1, options.max_terms)));
+    std::string text;
+    for (std::size_t t = 0; t < terms; ++t) {
+      if (!text.empty()) text += ' ';
+      // Draw over a slightly larger range than the vocabulary so some
+      // query terms are guaranteed absent from every document.
+      text += SyntheticTerm(
+          rng.NextZipf(corpus.vocab_size + 2, options.zipf_exponent));
+    }
+    texts.push_back(std::move(text));
+  }
+  return texts;
+}
+
+}  // namespace useful::testing

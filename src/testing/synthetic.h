@@ -1,0 +1,70 @@
+// Seeded synthetic corpora and query workloads for the correctness
+// harness.
+//
+// The generator is the input half of a differential-testing loop: it
+// produces small, fully deterministic document collections (Zipfian term
+// draws over a pseudo-word vocabulary, log-normal document lengths, and
+// occasional "focus" repetition so per-term weight variance is heavy
+// tailed — the regime the subrange decomposition exists for), and random
+// query texts over the same vocabulary. Everything derives from Pcg32, so
+// a single uint64 seed replays any failure bit-for-bit on any platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+
+namespace useful::testing {
+
+/// Tuning knobs for one synthetic collection.
+struct SyntheticCorpusOptions {
+  std::size_t num_docs = 64;
+  std::size_t vocab_size = 48;
+  /// Zipf exponent of the term-draw law.
+  double zipf_exponent = 1.1;
+  /// Median document length in tokens (log-normal length model).
+  double median_doc_length = 20.0;
+  /// Log-normal sigma of the length model.
+  double doc_length_sigma = 0.6;
+  /// Probability that a document repeats one "focus" term several extra
+  /// times, creating the within-term weight spread the subrange method
+  /// models.
+  double focus_prob = 0.3;
+  /// Master seed; documents, lengths, and focus draws all derive from it.
+  std::uint64_t seed = 1;
+};
+
+/// The harness's per-seed size variation: corpus shape (docs, vocabulary,
+/// skew, lengths) is itself a deterministic function of the seed, so a
+/// sweep over seeds covers tiny single-doc engines through mid-size ones
+/// without separate configuration.
+SyntheticCorpusOptions VaryForSeed(std::uint64_t seed);
+
+/// The vocabulary word of `rank`: a pseudo-word ("zq<rank>x") immune to
+/// the stop list and the stemmer, so the analyzer maps it to itself.
+std::string SyntheticTerm(std::size_t rank);
+
+/// Generates the collection described by `options`.
+corpus::Collection MakeSyntheticCollection(const SyntheticCorpusOptions& options,
+                                           std::string name = "synthetic");
+
+/// Query-workload knobs.
+struct SyntheticQueryOptions {
+  std::size_t count = 12;
+  /// Terms per query are uniform in [1, max_terms].
+  std::size_t max_terms = 5;
+  /// Zipf exponent of query-term popularity (flatter than documents, as
+  /// in the paper's query logs).
+  double zipf_exponent = 0.8;
+};
+
+/// Raw query texts over the corpus's vocabulary (some terms may not occur
+/// in any document — estimators must handle both). Deterministic in
+/// (corpus options, query options, seed).
+std::vector<std::string> MakeSyntheticQueryTexts(
+    const SyntheticCorpusOptions& corpus, const SyntheticQueryOptions& options,
+    std::uint64_t seed);
+
+}  // namespace useful::testing

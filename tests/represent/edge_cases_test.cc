@@ -1,0 +1,175 @@
+// Degenerate-shape edge cases for the representative pipeline: merges of
+// engines with disjoint vocabularies, empty databases, terms whose weight
+// never varies (sigma == 0), and terms contained in every document
+// (p == 1). Each must flow through build -> save -> load -> estimate as a
+// clean Status and finite numbers — never UB, NaN, or a crash.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "estimate/registry.h"
+#include "ir/query.h"
+#include "ir/search_engine.h"
+#include "represent/builder.h"
+#include "represent/merge.h"
+#include "represent/serialize.h"
+#include "text/analyzer.h"
+
+namespace useful::represent {
+namespace {
+
+class RepresentativeEdgeCasesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("useful_rep_edge_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  Representative BuildFrom(const std::string& name,
+                           const std::vector<std::string>& docs) {
+    ir::SearchEngine engine(name, &analyzer_);
+    int i = 0;
+    for (const std::string& text : docs) {
+      EXPECT_TRUE(engine.Add({name + "/d" + std::to_string(i++), text}).ok());
+    }
+    EXPECT_TRUE(engine.Finalize().ok());
+    auto rep = BuildRepresentative(engine);
+    EXPECT_TRUE(rep.ok()) << rep.status().ToString();
+    return std::move(rep).value();
+  }
+
+  /// Save -> load round trip; the loader must accept whatever the
+  /// builder/merger produced.
+  Representative Reload(const Representative& rep) {
+    std::string path = (dir_ / (rep.engine_name() + ".rep")).string();
+    EXPECT_TRUE(SaveRepresentative(rep, path).ok());
+    auto loaded = LoadRepresentative(path);
+    EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+    return std::move(loaded).value();
+  }
+
+  /// Every registered estimator must yield finite, in-range numbers.
+  void ExpectEstimatesSane(const Representative& rep,
+                           const std::string& query_text) {
+    ir::Query q = ir::ParseQuery(analyzer_, query_text);
+    for (const std::string& name : estimate::KnownEstimators()) {
+      auto estimator = estimate::MakeEstimator(name).value();
+      for (double t : {0.0, 0.2, 0.5}) {
+        auto est = estimator->Estimate(rep, q, t);
+        EXPECT_TRUE(std::isfinite(est.no_doc))
+            << name << " " << query_text << " T=" << t;
+        EXPECT_TRUE(std::isfinite(est.avg_sim))
+            << name << " " << query_text << " T=" << t;
+        EXPECT_GE(est.no_doc, 0.0) << name;
+        EXPECT_GE(est.avg_sim, 0.0) << name;
+      }
+    }
+  }
+
+  text::Analyzer analyzer_;
+  std::filesystem::path dir_;
+};
+
+TEST_F(RepresentativeEdgeCasesTest, MergeWithMismatchedVocabularies) {
+  // Completely disjoint vocabularies: the merged representative must be
+  // the clean union, with each term's df unchanged and p rescaled.
+  Representative a = BuildFrom("a", {"zq0x zq1x", "zq0x zq2x"});
+  Representative b = BuildFrom("b", {"zq7x zq8x", "zq8x zq9x", "zq9x"});
+  auto merged = MergeRepresentatives({&a, &b}, "union");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  Representative loaded = Reload(merged.value());
+
+  EXPECT_EQ(loaded.num_docs(), 5u);
+  EXPECT_EQ(loaded.num_terms(), a.num_terms() + b.num_terms());
+  auto zq0 = loaded.Find("zq0x");
+  ASSERT_TRUE(zq0.has_value());
+  EXPECT_EQ(zq0->doc_freq, 2u);
+  EXPECT_DOUBLE_EQ(zq0->p, 2.0 / 5.0);
+  auto zq9 = loaded.Find("zq9x");
+  ASSERT_TRUE(zq9.has_value());
+  EXPECT_EQ(zq9->doc_freq, 2u);
+  // A term of one part keeps its statistics (only p is rescaled).
+  EXPECT_DOUBLE_EQ(zq9->avg_weight, b.Find("zq9x")->avg_weight);
+
+  ExpectEstimatesSane(loaded, "zq0x zq9x");
+}
+
+TEST_F(RepresentativeEdgeCasesTest, MergeRejectsMixedKindsCleanly) {
+  ir::SearchEngine engine("t", &analyzer_);
+  ASSERT_TRUE(engine.Add({"d0", "zq0x"}).ok());
+  ASSERT_TRUE(engine.Finalize().ok());
+  Representative quad =
+      BuildRepresentative(engine, RepresentativeKind::kQuadruplet).value();
+  Representative trip =
+      BuildRepresentative(engine, RepresentativeKind::kTriplet).value();
+  auto merged = MergeRepresentatives({&quad, &trip}, "bad");
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(RepresentativeEdgeCasesTest, ZeroDocumentEngineIsRejectedCleanly) {
+  ir::SearchEngine engine("empty", &analyzer_);
+  ASSERT_TRUE(engine.Finalize().ok());
+  auto rep = BuildRepresentative(engine);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_EQ(rep.status().code(), Status::Code::kFailedPrecondition);
+
+  // And a merge must refuse an n == 0 part rather than divide by zero.
+  Representative hollow("hollow", 0, RepresentativeKind::kQuadruplet);
+  Representative fine = BuildFrom("fine", {"zq0x"});
+  auto merged = MergeRepresentatives({&hollow, &fine}, "bad");
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST_F(RepresentativeEdgeCasesTest, SigmaZeroTermEstimatesCleanly) {
+  // Every document is identical, so each term's normalized weight never
+  // varies: population stddev is exactly 0.
+  Representative rep =
+      BuildFrom("flat", {"zq0x zq1x", "zq0x zq1x", "zq0x zq1x"});
+  auto ts = rep.Find("zq0x");
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_EQ(ts->stddev, 0.0);
+  EXPECT_GT(ts->max_weight, 0.0);
+
+  Representative loaded = Reload(rep);
+  EXPECT_EQ(loaded.Find("zq0x")->stddev, 0.0);
+  ExpectEstimatesSane(loaded, "zq0x");
+  ExpectEstimatesSane(loaded, "zq0x zq1x");
+}
+
+TEST_F(RepresentativeEdgeCasesTest, ProbabilityOneTermEstimatesCleanly) {
+  // zq0x occurs in all documents: p == 1, so the "term absent" factor
+  // (1 - p) of the generating function is exactly zero.
+  Representative rep =
+      BuildFrom("all", {"zq0x zq1x", "zq0x zq2x", "zq0x zq0x zq3x"});
+  auto ts = rep.Find("zq0x");
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_DOUBLE_EQ(ts->p, 1.0);
+
+  Representative loaded = Reload(rep);
+  EXPECT_DOUBLE_EQ(loaded.Find("zq0x")->p, 1.0);
+  ExpectEstimatesSane(loaded, "zq0x");
+  ExpectEstimatesSane(loaded, "zq0x zq2x zq3x");
+
+  // NoDoc at T = 0 must see every document for the subrange method.
+  auto subrange = estimate::MakeEstimator("subrange").value();
+  ir::Query q = ir::ParseQuery(analyzer_, "zq0x");
+  EXPECT_NEAR(subrange->Estimate(loaded, q, 0.0).no_doc, 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace useful::represent

@@ -1,0 +1,129 @@
+#include "testing/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/query.h"
+#include "ir/search_engine.h"
+#include "represent/builder.h"
+#include "testing/synthetic.h"
+#include "text/analyzer.h"
+
+namespace useful::testing {
+namespace {
+
+// Hand-checkable corpus: analyzer-proof single-letter-free terms.
+corpus::Collection TinyCollection() {
+  corpus::Collection c("tiny");
+  c.Add({"d0", "zq0x zq1x"});        // weights 1/sqrt(2), 1/sqrt(2)
+  c.Add({"d1", "zq0x zq0x"});        // weight 1 for zq0x
+  c.Add({"d2", "zq1x zq1x zq2x"});   // zq1x: 2/sqrt(5), zq2x: 1/sqrt(5)
+  return c;
+}
+
+TEST(ExactOracleTest, SimilaritiesMatchHandComputation) {
+  text::Analyzer analyzer;
+  ExactOracle oracle(analyzer, TinyCollection());
+  ASSERT_EQ(oracle.num_docs(), 3u);
+
+  ir::Query q = ir::ParseQuery(analyzer, "zq0x");
+  ASSERT_EQ(q.size(), 1u);
+  ASSERT_DOUBLE_EQ(q.terms[0].weight, 1.0);
+
+  std::vector<double> sims = oracle.Similarities(q);
+  ASSERT_EQ(sims.size(), 3u);
+  EXPECT_DOUBLE_EQ(sims[0], 1.0 / std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(sims[1], 1.0);
+  EXPECT_DOUBLE_EQ(sims[2], 0.0);
+}
+
+TEST(ExactOracleTest, TrueUsefulnessCountsStrictlyAbove) {
+  text::Analyzer analyzer;
+  ExactOracle oracle(analyzer, TinyCollection());
+  ir::Query q = ir::ParseQuery(analyzer, "zq0x");
+
+  ExactUsefulness at_zero = oracle.TrueUsefulness(q, 0.0);
+  EXPECT_EQ(at_zero.no_doc, 2u);
+  EXPECT_DOUBLE_EQ(at_zero.avg_sim, (1.0 / std::sqrt(2.0) + 1.0) / 2.0);
+
+  // Strict >: a threshold equal to a similarity excludes that document.
+  ExactUsefulness at_max = oracle.TrueUsefulness(q, 1.0);
+  EXPECT_EQ(at_max.no_doc, 0u);
+  EXPECT_DOUBLE_EQ(at_max.avg_sim, 0.0);
+}
+
+TEST(ExactOracleTest, SafeThresholdsBracketEveryCount) {
+  text::Analyzer analyzer;
+  ExactOracle oracle(analyzer, TinyCollection());
+  ir::Query q = ir::ParseQuery(analyzer, "zq0x zq1x");
+
+  std::vector<double> thresholds = oracle.SafeThresholds(q);
+  ASSERT_FALSE(thresholds.empty());
+  EXPECT_TRUE(std::is_sorted(thresholds.begin(), thresholds.end()));
+  // The lowest safe threshold sees every matching document, the highest
+  // sees none.
+  EXPECT_EQ(oracle.TrueUsefulness(q, thresholds.front()).no_doc, 3u);
+  EXPECT_EQ(oracle.TrueUsefulness(q, thresholds.back()).no_doc, 0u);
+  for (double t : thresholds) EXPECT_GE(t, 0.0);
+}
+
+TEST(ExactOracleTest, RepresentativeMatchesHandStatistics) {
+  text::Analyzer analyzer;
+  ExactOracle oracle(analyzer, TinyCollection());
+  represent::Representative rep = oracle.BuildRepresentative(
+      "tiny", represent::RepresentativeKind::kQuadruplet);
+
+  EXPECT_EQ(rep.num_docs(), 3u);
+  auto ts = rep.Find("zq0x");
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_EQ(ts->doc_freq, 2u);
+  EXPECT_DOUBLE_EQ(ts->p, 2.0 / 3.0);
+  double w0 = 1.0 / std::sqrt(2.0);
+  EXPECT_DOUBLE_EQ(ts->avg_weight, (w0 + 1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(ts->max_weight, 1.0);
+  // Population stddev of {w0, 1}.
+  double mean = (w0 + 1.0) / 2.0;
+  double var = (w0 * w0 + 1.0) / 2.0 - mean * mean;
+  EXPECT_NEAR(ts->stddev, std::sqrt(var), 1e-15);
+}
+
+TEST(ExactOracleTest, TripletRepresentativeOmitsMaxWeight) {
+  text::Analyzer analyzer;
+  ExactOracle oracle(analyzer, TinyCollection());
+  represent::Representative rep = oracle.BuildRepresentative(
+      "tiny", represent::RepresentativeKind::kTriplet);
+  auto ts = rep.Find("zq0x");
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_EQ(ts->max_weight, 0.0);
+}
+
+// The point of the oracle: it independently agrees with the inverted-index
+// engine on a non-trivial corpus.
+TEST(ExactOracleTest, AgreesWithSearchEngineOnSyntheticCorpus) {
+  SyntheticCorpusOptions options = VaryForSeed(11);
+  corpus::Collection collection = MakeSyntheticCollection(options, "synth");
+  text::Analyzer analyzer;
+
+  ir::SearchEngine engine("synth", &analyzer);
+  ASSERT_TRUE(engine.AddCollection(collection).ok());
+  ASSERT_TRUE(engine.Finalize().ok());
+  ExactOracle oracle(analyzer, collection);
+  ASSERT_EQ(engine.num_docs(), oracle.num_docs());
+
+  SyntheticQueryOptions query_options;
+  for (const std::string& text :
+       MakeSyntheticQueryTexts(options, query_options, 11)) {
+    ir::Query q = ir::ParseQuery(analyzer, text);
+    if (q.empty()) continue;
+    for (double t : oracle.SafeThresholds(q)) {
+      EXPECT_EQ(engine.TrueUsefulness(q, t).no_doc,
+                oracle.TrueUsefulness(q, t).no_doc)
+          << "query \"" << text << "\" T=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace useful::testing

@@ -1,0 +1,92 @@
+#include "testing/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "text/analyzer.h"
+
+namespace useful::testing {
+namespace {
+
+TEST(SyntheticTest, CollectionIsDeterministicAcrossCalls) {
+  SyntheticCorpusOptions options;
+  options.seed = 7;
+  corpus::Collection a = MakeSyntheticCollection(options, "a");
+  corpus::Collection b = MakeSyntheticCollection(options, "b");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.docs()[i].text, b.docs()[i].text) << "doc " << i;
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsProduceDifferentCorpora) {
+  SyntheticCorpusOptions a_options;
+  a_options.seed = 1;
+  SyntheticCorpusOptions b_options;
+  b_options.seed = 2;
+  corpus::Collection a = MakeSyntheticCollection(a_options, "a");
+  corpus::Collection b = MakeSyntheticCollection(b_options, "b");
+  bool differ = a.size() != b.size();
+  for (std::size_t i = 0; !differ && i < a.size(); ++i) {
+    differ = a.docs()[i].text != b.docs()[i].text;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(SyntheticTest, VaryForSeedStaysInsideDocumentedRanges) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    SyntheticCorpusOptions options = VaryForSeed(seed);
+    EXPECT_GE(options.num_docs, 1u);
+    EXPECT_LE(options.num_docs, 121u);
+    EXPECT_GE(options.vocab_size, 4u);
+    EXPECT_GE(options.zipf_exponent, 0.6);
+    EXPECT_LE(options.zipf_exponent, 1.6);
+    EXPECT_EQ(options.seed, seed);
+  }
+}
+
+TEST(SyntheticTest, VaryForSeedCoversSingleDocEngines) {
+  bool saw_tiny = false;
+  for (std::uint64_t seed = 0; seed < 500 && !saw_tiny; ++seed) {
+    saw_tiny = VaryForSeed(seed).num_docs <= 2;
+  }
+  EXPECT_TRUE(saw_tiny) << "degenerate engine shapes must be generated";
+}
+
+// The whole harness depends on synthetic terms passing through the
+// analyzer unchanged: a stemmed or stopworded term would silently break
+// the oracle/representative term correspondence.
+TEST(SyntheticTest, TermsSurviveTheAnalyzerVerbatim) {
+  text::Analyzer analyzer;
+  for (std::size_t rank = 0; rank < 150; ++rank) {
+    std::string term = SyntheticTerm(rank);
+    std::vector<std::string> tokens = analyzer.Analyze(term);
+    ASSERT_EQ(tokens.size(), 1u) << term;
+    EXPECT_EQ(tokens[0], term);
+  }
+}
+
+TEST(SyntheticTest, QueryTextsAreDeterministicAndCoverAbsentTerms) {
+  SyntheticCorpusOptions corpus = VaryForSeed(3);
+  SyntheticQueryOptions options;
+  options.count = 200;
+  std::vector<std::string> a = MakeSyntheticQueryTexts(corpus, options, 3);
+  std::vector<std::string> b = MakeSyntheticQueryTexts(corpus, options, 3);
+  EXPECT_EQ(a, b);
+
+  // The query vocabulary deliberately exceeds the corpus vocabulary so
+  // estimators see terms with p = 0.
+  std::set<std::string> beyond;
+  for (const std::string& text : a) {
+    for (std::size_t r = corpus.vocab_size; r < corpus.vocab_size + 2; ++r) {
+      if (text.find(SyntheticTerm(r)) != std::string::npos) {
+        beyond.insert(SyntheticTerm(r));
+      }
+    }
+  }
+  EXPECT_FALSE(beyond.empty());
+}
+
+}  // namespace
+}  // namespace useful::testing

@@ -21,9 +21,10 @@ REP1=$5
 DIR=$6
 
 OUT="$DIR/served_faults.out"
-rm -f "$OUT"
+PORT_FILE="$DIR/served_faults.port"
+rm -f "$OUT" "$PORT_FILE"
 
-"$SERVED" --port 0 --threads 2 \
+"$SERVED" --port 0 --port-file "$PORT_FILE" --threads 2 \
   --idle-timeout-ms 300 --request-timeout-ms 300 --write-timeout-ms 1000 \
   --max-connections 4 --max-accept-queue 2 \
   "$REP0" "$REP1" > "$OUT" 2>&1 &
@@ -32,10 +33,12 @@ SERVER_PID=$!
 PORT=
 i=0
 while [ $i -lt 100 ]; do
-  PORT=$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' "$OUT" | head -1)
-  [ -n "$PORT" ] && break
+  if [ -f "$PORT_FILE" ]; then
+    PORT=$(cat "$PORT_FILE")
+    break
+  fi
   if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "server died before announcing a port:"
+    echo "server died before publishing a port:"
     cat "$OUT"
     exit 1
   fi
@@ -43,7 +46,7 @@ while [ $i -lt 100 ]; do
   i=$((i + 1))
 done
 if [ -z "$PORT" ]; then
-  echo "server never announced a port:"
+  echo "server never published a port:"
   cat "$OUT"
   kill "$SERVER_PID" 2>/dev/null || true
   exit 1

@@ -3,7 +3,8 @@
 #
 #   served_smoke.sh <useful_served> <useful_client> <rep0> <rep1> <workdir>
 #
-# Spawns useful_served on an ephemeral port, scrapes the announced port,
+# Spawns useful_served on an ephemeral port (--port 0) with a --port-file
+# handshake (write-then-rename, so a partial port number is never read),
 # drives ROUTE (twice, so the second hits the query cache), STATS, and
 # QUIT through useful_client over TCP, asserts the cache hit is visible in
 # STATS, and verifies the server exits cleanly after QUIT.
@@ -16,18 +17,21 @@ REP1=$4
 DIR=$5
 
 OUT="$DIR/served_smoke.out"
-rm -f "$OUT"
+PORT_FILE="$DIR/served_smoke.port"
+rm -f "$OUT" "$PORT_FILE"
 
-"$SERVED" --port 0 "$REP0" "$REP1" > "$OUT" 2>&1 &
+"$SERVED" --port 0 --port-file "$PORT_FILE" "$REP0" "$REP1" > "$OUT" 2>&1 &
 SERVER_PID=$!
 
 PORT=
 i=0
 while [ $i -lt 100 ]; do
-  PORT=$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' "$OUT" | head -1)
-  [ -n "$PORT" ] && break
+  if [ -f "$PORT_FILE" ]; then
+    PORT=$(cat "$PORT_FILE")
+    break
+  fi
   if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "server died before announcing a port:"
+    echo "server died before publishing a port:"
     cat "$OUT"
     exit 1
   fi
@@ -35,7 +39,7 @@ while [ $i -lt 100 ]; do
   i=$((i + 1))
 done
 if [ -z "$PORT" ]; then
-  echo "server never announced a port:"
+  echo "server never published a port:"
   cat "$OUT"
   kill "$SERVER_PID" 2>/dev/null || true
   exit 1

@@ -3,7 +3,7 @@
 // protocol (ROUTE / ESTIMATE / STATS / RELOAD / QUIT) until a QUIT
 // request or SIGINT winds it down gracefully.
 //
-//   useful_served [--host H] [--port P] [--threads N]
+//   useful_served [--host H] [--port P] [--port-file PATH] [--threads N]
 //                 [--cache-entries N] [--cache-bytes N]
 //                 [--idle-timeout-ms N] [--request-timeout-ms N]
 //                 [--write-timeout-ms N] [--max-connections N]
@@ -12,7 +12,10 @@
 //
 // --port 0 (the default) binds an ephemeral port; the chosen port is
 // announced on stdout as "listening on H:P" before serving starts, so
-// scripts can scrape it. ROUTE results are identical to useful_route on
+// scripts can scrape it. --port-file PATH additionally publishes the bare
+// port number to PATH via write-then-rename — the race-free handshake the
+// ctest smoke scripts use (a polled log line can be half-flushed; a
+// renamed file cannot). ROUTE results are identical to useful_route on
 // the same representatives; repeated queries are served from the query
 // cache (see STATS), and RELOAD re-reads the representative files without
 // dropping in-flight requests.
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
   using namespace useful;
   service::ServerOptions server_options;
   service::ServiceOptions service_options;
+  std::string port_file;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -60,6 +64,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--port") == 0) {
       server_options.port = static_cast<std::uint16_t>(
           std::strtoul(need_value("--port"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--port-file") == 0) {
+      port_file = need_value("--port-file");
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       server_options.threads =
           std::strtoul(need_value("--threads"), nullptr, 10);
@@ -90,7 +96,8 @@ int main(int argc, char** argv) {
   }
   if (service_options.representative_paths.empty()) {
     std::fprintf(stderr,
-                 "usage: useful_served [--host H] [--port P] [--threads N] "
+                 "usage: useful_served [--host H] [--port P] "
+                 "[--port-file PATH] [--threads N] "
                  "[--cache-entries N] [--cache-bytes N] "
                  "[--idle-timeout-ms N] [--request-timeout-ms N] "
                  "[--write-timeout-ms N] [--max-connections N] "
@@ -118,6 +125,24 @@ int main(int argc, char** argv) {
   std::printf("listening on %s:%u\n", server_options.host.c_str(),
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);  // scripts scrape the port from a pipe
+
+  if (!port_file.empty()) {
+    // Write-then-rename: a reader polling for the file can never observe
+    // a partial write, unlike scraping the (buffered) log stream.
+    std::string tmp = port_file + ".tmp";
+    if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+      std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+      std::fclose(f);
+      if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+        std::fprintf(stderr, "cannot publish port file %s\n",
+                     port_file.c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "cannot write port file %s\n", tmp.c_str());
+      return 1;
+    }
+  }
 
   if (Status s = server.Serve(); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
