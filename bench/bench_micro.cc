@@ -342,6 +342,26 @@ void BM_ServiceRouteCached(benchmark::State& state) {
 }
 BENCHMARK(BM_ServiceRouteCached);
 
+// Tracing overhead control: identical to BM_ServiceRouteCached except
+// request sampling is disabled outright (rate 0), so no iteration ever
+// reads a clock or touches the slowlog. The cached row above runs at the
+// default 1/256 sampling; its delta against this row is the total
+// observability cost on the hottest path and must stay under 3%.
+void BM_ServiceRouteCachedTraceOff(benchmark::State& state) {
+  const auto& f = GetServiceFixture();
+  const auto& tb = bench::GetTestbed();
+  service::ServiceOptions options;
+  options.representative_paths = f.rep_paths;
+  options.trace_sample_rate = 0;
+  auto service = service::Service::Create(&tb.analyzer, options);
+  if (!service.ok()) std::abort();
+  for (auto _ : state) {
+    auto reply = service.value()->Execute(f.route_lines[0]);
+    benchmark::DoNotOptimize(reply.payload.data());
+  }
+}
+BENCHMARK(BM_ServiceRouteCachedTraceOff);
+
 void BM_ServiceRouteUncached(benchmark::State& state) {
   const auto& f = GetServiceFixture();
   const auto& tb = bench::GetTestbed();

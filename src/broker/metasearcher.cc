@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "represent/builder.h"
+#include "util/logging.h"
 
 namespace useful::broker {
 
@@ -46,6 +47,17 @@ Status Metasearcher::RegisterRepresentative(represent::Representative rep) {
     return Status::InvalidArgument("duplicate engine name: " +
                                    rep.engine_name());
   }
+  if (rep.stale_max()) {
+    // Stale max weights only err upward, so estimates remain safe upper
+    // bounds — but the single-term exactness guarantee (paper §3.1) is
+    // gone until the producer rebuilds. Loud here because reload is the
+    // one moment an operator can act on it.
+    USEFUL_LOG(Warning) << "representative for '" << rep.engine_name()
+                        << "' has stale max weights (produced after a "
+                           "removal without rebuild); estimates are upper "
+                           "bounds";
+    ++num_stale_representatives_;
+  }
   index_by_name_.emplace(rep.engine_name(), entries_.size());
   entries_.push_back(Entry{std::move(rep), nullptr});
   return Status::OK();
@@ -53,21 +65,27 @@ Status Metasearcher::RegisterRepresentative(represent::Representative rep) {
 
 std::vector<EngineSelection> Metasearcher::RankEngines(
     const ir::Query& q, double threshold,
-    const estimate::UsefulnessEstimator& estimator) const {
+    const estimate::UsefulnessEstimator& estimator, obs::Trace* trace) const {
   std::vector<EngineSelection> ranked(entries_.size());
-  auto score_one = [&](std::size_t i) {
-    const Entry& e = entries_[i];
-    ranked[i] = EngineSelection{e.rep.engine_name(),
-                                estimator.Estimate(e.rep, q, threshold)};
-  };
-  if (pool_ != nullptr) {
-    // Order-stable fan-out: every estimate lands at its engine's index, so
-    // the pre-sort sequence — and therefore the sorted output — is
-    // identical to the serial loop below.
-    pool_->ParallelFor(entries_.size(), score_one);
-  } else {
-    for (std::size_t i = 0; i < entries_.size(); ++i) score_one(i);
+  {
+    obs::Trace::Span estimate_span = obs::Trace::StartSpan(
+        trace, obs::Stage::kEstimate);
+    auto score_one = [&](std::size_t i) {
+      const Entry& e = entries_[i];
+      ranked[i] = EngineSelection{e.rep.engine_name(),
+                                  estimator.Estimate(e.rep, q, threshold)};
+    };
+    if (pool_ != nullptr) {
+      // Order-stable fan-out: every estimate lands at its engine's index,
+      // so the pre-sort sequence — and therefore the sorted output — is
+      // identical to the serial loop below.
+      pool_->ParallelFor(entries_.size(), score_one);
+    } else {
+      for (std::size_t i = 0; i < entries_.size(); ++i) score_one(i);
+    }
   }
+  obs::Trace::Span rank_span = obs::Trace::StartSpan(trace,
+                                                     obs::Stage::kRank);
   std::sort(ranked.begin(), ranked.end(),
             [](const EngineSelection& a, const EngineSelection& b) {
               if (a.estimate.no_doc != b.estimate.no_doc) {

@@ -12,6 +12,7 @@
 #include "estimate/estimator.h"
 #include "ir/query.h"
 #include "ir/search_engine.h"
+#include "obs/trace.h"
 #include "represent/representative.h"
 #include "text/analyzer.h"
 #include "util/status.h"
@@ -62,12 +63,21 @@ class Metasearcher {
   /// configure the broker before serving.
   void SetParallelism(std::size_t threads);
 
+  /// Number of registered representatives whose stale_max flag is set
+  /// (their stored max weights are upper bounds, not exact).
+  std::size_t num_stale_representatives() const {
+    return num_stale_representatives_;
+  }
+
   /// Estimated usefulness of every registered engine for `q` at
   /// `threshold`, ranked by descending estimated NoDoc (ties: AvgSim, then
-  /// name).
+  /// name). When `trace` is a sampled trace, the per-engine estimation
+  /// fan-out and the final sort are recorded as separate estimate/rank
+  /// spans.
   std::vector<EngineSelection> RankEngines(
       const ir::Query& q, double threshold,
-      const estimate::UsefulnessEstimator& estimator) const;
+      const estimate::UsefulnessEstimator& estimator,
+      obs::Trace* trace = nullptr) const;
 
   /// The engines the paper would invoke: those whose rounded estimated
   /// NoDoc is at least 1, in rank order.
@@ -99,6 +109,7 @@ class Metasearcher {
 
   const text::Analyzer* analyzer_;
   std::vector<Entry> entries_;
+  std::size_t num_stale_representatives_ = 0;
   // name -> index into entries_; makes duplicate checks, FindRepresentative
   // and per-selection dispatch O(1) instead of a linear (or quadratic, in
   // Search's case) scan over engines.

@@ -1,0 +1,120 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace useful::obs {
+
+namespace {
+
+/// Seconds rendering for µs quantities: %.17g keeps the exact binary
+/// value (all bounds and sums are µs/1e6, representable well within 17
+/// significant digits).
+std::string Seconds(double micros) {
+  return StringPrintf("%.17g", micros / 1e6);
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void MetricsBuilder::Family(std::string_view name, std::string_view help,
+                            std::string_view type) {
+  lines_.push_back("# HELP " + std::string(name) + ' ' + std::string(help));
+  lines_.push_back("# TYPE " + std::string(name) + ' ' + std::string(type));
+}
+
+void MetricsBuilder::Sample(std::string_view name, std::string_view labels,
+                            double value) {
+  std::string line(name);
+  if (!labels.empty()) {
+    line += '{';
+    line += labels;
+    line += '}';
+  }
+  line += ' ';
+  double integral = 0.0;
+  if (std::modf(value, &integral) == 0.0 && value >= -9.007199254740992e15 &&
+      value <= 9.007199254740992e15) {
+    line += StringPrintf("%lld", static_cast<long long>(value));
+  } else {
+    line += StringPrintf("%.17g", value);
+  }
+  lines_.push_back(std::move(line));
+}
+
+void MetricsBuilder::Sample(std::string_view name, std::string_view labels,
+                            std::uint64_t value) {
+  std::string line(name);
+  if (!labels.empty()) {
+    line += '{';
+    line += labels;
+    line += '}';
+  }
+  line += ' ';
+  line += StringPrintf("%llu", static_cast<unsigned long long>(value));
+  lines_.push_back(std::move(line));
+}
+
+void MetricsBuilder::Counter(std::string_view name, std::string_view help,
+                             std::uint64_t value) {
+  Family(name, help, "counter");
+  Sample(name, {}, value);
+}
+
+void MetricsBuilder::Gauge(std::string_view name, std::string_view help,
+                           double value) {
+  Family(name, help, "gauge");
+  Sample(name, {}, value);
+}
+
+void MetricsBuilder::HistogramSeries(
+    std::string_view name, std::string_view labels,
+    const util::LatencyHistogram& histogram,
+    const std::vector<std::uint64_t>& bounds_micros) {
+  util::LatencyHistogram::Cumulative cumulative =
+      histogram.CumulativeCounts(bounds_micros);
+  std::string bucket_name = std::string(name) + "_bucket";
+  std::string prefix(labels);
+  if (!prefix.empty()) prefix += ',';
+  for (std::size_t i = 0; i < bounds_micros.size(); ++i) {
+    Sample(bucket_name,
+           prefix + "le=\"" +
+               Seconds(static_cast<double>(bounds_micros[i])) + '"',
+           cumulative.le_counts[i]);
+  }
+  Sample(bucket_name, prefix + "le=\"+Inf\"", cumulative.total);
+  Sample(std::string(name) + "_sum", labels,
+         static_cast<double>(cumulative.sum) / 1e6);
+  Sample(std::string(name) + "_count", labels, cumulative.total);
+}
+
+const std::vector<std::uint64_t>& DefaultLatencyBoundsMicros() {
+  static const std::vector<std::uint64_t> bounds = {
+      50,        100,       250,     500,     1'000,     2'500,
+      5'000,     10'000,    25'000,  50'000,  100'000,   250'000,
+      500'000,   1'000'000, 2'500'000, 5'000'000, 10'000'000};
+  return bounds;
+}
+
+}  // namespace useful::obs

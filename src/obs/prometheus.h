@@ -1,0 +1,65 @@
+// Prometheus text-exposition (format version 0.0.4) rendering.
+//
+// MetricsBuilder accumulates exposition lines: `# HELP` / `# TYPE`
+// headers once per metric family, then one sample line per series.
+// Histograms render a util::LatencyHistogram as the conventional
+// `_bucket{le=...}` / `_sum` / `_count` triple with microsecond samples
+// converted to seconds (Prometheus base-unit convention). Bucket counts
+// come from one self-consistent snapshot of the histogram, so the le
+// series is always cumulative-monotone even while writers record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace useful::obs {
+
+/// Escapes a label value for the exposition format: backslash, double
+/// quote, and newline become \\ , \" and \n.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Accumulates exposition lines. Not thread-safe; build per scrape.
+class MetricsBuilder {
+ public:
+  /// Emits the `# HELP` and `# TYPE` headers for a family. `type` is
+  /// "counter", "gauge", or "histogram".
+  void Family(std::string_view name, std::string_view help,
+              std::string_view type);
+
+  /// One sample line: `name{labels} value`. `labels` is the raw inner
+  /// label text (e.g. `command="route"`), empty for none. The value
+  /// renders as an integer when integral, %.17g otherwise.
+  void Sample(std::string_view name, std::string_view labels, double value);
+  void Sample(std::string_view name, std::string_view labels,
+              std::uint64_t value);
+
+  /// Single-series counter/gauge conveniences: headers + one sample.
+  void Counter(std::string_view name, std::string_view help,
+               std::uint64_t value);
+  void Gauge(std::string_view name, std::string_view help, double value);
+
+  /// One histogram series under an already-declared histogram Family:
+  /// `name_bucket{labels,le="..."}` for every bound (microseconds,
+  /// rendered in seconds) plus `le="+Inf"`, then `name_sum` (seconds) and
+  /// `name_count`.
+  void HistogramSeries(std::string_view name, std::string_view labels,
+                       const util::LatencyHistogram& histogram,
+                       const std::vector<std::uint64_t>& bounds_micros);
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  std::vector<std::string> TakeLines() { return std::move(lines_); }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// The default latency bucket bounds, microseconds: 50µs .. 10s in a
+/// 1-2.5-5 ladder. Shared by every histogram METRICS exposes so series
+/// are comparable.
+const std::vector<std::uint64_t>& DefaultLatencyBoundsMicros();
+
+}  // namespace useful::obs

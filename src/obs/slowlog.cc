@@ -1,0 +1,64 @@
+#include "obs/slowlog.h"
+
+#include <algorithm>
+
+namespace useful::obs {
+
+SlowQueryLog::SlowQueryLog(std::size_t capacity) { Reset(capacity); }
+
+void SlowQueryLog::Reset(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  slots_.clear();
+  slots_.reserve(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  next_.store(0, std::memory_order_relaxed);
+}
+
+bool SlowQueryLog::Insert(const Trace& trace) {
+  if (!trace.has_query()) return false;
+  std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = *slots_[ticket % slots_.size()];
+  std::unique_lock<std::mutex> lock(slot.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  SlowQueryRecord& r = slot.record;
+  r.sequence = ticket + 1;
+  r.total_micros =
+      trace.total_micros() + trace.stage_micros(Stage::kWrite);
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    r.stage_micros[s] = trace.stage_micros(static_cast<Stage>(s));
+  }
+  r.threshold = trace.threshold();
+  r.cache_hit = trace.cache_hit();
+  r.engines_selected = trace.engines_selected();
+  r.estimator.assign(trace.estimator());
+  r.query.assign(trace.query());
+  slot.used = true;
+  inserted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Snapshot(
+    std::size_t max_entries) const {
+  std::vector<SlowQueryRecord> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->used) out.push_back(slot->record);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowQueryRecord& a, const SlowQueryRecord& b) {
+              if (a.total_micros != b.total_micros) {
+                return a.total_micros > b.total_micros;
+              }
+              return a.sequence > b.sequence;
+            });
+  if (max_entries > 0 && out.size() > max_entries) out.resize(max_entries);
+  return out;
+}
+
+}  // namespace useful::obs

@@ -1,0 +1,84 @@
+// Slow-query log: a fixed-size ring of the most recent sampled traces,
+// dumpable over the wire (SLOWLOG) sorted slowest-first.
+//
+// Writers never block the request path: each insert claims a slot with
+// one fetch_add and then try_locks that slot's mutex — if a reader (or a
+// lapped writer) holds it, the record is dropped and a counter bumped
+// instead of waiting. Readers lock slots one at a time, so a Snapshot
+// never stalls more than one writer and never observes a half-written
+// record.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace useful::obs {
+
+/// One retained trace, copied out of the ring by Snapshot.
+struct SlowQueryRecord {
+  /// Insertion order, 1-based and monotone across the whole log's life;
+  /// lets a consumer dedupe across repeated SLOWLOG scrapes.
+  std::uint64_t sequence = 0;
+  /// Service wall time plus the transport's write stage, microseconds.
+  std::uint64_t total_micros = 0;
+  std::array<std::uint64_t, kNumStages> stage_micros{};
+  double threshold = 0.0;
+  bool cache_hit = false;
+  std::uint32_t engines_selected = 0;
+  std::string estimator;
+  std::string query;  // truncated + normalized (see Trace::SetQuery)
+};
+
+/// Thread-safe ring buffer of SlowQueryRecords. Insert is non-blocking;
+/// Snapshot returns a slowest-first copy.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(std::size_t capacity = 64);
+
+  /// Replaces the ring with an empty one of `capacity` slots (0 keeps a
+  /// single slot). NOT thread-safe against concurrent Insert/Snapshot;
+  /// call before serving starts.
+  void Reset(std::size_t capacity);
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Copies `trace`'s spans and metadata into the next ring slot. Returns
+  /// false (and counts a drop) when the slot was contended. Traces
+  /// without a query (STATS, RELOAD, ...) are ignored.
+  bool Insert(const Trace& trace);
+
+  /// Records currently retained, sorted by descending total_micros (ties:
+  /// newest first), capped at `max_entries` when nonzero.
+  std::vector<SlowQueryRecord> Snapshot(std::size_t max_entries = 0) const;
+
+  std::uint64_t inserted() const {
+    return inserted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    bool used = false;
+    SlowQueryRecord record;
+  };
+
+  // unique_ptr keeps slots stable and works around std::mutex being
+  // immovable under vector growth in Reset.
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> inserted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace useful::obs

@@ -1,0 +1,168 @@
+// Request-scoped tracing for the serving layer.
+//
+// A Trace rides along one request and records how long each pipeline
+// stage took: wire parse, cache lookup, estimator/snapshot resolve,
+// per-engine estimation, ranking, selection policy, payload
+// serialization, and the socket write. It is allocation-free — fixed
+// char buffers for the query and estimator, a fixed stage array — so a
+// Trace lives on the handler's stack and costs nothing to construct.
+//
+// Tracing is sampled: TraceSampler picks roughly 1 in `rate` requests
+// (one relaxed fetch_add per decision), and every recording method on an
+// unsampled Trace is a no-op guarded by a single branch. The hot path of
+// an unsampled request therefore pays no clock reads and no stores beyond
+// the sampler's counter.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace useful::obs {
+
+/// The serving pipeline's stages, in request order. kWrite is recorded by
+/// the transport (socket send), everything else by the service.
+enum class Stage : unsigned {
+  kParse = 0,   // wire-line parse + query analysis
+  kCache,       // cache key build, lookup, and post-miss insert
+  kResolve,     // estimator registry + snapshot acquisition
+  kEstimate,    // per-engine usefulness estimation (broker fan-out)
+  kRank,        // deterministic sort of the estimates
+  kPolicy,      // threshold / top-k selection policy
+  kSerialize,   // payload line formatting
+  kWrite,       // socket write of the framed reply
+  kCount_,      // sentinel for array sizing
+};
+
+inline constexpr std::size_t kNumStages =
+    static_cast<std::size_t>(Stage::kCount_);
+
+/// Lower-case stable name ("parse", "cache", ...) for metric labels.
+const char* StageName(Stage stage);
+
+/// One request's spans and metadata. Cheap to construct; every mutator is
+/// a no-op unless the trace was sampled.
+class Trace {
+ public:
+  /// Query text kept per trace; longer queries are truncated.
+  static constexpr std::size_t kMaxQueryBytes = 120;
+  /// Estimator name kept per trace; longer names are truncated.
+  static constexpr std::size_t kMaxEstimatorBytes = 32;
+
+  Trace() = default;  // unsampled
+  explicit Trace(bool sampled) : sampled_(sampled) {}
+
+  bool sampled() const { return sampled_; }
+
+  /// RAII span: reads the monotonic clock at construction and adds the
+  /// elapsed microseconds to `stage` at destruction. No-op (no clock
+  /// reads) when the trace is null or unsampled. Spans for the same stage
+  /// accumulate.
+  class Span {
+   public:
+    Span(Trace* trace, Stage stage);
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    Trace* trace_;  // null: disarmed
+    Stage stage_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Convenience factory; relies on C++17 guaranteed elision.
+  Span StartSpan(Stage stage) { return Span(this, stage); }
+  /// Null-safe factory for callers holding a possibly-null Trace*.
+  static Span StartSpan(Trace* trace, Stage stage) {
+    return Span(trace, stage);
+  }
+
+  /// Adds `micros` to a stage directly (used by Span and by transports
+  /// that time their own writes). Marks the stage as touched even at 0µs.
+  void AddStageMicros(Stage stage, std::uint64_t micros);
+
+  std::uint64_t stage_micros(Stage stage) const {
+    return stage_micros_[static_cast<std::size_t>(stage)];
+  }
+  /// True when the stage ran at least once on this trace (0µs counts).
+  bool stage_touched(Stage stage) const {
+    return (touched_ & (1u << static_cast<unsigned>(stage))) != 0;
+  }
+
+  // --- Request metadata (all no-ops when unsampled) ---------------------
+
+  /// Stores the query text truncated to kMaxQueryBytes, with control
+  /// bytes (including '\r', '\n', '\0') replaced by '_' so the text can
+  /// never corrupt line framing or a log.
+  void SetQuery(std::string_view raw);
+  void SetEstimator(std::string_view name);
+  void SetThreshold(double threshold) {
+    if (sampled_) threshold_ = threshold;
+  }
+  void SetCacheHit(bool hit) {
+    if (sampled_) cache_hit_ = hit;
+  }
+  void SetEnginesSelected(std::size_t n) {
+    if (sampled_) engines_selected_ = static_cast<std::uint32_t>(n);
+  }
+  /// Total service-side wall time (excludes the write stage, which the
+  /// transport appends afterwards).
+  void SetTotalMicros(std::uint64_t micros) {
+    if (sampled_) total_micros_ = micros;
+  }
+
+  bool has_query() const { return query_len_ > 0; }
+  std::string_view query() const {
+    return std::string_view(query_.data(), query_len_);
+  }
+  std::string_view estimator() const {
+    return std::string_view(estimator_.data(), estimator_len_);
+  }
+  double threshold() const { return threshold_; }
+  bool cache_hit() const { return cache_hit_; }
+  std::uint32_t engines_selected() const { return engines_selected_; }
+  std::uint64_t total_micros() const { return total_micros_; }
+
+ private:
+  bool sampled_ = false;
+  bool cache_hit_ = false;
+  std::uint8_t query_len_ = 0;
+  std::uint8_t estimator_len_ = 0;
+  std::uint32_t engines_selected_ = 0;
+  std::uint32_t touched_ = 0;  // bitmask by stage index
+  double threshold_ = 0.0;
+  std::uint64_t total_micros_ = 0;
+  std::array<std::uint64_t, kNumStages> stage_micros_{};
+  std::array<char, kMaxQueryBytes> query_{};
+  std::array<char, kMaxEstimatorBytes> estimator_{};
+};
+
+/// Thread-safe 1-in-N sampling decision. rate 0 disables sampling
+/// entirely, rate 1 samples every request.
+class TraceSampler {
+ public:
+  /// Sets the sampling rate. Safe to call while serving (relaxed store);
+  /// in-flight decisions may use either rate.
+  void set_rate(std::uint32_t rate) {
+    rate_.store(rate, std::memory_order_relaxed);
+  }
+  std::uint32_t rate() const { return rate_.load(std::memory_order_relaxed); }
+
+  /// One decision: true for roughly 1 in rate() calls.
+  bool Sample() {
+    std::uint32_t rate = rate_.load(std::memory_order_relaxed);
+    if (rate == 0) return false;
+    if (rate == 1) return true;
+    return counter_.fetch_add(1, std::memory_order_relaxed) % rate == 0;
+  }
+
+ private:
+  std::atomic<std::uint32_t> rate_{256};
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace useful::obs

@@ -28,6 +28,15 @@ class Representative {
   RepresentativeKind kind() const { return kind_; }
   std::size_t num_terms() const { return stats_.size(); }
 
+  /// True when some stored max weight may exceed the true maximum (the
+  /// producing updater removed a document that attained it and no rebuild
+  /// has run since). Estimates stay safe — max weights only err upward —
+  /// but the paper's §3.1 single-term exactness guarantee no longer
+  /// holds; consumers should surface it (see Metasearcher's reload
+  /// warning and the METRICS representative_stale gauge).
+  bool stale_max() const { return stale_max_; }
+  void set_stale_max(bool stale) { stale_max_ = stale; }
+
   /// Inserts or overwrites the stats of `term`.
   void Put(std::string term, TermStats stats) {
     stats_[std::move(term)] = stats;
@@ -66,6 +75,7 @@ class Representative {
   std::string engine_name_;
   std::size_t num_docs_ = 0;
   RepresentativeKind kind_ = RepresentativeKind::kQuadruplet;
+  bool stale_max_ = false;
   StatsMap stats_;
 };
 

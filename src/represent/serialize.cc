@@ -13,6 +13,11 @@ constexpr char kMagic[4] = {'U', 'R', 'P', '1'};
 // Guards against corrupt headers allocating absurd buffers.
 constexpr std::uint32_t kMaxStringLen = 1u << 20;
 constexpr std::uint64_t kMaxTerms = 1ull << 32;
+// High bit of the kind byte carries the stale-max flag; the low 7 bits
+// remain the RepresentativeKind, so files written before the flag existed
+// read back with the flag clear and old readers reject flagged files as an
+// unknown kind rather than silently mistrusting their max weights.
+constexpr std::uint8_t kStaleMaxBit = 0x80;
 
 template <typename T>
 void WritePod(std::ostream& out, T value) {
@@ -44,7 +49,9 @@ Status ReadString(std::istream& in, std::string* s) {
 
 Status WriteRepresentative(const Representative& rep, std::ostream& out) {
   out.write(kMagic, sizeof(kMagic));
-  WritePod(out, static_cast<std::uint8_t>(rep.kind()));
+  std::uint8_t kind_byte = static_cast<std::uint8_t>(rep.kind());
+  if (rep.stale_max()) kind_byte |= kStaleMaxBit;
+  WritePod(out, kind_byte);
   WritePod(out, static_cast<std::uint64_t>(rep.num_docs()));
   WriteString(out, rep.engine_name());
   WritePod(out, static_cast<std::uint64_t>(rep.num_terms()));
@@ -71,6 +78,8 @@ Result<Representative> ReadRepresentative(std::istream& in) {
   if (!ReadPod(in, &kind_raw) || !ReadPod(in, &num_docs)) {
     return Status::Corruption("truncated header");
   }
+  const bool stale_max = (kind_raw & kStaleMaxBit) != 0;
+  kind_raw &= static_cast<std::uint8_t>(~kStaleMaxBit);
   if (kind_raw > static_cast<std::uint8_t>(RepresentativeKind::kQuadruplet)) {
     return Status::Corruption("unknown representative kind");
   }
@@ -79,6 +88,7 @@ Result<Representative> ReadRepresentative(std::istream& in) {
 
   Representative rep(std::move(name), static_cast<std::size_t>(num_docs),
                      static_cast<RepresentativeKind>(kind_raw));
+  rep.set_stale_max(stale_max);
 
   std::uint64_t num_terms = 0;
   if (!ReadPod(in, &num_terms)) return Status::Corruption("truncated count");

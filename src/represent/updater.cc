@@ -82,6 +82,11 @@ Result<Representative> RepresentativeUpdater::Snapshot(
     return Status::FailedPrecondition("Snapshot: no documents accumulated");
   }
   Representative rep(engine_name_, num_docs_, kind);
+  // A snapshot taken after a max-invalidating Remove ships upper-bound
+  // max weights; the flag rides with the representative so downstream
+  // consumers (broker reload, METRICS) can see the guarantee is weakened
+  // instead of silently trusting it.
+  rep.set_stale_max(needs_rebuild_);
   const double n = static_cast<double>(num_docs_);
   for (const auto& [term, s] : stats_) {
     if (s.df == 0) continue;

@@ -11,7 +11,7 @@ namespace useful::service {
 namespace {
 
 constexpr std::string_view kKnownCommands =
-    "ROUTE, ESTIMATE, STATS, RELOAD, QUIT";
+    "ROUTE, ESTIMATE, STATS, METRICS, SLOWLOG, RELOAD, QUIT";
 
 Result<double> ParseThreshold(std::string_view token) {
   std::string copy(token);
@@ -82,6 +82,10 @@ const char* CommandName(CommandKind kind) {
       return "estimate";
     case CommandKind::kStats:
       return "stats";
+    case CommandKind::kMetrics:
+      return "metrics";
+    case CommandKind::kSlowlog:
+      return "slowlog";
     case CommandKind::kReload:
       return "reload";
     case CommandKind::kQuit:
@@ -98,14 +102,29 @@ Result<Request> ParseRequest(std::string_view line) {
   std::string_view cmd = tokens[0];
 
   Request req;
-  if (cmd == "STATS" || cmd == "RELOAD" || cmd == "QUIT") {
+  if (cmd == "STATS" || cmd == "METRICS" || cmd == "RELOAD" ||
+      cmd == "QUIT") {
     if (tokens.size() != 1) {
       return Status::InvalidArgument(std::string(cmd) +
                                      " takes no arguments");
     }
-    req.kind = cmd == "STATS"    ? CommandKind::kStats
-               : cmd == "RELOAD" ? CommandKind::kReload
-                                 : CommandKind::kQuit;
+    req.kind = cmd == "STATS"     ? CommandKind::kStats
+               : cmd == "METRICS" ? CommandKind::kMetrics
+               : cmd == "RELOAD"  ? CommandKind::kReload
+                                  : CommandKind::kQuit;
+    return req;
+  }
+
+  if (cmd == "SLOWLOG") {
+    if (tokens.size() > 2) {
+      return Status::InvalidArgument("SLOWLOG takes at most one argument");
+    }
+    req.kind = CommandKind::kSlowlog;
+    if (tokens.size() == 2 &&
+        !ParseCount(tokens[1], kMaxSlowlogEntries, &req.slowlog_n)) {
+      return Status::InvalidArgument("bad slowlog count: " +
+                                     std::string(tokens[1]));
+    }
     return req;
   }
 

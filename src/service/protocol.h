@@ -5,12 +5,18 @@
 //   ROUTE <estimator> <threshold> <topk> <query terms...>
 //   ESTIMATE <estimator> <threshold> <query terms...>
 //   STATS
+//   METRICS
+//   SLOWLOG [n]
 //   RELOAD
 //   QUIT
 //
 // ROUTE applies the selection policy (the paper's rounded-NoDoc >= 1 rule,
 // capped at <topk> engines when topk > 0); ESTIMATE returns the full
-// ranked estimate list for every registered engine. Responses are framed
+// ranked estimate list for every registered engine. STATS is the legacy
+// human-oriented "key value" dump; METRICS is the same registry in
+// Prometheus text-exposition 0.0.4 (scrapeable); SLOWLOG dumps the
+// retained slow-query traces, slowest first, capped at n when n > 0.
+// Responses are framed
 // so a client never has to guess where one ends:
 //
 //   OK <n>\n            followed by exactly n payload lines, or
@@ -32,7 +38,16 @@ using useful::Result;
 using useful::Status;
 
 /// The protocol's commands. kCount_ is a sentinel for array sizing.
-enum class CommandKind { kRoute = 0, kEstimate, kStats, kReload, kQuit, kCount_ };
+enum class CommandKind {
+  kRoute = 0,
+  kEstimate,
+  kStats,
+  kMetrics,
+  kSlowlog,
+  kReload,
+  kQuit,
+  kCount_,
+};
 
 /// Number of real commands.
 inline constexpr std::size_t kNumCommands =
@@ -45,6 +60,10 @@ const char* CommandName(CommandKind kind);
 /// registry; mainly rejects garbage like "-1" wrapped through strtoul.
 inline constexpr std::size_t kMaxTopK = 1u << 20;
 
+/// Upper bound accepted for SLOWLOG's optional <n>. The log itself holds
+/// far fewer entries; the cap only rejects garbage counts.
+inline constexpr std::size_t kMaxSlowlogEntries = 1u << 16;
+
 /// Upper bound accepted for the payload-line count in an "OK <n>" header.
 /// Caps how long a client will loop reading payload from a corrupt or
 /// hostile server before declaring the stream broken.
@@ -56,6 +75,7 @@ struct Request {
   std::string estimator;    // ROUTE / ESTIMATE
   double threshold = 0.0;   // ROUTE / ESTIMATE
   std::size_t topk = 0;     // ROUTE; 0 = paper rule only
+  std::size_t slowlog_n = 0;  // SLOWLOG; 0 = every retained entry
   std::string query_text;   // ROUTE / ESTIMATE: raw terms, re-joined
 };
 

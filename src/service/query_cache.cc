@@ -13,8 +13,12 @@ namespace {
 constexpr std::size_t kEntryOverhead = 96;
 
 // Exact bit pattern of a double as 16 hex digits, so keying never depends
-// on decimal formatting precision.
+// on decimal formatting precision. Negative zero is canonicalized to
+// +0.0 first: -0.0 == 0.0 numerically (identical rankings), so letting
+// their distinct bit patterns through would split one logical entry in
+// two.
 void AppendDoubleBits(std::string* out, double value) {
+  if (value == 0.0) value = 0.0;
   std::uint64_t bits = 0;
   static_assert(sizeof(bits) == sizeof(value));
   std::memcpy(&bits, &value, sizeof(bits));

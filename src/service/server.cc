@@ -13,6 +13,7 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/trace.h"
 #include "service/protocol.h"
 #include "util/thread_pool.h"
 
@@ -278,8 +279,18 @@ void Server::HandleConnection(int fd) {
       consumed = pos + 1;
       if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
       if (line.empty()) continue;
-      Service::Reply reply = service_->Execute(line);
-      if (!SendAll(fd, RenderReply(reply))) {
+      obs::Trace trace(stats->sampler()->Sample());
+      Service::Reply reply = service_->Execute(line, &trace);
+      bool sent;
+      {
+        // The socket write is the one stage the service can't see; timing
+        // it here completes the trace before it reaches the stats.
+        obs::Trace::Span write_span =
+            obs::Trace::StartSpan(&trace, obs::Stage::kWrite);
+        sent = SendAll(fd, RenderReply(reply));
+      }
+      stats->FinishTrace(trace);
+      if (!sent) {
         open = false;
         break;
       }

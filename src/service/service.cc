@@ -31,7 +31,10 @@ std::string FormatSelection(const broker::EngineSelection& sel) {
 Service::Service(const text::Analyzer* analyzer, ServiceOptions options)
     : analyzer_(analyzer),
       options_(std::move(options)),
-      cache_(options_.cache) {}
+      cache_(options_.cache) {
+  stats_.sampler()->set_rate(options_.trace_sample_rate);
+  stats_.slowlog()->Reset(options_.slowlog_size);
+}
 
 Result<std::unique_ptr<Service>> Service::Create(const text::Analyzer* analyzer,
                                                  ServiceOptions options) {
@@ -45,6 +48,8 @@ Result<std::unique_ptr<Service>> Service::Create(const text::Analyzer* analyzer,
   auto snapshot = service->LoadSnapshot();
   if (!snapshot.ok()) return snapshot.status();
   service->broker_ = std::move(snapshot).value();
+  service->stats_.SetRepresentativeStale(
+      service->broker_->num_stale_representatives());
   return service;
 }
 
@@ -78,6 +83,7 @@ std::shared_ptr<const broker::Metasearcher> Service::snapshot() const {
 Status Service::Reload() {
   auto next = LoadSnapshot();
   if (!next.ok()) return next.status();
+  stats_.SetRepresentativeStale(next.value()->num_stale_representatives());
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     broker_ = std::move(next).value();
@@ -102,8 +108,18 @@ Result<const estimate::UsefulnessEstimator*> Service::GetEstimator(
 }
 
 Service::Reply Service::Execute(std::string_view line) {
+  obs::Trace trace(stats_.sampler()->Sample());
+  Reply reply = Execute(line, &trace);
+  stats_.FinishTrace(trace);
+  return reply;
+}
+
+Service::Reply Service::Execute(std::string_view line, obs::Trace* trace) {
   auto start = std::chrono::steady_clock::now();
-  auto parsed = ParseRequest(line);
+  Result<Request> parsed = [&] {
+    obs::Trace::Span span = obs::Trace::StartSpan(trace, obs::Stage::kParse);
+    return ParseRequest(line);
+  }();
   if (!parsed.ok()) {
     stats_.RecordParseError();
     return Reply{parsed.status(), {}, false, false};
@@ -113,13 +129,19 @@ Service::Reply Service::Execute(std::string_view line) {
   Reply reply;
   switch (request.kind) {
     case CommandKind::kRoute:
-      reply = DoRank(request, /*apply_policy=*/true);
+      reply = DoRank(request, /*apply_policy=*/true, trace);
       break;
     case CommandKind::kEstimate:
-      reply = DoRank(request, /*apply_policy=*/false);
+      reply = DoRank(request, /*apply_policy=*/false, trace);
       break;
     case CommandKind::kStats:
       reply = DoStats();
+      break;
+    case CommandKind::kMetrics:
+      reply = DoMetrics();
+      break;
+    case CommandKind::kSlowlog:
+      reply = DoSlowlog(request);
       break;
     case CommandKind::kReload:
       reply = DoReload();
@@ -132,48 +154,84 @@ Service::Reply Service::Execute(std::string_view line) {
       reply.status = Status::Internal("bad command kind");
       break;
   }
-  stats_.RecordCommand(request.kind, MicrosSince(start), reply.status.ok());
+  std::uint64_t micros = MicrosSince(start);
+  stats_.RecordCommand(request.kind, micros, reply.status.ok());
+  trace->SetTotalMicros(micros);
   return reply;
 }
 
-Service::Reply Service::DoRank(const Request& request, bool apply_policy) {
+Service::Reply Service::DoRank(const Request& request, bool apply_policy,
+                               obs::Trace* trace) {
   Reply reply;
-  ir::Query query = ir::ParseQuery(*analyzer_, request.query_text);
+  trace->SetQuery(request.query_text);
+  trace->SetEstimator(request.estimator);
+  trace->SetThreshold(request.threshold);
+
+  ir::Query query = [&] {
+    obs::Trace::Span span = obs::Trace::StartSpan(trace, obs::Stage::kParse);
+    return ir::ParseQuery(*analyzer_, request.query_text);
+  }();
   if (query.empty()) {
     reply.status = Status::InvalidArgument(
         "query has no content terms after analysis");
     return reply;
   }
-  auto estimator = GetEstimator(request.estimator);
+
+  Result<const estimate::UsefulnessEstimator*> estimator = [&] {
+    obs::Trace::Span span =
+        obs::Trace::StartSpan(trace, obs::Stage::kResolve);
+    return GetEstimator(request.estimator);
+  }();
   if (!estimator.ok()) {
     reply.status = estimator.status();
     return reply;
   }
 
-  SnapshotRef snapshot = GetSnapshot();
-  std::string key =
-      StringPrintf("%llu\x1f",
-                   static_cast<unsigned long long>(snapshot.generation)) +
-      QueryCache::MakeKey(request.estimator, request.threshold, query);
-
-  std::optional<CachedRanking> ranked = cache_.Get(key);
+  SnapshotRef snapshot;
+  std::optional<CachedRanking> ranked;
+  std::string key;
+  {
+    obs::Trace::Span resolve_span =
+        obs::Trace::StartSpan(trace, obs::Stage::kResolve);
+    snapshot = GetSnapshot();
+  }
+  {
+    obs::Trace::Span cache_span =
+        obs::Trace::StartSpan(trace, obs::Stage::kCache);
+    key = StringPrintf("%llu\x1f",
+                       static_cast<unsigned long long>(snapshot.generation)) +
+          QueryCache::MakeKey(request.estimator, request.threshold, query);
+    ranked = cache_.Get(key);
+  }
+  trace->SetCacheHit(ranked.has_value());
   if (!ranked.has_value()) {
     ranked = snapshot.broker->RankEngines(query, request.threshold,
-                                          *estimator.value());
+                                          *estimator.value(), trace);
+    obs::Trace::Span cache_span =
+        obs::Trace::StartSpan(trace, obs::Stage::kCache);
     cache_.Put(key, *ranked);
   }
 
   std::vector<broker::EngineSelection> selected;
-  if (apply_policy) {
-    // The paper's rule first, then the optional top-k cap — matching
-    // useful_route's flag semantics.
-    selected = broker::ThresholdPolicy().Apply(std::move(*ranked));
-    if (request.topk > 0) {
-      selected = broker::TopKPolicy(request.topk).Apply(std::move(selected));
+  {
+    obs::Trace::Span policy_span =
+        obs::Trace::StartSpan(trace, obs::Stage::kPolicy);
+    if (apply_policy) {
+      // The paper's rule first, then the optional top-k cap — matching
+      // useful_route's flag semantics.
+      selected = broker::ThresholdPolicy().Apply(std::move(*ranked));
+      if (request.topk > 0) {
+        selected =
+            broker::TopKPolicy(request.topk).Apply(std::move(selected));
+      }
+    } else {
+      selected = std::move(*ranked);
     }
-  } else {
-    selected = std::move(*ranked);
   }
+  trace->SetEnginesSelected(selected.size());
+
+  obs::Trace::Span serialize_span =
+      obs::Trace::StartSpan(trace, obs::Stage::kSerialize);
   reply.payload.reserve(selected.size());
   for (const broker::EngineSelection& sel : selected) {
     reply.payload.push_back(FormatSelection(sel));
@@ -184,6 +242,18 @@ Service::Reply Service::DoRank(const Request& request, bool apply_policy) {
 Service::Reply Service::DoStats() {
   Reply reply;
   reply.payload = stats_.Render(cache_.counters(), num_engines());
+  return reply;
+}
+
+Service::Reply Service::DoMetrics() {
+  Reply reply;
+  reply.payload = stats_.RenderMetrics(cache_.counters(), num_engines());
+  return reply;
+}
+
+Service::Reply Service::DoSlowlog(const Request& request) {
+  Reply reply;
+  reply.payload = stats_.RenderSlowlog(request.slowlog_n);
   return reply;
 }
 

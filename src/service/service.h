@@ -25,6 +25,7 @@
 
 #include "broker/metasearcher.h"
 #include "estimate/estimator.h"
+#include "obs/trace.h"
 #include "service/protocol.h"
 #include "service/query_cache.h"
 #include "service/stats.h"
@@ -37,6 +38,10 @@ struct ServiceOptions {
   /// Representative files to serve; RELOAD re-reads exactly these paths.
   std::vector<std::string> representative_paths;
   QueryCacheOptions cache;
+  /// Trace one request in this many (0 disables tracing, 1 traces all).
+  std::uint32_t trace_sample_rate = 256;
+  /// Slots in the slow-query ring dumped by SLOWLOG.
+  std::size_t slowlog_size = 64;
 };
 
 class Service {
@@ -54,8 +59,15 @@ class Service {
     bool shutdown_server = false;       // QUIT: stop accepting, drain, exit
   };
 
-  /// Executes one protocol line. Thread-safe.
+  /// Executes one protocol line. Thread-safe. Makes its own sampling
+  /// decision and folds the finished trace into stats().
   Reply Execute(std::string_view line);
+
+  /// Executes one protocol line recording spans into `trace` (never
+  /// null). The caller owns the trace's lifecycle: it can append
+  /// transport stages (the socket write) afterwards and must hand the
+  /// finished trace to stats()->FinishTrace. Thread-safe.
+  Reply Execute(std::string_view line, obs::Trace* trace);
 
   /// Re-reads the representative files, swaps the snapshot, and bumps the
   /// cache generation. On failure the old snapshot keeps serving.
@@ -91,8 +103,10 @@ class Service {
   Result<const estimate::UsefulnessEstimator*> GetEstimator(
       const std::string& name);
 
-  Reply DoRank(const Request& request, bool apply_policy);
+  Reply DoRank(const Request& request, bool apply_policy, obs::Trace* trace);
   Reply DoStats();
+  Reply DoMetrics();
+  Reply DoSlowlog(const Request& request);
   Reply DoReload();
 
   const text::Analyzer* analyzer_;

@@ -1,5 +1,6 @@
 #include "service/stats.h"
 
+#include "obs/prometheus.h"
 #include "util/string_util.h"
 
 namespace useful::service {
@@ -15,6 +16,18 @@ void Stats::RecordCommand(CommandKind kind, std::uint64_t micros, bool ok) {
 void Stats::RecordParseError() {
   requests_.fetch_add(1, std::memory_order_relaxed);
   errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Stats::FinishTrace(const obs::Trace& trace) {
+  if (!trace.sampled()) return;
+  traces_sampled_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < obs::kNumStages; ++i) {
+    obs::Stage stage = static_cast<obs::Stage>(i);
+    if (trace.stage_touched(stage)) {
+      stage_latency_[i].Record(trace.stage_micros(stage));
+    }
+  }
+  slowlog_.Insert(trace);
 }
 
 void Stats::RecordReload() {
@@ -91,6 +104,128 @@ std::vector<std::string> Stats::Render(const QueryCache::Counters& cache,
                                      h.ValueAtPercentile(99.0))));
     lines.push_back(StringPrintf("cmd_%s_max_us %llu", name,
                                  static_cast<unsigned long long>(h.max())));
+  }
+  return lines;
+}
+
+std::vector<std::string> Stats::RenderMetrics(
+    const QueryCache::Counters& cache, std::size_t num_engines) const {
+  obs::MetricsBuilder b;
+  const std::vector<std::uint64_t>& bounds = obs::DefaultLatencyBoundsMicros();
+
+  b.Counter("useful_requests_total",
+            "Request lines executed, including parse errors.",
+            requests_total());
+  b.Counter("useful_errors_total",
+            "Requests answered with an ERR header.", errors_total());
+  b.Counter("useful_reloads_total", "Successful representative reloads.",
+            reloads());
+  b.Gauge("useful_engines", "Engines in the serving snapshot.",
+          static_cast<double>(num_engines));
+  b.Gauge("useful_representative_stale",
+          "Loaded representatives whose max weights are stale upper "
+          "bounds (producer removed documents without a rebuild).",
+          static_cast<double>(representative_stale()));
+
+  b.Counter("useful_cache_hits_total", "Query cache hits.", cache.hits);
+  b.Counter("useful_cache_misses_total", "Query cache misses.", cache.misses);
+  b.Counter("useful_cache_evictions_total", "Query cache LRU evictions.",
+            cache.evictions);
+  b.Gauge("useful_cache_entries", "Query cache resident entries.",
+          static_cast<double>(cache.entries));
+  b.Gauge("useful_cache_bytes", "Query cache resident bytes.",
+          static_cast<double>(cache.bytes));
+
+  b.Counter("useful_connections_opened_total",
+            "Connections accepted and handed to a worker.",
+            connections_opened());
+  b.Counter("useful_connections_closed_total", "Connections closed.",
+            conn_lifetime_.count());
+  b.Counter("useful_connections_shed_total",
+            "Connections shed at accept time under overload.",
+            overload_sheds());
+  b.Counter("useful_connections_idle_timeout_total",
+            "Connections dropped for idling past the deadline.",
+            idle_timeouts());
+  b.Counter("useful_connections_request_timeout_total",
+            "Connections dropped with a partial request pending too long.",
+            request_timeouts());
+  b.Counter("useful_connections_write_timeout_total",
+            "Connections dropped because the peer stopped draining writes.",
+            write_timeouts());
+  b.Counter("useful_accept_errors_total",
+            "accept() failures worth backing off for.", accept_errors());
+
+  b.Gauge("useful_trace_sample_rate",
+          "Trace sampling denominator (0 disables tracing).",
+          static_cast<double>(sampler_.rate()));
+  b.Counter("useful_traces_sampled_total",
+            "Requests that carried a sampled trace.", traces_sampled());
+  b.Counter("useful_slowlog_inserted_total",
+            "Sampled traces retained by the slow-query log.",
+            slowlog_.inserted());
+  b.Counter("useful_slowlog_dropped_total",
+            "Sampled traces dropped on slow-query slot contention.",
+            slowlog_.dropped());
+
+  b.Family("useful_command_requests_total",
+           "Completed commands by protocol verb.", "counter");
+  for (std::size_t i = 0; i < kNumCommands; ++i) {
+    b.Sample("useful_command_requests_total",
+             StringPrintf("command=\"%s\"",
+                          CommandName(static_cast<CommandKind>(i))),
+             counts_[i].load(std::memory_order_relaxed));
+  }
+
+  b.Family("useful_command_latency_seconds",
+           "Service-side wall latency by protocol verb.", "histogram");
+  for (std::size_t i = 0; i < kNumCommands; ++i) {
+    b.HistogramSeries("useful_command_latency_seconds",
+                      StringPrintf("command=\"%s\"",
+                                   CommandName(static_cast<CommandKind>(i))),
+                      latency_[i], bounds);
+  }
+
+  b.Family("useful_stage_latency_seconds",
+           "Sampled per-stage latency of the request pipeline.",
+           "histogram");
+  for (std::size_t i = 0; i < obs::kNumStages; ++i) {
+    b.HistogramSeries(
+        "useful_stage_latency_seconds",
+        StringPrintf("stage=\"%s\"",
+                     obs::StageName(static_cast<obs::Stage>(i))),
+        stage_latency_[i], bounds);
+  }
+
+  b.Family("useful_connection_lifetime_seconds",
+           "Lifetime of closed connections.", "histogram");
+  b.HistogramSeries("useful_connection_lifetime_seconds", "",
+                    conn_lifetime_, bounds);
+  return b.TakeLines();
+}
+
+std::vector<std::string> Stats::RenderSlowlog(std::size_t max_entries) const {
+  std::vector<std::string> lines;
+  for (const obs::SlowQueryRecord& r : slowlog_.Snapshot(max_entries)) {
+    std::string stages;
+    for (std::size_t i = 0; i < obs::kNumStages; ++i) {
+      obs::Stage stage = static_cast<obs::Stage>(i);
+      if (r.stage_micros[i] == 0) continue;
+      if (!stages.empty()) stages.push_back(',');
+      stages += StringPrintf(
+          "%s:%llu", obs::StageName(stage),
+          static_cast<unsigned long long>(r.stage_micros[i]));
+    }
+    if (stages.empty()) stages.push_back('-');
+    // query= is last: the (already normalized) text may contain spaces,
+    // and every other field is a single token.
+    lines.push_back(StringPrintf(
+        "total_us=%llu seq=%llu cache_hit=%d engines=%lu estimator=%s "
+        "threshold=%s stages=%s query=%s",
+        static_cast<unsigned long long>(r.total_micros),
+        static_cast<unsigned long long>(r.sequence), r.cache_hit ? 1 : 0,
+        static_cast<unsigned long>(r.engines_selected), r.estimator.c_str(),
+        FormatScore(r.threshold).c_str(), stages.c_str(), r.query.c_str()));
   }
   return lines;
 }

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/slowlog.h"
+#include "obs/trace.h"
 #include "service/protocol.h"
 #include "service/query_cache.h"
 #include "util/histogram.h"
@@ -23,6 +25,12 @@ class Stats {
 
   /// Records a request line that did not parse into any command.
   void RecordParseError();
+
+  /// Folds one finished request trace into the registry: bumps the
+  /// sampled-trace counter, adds every touched stage's microseconds to
+  /// that stage's histogram, and offers the trace to the slow-query log.
+  /// No-op for unsampled traces (the common case).
+  void FinishTrace(const obs::Trace& trace);
 
   /// Records one successful representative reload.
   void RecordReload();
@@ -81,11 +89,45 @@ class Stats {
   const util::LatencyHistogram& latency(CommandKind kind) const {
     return latency_[static_cast<std::size_t>(kind)];
   }
+  const util::LatencyHistogram& stage_latency(obs::Stage stage) const {
+    return stage_latency_[static_cast<std::size_t>(stage)];
+  }
+  std::uint64_t traces_sampled() const {
+    return traces_sampled_.load(std::memory_order_relaxed);
+  }
+
+  /// The sampling decision source for request traces; the service samples
+  /// through it and tools configure its rate before serving.
+  obs::TraceSampler* sampler() { return &sampler_; }
+  const obs::TraceSampler& sampler() const { return sampler_; }
+  /// The slow-query ring FinishTrace feeds and SLOWLOG dumps.
+  obs::SlowQueryLog* slowlog() { return &slowlog_; }
+  const obs::SlowQueryLog& slowlog() const { return slowlog_; }
+
+  /// Sets the representative-staleness gauge (count of loaded
+  /// representatives whose max weights are upper bounds). Written after
+  /// every snapshot load; exposed by METRICS as representative_stale.
+  void SetRepresentativeStale(std::size_t count) {
+    representative_stale_.store(count, std::memory_order_relaxed);
+  }
+  std::size_t representative_stale() const {
+    return representative_stale_.load(std::memory_order_relaxed);
+  }
 
   /// "key value" lines for the STATS payload: request totals, reloads, the
   /// cache counters, engine count, then per-command count/p50/p99/max µs.
   std::vector<std::string> Render(const QueryCache::Counters& cache,
                                   std::size_t num_engines) const;
+
+  /// Prometheus text-exposition 0.0.4 lines for the METRICS payload:
+  /// every counter Render shows, the gauges, and the per-command and
+  /// per-stage latency histograms as _bucket/_sum/_count series.
+  std::vector<std::string> RenderMetrics(const QueryCache::Counters& cache,
+                                         std::size_t num_engines) const;
+
+  /// SLOWLOG payload: one "total_us=... query=..." line per retained
+  /// trace, slowest first, capped at `max_entries` when nonzero.
+  std::vector<std::string> RenderSlowlog(std::size_t max_entries) const;
 
  private:
   std::atomic<std::uint64_t> requests_{0};
@@ -97,9 +139,14 @@ class Stats {
   std::atomic<std::uint64_t> request_timeouts_{0};
   std::atomic<std::uint64_t> write_timeouts_{0};
   std::atomic<std::uint64_t> accept_errors_{0};
+  std::atomic<std::uint64_t> traces_sampled_{0};
+  std::atomic<std::size_t> representative_stale_{0};
   std::array<std::atomic<std::uint64_t>, kNumCommands> counts_{};
   std::array<util::LatencyHistogram, kNumCommands> latency_{};
+  std::array<util::LatencyHistogram, obs::kNumStages> stage_latency_{};
   util::LatencyHistogram conn_lifetime_;
+  obs::TraceSampler sampler_;
+  obs::SlowQueryLog slowlog_;
 };
 
 }  // namespace useful::service

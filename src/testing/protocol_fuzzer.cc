@@ -34,8 +34,9 @@ std::string PickToken(Pcg32& rng, const std::vector<std::string>& dictionary,
 std::string TemplateLine(Pcg32& rng,
                          const std::vector<std::string>& dictionary) {
   static const std::vector<const char*> kCommands = {
-      "ROUTE", "ESTIMATE", "STATS", "RELOAD", "QUIT",
-      "route", "FROB",     "",      "OK",     "ERR"};
+      "ROUTE", "ESTIMATE", "STATS",   "METRICS", "SLOWLOG", "RELOAD",
+      "QUIT",  "route",    "slowlog", "FROB",    "",        "OK",
+      "ERR"};
   static const std::vector<const char*> kEstimators = {
       "subrange", "subrange-nomax", "subrange-k3", "basic",
       "adaptive", "high-correlation", "disjoint", "nope", "SUBRANGE", ""};
@@ -51,6 +52,12 @@ std::string TemplateLine(Pcg32& rng,
   std::string line = Pick(rng, kCommands);
   bool wants_estimator = line == "ROUTE" || line == "ESTIMATE" ||
                          rng.NextDouble() < 0.2;
+  if (line == "SLOWLOG" && rng.NextDouble() < 0.7) {
+    // Exercise the optional count argument, valid and garbage alike.
+    line += ' ';
+    line += Pick(rng, kTopks);
+    return line;
+  }
   if (wants_estimator) {
     line += ' ';
     line += PickToken(rng, dictionary, kEstimators);
@@ -233,6 +240,34 @@ std::optional<std::string> ValidateReply(
       if (tokens.size() != 3 || !ScoreTokenRoundTrips(tokens[1]) ||
           !ScoreTokenRoundTrips(tokens[2])) {
         return "malformed selection line: " + EscapeLine(payload_line);
+      }
+    }
+  }
+  if (request.ok() && reply.status.ok() &&
+      request.value().kind == service::CommandKind::kMetrics) {
+    // Exposition payload: "# HELP/TYPE ..." comments or
+    // "<series> <numeric value>" samples. Anything else would break a
+    // scraper.
+    for (const std::string& payload_line : reply.payload) {
+      if (payload_line.rfind("# ", 0) == 0) continue;
+      std::size_t sp = payload_line.rfind(' ');
+      if (sp == std::string::npos || sp + 1 >= payload_line.size()) {
+        return "malformed metrics line: " + EscapeLine(payload_line);
+      }
+      const std::string value = payload_line.substr(sp + 1);
+      const char* begin = value.c_str();
+      char* end = nullptr;
+      std::strtod(begin, &end);
+      if (end != begin + value.size()) {
+        return "non-numeric metrics sample: " + EscapeLine(payload_line);
+      }
+    }
+  }
+  if (request.ok() && reply.status.ok() &&
+      request.value().kind == service::CommandKind::kSlowlog) {
+    for (const std::string& payload_line : reply.payload) {
+      if (payload_line.rfind("total_us=", 0) != 0) {
+        return "malformed slowlog line: " + EscapeLine(payload_line);
       }
     }
   }

@@ -62,7 +62,12 @@ double LatencyHistogram::ValueAtPercentile(double pct) const {
   }
   if (total == 0) return 0.0;
   if (pct < 0.0) pct = 0.0;
-  if (pct > 100.0) pct = 100.0;
+  // The bucket midpoint below can exceed the true maximum (a lone sample
+  // near a bucket's low edge); max() is tracked exactly, so p100 returns
+  // it and every lower percentile is capped by it.
+  const double exact_max =
+      static_cast<double>(max_.load(std::memory_order_relaxed));
+  if (pct >= 100.0) return exact_max;
   // Nearest-rank percentile, 1-based; pct=0 -> first sample.
   std::uint64_t rank = static_cast<std::uint64_t>(
       std::ceil(pct / 100.0 * static_cast<double>(total)));
@@ -72,11 +77,36 @@ double LatencyHistogram::ValueAtPercentile(double pct) const {
   for (std::size_t i = 0; i < kNumBuckets; ++i) {
     cumulative += snap[i];
     if (cumulative >= rank) {
-      return static_cast<double>(BucketLow(i)) +
-             static_cast<double>(BucketWidth(i) - 1) / 2.0;
+      double midpoint = static_cast<double>(BucketLow(i)) +
+                        static_cast<double>(BucketWidth(i) - 1) / 2.0;
+      return midpoint > exact_max ? exact_max : midpoint;
     }
   }
-  return static_cast<double>(BucketLow(kNumBuckets - 1));
+  return exact_max;
+}
+
+LatencyHistogram::Cumulative LatencyHistogram::CumulativeCounts(
+    const std::vector<std::uint64_t>& bounds) const {
+  // One snapshot: every le series derives from the same counts, so the
+  // buckets are cumulative-monotone even while writers keep recording.
+  std::vector<std::uint64_t> snap(kNumBuckets);
+  Cumulative out;
+  out.sum = sum_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    out.total += snap[i];
+  }
+  out.le_counts.assign(bounds.size(), 0);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (snap[i] == 0) continue;
+    // A bucket counts toward bound b when every value it can hold is
+    // <= b (inclusive upper edge), keeping le semantics conservative.
+    std::uint64_t upper = BucketLow(i) + (BucketWidth(i) - 1);
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      if (upper <= bounds[b]) out.le_counts[b] += snap[i];
+    }
+  }
+  return out;
 }
 
 }  // namespace useful::util

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace useful::util {
 
@@ -42,10 +43,31 @@ class LatencyHistogram {
   /// Largest sample recorded exactly (0 when empty).
   std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
 
-  /// Approximate value at percentile `pct` in [0, 100]: the midpoint of
-  /// the bucket where the cumulative count crosses pct% of the snapshot
-  /// total. 0 when empty.
+  /// Sum of all samples (exact; the numerator of mean()).
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Approximate value at percentile `pct`: the midpoint of the bucket
+  /// where the cumulative count crosses pct% of the snapshot total,
+  /// capped at max() so no percentile ever exceeds the largest recorded
+  /// sample. `pct` is clamped into [0, 100]; at or above 100 the exact
+  /// max() is returned. 0 when empty.
   double ValueAtPercentile(double pct) const;
+
+  /// Cumulative bucket counts for Prometheus-style exposition, taken from
+  /// one self-consistent bucket snapshot (monotone across `bounds` by
+  /// construction).
+  struct Cumulative {
+    /// le_counts[i]: samples whose bucket lies entirely at or below
+    /// bounds[i] (inclusive upper bound per bucket).
+    std::vector<std::uint64_t> le_counts;
+    /// Samples in the snapshot (the "+Inf" bucket).
+    std::uint64_t total = 0;
+    /// sum() read alongside the snapshot (may trail it by in-flight
+    /// records; still monotone scrape-over-scrape).
+    std::uint64_t sum = 0;
+  };
+  /// `bounds` must be sorted ascending.
+  Cumulative CumulativeCounts(const std::vector<std::uint64_t>& bounds) const;
 
  private:
   static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;

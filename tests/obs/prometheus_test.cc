@@ -1,0 +1,122 @@
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace useful::obs {
+namespace {
+
+TEST(EscapeLabelValueTest, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ("plain", EscapeLabelValue("plain"));
+  EXPECT_EQ("a\\\\b", EscapeLabelValue("a\\b"));
+  EXPECT_EQ("a\\\"b", EscapeLabelValue("a\"b"));
+  EXPECT_EQ("a\\nb", EscapeLabelValue("a\nb"));
+}
+
+TEST(MetricsBuilderTest, CounterEmitsHelpTypeAndSample) {
+  MetricsBuilder b;
+  b.Counter("requests_total", "Total requests.", 42);
+  ASSERT_EQ(3u, b.lines().size());
+  EXPECT_EQ("# HELP requests_total Total requests.", b.lines()[0]);
+  EXPECT_EQ("# TYPE requests_total counter", b.lines()[1]);
+  EXPECT_EQ("requests_total 42", b.lines()[2]);
+}
+
+TEST(MetricsBuilderTest, GaugeRendersIntegralValuesWithoutExponent) {
+  MetricsBuilder b;
+  b.Gauge("engines", "Engines.", 7.0);
+  b.Gauge("load", "Load.", 0.25);
+  EXPECT_EQ("engines 7", b.lines()[2]);
+  EXPECT_EQ("load 0.25", b.lines()[5]);
+}
+
+TEST(MetricsBuilderTest, LabeledSample) {
+  MetricsBuilder b;
+  b.Sample("cmds_total", "command=\"route\"", std::uint64_t{9});
+  EXPECT_EQ("cmds_total{command=\"route\"} 9", b.lines()[0]);
+}
+
+TEST(MetricsBuilderTest, HistogramSeriesIsCumulativeAndConsistent) {
+  util::LatencyHistogram h;
+  h.Record(30);      // <= 50us bound
+  h.Record(70);      // <= 100us bound
+  h.Record(9'000);   // <= 10ms bound
+  h.Record(400'000); // <= 500ms bound
+
+  MetricsBuilder b;
+  b.Family("lat_seconds", "Latency.", "histogram");
+  const std::vector<std::uint64_t>& bounds = DefaultLatencyBoundsMicros();
+  b.HistogramSeries("lat_seconds", "stage=\"parse\"", h, bounds);
+
+  const std::vector<std::string>& lines = b.lines();
+  // 2 headers + one bucket per bound + +Inf + _sum + _count.
+  ASSERT_EQ(2 + bounds.size() + 3, lines.size());
+
+  // Buckets must be cumulative-monotone and end at the total count.
+  std::uint64_t prev = 0;
+  std::size_t bucket_lines = 0;
+  for (const std::string& line : lines) {
+    if (line.rfind("lat_seconds_bucket", 0) != 0) continue;
+    ++bucket_lines;
+    std::size_t sp = line.rfind(' ');
+    std::uint64_t count = std::strtoull(line.c_str() + sp + 1, nullptr, 10);
+    EXPECT_GE(count, prev) << line;
+    prev = count;
+    EXPECT_NE(std::string::npos, line.find("stage=\"parse\"")) << line;
+    EXPECT_NE(std::string::npos, line.find("le=\"")) << line;
+  }
+  EXPECT_EQ(bounds.size() + 1, bucket_lines);
+  EXPECT_EQ(4u, prev);  // the +Inf bucket holds every sample
+
+  const std::string& count_line = lines.back();
+  EXPECT_EQ("lat_seconds_count{stage=\"parse\"} 4", count_line);
+  const std::string& sum_line = lines[lines.size() - 2];
+  EXPECT_EQ(0u, sum_line.rfind("lat_seconds_sum{stage=\"parse\"} ", 0));
+  double sum = std::strtod(
+      sum_line.c_str() + std::string("lat_seconds_sum{stage=\"parse\"} ")
+                             .size(),
+      nullptr);
+  EXPECT_DOUBLE_EQ((30 + 70 + 9'000 + 400'000) / 1e6, sum);
+}
+
+TEST(MetricsBuilderTest, EmptyHistogramStillEmitsAllSeries) {
+  util::LatencyHistogram h;
+  MetricsBuilder b;
+  b.Family("lat_seconds", "Latency.", "histogram");
+  b.HistogramSeries("lat_seconds", "", h, DefaultLatencyBoundsMicros());
+  for (const std::string& line : b.lines()) {
+    if (line.rfind("# ", 0) == 0) continue;
+    EXPECT_EQ(' ', line[line.rfind(' ')]);
+    EXPECT_EQ("0", line.substr(line.rfind(' ') + 1)) << line;
+  }
+  // Unlabeled series carry only the le label on buckets.
+  EXPECT_EQ("lat_seconds_count 0", b.lines().back());
+}
+
+TEST(MetricsBuilderTest, BucketCountsRespectLeSemantics) {
+  // A sample of 60us lands in a log-linear bucket spanning [56, 63]; it
+  // must count toward the 100us bound but never toward the 50us bound.
+  util::LatencyHistogram h;
+  h.Record(60);
+  util::LatencyHistogram::Cumulative c =
+      h.CumulativeCounts(DefaultLatencyBoundsMicros());
+  EXPECT_EQ(0u, c.le_counts[0]);  // le=50us
+  EXPECT_EQ(1u, c.le_counts[1]);  // le=100us
+  EXPECT_EQ(1u, c.total);
+}
+
+TEST(DefaultLatencyBoundsTest, SortedAscending) {
+  const std::vector<std::uint64_t>& bounds = DefaultLatencyBoundsMicros();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+}  // namespace
+}  // namespace useful::obs

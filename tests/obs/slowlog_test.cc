@@ -1,0 +1,128 @@
+#include "obs/slowlog.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace useful::obs {
+namespace {
+
+Trace MakeTrace(const std::string& query, std::uint64_t service_micros,
+                std::uint64_t write_micros = 0) {
+  Trace trace(true);
+  trace.SetQuery(query);
+  trace.SetEstimator("subrange");
+  trace.SetThreshold(0.5);
+  trace.SetTotalMicros(service_micros);
+  if (write_micros > 0) trace.AddStageMicros(Stage::kWrite, write_micros);
+  return trace;
+}
+
+TEST(SlowQueryLogTest, InsertAndSnapshot) {
+  SlowQueryLog log(4);
+  EXPECT_TRUE(log.Insert(MakeTrace("slow", 500)));
+  EXPECT_TRUE(log.Insert(MakeTrace("fast", 10)));
+  EXPECT_TRUE(log.Insert(MakeTrace("medium", 100)));
+
+  std::vector<SlowQueryRecord> records = log.Snapshot();
+  ASSERT_EQ(3u, records.size());
+  EXPECT_EQ("slow", records[0].query);
+  EXPECT_EQ("medium", records[1].query);
+  EXPECT_EQ("fast", records[2].query);
+  EXPECT_EQ(3u, log.inserted());
+  EXPECT_EQ(0u, log.dropped());
+}
+
+TEST(SlowQueryLogTest, TotalIncludesWriteStage) {
+  SlowQueryLog log(2);
+  log.Insert(MakeTrace("q", 100, 40));
+  std::vector<SlowQueryRecord> records = log.Snapshot();
+  ASSERT_EQ(1u, records.size());
+  EXPECT_EQ(140u, records[0].total_micros);
+  EXPECT_EQ(40u, records[0].stage_micros[static_cast<std::size_t>(
+                     Stage::kWrite)]);
+}
+
+TEST(SlowQueryLogTest, RingOverwritesOldest) {
+  SlowQueryLog log(2);
+  log.Insert(MakeTrace("a", 1));
+  log.Insert(MakeTrace("b", 2));
+  log.Insert(MakeTrace("c", 3));  // laps slot 0
+  std::vector<SlowQueryRecord> records = log.Snapshot();
+  ASSERT_EQ(2u, records.size());
+  EXPECT_EQ("c", records[0].query);
+  EXPECT_EQ("b", records[1].query);
+}
+
+TEST(SlowQueryLogTest, SequenceIsMonotone) {
+  SlowQueryLog log(8);
+  for (int i = 0; i < 5; ++i) log.Insert(MakeTrace("q", 10));
+  std::vector<SlowQueryRecord> records = log.Snapshot();
+  ASSERT_EQ(5u, records.size());
+  // Same total: ties break newest-first.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GT(records[i - 1].sequence, records[i].sequence);
+  }
+  EXPECT_EQ(5u, records[0].sequence);
+}
+
+TEST(SlowQueryLogTest, MaxEntriesCapsSnapshot) {
+  SlowQueryLog log(8);
+  for (int i = 0; i < 6; ++i) log.Insert(MakeTrace("q", 10 * (i + 1)));
+  std::vector<SlowQueryRecord> records = log.Snapshot(2);
+  ASSERT_EQ(2u, records.size());
+  EXPECT_EQ(60u, records[0].total_micros);
+  EXPECT_EQ(50u, records[1].total_micros);
+}
+
+TEST(SlowQueryLogTest, UnsampledAndQuerylessTracesIgnored) {
+  SlowQueryLog log(4);
+  EXPECT_FALSE(log.Insert(Trace(false)));
+  Trace no_query(true);  // sampled STATS/RELOAD-style trace
+  no_query.SetTotalMicros(99);
+  EXPECT_FALSE(log.Insert(no_query));
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_EQ(0u, log.inserted());
+}
+
+TEST(SlowQueryLogTest, ResetReplacesCapacity) {
+  SlowQueryLog log(2);
+  log.Insert(MakeTrace("a", 1));
+  log.Reset(5);
+  EXPECT_EQ(5u, log.capacity());
+  EXPECT_TRUE(log.Snapshot().empty());
+  log.Reset(0);  // clamps to one slot
+  EXPECT_EQ(1u, log.capacity());
+}
+
+TEST(SlowQueryLogTest, ConcurrentInsertsNeverBlockOrTear) {
+  SlowQueryLog log(8);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Insert(MakeTrace("thread" + std::to_string(t), 10 + i));
+        if (i % 256 == 0) log.Snapshot();  // concurrent readers
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every attempt either landed or was counted as dropped.
+  EXPECT_EQ(static_cast<std::uint64_t>(kThreads) * kPerThread,
+            log.inserted() + log.dropped());
+  std::vector<SlowQueryRecord> records = log.Snapshot();
+  EXPECT_LE(records.size(), 8u);
+  for (const SlowQueryRecord& r : records) {
+    EXPECT_EQ(0u, r.query.rfind("thread", 0));
+    EXPECT_EQ("subrange", r.estimator);
+  }
+}
+
+}  // namespace
+}  // namespace useful::obs

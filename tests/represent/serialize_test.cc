@@ -86,6 +86,24 @@ TEST(SerializeTest, RejectsTruncatedBody) {
   }
 }
 
+TEST(SerializeTest, StaleMaxFlagRoundTrips) {
+  Representative flagged = MakeRep();
+  flagged.set_stale_max(true);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteRepresentative(flagged, ss).ok());
+  auto loaded = ReadRepresentative(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().stale_max());
+  // The flag rides the kind byte's high bit; the kind itself survives.
+  EXPECT_EQ(loaded.value().kind(), RepresentativeKind::kQuadruplet);
+
+  std::stringstream clean;
+  ASSERT_TRUE(WriteRepresentative(MakeRep(), clean).ok());
+  auto fresh = ReadRepresentative(clean);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.value().stale_max());
+}
+
 TEST(SerializeTest, RejectsUnknownKind) {
   Representative orig = MakeRep();
   std::stringstream ss;

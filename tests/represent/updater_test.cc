@@ -105,6 +105,22 @@ TEST_F(UpdaterTest, RemovingMaxHolderFlagsRebuild) {
   EXPECT_GE(zorp->max_weight, 1.0 / std::sqrt(2.0) - 1e-12);
 }
 
+TEST_F(UpdaterTest, SnapshotCarriesTheStaleMaxFlag) {
+  RepresentativeUpdater updater("e", &analyzer_);
+  corpus::Document heavy{"d0", "zorp zorp zorp"};
+  updater.Add(heavy);
+  updater.Add({"d1", "zorp quix"});
+  auto fresh = updater.Snapshot();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.value().stale_max());
+  // Removing the max holder invalidates the stored maxima; the snapshot
+  // must say so, so consumers know estimates are only upper bounds.
+  ASSERT_TRUE(updater.Remove(heavy).ok());
+  auto stale = updater.Snapshot();
+  ASSERT_TRUE(stale.ok());
+  EXPECT_TRUE(stale.value().stale_max());
+}
+
 TEST_F(UpdaterTest, RemovingUnknownDocumentFails) {
   RepresentativeUpdater updater("e", &analyzer_);
   updater.Add({"d0", "zorp"});

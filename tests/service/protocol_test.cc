@@ -33,13 +33,40 @@ TEST(ProtocolTest, CollapsesWhitespaceInQuery) {
 
 TEST(ProtocolTest, ParsesArgumentFreeCommands) {
   EXPECT_EQ(ParseRequest("STATS").value().kind, CommandKind::kStats);
+  EXPECT_EQ(ParseRequest("METRICS").value().kind, CommandKind::kMetrics);
   EXPECT_EQ(ParseRequest("RELOAD").value().kind, CommandKind::kReload);
   EXPECT_EQ(ParseRequest("QUIT").value().kind, CommandKind::kQuit);
 }
 
 TEST(ProtocolTest, RejectsArgumentsOnBareCommands) {
   EXPECT_FALSE(ParseRequest("STATS now").ok());
+  EXPECT_FALSE(ParseRequest("METRICS all").ok());
   EXPECT_FALSE(ParseRequest("QUIT 1").ok());
+}
+
+TEST(ProtocolTest, ParsesSlowlogWithOptionalCount) {
+  auto bare = ParseRequest("SLOWLOG");
+  ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+  EXPECT_EQ(bare.value().kind, CommandKind::kSlowlog);
+  EXPECT_EQ(bare.value().slowlog_n, 0u);  // 0 = no cap
+
+  auto counted = ParseRequest("SLOWLOG 5");
+  ASSERT_TRUE(counted.ok()) << counted.status().ToString();
+  EXPECT_EQ(counted.value().kind, CommandKind::kSlowlog);
+  EXPECT_EQ(counted.value().slowlog_n, 5u);
+}
+
+TEST(ProtocolTest, RejectsBadSlowlogCounts) {
+  EXPECT_FALSE(ParseRequest("SLOWLOG -1").ok());
+  EXPECT_FALSE(ParseRequest("SLOWLOG +2").ok());
+  EXPECT_FALSE(ParseRequest("SLOWLOG 7abc").ok());
+  EXPECT_FALSE(ParseRequest("SLOWLOG 5 extra").ok());
+  EXPECT_FALSE(
+      ParseRequest("SLOWLOG " + std::to_string(kMaxSlowlogEntries + 1)).ok());
+  auto at_cap =
+      ParseRequest("SLOWLOG " + std::to_string(kMaxSlowlogEntries));
+  ASSERT_TRUE(at_cap.ok()) << at_cap.status().ToString();
+  EXPECT_EQ(at_cap.value().slowlog_n, kMaxSlowlogEntries);
 }
 
 TEST(ProtocolTest, RejectsEmptyAndUnknown) {
@@ -124,6 +151,8 @@ TEST(ProtocolTest, CommandNamesAreStable) {
   EXPECT_STREQ(CommandName(CommandKind::kRoute), "route");
   EXPECT_STREQ(CommandName(CommandKind::kEstimate), "estimate");
   EXPECT_STREQ(CommandName(CommandKind::kStats), "stats");
+  EXPECT_STREQ(CommandName(CommandKind::kMetrics), "metrics");
+  EXPECT_STREQ(CommandName(CommandKind::kSlowlog), "slowlog");
   EXPECT_STREQ(CommandName(CommandKind::kReload), "reload");
   EXPECT_STREQ(CommandName(CommandKind::kQuit), "quit");
 }

@@ -39,6 +39,22 @@ TEST(QueryCacheKeyTest, DistinguishesEstimatorThresholdAndWeights) {
   EXPECT_NE(base, QueryCache::MakeKey("subrange", 0.2, other_weight));
 }
 
+TEST(QueryCacheKeyTest, NegativeZeroCanonicalizesToPositiveZero) {
+  // -0.0 == 0.0 numerically, but the two have different bit patterns; a
+  // bit-level key must not split the cache (or worse, let two clients see
+  // different rankings for the same query).
+  ir::Query q = MakeQuery({{"fox", 0.6}});
+  EXPECT_EQ(QueryCache::MakeKey("subrange", 0.0, q),
+            QueryCache::MakeKey("subrange", -0.0, q));
+  ir::Query pos = MakeQuery({{"fox", 0.0}});
+  ir::Query neg = MakeQuery({{"fox", -0.0}});
+  EXPECT_EQ(QueryCache::MakeKey("subrange", 0.2, pos),
+            QueryCache::MakeKey("subrange", 0.2, neg));
+  // Genuinely different thresholds still get distinct keys.
+  EXPECT_NE(QueryCache::MakeKey("subrange", 0.0, q),
+            QueryCache::MakeKey("subrange", 0.2, q));
+}
+
 TEST(QueryCacheTest, MissThenHit) {
   QueryCache cache({.max_entries = 8, .max_bytes = 1u << 20, .shards = 1});
   EXPECT_FALSE(cache.Get("k1").has_value());

@@ -13,7 +13,9 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -462,6 +464,87 @@ TEST_F(ServerTest, StuckReaderIsDroppedByWriteTimeout) {
   (void)client.SendRaw(batch);
   EXPECT_TRUE(WaitFor(
       [&] { return service_->stats().write_timeouts() >= 1u; }, 30'000));
+}
+
+TEST_F(ServerTest, MetricsScrapeOverTcpIsMonotoneAndCleanlyFramed) {
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+
+  // Scrapes METRICS, checking framing and exposition shape, and collects
+  // the samples by series name.
+  auto scrape = [&](std::map<std::string, double>* samples) {
+    std::vector<std::string> lines = client.RoundTrip("METRICS");
+    ASSERT_GE(lines.size(), 2u);
+    auto header = ParseResponseHeader(lines[0]);
+    ASSERT_TRUE(header.ok()) << lines[0];
+    ASSERT_TRUE(header.value().ok) << lines[0];
+    ASSERT_EQ(lines.size(), header.value().payload_lines + 1);
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      const std::string& line = lines[i];
+      ASSERT_FALSE(line.empty()) << "blank payload line " << i;
+      EXPECT_EQ(line.find('\r'), std::string::npos) << line;
+      if (line.rfind("# ", 0) == 0) continue;
+      std::size_t sp = line.rfind(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      char* end = nullptr;
+      double value = std::strtod(line.c_str() + sp + 1, &end);
+      ASSERT_EQ(*end, '\0') << "non-numeric sample: " << line;
+      (*samples)[line.substr(0, sp)] = value;
+    }
+  };
+
+  std::map<std::string, double> first;
+  scrape(&first);
+  if (HasFatalFailure()) return;
+  EXPECT_EQ(first.count("useful_requests_total"), 1u);
+  EXPECT_EQ(
+      first.count("useful_stage_latency_seconds_count{stage=\"write\"}"), 1u);
+  EXPECT_EQ(
+      first.count("useful_command_requests_total{command=\"route\"}"), 1u);
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_FALSE(
+        client.RoundTrip("ROUTE subrange 0.0 0 football quantum").empty());
+  }
+
+  std::map<std::string, double> second;
+  scrape(&second);
+  if (HasFatalFailure()) return;
+  std::size_t compared = 0;
+  for (const auto& [name, value] : first) {
+    auto it = second.find(name);
+    if (it == second.end()) continue;
+    const bool counter = name.find("_total") != std::string::npos ||
+                         name.find("_count") != std::string::npos ||
+                         name.find("_bucket") != std::string::npos;
+    if (!counter) continue;
+    EXPECT_GE(it->second, value) << name;
+    ++compared;
+  }
+  EXPECT_GT(compared, 20u);
+  // A scrape counts itself only after rendering, so the delta is the
+  // first METRICS plus the ten ROUTEs.
+  EXPECT_DOUBLE_EQ(
+      second["useful_requests_total"] - first["useful_requests_total"], 11.0);
+}
+
+TEST_F(ServerTest, SlowlogIsServedOverTcp) {
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  // The sampler's shared counter starts at zero, so the very first
+  // request on a fresh service is always sampled — even at rate 256.
+  std::vector<std::string> route =
+      client.RoundTrip("ROUTE subrange 0.0 0 football");
+  ASSERT_GE(route.size(), 1u);
+  ASSERT_TRUE(ParseResponseHeader(route[0]).value().ok) << route[0];
+
+  std::vector<std::string> lines = client.RoundTrip("SLOWLOG");
+  ASSERT_GE(lines.size(), 2u);
+  auto header = ParseResponseHeader(lines[0]);
+  ASSERT_TRUE(header.ok()) << lines[0];
+  ASSERT_TRUE(header.value().ok) << lines[0];
+  EXPECT_EQ(lines[1].rfind("total_us=", 0), 0u) << lines[1];
+  EXPECT_NE(lines[1].find("query=football"), std::string::npos) << lines[1];
 }
 
 }  // namespace

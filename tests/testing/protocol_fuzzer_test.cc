@@ -42,6 +42,18 @@ TEST(GenerateFuzzLineTest, CoversControlBytesAndValidCommands) {
   EXPECT_TRUE(saw_route);
 }
 
+TEST(GenerateFuzzLineTest, CoversObservabilityVerbs) {
+  std::vector<std::string> dictionary = {"subrange"};
+  bool saw_metrics = false, saw_slowlog_count = false;
+  for (std::size_t i = 0; i < 4000; ++i) {
+    std::string line = GenerateFuzzLine(7, i, dictionary);
+    if (line.rfind("METRICS", 0) == 0) saw_metrics = true;
+    if (line.rfind("SLOWLOG ", 0) == 0) saw_slowlog_count = true;
+  }
+  EXPECT_TRUE(saw_metrics);
+  EXPECT_TRUE(saw_slowlog_count);
+}
+
 TEST(EscapeLineTest, EscapesNonPrintableBytes) {
   EXPECT_EQ(EscapeLine("abc"), "\"abc\"");
   EXPECT_EQ(EscapeLine(std::string_view("a\0b", 3)), "\"a\\x00b\"");
@@ -87,6 +99,37 @@ TEST(ValidateReplyTest, FlagsSpuriousConnectionClose) {
 
   reply.shutdown_server = true;
   EXPECT_FALSE(ValidateReply("QUIT", reply).has_value());
+}
+
+TEST(ValidateReplyTest, ChecksMetricsExpositionLines) {
+  service::Service::Reply reply;
+  reply.status = Status::OK();
+  reply.payload = {"# HELP useful_requests_total Total requests.",
+                   "# TYPE useful_requests_total counter",
+                   "useful_requests_total 42",
+                   "useful_command_latency_seconds_bucket{le=\"0.1\"} 3",
+                   "useful_engines 0.25"};
+  EXPECT_FALSE(ValidateReply("METRICS", reply).has_value());
+
+  reply.payload.push_back("useful_bogus not-a-number");
+  auto reason = ValidateReply("METRICS", reply);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("metrics"), std::string::npos);
+}
+
+TEST(ValidateReplyTest, ChecksSlowlogLines) {
+  service::Service::Reply reply;
+  reply.status = Status::OK();
+  reply.payload = {
+      "total_us=140 seq=1 cache_hit=0 engines=2 estimator=subrange "
+      "threshold=0.2 stages=parse:3,write:40 query=fox dog"};
+  EXPECT_FALSE(ValidateReply("SLOWLOG", reply).has_value());
+  EXPECT_FALSE(ValidateReply("SLOWLOG 5", reply).has_value());
+
+  reply.payload = {"surprise line"};
+  auto reason = ValidateReply("SLOWLOG", reply);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("slowlog"), std::string::npos);
 }
 
 TEST(ValidateReplyTest, FlagsMalformedSelectionLines) {

@@ -76,5 +76,38 @@ TEST(LatencyHistogramTest, ConcurrentRecordsLoseNothing) {
   EXPECT_EQ(h.max(), 999u);
 }
 
+TEST(LatencyHistogramTest, PercentileClampsOutOfRangeRequests) {
+  LatencyHistogram h;
+  // Empty histogram: any percentile, even an out-of-range one, is 0.
+  EXPECT_DOUBLE_EQ(h.ValueAtPercentile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtPercentile(101.0), 0.0);
+  for (std::uint64_t v : {10, 20, 30}) h.Record(v);
+  // Below-range clamps to p0 (the first sample), above-range to p100.
+  EXPECT_DOUBLE_EQ(h.ValueAtPercentile(-1.0), h.ValueAtPercentile(0.0));
+  EXPECT_DOUBLE_EQ(h.ValueAtPercentile(101.0), h.ValueAtPercentile(100.0));
+  EXPECT_DOUBLE_EQ(h.ValueAtPercentile(1e9), 30.0);
+}
+
+TEST(LatencyHistogramTest, P100IsTheExactTrackedMax) {
+  LatencyHistogram h;
+  // 999983 sits mid-bucket: a midpoint answer would be off by up to half
+  // a sub-bucket, but max() is tracked exactly and p100 must return it.
+  h.Record(100);
+  h.Record(999983);
+  EXPECT_DOUBLE_EQ(h.ValueAtPercentile(100.0), 999983.0);
+}
+
+TEST(LatencyHistogramTest, SingleSamplePercentilesNeverExceedTheSample) {
+  LatencyHistogram h;
+  // One sample just past a bucket's low edge: the bucket midpoint lies
+  // above the sample, so every percentile must be capped at max().
+  h.Record(1048577);
+  for (double pct : {0.0, 50.0, 99.9, 100.0}) {
+    EXPECT_LE(h.ValueAtPercentile(pct), 1048577.0) << "pct=" << pct;
+    EXPECT_GT(h.ValueAtPercentile(pct), 0.0) << "pct=" << pct;
+  }
+  EXPECT_DOUBLE_EQ(h.ValueAtPercentile(100.0), 1048577.0);
+}
+
 }  // namespace
 }  // namespace useful::util

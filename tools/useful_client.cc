@@ -6,12 +6,20 @@
 //   printf 'ROUTE subrange 0.2 0 fox dog\nSTATS\nQUIT\n' |
 //       useful_client --port 7979
 //
+// One-shot mode: trailing positional arguments form a single request, and
+// only the payload is printed (no "OK <n>" header) — made for piping
+// METRICS into a Prometheus checker or grepping SLOWLOG:
+//
+//   useful_client --port 7979 METRICS
+//   useful_client --port 7979 SLOWLOG 5
+//
 // --timeout-ms N bounds every socket send/recv (SO_SNDTIMEO/SO_RCVTIMEO),
 // so a wedged or overloaded server fails the client instead of hanging
 // it; the OK-header payload count is capped (service::kMaxPayloadLines),
 // so a corrupt "OK 99999999999" header cannot make the client read
 // forever. Exits 0 when every request got an OK response, 1 when any got
 // an ERR or the connection failed mid-stream, 2 on usage/connect errors.
+// In one-shot mode an ERR response is printed to stderr instead.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -80,6 +88,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   unsigned long port = 0;
   unsigned long timeout_ms = 0;  // 0: no socket deadline
+  std::string one_shot;  // positional tokens joined into one request
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -95,15 +104,18 @@ int main(int argc, char** argv) {
       port = std::strtoul(need_value("--port"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
       timeout_ms = std::strtoul(need_value("--timeout-ms"), nullptr, 10);
-    } else {
+    } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
+    } else {
+      if (!one_shot.empty()) one_shot.push_back(' ');
+      one_shot.append(argv[i]);
     }
   }
   if (port == 0 || port > 65535) {
     std::fprintf(stderr,
                  "usage: useful_client [--host H] [--timeout-ms N] "
-                 "--port P\n");
+                 "--port P [request tokens...]\n");
     return 2;
   }
 
@@ -134,6 +146,43 @@ int main(int argc, char** argv) {
   }
 
   LineReader reader(fd);
+
+  if (!one_shot.empty()) {
+    if (!SendAll(fd, one_shot + "\n")) {
+      std::fprintf(stderr, "send failed\n");
+      ::close(fd);
+      return 1;
+    }
+    std::string header_line;
+    if (!reader.ReadLine(&header_line)) {
+      std::fprintf(stderr, "connection closed before response\n");
+      ::close(fd);
+      return 1;
+    }
+    auto header = service::ParseResponseHeader(header_line);
+    if (!header.ok()) {
+      std::fprintf(stderr, "%s\n", header.status().ToString().c_str());
+      ::close(fd);
+      return 1;
+    }
+    if (!header.value().ok) {
+      std::fprintf(stderr, "ERR %s\n", header.value().error.c_str());
+      ::close(fd);
+      return 1;
+    }
+    for (std::size_t i = 0; i < header.value().payload_lines; ++i) {
+      std::string payload_line;
+      if (!reader.ReadLine(&payload_line)) {
+        std::fprintf(stderr, "truncated response\n");
+        ::close(fd);
+        return 1;
+      }
+      std::printf("%s\n", payload_line.c_str());
+    }
+    ::close(fd);
+    return 0;
+  }
+
   bool any_error = false;
   std::string request;
   while (std::getline(std::cin, request)) {

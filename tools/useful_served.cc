@@ -1,14 +1,20 @@
 // useful_served: the broker as a long-running metasearch service. Loads
 // representative files, listens on a TCP port, and answers the line
-// protocol (ROUTE / ESTIMATE / STATS / RELOAD / QUIT) until a QUIT
-// request or SIGINT winds it down gracefully.
+// protocol (ROUTE / ESTIMATE / STATS / METRICS / SLOWLOG / RELOAD / QUIT)
+// until a QUIT request or SIGINT winds it down gracefully.
 //
 //   useful_served [--host H] [--port P] [--port-file PATH] [--threads N]
 //                 [--cache-entries N] [--cache-bytes N]
 //                 [--idle-timeout-ms N] [--request-timeout-ms N]
 //                 [--write-timeout-ms N] [--max-connections N]
-//                 [--max-accept-queue N] <rep>...
+//                 [--max-accept-queue N] [--trace-sample-rate N]
+//                 [--slowlog-size N] <rep>...
 //   useful_served --port 7979 a.rep b.rep
+//
+// --trace-sample-rate N traces one request in N (default 256; 0 disables
+// tracing, 1 traces every request); sampled traces feed the per-stage
+// histograms that METRICS exposes and the ring --slowlog-size sizes,
+// dumped by SLOWLOG.
 //
 // --port 0 (the default) binds an ephemeral port; the chosen port is
 // announced on stdout as "listening on H:P" before serving starts, so
@@ -90,6 +96,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cache-bytes") == 0) {
       service_options.cache.max_bytes =
           std::strtoul(need_value("--cache-bytes"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace-sample-rate") == 0) {
+      service_options.trace_sample_rate = static_cast<std::uint32_t>(
+          std::strtoul(need_value("--trace-sample-rate"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--slowlog-size") == 0) {
+      service_options.slowlog_size =
+          std::strtoul(need_value("--slowlog-size"), nullptr, 10);
     } else {
       service_options.representative_paths.push_back(argv[i]);
     }
@@ -101,7 +113,8 @@ int main(int argc, char** argv) {
                  "[--cache-entries N] [--cache-bytes N] "
                  "[--idle-timeout-ms N] [--request-timeout-ms N] "
                  "[--write-timeout-ms N] [--max-connections N] "
-                 "[--max-accept-queue N] <rep-file>...\n");
+                 "[--max-accept-queue N] [--trace-sample-rate N] "
+                 "[--slowlog-size N] <rep-file>...\n");
     return 2;
   }
 
