@@ -1,0 +1,76 @@
+#!/bin/sh
+# Regenerate BENCH_serving.json, the serving-layer perf trajectory.
+#
+#   bench/bench_serving.sh [build-dir] [output-json]
+#
+# Runs the BM_Server* microbenchmarks (bench_micro) against the current
+# server core and rewrites the "current" block of BENCH_serving.json.
+# The "baseline" block — the thread-per-connection core that PRs 3-5
+# shipped — is frozen: it is carried over verbatim from the existing
+# file so every future core can be compared against the same anchor.
+# If the output file does not exist yet, the fresh numbers are written
+# as BOTH baseline and current (bootstrap case).
+#
+# The benchmarks drive a real Server over loopback sockets:
+#   BM_ServerSingleConnQPS    one request per write/read round trip
+#   BM_ServerPipelinedQPS/N   N requests per write, replies streamed back
+# items_per_second is answered requests per second.
+set -e
+
+BUILD=${1:-build}
+OUT=${2:-BENCH_serving.json}
+RAW=$(mktemp /tmp/bench_serving.XXXXXX.json)
+trap 'rm -f "$RAW"' EXIT
+
+"$BUILD"/bench/bench_micro --benchmark_filter='BM_Server' \
+  --benchmark_format=json --benchmark_out="$RAW" \
+  --benchmark_out_format=json >/dev/null
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+raw = json.load(open(raw_path))
+
+rows = {
+    b["name"]: {
+        "items_per_second": round(b["items_per_second"]),
+        "real_time_ns": round(b["real_time"]),
+        "cpu_time_ns": round(b["cpu_time"]),
+    }
+    for b in raw["benchmarks"]
+    if b.get("run_type") == "iteration"
+}
+
+current = {
+    "core": "epoll-reactor",
+    "date": raw["context"]["date"][:10],
+    "rows": rows,
+}
+
+try:
+    doc = json.load(open(out_path))
+except (FileNotFoundError, json.JSONDecodeError):
+    doc = {
+        "comment": "Serving-layer perf trajectory; regenerate the "
+                   "'current' block with bench/bench_serving.sh. The "
+                   "'baseline' block is the frozen thread-per-connection "
+                   "core (pre-reactor) and must not be regenerated.",
+        "machine": {
+            "num_cpus": raw["context"]["num_cpus"],
+            "mhz_per_cpu": raw["context"]["mhz_per_cpu"],
+        },
+        "baseline": dict(current, core="bootstrap"),
+    }
+
+doc["current"] = current
+doc["speedup_vs_baseline"] = {
+    name: round(row["items_per_second"]
+                / doc["baseline"]["rows"][name]["items_per_second"], 2)
+    for name, row in rows.items()
+    if name in doc["baseline"].get("rows", {})
+}
+
+json.dump(doc, open(out_path, "w"), indent=2)
+print(open(out_path).read())
+EOF

@@ -6,6 +6,8 @@ namespace useful::obs {
 
 const char* StageName(Stage stage) {
   switch (stage) {
+    case Stage::kDispatch:
+      return "dispatch";
     case Stage::kParse:
       return "parse";
     case Stage::kCache:

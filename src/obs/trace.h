@@ -23,10 +23,12 @@
 
 namespace useful::obs {
 
-/// The serving pipeline's stages, in request order. kWrite is recorded by
-/// the transport (socket send), everything else by the service.
+/// The serving pipeline's stages, in request order. kDispatch and kWrite
+/// are recorded by the transport (reactor handoff and socket send),
+/// everything else by the service.
 enum class Stage : unsigned {
-  kParse = 0,   // wire-line parse + query analysis
+  kDispatch = 0,  // queue wait between reactor handoff and pool pickup
+  kParse,       // wire-line parse + query analysis
   kCache,       // cache key build, lookup, and post-miss insert
   kResolve,     // estimator registry + snapshot acquisition
   kEstimate,    // per-engine usefulness estimation (broker fan-out)

@@ -11,37 +11,23 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <thread>
 
-#include "obs/trace.h"
-#include "service/protocol.h"
-#include "util/thread_pool.h"
+#include "service/connection.h"
+#include "service/offload_pool.h"
+#include "service/reactor.h"
 
 namespace useful::service {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// Completion budget for a shed error line whose first send only partially
+// fit the socket buffer; see SendErrorLine.
+constexpr int kShedErrorBudgetMs = 20;
 
 Status ErrnoStatus(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
-}
-
-/// Builds the full wire response for one reply: header line plus payload.
-std::string RenderReply(const Service::Reply& reply) {
-  std::string out;
-  if (!reply.status.ok()) {
-    out = FormatErrorHeader(reply.status);
-    out.push_back('\n');
-    return out;
-  }
-  out = FormatOkHeader(reply.payload.size());
-  out.push_back('\n');
-  for (const std::string& line : reply.payload) {
-    out += line;
-    out.push_back('\n');
-  }
-  return out;
 }
 
 void SetNonBlocking(int fd) {
@@ -54,12 +40,6 @@ void SetNonBlocking(int fd) {
 /// would spin a core without ever succeeding.
 bool IsAcceptResourceError(int err) {
   return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM;
-}
-
-std::uint64_t ElapsedMs(Clock::time_point since, Clock::time_point now) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(now - since)
-          .count());
 }
 
 }  // namespace
@@ -110,17 +90,47 @@ Status Server::Serve() {
   if (listen_fd_ < 0) {
     return Status::FailedPrecondition("Serve before Start");
   }
-  std::thread acceptor([this] { AcceptLoop(); });
-  std::size_t workers = util::ThreadPool::ResolveThreads(options_.threads);
-  {
-    // One ParallelFor job whose every index is a worker loop: indices are
-    // claimed dynamically, each claimed loop runs until shutdown, and
-    // ParallelFor's barrier IS the drain — it returns only after every
-    // handler finished its connection.
-    util::ThreadPool pool(workers);
-    pool.ParallelFor(workers, [this](std::size_t) { WorkerLoop(); });
+  // Construction order doubles as teardown insurance: the pool outlives
+  // the reactors in scope, but it is explicitly drained BEFORE the
+  // reactors are destroyed — a batch mid-execution holds a Reactor* for
+  // its completion post.
+  OffloadPool pool(options_.threads, service_->mutable_stats());
+  std::size_t num_reactors =
+      options_.reactor_threads > 0 ? options_.reactor_threads : 1;
+  std::vector<std::unique_ptr<Reactor>> reactors;
+  reactors.reserve(num_reactors);
+  for (std::size_t i = 0; i < num_reactors; ++i) {
+    auto reactor =
+        std::make_unique<Reactor>(this, service_, &pool, &options_);
+    Status s = reactor->Init();
+    if (!s.ok()) {
+      pool.Shutdown();
+      return s;
+    }
+    reactors.push_back(std::move(reactor));
   }
+  reactors_.clear();
+  next_reactor_ = 0;
+  for (const auto& reactor : reactors) reactors_.push_back(reactor.get());
+
+  std::vector<std::thread> reactor_threads;
+  reactor_threads.reserve(num_reactors);
+  for (const auto& reactor : reactors) {
+    reactor_threads.emplace_back([r = reactor.get()] { r->Run(); });
+  }
+  std::thread acceptor([this] { AcceptLoop(); });
+
+  // Shutdown ordering: the acceptor exits on the stop flag; only then are
+  // the reactors told no more sockets will arrive, so they can drain
+  // (serve buffered requests, flush, close) and exit; only then is the
+  // pool drained, so every completion lands in a still-alive reactor's
+  // mailbox (possibly unread — that is fine).
   acceptor.join();
+  for (const auto& reactor : reactors) reactor->NotifyNoMoreAdopts();
+  for (std::thread& t : reactor_threads) t.join();
+  pool.Shutdown();
+  reactors_.clear();
+
   ::close(listen_fd_);
   listen_fd_ = -1;
   return Status::OK();
@@ -146,223 +156,35 @@ void Server::AcceptLoop() {
       continue;
     }
 
-    std::size_t queued;
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      queued = pending_.size();
-    }
     bool over_connections =
         options_.max_connections > 0 &&
         open_connections() >= options_.max_connections;
-    bool over_queue = options_.max_accept_queue > 0 &&
-                      queued >= options_.max_accept_queue;
+    bool over_queue =
+        options_.max_accept_queue > 0 &&
+        unclaimed_.load(std::memory_order_relaxed) >=
+            options_.max_accept_queue;
     if (over_connections || over_queue) {
       stats->RecordOverloadShed();
-      TrySendError(fd, Status::Unavailable(
-                           over_connections
-                               ? "overloaded: connection limit reached"
-                               : "overloaded: accept queue full"));
+      SendErrorLine(fd,
+                    Status::Unavailable(
+                        over_connections
+                            ? "overloaded: connection limit reached"
+                            : "overloaded: accept queue full"),
+                    kShedErrorBudgetMs);
       ::close(fd);
       continue;
     }
 
     SetNonBlocking(fd);
-    // Replies go out as one small send per request; Nagle would pair with
+    // Replies go out as one small send per batch; Nagle would pair with
     // the peer's delayed ACK and stall pipelined batches ~40 ms per
     // coalesce, so turn it off (request/response servers always do).
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     open_connections_.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      pending_.push_back(fd);
-    }
-    queue_cv_.notify_one();
+    unclaimed_.fetch_add(1, std::memory_order_relaxed);
+    reactors_[next_reactor_ % reactors_.size()]->Adopt(fd);
+    ++next_reactor_;
   }
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_closed_ = true;
-  }
-  queue_cv_.notify_all();
-}
-
-void Server::WorkerLoop() {
-  for (;;) {
-    int fd = -1;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait_for(
-          lock, std::chrono::milliseconds(options_.poll_interval_ms),
-          [&] { return !pending_.empty() || queue_closed_; });
-      if (!pending_.empty()) {
-        if (queue_closed_) {
-          // Stopping: connections that never got a worker are dropped —
-          // they have no requests in flight.
-          ::close(pending_.front());
-          pending_.pop_front();
-          open_connections_.fetch_sub(1, std::memory_order_relaxed);
-          continue;
-        }
-        fd = pending_.front();
-        pending_.pop_front();
-      } else if (queue_closed_) {
-        return;
-      }
-    }
-    if (fd >= 0) HandleConnection(fd);
-  }
-}
-
-bool Server::SendAll(int fd, std::string_view data) {
-  std::size_t sent = 0;
-  const bool bounded = options_.write_timeout_ms > 0;
-  const Clock::time_point deadline =
-      Clock::now() + std::chrono::milliseconds(options_.write_timeout_ms);
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Peer not draining. Wait for writability in poll-interval slices
-      // (keeps the stop flag's latency bound) up to the write deadline.
-      if (bounded && Clock::now() >= deadline) {
-        service_->mutable_stats()->RecordWriteTimeout();
-        return false;
-      }
-      pollfd pfd{fd, POLLOUT, 0};
-      ::poll(&pfd, 1, options_.poll_interval_ms);
-      continue;
-    }
-    return false;  // peer closed or hard error
-  }
-  return true;
-}
-
-void Server::TrySendError(int fd, const Status& status) {
-  std::string line = FormatErrorHeader(status);
-  line.push_back('\n');
-  // One non-blocking shot: if the peer's receive window is already full it
-  // was not reading anyway, and this path must never block the acceptor or
-  // delay reclaiming a timed-out worker.
-  ::send(fd, line.data(), line.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
-}
-
-void Server::HandleConnection(int fd) {
-  Stats* stats = service_->mutable_stats();
-  stats->RecordConnectionOpened();
-  const Clock::time_point opened = Clock::now();
-
-  std::string buffer;
-  char chunk[8192];
-  bool open = true;
-  // Deadline bookkeeping: last_activity is the last time the connection
-  // made progress (bytes arrived or a request completed); request_start
-  // is the arrival time of the first byte of the currently-pending
-  // partial request line. The request timer is measured from
-  // request_start, so a slow-loris writer trickling bytes cannot push the
-  // deadline out by keeping last_activity fresh.
-  Clock::time_point last_activity = opened;
-  Clock::time_point request_start{};
-  bool request_pending = false;
-
-  while (open) {
-    // Serve every complete line already buffered. Track a consumed offset
-    // and compact once afterwards: erasing the buffer head per line would
-    // make a pipelined batch of n requests cost O(n^2) in memmoves.
-    std::size_t consumed = 0;
-    std::size_t pos;
-    while ((pos = buffer.find('\n', consumed)) != std::string::npos) {
-      std::string_view line(buffer.data() + consumed, pos - consumed);
-      consumed = pos + 1;
-      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-      if (line.empty()) continue;
-      obs::Trace trace(stats->sampler()->Sample());
-      Service::Reply reply = service_->Execute(line, &trace);
-      bool sent;
-      {
-        // The socket write is the one stage the service can't see; timing
-        // it here completes the trace before it reaches the stats.
-        obs::Trace::Span write_span =
-            obs::Trace::StartSpan(&trace, obs::Stage::kWrite);
-        sent = SendAll(fd, RenderReply(reply));
-      }
-      stats->FinishTrace(trace);
-      if (!sent) {
-        open = false;
-        break;
-      }
-      if (reply.shutdown_server) RequestStop();
-      if (reply.close_connection) {
-        open = false;
-        break;
-      }
-    }
-    if (!open) break;
-    if (consumed > 0) {
-      buffer.erase(0, consumed);
-      last_activity = Clock::now();
-      request_pending = false;
-    }
-    if (!buffer.empty() && !request_pending) {
-      request_pending = true;
-      request_start = last_activity;
-    }
-    if (buffer.size() > options_.max_line_bytes) {
-      SendAll(fd, RenderReply(Service::Reply{
-                      Status::InvalidArgument("request line too long"),
-                      {},
-                      true,
-                      false}));
-      break;
-    }
-
-    // Enforce the lifecycle deadlines before blocking again.
-    Clock::time_point now = Clock::now();
-    if (request_pending && options_.request_timeout_ms > 0 &&
-        ElapsedMs(request_start, now) >=
-            static_cast<std::uint64_t>(options_.request_timeout_ms)) {
-      stats->RecordRequestTimeout();
-      TrySendError(fd, Status::DeadlineExceeded("request timeout"));
-      break;
-    }
-    if (!request_pending && options_.idle_timeout_ms > 0 &&
-        ElapsedMs(last_activity, now) >=
-            static_cast<std::uint64_t>(options_.idle_timeout_ms)) {
-      stats->RecordIdleTimeout();
-      TrySendError(fd, Status::DeadlineExceeded("idle timeout"));
-      break;
-    }
-
-    // Wait for more bytes; a finite poll keeps the stop flag and the
-    // deadlines observable, so a shutdown drains buffered requests but
-    // never waits on an idle peer.
-    pollfd pfd{fd, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) {
-      if (stopping()) break;
-      continue;
-    }
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n == 0) break;  // peer closed
-    if (n < 0) {
-      // The socket is non-blocking: a readiness false positive is not an
-      // error, only a reason to poll again.
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
-        continue;
-      }
-      break;
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    last_activity = Clock::now();
-  }
-  ::close(fd);
-  open_connections_.fetch_sub(1, std::memory_order_relaxed);
-  stats->RecordConnectionClosed(
-      ElapsedMs(opened, Clock::now()) * 1000);
 }
 
 }  // namespace useful::service

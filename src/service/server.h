@@ -1,54 +1,70 @@
 // Dependency-free TCP front end for service::Service.
 //
 // POSIX sockets only: Start() binds and listens (port 0 picks an
-// ephemeral port, readable via port()), Serve() runs a blocking accept
-// loop on a dedicated thread while connection handlers execute on a
-// util::ThreadPool — one long-lived ParallelFor whose workers pull
-// accepted sockets from a queue, which is exactly the pool's documented
-// contract (fn called concurrently, no cross-index writes).
+// ephemeral port, readable via port()), Serve() runs the event-driven
+// core until QUIT or RequestStop(). The core is a small reactor fleet:
+//
+//   acceptor thread ──round-robin──▶ N reactor threads ──batches──▶
+//     estimation offload pool ──completions (eventfd)──▶ reactors
+//
+// Each reactor (service::Reactor) owns an epoll instance and the
+// per-connection state machines (service::Connection) the acceptor
+// handed it; request execution happens on the offload pool
+// (service::OffloadPool), so a slow ROUTE never blocks an epoll loop and
+// ~10k mostly-idle keep-alive connections cost two file descriptors per
+// reactor plus their own, not a thread each.
 //
 // Connection lifecycle: every accepted socket is non-blocking and lives
 // under three deadlines — idle_timeout_ms (no request in progress, no
 // bytes arriving), request_timeout_ms (a partial request line pending;
 // trickling one byte at a time does NOT reset it, so slow-loris writers
 // are cut off), and write_timeout_ms (the peer stops draining our
-// replies). Expired connections get a best-effort one-line ERR and are
-// closed; each expiry increments a Stats counter rendered by STATS.
+// replies). Deadlines live on each reactor's earliest-deadline heap —
+// the epoll_wait timeout is the time to the nearest one, capped at
+// poll_interval_ms. Expired connections get a best-effort one-line ERR
+// and are closed; each expiry increments a Stats counter rendered by
+// STATS.
 //
 // Backpressure: the server sheds rather than queues unboundedly. A
 // connection accepted while open connections >= max_connections or while
-// the accept queue holds >= max_accept_queue sockets receives a single
-// "ERR Unavailable: overloaded ..." line and is closed immediately —
-// no worker time, no unbounded memory. accept() failures that signal fd
-// exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) back off for
-// accept_backoff_ms instead of hot-spinning on the level-triggered
-// listen socket.
+// >= max_accept_queue adopted sockets await reactor registration gets a
+// single "ERR Unavailable: overloaded ..." line (all-or-nothing: a torn
+// fragment is never left on the wire) and is closed immediately. accept()
+// failures that signal fd exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) back
+// off for accept_backoff_ms instead of hot-spinning on the
+// level-triggered listen socket.
 //
 // Shutdown: a QUIT request or RequestStop() (e.g. from a SIGINT handler;
-// it is a single atomic store, safe in signal context) makes the accept
-// loop stop, and every worker finishes the requests already buffered on
-// its connection before closing it — in-flight requests drain, idle
-// connections are dropped. Serve() returns once all workers exited.
+// it is a single atomic store, safe in signal context) stops the accept
+// loop first, then every reactor drains — buffered complete requests
+// still execute and their replies flush, idle connections drop — and
+// finally the offload pool runs down its queue. Serve() returns once all
+// of that finished.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <mutex>
 #include <string>
-#include <string_view>
+#include <vector>
 
 #include "service/service.h"
 #include "util/status.h"
 
 namespace useful::service {
 
+class Reactor;
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;          // 0: OS-assigned ephemeral port
-  std::size_t threads = 0;         // connection workers; 0 = hardware
+  std::size_t threads = 0;         // estimation offload workers; 0 = hardware
+  std::size_t reactor_threads = 2;  // epoll event loops; 0 behaves as 1
   std::size_t max_line_bytes = 1u << 16;  // longer request lines are fatal
+  /// Complete request lines a reactor hands the offload pool per batch.
+  /// Batching amortizes the reactor->pool->reactor handoff for pipelined
+  /// clients while bounding how much rendered output one connection can
+  /// buffer at a time.
+  std::size_t max_batch_lines = 128;
   int backlog = 64;
   int poll_interval_ms = 50;       // stop-flag latency for blocked waits
 
@@ -63,11 +79,11 @@ struct ServerOptions {
   int write_timeout_ms = 10'000;
 
   // --- Overload shedding (0 disables the corresponding limit) ----------
-  /// Open connections (queued + in handlers) above which new arrivals are
-  /// shed with an ERR line instead of queued.
+  /// Open connections (adopted or registered at a reactor) above which
+  /// new arrivals are shed with an ERR line instead of adopted.
   std::size_t max_connections = 1024;
-  /// Accepted sockets allowed to wait for a worker; arrivals beyond this
-  /// are shed even below max_connections.
+  /// Adopted sockets allowed to wait for reactor registration; arrivals
+  /// beyond this are shed even below max_connections.
   std::size_t max_accept_queue = 256;
   /// Pause after an fd-exhaustion accept() failure before retrying.
   int accept_backoff_ms = 100;
@@ -90,7 +106,7 @@ class Server {
   std::uint16_t port() const { return port_; }
 
   /// Blocks serving connections until QUIT or RequestStop(), then drains
-  /// and returns. Call from the thread that should own the accept loop's
+  /// and returns. Call from the thread that should own the serve loop's
   /// lifetime (typically main).
   Status Serve();
 
@@ -99,21 +115,26 @@ class Server {
 
   bool stopping() const { return stop_.load(std::memory_order_relaxed); }
 
-  /// Open connections: accepted and not yet closed (queued or in a
-  /// handler). Sheds never count.
+  /// Open connections: accepted and not yet closed (awaiting a reactor or
+  /// registered at one). Sheds never count.
   std::size_t open_connections() const {
     return open_connections_.load(std::memory_order_relaxed);
   }
 
+  // --- Reactor accounting (internal; called from reactor threads) -------
+
+  /// A reactor pulled an adopted socket out of its inbox.
+  void OnConnectionClaimed() {
+    unclaimed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  /// An accepted connection's slot was released (registered one closed,
+  /// or an adopted-but-never-registered socket was dropped at shutdown).
+  void OnConnectionReleased() {
+    open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
  private:
   void AcceptLoop();
-  void WorkerLoop();
-  void HandleConnection(int fd);
-  /// Writes all of `data`, polling for POLLOUT under write_timeout_ms.
-  bool SendAll(int fd, std::string_view data);
-  /// Best-effort single-shot error line (never blocks); used on the shed
-  /// and timeout paths where the peer may not be reading.
-  void TrySendError(int fd, const Status& status);
 
   Service* service_;
   ServerOptions options_;
@@ -121,12 +142,13 @@ class Server {
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> open_connections_{0};
+  /// Adopted sockets not yet registered at their reactor; the accept-queue
+  /// shed limit is enforced against this.
+  std::atomic<std::size_t> unclaimed_{0};
 
-  // Accepted sockets waiting for a worker.
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;
-  bool queue_closed_ = false;
+  // Valid only while Serve() runs; the acceptor round-robins over it.
+  std::vector<Reactor*> reactors_;
+  std::size_t next_reactor_ = 0;
 };
 
 }  // namespace useful::service

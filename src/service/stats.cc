@@ -62,6 +62,19 @@ void Stats::RecordAcceptError() {
   accept_errors_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Stats::RecordEpollWakeup() {
+  epoll_wakeups_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Stats::RecordDispatch(std::size_t batch_lines) {
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  dispatched_lines_.fetch_add(batch_lines, std::memory_order_relaxed);
+}
+
+void Stats::RecordOffloadWait(std::uint64_t micros) {
+  offload_wait_.Record(micros);
+}
+
 std::vector<std::string> Stats::Render(const QueryCache::Counters& cache,
                                        std::size_t num_engines) const {
   std::vector<std::string> lines;
@@ -85,6 +98,15 @@ std::vector<std::string> Stats::Render(const QueryCache::Counters& cache,
   add("conns_request_timeout", request_timeouts());
   add("conns_write_timeout", write_timeouts());
   add("accept_errors", accept_errors());
+  add("epoll_wakeups", epoll_wakeups());
+  add("dispatches", dispatches());
+  add("dispatched_lines", dispatched_lines());
+  add("dispatch_queue_depth", dispatch_queue_depth());
+  add("offload_wait_p50_us",
+      static_cast<std::uint64_t>(offload_wait_.ValueAtPercentile(50.0)));
+  add("offload_wait_p99_us",
+      static_cast<std::uint64_t>(offload_wait_.ValueAtPercentile(99.0)));
+  add("offload_wait_max_us", offload_wait_.max());
   add("conn_lifetime_p50_us",
       static_cast<std::uint64_t>(conn_lifetime_.ValueAtPercentile(50.0)));
   add("conn_lifetime_p99_us",
@@ -156,6 +178,20 @@ std::vector<std::string> Stats::RenderMetrics(
   b.Counter("useful_accept_errors_total",
             "accept() failures worth backing off for.", accept_errors());
 
+  b.Counter("useful_epoll_wakeups_total",
+            "epoll_wait returns across all reactor threads.",
+            epoll_wakeups());
+  b.Counter("useful_dispatches_total",
+            "Request batches handed to the estimation offload pool.",
+            dispatches());
+  b.Counter("useful_dispatched_lines_total",
+            "Request lines contained in dispatched batches.",
+            dispatched_lines());
+  b.Gauge("useful_dispatch_queue_depth",
+          "Batches queued at the estimation offload pool, not yet "
+          "picked up by a worker.",
+          static_cast<double>(dispatch_queue_depth()));
+
   b.Gauge("useful_trace_sample_rate",
           "Trace sampling denominator (0 disables tracing).",
           static_cast<double>(sampler_.rate()));
@@ -201,6 +237,13 @@ std::vector<std::string> Stats::RenderMetrics(
            "Lifetime of closed connections.", "histogram");
   b.HistogramSeries("useful_connection_lifetime_seconds", "",
                     conn_lifetime_, bounds);
+
+  b.Family("useful_offload_wait_seconds",
+           "Queue wait of dispatched batches at the estimation offload "
+           "pool.",
+           "histogram");
+  b.HistogramSeries("useful_offload_wait_seconds", "", offload_wait_,
+                    bounds);
   return b.TakeLines();
 }
 

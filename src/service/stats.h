@@ -55,6 +55,20 @@ class Stats {
   /// Records one failed accept() worth backing off for (EMFILE & friends).
   void RecordAcceptError();
 
+  // --- Reactor core (recorded by service::Server's epoll loops) ---------
+
+  /// Records one epoll_wait return on a reactor thread (event or timeout).
+  void RecordEpollWakeup();
+  /// Records one request batch handed to the estimation offload pool.
+  void RecordDispatch(std::size_t batch_lines);
+  /// Records how long a dispatched batch sat queued before an offload
+  /// worker picked it up.
+  void RecordOffloadWait(std::uint64_t micros);
+  /// Sets the estimation offload pool's queued-batch gauge.
+  void SetDispatchQueueDepth(std::size_t depth) {
+    dispatch_queue_depth_.store(depth, std::memory_order_relaxed);
+  }
+
   std::uint64_t requests_total() const {
     return requests_.load(std::memory_order_relaxed);
   }
@@ -82,6 +96,19 @@ class Stats {
   std::uint64_t accept_errors() const {
     return accept_errors_.load(std::memory_order_relaxed);
   }
+  std::uint64_t epoll_wakeups() const {
+    return epoll_wakeups_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dispatches() const {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dispatched_lines() const {
+    return dispatched_lines_.load(std::memory_order_relaxed);
+  }
+  std::size_t dispatch_queue_depth() const {
+    return dispatch_queue_depth_.load(std::memory_order_relaxed);
+  }
+  const util::LatencyHistogram& offload_wait() const { return offload_wait_; }
   std::uint64_t command_count(CommandKind kind) const {
     return counts_[static_cast<std::size_t>(kind)].load(
         std::memory_order_relaxed);
@@ -139,12 +166,17 @@ class Stats {
   std::atomic<std::uint64_t> request_timeouts_{0};
   std::atomic<std::uint64_t> write_timeouts_{0};
   std::atomic<std::uint64_t> accept_errors_{0};
+  std::atomic<std::uint64_t> epoll_wakeups_{0};
+  std::atomic<std::uint64_t> dispatches_{0};
+  std::atomic<std::uint64_t> dispatched_lines_{0};
+  std::atomic<std::size_t> dispatch_queue_depth_{0};
   std::atomic<std::uint64_t> traces_sampled_{0};
   std::atomic<std::size_t> representative_stale_{0};
   std::array<std::atomic<std::uint64_t>, kNumCommands> counts_{};
   std::array<util::LatencyHistogram, kNumCommands> latency_{};
   std::array<util::LatencyHistogram, obs::kNumStages> stage_latency_{};
   util::LatencyHistogram conn_lifetime_;
+  util::LatencyHistogram offload_wait_;
   obs::TraceSampler sampler_;
   obs::SlowQueryLog slowlog_;
 };

@@ -17,6 +17,7 @@ TEST(StageNameTest, EveryStageHasAName) {
       EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '_') << name;
     }
   }
+  EXPECT_STREQ("dispatch", StageName(Stage::kDispatch));
   EXPECT_STREQ("parse", StageName(Stage::kParse));
   EXPECT_STREQ("cache", StageName(Stage::kCache));
   EXPECT_STREQ("estimate", StageName(Stage::kEstimate));

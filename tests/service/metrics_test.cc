@@ -268,11 +268,22 @@ TEST_F(MetricsTest, CoreFamiliesAndStageSeriesPresent) {
   EXPECT_EQ(2.0, scrape.samples["useful_engines"]);
   EXPECT_EQ(0.0, scrape.samples["useful_representative_stale"]);
 
+  // The reactor core's families: wakeups/dispatch counters, the
+  // offload-pool queue gauge, and its wait histogram.
+  EXPECT_EQ("counter", scrape.types["useful_epoll_wakeups_total"]);
+  EXPECT_EQ("counter", scrape.types["useful_dispatches_total"]);
+  EXPECT_EQ("counter", scrape.types["useful_dispatched_lines_total"]);
+  EXPECT_EQ("gauge", scrape.types["useful_dispatch_queue_depth"]);
+  EXPECT_EQ("histogram", scrape.types["useful_offload_wait_seconds"]);
+  ASSERT_TRUE(scrape.samples.count("useful_offload_wait_seconds_count"));
+
   // The acceptance-critical per-stage series: present for every stage the
   // pipeline defines, with the ROUTE above recorded in the service-side
-  // ones (write stays 0 in this socket-free test but the series exists).
-  for (const char* stage : {"parse", "cache", "resolve", "estimate", "rank",
-                            "policy", "serialize", "write"}) {
+  // ones (dispatch and write stay 0 in this socket-free test — they are
+  // recorded by the transport — but the series exist).
+  for (const char* stage : {"dispatch", "parse", "cache", "resolve",
+                            "estimate", "rank", "policy", "serialize",
+                            "write"}) {
     std::string count_series = std::string("useful_stage_latency_seconds") +
                                "_count{stage=\"" + stage + "\"}";
     ASSERT_TRUE(scrape.samples.count(count_series)) << count_series;

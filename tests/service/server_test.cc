@@ -24,6 +24,7 @@
 #include "ir/search_engine.h"
 #include "represent/builder.h"
 #include "represent/serialize.h"
+#include "service/connection.h"
 #include "service/protocol.h"
 
 namespace useful::service {
@@ -389,27 +390,42 @@ TEST_F(ServerTest, OverloadIsShedWithAnOverloadedError) {
   EXPECT_EQ(wire[0].substr(0, 3), "OK ");
 }
 
-TEST_F(ServerTest, NewClientIsServedOnceIdlePeersTimeOut) {
-  // The acceptance scenario: every worker pinned by an idle peer, and a
-  // well-behaved newcomer still gets an answer within ~one idle-timeout
-  // interval because the timeouts reclaim the workers.
+TEST_F(ServerTest, IdlePeersNeverBlockANewcomerAndStillTimeOut) {
+  // The acceptance scenario, reactor edition: far more idle peers than
+  // offload workers pin no execution resource at all, so a well-behaved
+  // newcomer is answered immediately — and the idle peers are still
+  // reaped by the deadline heap on schedule.
   ServerOptions options;
   options.threads = 2;
+  options.reactor_threads = 2;
   options.poll_interval_ms = 10;
   options.idle_timeout_ms = 200;
   RestartServer(options);
 
-  TestClient idle1, idle2;
-  ASSERT_TRUE(idle1.Connect(server_->port()));
-  ASSERT_TRUE(idle2.Connect(server_->port()));
-  ASSERT_TRUE(WaitFor([&] { return server_->open_connections() >= 2; }));
+  constexpr std::size_t kIdlers = 8;
+  std::vector<TestClient> idlers(kIdlers);
+  for (TestClient& idler : idlers) {
+    ASSERT_TRUE(idler.Connect(server_->port()));
+  }
+  ASSERT_TRUE(
+      WaitFor([&] { return server_->open_connections() >= kIdlers; }));
 
   TestClient newcomer;
   ASSERT_TRUE(newcomer.Connect(server_->port()));
   auto wire = newcomer.RoundTrip("ROUTE subrange 0.1 0 football");
   ASSERT_FALSE(wire.empty());
   EXPECT_EQ(wire[0].substr(0, 3), "OK ");
-  EXPECT_GE(service_->stats().idle_timeouts(), 1u);
+  // Served well before any idle deadline could have reclaimed a peer.
+  EXPECT_EQ(service_->stats().idle_timeouts(), 0u);
+
+  ASSERT_TRUE(WaitFor(
+      [&] { return service_->stats().idle_timeouts() >= kIdlers; }, 2000));
+  for (TestClient& idler : idlers) {
+    std::string line;
+    ASSERT_TRUE(idler.ReadLine(&line));
+    EXPECT_EQ(line.substr(0, 3), "ERR") << line;
+    EXPECT_TRUE(idler.WaitForClose());
+  }
 }
 
 TEST_F(ServerTest, MidRequestDisconnectLeavesServerHealthy) {
@@ -545,6 +561,156 @@ TEST_F(ServerTest, SlowlogIsServedOverTcp) {
   ASSERT_TRUE(header.value().ok) << lines[0];
   EXPECT_EQ(lines[1].rfind("total_us=", 0), 0u) << lines[1];
   EXPECT_NE(lines[1].find("query=football"), std::string::npos) << lines[1];
+}
+
+TEST_F(ServerTest, StatsExposeReactorCounters) {
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  for (int i = 0; i < 5; ++i) {
+    auto wire = client.RoundTrip("ROUTE subrange 0.1 0 football");
+    ASSERT_FALSE(wire.empty());
+  }
+  std::vector<std::string> lines = client.RoundTrip("STATS");
+  ASSERT_GE(lines.size(), 2u);
+  std::map<std::string, std::uint64_t> kv;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::size_t space = lines[i].find(' ');
+    if (space == std::string::npos) continue;
+    kv[lines[i].substr(0, space)] =
+        std::strtoull(lines[i].c_str() + space + 1, nullptr, 10);
+  }
+  // Every request travelled reactor -> offload pool -> reactor, so the
+  // core's counters cannot be zero: at least one wakeup per dispatch and
+  // one dispatched line per request (the STATS line itself is in flight
+  // while rendering, so >= 5 ROUTEs are visible).
+  ASSERT_TRUE(kv.count("epoll_wakeups"));
+  ASSERT_TRUE(kv.count("dispatches"));
+  ASSERT_TRUE(kv.count("dispatched_lines"));
+  ASSERT_TRUE(kv.count("dispatch_queue_depth"));
+  ASSERT_TRUE(kv.count("offload_wait_p99_us"));
+  EXPECT_GE(kv["epoll_wakeups"], kv["dispatches"]);
+  EXPECT_GE(kv["dispatches"], 5u);
+  EXPECT_GE(kv["dispatched_lines"], kv["dispatches"]);
+}
+
+TEST_F(ServerTest, ManyMoreConnectionsThanOffloadWorkersAllGetServed) {
+  // 16 concurrent request/response clients against 1 offload worker and
+  // 2 reactors: connections are no longer pinned to threads, so fan-out
+  // well past the execution pool's size must still answer everyone.
+  ServerOptions options;
+  options.threads = 1;
+  options.reactor_threads = 2;
+  options.poll_interval_ms = 10;
+  RestartServer(options);
+
+  constexpr int kClients = 16;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      TestClient client;
+      if (!client.Connect(server_->port())) return;
+      for (int round = 0; round < 3; ++round) {
+        auto wire = client.RoundTrip("ROUTE subrange 0.1 0 football");
+        if (wire.empty() || wire[0].substr(0, 3) != "OK ") return;
+      }
+      ok_count.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), kClients);
+}
+
+TEST(SendErrorLineTest, FullSocketBufferSendsNothingNotATornPrefix) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  int tiny = 1;  // kernel clamps to its minimum, which is still small
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+  ::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  // Fill the pipe until the kernel takes nothing more.
+  std::string filler(4096, 'x');
+  std::size_t filled = 0;
+  for (;;) {
+    ssize_t n = ::send(fds[0], filler.data(), filler.size(),
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n <= 0) break;
+    filled += static_cast<std::size_t>(n);
+  }
+  // The old single-shot path could smear a prefix of the error line into
+  // whatever buffer space freed up mid-send; all-or-nothing must refuse.
+  EXPECT_FALSE(
+      SendErrorLine(fds[0], Status::Unavailable("overloaded"), 20));
+
+  // Drain everything the peer buffered: it must be exactly the filler,
+  // with no "ERR" fragment appended.
+  std::string received;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::recv(fds[1], chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n <= 0) break;
+    received.append(chunk, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(received.size(), filled);
+  EXPECT_EQ(received.find('E'), std::string::npos);
+
+  // With the pipe drained the full line goes out and frames cleanly.
+  EXPECT_TRUE(
+      SendErrorLine(fds[0], Status::Unavailable("overloaded"), 20));
+  ssize_t n = ::recv(fds[1], chunk, sizeof(chunk), MSG_DONTWAIT);
+  ASSERT_GT(n, 0);
+  std::string line(chunk, static_cast<std::size_t>(n));
+  EXPECT_EQ(line.rfind("ERR Unavailable: overloaded", 0), 0u) << line;
+  EXPECT_EQ(line.back(), '\n');
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(SendErrorLineTest, SlowlyDrainingPeerStillGetsTheWholeLine) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  int tiny = 1;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+  ::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  std::string filler(4096, 'x');
+  std::size_t filled = 0;
+  // Leave the buffer ALMOST full so the error line can only go out in
+  // pieces — the exact window where the old code tore the line.
+  for (;;) {
+    ssize_t n = ::send(fds[0], filler.data(), filler.size(),
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n <= 0) break;
+    filled += static_cast<std::size_t>(n);
+  }
+  // Slowly drain everything the sender manages to push, in small reads so
+  // buffer space frees a trickle at a time — the exact window where the
+  // old single-shot path tore the line.
+  std::string received;
+  std::thread drainer([&] {
+    char chunk[64];
+    for (;;) {
+      ssize_t n = ::recv(fds[1], chunk, sizeof(chunk), 0);
+      if (n <= 0) return;  // EOF after shutdown below
+      received.append(chunk, static_cast<std::size_t>(n));
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  // A false return is the clean "no space at all right now" give-up and
+  // guarantees nothing was written, so retrying is safe; once a call
+  // returns true the peer must observe exactly ONE complete line — no
+  // torn prefix from earlier attempts, no duplicates.
+  bool sent = false;
+  for (int attempt = 0; attempt < 2000 && !sent; ++attempt) {
+    sent = SendErrorLine(fds[0], Status::Unavailable("overloaded"), 50);
+    if (!sent) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(sent);
+  ::shutdown(fds[0], SHUT_WR);
+  drainer.join();
+  ASSERT_GE(received.size(), filled);
+  EXPECT_EQ(received.substr(filled), "ERR Unavailable: overloaded\n");
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 }  // namespace

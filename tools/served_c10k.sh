@@ -1,0 +1,93 @@
+#!/bin/sh
+# C10K smoke test for the epoll reactor core, run by ctest.
+#
+#   served_c10k.sh <useful_served> <useful_client> <useful_faultclient>
+#                  <rep0> <rep1> <workdir>
+#
+# Spawns useful_served with 2 reactor threads and a 2-worker estimation
+# offload pool, opens 1000+ concurrent idle keep-alive connections, and
+# asserts that (a) every one of them is accepted and HELD — none shed,
+# none dropped — and (b) while they all sit idle, a fresh client
+# pipelining 200 requests in one write gets 200 in-order OK answers.
+# Under the old thread-per-connection core this scenario needed a
+# thousand threads; under the reactor core it needs two.
+set -e
+
+SERVED=$1
+CLIENT=$2
+FAULT=$3
+REP0=$4
+REP1=$5
+DIR=$6
+
+CONNS=1100
+PIPELINE=200
+
+OUT="$DIR/served_c10k.out"
+PORT_FILE="$DIR/served_c10k.port"
+rm -f "$OUT" "$PORT_FILE"
+
+# Generous idle budget (the fleet must survive the whole test) and limits
+# above the fleet size, so any shed or drop is a server bug, not policy.
+# The listen backlog must absorb the whole connect burst: on a small
+# machine the client can fire hundreds of connects before the acceptor
+# thread is scheduled, and an overflowed backlog turns into 1-second SYN
+# retransmit stalls rather than sheds.
+"$SERVED" --port 0 --port-file "$PORT_FILE" \
+  --threads 2 --reactor-threads 2 --backlog 2048 \
+  --idle-timeout-ms 60000 --max-connections 2000 --max-accept-queue 2000 \
+  "$REP0" "$REP1" > "$OUT" 2>&1 &
+SERVER_PID=$!
+
+PORT=
+i=0
+while [ $i -lt 100 ]; do
+  if [ -f "$PORT_FILE" ]; then
+    PORT=$(cat "$PORT_FILE")
+    break
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server died before publishing a port:"
+    cat "$OUT"
+    exit 1
+  fi
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ -z "$PORT" ]; then
+  echo "server never published a port:"
+  cat "$OUT"
+  kill "$SERVER_PID" 2>/dev/null || true
+  exit 1
+fi
+
+fail() {
+  echo "$1"
+  kill "$SERVER_PID" 2>/dev/null || true
+  exit 1
+}
+
+FLOOD_OUT=$("$FAULT" --port "$PORT" --mode flood --count "$CONNS" \
+  --pipeline "$PIPELINE" --timeout-ms 30000) ||
+  fail "c10k hold failed: $FLOOD_OUT"
+echo "$FLOOD_OUT"
+
+# STATS must agree: every connection was opened (held fleet + probe), and
+# nothing was shed; the reactor counters prove the epoll core served it.
+REPLY=$(printf 'STATS\nQUIT\n' | "$CLIENT" --port "$PORT" --timeout-ms 10000)
+echo "$REPLY" | grep -E '^(conns_|epoll_|dispatch)' || true
+
+OPENED=$(echo "$REPLY" | awk '/^conns_opened /{print $2}')
+SHED=$(echo "$REPLY" | awk '/^conns_shed /{print $2}')
+[ -n "$OPENED" ] && [ "$OPENED" -ge "$CONNS" ] ||
+  fail "expected conns_opened >= $CONNS, got '$OPENED'"
+[ "$SHED" = "0" ] || fail "expected zero sheds, got '$SHED'"
+echo "$REPLY" | grep -Eq '^epoll_wakeups [1-9]' ||
+  fail "expected a nonzero epoll_wakeups counter"
+echo "$REPLY" | grep -Eq '^dispatched_lines [1-9]' ||
+  fail "expected a nonzero dispatched_lines counter"
+
+# QUIT must still shut the server down cleanly (exit 0) with the idle
+# fleet draining, not hanging, the reactors.
+wait "$SERVER_PID"
+grep -q 'shut down cleanly' "$OUT"

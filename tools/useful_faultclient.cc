@@ -13,9 +13,15 @@
 //   --mode flood      open --count concurrent idle connections at once —
 //                     expects connections beyond the server's limits to
 //                     be shed with "ERR Unavailable: overloaded ...".
+//                     With --pipeline N the success criterion flips to
+//                     the C10K one: every connection must be HELD (none
+//                     shed or dropped), and while they all sit idle a
+//                     fresh client pipelining N requests in one write
+//                     must get N in-order OK answers — proof that idle
+//                     connections cost the server no execution resources.
 //
 //   useful_faultclient --port P --mode M [--count N] [--delay-ms D]
-//                      [--timeout-ms T]
+//                      [--timeout-ms T] [--pipeline N]
 //
 // Exits 0 when the server exhibited the expected defense, 1 when it did
 // not (e.g. a half-open peer was never disconnected), 2 on usage errors.
@@ -28,6 +34,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -150,14 +157,128 @@ int RunMidClose(const std::string& host, std::uint16_t port) {
   return 0;
 }
 
+/// Non-blocking probe of an idle connection: 0 = still held open,
+/// 1 = shed ("overloaded" arrived), 2 = closed/errored some other way.
+int ProbeIdle(int fd) {
+  char buf[256];
+  ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return 0;
+  if (n > 0 &&
+      std::string(buf, static_cast<std::size_t>(n)).find("overloaded") !=
+          std::string::npos) {
+    return 1;
+  }
+  return 2;
+}
+
+/// Sends `pipeline` ROUTE requests in one write and reads the replies.
+/// Returns the number of in-order OK answers received before `timeout_ms`.
+int RunPipelinedProbe(const std::string& host, std::uint16_t port,
+                      int pipeline, int timeout_ms) {
+  int fd = Connect(host, port);
+  if (fd < 0) return 0;
+  std::string batch;
+  for (int i = 0; i < pipeline; ++i) {
+    batch += "ROUTE subrange 0.1 0 football stadium\n";
+  }
+  std::size_t sent = 0;
+  while (sent < batch.size()) {
+    ssize_t n = ::send(fd, batch.data() + sent, batch.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return 0;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::string buffer;
+  char chunk[8192];
+  int answered = 0;
+  std::size_t consumed = 0;
+  long payload_remaining = 0;
+  while (answered < pipeline) {
+    std::size_t pos;
+    while ((pos = buffer.find('\n', consumed)) != std::string::npos &&
+           answered < pipeline) {
+      std::string line = buffer.substr(consumed, pos - consumed);
+      consumed = pos + 1;
+      if (payload_remaining > 0) {
+        --payload_remaining;
+        continue;
+      }
+      if (line.rfind("OK ", 0) == 0) {
+        ++answered;
+        payload_remaining = std::strtol(line.c_str() + 3, nullptr, 10);
+      } else {
+        ::close(fd);  // ERR or garbage: the probe failed
+        return answered;
+      }
+    }
+    if (answered >= pipeline) break;
+    int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now())
+            .count());
+    if (remaining <= 0) break;
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, remaining) <= 0) continue;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return answered;
+}
+
 int RunFlood(const std::string& host, std::uint16_t port, int count,
-             int timeout_ms) {
+             int pipeline, int timeout_ms) {
   std::vector<int> fds;
   for (int i = 0; i < count; ++i) {
     int fd = Connect(host, port);
     if (fd < 0) break;
     fds.push_back(fd);
   }
+
+  if (pipeline > 0) {
+    // C10K criterion: everyone is held, and the server still answers.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    int shed = 0, dropped = 0, held = 0;
+    std::vector<int> live;
+    for (int fd : fds) {
+      switch (ProbeIdle(fd)) {
+        case 0:
+          ++held;
+          live.push_back(fd);
+          break;
+        case 1:
+          ++shed;
+          ::close(fd);
+          break;
+        default:
+          ++dropped;
+          ::close(fd);
+          break;
+      }
+    }
+    int answered = RunPipelinedProbe(host, port, pipeline, timeout_ms);
+    // The idle fleet must have survived the whole probe, not just the
+    // first 100 ms.
+    int still_held = 0;
+    for (int fd : live) {
+      if (ProbeIdle(fd) == 0) ++still_held;
+      ::close(fd);
+    }
+    std::printf(
+        "flood: opened %zu shed %d dropped %d held %d still_held %d "
+        "pipelined %d/%d\n",
+        fds.size(), shed, dropped, held, still_held, answered, pipeline);
+    bool ok = fds.size() == static_cast<std::size_t>(count) && shed == 0 &&
+              dropped == 0 && still_held == count && answered == pipeline;
+    return ok ? 0 : 1;
+  }
+
   int shed = 0, dropped = 0, held = 0;
   for (int fd : fds) {
     std::string received;
@@ -187,6 +308,7 @@ int main(int argc, char** argv) {
   int count = 16;
   int delay_ms = 20;
   int timeout_ms = 10'000;
+  int pipeline = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -210,6 +332,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
       timeout_ms = static_cast<int>(
           std::strtol(need_value("--timeout-ms"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      pipeline = static_cast<int>(
+          std::strtol(need_value("--pipeline"), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
@@ -219,7 +344,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: useful_faultclient --port P --mode "
                  "halfopen|slowloris|midclose|flood [--host H] [--count N] "
-                 "[--delay-ms D] [--timeout-ms T]\n");
+                 "[--delay-ms D] [--timeout-ms T] [--pipeline N]\n");
     return 2;
   }
 
@@ -227,7 +352,7 @@ int main(int argc, char** argv) {
   if (mode == "halfopen") return RunHalfOpen(host, p, timeout_ms);
   if (mode == "slowloris") return RunSlowLoris(host, p, delay_ms, timeout_ms);
   if (mode == "midclose") return RunMidClose(host, p);
-  if (mode == "flood") return RunFlood(host, p, count, timeout_ms);
+  if (mode == "flood") return RunFlood(host, p, count, pipeline, timeout_ms);
   std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
   return 2;
 }

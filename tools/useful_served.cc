@@ -4,12 +4,18 @@
 // until a QUIT request or SIGINT winds it down gracefully.
 //
 //   useful_served [--host H] [--port P] [--port-file PATH] [--threads N]
-//                 [--cache-entries N] [--cache-bytes N]
-//                 [--idle-timeout-ms N] [--request-timeout-ms N]
-//                 [--write-timeout-ms N] [--max-connections N]
-//                 [--max-accept-queue N] [--trace-sample-rate N]
-//                 [--slowlog-size N] <rep>...
+//                 [--reactor-threads N] [--cache-entries N]
+//                 [--cache-bytes N] [--idle-timeout-ms N]
+//                 [--request-timeout-ms N] [--write-timeout-ms N]
+//                 [--max-connections N] [--max-accept-queue N]
+//                 [--trace-sample-rate N] [--slowlog-size N] <rep>...
 //   useful_served --port 7979 a.rep b.rep
+//
+// --reactor-threads N sizes the epoll event-loop fleet (default 2);
+// --threads N sizes the estimation offload pool that executes requests
+// (0 = hardware concurrency). Connections are state machines on the
+// reactors, so thousands of idle keep-alive peers are fine with two
+// reactor threads — size --threads to the estimation work instead.
 //
 // --trace-sample-rate N traces one request in N (default 256; 0 disables
 // tracing, 1 traces every request); sampled traces feed the per-stage
@@ -75,6 +81,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       server_options.threads =
           std::strtoul(need_value("--threads"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--reactor-threads") == 0) {
+      server_options.reactor_threads =
+          std::strtoul(need_value("--reactor-threads"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--backlog") == 0) {
+      server_options.backlog = static_cast<int>(
+          std::strtol(need_value("--backlog"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
       server_options.idle_timeout_ms = static_cast<int>(
           std::strtol(need_value("--idle-timeout-ms"), nullptr, 10));
@@ -109,8 +121,8 @@ int main(int argc, char** argv) {
   if (service_options.representative_paths.empty()) {
     std::fprintf(stderr,
                  "usage: useful_served [--host H] [--port P] "
-                 "[--port-file PATH] [--threads N] "
-                 "[--cache-entries N] [--cache-bytes N] "
+                 "[--port-file PATH] [--threads N] [--reactor-threads N] "
+                 "[--backlog N] [--cache-entries N] [--cache-bytes N] "
                  "[--idle-timeout-ms N] [--request-timeout-ms N] "
                  "[--write-timeout-ms N] [--max-connections N] "
                  "[--max-accept-queue N] [--trace-sample-rate N] "
