@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "broker/metasearcher.h"
+#include "cluster/frontend.h"
+#include "cluster/topology.h"
 #include "common.h"
 #include "service/protocol.h"
 #include "service/server.h"
@@ -528,6 +530,115 @@ void BM_ServerPipelinedQPS(benchmark::State& state) {
   serve_thread.join();
 }
 BENCHMARK(BM_ServerPipelinedQPS)->Arg(16)->Arg(256);
+
+// Scatter-gather front-end QPS: the same pipelined client, but the
+// requests cross THREE servers on loopback — two shard servers each
+// holding half the representatives, and a cluster::Frontend fanning every
+// ROUTE out to both and merging the partial rankings. Compare items/sec
+// against BM_ServerPipelinedQPS at the same batch size: the delta is the
+// whole cost of the extra protocol hop plus the merge (expect a loss on a
+// single core, where the three processes' threads contend; the tier buys
+// capacity, not single-box latency).
+void BM_FrontendPipelinedQPS(benchmark::State& state) {
+  const auto& f = GetServiceFixture();
+  const auto& tb = bench::GetTestbed();
+
+  std::vector<std::string> shard_paths[2];
+  for (std::size_t i = 0; i < f.rep_paths.size(); ++i) {
+    shard_paths[i % 2].push_back(f.rep_paths[i]);
+  }
+  std::unique_ptr<service::Service> shard_services[2];
+  std::vector<std::unique_ptr<service::Server>> servers;
+  std::vector<std::thread> serve_threads;
+  std::string spec_text;
+  for (int s = 0; s < 2; ++s) {
+    service::ServiceOptions options;
+    options.representative_paths = shard_paths[s];
+    auto service = service::Service::Create(&tb.analyzer, options);
+    if (!service.ok()) std::abort();
+    shard_services[s] = std::move(service).value();
+    service::ServerOptions server_options;
+    server_options.threads = 2;
+    servers.push_back(std::make_unique<service::Server>(
+        shard_services[s].get(), server_options));
+    if (!servers.back()->Start().ok()) std::abort();
+    if (s > 0) spec_text += "|";
+    spec_text += "127.0.0.1:" + std::to_string(servers.back()->port());
+  }
+  auto spec = cluster::ParseClusterSpec(spec_text);
+  if (!spec.ok()) std::abort();
+  cluster::Frontend frontend(std::move(spec).value(),
+                             cluster::FrontendOptions{});
+  service::ServerOptions frontend_server_options;
+  frontend_server_options.threads = 2;
+  servers.push_back(
+      std::make_unique<service::Server>(&frontend, frontend_server_options));
+  if (!servers.back()->Start().ok()) std::abort();
+  for (auto& server : servers) {
+    serve_threads.emplace_back([&server] { (void)server->Serve(); });
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(servers.back()->port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::abort();
+  }
+
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::string request_block;
+  for (std::size_t i = 0; i < batch; ++i) {
+    request_block += f.route_lines[i % f.route_lines.size()];
+    request_block.push_back('\n');
+  }
+
+  std::string buffer;
+  auto read_line = [&](std::string* line) {
+    for (;;) {
+      std::size_t pos = buffer.find('\n');
+      if (pos != std::string::npos) {
+        *line = buffer.substr(0, pos);
+        buffer.erase(0, pos + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  };
+
+  for (auto _ : state) {
+    std::size_t sent = 0;
+    while (sent < request_block.size()) {
+      ssize_t n = ::send(fd, request_block.data() + sent,
+                         request_block.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) std::abort();
+      sent += static_cast<std::size_t>(n);
+    }
+    for (std::size_t i = 0; i < batch; ++i) {
+      std::string header;
+      if (!read_line(&header)) std::abort();
+      auto parsed = service::ParseResponseHeader(header);
+      if (!parsed.ok() || !parsed.value().ok || parsed.value().degraded) {
+        std::abort();
+      }
+      for (std::size_t j = 0; j < parsed.value().payload_lines; ++j) {
+        std::string payload;
+        if (!read_line(&payload)) std::abort();
+      }
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch));
+
+  ::close(fd);
+  for (auto& server : servers) server->RequestStop();
+  for (std::thread& thread : serve_threads) thread.join();
+}
+BENCHMARK(BM_FrontendPipelinedQPS)->Arg(16)->Arg(256);
 
 }  // namespace
 

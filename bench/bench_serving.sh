@@ -12,8 +12,10 @@
 # as BOTH baseline and current (bootstrap case).
 #
 # The benchmarks drive a real Server over loopback sockets:
-#   BM_ServerSingleConnQPS    one request per write/read round trip
-#   BM_ServerPipelinedQPS/N   N requests per write, replies streamed back
+#   BM_ServerSingleConnQPS     one request per write/read round trip
+#   BM_ServerPipelinedQPS/N    N requests per write, replies streamed back
+#   BM_FrontendPipelinedQPS/N  same pipelined load through a 2-shard
+#                              scatter-gather front-end (3 servers total)
 # items_per_second is answered requests per second.
 set -e
 
@@ -22,7 +24,7 @@ OUT=${2:-BENCH_serving.json}
 RAW=$(mktemp /tmp/bench_serving.XXXXXX.json)
 trap 'rm -f "$RAW"' EXIT
 
-"$BUILD"/bench/bench_micro --benchmark_filter='BM_Server' \
+"$BUILD"/bench/bench_micro --benchmark_filter='BM_Server|BM_Frontend' \
   --benchmark_format=json --benchmark_out="$RAW" \
   --benchmark_out_format=json >/dev/null
 

@@ -1,0 +1,66 @@
+// The front-end's seam to one shard replica.
+//
+// ShardBackend abstracts "send one protocol line to a replica and read
+// the framed response". The TCP implementation (TcpShardBackend in
+// shard_client.h) owns a persistent connection; tests and the fuzzer
+// inject in-process fakes that execute against a local service::Service
+// and can be killed/revived mid-run.
+//
+// The API is two-phase so one offload-pool worker can scatter a request
+// to every shard CONCURRENTLY without spawning threads: Start() writes
+// the request to each replica's socket and returns a pending Call;
+// Finish() then blocks reading each reply in turn. While the worker sits
+// in shard 0's Finish, shards 1..S-1 are already computing — the fan-out
+// costs max(shard latency), not the sum.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace useful::cluster {
+using useful::Result;
+using useful::Status;
+
+/// One framed downstream response.
+struct ShardReply {
+  bool ok = false;
+  std::vector<std::string> payload;  // valid when ok
+  bool degraded = false;             // valid when ok (shard fronts a cluster)
+  std::string error;                 // valid when !ok: "<Code>: <msg>"
+};
+
+/// One replica connection. Implementations need not be thread-safe; the
+/// front-end serializes all use of a replica behind a per-replica mutex.
+class ShardBackend {
+ public:
+  /// An in-flight request: Start() succeeded, Finish() not yet called.
+  class Call {
+   public:
+    virtual ~Call() = default;
+  };
+
+  virtual ~ShardBackend() = default;
+
+  /// Writes `line` downstream. A non-OK result means the replica is
+  /// unreachable (connect/send failure) and nothing is in flight.
+  virtual Result<std::unique_ptr<Call>> Start(const std::string& line) = 0;
+
+  /// Reads the framed response for `call`. A non-OK status means the
+  /// transport failed mid-read (timeout, disconnect, corrupt framing) and
+  /// the connection is no longer usable for pipelining; implementations
+  /// must reset it so the next Start reconnects. A protocol-level "ERR
+  /// ..." from the replica is a SUCCESSFUL finish with reply->ok false.
+  virtual Status Finish(std::unique_ptr<Call> call, ShardReply* reply) = 0;
+
+  /// Convenience: Start + Finish.
+  Status Roundtrip(const std::string& line, ShardReply* reply) {
+    auto call = Start(line);
+    if (!call.ok()) return call.status();
+    return Finish(std::move(call).value(), reply);
+  }
+};
+
+}  // namespace useful::cluster

@@ -1,0 +1,605 @@
+#include "cluster/frontend.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <iterator>
+#include <map>
+#include <utility>
+
+#include "cluster/merge.h"
+#include "cluster/shard_client.h"
+#include "obs/prometheus.h"
+#include "service/protocol.h"
+#include "service/query_cache.h"
+#include "util/string_util.h"
+
+namespace useful::cluster {
+
+namespace {
+
+using service::CommandKind;
+using service::Reply;
+using service::Request;
+
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return micros < 0 ? 0 : static_cast<std::uint64_t>(micros);
+}
+
+/// Reconstructs a Status from a downstream "<CodeName>: <msg>" error so
+/// shard errors pass through with their original code, never re-wrapped
+/// as a front-end failure.
+Status ParseWireStatus(const std::string& wire) {
+  std::size_t colon = wire.find(':');
+  std::string code =
+      colon == std::string::npos ? wire : wire.substr(0, colon);
+  std::string msg;
+  if (colon != std::string::npos) {
+    msg = wire.substr(colon + 1);
+    if (!msg.empty() && msg.front() == ' ') msg.erase(0, 1);
+  }
+  if (code == "InvalidArgument") return Status::InvalidArgument(msg);
+  if (code == "NotFound") return Status::NotFound(msg);
+  if (code == "OutOfRange") return Status::OutOfRange(msg);
+  if (code == "FailedPrecondition") return Status::FailedPrecondition(msg);
+  if (code == "Corruption") return Status::Corruption(msg);
+  if (code == "IOError") return Status::IOError(msg);
+  if (code == "Internal") return Status::Internal(msg);
+  if (code == "DeadlineExceeded") return Status::DeadlineExceeded(msg);
+  if (code == "Unavailable") return Status::Unavailable(msg);
+  return Status::Unavailable("shard error: " + wire);
+}
+
+/// Strict unsigned-integer parse for downstream STATS values.
+bool ParseStatValue(std::string_view token, std::uint64_t* out) {
+  if (token.empty() || token[0] < '0' || token[0] > '9') return false;
+  std::string copy(token);
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long value = std::strtoull(copy.c_str(), &end, 10);
+  if (end != copy.c_str() + copy.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+/// Summable downstream STATS keys: plain counters/gauges, not latency
+/// percentiles (a sum of p99s is meaningless).
+bool SummableStatKey(std::string_view key) {
+  constexpr std::string_view kUs = "_us";
+  return key.size() < kUs.size() ||
+         key.substr(key.size() - kUs.size()) != kUs;
+}
+
+}  // namespace
+
+struct Frontend::PendingCall {
+  std::ptrdiff_t replica = -1;  // candidate that accepted the Start
+  std::unique_ptr<ShardBackend::Call> call;
+  std::unique_lock<std::mutex> lock;  // held on `replica` across the leg
+  std::vector<std::size_t> remaining;  // untried candidates, in order
+  std::size_t tried = 0;               // candidates attempted so far
+};
+
+Frontend::Frontend(ClusterSpec spec, FrontendOptions options,
+                   BackendFactory factory)
+    : spec_(std::move(spec)), options_(std::move(options)) {
+  stats_.sampler()->set_rate(options_.trace_sample_rate);
+  stats_.slowlog()->Reset(options_.slowlog_size);
+  shards_.reserve(spec_.shards.size());
+  for (std::size_t s = 0; s < spec_.shards.size(); ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->replicas.reserve(spec_.shards[s].replicas.size());
+    for (std::size_t r = 0; r < spec_.shards[s].replicas.size(); ++r) {
+      auto replica = std::make_unique<Replica>();
+      replica->endpoint = spec_.shards[s].replicas[r];
+      replica->backend =
+          factory != nullptr
+              ? factory(replica->endpoint, s, r)
+              : std::make_unique<TcpShardBackend>(replica->endpoint,
+                                                  options_.tcp);
+      shard->replicas.push_back(std::move(replica));
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Frontend::~Frontend() = default;
+
+bool Frontend::ReplicaLive(const Replica& r) const {
+  if (r.consecutive_failures.load(std::memory_order_relaxed) <
+      options_.eject_failures) {
+    return true;
+  }
+  return NowMs() >= r.retry_at_ms.load(std::memory_order_relaxed);
+}
+
+void Frontend::OnReplicaSuccess(Replica* r) {
+  r->consecutive_failures.store(0, std::memory_order_relaxed);
+  r->backoff_ms.store(0, std::memory_order_relaxed);
+  r->retry_at_ms.store(0, std::memory_order_relaxed);
+}
+
+void Frontend::OnReplicaFailure(Replica* r) {
+  shard_errors_.fetch_add(1, std::memory_order_relaxed);
+  int failures =
+      r->consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (failures < options_.eject_failures) return;
+  int backoff = r->backoff_ms.load(std::memory_order_relaxed);
+  backoff = backoff == 0
+                ? options_.probe_backoff_ms
+                : std::min(backoff * 2, options_.max_probe_backoff_ms);
+  r->backoff_ms.store(backoff, std::memory_order_relaxed);
+  r->retry_at_ms.store(NowMs() + backoff, std::memory_order_relaxed);
+}
+
+void Frontend::StartOnShard(std::size_t shard, const std::string& line,
+                            PendingCall* pending) {
+  Shard& s = *shards_[shard];
+  // Candidate order: live replicas by preference, then ejected ones — an
+  // all-ejected shard still gets probed, so a restarted shard recovers on
+  // the next request instead of waiting out its backoff.
+  std::vector<std::size_t> candidates;
+  candidates.reserve(s.replicas.size());
+  for (std::size_t r = 0; r < s.replicas.size(); ++r) {
+    if (ReplicaLive(*s.replicas[r])) candidates.push_back(r);
+  }
+  for (std::size_t r = 0; r < s.replicas.size(); ++r) {
+    if (!ReplicaLive(*s.replicas[r])) candidates.push_back(r);
+  }
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    Replica* replica = s.replicas[candidates[i]].get();
+    std::unique_lock<std::mutex> lock(replica->mu);
+    ++pending->tried;
+    auto call = replica->backend->Start(line);
+    if (call.ok()) {
+      pending->replica = static_cast<std::ptrdiff_t>(candidates[i]);
+      pending->call = std::move(call).value();
+      pending->lock = std::move(lock);
+      pending->remaining.assign(candidates.begin() + i + 1,
+                                candidates.end());
+      return;
+    }
+    OnReplicaFailure(replica);
+  }
+}
+
+void Frontend::GatherFromShard(std::size_t shard, const std::string& line,
+                               PendingCall* pending, ShardOutcome* outcome) {
+  Shard& s = *shards_[shard];
+  if (pending->replica >= 0) {
+    Replica* replica =
+        s.replicas[static_cast<std::size_t>(pending->replica)].get();
+    Status st = replica->backend->Finish(std::move(pending->call),
+                                         &outcome->reply);
+    pending->lock.unlock();
+    if (st.ok()) {
+      OnReplicaSuccess(replica);
+      outcome->reached = true;
+      return;
+    }
+    OnReplicaFailure(replica);
+  }
+  // Synchronous failover over the untried candidates. Requests are
+  // idempotent reads, so re-sending the whole line is safe. This runs
+  // with no other lock held (the pending lock above was released, and
+  // FanOut retries only after every shard's pending leg finished), so
+  // lock order stays single-acquisition and deadlock-free.
+  for (std::size_t r : pending->remaining) {
+    Replica* replica = s.replicas[r].get();
+    std::lock_guard<std::mutex> lock(replica->mu);
+    ++pending->tried;
+    Status st = replica->backend->Roundtrip(line, &outcome->reply);
+    if (st.ok()) {
+      OnReplicaSuccess(replica);
+      outcome->reached = true;
+      return;
+    }
+    OnReplicaFailure(replica);
+  }
+}
+
+void Frontend::FanOut(const std::string& line,
+                      std::vector<ShardOutcome>* outcomes) {
+  auto start = std::chrono::steady_clock::now();
+  outcomes->clear();
+  outcomes->resize(shards_.size());
+  std::vector<PendingCall> pending(shards_.size());
+
+  // Scatter: Start on one replica per shard. Locks are acquired in shard
+  // order and each pending leg keeps its replica locked until its gather.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    StartOnShard(i, line, &pending[i]);
+  }
+  // Gather the pending legs, releasing each lock as its reply lands.
+  std::vector<std::size_t> needs_retry;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardOutcome* outcome = &(*outcomes)[i];
+    if (pending[i].replica >= 0) {
+      Replica* replica = shards_[i]
+                             ->replicas[static_cast<std::size_t>(
+                                 pending[i].replica)]
+                             .get();
+      Status st = replica->backend->Finish(std::move(pending[i].call),
+                                           &outcome->reply);
+      pending[i].lock.unlock();
+      pending[i].replica = -1;
+      if (st.ok()) {
+        OnReplicaSuccess(replica);
+        outcome->reached = true;
+        continue;
+      }
+      OnReplicaFailure(replica);
+    }
+    if (!pending[i].remaining.empty()) needs_retry.push_back(i);
+  }
+  // Retry legs that lost their replica mid-read, now that no scatter lock
+  // is held (single-lock-at-a-time from here on: no deadlock).
+  for (std::size_t i : needs_retry) {
+    GatherFromShard(i, line, &pending[i], &(*outcomes)[i]);
+  }
+
+  std::uint64_t micros = MicrosSince(start);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardOutcome* outcome = &(*outcomes)[i];
+    shards_[i]->roundtrip.Record(micros);
+    shards_[i]->down.store(!outcome->reached, std::memory_order_relaxed);
+    if (outcome->reached && pending[i].tried > 1) {
+      rerouted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t Frontend::stale_shards() const {
+  std::size_t stale = 0;
+  for (const auto& shard : shards_) {
+    if (shard->down.load(std::memory_order_relaxed)) ++stale;
+  }
+  return stale;
+}
+
+Reply Frontend::Execute(std::string_view line, obs::Trace* trace) {
+  auto start = std::chrono::steady_clock::now();
+  Result<Request> parsed = [&] {
+    obs::Trace::Span span = obs::Trace::StartSpan(trace, obs::Stage::kParse);
+    return service::ParseRequest(line);
+  }();
+  if (!parsed.ok()) {
+    stats_.RecordParseError();
+    Reply reply;
+    reply.status = parsed.status();
+    return reply;
+  }
+  const Request& request = parsed.value();
+
+  Reply reply;
+  switch (request.kind) {
+    case CommandKind::kRoute:
+    case CommandKind::kEstimate:
+      reply = DoRank(request, trace);
+      break;
+    case CommandKind::kStats:
+      reply = DoStats();
+      break;
+    case CommandKind::kMetrics:
+      reply = DoMetrics();
+      break;
+    case CommandKind::kSlowlog:
+      reply = DoSlowlog(request);
+      break;
+    case CommandKind::kReload:
+      reply = DoReload();
+      break;
+    case CommandKind::kQuit:
+      // Shuts down the front-end only; the shards it fronts are other
+      // processes' lifecycles.
+      reply.close_connection = true;
+      reply.shutdown_server = true;
+      break;
+    case CommandKind::kCount_:
+      reply.status = Status::InvalidArgument("bad command kind");
+      break;
+  }
+  if (reply.degraded) {
+    degraded_replies_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t micros = MicrosSince(start);
+  stats_.RecordCommand(request.kind, micros, reply.status.ok());
+  trace->SetTotalMicros(micros);
+  return reply;
+}
+
+Reply Frontend::DoRank(const Request& request, obs::Trace* trace) {
+  Reply reply;
+  trace->SetQuery(request.query_text);
+  trace->SetEstimator(request.estimator);
+  trace->SetThreshold(request.threshold);
+
+  // Downstream, ROUTE drops the top-k cap (each shard applies only the
+  // paper's threshold rule to its slice); the global cap applies after
+  // the merge. %.17g keeps the forwarded threshold bit-identical to the
+  // one this request parsed.
+  const bool route = request.kind == CommandKind::kRoute;
+  std::string downstream = (route ? "ROUTE " : "ESTIMATE ") +
+                           request.estimator + ' ' +
+                           service::FormatScore(request.threshold) +
+                           (route ? " 0 " : " ") + request.query_text;
+
+  std::vector<ShardOutcome> outcomes;
+  {
+    obs::Trace::Span span =
+        obs::Trace::StartSpan(trace, obs::Stage::kFanout);
+    FanOut(downstream, &outcomes);
+  }
+
+  // A downstream protocol error (bad estimator, empty query, ...) is the
+  // same error every shard would produce — pass the first one through.
+  for (const ShardOutcome& outcome : outcomes) {
+    if (outcome.reached && !outcome.reply.ok) {
+      reply.status = ParseWireStatus(outcome.reply.error);
+      return reply;
+    }
+  }
+
+  std::vector<RankedLine> merged;
+  std::size_t shards_answered = 0;
+  bool downstream_degraded = false;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].reached) continue;
+    std::vector<RankedLine> parsed_lines;
+    Status st = ParseRankingPayload(outcomes[i].reply.payload, &parsed_lines);
+    if (!st.ok()) {
+      // A framed but garbled payload: treat the shard as lost for this
+      // request rather than surfacing a corruption the client can't act
+      // on — its engines are simply missing (degraded).
+      shard_errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    ++shards_answered;
+    downstream_degraded |= outcomes[i].reply.degraded;
+    merged.insert(merged.end(),
+                  std::make_move_iterator(parsed_lines.begin()),
+                  std::make_move_iterator(parsed_lines.end()));
+  }
+  if (shards_answered == 0) {
+    reply.status = Status::Unavailable("no shard reachable");
+    return reply;
+  }
+
+  {
+    obs::Trace::Span span = obs::Trace::StartSpan(trace, obs::Stage::kRank);
+    SortRanking(&merged);
+  }
+  if (route && request.topk > 0 && merged.size() > request.topk) {
+    merged.resize(request.topk);
+  }
+  trace->SetEnginesSelected(merged.size());
+
+  obs::Trace::Span span =
+      obs::Trace::StartSpan(trace, obs::Stage::kSerialize);
+  reply.payload.reserve(merged.size());
+  for (const RankedLine& ranked_line : merged) {
+    reply.payload.push_back(FormatRankedLine(ranked_line));
+  }
+  reply.degraded =
+      shards_answered < shards_.size() || downstream_degraded;
+  return reply;
+}
+
+Reply Frontend::DoStats() {
+  std::vector<ShardOutcome> outcomes;
+  FanOut("STATS", &outcomes);
+
+  // Aggregate every summable downstream counter; std::map keeps agg_
+  // lines in a deterministic order.
+  std::map<std::string, std::uint64_t> agg;
+  std::size_t shards_answered = 0;
+  for (const ShardOutcome& outcome : outcomes) {
+    if (!outcome.reached || !outcome.reply.ok) continue;
+    ++shards_answered;
+    for (const std::string& line : outcome.reply.payload) {
+      std::vector<std::string_view> tokens = SplitNonEmpty(line, " \t");
+      std::uint64_t value = 0;
+      if (tokens.size() != 2 || !SummableStatKey(tokens[0]) ||
+          !ParseStatValue(tokens[1], &value)) {
+        continue;
+      }
+      agg[std::string(tokens[0])] += value;
+    }
+  }
+
+  Reply reply;
+  std::size_t engines = agg.count("engines") ? agg["engines"] : 0;
+  reply.payload =
+      stats_.Render(service::QueryCache::Counters{}, engines);
+  reply.payload.push_back(
+      StringPrintf("cluster_shards %zu", shards_.size()));
+  reply.payload.push_back(
+      StringPrintf("cluster_replicas %zu", spec_.num_replicas()));
+  reply.payload.push_back(
+      StringPrintf("stale_shards %zu", stale_shards()));
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::size_t live = 0;
+    for (const auto& replica : shards_[i]->replicas) {
+      if (ReplicaLive(*replica)) ++live;
+    }
+    reply.payload.push_back(
+        StringPrintf("shard%zu_live_replicas %zu", i, live));
+  }
+  reply.payload.push_back(StringPrintf(
+      "degraded_replies %llu",
+      static_cast<unsigned long long>(degraded_replies())));
+  reply.payload.push_back(StringPrintf(
+      "rerouted %llu", static_cast<unsigned long long>(rerouted())));
+  reply.payload.push_back(StringPrintf(
+      "shard_errors %llu",
+      static_cast<unsigned long long>(shard_errors())));
+  for (const auto& [key, value] : agg) {
+    reply.payload.push_back(StringPrintf(
+        "agg_%s %llu", key.c_str(),
+        static_cast<unsigned long long>(value)));
+  }
+  reply.degraded = shards_answered < shards_.size();
+  return reply;
+}
+
+Reply Frontend::DoMetrics() {
+  // Sample downstream totals by fanning the cheap key-value STATS, not
+  // METRICS: re-exposing another process's Prometheus series verbatim
+  // would collide with this process's own.
+  std::vector<ShardOutcome> outcomes;
+  FanOut("STATS", &outcomes);
+
+  std::vector<std::uint64_t> shard_requests(shards_.size(), 0);
+  std::vector<std::uint64_t> shard_req_errors(shards_.size(), 0);
+  std::uint64_t engines = 0;
+  std::size_t shards_answered = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].reached || !outcomes[i].reply.ok) continue;
+    ++shards_answered;
+    for (const std::string& line : outcomes[i].reply.payload) {
+      std::vector<std::string_view> tokens = SplitNonEmpty(line, " \t");
+      std::uint64_t value = 0;
+      if (tokens.size() != 2 || !ParseStatValue(tokens[1], &value)) continue;
+      if (tokens[0] == "requests_total") shard_requests[i] = value;
+      if (tokens[0] == "errors_total") shard_req_errors[i] = value;
+      if (tokens[0] == "engines") engines += value;
+    }
+  }
+
+  Reply reply;
+  reply.payload =
+      stats_.RenderMetrics(service::QueryCache::Counters{}, engines);
+
+  obs::MetricsBuilder b;
+  b.Gauge("useful_cluster_shards", "Shards in the cluster spec.",
+          static_cast<double>(shards_.size()));
+  b.Gauge("useful_cluster_stale_shards",
+          "Shards whose last fan-out found no live replica.",
+          static_cast<double>(stale_shards()));
+  b.Family("useful_cluster_live_replicas",
+           "Replicas currently eligible for routing, per shard.", "gauge");
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::size_t live = 0;
+    for (const auto& replica : shards_[i]->replicas) {
+      if (ReplicaLive(*replica)) ++live;
+    }
+    b.Sample("useful_cluster_live_replicas",
+             StringPrintf("shard=\"%zu\"", i),
+             static_cast<std::uint64_t>(live));
+  }
+  b.Counter("useful_cluster_degraded_replies_total",
+            "Replies served with one or more shards missing.",
+            degraded_replies());
+  b.Counter("useful_cluster_rerouted_total",
+            "Shard legs that failed over to another replica.", rerouted());
+  b.Counter("useful_cluster_shard_errors_total",
+            "Replica transport failures observed by the front-end.",
+            shard_errors());
+  b.Family("useful_shard_roundtrip_seconds",
+           "Full scatter-gather round-trip per request, per shard.",
+           "histogram");
+  const std::vector<std::uint64_t>& bounds =
+      obs::DefaultLatencyBoundsMicros();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    b.HistogramSeries("useful_shard_roundtrip_seconds",
+                      StringPrintf("shard=\"%zu\"", i),
+                      shards_[i]->roundtrip, bounds);
+  }
+  b.Family("useful_cluster_downstream_requests_total",
+           "requests_total reported by each shard at this scrape.", "gauge");
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    b.Sample("useful_cluster_downstream_requests_total",
+             StringPrintf("shard=\"%zu\"", i), shard_requests[i]);
+  }
+  b.Family("useful_cluster_downstream_errors_total",
+           "errors_total reported by each shard at this scrape.", "gauge");
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    b.Sample("useful_cluster_downstream_errors_total",
+             StringPrintf("shard=\"%zu\"", i), shard_req_errors[i]);
+  }
+  std::vector<std::string> cluster_lines = b.TakeLines();
+  reply.payload.insert(reply.payload.end(),
+                       std::make_move_iterator(cluster_lines.begin()),
+                       std::make_move_iterator(cluster_lines.end()));
+  reply.degraded = shards_answered < shards_.size();
+  return reply;
+}
+
+Reply Frontend::DoReload() {
+  Reply reply;
+  // Every replica holds its own snapshot, so RELOAD fans to ALL of them,
+  // not one per shard. A shard where no replica reloaded fails the whole
+  // command — otherwise a later failover could silently time-travel to a
+  // pre-reload snapshot.
+  std::uint64_t engines = 0;
+  bool any_replica_failed = false;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::size_t successes = 0;
+    std::string first_error;
+    std::uint64_t shard_engines = 0;
+    for (const auto& replica : shards_[s]->replicas) {
+      ShardReply shard_reply;
+      Status st;
+      {
+        std::lock_guard<std::mutex> lock(replica->mu);
+        st = replica->backend->Roundtrip("RELOAD", &shard_reply);
+      }
+      if (!st.ok()) {
+        OnReplicaFailure(replica.get());
+        any_replica_failed = true;
+        continue;
+      }
+      OnReplicaSuccess(replica.get());
+      if (!shard_reply.ok) {
+        // The replica is alive but its reload failed (e.g. a bad rep
+        // file); remember the error without ejecting the replica.
+        if (first_error.empty()) first_error = shard_reply.error;
+        any_replica_failed = true;
+        continue;
+      }
+      ++successes;
+      // "engines <n>" — every replica of a shard reports the same slice.
+      for (const std::string& line : shard_reply.payload) {
+        std::vector<std::string_view> tokens = SplitNonEmpty(line, " \t");
+        std::uint64_t value = 0;
+        if (tokens.size() == 2 && tokens[0] == "engines" &&
+            ParseStatValue(tokens[1], &value)) {
+          shard_engines = value;
+        }
+      }
+    }
+    shards_[s]->down.store(successes == 0, std::memory_order_relaxed);
+    if (successes == 0) {
+      reply.status =
+          first_error.empty()
+              ? Status::Unavailable(
+                    StringPrintf("shard %zu: reload reached no replica", s))
+              : ParseWireStatus(first_error);
+      return reply;
+    }
+    engines += shard_engines;
+  }
+  reply.payload.push_back(StringPrintf(
+      "engines %llu", static_cast<unsigned long long>(engines)));
+  reply.degraded = any_replica_failed;
+  return reply;
+}
+
+Reply Frontend::DoSlowlog(const Request& request) {
+  Reply reply;
+  reply.payload = stats_.RenderSlowlog(request.slowlog_n);
+  return reply;
+}
+
+}  // namespace useful::cluster

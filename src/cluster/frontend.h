@@ -1,0 +1,169 @@
+// The cluster's scatter-gather front-end tier.
+//
+// Frontend is a service::RequestHandler, so it plugs into the same epoll
+// reactor + offload-pool server core as service::Service — the cluster
+// is the SAME protocol stacked twice. Upstream it answers the ordinary
+// line protocol; downstream it is a client of one replica per shard:
+//
+//   ROUTE/ESTIMATE  scatter to every shard concurrently (Start on all,
+//                   then Finish in turn — the fan-out costs the slowest
+//                   shard, not the sum), merge the partial rankings with
+//                   the exact RankEngines comparator (bit-identical to a
+//                   single process holding every representative; the
+//                   paper's per-engine independence is what makes this
+//                   safe), apply the ROUTE top-k cap after the merge.
+//   STATS           local stats + cluster health lines + agg_<key> sums
+//                   of every summable downstream counter.
+//   METRICS         local Prometheus families + cluster gauges/counters,
+//                   per-shard round-trip histograms, and per-shard
+//                   downstream request/error totals sampled via STATS.
+//   RELOAD          fan to EVERY replica (each holds its own snapshot);
+//                   any shard with zero successes fails the reload.
+//   SLOWLOG         local (the front-end's own slow fan-outs).
+//   QUIT            shuts down the front-end only — never forwarded.
+//
+// Failover: each replica tracks consecutive transport failures; at
+// eject_failures it is ejected and only re-probed after a doubling
+// backoff. A request tries a shard's live replicas in preference order,
+// then — only if none is live — its ejected ones (so a fully-restarted
+// shard recovers on the next request, regardless of backoff). A Finish
+// failure retries the remaining candidates synchronously; reads are
+// idempotent, so a retried request can never double-count anything.
+//
+// Degraded mode: when every replica of some shard fails, the reply is
+// still served from the shards that answered, marked with the DEGRADED
+// token on its OK header; the shard's sticky down flag feeds the
+// stale_shards gauge until a later request reaches it again. Only when
+// EVERY shard is unreachable does the front-end return ERR Unavailable.
+// Downstream protocol errors ("ERR ..." from a shard) pass through
+// verbatim — the front-end never converts them into its own errors.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/backend.h"
+#include "cluster/shard_client.h"
+#include "cluster/topology.h"
+#include "obs/trace.h"
+#include "service/handler.h"
+#include "service/stats.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace useful::cluster {
+
+struct FrontendOptions {
+  /// Trace one request in this many (0 disables, 1 traces all).
+  std::uint32_t trace_sample_rate = 256;
+  /// Slots in the slow-query ring dumped by SLOWLOG.
+  std::size_t slowlog_size = 64;
+  /// Consecutive transport failures before a replica is ejected.
+  int eject_failures = 2;
+  /// First re-probe delay for an ejected replica; doubles per ejection.
+  int probe_backoff_ms = 500;
+  /// Re-probe delay cap.
+  int max_probe_backoff_ms = 8'000;
+  /// Options for the default TCP backends (ignored with a custom factory).
+  TcpBackendOptions tcp;
+};
+
+/// Builds the backend for one replica; injectable so tests and the
+/// fuzzer can wire in-process fakes with kill/revive switches.
+using BackendFactory = std::function<std::unique_ptr<ShardBackend>(
+    const Endpoint& endpoint, std::size_t shard, std::size_t replica)>;
+
+class Frontend : public service::RequestHandler {
+ public:
+  /// A null `factory` wires TcpShardBackend over options.tcp.
+  Frontend(ClusterSpec spec, FrontendOptions options,
+           BackendFactory factory = nullptr);
+  ~Frontend() override;
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  service::Reply Execute(std::string_view line, obs::Trace* trace) override;
+  service::Stats* mutable_stats() override { return &stats_; }
+
+  std::size_t num_shards() const { return shards_.size(); }
+  /// Shards whose last fan-out found no live replica (sticky until a
+  /// request reaches the shard again).
+  std::size_t stale_shards() const;
+  std::uint64_t degraded_replies() const {
+    return degraded_replies_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rerouted() const {
+    return rerouted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shard_errors() const {
+    return shard_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Replica {
+    Endpoint endpoint;
+    std::unique_ptr<ShardBackend> backend;
+    /// Serializes backend use; the line protocol is in-order per
+    /// connection, so concurrent requests take turns per replica.
+    std::mutex mu;
+    std::atomic<int> consecutive_failures{0};
+    /// Steady-clock milliseconds before which an ejected replica is not
+    /// probed (0: live).
+    std::atomic<std::int64_t> retry_at_ms{0};
+    std::atomic<int> backoff_ms{0};
+  };
+  struct Shard {
+    std::vector<std::unique_ptr<Replica>> replicas;
+    /// Sticky: the last request to fan out here found the whole shard
+    /// unreachable. Feeds stale_shards.
+    std::atomic<bool> down{false};
+    /// Full scatter+gather round-trip per request, this shard only.
+    util::LatencyHistogram roundtrip;
+  };
+
+  /// Outcome of one shard's leg of a fan-out.
+  struct ShardOutcome {
+    bool reached = false;   // some replica produced a framed response
+    ShardReply reply;       // valid when reached
+  };
+
+  bool ReplicaLive(const Replica& r) const;
+  void OnReplicaSuccess(Replica* r);
+  void OnReplicaFailure(Replica* r);
+
+  /// Sends `line` to one live replica of every shard concurrently and
+  /// gathers the framed responses, failing over within each shard.
+  /// outcomes->size() == shards_.size() on return.
+  void FanOut(const std::string& line, std::vector<ShardOutcome>* outcomes);
+  /// One shard's leg: Start on the best candidate (the scatter half) —
+  /// returns the pending call's replica index or -1.
+  struct PendingCall;
+  void StartOnShard(std::size_t shard, const std::string& line,
+                    PendingCall* pending);
+  void GatherFromShard(std::size_t shard, const std::string& line,
+                       PendingCall* pending, ShardOutcome* outcome);
+
+  service::Reply DoRank(const service::Request& request, obs::Trace* trace);
+  service::Reply DoStats();
+  service::Reply DoMetrics();
+  service::Reply DoReload();
+  service::Reply DoSlowlog(const service::Request& request);
+
+  ClusterSpec spec_;
+  FrontendOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  service::Stats stats_;
+
+  std::atomic<std::uint64_t> degraded_replies_{0};
+  std::atomic<std::uint64_t> rerouted_{0};
+  std::atomic<std::uint64_t> shard_errors_{0};
+};
+
+}  // namespace useful::cluster

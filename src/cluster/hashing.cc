@@ -1,0 +1,19 @@
+#include "cluster/hashing.h"
+
+namespace useful::cluster {
+
+std::uint64_t EngineHash(std::string_view engine_name) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (char c : engine_name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;  // FNV prime
+  }
+  return hash;
+}
+
+std::size_t ShardForEngine(std::string_view engine_name,
+                           std::size_t num_shards) {
+  return static_cast<std::size_t>(EngineHash(engine_name) % num_shards);
+}
+
+}  // namespace useful::cluster

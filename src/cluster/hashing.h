@@ -1,0 +1,25 @@
+// Engine-to-shard placement.
+//
+// Engines are hashed by name, not range-partitioned: representative
+// files arrive in arbitrary order and engines come and go, so a stable
+// content hash keeps each engine on the same shard across reloads and
+// topology-preserving restarts without any coordination. FNV-1a is
+// deliberate — trivially portable, byte-order free, and stable forever,
+// because a placement hash is a wire format: changing it strands every
+// deployed shard's slice.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace useful::cluster {
+
+/// 64-bit FNV-1a of the engine name.
+std::uint64_t EngineHash(std::string_view engine_name);
+
+/// The shard (0..num_shards-1) that owns `engine_name`. num_shards must
+/// be nonzero.
+std::size_t ShardForEngine(std::string_view engine_name,
+                           std::size_t num_shards);
+
+}  // namespace useful::cluster

@@ -1,0 +1,52 @@
+#include "cluster/merge.h"
+
+#include <algorithm>
+
+#include "service/protocol.h"
+#include "util/string_util.h"
+
+namespace useful::cluster {
+
+Result<RankedLine> ParseRankedLine(std::string_view line) {
+  std::vector<std::string_view> tokens = SplitNonEmpty(line, " \t");
+  if (tokens.size() != 3) {
+    return Status::Corruption("bad ranking line: " + std::string(line));
+  }
+  RankedLine parsed;
+  parsed.engine = std::string(tokens[0]);
+  auto no_doc = service::ParseScore(tokens[1]);
+  if (!no_doc.ok()) return no_doc.status();
+  auto avg_sim = service::ParseScore(tokens[2]);
+  if (!avg_sim.ok()) return avg_sim.status();
+  parsed.no_doc = no_doc.value();
+  parsed.avg_sim = avg_sim.value();
+  parsed.no_doc_token = std::string(tokens[1]);
+  parsed.avg_sim_token = std::string(tokens[2]);
+  return parsed;
+}
+
+Status ParseRankingPayload(const std::vector<std::string>& payload,
+                           std::vector<RankedLine>* out) {
+  out->reserve(out->size() + payload.size());
+  for (const std::string& line : payload) {
+    auto parsed = ParseRankedLine(line);
+    if (!parsed.ok()) return parsed.status();
+    out->push_back(std::move(parsed).value());
+  }
+  return Status::OK();
+}
+
+void SortRanking(std::vector<RankedLine>* lines) {
+  std::sort(lines->begin(), lines->end(),
+            [](const RankedLine& a, const RankedLine& b) {
+              if (a.no_doc != b.no_doc) return a.no_doc > b.no_doc;
+              if (a.avg_sim != b.avg_sim) return a.avg_sim > b.avg_sim;
+              return a.engine < b.engine;
+            });
+}
+
+std::string FormatRankedLine(const RankedLine& line) {
+  return line.engine + ' ' + line.no_doc_token + ' ' + line.avg_sim_token;
+}
+
+}  // namespace useful::cluster

@@ -1,0 +1,48 @@
+// Merging per-shard partial rankings into the global ranking.
+//
+// The paper's estimators score each engine independently of every other
+// engine, so a shard's ranking is simply the global ranking restricted
+// to that shard's engines — merging is a pure re-sort of the union
+// under the SAME comparator Metasearcher::RankEngines uses (NoDoc
+// descending, then AvgSim descending, then engine name ascending).
+// Because scores cross the wire as %.17g (bit-exact round trip), the
+// merged order — including duplicate-score tie-breaks — is bit-identical
+// to what a single process holding every representative would produce.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace useful::cluster {
+using useful::Result;
+using useful::Status;
+
+/// One parsed ranking payload line: "<engine> <no_doc> <avg_sim>".
+/// Scores keep both forms — the parsed doubles drive the merge order and
+/// the verbatim wire tokens are re-emitted, so the front-end can never
+/// reformat a score a shard produced.
+struct RankedLine {
+  std::string engine;
+  double no_doc = 0.0;
+  double avg_sim = 0.0;
+  std::string no_doc_token;   // as received, %.17g
+  std::string avg_sim_token;  // as received, %.17g
+};
+
+/// Parses one "<engine> <no_doc> <avg_sim>" payload line.
+Result<RankedLine> ParseRankedLine(std::string_view line);
+
+/// Parses a whole ranking payload, appending onto *out.
+Status ParseRankingPayload(const std::vector<std::string>& payload,
+                           std::vector<RankedLine>* out);
+
+/// Sorts `lines` with the exact Metasearcher::RankEngines comparator:
+/// no_doc desc, then avg_sim desc, then engine name asc.
+void SortRanking(std::vector<RankedLine>* lines);
+
+/// Re-renders one merged line from the verbatim wire tokens.
+std::string FormatRankedLine(const RankedLine& line);
+
+}  // namespace useful::cluster

@@ -1,0 +1,67 @@
+// TCP ShardBackend: one persistent client connection to a replica.
+//
+// The connection is lazy (first Start connects) and persistent (reused
+// across requests; the line protocol is strictly request/response in
+// order, so pipelined Starts finish in Start order). Connect is
+// non-blocking with a poll deadline so a black-holed replica costs
+// connect_timeout_ms, not a kernel-default 2 minutes; established
+// sockets run blocking under SO_RCVTIMEO/SO_SNDTIMEO so a replica dying
+// mid-reply surfaces as DeadlineExceeded instead of a hang. Any
+// transport failure tears the connection down — the next Start
+// reconnects from scratch, which is what makes replica restart recovery
+// automatic.
+//
+// Not thread-safe; the front-end serializes use per replica.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "cluster/backend.h"
+#include "cluster/topology.h"
+
+namespace useful::cluster {
+
+struct TcpBackendOptions {
+  /// Deadline for the non-blocking connect handshake.
+  int connect_timeout_ms = 1'000;
+  /// Per-syscall send/recv deadline once connected.
+  int io_timeout_ms = 5'000;
+  /// A response line longer than this marks the stream corrupt.
+  std::size_t max_line_bytes = 1u << 20;
+};
+
+class TcpShardBackend : public ShardBackend {
+ public:
+  explicit TcpShardBackend(Endpoint endpoint, TcpBackendOptions options = {});
+  ~TcpShardBackend() override;
+
+  TcpShardBackend(const TcpShardBackend&) = delete;
+  TcpShardBackend& operator=(const TcpShardBackend&) = delete;
+
+  Result<std::unique_ptr<Call>> Start(const std::string& line) override;
+  Status Finish(std::unique_ptr<Call> call, ShardReply* reply) override;
+
+  const Endpoint& endpoint() const { return endpoint_; }
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  class TcpCall : public Call {};
+
+  Status EnsureConnected();
+  Status SendAll(std::string_view data);
+  /// One '\n'-terminated line off the buffered stream (newline stripped).
+  Result<std::string> ReadLine();
+  /// Tears down the connection and any buffered bytes; pending pipelined
+  /// calls become Finish errors.
+  void Reset();
+
+  const Endpoint endpoint_;
+  const TcpBackendOptions options_;
+  int fd_ = -1;
+  std::string buf_;          // received-but-unconsumed bytes
+  std::size_t buf_off_ = 0;  // consumed prefix of buf_
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace useful::cluster

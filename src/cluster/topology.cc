@@ -1,0 +1,66 @@
+#include "cluster/topology.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace useful::cluster {
+
+std::string Endpoint::ToString() const {
+  return StringPrintf("%s:%u", host.c_str(), static_cast<unsigned>(port));
+}
+
+Result<Endpoint> ParseEndpoint(std::string_view token) {
+  std::size_t colon = token.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= token.size()) {
+    return Status::InvalidArgument("bad endpoint (want host:port): " +
+                                   std::string(token));
+  }
+  Endpoint ep;
+  ep.host = std::string(token.substr(0, colon));
+  std::string port_str(token.substr(colon + 1));
+  if (port_str[0] < '0' || port_str[0] > '9') {
+    return Status::InvalidArgument("bad port in endpoint: " +
+                                   std::string(token));
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long value = std::strtoul(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || errno == ERANGE ||
+      value == 0 || value > 65535) {
+    return Status::InvalidArgument("bad port in endpoint: " +
+                                   std::string(token));
+  }
+  ep.port = static_cast<std::uint16_t>(value);
+  return ep;
+}
+
+Result<ClusterSpec> ParseClusterSpec(std::string_view spec) {
+  std::vector<std::string_view> shard_tokens = SplitNonEmpty(spec, "|;");
+  if (shard_tokens.empty()) {
+    return Status::InvalidArgument("empty cluster spec");
+  }
+  ClusterSpec cluster;
+  cluster.shards.reserve(shard_tokens.size());
+  for (std::string_view shard_token : shard_tokens) {
+    ShardSpec shard;
+    std::vector<std::string_view> replica_tokens =
+        SplitNonEmpty(shard_token, ",");
+    if (replica_tokens.empty()) {
+      return Status::InvalidArgument("shard with no replicas in spec: " +
+                                     std::string(spec));
+    }
+    shard.replicas.reserve(replica_tokens.size());
+    for (std::string_view replica_token : replica_tokens) {
+      auto ep = ParseEndpoint(replica_token);
+      if (!ep.ok()) return ep.status();
+      shard.replicas.push_back(std::move(ep).value());
+    }
+    cluster.shards.push_back(std::move(shard));
+  }
+  return cluster;
+}
+
+}  // namespace useful::cluster

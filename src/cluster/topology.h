@@ -1,0 +1,64 @@
+// Cluster topology: which shard/replica endpoints a front-end talks to.
+//
+// A cluster is S shards of R replicas each. Every replica of a shard
+// serves the same slice of the engine registry (an ordinary
+// service::Server over the shard's representative files), so the
+// front-end needs exactly one live replica per shard to answer a query
+// in full. The wire spec mirrors that structure:
+//
+//   host:port,host:port|host:port,host:port
+//
+// '|' (or ';') separates shards, ',' separates a shard's replicas, in
+// preference order: the front-end tries a shard's replicas left to
+// right. Shard count and order are load-bearing — ShardForEngine hashes
+// engine names modulo the shard count, so every tier of the cluster
+// must be built from the same spec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace useful::cluster {
+using useful::Result;
+using useful::Status;
+
+/// One replica's address.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string ToString() const;
+  bool operator==(const Endpoint& other) const {
+    return host == other.host && port == other.port;
+  }
+};
+
+/// One shard: its replicas in failover preference order.
+struct ShardSpec {
+  std::vector<Endpoint> replicas;
+};
+
+/// A parsed cluster spec: shards[i].replicas[j] is replica j of shard i.
+struct ClusterSpec {
+  std::vector<ShardSpec> shards;
+
+  std::size_t num_shards() const { return shards.size(); }
+  std::size_t num_replicas() const {
+    std::size_t n = 0;
+    for (const ShardSpec& s : shards) n += s.replicas.size();
+    return n;
+  }
+};
+
+/// Parses "h:p,h:p|h:p" (shards by '|' or ';', replicas by ','). Every
+/// shard needs at least one replica; ports must be 1..65535; hosts must
+/// be non-empty and contain no separator bytes.
+Result<ClusterSpec> ParseClusterSpec(std::string_view spec);
+
+/// Parses one "host:port" endpoint.
+Result<Endpoint> ParseEndpoint(std::string_view token);
+
+}  // namespace useful::cluster

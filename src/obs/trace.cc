@@ -24,6 +24,8 @@ const char* StageName(Stage stage) {
       return "serialize";
     case Stage::kWrite:
       return "write";
+    case Stage::kFanout:
+      return "fanout";
     case Stage::kCount_:
       break;
   }

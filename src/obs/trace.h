@@ -36,6 +36,7 @@ enum class Stage : unsigned {
   kPolicy,      // threshold / top-k selection policy
   kSerialize,   // payload line formatting
   kWrite,       // socket write of the framed reply
+  kFanout,      // cluster scatter-gather: shard round-trips + merge
   kCount_,      // sentinel for array sizing
 };
 

@@ -30,14 +30,14 @@ std::uint64_t ElapsedMicros(Connection::Clock::time_point since,
 
 }  // namespace
 
-std::string RenderReply(const Service::Reply& reply) {
+std::string RenderReply(const Reply& reply) {
   std::string out;
   if (!reply.status.ok()) {
     out = FormatErrorHeader(reply.status);
     out.push_back('\n');
     return out;
   }
-  out = FormatOkHeader(reply.payload.size());
+  out = FormatOkHeader(reply.payload.size(), reply.degraded);
   out.push_back('\n');
   for (const std::string& line : reply.payload) {
     out += line;
@@ -251,11 +251,10 @@ void Connection::Advance() {
   if (overlong_ && !in_flight_ && out_off_ >= out_.size() && line_end_ == 0 &&
       !closing_) {
     overlong_ = false;
-    OnBatchComplete(
-        RenderReply(Service::Reply{
-            Status::InvalidArgument("request line too long"), {}, true,
-            false}),
-        {}, /*close_after=*/true);
+    Reply reply;
+    reply.status = Status::InvalidArgument("request line too long");
+    reply.close_connection = true;
+    OnBatchComplete(RenderReply(reply), {}, /*close_after=*/true);
   }
 }
 

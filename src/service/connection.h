@@ -35,14 +35,14 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "service/handler.h"
 #include "service/server.h"
-#include "service/service.h"
 #include "service/stats.h"
 
 namespace useful::service {
 
 /// Builds the full wire response for one reply: header line plus payload.
-std::string RenderReply(const Service::Reply& reply);
+std::string RenderReply(const Reply& reply);
 
 /// Best-effort, all-or-nothing error line ("ERR <Code>: <msg>\n") for the
 /// shed and timeout paths, where the peer may not be reading. The first

@@ -1,0 +1,54 @@
+// The transport/engine seam of the serving stack.
+//
+// service::Server and its reactors move bytes; everything that *answers*
+// a protocol line lives behind RequestHandler. Two implementations exist:
+// service::Service (a broker over local representatives — the shard tier)
+// and cluster::Frontend (a scatter-gather merger over remote shards).
+// Both plug into the same epoll reactor + offload-pool machinery, so one
+// server core serves both tiers of the cluster.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace useful::service {
+
+class Stats;
+
+/// Outcome of one request line, rendered by the transport as an
+/// "OK <n>[ DEGRADED]" or "ERR <Code>: <msg>" header plus payload.
+struct Reply {
+  Status status;                     // !ok(): send ERR, no payload
+  std::vector<std::string> payload;  // lines after the OK header
+  /// Cluster tier: the answer is live but incomplete — one or more whole
+  /// shards were unreachable and their engines are missing from the
+  /// ranking. Rendered as a DEGRADED token on the OK header so clients
+  /// can distinguish "empty because nothing matched" from "empty because
+  /// the cluster is limping". Meaningless (always false) on ERR replies.
+  bool degraded = false;
+  bool close_connection = false;  // QUIT: close after responding
+  bool shutdown_server = false;   // QUIT: stop accepting, drain, exit
+};
+
+/// One protocol-line answering engine. Implementations must be
+/// thread-safe: the offload pool calls Execute from many workers at once.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  /// Executes one protocol line, recording spans into `trace` (never
+  /// null). The caller owns the trace lifecycle — it appends transport
+  /// stages (the socket write) and hands the finished trace to
+  /// stats()->FinishTrace.
+  virtual Reply Execute(std::string_view line, obs::Trace* trace) = 0;
+
+  /// The stats registry the transport records connection lifecycle events
+  /// into and STATS/METRICS render from. Stats is internally thread-safe.
+  virtual Stats* mutable_stats() = 0;
+};
+
+}  // namespace useful::service

@@ -157,8 +157,10 @@ Result<Request> ParseRequest(std::string_view line) {
                                  ")");
 }
 
-std::string FormatOkHeader(std::size_t payload_lines) {
-  return StringPrintf("OK %zu", payload_lines);
+std::string FormatOkHeader(std::size_t payload_lines, bool degraded) {
+  std::string header = StringPrintf("OK %zu", payload_lines);
+  if (degraded) header += " DEGRADED";
+  return header;
 }
 
 std::string FormatErrorHeader(const Status& status) {
@@ -168,8 +170,15 @@ std::string FormatErrorHeader(const Status& status) {
 Result<ResponseHeader> ParseResponseHeader(std::string_view line) {
   ResponseHeader header;
   if (StartsWith(line, "OK ")) {
+    std::string_view rest = line.substr(3);
+    constexpr std::string_view kDegraded = " DEGRADED";
+    if (rest.size() >= kDegraded.size() &&
+        rest.substr(rest.size() - kDegraded.size()) == kDegraded) {
+      header.degraded = true;
+      rest = rest.substr(0, rest.size() - kDegraded.size());
+    }
     std::size_t n = 0;
-    if (!ParseCount(line.substr(3), kMaxPayloadLines, &n)) {
+    if (!ParseCount(rest, kMaxPayloadLines, &n)) {
       return Status::Corruption("bad OK header: " + std::string(line));
     }
     header.ok = true;

@@ -95,8 +95,10 @@ std::string FormatScore(double value);
 /// plain inverse, not a validator).
 Result<double> ParseScore(std::string_view token);
 
-/// "OK <n>" — announces n payload lines.
-std::string FormatOkHeader(std::size_t payload_lines);
+/// "OK <n>" — announces n payload lines. With `degraded`, "OK <n> DEGRADED":
+/// the cluster front-end's marker that the answer is live but incomplete
+/// (a whole shard was unreachable and its engines are missing).
+std::string FormatOkHeader(std::size_t payload_lines, bool degraded = false);
 
 /// "ERR <Code>: <message>" for a non-OK status.
 std::string FormatErrorHeader(const Status& status);
@@ -105,10 +107,13 @@ std::string FormatErrorHeader(const Status& status);
 struct ResponseHeader {
   bool ok = false;
   std::size_t payload_lines = 0;  // valid when ok
+  bool degraded = false;          // valid when ok: "OK <n> DEGRADED"
   std::string error;              // valid when !ok ("<Code>: <msg>")
 };
 
-/// Parses "OK <n>" / "ERR ..." header lines; fails on anything else.
+/// Parses "OK <n>[ DEGRADED]" / "ERR ..." header lines; fails on anything
+/// else (the DEGRADED token is matched strictly — exactly one space, exact
+/// capitalization, nothing after it).
 Result<ResponseHeader> ParseResponseHeader(std::string_view line);
 
 }  // namespace useful::service

@@ -24,13 +24,13 @@ std::uint64_t ElapsedMicros(Reactor::Clock::time_point since,
 
 }  // namespace
 
-Reactor::Reactor(Server* server, Service* service, OffloadPool* pool,
+Reactor::Reactor(Server* server, RequestHandler* handler, OffloadPool* pool,
                  const ServerOptions* options)
     : server_(server),
-      service_(service),
+      handler_(handler),
       pool_(pool),
       options_(options),
-      stats_(service->mutable_stats()) {}
+      stats_(handler->mutable_stats()) {}
 
 Reactor::~Reactor() {
   // Sockets adopted but never registered (Init failed, or the server shut
@@ -273,7 +273,7 @@ void Reactor::ExecuteBatch(std::uint64_t conn_id,
     if (line.empty()) continue;
     obs::Trace trace(stats_->sampler()->Sample());
     trace.AddStageMicros(obs::Stage::kDispatch, dispatch_us);
-    Service::Reply reply = service_->Execute(line, &trace);
+    Reply reply = handler_->Execute(line, &trace);
     result.rendered += RenderReply(reply);
     if (trace.sampled()) {
       // The write stage is appended at flush time by the connection;

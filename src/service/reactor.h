@@ -40,9 +40,9 @@
 
 #include "obs/trace.h"
 #include "service/connection.h"
+#include "service/handler.h"
 #include "service/offload_pool.h"
 #include "service/server.h"
-#include "service/service.h"
 #include "util/status.h"
 
 namespace useful::service {
@@ -63,7 +63,7 @@ class Reactor {
   using Clock = Connection::Clock;
 
   /// All pointers must outlive the reactor.
-  Reactor(Server* server, Service* service, OffloadPool* pool,
+  Reactor(Server* server, RequestHandler* handler, OffloadPool* pool,
           const ServerOptions* options);
   ~Reactor();
 
@@ -113,7 +113,7 @@ class Reactor {
   void BeginDrainAll();
 
   Server* server_;
-  Service* service_;
+  RequestHandler* handler_;
   OffloadPool* pool_;
   const ServerOptions* options_;
   Stats* stats_;

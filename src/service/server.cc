@@ -44,23 +44,31 @@ bool IsAcceptResourceError(int err) {
 
 }  // namespace
 
-Server::Server(Service* service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+Server::Server(RequestHandler* handler, ServerOptions options)
+    : handler_(handler), options_(std::move(options)) {}
 
 Server::~Server() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
-Status Server::Start() {
-  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+Result<int> Server::CreateListenSocket(std::uint16_t port,
+                                       std::uint16_t* bound_port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return ErrnoStatus("socket");
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // SO_REUSEPORT must be set on EVERY socket of the group before its
+  // bind — including the first, or the later binds fail with EADDRINUSE.
+  if (options_.reuseport &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    Status s = ErrnoStatus("setsockopt SO_REUSEPORT");
+    ::close(fd);
+    return s;
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
+  addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
     return Status::InvalidArgument("bad host: " + options_.host);
@@ -81,8 +89,15 @@ Status Server::Start() {
     ::close(fd);
     return s;
   }
-  port_ = ntohs(addr.sin_port);
-  listen_fd_ = fd;
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+Status Server::Start() {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+  auto fd = CreateListenSocket(options_.port, &port_);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = fd.value();
   return Status::OK();
 }
 
@@ -94,14 +109,14 @@ Status Server::Serve() {
   // the reactors in scope, but it is explicitly drained BEFORE the
   // reactors are destroyed — a batch mid-execution holds a Reactor* for
   // its completion post.
-  OffloadPool pool(options_.threads, service_->mutable_stats());
+  OffloadPool pool(options_.threads, handler_->mutable_stats());
   std::size_t num_reactors =
       options_.reactor_threads > 0 ? options_.reactor_threads : 1;
   std::vector<std::unique_ptr<Reactor>> reactors;
   reactors.reserve(num_reactors);
   for (std::size_t i = 0; i < num_reactors; ++i) {
     auto reactor =
-        std::make_unique<Reactor>(this, service_, &pool, &options_);
+        std::make_unique<Reactor>(this, handler_, &pool, &options_);
     Status s = reactor->Init();
     if (!s.ok()) {
       pool.Shutdown();
@@ -113,19 +128,53 @@ Status Server::Serve() {
   next_reactor_ = 0;
   for (const auto& reactor : reactors) reactors_.push_back(reactor.get());
 
+  // Reuseport mode: one listen socket + one acceptor thread per reactor,
+  // all bound to the same host:port. The Start() socket serves reactor 0;
+  // the extras join its SO_REUSEPORT group here. Extra sockets close when
+  // `extra_fds` leaves scope after the acceptors join.
+  std::vector<int> extra_fds;
+  if (options_.reuseport) {
+    for (std::size_t i = 1; i < num_reactors; ++i) {
+      std::uint16_t bound = 0;
+      auto fd = CreateListenSocket(port_, &bound);
+      if (!fd.ok()) {
+        for (int extra : extra_fds) ::close(extra);
+        pool.Shutdown();
+        reactors_.clear();
+        return fd.status();
+      }
+      extra_fds.push_back(fd.value());
+    }
+  }
+
   std::vector<std::thread> reactor_threads;
   reactor_threads.reserve(num_reactors);
   for (const auto& reactor : reactors) {
     reactor_threads.emplace_back([r = reactor.get()] { r->Run(); });
   }
-  std::thread acceptor([this] { AcceptLoop(); });
+  std::vector<std::thread> acceptors;
+  if (options_.reuseport) {
+    acceptors.reserve(num_reactors);
+    acceptors.emplace_back(
+        [this] { AcceptLoop(listen_fd_, /*reactor_index=*/0); });
+    for (std::size_t i = 1; i < num_reactors; ++i) {
+      int fd = extra_fds[i - 1];
+      acceptors.emplace_back([this, fd, i] {
+        AcceptLoop(fd, static_cast<std::ptrdiff_t>(i));
+      });
+    }
+  } else {
+    acceptors.emplace_back(
+        [this] { AcceptLoop(listen_fd_, kRoundRobinAcceptor); });
+  }
 
-  // Shutdown ordering: the acceptor exits on the stop flag; only then are
+  // Shutdown ordering: the acceptors exit on the stop flag; only then are
   // the reactors told no more sockets will arrive, so they can drain
   // (serve buffered requests, flush, close) and exit; only then is the
   // pool drained, so every completion lands in a still-alive reactor's
   // mailbox (possibly unread — that is fine).
-  acceptor.join();
+  for (std::thread& t : acceptors) t.join();
+  for (int fd : extra_fds) ::close(fd);
   for (const auto& reactor : reactors) reactor->NotifyNoMoreAdopts();
   for (std::thread& t : reactor_threads) t.join();
   pool.Shutdown();
@@ -136,14 +185,14 @@ Status Server::Serve() {
   return Status::OK();
 }
 
-void Server::AcceptLoop() {
-  Stats* stats = service_->mutable_stats();
+void Server::AcceptLoop(int listen_fd, std::ptrdiff_t reactor_index) {
+  Stats* stats = handler_->mutable_stats();
   int one = 1;
-  pollfd pfd{listen_fd_, POLLIN, 0};
+  pollfd pfd{listen_fd, POLLIN, 0};
   while (!stopping()) {
     int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
     if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (IsAcceptResourceError(errno)) {
         stats->RecordAcceptError();
@@ -182,8 +231,14 @@ void Server::AcceptLoop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     open_connections_.fetch_add(1, std::memory_order_relaxed);
     unclaimed_.fetch_add(1, std::memory_order_relaxed);
-    reactors_[next_reactor_ % reactors_.size()]->Adopt(fd);
-    ++next_reactor_;
+    if (reactor_index >= 0) {
+      // Reuseport: this acceptor is pinned to one reactor; the kernel's
+      // listen-socket hashing already spread the load.
+      reactors_[static_cast<std::size_t>(reactor_index)]->Adopt(fd);
+    } else {
+      reactors_[next_reactor_ % reactors_.size()]->Adopt(fd);
+      ++next_reactor_;
+    }
   }
 }
 

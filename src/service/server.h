@@ -43,11 +43,12 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "service/service.h"
+#include "service/handler.h"
 #include "util/status.h"
 
 namespace useful::service {
@@ -67,6 +68,15 @@ struct ServerOptions {
   std::size_t max_batch_lines = 128;
   int backlog = 64;
   int poll_interval_ms = 50;       // stop-flag latency for blocked waits
+  /// SO_REUSEPORT acceptor-per-reactor: Serve() opens one listen socket
+  /// per reactor on the same host:port and runs one acceptor thread per
+  /// reactor, each feeding its own reactor directly — the kernel spreads
+  /// incoming connections across the listen sockets, so accepts scale
+  /// with reactors instead of serializing through one acceptor thread.
+  /// Off by default: the single-acceptor round-robin spreads connections
+  /// perfectly evenly, while SO_REUSEPORT's per-socket hashing is only
+  /// statistically even.
+  bool reuseport = false;
 
   // --- Connection lifecycle (0 disables the corresponding limit) -------
   /// Close a connection with no request in progress after this long
@@ -91,8 +101,9 @@ struct ServerOptions {
 
 class Server {
  public:
-  /// `service` must outlive the server.
-  Server(Service* service, ServerOptions options = {});
+  /// `handler` answers every request line (a local service::Service or a
+  /// cluster::Frontend) and must outlive the server.
+  Server(RequestHandler* handler, ServerOptions options = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -134,9 +145,20 @@ class Server {
   }
 
  private:
-  void AcceptLoop();
+  /// One acceptor thread's body over `listen_fd`. `reactor_index` >= 0
+  /// pins every accepted socket to that reactor (the reuseport
+  /// acceptor-per-reactor mode); kRoundRobinAcceptor spreads them across
+  /// all reactors (the single-acceptor mode).
+  static constexpr std::ptrdiff_t kRoundRobinAcceptor = -1;
+  void AcceptLoop(int listen_fd, std::ptrdiff_t reactor_index);
 
-  Service* service_;
+  /// Creates, configures (SO_REUSEADDR and, per options, SO_REUSEPORT),
+  /// binds, and listens a socket on options_.host:`port`. On success
+  /// stores the bound port into *bound_port.
+  Result<int> CreateListenSocket(std::uint16_t port,
+                                 std::uint16_t* bound_port);
+
+  RequestHandler* handler_;
   ServerOptions options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

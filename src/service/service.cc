@@ -122,7 +122,9 @@ Service::Reply Service::Execute(std::string_view line, obs::Trace* trace) {
   }();
   if (!parsed.ok()) {
     stats_.RecordParseError();
-    return Reply{parsed.status(), {}, false, false};
+    Reply reply;
+    reply.status = parsed.status();
+    return reply;
   }
   const Request& request = parsed.value();
 

@@ -26,6 +26,7 @@
 #include "broker/metasearcher.h"
 #include "estimate/estimator.h"
 #include "obs/trace.h"
+#include "service/handler.h"
 #include "service/protocol.h"
 #include "service/query_cache.h"
 #include "service/stats.h"
@@ -44,20 +45,16 @@ struct ServiceOptions {
   std::size_t slowlog_size = 64;
 };
 
-class Service {
+class Service : public RequestHandler {
  public:
+  /// The serving stack's reply type (see service/handler.h); the nested
+  /// alias predates the RequestHandler seam and keeps call sites stable.
+  using Reply = service::Reply;
+
   /// Loads every representative and builds the first snapshot. Fails
   /// without constructing a half-loaded service.
   static Result<std::unique_ptr<Service>> Create(
       const text::Analyzer* analyzer, ServiceOptions options);
-
-  /// Outcome of one request line.
-  struct Reply {
-    Status status;                      // !ok(): send ERR, no payload
-    std::vector<std::string> payload;   // lines after the OK header
-    bool close_connection = false;      // QUIT: close after responding
-    bool shutdown_server = false;       // QUIT: stop accepting, drain, exit
-  };
 
   /// Executes one protocol line. Thread-safe. Makes its own sampling
   /// decision and folds the finished trace into stats().
@@ -67,7 +64,7 @@ class Service {
   /// null). The caller owns the trace's lifecycle: it can append
   /// transport stages (the socket write) afterwards and must hand the
   /// finished trace to stats()->FinishTrace. Thread-safe.
-  Reply Execute(std::string_view line, obs::Trace* trace);
+  Reply Execute(std::string_view line, obs::Trace* trace) override;
 
   /// Re-reads the representative files, swaps the snapshot, and bumps the
   /// cache generation. On failure the old snapshot keeps serving.
@@ -82,7 +79,7 @@ class Service {
   /// Mutable stats handle for the transport layer (Stats is internally
   /// thread-safe): the TCP server records connection lifecycle events —
   /// timeouts, sheds, accept errors — into the same registry STATS renders.
-  Stats* mutable_stats() { return &stats_; }
+  Stats* mutable_stats() override { return &stats_; }
   const QueryCache& cache() const { return cache_; }
 
  private:

@@ -1,0 +1,43 @@
+#include "testing/fake_shard.h"
+
+#include <utility>
+
+namespace useful::testing {
+
+namespace {
+
+struct FakeCall : cluster::ShardBackend::Call {
+  cluster::ShardReply reply;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<cluster::ShardBackend::Call>> FakeShardBackend::Start(
+    const std::string& line) {
+  if (killed_->load(std::memory_order_acquire)) {
+    return Status::IOError("replica killed");
+  }
+  auto call = std::make_unique<FakeCall>();
+  service::Reply executed = service_->Execute(line);
+  if (executed.status.ok()) {
+    call->reply.ok = true;
+    call->reply.payload = std::move(executed.payload);
+    call->reply.degraded = executed.degraded;
+  } else {
+    // What FormatErrorHeader would put after "ERR " on a real socket.
+    call->reply.ok = false;
+    call->reply.error = executed.status.ToString();
+  }
+  return std::unique_ptr<cluster::ShardBackend::Call>(std::move(call));
+}
+
+Status FakeShardBackend::Finish(std::unique_ptr<Call> call,
+                                cluster::ShardReply* reply) {
+  if (killed_->load(std::memory_order_acquire)) {
+    return Status::IOError("replica killed mid-request");
+  }
+  *reply = std::move(static_cast<FakeCall*>(call.get())->reply);
+  return Status::OK();
+}
+
+}  // namespace useful::testing

@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/trace.h"
 #include "service/protocol.h"
+#include "service/stats.h"
 #include "util/random.h"
 #include "util/string_util.h"
 
@@ -190,13 +192,15 @@ std::string FuzzFailure::ToString() const {
 }
 
 std::optional<std::string> ValidateReply(
-    std::string_view line, const service::Service::Reply& reply) {
+    std::string_view line, const service::Reply& reply) {
   // The reply must render to a parseable frame regardless of input.
   if (reply.status.ok()) {
-    std::string header = service::FormatOkHeader(reply.payload.size());
+    std::string header =
+        service::FormatOkHeader(reply.payload.size(), reply.degraded);
     auto parsed = service::ParseResponseHeader(header);
     if (!parsed.ok() || !parsed.value().ok ||
-        parsed.value().payload_lines != reply.payload.size()) {
+        parsed.value().payload_lines != reply.payload.size() ||
+        parsed.value().degraded != reply.degraded) {
       return "OK header does not round-trip: " + header;
     }
     if (reply.payload.size() > service::kMaxPayloadLines) {
@@ -333,11 +337,20 @@ std::string ShrinkLine(std::string line,
   return line;
 }
 
-std::optional<FuzzFailure> FuzzProtocol(service::Service& service,
+std::optional<FuzzFailure> FuzzProtocol(service::RequestHandler& handler,
                                         const FuzzProtocolOptions& options) {
+  // Mirror the transport: every Execute gets a Trace (sampled per the
+  // handler's own rate) and the trace feeds the handler's stats.
+  auto execute = [&](const std::string& request_line) {
+    obs::Trace trace(handler.mutable_stats()->sampler()->Sample());
+    service::Reply reply = handler.Execute(request_line, &trace);
+    handler.mutable_stats()->FinishTrace(trace);
+    return reply;
+  };
   for (std::size_t i = 0; i < options.iterations; ++i) {
+    if (options.on_iteration) options.on_iteration(i);
     std::string line = GenerateFuzzLine(options.seed, i, options.dictionary);
-    auto reason = ValidateReply(line, service.Execute(line));
+    auto reason = ValidateReply(line, execute(line));
     if (!reason.has_value()) continue;
 
     FuzzFailure failure;
@@ -345,14 +358,13 @@ std::optional<FuzzFailure> FuzzProtocol(service::Service& service,
     failure.iteration = i;
     failure.reason = *reason;
     auto fails = [&](const std::string& candidate) {
-      auto r = ValidateReply(candidate, service.Execute(candidate));
+      auto r = ValidateReply(candidate, execute(candidate));
       return r.has_value() && *r == failure.reason;
     };
     failure.line = ShrinkLine(std::move(line), fails);
     // Re-derive the reason for the shrunk line (detail strings may embed
     // the line itself).
-    if (auto final_reason =
-            ValidateReply(failure.line, service.Execute(failure.line));
+    if (auto final_reason = ValidateReply(failure.line, execute(failure.line));
         final_reason.has_value()) {
       failure.reason = *final_reason;
     }

@@ -1,13 +1,14 @@
 // Byte-level fuzzer for the broker's line protocol.
 //
 // Feeds template-based, mutated, and fully random request lines into a
-// socket-free service::Service and asserts that every single line yields
-// a well-formed reply: an OK header whose count matches the payload, or
-// an ERR header that parses back — never a crash, a hang, an internal
-// error, or payload that would corrupt the line framing. The transport
-// guarantees Execute never sees a '\n' (framing strips it), so generated
-// lines cover every other byte value, including '\0', '\r', and high
-// bytes.
+// socket-free service::RequestHandler — the single-process Service or
+// the cluster Frontend over fake shards — and asserts that every single
+// line yields a well-formed reply: an OK header whose count matches the
+// payload (DEGRADED token included), or an ERR header that parses back —
+// never a crash, a hang, an internal error, or payload that would
+// corrupt the line framing. The transport guarantees Execute never sees
+// a '\n' (framing strips it), so generated lines cover every other byte
+// value, including '\0', '\r', and high bytes.
 //
 // Failures shrink to a minimal line (greedy token- then byte-removal)
 // and carry the seed + iteration needed to replay them.
@@ -20,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "service/handler.h"
 #include "service/service.h"
 
 namespace useful::testing {
@@ -45,6 +47,10 @@ struct FuzzProtocolOptions {
   /// Extra tokens (estimator names, query terms) mixed into generated
   /// lines so well-formed requests hit real engines and terms.
   std::vector<std::string> dictionary;
+  /// Called with the iteration number before each generated line; the
+  /// cluster fuzz harness uses it to kill/revive fake shard replicas
+  /// mid-run (the handler must stay well-formed through topology churn).
+  std::function<void(std::size_t)> on_iteration;
 };
 
 /// `line` escaped for display: printable ASCII kept, everything else as
@@ -54,12 +60,13 @@ std::string EscapeLine(std::string_view line);
 /// Checks one Execute() reply against the protocol contract. Returns a
 /// reason string on violation, nullopt when well-formed. Stateless.
 std::optional<std::string> ValidateReply(std::string_view line,
-                                         const service::Service::Reply& reply);
+                                         const service::Reply& reply);
 
-/// Runs `options.iterations` generated lines through `service`, validating
-/// every reply. On violation, shrinks the line (same reason must persist)
-/// and returns the failure; nullopt when the whole run is clean.
-std::optional<FuzzFailure> FuzzProtocol(service::Service& service,
+/// Runs `options.iterations` generated lines through `handler` (a
+/// Service or a cluster Frontend), validating every reply. On violation,
+/// shrinks the line (same reason must persist) and returns the failure;
+/// nullopt when the whole run is clean.
+std::optional<FuzzFailure> FuzzProtocol(service::RequestHandler& handler,
                                         const FuzzProtocolOptions& options);
 
 /// Deterministic line generator used by FuzzProtocol, exposed for tests:

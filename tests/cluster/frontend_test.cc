@@ -1,0 +1,400 @@
+#include "cluster/frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/backend.h"
+#include "cluster/topology.h"
+#include "obs/trace.h"
+#include "service/handler.h"
+
+namespace useful::cluster {
+namespace {
+
+/// One replica's scripted behavior plus call counters. Shared between
+/// the test body and the backend the factory handed the Frontend.
+struct ReplicaScript {
+  std::atomic<bool> fail_start{false};
+  /// Start succeeds, Finish fails — the mid-request death.
+  std::atomic<bool> fail_finish{false};
+  std::atomic<int> starts{0};
+  std::atomic<int> finishes{0};
+  /// Response for any request line; defaults to an empty-OK frame.
+  std::function<ShardReply(const std::string&)> respond;
+};
+
+ShardReply OkReply(std::vector<std::string> payload) {
+  ShardReply reply;
+  reply.ok = true;
+  reply.payload = std::move(payload);
+  return reply;
+}
+
+class ScriptedBackend : public ShardBackend {
+ public:
+  explicit ScriptedBackend(ReplicaScript* script) : script_(script) {}
+
+  Result<std::unique_ptr<Call>> Start(const std::string& line) override {
+    script_->starts.fetch_add(1);
+    if (script_->fail_start.load()) return Status::IOError("scripted: down");
+    auto call = std::make_unique<ScriptedCall>();
+    call->reply = script_->respond ? script_->respond(line) : OkReply({});
+    return std::unique_ptr<Call>(std::move(call));
+  }
+
+  Status Finish(std::unique_ptr<Call> call, ShardReply* reply) override {
+    script_->finishes.fetch_add(1);
+    if (script_->fail_finish.load()) {
+      return Status::IOError("scripted: died mid-request");
+    }
+    *reply = std::move(static_cast<ScriptedCall*>(call.get())->reply);
+    return Status::OK();
+  }
+
+ private:
+  struct ScriptedCall : Call {
+    ShardReply reply;
+  };
+  ReplicaScript* script_;
+};
+
+/// 2 shards x 2 replicas of scripted backends.
+class FrontendTest : public ::testing::Test {
+ protected:
+  void MakeFrontend(FrontendOptions options = {}) {
+    auto spec = ParseClusterSpec("a:1,a:2|b:1,b:2");
+    ASSERT_TRUE(spec.ok());
+    frontend_ = std::make_unique<Frontend>(
+        std::move(spec).value(), options,
+        [this](const Endpoint&, std::size_t shard, std::size_t replica) {
+          return std::make_unique<ScriptedBackend>(&scripts_[shard][replica]);
+        });
+  }
+
+  service::Reply Execute(const std::string& line) {
+    obs::Trace trace;
+    return frontend_->Execute(line, &trace);
+  }
+
+  /// Scripts every replica of `shard` to answer rankings from `lines`.
+  void RespondWithRanking(std::size_t shard, std::vector<std::string> lines) {
+    for (ReplicaScript& script : scripts_[shard]) {
+      script.respond = [lines](const std::string&) {
+        return OkReply(lines);
+      };
+    }
+  }
+
+  ReplicaScript scripts_[2][2];
+  std::unique_ptr<Frontend> frontend_;
+};
+
+TEST_F(FrontendTest, MergesShardRankingsAndPrefersFirstReplica) {
+  MakeFrontend();
+  RespondWithRanking(0, {"borealis 5 0.5", "gamma 1 0.25"});
+  RespondWithRanking(1, {"aurora 3 0.75"});
+
+  service::Reply reply = Execute("ROUTE subrange 0.1 0 fox");
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  EXPECT_FALSE(reply.degraded);
+  EXPECT_EQ(reply.payload,
+            (std::vector<std::string>{"borealis 5 0.5", "aurora 3 0.75",
+                                      "gamma 1 0.25"}));
+  // Preferred (first) replicas served; second replicas never touched.
+  EXPECT_EQ(scripts_[0][0].starts.load(), 1);
+  EXPECT_EQ(scripts_[0][1].starts.load(), 0);
+  EXPECT_EQ(scripts_[1][1].starts.load(), 0);
+  EXPECT_EQ(frontend_->stale_shards(), 0u);
+}
+
+TEST_F(FrontendTest, TopKCapsTheMergedRankingNotTheShards) {
+  MakeFrontend();
+  RespondWithRanking(0, {"borealis 5 0.5", "gamma 1 0.25"});
+  RespondWithRanking(1, {"aurora 3 0.75"});
+
+  service::Reply reply = Execute("ROUTE subrange 0.1 2 fox");
+  ASSERT_TRUE(reply.status.ok());
+  EXPECT_EQ(reply.payload, (std::vector<std::string>{"borealis 5 0.5",
+                                                     "aurora 3 0.75"}));
+}
+
+TEST_F(FrontendTest, FailsOverToTheSecondReplicaOnStartFailure) {
+  MakeFrontend();
+  RespondWithRanking(0, {"borealis 5 0.5"});
+  RespondWithRanking(1, {});
+  scripts_[0][0].fail_start.store(true);
+
+  service::Reply reply = Execute("ROUTE subrange 0.1 0 fox");
+  ASSERT_TRUE(reply.status.ok());
+  EXPECT_FALSE(reply.degraded);  // the shard answered, via replica 2
+  EXPECT_EQ(reply.payload, (std::vector<std::string>{"borealis 5 0.5"}));
+  EXPECT_EQ(scripts_[0][1].starts.load(), 1);
+  EXPECT_EQ(frontend_->rerouted(), 1u);
+  EXPECT_GE(frontend_->shard_errors(), 1u);
+  EXPECT_EQ(frontend_->stale_shards(), 0u);
+}
+
+TEST_F(FrontendTest, FailsOverWhenAReplicaDiesMidRequest) {
+  MakeFrontend();
+  RespondWithRanking(0, {"borealis 5 0.5"});
+  RespondWithRanking(1, {});
+  scripts_[0][0].fail_finish.store(true);  // accepts the write, dies reading
+
+  service::Reply reply = Execute("ROUTE subrange 0.1 0 fox");
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  EXPECT_FALSE(reply.degraded);
+  EXPECT_EQ(reply.payload, (std::vector<std::string>{"borealis 5 0.5"}));
+  EXPECT_EQ(scripts_[0][1].starts.load(), 1);
+  EXPECT_EQ(frontend_->rerouted(), 1u);
+}
+
+TEST_F(FrontendTest, WholeShardDownDegradesTheReplyAndRecovers) {
+  MakeFrontend();
+  RespondWithRanking(0, {"borealis 5 0.5"});
+  RespondWithRanking(1, {"aurora 3 0.75"});
+  scripts_[0][0].fail_start.store(true);
+  scripts_[0][1].fail_start.store(true);
+
+  service::Reply reply = Execute("ROUTE subrange 0.1 0 fox");
+  ASSERT_TRUE(reply.status.ok());
+  EXPECT_TRUE(reply.degraded);
+  EXPECT_EQ(reply.payload, (std::vector<std::string>{"aurora 3 0.75"}));
+  EXPECT_EQ(frontend_->stale_shards(), 1u);
+  EXPECT_EQ(frontend_->degraded_replies(), 1u);
+
+  // The shard restarts; the next request reaches it and clears staleness.
+  scripts_[0][0].fail_start.store(false);
+  scripts_[0][1].fail_start.store(false);
+  reply = Execute("ROUTE subrange 0.1 0 fox");
+  ASSERT_TRUE(reply.status.ok());
+  EXPECT_FALSE(reply.degraded);
+  EXPECT_EQ(reply.payload, (std::vector<std::string>{"borealis 5 0.5",
+                                                     "aurora 3 0.75"}));
+  EXPECT_EQ(frontend_->stale_shards(), 0u);
+}
+
+TEST_F(FrontendTest, EveryShardDownIsUnavailableNotInternal) {
+  MakeFrontend();
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) script.fail_start.store(true);
+  }
+  service::Reply reply = Execute("ROUTE subrange 0.1 0 fox");
+  EXPECT_EQ(reply.status.code(), Status::Code::kUnavailable);
+  EXPECT_EQ(frontend_->stale_shards(), 2u);
+}
+
+TEST_F(FrontendTest, EjectedReplicaIsSkippedUntilBackoffExpires) {
+  FrontendOptions options;
+  options.eject_failures = 1;
+  options.probe_backoff_ms = 60'000;  // effectively forever for this test
+  MakeFrontend(options);
+  RespondWithRanking(0, {});
+  RespondWithRanking(1, {});
+  scripts_[0][0].fail_start.store(true);
+
+  ASSERT_TRUE(Execute("ROUTE subrange 0.1 0 fox").status.ok());
+  int starts_after_ejection = scripts_[0][0].starts.load();
+  // Ejected: later requests go straight to replica 2 without probing.
+  ASSERT_TRUE(Execute("ROUTE subrange 0.1 0 fox").status.ok());
+  ASSERT_TRUE(Execute("ROUTE subrange 0.1 0 fox").status.ok());
+  EXPECT_EQ(scripts_[0][0].starts.load(), starts_after_ejection);
+  EXPECT_EQ(scripts_[0][1].starts.load(), 3);
+}
+
+TEST_F(FrontendTest, FullyEjectedShardIsStillProbedSoRestartsRecover) {
+  FrontendOptions options;
+  options.eject_failures = 1;
+  options.probe_backoff_ms = 60'000;
+  MakeFrontend(options);
+  RespondWithRanking(0, {"borealis 5 0.5"});
+  RespondWithRanking(1, {});
+  scripts_[0][0].fail_start.store(true);
+  scripts_[0][1].fail_start.store(true);
+
+  EXPECT_TRUE(Execute("ROUTE subrange 0.1 0 fox").degraded);
+  // Both replicas ejected with an hour of backoff — but a restarted shard
+  // must recover on the NEXT request, not in an hour.
+  scripts_[0][0].fail_start.store(false);
+  service::Reply reply = Execute("ROUTE subrange 0.1 0 fox");
+  ASSERT_TRUE(reply.status.ok());
+  EXPECT_FALSE(reply.degraded);
+  EXPECT_EQ(frontend_->stale_shards(), 0u);
+}
+
+TEST_F(FrontendTest, DownstreamProtocolErrorsPassThroughVerbatim) {
+  MakeFrontend();
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      script.respond = [](const std::string&) {
+        ShardReply reply;
+        reply.ok = false;
+        reply.error = "NotFound: unknown estimator \"nope\"";
+        return reply;
+      };
+    }
+  }
+  service::Reply reply = Execute("ROUTE nope 0.1 0 fox");
+  EXPECT_EQ(reply.status.code(), Status::Code::kNotFound);
+  EXPECT_EQ(reply.status.message(), "unknown estimator \"nope\"");
+}
+
+TEST_F(FrontendTest, GarbledShardPayloadDegradesInsteadOfCorrupting) {
+  MakeFrontend();
+  RespondWithRanking(0, {"torn line without scores"});
+  RespondWithRanking(1, {"aurora 3 0.75"});
+
+  service::Reply reply = Execute("ROUTE subrange 0.1 0 fox");
+  ASSERT_TRUE(reply.status.ok());
+  EXPECT_TRUE(reply.degraded);
+  EXPECT_EQ(reply.payload, (std::vector<std::string>{"aurora 3 0.75"}));
+  EXPECT_GE(frontend_->shard_errors(), 1u);
+}
+
+TEST_F(FrontendTest, StatsAggregatesSummableDownstreamCounters) {
+  MakeFrontend();
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (ReplicaScript& script : scripts_[s]) {
+      script.respond = [](const std::string& line) {
+        EXPECT_EQ(line, "STATS");
+        return OkReply({"engines 3", "requests_total 10", "cache_hits 4",
+                        "latency_p99_us 500"});
+      };
+    }
+  }
+  service::Reply reply = Execute("STATS");
+  ASSERT_TRUE(reply.status.ok());
+  auto has_line = [&](const std::string& want) {
+    for (const std::string& line : reply.payload) {
+      if (line == want) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_line("cluster_shards 2"));
+  EXPECT_TRUE(has_line("cluster_replicas 4"));
+  EXPECT_TRUE(has_line("stale_shards 0"));
+  EXPECT_TRUE(has_line("shard0_live_replicas 2"));
+  EXPECT_TRUE(has_line("shard1_live_replicas 2"));
+  // One replica per shard answered: 3 + 3 engines, 10 + 10 requests.
+  EXPECT_TRUE(has_line("agg_engines 6"));
+  EXPECT_TRUE(has_line("agg_requests_total 20"));
+  EXPECT_TRUE(has_line("agg_cache_hits 8"));
+  // Latency percentiles are not summable and must not be aggregated.
+  EXPECT_FALSE(has_line("agg_latency_p99_us 1000"));
+  for (const std::string& line : reply.payload) {
+    EXPECT_EQ(line.rfind("agg_latency", 0), std::string::npos) << line;
+  }
+}
+
+TEST_F(FrontendTest, MetricsExposeClusterFamilies) {
+  MakeFrontend();
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      script.respond = [](const std::string&) {
+        return OkReply({"engines 3", "requests_total 7", "errors_total 1"});
+      };
+    }
+  }
+  service::Reply reply = Execute("METRICS");
+  ASSERT_TRUE(reply.status.ok());
+  auto has_prefix = [&](const std::string& prefix) {
+    for (const std::string& line : reply.payload) {
+      if (line.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_prefix("useful_cluster_shards 2"));
+  EXPECT_TRUE(has_prefix("useful_cluster_stale_shards 0"));
+  EXPECT_TRUE(has_prefix("useful_cluster_live_replicas{shard=\"0\"} 2"));
+  EXPECT_TRUE(has_prefix("useful_cluster_degraded_replies_total 0"));
+  EXPECT_TRUE(
+      has_prefix("useful_cluster_downstream_requests_total{shard=\"1\"} 7"));
+  EXPECT_TRUE(
+      has_prefix("useful_cluster_downstream_errors_total{shard=\"0\"} 1"));
+  EXPECT_TRUE(has_prefix("useful_shard_roundtrip_seconds_count"));
+}
+
+TEST_F(FrontendTest, ReloadFansToEveryReplicaOfEveryShard) {
+  MakeFrontend();
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      script.respond = [](const std::string& line) {
+        EXPECT_EQ(line, "RELOAD");
+        return OkReply({"engines 3"});
+      };
+    }
+  }
+  service::Reply reply = Execute("RELOAD");
+  ASSERT_TRUE(reply.status.ok());
+  EXPECT_FALSE(reply.degraded);
+  EXPECT_EQ(reply.payload, (std::vector<std::string>{"engines 6"}));
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      EXPECT_EQ(script.starts.load(), 1);  // ALL replicas, not one per shard
+    }
+  }
+}
+
+TEST_F(FrontendTest, ReloadWithOneDeadReplicaIsDegradedOk) {
+  MakeFrontend();
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      script.respond = [](const std::string&) {
+        return OkReply({"engines 3"});
+      };
+    }
+  }
+  scripts_[0][1].fail_start.store(true);
+  service::Reply reply = Execute("RELOAD");
+  ASSERT_TRUE(reply.status.ok());
+  EXPECT_TRUE(reply.degraded);  // a replica missed the reload
+  EXPECT_EQ(reply.payload, (std::vector<std::string>{"engines 6"}));
+}
+
+TEST_F(FrontendTest, ReloadFailsWhenAWholeShardMissesIt) {
+  MakeFrontend();
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      script.respond = [](const std::string&) {
+        return OkReply({"engines 3"});
+      };
+    }
+  }
+  scripts_[1][0].fail_start.store(true);
+  scripts_[1][1].fail_start.store(true);
+  service::Reply reply = Execute("RELOAD");
+  EXPECT_EQ(reply.status.code(), Status::Code::kUnavailable);
+}
+
+TEST_F(FrontendTest, QuitShutsDownLocallyAndIsNeverForwarded) {
+  MakeFrontend();
+  service::Reply reply = Execute("QUIT");
+  EXPECT_TRUE(reply.status.ok());
+  EXPECT_TRUE(reply.close_connection);
+  EXPECT_TRUE(reply.shutdown_server);
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      EXPECT_EQ(script.starts.load(), 0);
+    }
+  }
+}
+
+TEST_F(FrontendTest, ParseErrorsAreLocalAndNeverFanOut) {
+  MakeFrontend();
+  service::Reply reply = Execute("NONSENSE");
+  EXPECT_FALSE(reply.status.ok());
+  EXPECT_NE(reply.status.code(), Status::Code::kInternal);
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      EXPECT_EQ(script.starts.load(), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace useful::cluster

@@ -1,0 +1,247 @@
+#include "cluster/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/frontend.h"
+#include "cluster/hashing.h"
+#include "cluster/topology.h"
+#include "estimate/registry.h"
+#include "ir/search_engine.h"
+#include "obs/trace.h"
+#include "represent/builder.h"
+#include "represent/serialize.h"
+#include "service/service.h"
+#include "testing/fake_shard.h"
+#include "testing/synthetic.h"
+#include "text/analyzer.h"
+
+namespace useful::cluster {
+namespace {
+
+TEST(ParseRankedLineTest, ParsesEngineAndVerbatimScoreTokens) {
+  auto line = ParseRankedLine("sports 3 0.25");
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(line.value().engine, "sports");
+  EXPECT_EQ(line.value().no_doc, 3.0);
+  EXPECT_EQ(line.value().avg_sim, 0.25);
+  EXPECT_EQ(line.value().no_doc_token, "3");
+  EXPECT_EQ(line.value().avg_sim_token, "0.25");
+}
+
+TEST(ParseRankedLineTest, RejectsMalformedLines) {
+  for (const char* bad :
+       {"", "sports", "sports 3", "sports 3 0.25 extra", "sports x 0.25",
+        "sports 3 y"}) {
+    EXPECT_FALSE(ParseRankedLine(bad).ok()) << bad;
+  }
+}
+
+TEST(FormatRankedLineTest, ReEmitsVerbatimTokens) {
+  // The front-end must never reformat a score a shard produced: a token
+  // that parses to the same double but is spelled differently ("0.250")
+  // must survive the round trip byte-for-byte.
+  auto line = ParseRankedLine("e 2.0 0.250");
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(FormatRankedLine(line.value()), "e 2.0 0.250");
+}
+
+TEST(SortRankingTest, UsesTheRankEnginesComparator) {
+  std::vector<RankedLine> lines;
+  Status st = ParseRankingPayload(
+      {
+          "delta 1 0.9",    // lowest no_doc -> last
+          "bravo 2 0.5",    // ties alpha on both scores -> name breaks it
+          "alpha 2 0.5",
+          "charlie 2 0.7",  // same no_doc, higher avg_sim -> above the tie
+          "echo 3 0.1",     // highest no_doc -> first
+      },
+      &lines);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  SortRanking(&lines);
+  std::vector<std::string> order;
+  for (const RankedLine& line : lines) order.push_back(line.engine);
+  EXPECT_EQ(order, (std::vector<std::string>{"echo", "charlie", "alpha",
+                                             "bravo", "delta"}));
+}
+
+TEST(ParseRankingPayloadTest, FailsOnAnyGarbledLine) {
+  std::vector<RankedLine> lines;
+  EXPECT_FALSE(
+      ParseRankingPayload({"good 1 0.5", "torn payload"}, &lines).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The bit-identical merge property: a 2-shard front-end over in-process
+// fake replicas must produce byte-for-byte the ranking of one Service
+// holding every representative — for every registered estimator, across
+// seeded corpora, thresholds, top-k caps, and duplicate-score ties.
+
+class MergeFidelityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("useful_merge_fidelity_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::create_directories(dir_);
+
+    // Four seed-varied engines plus a twin pair with identical documents
+    // (identical scores) whose names hash to DIFFERENT shards, so the
+    // duplicate-score tie-break crosses the merge boundary.
+    BuildEngine("aurora", 11);
+    BuildEngine("borealis", 12);
+    BuildEngine("cascade", 13);
+    BuildEngine("delta", 14);
+    BuildEngine("twin-a", 99);
+    BuildEngine("twin-b", 99);
+    ASSERT_NE(ShardForEngine("twin-a", 2), ShardForEngine("twin-b", 2));
+
+    std::map<std::size_t, std::vector<std::string>> shard_paths;
+    std::vector<std::string> all_paths;
+    for (const std::string& name : names_) {
+      std::string path = (dir_ / (name + ".rep")).string();
+      shard_paths[ShardForEngine(name, 2)].push_back(path);
+      all_paths.push_back(path);
+    }
+    ASSERT_EQ(shard_paths.size(), 2u)
+        << "engine name set must occupy both shards";
+
+    oracle_ = CreateService(all_paths);
+    shard_services_[0] = CreateService(shard_paths[0]);
+    shard_services_[1] = CreateService(shard_paths[1]);
+
+    auto spec = ParseClusterSpec("a:1|b:1");
+    ASSERT_TRUE(spec.ok());
+    frontend_ = std::make_unique<Frontend>(
+        std::move(spec).value(), FrontendOptions{},
+        [this](const Endpoint&, std::size_t shard, std::size_t) {
+          return std::make_unique<testing::FakeShardBackend>(
+              shard_services_[shard].get(), &killed_);
+        });
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void BuildEngine(const std::string& name, std::uint64_t seed) {
+    testing::SyntheticCorpusOptions options = testing::VaryForSeed(seed);
+    corpus::Collection collection =
+        testing::MakeSyntheticCollection(options, name);
+    ir::SearchEngine engine(name, &analyzer_);
+    ASSERT_TRUE(engine.AddCollection(collection).ok());
+    ASSERT_TRUE(engine.Finalize().ok());
+    auto rep = represent::BuildRepresentative(engine);
+    ASSERT_TRUE(rep.ok());
+    ASSERT_TRUE(represent::SaveRepresentative(
+                    rep.value(), (dir_ / (name + ".rep")).string())
+                    .ok());
+    names_.push_back(name);
+  }
+
+  std::unique_ptr<service::Service> CreateService(
+      const std::vector<std::string>& paths) {
+    service::ServiceOptions options;
+    options.representative_paths = paths;
+    auto service = service::Service::Create(&analyzer_, options);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    return std::move(service).value();
+  }
+
+  service::Reply Fronted(const std::string& line) {
+    obs::Trace trace;
+    return frontend_->Execute(line, &trace);
+  }
+
+  text::Analyzer analyzer_;
+  std::filesystem::path dir_;
+  std::vector<std::string> names_;
+  std::unique_ptr<service::Service> oracle_;
+  std::unique_ptr<service::Service> shard_services_[2];
+  std::unique_ptr<Frontend> frontend_;
+  std::atomic<bool> killed_{false};  // replicas stay alive throughout
+};
+
+TEST_F(MergeFidelityTest, MergedRankingIsBitIdenticalForEveryEstimator) {
+  std::vector<std::string> queries = {"zq0x", "zq1x zq2x",
+                                      "zq0x zq3x zq5x zq9x"};
+  for (const std::string& text : testing::MakeSyntheticQueryTexts(
+           testing::VaryForSeed(11), {}, 7)) {
+    queries.push_back(text);
+  }
+
+  std::size_t compared = 0;
+  for (const std::string& estimator : estimate::KnownEstimators()) {
+    for (const std::string& query : queries) {
+      for (const char* threshold : {"0", "0.05", "0.2"}) {
+        for (const char* command_prefix :
+             {"ROUTE ", "ESTIMATE "}) {
+          std::string suffix =
+              std::string(command_prefix) == "ROUTE "
+                  ? std::string(threshold) + " 0 " + query
+                  : std::string(threshold) + " " + query;
+          std::string line = command_prefix + estimator + " " + suffix;
+          service::Reply fronted = Fronted(line);
+          service::Reply direct = oracle_->Execute(line);
+          ASSERT_EQ(fronted.status.ok(), direct.status.ok()) << line;
+          EXPECT_FALSE(fronted.degraded) << line;
+          ASSERT_EQ(fronted.payload.size(), direct.payload.size()) << line;
+          for (std::size_t i = 0; i < direct.payload.size(); ++i) {
+            EXPECT_EQ(fronted.payload[i], direct.payload[i])
+                << line << " line " << i;
+          }
+          ++compared;
+        }
+      }
+    }
+  }
+  // 5 estimators x (3 + generated) queries x 3 thresholds x 2 commands.
+  EXPECT_GE(compared, 5u * 3u * 3u * 2u);
+}
+
+TEST_F(MergeFidelityTest, TopKCapIsAppliedAfterTheMergeNotPerShard) {
+  for (const char* topk : {"1", "2", "3"}) {
+    std::string line =
+        std::string("ROUTE subrange 0 ") + topk + " zq0x zq1x";
+    service::Reply fronted = Fronted(line);
+    service::Reply direct = oracle_->Execute(line);
+    ASSERT_TRUE(fronted.status.ok());
+    ASSERT_EQ(fronted.payload.size(), direct.payload.size()) << line;
+    for (std::size_t i = 0; i < direct.payload.size(); ++i) {
+      EXPECT_EQ(fronted.payload[i], direct.payload[i]) << line;
+    }
+  }
+}
+
+TEST_F(MergeFidelityTest, DuplicateScoreTwinsTieBreakByNameAcrossShards) {
+  // twin-a and twin-b hold identical documents on different shards, so
+  // their scores are equal for every query that matches them; the merged
+  // ranking must place twin-a immediately before twin-b (name ascending),
+  // exactly as the single process does.
+  service::Reply fronted = Fronted("ESTIMATE subrange 0 zq0x zq1x");
+  ASSERT_TRUE(fronted.status.ok());
+  std::ptrdiff_t pos_a = -1, pos_b = -1;
+  std::vector<RankedLine> lines;
+  ASSERT_TRUE(ParseRankingPayload(fronted.payload, &lines).ok());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].engine == "twin-a") pos_a = static_cast<std::ptrdiff_t>(i);
+    if (lines[i].engine == "twin-b") pos_b = static_cast<std::ptrdiff_t>(i);
+  }
+  ASSERT_GE(pos_a, 0);
+  ASSERT_GE(pos_b, 0);
+  EXPECT_EQ(pos_b, pos_a + 1);
+  EXPECT_EQ(lines[pos_a].no_doc_token, lines[pos_b].no_doc_token);
+  EXPECT_EQ(lines[pos_a].avg_sim_token, lines[pos_b].avg_sim_token);
+}
+
+}  // namespace
+}  // namespace useful::cluster

@@ -283,7 +283,7 @@ TEST_F(MetricsTest, CoreFamiliesAndStageSeriesPresent) {
   // recorded by the transport — but the series exist).
   for (const char* stage : {"dispatch", "parse", "cache", "resolve",
                             "estimate", "rank", "policy", "serialize",
-                            "write"}) {
+                            "write", "fanout"}) {
     std::string count_series = std::string("useful_stage_latency_seconds") +
                                "_count{stage=\"" + stage + "\"}";
     ASSERT_TRUE(scrape.samples.count(count_series)) << count_series;

@@ -1,0 +1,201 @@
+#!/bin/sh
+# Multi-process cluster smoke test, run by ctest (smoke + tsan labels).
+#
+#   served_cluster.sh <useful_served> <useful_frontend> <useful_client>
+#                     <rep0> <rep1> <workdir>
+#
+# Boots a real 2-shard x 2-replica cluster — four useful_served shard
+# processes, one useful_frontend, plus a single-process oracle server
+# holding BOTH representatives — then walks the failure ladder:
+#
+#   phase 1  fronted ROUTE/ESTIMATE output is byte-identical to the
+#            oracle for every estimator (the scatter-gather merge is
+#            invisible to clients);
+#   phase 2  kill -9 the FIRST replica of shard 0: requests keep
+#            answering OK with no DEGRADED marker (failover to the
+#            second replica), stale_shards stays 0, rerouted counts it;
+#   phase 3  kill the second replica too: replies degrade (DEGRADED on
+#            the OK header), stale_shards reports 1;
+#   phase 4  restart both replicas on their old ports: the front-end
+#            recovers on its own (no restart, no config change),
+#            stale_shards returns to 0, and the fronted output is again
+#            byte-identical to the oracle.
+#
+# Everything shuts down via QUIT and must log a clean exit. Thread
+# counts are minimal: this runs under TSan on small CI boxes.
+set -e
+
+SERVED=$1
+FRONTEND=$2
+CLIENT=$3
+REP0=$4
+REP1=$5
+DIR=$6
+
+S0A_LOG="$DIR/cluster_s0a.out"; S0A_PORT_FILE="$DIR/cluster_s0a.port"
+S0B_LOG="$DIR/cluster_s0b.out"; S0B_PORT_FILE="$DIR/cluster_s0b.port"
+S1A_LOG="$DIR/cluster_s1a.out"; S1A_PORT_FILE="$DIR/cluster_s1a.port"
+S1B_LOG="$DIR/cluster_s1b.out"; S1B_PORT_FILE="$DIR/cluster_s1b.port"
+ORACLE_LOG="$DIR/cluster_oracle.out"; ORACLE_PORT_FILE="$DIR/cluster_oracle.port"
+FE_LOG="$DIR/cluster_fe.out"; FE_PORT_FILE="$DIR/cluster_fe.port"
+rm -f "$S0A_LOG" "$S0B_LOG" "$S1A_LOG" "$S1B_LOG" "$ORACLE_LOG" "$FE_LOG" \
+      "$S0A_PORT_FILE" "$S0B_PORT_FILE" "$S1A_PORT_FILE" "$S1B_PORT_FILE" \
+      "$ORACLE_PORT_FILE" "$FE_PORT_FILE"
+
+ALL_PIDS=""
+# Diagnostics go to stderr: fail() sometimes runs inside a $(...) whose
+# stdout is being captured.
+fail() {
+  echo "FAIL: $1" >&2
+  for log in "$S0A_LOG" "$S0B_LOG" "$S1A_LOG" "$S1B_LOG" "$ORACLE_LOG" \
+             "$FE_LOG"; do
+    [ -f "$log" ] && { echo "--- $log" >&2; cat "$log" >&2; }
+  done
+  # shellcheck disable=SC2086
+  kill $ALL_PIDS 2>/dev/null || true
+  exit 1
+}
+
+# start_served <log> <port_file> <port> <rep>...; sets STARTED_PID. Runs
+# in the main shell (not $(...)) so the server stays wait-able.
+start_served() {
+  log=$1; port_file=$2; port=$3; shift 3
+  rm -f "$port_file"
+  "$SERVED" --port "$port" --port-file "$port_file" \
+            --threads 1 --reactor-threads 1 "$@" > "$log" 2>&1 &
+  STARTED_PID=$!
+}
+
+wait_port() {
+  # wait_port <port_file> <pid> <what>; echoes the published port.
+  i=0
+  while [ $i -lt 150 ]; do
+    if [ -f "$1" ]; then cat "$1"; return 0; fi
+    kill -0 "$2" 2>/dev/null || fail "$3 died before publishing a port"
+    sleep 0.1
+    i=$((i + 1))
+  done
+  fail "$3 never published a port"
+}
+
+# --- boot: 2 shards x 2 replicas, the oracle, then the front-end.
+start_served "$S0A_LOG" "$S0A_PORT_FILE" 0 "$REP0"; S0A_PID=$STARTED_PID
+start_served "$S0B_LOG" "$S0B_PORT_FILE" 0 "$REP0"; S0B_PID=$STARTED_PID
+start_served "$S1A_LOG" "$S1A_PORT_FILE" 0 "$REP1"; S1A_PID=$STARTED_PID
+start_served "$S1B_LOG" "$S1B_PORT_FILE" 0 "$REP1"; S1B_PID=$STARTED_PID
+start_served "$ORACLE_LOG" "$ORACLE_PORT_FILE" 0 "$REP0" "$REP1"
+ORACLE_PID=$STARTED_PID
+ALL_PIDS="$S0A_PID $S0B_PID $S1A_PID $S1B_PID $ORACLE_PID"
+
+S0A_PORT=$(wait_port "$S0A_PORT_FILE" "$S0A_PID" "shard 0 replica a")
+S0B_PORT=$(wait_port "$S0B_PORT_FILE" "$S0B_PID" "shard 0 replica b")
+S1A_PORT=$(wait_port "$S1A_PORT_FILE" "$S1A_PID" "shard 1 replica a")
+S1B_PORT=$(wait_port "$S1B_PORT_FILE" "$S1B_PID" "shard 1 replica b")
+ORACLE_PORT=$(wait_port "$ORACLE_PORT_FILE" "$ORACLE_PID" "oracle")
+
+CLUSTER="127.0.0.1:$S0A_PORT,127.0.0.1:$S0B_PORT|127.0.0.1:$S1A_PORT,127.0.0.1:$S1B_PORT"
+# Short probe backoff + generous io timeout: CI may run this under TSan.
+"$FRONTEND" --cluster "$CLUSTER" --port 0 --port-file "$FE_PORT_FILE" \
+            --threads 1 --reactor-threads 1 \
+            --probe-backoff-ms 100 --io-timeout-ms 30000 > "$FE_LOG" 2>&1 &
+FE_PID=$!
+ALL_PIDS="$ALL_PIDS $FE_PID"
+FE_PORT=$(wait_port "$FE_PORT_FILE" "$FE_PID" "front-end")
+
+# compare_to_oracle <tag>: fronted answers == oracle answers, byte for byte.
+compare_to_oracle() {
+  for est in subrange subrange-nomax basic adaptive disjoint; do
+    for query in "fox dog" "fox" "dog cat mouse"; do
+      "$CLIENT" --port "$FE_PORT" ESTIMATE "$est" 0.1 $query \
+          > "$DIR/cluster_fe_reply" \
+          || fail "$1: fronted ESTIMATE $est '$query' errored"
+      "$CLIENT" --port "$ORACLE_PORT" ESTIMATE "$est" 0.1 $query \
+          > "$DIR/cluster_oracle_reply" \
+          || fail "$1: oracle ESTIMATE $est '$query' errored"
+      cmp -s "$DIR/cluster_fe_reply" "$DIR/cluster_oracle_reply" \
+          || fail "$1: ESTIMATE $est '$query' diverged from the oracle"
+      "$CLIENT" --port "$FE_PORT" ROUTE "$est" 0.1 1 $query \
+          > "$DIR/cluster_fe_reply" \
+          || fail "$1: fronted ROUTE $est '$query' errored"
+      "$CLIENT" --port "$ORACLE_PORT" ROUTE "$est" 0.1 1 $query \
+          > "$DIR/cluster_oracle_reply" \
+          || fail "$1: oracle ROUTE $est '$query' errored"
+      cmp -s "$DIR/cluster_fe_reply" "$DIR/cluster_oracle_reply" \
+          || fail "$1: ROUTE $est '$query' diverged from the oracle"
+    done
+  done
+}
+
+stat_value() {
+  # stat_value <key>: that key's value in the front-end's STATS.
+  "$CLIENT" --port "$FE_PORT" STATS | awk -v k="$1" '$1 == k {print $2}'
+}
+
+# --- phase 1: the cluster is protocol-invisible.
+compare_to_oracle "phase1"
+[ "$(stat_value stale_shards)" = "0" ] || fail "phase1: stale_shards != 0"
+echo "phase 1 ok: fronted output byte-identical to the oracle"
+
+# --- phase 2: kill the PREFERRED replica of shard 0 mid-load.
+kill -9 "$S0A_PID"
+wait "$S0A_PID" 2>/dev/null || true
+REPLIES=$(yes "ROUTE subrange 0.1 0 fox dog" | head -10 | "$CLIENT" --port "$FE_PORT")
+OK_COUNT=$(echo "$REPLIES" | grep -c '^OK')
+[ "$OK_COUNT" = "10" ] || fail "phase2: expected 10 OK replies, got $OK_COUNT"
+echo "$REPLIES" | grep '^OK' | grep -q DEGRADED \
+  && fail "phase2: failover reply was DEGRADED"
+[ "$(stat_value stale_shards)" = "0" ] || fail "phase2: stale_shards != 0"
+REROUTED=$(stat_value rerouted)
+[ "${REROUTED:-0}" -ge 1 ] || fail "phase2: rerouted=$REROUTED, expected >= 1"
+compare_to_oracle "phase2"
+echo "phase 2 ok: replica death absorbed by failover (rerouted=$REROUTED)"
+
+# --- phase 3: kill the surviving replica — the whole shard is down.
+kill -9 "$S0B_PID"
+wait "$S0B_PID" 2>/dev/null || true
+REPLIES=$(yes "ROUTE subrange 0.1 0 fox dog" | head -5 | "$CLIENT" --port "$FE_PORT")
+echo "$REPLIES" | grep -q '^OK [0-9]* DEGRADED$' \
+  || fail "phase3: expected DEGRADED replies with shard 0 down"
+echo "$REPLIES" | grep -q '^ERR' && fail "phase3: degraded mode returned ERR"
+[ "$(stat_value stale_shards)" = "1" ] || fail "phase3: stale_shards != 1"
+echo "phase 3 ok: whole-shard outage degrades instead of failing"
+
+# --- phase 4: restart both replicas on their old ports; the front-end
+# must recover without any intervention.
+start_served "$S0A_LOG" "$S0A_PORT_FILE" "$S0A_PORT" "$REP0"
+S0A_PID=$STARTED_PID
+start_served "$S0B_LOG" "$S0B_PORT_FILE" "$S0B_PORT" "$REP0"
+S0B_PID=$STARTED_PID
+ALL_PIDS="$ALL_PIDS $S0A_PID $S0B_PID"
+wait_port "$S0A_PORT_FILE" "$S0A_PID" "restarted shard 0 replica a" >/dev/null
+wait_port "$S0B_PORT_FILE" "$S0B_PID" "restarted shard 0 replica b" >/dev/null
+
+RECOVERED=0
+i=0
+while [ $i -lt 50 ]; do
+  HEADER=$(printf 'ROUTE subrange 0.1 0 fox dog\n' | "$CLIENT" --port "$FE_PORT" | head -1)
+  case "$HEADER" in
+    "OK "*DEGRADED) ;;
+    OK*) RECOVERED=1; break ;;
+    *) fail "phase4: unexpected reply: $HEADER" ;;
+  esac
+  sleep 0.1
+  i=$((i + 1))
+done
+[ "$RECOVERED" = "1" ] || fail "phase4: front-end never recovered"
+[ "$(stat_value stale_shards)" = "0" ] || fail "phase4: stale_shards != 0"
+compare_to_oracle "phase4"
+echo "phase 4 ok: restarted shard rejoined, output byte-identical again"
+
+# --- clean shutdown, front-end first (its QUIT is never forwarded).
+printf 'QUIT\n' | "$CLIENT" --port "$FE_PORT" > /dev/null
+wait "$FE_PID"
+grep -q 'shut down cleanly' "$FE_LOG" || fail "front-end exit was not clean"
+for port in "$S0A_PORT" "$S0B_PORT" "$S1A_PORT" "$S1B_PORT" "$ORACLE_PORT"; do
+  printf 'QUIT\n' | "$CLIENT" --port "$port" > /dev/null
+done
+wait "$S0A_PID" "$S0B_PID" "$S1A_PID" "$S1B_PID" "$ORACLE_PID"
+for log in "$S0A_LOG" "$S0B_LOG" "$S1A_LOG" "$S1B_LOG" "$ORACLE_LOG"; do
+  grep -q 'shut down cleanly' "$log" || fail "$log exit was not clean"
+done
+echo "cluster smoke ok"

@@ -13,6 +13,12 @@
 //   useful_client --port 7979 METRICS
 //   useful_client --port 7979 SLOWLOG 5
 //
+// Multi-host mode: --hosts a:p1,b:p2 names several servers (shards, or
+// shards plus the cluster front-end); stdin request lines round-robin
+// across them on persistent per-host connections, so one invocation can
+// poke every member of a cluster. One-shot requests go to the first
+// host. --host/--port remain the single-host spelling.
+//
 // --timeout-ms N bounds every socket send/recv (SO_SNDTIMEO/SO_RCVTIMEO),
 // so a wedged or overloaded server fails the client instead of hanging
 // it; the OK-header payload count is capped (service::kMaxPayloadLines),
@@ -30,8 +36,11 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "cluster/topology.h"
 #include "service/protocol.h"
 
 namespace {
@@ -81,6 +90,55 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
+/// One lazily-connected persistent connection per target host.
+struct HostConn {
+  useful::cluster::Endpoint endpoint;
+  int fd = -1;
+  std::unique_ptr<LineReader> reader;
+};
+
+/// Connects `conn` if needed. Returns false (with a message) on failure.
+bool EnsureConnected(HostConn* conn, unsigned long timeout_ms) {
+  if (conn->fd >= 0) return true;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return false;
+  }
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(conn->endpoint.port);
+  if (::inet_pton(AF_INET, conn->endpoint.host.c_str(), &addr.sin_addr) !=
+      1) {
+    std::fprintf(stderr, "bad host: %s\n", conn->endpoint.host.c_str());
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "connect %s: %s\n",
+                 conn->endpoint.ToString().c_str(), std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  conn->fd = fd;
+  conn->reader = std::make_unique<LineReader>(fd);
+  return true;
+}
+
+void CloseAll(std::vector<HostConn>* conns) {
+  for (HostConn& conn : *conns) {
+    if (conn.fd >= 0) ::close(conn.fd);
+    conn.fd = -1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -88,6 +146,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   unsigned long port = 0;
   unsigned long timeout_ms = 0;  // 0: no socket deadline
+  std::string hosts_spec;
   std::string one_shot;  // positional tokens joined into one request
 
   for (int i = 1; i < argc; ++i) {
@@ -102,6 +161,8 @@ int main(int argc, char** argv) {
       host = need_value("--host");
     } else if (std::strcmp(argv[i], "--port") == 0) {
       port = std::strtoul(need_value("--port"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--hosts") == 0) {
+      hosts_spec = need_value("--hosts");
     } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
       timeout_ms = std::strtoul(need_value("--timeout-ms"), nullptr, 10);
     } else if (argv[i][0] == '-') {
@@ -112,97 +173,99 @@ int main(int argc, char** argv) {
       one_shot.append(argv[i]);
     }
   }
-  if (port == 0 || port > 65535) {
+
+  std::vector<HostConn> conns;
+  if (!hosts_spec.empty()) {
+    // --hosts is a flat comma list: every entry is its own target (the
+    // '|' shard grouping of a cluster spec has no meaning here).
+    auto spec = cluster::ParseClusterSpec(hosts_spec);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "--hosts: %s\n",
+                   spec.status().ToString().c_str());
+      return 2;
+    }
+    for (const auto& shard : spec.value().shards) {
+      for (const auto& endpoint : shard.replicas) {
+        conns.push_back(HostConn{endpoint, -1, nullptr});
+      }
+    }
+  } else if (port > 0 && port <= 65535) {
+    conns.push_back(HostConn{
+        cluster::Endpoint{host, static_cast<std::uint16_t>(port)}, -1,
+        nullptr});
+  }
+  if (conns.empty()) {
     std::fprintf(stderr,
                  "usage: useful_client [--host H] [--timeout-ms N] "
-                 "--port P [request tokens...]\n");
+                 "(--port P | --hosts h:p,h:p) [request tokens...]\n");
     return 2;
   }
-
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("socket");
-    return 2;
-  }
-  if (timeout_ms > 0) {
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
-    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    std::fprintf(stderr, "bad host: %s\n", host.c_str());
-    ::close(fd);
-    return 2;
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    std::perror("connect");
-    ::close(fd);
-    return 2;
-  }
-
-  LineReader reader(fd);
 
   if (!one_shot.empty()) {
-    if (!SendAll(fd, one_shot + "\n")) {
+    HostConn* conn = &conns[0];
+    if (!EnsureConnected(conn, timeout_ms)) return 2;
+    if (!SendAll(conn->fd, one_shot + "\n")) {
       std::fprintf(stderr, "send failed\n");
-      ::close(fd);
+      CloseAll(&conns);
       return 1;
     }
     std::string header_line;
-    if (!reader.ReadLine(&header_line)) {
+    if (!conn->reader->ReadLine(&header_line)) {
       std::fprintf(stderr, "connection closed before response\n");
-      ::close(fd);
+      CloseAll(&conns);
       return 1;
     }
     auto header = service::ParseResponseHeader(header_line);
     if (!header.ok()) {
       std::fprintf(stderr, "%s\n", header.status().ToString().c_str());
-      ::close(fd);
+      CloseAll(&conns);
       return 1;
     }
     if (!header.value().ok) {
       std::fprintf(stderr, "ERR %s\n", header.value().error.c_str());
-      ::close(fd);
+      CloseAll(&conns);
       return 1;
     }
     for (std::size_t i = 0; i < header.value().payload_lines; ++i) {
       std::string payload_line;
-      if (!reader.ReadLine(&payload_line)) {
+      if (!conn->reader->ReadLine(&payload_line)) {
         std::fprintf(stderr, "truncated response\n");
-        ::close(fd);
+        CloseAll(&conns);
         return 1;
       }
       std::printf("%s\n", payload_line.c_str());
     }
-    ::close(fd);
+    CloseAll(&conns);
     return 0;
   }
 
   bool any_error = false;
   std::string request;
+  std::size_t next_host = 0;
   while (std::getline(std::cin, request)) {
     if (request.empty()) continue;
-    if (!SendAll(fd, request + "\n")) {
+    HostConn* conn = &conns[next_host % conns.size()];
+    ++next_host;
+    if (!EnsureConnected(conn, timeout_ms)) {
+      CloseAll(&conns);
+      return conns.size() == 1 ? 2 : 1;
+    }
+    if (!SendAll(conn->fd, request + "\n")) {
       std::fprintf(stderr, "send failed\n");
-      ::close(fd);
+      CloseAll(&conns);
       return 1;
     }
     std::string header_line;
-    if (!reader.ReadLine(&header_line)) {
+    if (!conn->reader->ReadLine(&header_line)) {
       std::fprintf(stderr, "connection closed before response\n");
-      ::close(fd);
+      CloseAll(&conns);
       return 1;
     }
     std::printf("%s\n", header_line.c_str());
     auto header = service::ParseResponseHeader(header_line);
     if (!header.ok()) {
       std::fprintf(stderr, "%s\n", header.status().ToString().c_str());
-      ::close(fd);
+      CloseAll(&conns);
       return 1;
     }
     if (!header.value().ok) {
@@ -211,14 +274,14 @@ int main(int argc, char** argv) {
     }
     for (std::size_t i = 0; i < header.value().payload_lines; ++i) {
       std::string payload_line;
-      if (!reader.ReadLine(&payload_line)) {
+      if (!conn->reader->ReadLine(&payload_line)) {
         std::fprintf(stderr, "truncated response\n");
-        ::close(fd);
+        CloseAll(&conns);
         return 1;
       }
       std::printf("%s\n", payload_line.c_str());
     }
   }
-  ::close(fd);
+  CloseAll(&conns);
   return any_error ? 1 : 0;
 }

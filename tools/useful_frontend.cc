@@ -1,0 +1,159 @@
+// useful_frontend: the cluster's scatter-gather front-end as a
+// long-running service. Speaks the ordinary line protocol upstream on
+// its own TCP port (same epoll reactor core as useful_served) and is a
+// line-protocol client of one replica per shard downstream.
+//
+//   useful_frontend --cluster h:p,h:p|h:p,h:p [--host H] [--port P]
+//                   [--port-file PATH] [--threads N] [--reactor-threads N]
+//                   [--reuseport] [--eject-failures N]
+//                   [--probe-backoff-ms N] [--connect-timeout-ms N]
+//                   [--io-timeout-ms N] [--trace-sample-rate N]
+//                   [--slowlog-size N]
+//   useful_frontend --cluster 127.0.0.1:7001,127.0.0.1:7002\|127.0.0.1:7003
+//
+// --cluster is S shards split by '|' (or ';' — shell-friendlier), each
+// shard R replicas split by ',' in failover preference order. ROUTE and
+// ESTIMATE scatter to every shard and merge the partial rankings
+// bit-identically to a single useful_served holding all representatives;
+// STATS/METRICS add cluster health (stale_shards, per-shard live
+// replicas, per-shard round-trip histograms) and aggregated downstream
+// counters; RELOAD fans to every replica. When a whole shard is
+// unreachable, replies carry a DEGRADED token on the OK header instead
+// of failing. A replica that fails --eject-failures times in a row is
+// ejected and re-probed after a doubling --probe-backoff-ms; an
+// all-ejected shard is still probed, so a restarted shard recovers on
+// the next request.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cluster/frontend.h"
+#include "cluster/topology.h"
+#include "service/server.h"
+
+namespace {
+useful::service::Server* g_server = nullptr;
+
+void HandleSigint(int) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace useful;
+  service::ServerOptions server_options;
+  cluster::FrontendOptions frontend_options;
+  std::string cluster_spec;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--cluster") == 0) {
+      cluster_spec = need_value("--cluster");
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      server_options.host = need_value("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      server_options.port = static_cast<std::uint16_t>(
+          std::strtoul(need_value("--port"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--port-file") == 0) {
+      port_file = need_value("--port-file");
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      server_options.threads =
+          std::strtoul(need_value("--threads"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--reactor-threads") == 0) {
+      server_options.reactor_threads =
+          std::strtoul(need_value("--reactor-threads"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--reuseport") == 0) {
+      server_options.reuseport = true;
+    } else if (std::strcmp(argv[i], "--backlog") == 0) {
+      server_options.backlog = static_cast<int>(
+          std::strtol(need_value("--backlog"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--eject-failures") == 0) {
+      frontend_options.eject_failures = static_cast<int>(
+          std::strtol(need_value("--eject-failures"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--probe-backoff-ms") == 0) {
+      frontend_options.probe_backoff_ms = static_cast<int>(
+          std::strtol(need_value("--probe-backoff-ms"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--connect-timeout-ms") == 0) {
+      frontend_options.tcp.connect_timeout_ms = static_cast<int>(
+          std::strtol(need_value("--connect-timeout-ms"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--io-timeout-ms") == 0) {
+      frontend_options.tcp.io_timeout_ms = static_cast<int>(
+          std::strtol(need_value("--io-timeout-ms"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--trace-sample-rate") == 0) {
+      frontend_options.trace_sample_rate = static_cast<std::uint32_t>(
+          std::strtoul(need_value("--trace-sample-rate"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--slowlog-size") == 0) {
+      frontend_options.slowlog_size =
+          std::strtoul(need_value("--slowlog-size"), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (cluster_spec.empty()) {
+    std::fprintf(stderr,
+                 "usage: useful_frontend --cluster h:p,h:p|h:p,h:p "
+                 "[--host H] [--port P] [--port-file PATH] [--threads N] "
+                 "[--reactor-threads N] [--reuseport] [--backlog N] "
+                 "[--eject-failures N] [--probe-backoff-ms N] "
+                 "[--connect-timeout-ms N] [--io-timeout-ms N] "
+                 "[--trace-sample-rate N] [--slowlog-size N]\n");
+    return 2;
+  }
+
+  auto spec = cluster::ParseClusterSpec(cluster_spec);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "--cluster: %s\n",
+                 spec.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("fronting %zu shards / %zu replicas\n",
+              spec.value().num_shards(), spec.value().num_replicas());
+
+  cluster::Frontend frontend(std::move(spec).value(), frontend_options);
+  service::Server server(&frontend, server_options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+
+  std::printf("listening on %s:%u\n", server_options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);  // scripts scrape the port from a pipe
+
+  if (!port_file.empty()) {
+    // Write-then-rename: a reader polling for the file can never observe
+    // a partial write, unlike scraping the (buffered) log stream.
+    std::string tmp = port_file + ".tmp";
+    if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+      std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+      std::fclose(f);
+      if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+        std::fprintf(stderr, "cannot publish port file %s\n",
+                     port_file.c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "cannot write port file %s\n", tmp.c_str());
+      return 1;
+    }
+  }
+
+  if (Status s = server.Serve(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("shut down cleanly\n");
+  return 0;
+}

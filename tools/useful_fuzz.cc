@@ -2,7 +2,9 @@
 // generates a synthetic corpus, checks the inverted-index engine and the
 // representative builder against the brute-force oracle, runs the
 // property/invariant suite over every registered estimator, and fuzzes
-// the service line protocol byte-level — all deterministically, so any
+// the service line protocol byte-level — against a single-process
+// Service AND against the cluster front-end over fake shards whose
+// replicas die and revive mid-run — all deterministically, so any
 // failure is replayable from its printed seed.
 //
 //   useful_fuzz [--seed S] [--seed-count N]
@@ -20,6 +22,7 @@
 // exit code is 1. A clean run prints per-mode counts and exits 0.
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -27,11 +30,14 @@
 #include <string>
 #include <vector>
 
+#include "cluster/frontend.h"
+#include "cluster/topology.h"
 #include "estimate/registry.h"
 #include "ir/search_engine.h"
 #include "represent/builder.h"
 #include "represent/serialize.h"
 #include "service/service.h"
+#include "testing/fake_shard.h"
 #include "testing/injected_bug.h"
 #include "testing/invariants.h"
 #include "testing/oracle.h"
@@ -208,6 +214,53 @@ int RunSeed(const FuzzArgs& args, std::uint64_t seed, Counters& counters) {
     counters.protocol_lines += fuzz_options.iterations;
     if (auto f = testing::FuzzProtocol(*service.value(), fuzz_options)) {
       return Fail(args, seed, "protocol", f->ToString());
+    }
+
+    // Same grammar through the cluster front-end: 2 shards x 2 replicas
+    // of in-process fakes, with replicas dying (and reviving) mid-run.
+    // Every reply must stay well-formed — failover within shard 0 first,
+    // then the whole shard down (DEGRADED replies), then recovery; a
+    // leaked kInternal or a torn frame anywhere fails the seed.
+    service::ServiceOptions shard1_options;
+    shard1_options.representative_paths = {trip_path};
+    auto shard1 = service::Service::Create(&analyzer, shard1_options);
+    if (!shard1.ok()) {
+      return Fail(args, seed, "protocol",
+                  "shard Service::Create: " + shard1.status().ToString());
+    }
+    service::Service* shard_services[2] = {service.value().get(),
+                                           shard1.value().get()};
+    std::atomic<bool> killed[2][2] = {{{false}, {false}}, {{false}, {false}}};
+
+    auto spec = cluster::ParseClusterSpec("a:1,a:2|b:1,b:2");
+    if (!spec.ok()) {
+      return Fail(args, seed, "protocol",
+                  "cluster spec: " + spec.status().ToString());
+    }
+    cluster::FrontendOptions frontend_options;
+    frontend_options.probe_backoff_ms = 1;  // re-probe killed fakes eagerly
+    cluster::Frontend frontend(
+        std::move(spec).value(), frontend_options,
+        [&](const cluster::Endpoint&, std::size_t shard, std::size_t replica) {
+          return std::make_unique<testing::FakeShardBackend>(
+              shard_services[shard], &killed[shard][replica]);
+        });
+
+    testing::FuzzProtocolOptions cluster_fuzz = fuzz_options;
+    const std::size_t iters = cluster_fuzz.iterations;
+    cluster_fuzz.on_iteration = [&](std::size_t i) {
+      if (i == iters / 4) {
+        killed[0][0].store(true);  // preferred replica dies -> failover
+      } else if (i == iters / 2) {
+        killed[0][1].store(true);  // whole shard 0 down -> DEGRADED
+      } else if (i == (3 * iters) / 4) {
+        killed[0][0].store(false);  // shard restarts -> recovery
+        killed[0][1].store(false);
+      }
+    };
+    counters.protocol_lines += cluster_fuzz.iterations;
+    if (auto f = testing::FuzzProtocol(frontend, cluster_fuzz)) {
+      return Fail(args, seed, "protocol", "[cluster] " + f->ToString());
     }
 
     if (args.workdir.empty()) std::filesystem::remove_all(dir, ec);

@@ -4,13 +4,16 @@
 // until a QUIT request or SIGINT winds it down gracefully.
 //
 //   useful_served [--host H] [--port P] [--port-file PATH] [--threads N]
-//                 [--reactor-threads N] [--cache-entries N]
+//                 [--reactor-threads N] [--reuseport] [--cache-entries N]
 //                 [--cache-bytes N] [--idle-timeout-ms N]
 //                 [--request-timeout-ms N] [--write-timeout-ms N]
 //                 [--max-connections N] [--max-accept-queue N]
 //                 [--trace-sample-rate N] [--slowlog-size N] <rep>...
 //   useful_served --port 7979 a.rep b.rep
 //
+// --reuseport opens one SO_REUSEPORT listen socket + acceptor thread per
+// reactor so accepts scale with reactors (shard processes under a
+// connection-heavy front-end tier want this).
 // --reactor-threads N sizes the epoll event-loop fleet (default 2);
 // --threads N sizes the estimation offload pool that executes requests
 // (0 = hardware concurrency). Connections are state machines on the
@@ -87,6 +90,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--backlog") == 0) {
       server_options.backlog = static_cast<int>(
           std::strtol(need_value("--backlog"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--reuseport") == 0) {
+      server_options.reuseport = true;
     } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
       server_options.idle_timeout_ms = static_cast<int>(
           std::strtol(need_value("--idle-timeout-ms"), nullptr, 10));
@@ -122,6 +127,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: useful_served [--host H] [--port P] "
                  "[--port-file PATH] [--threads N] [--reactor-threads N] "
+                 "[--reuseport] "
                  "[--backlog N] [--cache-entries N] [--cache-bytes N] "
                  "[--idle-timeout-ms N] [--request-timeout-ms N] "
                  "[--write-timeout-ms N] [--max-connections N] "
