@@ -30,9 +30,11 @@
 #include "estimate/resolved_query.h"
 #include "estimate/subrange_estimator.h"
 #include "eval/experiment.h"
+#include "estimate/generating_function.h"
 #include "represent/builder.h"
 #include "represent/quantized.h"
 #include "represent/serialize.h"
+#include "represent/store.h"
 
 #include <sstream>
 
@@ -168,6 +170,137 @@ void BM_EstimatorBatchSweep(benchmark::State& state) {
 BENCHMARK(BM_EstimatorBatchSweep<estimate::SubrangeEstimator>);
 BENCHMARK(BM_EstimatorBatchSweep<estimate::BasicEstimator>);
 BENCHMARK(BM_EstimatorBatchSweep<estimate::AdaptiveEstimator>);
+
+// --- Packed representative store (URPZ) --------------------------------
+
+// Encode cost plus the headline size comparison: the same engine as a
+// quantized URP1 file versus one engine inside a packed URPZ image.
+void BM_PackStoreEncode(benchmark::State& state) {
+  const auto& f = GetD1();
+  std::vector<const represent::Representative*> reps = {&f.rep};
+  std::size_t urpz_bytes = 0;
+  for (auto _ : state) {
+    auto image = represent::EncodeStore(reps);
+    benchmark::DoNotOptimize(image);
+    urpz_bytes = image.value().size();
+  }
+  auto quant = represent::QuantizeRepresentative(f.rep);
+  std::ostringstream urp1;
+  (void)represent::WriteRepresentative(quant.value().representative, urp1);
+  state.counters["urpz_bytes_per_engine"] =
+      static_cast<double>(urpz_bytes);
+  state.counters["urp1_quantized_bytes_per_engine"] =
+      static_cast<double>(urp1.str().size());
+}
+BENCHMARK(BM_PackStoreEncode)->Unit(benchmark::kMillisecond);
+
+// Shard warm-up: what a RELOAD pays per store — open, mmap, validate the
+// image, and take the first zero-copy lookup.
+void BM_StoreWarmup(benchmark::State& state) {
+  const auto& f = GetD1();
+  std::vector<const represent::Representative*> reps = {&f.rep};
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "bench_micro_store.urpz";
+  if (!represent::PackStoreToFile(reps, path.string()).ok()) {
+    state.SkipWithError("PackStoreToFile failed");
+    return;
+  }
+  const std::string probe = f.queries[0].terms.empty()
+                                ? std::string("missing")
+                                : f.queries[0].terms[0].term;
+  for (auto _ : state) {
+    auto store = represent::StoreView::Open(path.string());
+    benchmark::DoNotOptimize(store.value()->engine(0).Find(probe));
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_StoreWarmup)->Unit(benchmark::kMicrosecond);
+
+// The serving path over the mapping: view-backed ResolvedQuery +
+// EstimateBatch, the exact loop Metasearcher runs for store-backed
+// engines. Compare against BM_EstimatorBatchSweep (map-backed).
+template <typename Estimator>
+void BM_EstimatorViewSweep(benchmark::State& state) {
+  const auto& f = GetD1();
+  static const std::shared_ptr<const represent::StoreView>* store = [] {
+    const auto& fixture = GetD1();
+    std::vector<const represent::Representative*> reps = {&fixture.rep};
+    auto image = represent::EncodeStore(reps);
+    auto view = represent::StoreView::FromBuffer(std::move(image).value());
+    return new std::shared_ptr<const represent::StoreView>(
+        std::move(view).value());
+  }();
+  const represent::RepresentativeView& view = (*store)->engine(0);
+  Estimator est;
+  estimate::ExpansionWorkspace ws;
+  std::vector<estimate::UsefulnessEstimate> out(SweepThresholds().size());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const ir::Query& q = f.queries[i++ % f.queries.size()];
+    estimate::ResolvedQuery rq(view, q);
+    est.EstimateBatch(rq, SweepThresholds(), ws,
+                      std::span<estimate::UsefulnessEstimate>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(SweepThresholds().size()));
+}
+BENCHMARK(BM_EstimatorViewSweep<estimate::SubrangeEstimator>);
+BENCHMARK(BM_EstimatorViewSweep<estimate::BasicEstimator>);
+BENCHMARK(BM_EstimatorViewSweep<estimate::AdaptiveEstimator>);
+
+// --- Expansion kernels (scalar vs AVX2) --------------------------------
+
+// ns/estimate with the cross-factor kernel pinned. The AVX2 kernel is
+// bit-identical to scalar (FMA identities keep one rounding per lane), so
+// any delta here is pure throughput.
+void BM_EstimatorKernel(benchmark::State& state) {
+  const auto& f = GetD1();
+  estimate::ExpandKernel want = state.range(0) == 0
+                                    ? estimate::ExpandKernel::kScalar
+                                    : estimate::ExpandKernel::kAvx2;
+  if (!estimate::SetExpandKernel(want)) {
+    state.SkipWithError("kernel unavailable on this host");
+    return;
+  }
+  estimate::SubrangeEstimator est;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const ir::Query& q = f.queries[i++ % f.queries.size()];
+    auto u = est.Estimate(f.rep, q, 0.2);
+    benchmark::DoNotOptimize(u);
+  }
+  estimate::SetExpandKernel(estimate::ExpandKernel::kAuto);
+}
+BENCHMARK(BM_EstimatorKernel)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"avx2"});
+
+void BM_ExpansionKernel(benchmark::State& state) {
+  // 6 terms x 10 subranges, kernel pinned: the polynomial-product inner
+  // loop the SIMD path accelerates.
+  estimate::ExpandKernel want = state.range(0) == 0
+                                    ? estimate::ExpandKernel::kScalar
+                                    : estimate::ExpandKernel::kAvx2;
+  if (!estimate::SetExpandKernel(want)) {
+    state.SkipWithError("kernel unavailable on this host");
+    return;
+  }
+  std::vector<estimate::TermPolynomial> factors(6);
+  for (std::size_t t = 0; t < factors.size(); ++t) {
+    for (std::size_t k = 0; k < 10; ++k) {
+      factors[t].spikes.push_back(estimate::Spike{
+          0.05 + 0.9 * static_cast<double>(t * 10 + k) / 60.0, 0.08});
+    }
+  }
+  for (auto _ : state) {
+    auto dist = estimate::SimilarityDistribution::Expand(factors);
+    benchmark::DoNotOptimize(dist);
+  }
+  estimate::SetExpandKernel(estimate::ExpandKernel::kAuto);
+}
+BENCHMARK(BM_ExpansionKernel)->Arg(0)->Arg(1)->ArgNames({"avx2"});
 
 void BM_ExactEvaluation(benchmark::State& state) {
   const auto& f = GetD1();

@@ -17,6 +17,11 @@
 #   BM_FrontendPipelinedQPS/N  same pipelined load through a 2-shard
 #                              scatter-gather front-end (3 servers total)
 # items_per_second is answered requests per second.
+#
+# It also refreshes the "representative_store" block: URPZ vs URP1 bytes
+# per engine (BM_PackStoreEncode counters), shard warm-up (BM_StoreWarmup),
+# map- vs view-backed estimation (BM_Estimator{Batch,View}Sweep), and the
+# scalar vs AVX2 expansion kernels (BM_EstimatorKernel).
 set -e
 
 BUILD=${1:-build}
@@ -24,7 +29,8 @@ OUT=${2:-BENCH_serving.json}
 RAW=$(mktemp /tmp/bench_serving.XXXXXX.json)
 trap 'rm -f "$RAW"' EXIT
 
-"$BUILD"/bench/bench_micro --benchmark_filter='BM_Server|BM_Frontend' \
+"$BUILD"/bench/bench_micro \
+  --benchmark_filter='BM_Server|BM_Frontend|BM_PackStoreEncode|BM_StoreWarmup|BM_EstimatorViewSweep|BM_EstimatorBatchSweep|BM_EstimatorKernel' \
   --benchmark_format=json --benchmark_out="$RAW" \
   --benchmark_out_format=json >/dev/null
 
@@ -34,15 +40,34 @@ import json, sys
 raw_path, out_path = sys.argv[1], sys.argv[2]
 raw = json.load(open(raw_path))
 
+serving = [b for b in raw["benchmarks"]
+           if b.get("run_type") == "iteration"
+           and b["name"].startswith(("BM_Server", "BM_Frontend"))]
+store = [b for b in raw["benchmarks"]
+         if b.get("run_type") == "iteration"
+         and not b["name"].startswith(("BM_Server", "BM_Frontend"))]
+
 rows = {
     b["name"]: {
         "items_per_second": round(b["items_per_second"]),
         "real_time_ns": round(b["real_time"]),
         "cpu_time_ns": round(b["cpu_time"]),
     }
-    for b in raw["benchmarks"]
-    if b.get("run_type") == "iteration"
+    for b in serving
 }
+
+# Time unit varies across the store rows (ms/us/ns); normalize to ns.
+_ns = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
+store_rows = {}
+for b in store:
+    row = {"real_time_ns": round(b["real_time"] * _ns[b["time_unit"]]),
+           "cpu_time_ns": round(b["cpu_time"] * _ns[b["time_unit"]])}
+    for k in ("urpz_bytes_per_engine", "urp1_quantized_bytes_per_engine"):
+        if k in b:
+            row[k] = round(b[k])
+    if "items_per_second" in b:
+        row["items_per_second"] = round(b["items_per_second"])
+    store_rows[b["name"]] = row
 
 current = {
     "core": "epoll-reactor",
@@ -66,6 +91,18 @@ except (FileNotFoundError, json.JSONDecodeError):
     }
 
 doc["current"] = current
+doc["representative_store"] = {
+    "comment": "URPZ packed store vs quantized URP1, plus scalar vs AVX2 "
+               "expansion kernels; regenerated alongside 'current'.",
+    "date": raw["context"]["date"][:10],
+    "rows": store_rows,
+}
+if ("BM_PackStoreEncode" in store_rows
+        and "urpz_bytes_per_engine" in store_rows["BM_PackStoreEncode"]):
+    enc = store_rows["BM_PackStoreEncode"]
+    doc["representative_store"]["urpz_size_ratio_vs_urp1"] = round(
+        enc["urp1_quantized_bytes_per_engine"]
+        / enc["urpz_bytes_per_engine"], 2)
 doc["speedup_vs_baseline"] = {
     name: round(row["items_per_second"]
                 / doc["baseline"]["rows"][name]["items_per_second"], 2)

@@ -38,7 +38,7 @@ Status Metasearcher::RegisterEngine(const ir::SearchEngine* engine,
   auto rep = represent::BuildRepresentative(*engine, kind);
   if (!rep.ok()) return rep.status();
   index_by_name_.emplace(engine->name(), entries_.size());
-  entries_.push_back(Entry{std::move(rep).value(), engine});
+  entries_.push_back(Entry{std::move(rep).value(), std::nullopt, engine});
   return Status::OK();
 }
 
@@ -59,7 +59,38 @@ Status Metasearcher::RegisterRepresentative(represent::Representative rep) {
     ++num_stale_representatives_;
   }
   index_by_name_.emplace(rep.engine_name(), entries_.size());
-  entries_.push_back(Entry{std::move(rep), nullptr});
+  entries_.push_back(Entry{std::move(rep), std::nullopt, nullptr});
+  return Status::OK();
+}
+
+Status Metasearcher::RegisterStore(
+    std::shared_ptr<const represent::StoreView> store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("RegisterStore: null store");
+  }
+  // All-or-nothing: check every name before touching the entry table.
+  for (std::size_t i = 0; i < store->num_engines(); ++i) {
+    if (IndexOf(store->engine(i).engine_name()) != entries_.size()) {
+      return Status::InvalidArgument(
+          "duplicate engine name: " +
+          std::string(store->engine(i).engine_name()));
+    }
+  }
+  for (std::size_t i = 0; i < store->num_engines(); ++i) {
+    const represent::RepresentativeView& view = store->engine(i);
+    if (view.stale_max()) {
+      USEFUL_LOG(Warning) << "representative for '" << view.engine_name()
+                          << "' has stale max weights (produced after a "
+                             "removal without rebuild); estimates are upper "
+                             "bounds";
+      ++num_stale_representatives_;
+    }
+    index_by_name_.emplace(std::string(view.engine_name()), entries_.size());
+    entries_.push_back(Entry{represent::Representative(), view, nullptr});
+    ++num_store_engines_;
+  }
+  store_bytes_ += store->file_bytes();
+  stores_.push_back(std::move(store));
   return Status::OK();
 }
 
@@ -72,8 +103,22 @@ std::vector<EngineSelection> Metasearcher::RankEngines(
         trace, obs::Stage::kEstimate);
     auto score_one = [&](std::size_t i) {
       const Entry& e = entries_[i];
-      ranked[i] = EngineSelection{e.rep.engine_name(),
-                                  estimator.Estimate(e.rep, q, threshold)};
+      if (e.view.has_value()) {
+        // Store-backed: resolve straight off the mapping and batch-score
+        // the single threshold. Every registry estimator routes its
+        // scalar Estimate through EstimateBatch, so this path is
+        // bit-identical to the materialized one.
+        estimate::ResolvedQuery rq(*e.view, q);
+        estimate::ExpansionWorkspace ws;
+        estimate::UsefulnessEstimate est;
+        estimator.EstimateBatch(rq, std::span<const double>(&threshold, 1),
+                                ws, std::span<estimate::UsefulnessEstimate>(
+                                        &est, 1));
+        ranked[i] = EngineSelection{std::string(e.name()), est};
+      } else {
+        ranked[i] = EngineSelection{e.rep.engine_name(),
+                                    estimator.Estimate(e.rep, q, threshold)};
+      }
     };
     if (pool_ != nullptr) {
       // Order-stable fan-out: every estimate lands at its engine's index,
@@ -149,6 +194,12 @@ Result<const represent::Representative*> Metasearcher::FindRepresentative(
   if (idx == entries_.size()) {
     return Status::NotFound(std::string("no such engine: ") +
                             std::string(engine_name));
+  }
+  if (entries_[idx].view.has_value()) {
+    return Status::FailedPrecondition(
+        std::string("engine is store-backed (no materialized "
+                    "representative): ") +
+        std::string(engine_name));
   }
   return &entries_[idx].rep;
 }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "ir/search_engine.h"
 #include "obs/trace.h"
 #include "represent/representative.h"
+#include "represent/store.h"
 #include "text/analyzer.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -53,7 +55,21 @@ class Metasearcher {
   /// mode, e.g. when the engine is remote). Duplicate names are rejected.
   Status RegisterRepresentative(represent::Representative rep);
 
+  /// Registers every engine of a packed URPZ store as a selection-only
+  /// entry served zero-copy from the store's mapping (no Representative
+  /// is materialized). The broker keeps a reference to `store`, so the
+  /// mapping outlives every query ranked against this snapshot — a RELOAD
+  /// that builds a new broker drops the old mapping when the last
+  /// in-flight request finishes. Duplicate names are rejected.
+  Status RegisterStore(std::shared_ptr<const represent::StoreView> store);
+
   std::size_t num_engines() const { return entries_.size(); }
+
+  /// Engines served from packed stores (subset of num_engines()).
+  std::size_t num_store_engines() const { return num_store_engines_; }
+
+  /// Total bytes of the packed store images backing this broker.
+  std::size_t store_bytes() const { return store_bytes_; }
 
   /// Parallelism of RankEngines/SelectEngines across engines. 1 (the
   /// default) keeps the fully serial path; 0 means hardware concurrency.
@@ -94,14 +110,27 @@ class Metasearcher {
       const estimate::UsefulnessEstimator& estimator,
       std::size_t max_engines = static_cast<std::size_t>(-1)) const;
 
-  /// The stored representative of `engine_name` (for inspection).
+  /// The stored representative of `engine_name` (for inspection). Fails
+  /// with FailedPrecondition for store-backed engines, which have no
+  /// materialized Representative.
   Result<const represent::Representative*> FindRepresentative(
       std::string_view engine_name) const;
 
  private:
   struct Entry {
-    represent::Representative rep;
+    represent::Representative rep;  // unused when `view` is set
+    // Set for store-backed engines: a zero-copy accessor into one of
+    // stores_' mappings.
+    std::optional<represent::RepresentativeView> view;
     const ir::SearchEngine* live = nullptr;  // null: selection-only
+
+    std::string_view name() const {
+      return view.has_value() ? view->engine_name()
+                              : std::string_view(rep.engine_name());
+    }
+    bool stale_max() const {
+      return view.has_value() ? view->stale_max() : rep.stale_max();
+    }
   };
 
   /// Index of `name` in entries_, or entries_.size() when unknown.
@@ -109,7 +138,11 @@ class Metasearcher {
 
   const text::Analyzer* analyzer_;
   std::vector<Entry> entries_;
+  // Keepalives for the mmap'd images behind view-backed entries.
+  std::vector<std::shared_ptr<const represent::StoreView>> stores_;
   std::size_t num_stale_representatives_ = 0;
+  std::size_t num_store_engines_ = 0;
+  std::size_t store_bytes_ = 0;
   // name -> index into entries_; makes duplicate checks, FindRepresentative
   // and per-selection dispatch O(1) instead of a linear (or quadratic, in
   // Search's case) scan over engines.

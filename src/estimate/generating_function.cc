@@ -1,7 +1,13 @@
 #include "estimate/generating_function.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstddef>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 namespace useful::estimate {
 
@@ -14,8 +20,13 @@ double TermPolynomial::ZeroProb() const {
 namespace {
 
 // Collects like terms: sorts by exponent, merges runs whose exponents fall
-// within `resolution` of the run head (probability-weighted exponent), and
-// prunes tiny probabilities.
+// within `resolution` of the run head, and prunes tiny probabilities. The
+// run membership test is anchored at the run head's ORIGINAL exponent —
+// not the probability-weighted mean accumulated so far — so a run never
+// drifts: every spike merged into a run lies within `resolution` of the
+// exponent that opened it, and the merge result cannot depend on how the
+// weighted mean walked through intermediate spikes. The weighted mean is
+// still what the merged spike reports as its exponent.
 void Canonicalize(std::vector<Spike>* spikes, const ExpandOptions& options) {
   std::sort(spikes->begin(), spikes->end(),
             [](const Spike& a, const Spike& b) {
@@ -23,10 +34,11 @@ void Canonicalize(std::vector<Spike>* spikes, const ExpandOptions& options) {
             });
   std::vector<Spike> merged;
   merged.reserve(spikes->size());
+  double run_anchor = 0.0;  // original exponent of merged.back()'s run head
   for (const Spike& s : *spikes) {
     if (s.prob < options.prob_floor) continue;
     if (!merged.empty() &&
-        merged.back().exponent - s.exponent <= options.exponent_resolution) {
+        run_anchor - s.exponent <= options.exponent_resolution) {
       Spike& head = merged.back();
       double total = head.prob + s.prob;
       head.exponent =
@@ -34,12 +46,118 @@ void Canonicalize(std::vector<Spike>* spikes, const ExpandOptions& options) {
       head.prob = total;
     } else {
       merged.push_back(s);
+      run_anchor = s.exponent;
     }
   }
   *spikes = std::move(merged);
 }
 
+// Crosses every accumulated spike in `cur` with one term factor: per
+// `have` spike, the term-absent outcome (exponent unchanged, probability
+// scaled by `zero`) followed by one outcome per factor spike. Appends to
+// `next` in exactly this order — canonicalization sorts with std::sort
+// (unstable) and merges with order-sensitive float summation, so every
+// kernel must emit the same spikes in the same sequence to stay
+// bit-identical.
+void CrossFactorScalar(const std::vector<Spike>& cur,
+                       const std::vector<Spike>& adds, double zero,
+                       std::vector<Spike>* next) {
+  for (const Spike& have : cur) {
+    if (zero > 0.0) {
+      next->push_back(Spike{have.exponent, have.prob * zero});
+    }
+    for (const Spike& add : adds) {
+      next->push_back(
+          Spike{have.exponent + add.exponent, have.prob * add.prob});
+    }
+  }
+}
+
+#if defined(__x86_64__)
+
+// AVX2+FMA variant. A Spike is two contiguous doubles, so one 256-bit
+// lane holds two spikes [e0, p0, e1, p1]. With multiplier
+// [1.0, p_have, 1.0, p_have] and addend [e_have, 0.0, e_have, 0.0],
+// fmadd computes [e0 + e_have, p0 * p_have, ...]: fma(x, 1.0, y) and
+// fma(x, y, 0.0) round once, exactly like the scalar add and multiply,
+// so results are bit-identical to CrossFactorScalar (probabilities are
+// non-negative, so the ±0.0 corner of the 0.0-addend form cannot differ
+// either: +0*y++0 = +0 in both).
+__attribute__((target("avx2,fma")))
+void CrossFactorAvx2(const std::vector<Spike>& cur,
+                     const std::vector<Spike>& adds, double zero,
+                     std::vector<Spike>* next) {
+  static_assert(sizeof(Spike) == 2 * sizeof(double),
+                "Spike must be two packed doubles for the SIMD kernel");
+  const std::size_t n_adds = adds.size();
+  const std::size_t per_have = n_adds + (zero > 0.0 ? 1 : 0);
+  const std::size_t base = next->size();
+  next->resize(base + cur.size() * per_have);
+  Spike* out = next->data() + base;
+  const double* add_d = reinterpret_cast<const double*>(adds.data());
+  for (const Spike& have : cur) {
+    if (zero > 0.0) {
+      *out = Spike{have.exponent, have.prob * zero};
+      ++out;
+    }
+    double* out_d = reinterpret_cast<double*>(out);
+    const __m256d mul =
+        _mm256_set_pd(have.prob, 1.0, have.prob, 1.0);
+    const __m256d addend =
+        _mm256_set_pd(0.0, have.exponent, 0.0, have.exponent);
+    std::size_t i = 0;
+    for (; i + 2 <= n_adds; i += 2) {
+      const __m256d pair = _mm256_loadu_pd(add_d + 2 * i);
+      _mm256_storeu_pd(out_d + 2 * i, _mm256_fmadd_pd(pair, mul, addend));
+    }
+    if (i < n_adds) {
+      out[i] = Spike{have.exponent + adds[i].exponent,
+                     have.prob * adds[i].prob};
+    }
+    out += n_adds;
+  }
+}
+
+#endif  // defined(__x86_64__)
+
+using CrossFactorFn = void (*)(const std::vector<Spike>&,
+                               const std::vector<Spike>&, double,
+                               std::vector<Spike>*);
+
+bool Avx2Available() {
+#if defined(__x86_64__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+CrossFactorFn KernelFor(ExpandKernel kernel) {
+#if defined(__x86_64__)
+  if (kernel == ExpandKernel::kAvx2) return CrossFactorAvx2;
+#endif
+  (void)kernel;
+  return CrossFactorScalar;
+}
+
+std::atomic<ExpandKernel> g_expand_kernel{
+    Avx2Available() ? ExpandKernel::kAvx2 : ExpandKernel::kScalar};
+
 }  // namespace
+
+bool SetExpandKernel(ExpandKernel kernel) {
+  if (kernel == ExpandKernel::kAuto) {
+    kernel = Avx2Available() ? ExpandKernel::kAvx2 : ExpandKernel::kScalar;
+  } else if (kernel == ExpandKernel::kAvx2 && !Avx2Available()) {
+    return false;
+  }
+  g_expand_kernel.store(kernel, std::memory_order_relaxed);
+  return true;
+}
+
+ExpandKernel ActiveExpandKernel() {
+  return g_expand_kernel.load(std::memory_order_relaxed);
+}
 
 void ExpansionWorkspace::ResetFactors(std::size_t count) {
   if (factors_.size() > count) factors_.resize(count);
@@ -53,19 +171,12 @@ void SimilarityDistribution::ExpandCore(
   cur->clear();
   cur->push_back(Spike{0.0, 1.0});
 
+  const CrossFactorFn cross = KernelFor(ActiveExpandKernel());
   for (const TermPolynomial& factor : factors) {
     double zero = factor.ZeroProb();
     next->clear();
     next->reserve(cur->size() * (factor.spikes.size() + 1));
-    for (const Spike& have : *cur) {
-      if (zero > 0.0) {
-        next->push_back(Spike{have.exponent, have.prob * zero});
-      }
-      for (const Spike& add : factor.spikes) {
-        next->push_back(
-            Spike{have.exponent + add.exponent, have.prob * add.prob});
-      }
-    }
+    cross(*cur, factor.spikes, zero, next);
     Canonicalize(next, options);
     std::swap(*cur, *next);
   }

@@ -17,4 +17,19 @@ ResolvedQuery::ResolvedQuery(const represent::Representative& rep,
   }
 }
 
+ResolvedQuery::ResolvedQuery(const represent::RepresentativeView& view,
+                             const ir::Query& q)
+    : rep_(nullptr),
+      query_(&q),
+      num_docs_(view.num_docs()),
+      kind_(view.kind()) {
+  terms_.reserve(q.terms.size());
+  for (const ir::QueryTerm& qt : q.terms) {
+    if (qt.weight <= 0.0) continue;
+    auto ts = view.Find(qt.term);
+    if (!ts) continue;
+    terms_.push_back(ResolvedTerm{qt.weight, *ts});
+  }
+}
+
 }  // namespace useful::estimate

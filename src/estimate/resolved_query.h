@@ -24,6 +24,7 @@
 
 #include "ir/query.h"
 #include "represent/representative.h"
+#include "represent/store.h"
 #include "represent/term_stats.h"
 
 namespace useful::estimate {
@@ -47,14 +48,27 @@ class ResolvedQuery {
   /// both (an absent term's factor is identically 1).
   ResolvedQuery(const represent::Representative& rep, const ir::Query& q);
 
+  /// Resolves `q` against a packed-store engine view: same semantics, but
+  /// lookups hit the mmap'd store directly and no Representative is ever
+  /// materialized. A view-backed ResolvedQuery has no representative() —
+  /// use it only with estimators that override EstimateBatch (all registry
+  /// estimators do; their scalar Estimate is itself routed through
+  /// EstimateBatch, so values are bit-identical across both backings).
+  ResolvedQuery(const represent::RepresentativeView& view, const ir::Query& q);
+
   /// The matched terms, in the query's term order.
   const std::vector<ResolvedTerm>& terms() const { return terms_; }
 
   std::size_t num_docs() const { return num_docs_; }
   represent::RepresentativeKind kind() const { return kind_; }
 
+  /// True when this query was resolved from an in-memory Representative
+  /// (representative() is then safe to call).
+  bool has_representative() const { return rep_ != nullptr; }
+
   /// The inputs the query was resolved from (non-owning; see lifetime note
-  /// above). Used by the generic EstimateBatch fallback.
+  /// above). Used by the generic EstimateBatch fallback; never call on a
+  /// view-backed ResolvedQuery (has_representative() == false).
   const represent::Representative& representative() const { return *rep_; }
   const ir::Query& query() const { return *query_; }
 

@@ -2,23 +2,51 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace useful::represent {
 
-Result<QuantizationResult> QuantizeRepresentative(const Representative& rep) {
-  if (rep.num_terms() == 0) {
+std::vector<const Representative::StatsMap::value_type*> SortedTerms(
+    const Representative& rep) {
+  std::vector<const Representative::StatsMap::value_type*> sorted;
+  sorted.reserve(rep.num_terms());
+  for (const auto& entry : rep.stats()) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  return sorted;
+}
+
+std::uint32_t QuantizedDocFreq(double approx_p, std::size_t num_docs,
+                               std::uint32_t original_doc_freq) {
+  const double n = static_cast<double>(num_docs);
+  // Reconstruct df from the quantized p, but never step outside the
+  // NoDoc invariant df in [0, n]: a zero-doc engine (or a p ~ 0 term that
+  // never occurred) must stay at 0. The floor at 1 exists only to keep a
+  // genuinely occurring term visible after its small p rounded to zero.
+  double df = std::clamp(std::round(approx_p * n), 0.0, n);
+  if (df < 1.0 && original_doc_freq > 0 && num_docs > 0) df = 1.0;
+  constexpr double kDfMax =
+      static_cast<double>(std::numeric_limits<std::uint32_t>::max());
+  return static_cast<std::uint32_t>(std::min(df, kDfMax));
+}
+
+Result<FieldQuantizers> TrainFieldQuantizers(
+    const Representative& rep,
+    const std::vector<const Representative::StatsMap::value_type*>& sorted) {
+  if (sorted.empty()) {
     return Status::FailedPrecondition(
-        "QuantizeRepresentative: empty representative");
+        "TrainFieldQuantizers: empty representative");
   }
   const bool quad = rep.kind() == RepresentativeKind::kQuadruplet;
 
   std::vector<double> ps, ws, sds, mws;
-  ps.reserve(rep.num_terms());
-  ws.reserve(rep.num_terms());
-  sds.reserve(rep.num_terms());
-  if (quad) mws.reserve(rep.num_terms());
+  ps.reserve(sorted.size());
+  ws.reserve(sorted.size());
+  sds.reserve(sorted.size());
+  if (quad) mws.reserve(sorted.size());
   double w_hi = 0.0, sd_hi = 0.0, mw_hi = 0.0;
-  for (const auto& [term, ts] : rep.stats()) {
+  for (const auto* entry : sorted) {
+    const TermStats& ts = entry->second;
     ps.push_back(ts.p);
     ws.push_back(ts.avg_weight);
     sds.push_back(ts.stddev);
@@ -41,26 +69,47 @@ Result<QuantizationResult> QuantizeRepresentative(const Representative& rep) {
   if (!wq.ok()) return wq.status();
   if (!sq.ok()) return sq.status();
 
-  QuantizationResult result{
-      Representative(rep.engine_name(), rep.num_docs(), rep.kind()),
-      pq.value(), wq.value(), sq.value(), ByteQuantizer()};
+  FieldQuantizers fq{std::move(pq).value(), std::move(wq).value(),
+                     std::move(sq).value(), ByteQuantizer()};
   if (quad) {
     auto mq = ByteQuantizer::Train(mws, 0.0, eps(mw_hi));
     if (!mq.ok()) return mq.status();
-    result.max_weight_quantizer = std::move(mq).value();
+    fq.max_weight = std::move(mq).value();
   }
+  return fq;
+}
 
-  const double n = static_cast<double>(rep.num_docs());
-  for (const auto& [term, ts] : rep.stats()) {
+Result<QuantizationResult> QuantizeRepresentative(const Representative& rep) {
+  if (rep.num_terms() == 0) {
+    return Status::FailedPrecondition(
+        "QuantizeRepresentative: empty representative");
+  }
+  const bool quad = rep.kind() == RepresentativeKind::kQuadruplet;
+
+  // Train (and later encode) in sorted term order: codebook entries are
+  // interval averages, so the summation order must be fixed for the
+  // quantization — and the packed URPZ encoding built on it — to be
+  // byte-stable across hash-map iteration orders.
+  const auto sorted = SortedTerms(rep);
+  auto fq = TrainFieldQuantizers(rep, sorted);
+  if (!fq.ok()) return fq.status();
+
+  QuantizationResult result{
+      Representative(rep.engine_name(), rep.num_docs(), rep.kind()),
+      std::move(fq.value().p), std::move(fq.value().weight),
+      std::move(fq.value().stddev), std::move(fq.value().max_weight)};
+  result.representative.set_stale_max(rep.stale_max());
+
+  for (const auto* entry : sorted) {
+    const TermStats& ts = entry->second;
     TermStats q;
     q.p = result.p_quantizer.Approximate(ts.p);
     q.avg_weight = result.weight_quantizer.Approximate(ts.avg_weight);
     q.stddev = result.stddev_quantizer.Approximate(ts.stddev);
     q.max_weight =
         quad ? result.max_weight_quantizer.Approximate(ts.max_weight) : 0.0;
-    q.doc_freq = static_cast<std::uint32_t>(
-        std::max(1.0, std::round(q.p * n)));
-    result.representative.Put(term, q);
+    q.doc_freq = QuantizedDocFreq(q.p, rep.num_docs(), ts.doc_freq);
+    result.representative.Put(entry->first, q);
   }
   return result;
 }

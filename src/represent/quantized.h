@@ -8,6 +8,9 @@
 // number storage from 16 to 4 bytes.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "represent/representative.h"
 #include "util/quantize.h"
 #include "util/status.h"
@@ -25,9 +28,43 @@ struct QuantizationResult {
 };
 
 /// Quantizes every numeric field of `rep` to one byte via interval-average
-/// codebooks. doc_freq is recomputed as round(p_approx * n) so the gGlOSS
-/// baselines see consistently degraded data too. Fails on an empty
+/// codebooks. doc_freq is recomputed from the approximate p (see
+/// QuantizedDocFreq) so the gGlOSS baselines see consistently degraded
+/// data too. Quantizers are trained in sorted term order, making the
+/// result independent of hash-map iteration order (the packed URPZ store
+/// relies on this for byte-stable encoding). Fails on an empty
 /// representative.
 Result<QuantizationResult> QuantizeRepresentative(const Representative& rep);
+
+/// The four trained per-field codebooks, without the re-encoded
+/// representative. max_weight is left default-constructed in triplet mode.
+struct FieldQuantizers {
+  ByteQuantizer p;
+  ByteQuantizer weight;
+  ByteQuantizer stddev;
+  ByteQuantizer max_weight;
+};
+
+/// Trains the per-field codebooks exactly as QuantizeRepresentative does,
+/// over `sorted` (which must be SortedTerms(rep)). Shared with the URPZ
+/// packed store so packed codes decode bit-identically to the in-memory
+/// quantized representative.
+Result<FieldQuantizers> TrainFieldQuantizers(
+    const Representative& rep,
+    const std::vector<const Representative::StatsMap::value_type*>& sorted);
+
+/// The quantized store's doc_freq reconstruction: round(p_approx * n)
+/// clamped into the invariant range [0, n], floored at 1 only when the
+/// term genuinely occurred (original df > 0) in a non-empty database.
+/// Shared between QuantizeRepresentative and the URPZ packed store so the
+/// two stay bit-identical.
+std::uint32_t QuantizedDocFreq(double approx_p, std::size_t num_docs,
+                               std::uint32_t original_doc_freq);
+
+/// The representative's (term, stats) entries sorted by term — the
+/// canonical deterministic order used by quantization and the URPZ
+/// packer. Pointers remain owned by `rep`.
+std::vector<const Representative::StatsMap::value_type*> SortedTerms(
+    const Representative& rep);
 
 }  // namespace useful::represent

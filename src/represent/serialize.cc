@@ -13,6 +13,9 @@ constexpr char kMagic[4] = {'U', 'R', 'P', '1'};
 // Guards against corrupt headers allocating absurd buffers.
 constexpr std::uint32_t kMaxStringLen = 1u << 20;
 constexpr std::uint64_t kMaxTerms = 1ull << 32;
+// Smallest possible on-disk term record: u32 length + empty term bytes +
+// u32 doc_freq + four f64 statistics.
+constexpr std::uint64_t kMinTermRecordBytes = 4 + 4 + 4 * sizeof(double);
 // High bit of the kind byte carries the stale-max flag; the low 7 bits
 // remain the RepresentativeKind, so files written before the flag existed
 // read back with the flag clear and old readers reject flagged files as an
@@ -30,9 +33,18 @@ bool ReadPod(std::istream& in, T* value) {
   return static_cast<bool>(in);
 }
 
-void WriteString(std::ostream& out, const std::string& s) {
+Status WriteString(std::ostream& out, const std::string& s) {
+  // The on-disk length is a u32 capped at kMaxStringLen; anything longer
+  // would either wrap (>= 4 GiB) or be rejected by ReadString, so refuse
+  // to produce the unreadable file instead of reporting a phantom OK.
+  if (s.size() > kMaxStringLen) {
+    return Status::InvalidArgument(
+        "string exceeds serialization cap (" + std::to_string(s.size()) +
+        " > " + std::to_string(kMaxStringLen) + " bytes)");
+  }
   WritePod(out, static_cast<std::uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  return Status::OK();
 }
 
 Status ReadString(std::istream& in, std::string* s) {
@@ -53,10 +65,10 @@ Status WriteRepresentative(const Representative& rep, std::ostream& out) {
   if (rep.stale_max()) kind_byte |= kStaleMaxBit;
   WritePod(out, kind_byte);
   WritePod(out, static_cast<std::uint64_t>(rep.num_docs()));
-  WriteString(out, rep.engine_name());
+  USEFUL_RETURN_IF_ERROR(WriteString(out, rep.engine_name()));
   WritePod(out, static_cast<std::uint64_t>(rep.num_terms()));
   for (const auto& [term, ts] : rep.stats()) {
-    WriteString(out, term);
+    USEFUL_RETURN_IF_ERROR(WriteString(out, term));
     WritePod(out, ts.doc_freq);
     WritePod(out, ts.p);
     WritePod(out, ts.avg_weight);
@@ -93,6 +105,23 @@ Result<Representative> ReadRepresentative(std::istream& in) {
   std::uint64_t num_terms = 0;
   if (!ReadPod(in, &num_terms)) return Status::Corruption("truncated count");
   if (num_terms > kMaxTerms) return Status::Corruption("term count too large");
+  // A corrupt count must not drive a long incremental-allocation loop: on
+  // a seekable stream, every term record costs at least
+  // kMinTermRecordBytes, so the remaining byte count bounds the plausible
+  // term count up front.
+  const std::streampos body_start = in.tellg();
+  if (body_start != std::streampos(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::streampos body_end = in.tellg();
+    in.seekg(body_start);
+    if (body_end != std::streampos(-1) && in) {
+      const auto remaining =
+          static_cast<std::uint64_t>(body_end - body_start);
+      if (num_terms > remaining / kMinTermRecordBytes) {
+        return Status::Corruption("term count exceeds stream size");
+      }
+    }
+  }
   for (std::uint64_t i = 0; i < num_terms; ++i) {
     std::string term;
     USEFUL_RETURN_IF_ERROR(ReadString(in, &term));

@@ -6,6 +6,7 @@
 #include "broker/selection_policy.h"
 #include "estimate/registry.h"
 #include "represent/serialize.h"
+#include "represent/store.h"
 #include "util/string_util.h"
 
 namespace useful::service {
@@ -50,6 +51,8 @@ Result<std::unique_ptr<Service>> Service::Create(const text::Analyzer* analyzer,
   service->broker_ = std::move(snapshot).value();
   service->stats_.SetRepresentativeStale(
       service->broker_->num_stale_representatives());
+  service->stats_.SetPackedStore(service->broker_->num_store_engines(),
+                                 service->broker_->store_bytes());
   return service;
 }
 
@@ -57,6 +60,24 @@ Result<std::shared_ptr<const broker::Metasearcher>> Service::LoadSnapshot()
     const {
   auto next = std::make_shared<broker::Metasearcher>(analyzer_);
   for (const std::string& path : options_.representative_paths) {
+    // One path may carry either format; the magic decides. Packed URPZ
+    // stores register zero-copy (mmap stays shared until the snapshot's
+    // last in-flight request drops), legacy URP1 files parse as before.
+    auto packed = represent::SniffPackedStore(path);
+    if (!packed.ok()) {
+      return Status::IOError(path + ": " + packed.status().message());
+    }
+    if (packed.value()) {
+      auto store = represent::StoreView::Open(path);
+      if (!store.ok()) {
+        std::string msg = path + ": " + store.status().message();
+        return store.status().code() == Status::Code::kCorruption
+                   ? Status::Corruption(std::move(msg))
+                   : Status::IOError(std::move(msg));
+      }
+      USEFUL_RETURN_IF_ERROR(next->RegisterStore(std::move(store).value()));
+      continue;
+    }
     auto rep = represent::LoadRepresentative(path);
     if (!rep.ok()) {
       // Keep the original code (Corruption vs IOError) but add which file.
@@ -84,6 +105,8 @@ Status Service::Reload() {
   auto next = LoadSnapshot();
   if (!next.ok()) return next.status();
   stats_.SetRepresentativeStale(next.value()->num_stale_representatives());
+  stats_.SetPackedStore(next.value()->num_store_engines(),
+                        next.value()->store_bytes());
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     broker_ = std::move(next).value();

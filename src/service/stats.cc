@@ -148,6 +148,12 @@ std::vector<std::string> Stats::RenderMetrics(
           "Loaded representatives whose max weights are stale upper "
           "bounds (producer removed documents without a rebuild).",
           static_cast<double>(representative_stale()));
+  b.Gauge("useful_representative_packed_engines",
+          "Engines served zero-copy from mmap'd URPZ packed stores.",
+          static_cast<double>(representative_packed_engines()));
+  b.Gauge("useful_representative_packed_bytes",
+          "Total bytes of the packed store images behind the snapshot.",
+          static_cast<double>(representative_packed_bytes()));
 
   b.Counter("useful_cache_hits_total", "Query cache hits.", cache.hits);
   b.Counter("useful_cache_misses_total", "Query cache misses.", cache.misses);

@@ -141,6 +141,21 @@ class Stats {
     return representative_stale_.load(std::memory_order_relaxed);
   }
 
+  /// Sets the packed-store gauges: engines served zero-copy from mmap'd
+  /// URPZ stores and the total mapped bytes behind them. Written after
+  /// every snapshot load; exposed by METRICS as
+  /// representative_packed_engines / representative_packed_bytes.
+  void SetPackedStore(std::size_t engines, std::size_t bytes) {
+    representative_packed_engines_.store(engines, std::memory_order_relaxed);
+    representative_packed_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  std::size_t representative_packed_engines() const {
+    return representative_packed_engines_.load(std::memory_order_relaxed);
+  }
+  std::size_t representative_packed_bytes() const {
+    return representative_packed_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// "key value" lines for the STATS payload: request totals, reloads, the
   /// cache counters, engine count, then per-command count/p50/p99/max µs.
   std::vector<std::string> Render(const QueryCache::Counters& cache,
@@ -172,6 +187,8 @@ class Stats {
   std::atomic<std::size_t> dispatch_queue_depth_{0};
   std::atomic<std::uint64_t> traces_sampled_{0};
   std::atomic<std::size_t> representative_stale_{0};
+  std::atomic<std::size_t> representative_packed_engines_{0};
+  std::atomic<std::size_t> representative_packed_bytes_{0};
   std::array<std::atomic<std::uint64_t>, kNumCommands> counts_{};
   std::array<util::LatencyHistogram, kNumCommands> latency_{};
   std::array<util::LatencyHistogram, obs::kNumStages> stage_latency_{};

@@ -5,6 +5,8 @@
 #include "estimate/registry.h"
 #include "estimate/subrange_estimator.h"
 #include "represent/builder.h"
+#include "represent/quantized.h"
+#include "represent/store.h"
 
 namespace useful::broker {
 namespace {
@@ -261,6 +263,116 @@ TEST_F(MetasearcherTest, SingleTermRoutingPrefersHighestMaxWeight) {
   EXPECT_EQ(selected[0].engine, "sports");
   // Above the maximum weight nothing is selected.
   EXPECT_TRUE(broker_->SelectEngines(q, mw, estimator_).empty());
+}
+
+// Store-backed registration: the broker serves the same engines zero-copy
+// from a packed URPZ image; estimates must be bit-identical to a broker
+// holding the quantized in-memory representatives, since the packer and
+// the quantizer share one training path.
+class StoreBackedBrokerTest : public MetasearcherTest {
+ protected:
+  Result<std::shared_ptr<const represent::StoreView>> PackEngines() {
+    std::vector<represent::Representative> reps;
+    for (auto& e : engines_) {
+      auto rep = represent::BuildRepresentative(
+          *e, represent::RepresentativeKind::kQuadruplet);
+      if (!rep.ok()) return rep.status();
+      reps.push_back(std::move(rep).value());
+    }
+    std::vector<const represent::Representative*> ptrs;
+    for (const auto& r : reps) ptrs.push_back(&r);
+    auto image = represent::EncodeStore(ptrs);
+    if (!image.ok()) return image.status();
+    return represent::StoreView::FromBuffer(std::move(image).value());
+  }
+};
+
+TEST_F(StoreBackedBrokerTest, RankingBitIdenticalToQuantizedRepresentatives) {
+  // Broker A: quantized in-memory representatives (the classic path).
+  Metasearcher quantized_broker(&analyzer_);
+  for (auto& e : engines_) {
+    auto rep = represent::BuildRepresentative(
+        *e, represent::RepresentativeKind::kQuadruplet);
+    ASSERT_TRUE(rep.ok());
+    auto q = represent::QuantizeRepresentative(rep.value());
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(quantized_broker
+                    .RegisterRepresentative(
+                        std::move(q).value().representative)
+                    .ok());
+  }
+  // Broker B: the same engines from a packed store, zero-copy.
+  Metasearcher store_broker(&analyzer_);
+  auto store = PackEngines();
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE(store_broker.RegisterStore(store.value()).ok());
+  EXPECT_EQ(store_broker.num_engines(), engines_.size());
+  EXPECT_EQ(store_broker.num_store_engines(), engines_.size());
+  EXPECT_GT(store_broker.store_bytes(), 0u);
+
+  for (const std::string& name : estimate::KnownEstimators()) {
+    auto est = estimate::MakeEstimator(name);
+    ASSERT_TRUE(est.ok()) << name;
+    for (const char* text : {"football", "shared", "quantum recipe",
+                             "football goal oven shared"}) {
+      ir::Query q = ir::ParseQuery(analyzer_, text);
+      for (double threshold : {0.05, 0.2, 0.6}) {
+        auto a = quantized_broker.RankEngines(q, threshold, *est.value());
+        auto b = store_broker.RankEngines(q, threshold, *est.value());
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          EXPECT_EQ(a[i].engine, b[i].engine)
+              << name << " '" << text << "' @" << threshold;
+          EXPECT_EQ(a[i].estimate.no_doc, b[i].estimate.no_doc)
+              << name << " '" << text << "' @" << threshold;
+          EXPECT_EQ(a[i].estimate.avg_sim, b[i].estimate.avg_sim)
+              << name << " '" << text << "' @" << threshold;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(StoreBackedBrokerTest, RegisterStoreIsAllOrNothingOnDuplicates) {
+  // broker_ already holds "sports"/"science"/"cooking"; the packed store
+  // repeats them, so registration must fail without adding ANY entry.
+  auto store = PackEngines();
+  ASSERT_TRUE(store.ok());
+  Status s = broker_->RegisterStore(store.value());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(broker_->num_engines(), engines_.size());
+  EXPECT_EQ(broker_->num_store_engines(), 0u);
+}
+
+TEST_F(StoreBackedBrokerTest, RejectsNullStore) {
+  EXPECT_FALSE(broker_->RegisterStore(nullptr).ok());
+}
+
+TEST_F(StoreBackedBrokerTest, FindRepresentativeFailsForStoreBacked) {
+  Metasearcher store_broker(&analyzer_);
+  auto store = PackEngines();
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store_broker.RegisterStore(store.value()).ok());
+  auto found = store_broker.FindRepresentative("sports");
+  EXPECT_EQ(found.status().code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(store_broker.FindRepresentative("nonexistent").status().code(),
+            Status::Code::kNotFound);
+}
+
+TEST_F(StoreBackedBrokerTest, StaleMaxStoreEngineCounted) {
+  auto rep = represent::BuildRepresentative(
+      *engines_[0], represent::RepresentativeKind::kQuadruplet);
+  ASSERT_TRUE(rep.ok());
+  represent::Representative stale = std::move(rep).value();
+  stale.set_stale_max(true);
+  std::vector<const represent::Representative*> ptrs = {&stale};
+  auto image = represent::EncodeStore(ptrs);
+  ASSERT_TRUE(image.ok());
+  auto store = represent::StoreView::FromBuffer(std::move(image).value());
+  ASSERT_TRUE(store.ok());
+  Metasearcher store_broker(&analyzer_);
+  ASSERT_TRUE(store_broker.RegisterStore(store.value()).ok());
+  EXPECT_EQ(store_broker.num_stale_representatives(), 1u);
 }
 
 }  // namespace

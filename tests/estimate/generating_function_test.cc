@@ -168,6 +168,58 @@ TEST(GeneratingFunctionTest, ResolutionMergesCloseExponents) {
   EXPECT_NEAR(dist.spikes()[0].prob, 0.4, 1e-12);
 }
 
+TEST(GeneratingFunctionTest, ResolutionMergeAnchorsAtRunHead) {
+  // Regression: the merge test used to compare against the run's
+  // probability-weighted mean, which walks downward as spikes accumulate.
+  // With spikes at 1.000 (p=0.01), 0.9915 (p=0.5), 0.9832 (p=0.4) and
+  // resolution 0.01, the drifting head (~0.9917 after two merges) would
+  // swallow 0.9832 even though it lies 0.0168 below the run head 1.000 —
+  // collapsing spikes spread over nearly 2x the resolution. Anchoring at
+  // the head's original exponent keeps 0.9832 as its own spike.
+  ExpandOptions opts;
+  opts.exponent_resolution = 0.01;
+  TermPolynomial poly{
+      {Spike{1.000, 0.01}, Spike{0.9915, 0.5}, Spike{0.9832, 0.4}}};
+  auto dist = SimilarityDistribution::Expand({poly}, opts);
+  // merged(1.000, 0.9915) + standalone 0.9832 + zero spike.
+  ASSERT_EQ(dist.spikes().size(), 3u);
+  const double merged_mean = (1.000 * 0.01 + 0.9915 * 0.5) / 0.51;
+  EXPECT_NEAR(dist.spikes()[0].exponent, merged_mean, 1e-12);
+  EXPECT_NEAR(dist.spikes()[0].prob, 0.51, 1e-12);
+  EXPECT_NEAR(dist.spikes()[1].exponent, 0.9832, 1e-12);
+  EXPECT_NEAR(dist.spikes()[1].prob, 0.4, 1e-12);
+  EXPECT_NEAR(dist.spikes()[2].prob, 0.09, 1e-12);
+  // The merged exponent stays within one resolution of the run head.
+  EXPECT_GE(dist.spikes()[0].exponent, 1.000 - opts.exponent_resolution);
+}
+
+TEST(GeneratingFunctionTest, MergedSpikesStayWithinResolutionOfRunHead) {
+  // Property: after canonicalization every spike that absorbed a run lies
+  // within `resolution` of the run's opening exponent, so no two adjacent
+  // output spikes can be closer than the resolution allows via drift.
+  ExpandOptions opts;
+  opts.exponent_resolution = 0.05;
+  Pcg32 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<TermPolynomial> factors;
+    for (int f = 0; f < 4; ++f) {
+      TermPolynomial poly;
+      for (int s = 0; s < 4; ++s) {
+        poly.spikes.push_back(Spike{rng.NextDouble() * 2.0, 0.2});
+      }
+      factors.push_back(std::move(poly));
+    }
+    auto dist = SimilarityDistribution::Expand(factors, opts);
+    for (std::size_t i = 1; i < dist.spikes().size(); ++i) {
+      // Strictly descending, and adjacent merged spikes cannot have been
+      // pulled through each other by weighted-mean drift.
+      EXPECT_LT(dist.spikes()[i].exponent, dist.spikes()[i - 1].exponent)
+          << "trial " << trial << " index " << i;
+    }
+    EXPECT_NEAR(dist.TotalMass(), 1.0, 1e-9) << trial;
+  }
+}
+
 TEST(GeneratingFunctionTest, SixTermsBySixSpikesStaysTractable) {
   // Worst-case experimental load: 6 query terms, 6 subranges each.
   std::vector<TermPolynomial> factors;
@@ -182,6 +234,79 @@ TEST(GeneratingFunctionTest, SixTermsBySixSpikesStaysTractable) {
   auto dist = SimilarityDistribution::Expand(factors);
   EXPECT_NEAR(dist.TotalMass(), 1.0, 1e-9);
   EXPECT_LE(dist.spikes().size(), 117649u);  // 7^6
+}
+
+class ForcedKernel {
+ public:
+  explicit ForcedKernel(ExpandKernel k) : ok_(SetExpandKernel(k)) {}
+  ~ForcedKernel() { SetExpandKernel(ExpandKernel::kAuto); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_;
+};
+
+std::vector<TermPolynomial> RandomFactors(Pcg32& rng, int n_factors,
+                                          int max_spikes) {
+  std::vector<TermPolynomial> factors;
+  for (int f = 0; f < n_factors; ++f) {
+    TermPolynomial poly;
+    double budget = 1.0;
+    const int spikes = 1 + static_cast<int>(rng.NextBounded(
+                               static_cast<std::uint32_t>(max_spikes)));
+    for (int s = 0; s < spikes; ++s) {
+      double p = budget * rng.NextDouble() * 0.4;
+      budget -= p;
+      poly.spikes.push_back(Spike{rng.NextDouble() * 3.0, p});
+    }
+    factors.push_back(std::move(poly));
+  }
+  return factors;
+}
+
+TEST(GeneratingFunctionTest, Avx2KernelBitIdenticalToScalar) {
+  ForcedKernel simd(ExpandKernel::kAvx2);
+  if (!simd.ok()) GTEST_SKIP() << "AVX2+FMA unavailable";
+  Pcg32 rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Odd/even spike counts hit both the paired lanes and the tail;
+    // occasional over-full factors exercise the zero-spike-absent path.
+    auto factors = RandomFactors(rng, 1 + trial % 6, 7);
+    if (trial % 5 == 0 && !factors.empty()) {
+      factors[0].spikes.push_back(Spike{0.5, 2.0});  // ZeroProb clamps to 0
+    }
+    ASSERT_TRUE(SetExpandKernel(ExpandKernel::kAvx2));
+    auto simd_dist = SimilarityDistribution::Expand(factors);
+    ASSERT_TRUE(SetExpandKernel(ExpandKernel::kScalar));
+    auto scalar_dist = SimilarityDistribution::Expand(factors);
+    ASSERT_EQ(simd_dist.spikes().size(), scalar_dist.spikes().size()) << trial;
+    for (std::size_t i = 0; i < simd_dist.spikes().size(); ++i) {
+      EXPECT_EQ(simd_dist.spikes()[i].exponent,
+                scalar_dist.spikes()[i].exponent)
+          << trial << ":" << i;
+      EXPECT_EQ(simd_dist.spikes()[i].prob, scalar_dist.spikes()[i].prob)
+          << trial << ":" << i;
+    }
+  }
+}
+
+TEST(GeneratingFunctionTest, KernelForcingRoundTrips) {
+  ForcedKernel scalar(ExpandKernel::kScalar);
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(ActiveExpandKernel(), ExpandKernel::kScalar);
+  SetExpandKernel(ExpandKernel::kAuto);
+  EXPECT_NE(ActiveExpandKernel(), ExpandKernel::kAuto);
+}
+
+TEST(GeneratingFunctionTest, Example32HoldsUnderEveryKernel) {
+  for (auto k : {ExpandKernel::kScalar, ExpandKernel::kAvx2}) {
+    ForcedKernel forced(k);
+    if (!forced.ok()) continue;
+    auto dist = SimilarityDistribution::Expand(Example31Factors());
+    ASSERT_EQ(dist.spikes().size(), 6u);
+    EXPECT_NEAR(dist.spikes()[0].prob, 0.048, 1e-12);
+    EXPECT_NEAR(dist.EstimateNoDoc(3.0, 5), 1.2, 1e-12);
+  }
 }
 
 TEST(GeneratingFunctionTest, ExpandWithMatchesExpandBitForBit) {

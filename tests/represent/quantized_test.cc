@@ -91,6 +91,94 @@ TEST(QuantizedTest, DocFreqReconstructedFromP) {
   }
 }
 
+TEST(QuantizedTest, ZeroDocEngineKeepsDocFreqZero) {
+  // A zero-doc engine must stay inside the NoDoc invariant df in [0, n]:
+  // the old max(1, round(p*n)) floor minted a phantom document.
+  Representative rep("empty-db", 0, RepresentativeKind::kQuadruplet);
+  rep.Put("ghost", TermStats{0.0, 0.0, 0.0, 0.0, 0});
+  auto r = QuantizeRepresentative(rep);
+  ASSERT_TRUE(r.ok());
+  auto qs = r.value().representative.Find("ghost");
+  ASSERT_TRUE(qs.has_value());
+  EXPECT_EQ(qs->doc_freq, 0u);
+}
+
+TEST(QuantizedTest, ZeroProbTermNotFlooredToOne) {
+  // p = 0 with original df = 0 (a term that never occurred): the floor at
+  // 1 must not apply.
+  Representative rep("db", 1000, RepresentativeKind::kQuadruplet);
+  rep.Put("absent", TermStats{0.0, 0.0, 0.0, 0.0, 0});
+  rep.Put("common", TermStats{0.5, 0.3, 0.1, 0.6, 500});
+  auto r = QuantizeRepresentative(rep);
+  ASSERT_TRUE(r.ok());
+  auto absent = r.value().representative.Find("absent");
+  ASSERT_TRUE(absent.has_value());
+  EXPECT_EQ(absent->doc_freq, 0u);
+  auto common = r.value().representative.Find("common");
+  ASSERT_TRUE(common.has_value());
+  EXPECT_GE(common->doc_freq, 1u);
+}
+
+TEST(QuantizedTest, TinyPositiveProbKeepsFloorOfOne) {
+  // A genuinely occurring term whose quantized p rounds to zero keeps the
+  // floor at 1 — it exists in at least one document.
+  Representative rep("db", 1000000, RepresentativeKind::kQuadruplet);
+  rep.Put("rare", TermStats{1e-7, 0.4, 0.05, 0.5, 1});
+  rep.Put("common", TermStats{0.9, 0.3, 0.1, 0.6, 900000});
+  auto r = QuantizeRepresentative(rep);
+  ASSERT_TRUE(r.ok());
+  auto rare = r.value().representative.Find("rare");
+  ASSERT_TRUE(rare.has_value());
+  EXPECT_EQ(rare->doc_freq, 1u);
+}
+
+TEST(QuantizedTest, DocFreqNeverExceedsNumDocs) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    Representative rep = RandomRep(300, seed, RepresentativeKind::kQuadruplet);
+    auto r = QuantizeRepresentative(rep);
+    ASSERT_TRUE(r.ok());
+    for (const auto& [term, qs] : r.value().representative.stats()) {
+      EXPECT_LE(qs.doc_freq, rep.num_docs()) << term;
+    }
+  }
+}
+
+TEST(QuantizedTest, DeterministicAcrossInsertionOrders) {
+  // Codebooks are trained in sorted term order, so two representatives
+  // with identical contents but different hash-map insertion histories
+  // quantize to bit-identical stats.
+  Representative fwd("db", 1000, RepresentativeKind::kQuadruplet);
+  Representative rev("db", 1000, RepresentativeKind::kQuadruplet);
+  Pcg32 rng(21);
+  std::vector<std::pair<std::string, TermStats>> entries;
+  for (int i = 0; i < 400; ++i) {
+    TermStats ts;
+    ts.doc_freq = 1 + rng.NextBounded(999);
+    ts.p = ts.doc_freq / 1000.0;
+    ts.avg_weight = rng.NextDouble() * 0.5 + 0.01;
+    ts.stddev = rng.NextDouble() * 0.2;
+    ts.max_weight = std::min(1.0, ts.avg_weight + 3.0 * ts.stddev);
+    entries.emplace_back("term" + std::to_string(i), ts);
+  }
+  for (const auto& [t, ts] : entries) fwd.Put(t, ts);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    rev.Put(it->first, it->second);
+  }
+  auto qf = QuantizeRepresentative(fwd);
+  auto qr = QuantizeRepresentative(rev);
+  ASSERT_TRUE(qf.ok());
+  ASSERT_TRUE(qr.ok());
+  for (const auto& [term, a] : qf.value().representative.stats()) {
+    auto b = qr.value().representative.Find(term);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a.p, b->p) << term;
+    EXPECT_EQ(a.avg_weight, b->avg_weight) << term;
+    EXPECT_EQ(a.stddev, b->stddev) << term;
+    EXPECT_EQ(a.max_weight, b->max_weight) << term;
+    EXPECT_EQ(a.doc_freq, b->doc_freq) << term;
+  }
+}
+
 TEST(QuantizedTest, TripletModeSkipsMaxWeight) {
   Representative rep = RandomRep(100, 5, RepresentativeKind::kTriplet);
   auto r = QuantizeRepresentative(rep);

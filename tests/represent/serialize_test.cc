@@ -165,6 +165,9 @@ TEST(SerializeTest, RejectsTruncatedTermStringBody) {
   std::uint32_t term_len = 100;
   bytes.append(reinterpret_cast<const char*>(&term_len), 4);
   bytes.append("abc");
+  // Enough trailing bytes to pass the up-front terms-vs-stream-size bound
+  // (one minimum-width record), but short of the 100 announced above.
+  bytes.append(36, '\0');
   std::stringstream in(bytes);
   auto r = ReadRepresentative(in);
   ASSERT_FALSE(r.ok());
@@ -179,11 +182,79 @@ TEST(SerializeTest, RejectsTermLengthOverCap) {
   std::string bytes = HeaderClaiming(1);
   std::uint32_t term_len = (1u << 20) + 1;
   bytes.append(reinterpret_cast<const char*>(&term_len), 4);
+  // Pad past the up-front terms-vs-stream-size bound so the length-cap
+  // check is the one that fires.
+  bytes.append(36, '\0');
   std::stringstream in(bytes);
   auto r = ReadRepresentative(in);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
   EXPECT_NE(r.status().message().find("string too long"), std::string::npos);
+}
+
+TEST(SerializeTest, WriteRejectsTermOverCap) {
+  // A term longer than the reader's kMaxStringLen cap must fail at WRITE
+  // time: the old code silently truncated the length to u32 semantics and
+  // reported OK for a file every reader rejects as corrupt.
+  Representative rep("engine", 10, RepresentativeKind::kQuadruplet);
+  rep.Put(std::string((1u << 20) + 1, 'x'), TermStats{0.1, 0.2, 0.1, 0.3, 1});
+  std::stringstream ss;
+  Status s = WriteRepresentative(rep, ss);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(s.message().find("serialization cap"), std::string::npos);
+}
+
+TEST(SerializeTest, WriteRejectsEngineNameOverCap) {
+  Representative rep(std::string((1u << 20) + 1, 'n'), 10,
+                     RepresentativeKind::kQuadruplet);
+  rep.Put("ok", TermStats{0.1, 0.2, 0.1, 0.3, 1});
+  std::stringstream ss;
+  Status s = WriteRepresentative(rep, ss);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(SerializeTest, SaveReportsOversizedStringInsteadOfOk) {
+  auto path = std::filesystem::temp_directory_path() / "useful_rep_cap.bin";
+  Representative rep("engine", 10, RepresentativeKind::kQuadruplet);
+  rep.Put(std::string((1u << 20) + 1, 'x'), TermStats{0.1, 0.2, 0.1, 0.3, 1});
+  EXPECT_FALSE(SaveRepresentative(rep, path.string()).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, MaxLengthStringStillWrites) {
+  Representative rep("engine", 10, RepresentativeKind::kQuadruplet);
+  rep.Put(std::string(1u << 20, 'x'), TermStats{0.1, 0.2, 0.1, 0.3, 1});
+  std::stringstream ss;
+  ASSERT_TRUE(WriteRepresentative(rep, ss).ok());
+  auto loaded = ReadRepresentative(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_terms(), 1u);
+}
+
+TEST(SerializeTest, RejectsTermCountExceedingStreamSize) {
+  // A 50-ish byte file claiming a billion terms must be rejected from the
+  // header alone (the old reader ground through an incremental-allocation
+  // loop until it happened to hit EOF).
+  std::string bytes = HeaderClaiming(1'000'000'000ull);
+  std::stringstream in(bytes);
+  auto r = ReadRepresentative(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(r.status().message().find("term count exceeds stream size"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, TermCountBoundUsesMinimumRecordWidth) {
+  // Exactly enough bytes for one minimum-width record but a count of two:
+  // still rejected up front.
+  std::string bytes = HeaderClaiming(2);
+  bytes.append(40, '\0');  // one minimum-width record's worth of bytes
+  std::stringstream in(bytes);
+  auto r = ReadRepresentative(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
 }
 
 TEST(SerializeTest, FileRoundTrip) {

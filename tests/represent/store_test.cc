@@ -1,0 +1,393 @@
+#include "represent/store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "represent/quantized.h"
+#include "represent/serialize.h"
+#include "util/random.h"
+
+namespace useful::represent {
+namespace {
+
+Representative MakeRep(const std::string& name, std::size_t terms,
+                       std::uint64_t seed, RepresentativeKind kind,
+                       std::size_t num_docs = 1000) {
+  Pcg32 rng(seed);
+  Representative rep(name, num_docs, kind);
+  // Shared-prefix heavy vocabulary to exercise front coding.
+  const char* stems[] = {"inter", "trans", "micro", "anti", "re", "z"};
+  for (std::size_t i = 0; i < terms; ++i) {
+    std::string term = stems[rng.NextBounded(6)];
+    term += "term" + std::to_string(rng.NextBounded(10000));
+    TermStats ts;
+    ts.doc_freq = static_cast<std::uint32_t>(rng.NextBounded(
+        static_cast<std::uint32_t>(num_docs) + 1));
+    ts.p = num_docs == 0 ? 0.0
+                         : ts.doc_freq / static_cast<double>(num_docs);
+    ts.avg_weight = ts.doc_freq == 0 ? 0.0 : rng.NextDouble() * 0.5 + 0.01;
+    ts.stddev = ts.doc_freq == 0 ? 0.0 : rng.NextDouble() * 0.2;
+    ts.max_weight = kind == RepresentativeKind::kQuadruplet && ts.doc_freq > 0
+                        ? std::min(1.0, ts.avg_weight + 3.0 * ts.stddev)
+                        : 0.0;
+    rep.Put(std::move(term), ts);
+  }
+  return rep;
+}
+
+std::shared_ptr<const StoreView> MustOpen(std::string bytes) {
+  auto r = StoreView::FromBuffer(std::move(bytes));
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return r.ok() ? r.value() : nullptr;
+}
+
+void ExpectSameStats(const TermStats& a, const TermStats& b,
+                     const std::string& term) {
+  EXPECT_EQ(a.p, b.p) << term;
+  EXPECT_EQ(a.avg_weight, b.avg_weight) << term;
+  EXPECT_EQ(a.stddev, b.stddev) << term;
+  EXPECT_EQ(a.max_weight, b.max_weight) << term;
+  EXPECT_EQ(a.doc_freq, b.doc_freq) << term;
+}
+
+TEST(StoreTest, PackedStatsBitIdenticalToQuantizer) {
+  // The contract the serving path relies on: decoding a packed engine
+  // yields exactly QuantizeRepresentative(rep)'s output, bit for bit.
+  for (auto kind :
+       {RepresentativeKind::kQuadruplet, RepresentativeKind::kTriplet}) {
+    Representative rep = MakeRep("db", 700, 42, kind);
+    auto quantized = QuantizeRepresentative(rep);
+    ASSERT_TRUE(quantized.ok());
+    auto image = EncodeStore({&rep});
+    ASSERT_TRUE(image.ok()) << image.status().message();
+    auto store = MustOpen(std::move(image).value());
+    ASSERT_NE(store, nullptr);
+    auto view = store->Find("db");
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->num_terms(), rep.num_terms());
+    EXPECT_EQ(view->num_docs(), rep.num_docs());
+    EXPECT_EQ(view->kind(), kind);
+    for (const auto& [term, qs] : quantized.value().representative.stats()) {
+      auto packed = view->Find(term);
+      ASSERT_TRUE(packed.has_value()) << term;
+      ExpectSameStats(*packed, qs, term);
+    }
+  }
+}
+
+TEST(StoreTest, FindMissesCleanly) {
+  Representative rep("db", 100, RepresentativeKind::kQuadruplet);
+  for (const char* t : {"banana", "band", "bandit", "candle", "candy"}) {
+    rep.Put(t, TermStats{0.5, 0.3, 0.1, 0.6, 50});
+  }
+  auto store = MustOpen(EncodeStore({&rep}).value());
+  ASSERT_NE(store, nullptr);
+  auto view = store->Find("db");
+  ASSERT_TRUE(view.has_value());
+  for (const char* t : {"banana", "band", "bandit", "candle", "candy"}) {
+    EXPECT_TRUE(view->Find(t).has_value()) << t;
+  }
+  // Before the first, between entries, after the last, proper prefixes,
+  // and extensions of stored terms.
+  for (const char* t : {"aaa", "ban", "bandi", "banditz", "bananaz", "bane",
+                        "cand", "candz", "zzz", ""}) {
+    EXPECT_FALSE(view->Find(t).has_value()) << t;
+  }
+  EXPECT_FALSE(store->Find("nope").has_value());
+}
+
+TEST(StoreTest, MultiEngineStoreFindsEachByName) {
+  Representative a = MakeRep("alpha", 60, 1, RepresentativeKind::kQuadruplet);
+  Representative b = MakeRep("beta", 40, 2, RepresentativeKind::kTriplet);
+  Representative c = MakeRep("gamma", 90, 3, RepresentativeKind::kQuadruplet);
+  c.set_stale_max(true);
+  auto store = MustOpen(EncodeStore({&c, &a, &b}).value());
+  ASSERT_NE(store, nullptr);
+  ASSERT_EQ(store->num_engines(), 3u);
+  // Index is name-sorted regardless of input order.
+  EXPECT_EQ(store->engine(0).engine_name(), "alpha");
+  EXPECT_EQ(store->engine(1).engine_name(), "beta");
+  EXPECT_EQ(store->engine(2).engine_name(), "gamma");
+  EXPECT_EQ(store->engine(1).kind(), RepresentativeKind::kTriplet);
+  EXPECT_FALSE(store->Find("alpha")->stale_max());
+  EXPECT_TRUE(store->Find("gamma")->stale_max());
+  EXPECT_EQ(store->Find("beta")->num_terms(), b.num_terms());
+}
+
+TEST(StoreTest, MaterializeMatchesUrp1RoundTripOfQuantized) {
+  // Cross-format equivalence: URPZ decode == URP1 write/read of the
+  // quantized representative, field for field.
+  Representative rep = MakeRep("db", 450, 7, RepresentativeKind::kQuadruplet);
+  rep.set_stale_max(true);
+  auto quantized = QuantizeRepresentative(rep);
+  ASSERT_TRUE(quantized.ok());
+  std::stringstream urp1;
+  ASSERT_TRUE(
+      WriteRepresentative(quantized.value().representative, urp1).ok());
+  auto via_urp1 = ReadRepresentative(urp1);
+  ASSERT_TRUE(via_urp1.ok());
+
+  auto store = MustOpen(EncodeStore({&rep}).value());
+  ASSERT_NE(store, nullptr);
+  Representative via_urpz = store->Find("db")->Materialize();
+
+  EXPECT_EQ(via_urpz.engine_name(), via_urp1.value().engine_name());
+  EXPECT_EQ(via_urpz.num_docs(), via_urp1.value().num_docs());
+  EXPECT_EQ(via_urpz.kind(), via_urp1.value().kind());
+  EXPECT_EQ(via_urpz.stale_max(), via_urp1.value().stale_max());
+  ASSERT_EQ(via_urpz.num_terms(), via_urp1.value().num_terms());
+  for (const auto& [term, ts] : via_urp1.value().stats()) {
+    auto packed = via_urpz.Find(term);
+    ASSERT_TRUE(packed.has_value()) << term;
+    ExpectSameStats(*packed, ts, term);
+  }
+}
+
+TEST(StoreTest, RandomizedRoundTripProperty) {
+  // Property sweep: random representatives of both kinds, stale flag set
+  // and clear, tiny through moderate sizes, zero-doc-freq terms included.
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    const auto kind = seed % 2 == 0 ? RepresentativeKind::kQuadruplet
+                                    : RepresentativeKind::kTriplet;
+    Representative rep =
+        MakeRep("eng" + std::to_string(seed), 1 + seed * 17 % 400, seed, kind);
+    rep.set_stale_max(seed % 3 == 0);
+    auto quantized = QuantizeRepresentative(rep);
+    ASSERT_TRUE(quantized.ok());
+    auto store = MustOpen(EncodeStore({&rep}).value());
+    ASSERT_NE(store, nullptr);
+    auto view = store->Find(rep.engine_name());
+    ASSERT_TRUE(view.has_value()) << seed;
+    EXPECT_EQ(view->stale_max(), rep.stale_max()) << seed;
+    std::size_t seen = 0;
+    view->ForEachTerm([&](std::string_view term, const TermStats& ts) {
+      auto expected = quantized.value().representative.Find(term);
+      ASSERT_TRUE(expected.has_value()) << term;
+      ExpectSameStats(ts, *expected, std::string(term));
+      ++seen;
+    });
+    EXPECT_EQ(seen, rep.num_terms()) << seed;
+  }
+}
+
+TEST(StoreTest, EncodingIsByteStableAcrossInsertionOrder) {
+  Representative fwd("db", 500, RepresentativeKind::kQuadruplet);
+  Representative rev("db", 500, RepresentativeKind::kQuadruplet);
+  Representative probe = MakeRep("db", 300, 5, RepresentativeKind::kQuadruplet);
+  std::vector<std::pair<std::string, TermStats>> entries(
+      probe.stats().begin(), probe.stats().end());
+  for (const auto& [t, ts] : entries) fwd.Put(t, ts);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    rev.Put(it->first, it->second);
+  }
+  auto a = EncodeStore({&fwd});
+  auto b = EncodeStore({&rev});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(StoreTest, GoldenImageIsByteStable) {
+  // The on-disk format is a published contract: the same logical input
+  // must keep producing the identical image across refactors. If this
+  // test fails because of an INTENTIONAL format change, bump kVersion in
+  // store.cc and re-pin these constants; any other failure means the
+  // packer drifted and deployed stores would stop matching their golden
+  // checksums.
+  Representative a = MakeRep("golden-a", 200, 123,
+                             RepresentativeKind::kQuadruplet);
+  Representative b = MakeRep("golden-b", 80, 321,
+                             RepresentativeKind::kTriplet);
+  b.set_stale_max(true);
+  auto image = EncodeStore({&a, &b});
+  ASSERT_TRUE(image.ok());
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a 64
+  for (unsigned char c : image.value()) {
+    hash = (hash ^ c) * 1099511628211ull;
+  }
+  EXPECT_EQ(image.value().size(), 17368u);
+  EXPECT_EQ(hash, 13515083161455886426ull);
+}
+
+TEST(StoreTest, OpenFromFileMatchesBuffer) {
+  Representative rep = MakeRep("db", 250, 9, RepresentativeKind::kQuadruplet);
+  const std::string path = ::testing::TempDir() + "/store_test.urpz";
+  ASSERT_TRUE(PackStoreToFile({&rep}, path).ok());
+
+  auto sniff = SniffPackedStore(path);
+  ASSERT_TRUE(sniff.ok());
+  EXPECT_TRUE(sniff.value());
+
+  auto mapped = StoreView::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+  auto image = EncodeStore({&rep});
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(mapped.value()->file_bytes(), image.value().size());
+  auto buffered = MustOpen(std::move(image).value());
+  ASSERT_NE(buffered, nullptr);
+  auto vm = mapped.value()->Find("db");
+  auto vb = buffered->Find("db");
+  ASSERT_TRUE(vm.has_value());
+  ASSERT_TRUE(vb.has_value());
+  for (const auto& [term, ts] : rep.stats()) {
+    auto sm = vm->Find(term);
+    auto sb = vb->Find(term);
+    ASSERT_TRUE(sm.has_value()) << term;
+    ASSERT_TRUE(sb.has_value()) << term;
+    ExpectSameStats(*sm, *sb, term);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, SniffDistinguishesUrp1) {
+  Representative rep = MakeRep("db", 20, 11, RepresentativeKind::kQuadruplet);
+  const std::string path = ::testing::TempDir() + "/store_test.rep";
+  ASSERT_TRUE(SaveRepresentative(rep, path).ok());
+  auto sniff = SniffPackedStore(path);
+  ASSERT_TRUE(sniff.ok());
+  EXPECT_FALSE(sniff.value());
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, RejectsEmptyRepresentative) {
+  Representative rep("db", 10, RepresentativeKind::kQuadruplet);
+  auto r = EncodeStore({&rep});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(StoreTest, RejectsDuplicateEngineNames) {
+  Representative a = MakeRep("db", 10, 1, RepresentativeKind::kQuadruplet);
+  Representative b = MakeRep("db", 10, 2, RepresentativeKind::kQuadruplet);
+  auto r = EncodeStore({&a, &b});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(StoreTest, EmptyStoreRoundTrips) {
+  auto image = EncodeStore({});
+  ASSERT_TRUE(image.ok());
+  auto store = MustOpen(std::move(image).value());
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->num_engines(), 0u);
+  EXPECT_FALSE(store->Find("anything").has_value());
+}
+
+// --- Corruption battery: every header/section invariant the validator
+// enforces, exercised by flipping bytes of a valid image. ----------------
+
+class StoreCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Representative rep =
+        MakeRep("db", 120, 33, RepresentativeKind::kQuadruplet);
+    auto image = EncodeStore({&rep});
+    ASSERT_TRUE(image.ok());
+    image_ = std::move(image).value();
+  }
+
+  void ExpectCorrupt(std::string bytes, const char* what) {
+    auto r = StoreView::FromBuffer(std::move(bytes));
+    ASSERT_FALSE(r.ok()) << what;
+    EXPECT_EQ(r.status().code(), Status::Code::kCorruption) << what;
+  }
+
+  void Patch32(std::string* bytes, std::size_t off, std::uint32_t v) {
+    std::memcpy(bytes->data() + off, &v, 4);
+  }
+  void Patch64(std::string* bytes, std::size_t off, std::uint64_t v) {
+    std::memcpy(bytes->data() + off, &v, 8);
+  }
+
+  std::string image_;
+};
+
+TEST_F(StoreCorruptionTest, RejectsShortFile) {
+  ExpectCorrupt(image_.substr(0, 16), "short");
+  ExpectCorrupt("", "empty");
+}
+
+TEST_F(StoreCorruptionTest, RejectsBadMagic) {
+  std::string bad = image_;
+  bad[0] = 'X';
+  ExpectCorrupt(std::move(bad), "magic");
+}
+
+TEST_F(StoreCorruptionTest, RejectsUnknownVersion) {
+  std::string bad = image_;
+  Patch32(&bad, 4, 99);
+  ExpectCorrupt(std::move(bad), "version");
+}
+
+TEST_F(StoreCorruptionTest, RejectsSizeMismatch) {
+  std::string bad = image_ + "extra";
+  ExpectCorrupt(std::move(bad), "appended bytes");
+  std::string truncated = image_.substr(0, image_.size() - 3);
+  ExpectCorrupt(std::move(truncated), "truncated");
+}
+
+TEST_F(StoreCorruptionTest, RejectsIndexOffsetOutOfBounds) {
+  std::string bad = image_;
+  Patch64(&bad, 16, bad.size() + 100);
+  ExpectCorrupt(std::move(bad), "index offset");
+}
+
+TEST_F(StoreCorruptionTest, RejectsBlockOutOfBounds) {
+  std::string bad = image_;
+  std::uint64_t index_off;
+  std::memcpy(&index_off, bad.data() + 16, 8);
+  Patch64(&bad, index_off, bad.size());  // engine block_offset
+  ExpectCorrupt(std::move(bad), "block offset");
+}
+
+TEST_F(StoreCorruptionTest, RejectsRestartCountMismatch) {
+  std::string bad = image_;
+  Patch32(&bad, 32 + 28, 1);  // num_restarts of first engine block
+  ExpectCorrupt(std::move(bad), "restart count");
+}
+
+TEST_F(StoreCorruptionTest, RejectsTermCountMismatch) {
+  std::string bad = image_;
+  Patch64(&bad, 32 + 16, 7);  // num_terms
+  ExpectCorrupt(std::move(bad), "term count");
+}
+
+TEST_F(StoreCorruptionTest, RejectsFieldCountKindMismatch) {
+  std::string bad = image_;
+  Patch32(&bad, 32 + 4, 3);  // num_fields, but kind says quadruplet
+  ExpectCorrupt(std::move(bad), "field count");
+}
+
+TEST_F(StoreCorruptionTest, RejectsGarbledTermBlob) {
+  // Zero the whole term section: varints become nonsense relative to the
+  // declared sizes and the ascending-order walk must fail.
+  std::string bad = image_;
+  std::uint64_t terms_off, terms_bytes;
+  std::memcpy(&terms_off, bad.data() + 32 + 48, 8);
+  std::memcpy(&terms_bytes, bad.data() + 32 + 56, 8);
+  std::memset(bad.data() + 32 + terms_off, 0,
+              static_cast<std::size_t>(terms_bytes));
+  ExpectCorrupt(std::move(bad), "garbled terms");
+}
+
+TEST_F(StoreCorruptionTest, RejectsUnsortedIndex) {
+  Representative a = MakeRep("aaa", 30, 1, RepresentativeKind::kQuadruplet);
+  Representative b = MakeRep("bbb", 30, 2, RepresentativeKind::kQuadruplet);
+  auto image = EncodeStore({&a, &b});
+  ASSERT_TRUE(image.ok());
+  std::string bad = std::move(image).value();
+  std::uint64_t index_off;
+  std::memcpy(&index_off, bad.data() + 16, 8);
+  // Swap the two names ("aaa" <-> "bbb") inside the index records.
+  char* first = bad.data() + index_off + 20;
+  char* second = bad.data() + index_off + 20 + 3 + 20;
+  for (int i = 0; i < 3; ++i) std::swap(first[i], second[i]);
+  ExpectCorrupt(std::move(bad), "unsorted index");
+}
+
+}  // namespace
+}  // namespace useful::represent

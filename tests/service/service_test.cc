@@ -16,6 +16,7 @@
 #include "ir/search_engine.h"
 #include "represent/builder.h"
 #include "represent/serialize.h"
+#include "represent/store.h"
 #include "util/string_util.h"
 
 namespace useful::service {
@@ -278,6 +279,124 @@ TEST_F(ServiceTest, FailedReloadKeepsServingOldSnapshot) {
   ASSERT_TRUE(after.status.ok());
   ASSERT_FALSE(after.payload.empty());
   EXPECT_EQ(service_->stats().reloads(), 0u);
+}
+
+// Packed-snapshot coverage: the service sniffs URPZ files per path, loads
+// them zero-copy, mixes them freely with legacy URP1 files, and reports
+// the packed-store gauges.
+class PackedServiceTest : public ServiceTest {
+ protected:
+  std::string StorePath() { return (dir_ / "packed.urpz").string(); }
+
+  // Packs `names` (already indexed by WriteRep-style docs) into one URPZ
+  // store at StorePath().
+  void PackEngines(
+      const std::vector<std::pair<std::string, std::vector<std::string>>>&
+          engines) {
+    std::vector<represent::Representative> reps;
+    for (const auto& [name, docs] : engines) {
+      ir::SearchEngine engine(name, &analyzer_);
+      int i = 0;
+      for (const std::string& text : docs) {
+        ASSERT_TRUE(
+            engine.Add({name + "/d" + std::to_string(i++), text}).ok());
+      }
+      ASSERT_TRUE(engine.Finalize().ok());
+      auto rep = represent::BuildRepresentative(engine);
+      ASSERT_TRUE(rep.ok());
+      reps.push_back(std::move(rep).value());
+    }
+    std::vector<const represent::Representative*> ptrs;
+    for (const auto& r : reps) ptrs.push_back(&r);
+    ASSERT_TRUE(represent::PackStoreToFile(ptrs, StorePath()).ok());
+  }
+};
+
+TEST_F(PackedServiceTest, MixedSnapshotLoadsPackedAndLegacyPaths) {
+  PackEngines({{"history", {"empire treaty dynasty", "treaty shared"}},
+               {"music", {"guitar melody chord", "melody shared"}}});
+  ServiceOptions options = MakeOptions();
+  options.representative_paths.push_back(StorePath());
+  auto service = Service::Create(&analyzer_, std::move(options));
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ(service.value()->num_engines(), 5u);
+  EXPECT_EQ(service.value()->stats().representative_packed_engines(), 2u);
+  EXPECT_GT(service.value()->stats().representative_packed_bytes(), 0u);
+
+  // Every engine — packed or legacy — answers on the shared term.
+  auto reply = service.value()->Execute("ESTIMATE subrange 0.05 shared");
+  ASSERT_TRUE(reply.status.ok());
+  EXPECT_EQ(reply.payload.size(), 5u);
+
+  // The gauges flow into METRICS.
+  auto metrics = service.value()->Execute("METRICS");
+  ASSERT_TRUE(metrics.status.ok());
+  bool saw_engines = false, saw_bytes = false;
+  for (const std::string& line : metrics.payload) {
+    if (line == "useful_representative_packed_engines 2") saw_engines = true;
+    if (line.rfind("useful_representative_packed_bytes ", 0) == 0 &&
+        line != "useful_representative_packed_bytes 0") {
+      saw_bytes = true;
+    }
+  }
+  EXPECT_TRUE(saw_engines);
+  EXPECT_TRUE(saw_bytes);
+}
+
+TEST_F(PackedServiceTest, ReloadSwapsPackedStoreInPlace) {
+  PackEngines({{"history", {"empire treaty dynasty", "treaty shared"}}});
+  ServiceOptions options = MakeOptions();
+  options.representative_paths.push_back(StorePath());
+  auto created = Service::Create(&analyzer_, std::move(options));
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Service> service = std::move(created).value();
+
+  auto before = service->Execute("ROUTE subrange 0.1 0 violin");
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_TRUE(before.payload.empty());
+
+  // Keep the pre-reload snapshot alive across the swap: its mapping must
+  // stay valid even after the file is replaced on disk.
+  auto old_snapshot = service->snapshot();
+
+  // Repack with an extra engine; RELOAD must pick it up via mmap swap.
+  PackEngines({{"history", {"empire treaty dynasty", "treaty shared"}},
+               {"strings", {"violin bow rosin", "violin concerto"}}});
+  auto reply = service->Execute("RELOAD");
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  ASSERT_EQ(reply.payload.size(), 1u);
+  EXPECT_EQ(reply.payload[0], "engines 5");
+  EXPECT_EQ(service->stats().representative_packed_engines(), 2u);
+
+  auto after = service->Execute("ROUTE subrange 0.1 0 violin");
+  ASSERT_TRUE(after.status.ok());
+  ASSERT_FALSE(after.payload.empty());
+  EXPECT_EQ(after.payload[0].substr(0, 7), "strings");
+
+  // The old snapshot still resolves queries against the old mapping.
+  ir::Query q = ir::ParseQuery(analyzer_, "treaty");
+  auto estimator = estimate::MakeEstimator("subrange");
+  ASSERT_TRUE(estimator.ok());
+  EXPECT_FALSE(
+      old_snapshot->RankEngines(q, 0.05, *estimator.value()).empty());
+}
+
+TEST_F(PackedServiceTest, CorruptPackedFileFailsLoudWithPath) {
+  PackEngines({{"history", {"empire treaty dynasty"}}});
+  // Garble the engine header's num_fields (file offset 36) so validation
+  // trips while the URPZ magic stays intact.
+  {
+    std::fstream f(StorePath(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(36);
+    f.put(static_cast<char>(0xff));
+  }
+  ServiceOptions options = MakeOptions();
+  options.representative_paths.push_back(StorePath());
+  auto service = Service::Create(&analyzer_, std::move(options));
+  ASSERT_FALSE(service.ok());
+  EXPECT_NE(service.status().message().find("packed.urpz"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 # Multi-process cluster smoke test, run by ctest (smoke + tsan labels).
 #
 #   served_cluster.sh <useful_served> <useful_frontend> <useful_client>
-#                     <rep0> <rep1> <workdir>
+#                     <rep0> <rep1> <workdir> <useful_repgen>
+#                     <collection0.trec> <collection1.trec>
 #
 # Boots a real 2-shard x 2-replica cluster — four useful_served shard
 # processes, one useful_frontend, plus a single-process oracle server
@@ -19,7 +20,13 @@
 #   phase 4  restart both replicas on their old ports: the front-end
 #            recovers on its own (no restart, no config change),
 #            stale_shards returns to 0, and the fronted output is again
-#            byte-identical to the oracle.
+#            byte-identical to the oracle;
+#   phase 5  pack both collections into mmap'd URPZ stores, boot a second
+#            cluster serving them zero-copy behind a fresh front-end, and
+#            compare byte-for-byte against an oracle serving the SAME
+#            collections as quantized URP1 files (cross-format identity);
+#            RELOAD on a packed shard must swap the mapping in place, and
+#            METRICS must report the packed-store gauges.
 #
 # Everything shuts down via QUIT and must log a clean exit. Thread
 # counts are minimal: this runs under TSan on small CI boxes.
@@ -31,6 +38,9 @@ CLIENT=$3
 REP0=$4
 REP1=$5
 DIR=$6
+REPGEN=$7
+TREC0=$8
+TREC1=$9
 
 S0A_LOG="$DIR/cluster_s0a.out"; S0A_PORT_FILE="$DIR/cluster_s0a.port"
 S0B_LOG="$DIR/cluster_s0b.out"; S0B_PORT_FILE="$DIR/cluster_s0b.port"
@@ -40,7 +50,11 @@ ORACLE_LOG="$DIR/cluster_oracle.out"; ORACLE_PORT_FILE="$DIR/cluster_oracle.port
 FE_LOG="$DIR/cluster_fe.out"; FE_PORT_FILE="$DIR/cluster_fe.port"
 rm -f "$S0A_LOG" "$S0B_LOG" "$S1A_LOG" "$S1B_LOG" "$ORACLE_LOG" "$FE_LOG" \
       "$S0A_PORT_FILE" "$S0B_PORT_FILE" "$S1A_PORT_FILE" "$S1B_PORT_FILE" \
-      "$ORACLE_PORT_FILE" "$FE_PORT_FILE"
+      "$ORACLE_PORT_FILE" "$FE_PORT_FILE" \
+      "$DIR"/cluster_p0.out "$DIR"/cluster_p0.port \
+      "$DIR"/cluster_p1.out "$DIR"/cluster_p1.port \
+      "$DIR"/cluster_poracle.out "$DIR"/cluster_poracle.port \
+      "$DIR"/cluster_pfe.out "$DIR"/cluster_pfe.port
 
 ALL_PIDS=""
 # Diagnostics go to stderr: fail() sometimes runs inside a $(...) whose
@@ -48,7 +62,8 @@ ALL_PIDS=""
 fail() {
   echo "FAIL: $1" >&2
   for log in "$S0A_LOG" "$S0B_LOG" "$S1A_LOG" "$S1B_LOG" "$ORACLE_LOG" \
-             "$FE_LOG"; do
+             "$FE_LOG" "$DIR/cluster_p0.out" "$DIR/cluster_p1.out" \
+             "$DIR/cluster_poracle.out" "$DIR/cluster_pfe.out"; do
     [ -f "$log" ] && { echo "--- $log" >&2; cat "$log" >&2; }
   done
   # shellcheck disable=SC2086
@@ -187,15 +202,94 @@ done
 compare_to_oracle "phase4"
 echo "phase 4 ok: restarted shard rejoined, output byte-identical again"
 
-# --- clean shutdown, front-end first (its QUIT is never forwarded).
+# --- phase 5: a second cluster over packed URPZ stores, cross-checked
+# byte-for-byte against an oracle serving the same collections as
+# quantized URP1 files. The packer and the quantizer train through the
+# same code path, so the two formats must be indistinguishable on the
+# wire.
+P0_STORE="$DIR/cluster_s0.urpz"; P1_STORE="$DIR/cluster_s1.urpz"
+O0_REP="$DIR/cluster_o0.rep"; O1_REP="$DIR/cluster_o1.rep"
+"$REPGEN" "$TREC0" "$P0_STORE" --pack > /dev/null \
+  || fail "phase5: packing shard 0 store failed"
+"$REPGEN" "$TREC1" "$P1_STORE" --pack > /dev/null \
+  || fail "phase5: packing shard 1 store failed"
+"$REPGEN" "$TREC0" "$O0_REP" --quantize > /dev/null \
+  || fail "phase5: quantized oracle rep 0 failed"
+"$REPGEN" "$TREC1" "$O1_REP" --quantize > /dev/null \
+  || fail "phase5: quantized oracle rep 1 failed"
+
+P0_LOG="$DIR/cluster_p0.out"; P0_PORT_FILE="$DIR/cluster_p0.port"
+P1_LOG="$DIR/cluster_p1.out"; P1_PORT_FILE="$DIR/cluster_p1.port"
+PORACLE_LOG="$DIR/cluster_poracle.out"
+PORACLE_PORT_FILE="$DIR/cluster_poracle.port"
+PFE_LOG="$DIR/cluster_pfe.out"; PFE_PORT_FILE="$DIR/cluster_pfe.port"
+start_served "$P0_LOG" "$P0_PORT_FILE" 0 "$P0_STORE"; P0_PID=$STARTED_PID
+start_served "$P1_LOG" "$P1_PORT_FILE" 0 "$P1_STORE"; P1_PID=$STARTED_PID
+start_served "$PORACLE_LOG" "$PORACLE_PORT_FILE" 0 "$O0_REP" "$O1_REP"
+PORACLE_PID=$STARTED_PID
+ALL_PIDS="$ALL_PIDS $P0_PID $P1_PID $PORACLE_PID"
+P0_PORT=$(wait_port "$P0_PORT_FILE" "$P0_PID" "packed shard 0")
+P1_PORT=$(wait_port "$P1_PORT_FILE" "$P1_PID" "packed shard 1")
+PORACLE_PORT=$(wait_port "$PORACLE_PORT_FILE" "$PORACLE_PID" \
+                         "packed-phase oracle")
+
+"$FRONTEND" --cluster "127.0.0.1:$P0_PORT|127.0.0.1:$P1_PORT" \
+            --port 0 --port-file "$PFE_PORT_FILE" \
+            --threads 1 --reactor-threads 1 \
+            --probe-backoff-ms 100 --io-timeout-ms 30000 > "$PFE_LOG" 2>&1 &
+PFE_PID=$!
+ALL_PIDS="$ALL_PIDS $PFE_PID"
+PFE_PORT=$(wait_port "$PFE_PORT_FILE" "$PFE_PID" "packed-phase front-end")
+
+# Give the fresh front-end until its first shard probes land: with one
+# replica per shard there is no failover to hide an unprobed shard.
+READY=0
+i=0
+while [ $i -lt 50 ]; do
+  if printf 'ESTIMATE subrange 0.1 fox\n' | "$CLIENT" --port "$PFE_PORT" \
+       > /dev/null 2>&1; then READY=1; break; fi
+  sleep 0.1
+  i=$((i + 1))
+done
+[ "$READY" = "1" ] || fail "phase5: packed front-end never became ready"
+
+# The packed shard must report its store through the METRICS gauges.
+SCRAPE=$("$CLIENT" --port "$P0_PORT" METRICS)
+echo "$SCRAPE" | grep -q '^useful_representative_packed_engines 1$' \
+  || fail "phase5: packed shard does not report packed_engines 1"
+PACKED_BYTES=$(echo "$SCRAPE" \
+  | awk '$1 == "useful_representative_packed_bytes" {print $2}')
+[ "${PACKED_BYTES%.*}" -gt 0 ] 2>/dev/null \
+  || fail "phase5: packed_bytes gauge not positive: '$PACKED_BYTES'"
+
+# RELOAD on a packed shard is an mmap swap; it must keep serving the
+# same single engine afterwards.
+RELOAD_REPLY=$(printf 'RELOAD\n' | "$CLIENT" --port "$P0_PORT")
+echo "$RELOAD_REPLY" | grep -q '^engines 1$' \
+  || fail "phase5: RELOAD on the packed shard did not answer 'engines 1'"
+
+SAVED_FE_PORT=$FE_PORT; SAVED_ORACLE_PORT=$ORACLE_PORT
+FE_PORT=$PFE_PORT; ORACLE_PORT=$PORACLE_PORT
+compare_to_oracle "phase5"
+FE_PORT=$SAVED_FE_PORT; ORACLE_PORT=$SAVED_ORACLE_PORT
+echo "phase 5 ok: packed-store cluster byte-identical to the URP1 oracle"
+
+# --- clean shutdown, front-ends first (their QUIT is never forwarded).
 printf 'QUIT\n' | "$CLIENT" --port "$FE_PORT" > /dev/null
 wait "$FE_PID"
 grep -q 'shut down cleanly' "$FE_LOG" || fail "front-end exit was not clean"
-for port in "$S0A_PORT" "$S0B_PORT" "$S1A_PORT" "$S1B_PORT" "$ORACLE_PORT"; do
+printf 'QUIT\n' | "$CLIENT" --port "$PFE_PORT" > /dev/null
+wait "$PFE_PID"
+grep -q 'shut down cleanly' "$PFE_LOG" \
+  || fail "packed-phase front-end exit was not clean"
+for port in "$S0A_PORT" "$S0B_PORT" "$S1A_PORT" "$S1B_PORT" "$ORACLE_PORT" \
+            "$P0_PORT" "$P1_PORT" "$PORACLE_PORT"; do
   printf 'QUIT\n' | "$CLIENT" --port "$port" > /dev/null
 done
-wait "$S0A_PID" "$S0B_PID" "$S1A_PID" "$S1B_PID" "$ORACLE_PID"
-for log in "$S0A_LOG" "$S0B_LOG" "$S1A_LOG" "$S1B_LOG" "$ORACLE_LOG"; do
+wait "$S0A_PID" "$S0B_PID" "$S1A_PID" "$S1B_PID" "$ORACLE_PID" \
+     "$P0_PID" "$P1_PID" "$PORACLE_PID"
+for log in "$S0A_LOG" "$S0B_LOG" "$S1A_LOG" "$S1B_LOG" "$ORACLE_LOG" \
+           "$P0_LOG" "$P1_LOG" "$PORACLE_LOG"; do
   grep -q 'shut down cleanly' "$log" || fail "$log exit was not clean"
 done
 echo "cluster smoke ok"
