@@ -158,7 +158,9 @@ Result<std::vector<MetasearchResult>> Metasearcher::Search(
     std::string_view raw_query, double threshold,
     const estimate::UsefulnessEstimator& estimator,
     std::size_t max_engines) const {
-  ir::Query q = ir::ParseQuery(*analyzer_, raw_query);
+  Result<ir::Query> parsed = ir::ParseAnnotatedQuery(*analyzer_, raw_query);
+  if (!parsed.ok()) return parsed.status();
+  ir::Query q = std::move(parsed).value();
   if (q.empty()) {
     return Status::InvalidArgument(
         "query has no content terms after analysis");

@@ -27,6 +27,15 @@ namespace {
 // exponent that opened it, and the merge result cannot depend on how the
 // weighted mean walked through intermediate spikes. The weighted mean is
 // still what the merged spike reports as its exponent.
+//
+// Runs never cross the sign boundary: a strictly positive head refuses
+// non-positive members. Negated terms cancel positive contributions to
+// within float rounding of zero (±1e-17-ish), and without the barrier
+// such a cancellation spike opens a run that swallows the exact-zero
+// no-match outcome — the weighted mean then lands at +epsilon and the
+// entire zero-similarity mass crosses the strict `> 0` NoDoc threshold.
+// With the barrier, non-positive mass can never drift strictly positive
+// (nor the reverse), so T = 0 comparisons are stable.
 void Canonicalize(std::vector<Spike>* spikes, const ExpandOptions& options) {
   std::sort(spikes->begin(), spikes->end(),
             [](const Spike& a, const Spike& b) {
@@ -38,11 +47,20 @@ void Canonicalize(std::vector<Spike>* spikes, const ExpandOptions& options) {
   for (const Spike& s : *spikes) {
     if (s.prob < options.prob_floor) continue;
     if (!merged.empty() &&
-        run_anchor - s.exponent <= options.exponent_resolution) {
+        run_anchor - s.exponent <= options.exponent_resolution &&
+        !(run_anchor > 0.0 && s.exponent <= 0.0)) {
       Spike& head = merged.back();
       double total = head.prob + s.prob;
-      head.exponent =
-          (head.exponent * head.prob + s.exponent * s.prob) / total;
+      // Anchored-delta form of the weighted mean: exact when the merged
+      // exponents are equal floats. The naive (e1*p1 + e2*p2)/(p1+p2)
+      // rounds up to 1 ulp off even for e1 == e2, and that drifted
+      // exponent no longer cancels exactly against an equal-magnitude
+      // negated spike downstream — the knife-edge outcome then lands on
+      // a different side of a strict threshold than in a query whose
+      // merge pattern kept the exponent exact (equal exponents are
+      // common: clamping to max_weight and shared cosine query weights
+      // both produce them).
+      head.exponent += (s.exponent - head.exponent) * (s.prob / total);
       head.prob = total;
     } else {
       merged.push_back(s);
@@ -194,6 +212,48 @@ std::span<const Spike> SimilarityDistribution::ExpandWith(
     ExpansionWorkspace& ws, const ExpandOptions& options) {
   ExpandCore(ws.factors_, options, &ws.cur_, &ws.next_);
   return std::span<const Spike>(ws.cur_);
+}
+
+std::span<const Spike> SimilarityDistribution::ExpandWithMinMatch(
+    ExpansionWorkspace& ws, std::size_t num_positive, std::size_t min_match,
+    const ExpandOptions& options) {
+  if (min_match == 0) return ExpandWith(ws, options);
+
+  const std::size_t cap = min_match;
+  auto& cur = ws.msm_cur_;
+  auto& next = ws.msm_next_;
+  cur.resize(cap + 1);
+  next.resize(cap + 1);
+  for (auto& bucket : cur) bucket.clear();
+  cur[0].push_back(Spike{0.0, 1.0});
+
+  static const std::vector<Spike> kNoSpikes;
+  const CrossFactorFn cross = KernelFor(ActiveExpandKernel());
+  for (std::size_t fi = 0; fi < ws.factors_.size(); ++fi) {
+    const TermPolynomial& factor = ws.factors_[fi];
+    const double zero = factor.ZeroProb();
+    const bool counts_match = fi < num_positive;
+    for (std::size_t c = 0; c <= cap; ++c) {
+      next[c].clear();
+      if (counts_match) {
+        // Term-absent outcomes stay in bucket c; term-present outcomes
+        // arrive from bucket c-1 (and, at the cap, saturate in place).
+        if (!cur[c].empty()) cross(cur[c], kNoSpikes, zero, &next[c]);
+        if (c > 0 && !cur[c - 1].empty()) {
+          cross(cur[c - 1], factor.spikes, 0.0, &next[c]);
+        }
+        if (c == cap && !cur[cap].empty()) {
+          cross(cur[cap], factor.spikes, 0.0, &next[c]);
+        }
+      } else if (!cur[c].empty()) {
+        // Negated factors never advance the match count.
+        cross(cur[c], factor.spikes, zero, &next[c]);
+      }
+      Canonicalize(&next[c], options);
+    }
+    std::swap(cur, next);
+  }
+  return std::span<const Spike>(cur[cap]);
 }
 
 double SimilarityDistribution::TotalMass() const {

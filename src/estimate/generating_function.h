@@ -97,6 +97,10 @@ class ExpansionWorkspace {
   std::vector<TermPolynomial> factors_;
   std::vector<Spike> cur_;
   std::vector<Spike> next_;
+  // Match-count buckets for ExpandWithMinMatch (bucket c = outcomes where
+  // exactly c positive factors matched, saturating at the cap).
+  std::vector<std::vector<Spike>> msm_cur_;
+  std::vector<std::vector<Spike>> msm_next_;
 };
 
 /// The fully expanded distribution: Expression (5) of the paper,
@@ -115,6 +119,19 @@ class SimilarityDistribution {
   /// Expand on the same factors.
   static std::span<const Spike> ExpandWith(ExpansionWorkspace& ws,
                                            const ExpandOptions& options = {});
+
+  /// Min-should-match expansion: multiplies out `ws.factors()` while
+  /// tracking how many of the first `num_positive` factors took a spike
+  /// (term-present) outcome, and returns only the mass where that count
+  /// reached `min_match` (DESIGN.md §13). Factors beyond `num_positive`
+  /// (negated terms) multiply into every bucket without advancing the
+  /// count. The degree-capped DP keeps min_match+1 buckets, saturating at
+  /// the cap, so cost is (min_match+1)x a plain expansion. min_match == 0
+  /// delegates to ExpandWith (bit-identical to the flat path). The span is
+  /// invalidated by the next ExpandWith/ExpandWithMinMatch on `ws`.
+  static std::span<const Spike> ExpandWithMinMatch(
+      ExpansionWorkspace& ws, std::size_t num_positive, std::size_t min_match,
+      const ExpandOptions& options = {});
 
   /// Spikes in strictly descending exponent order. Includes the
   /// zero-similarity spike when it has mass.

@@ -31,16 +31,23 @@ namespace useful::estimate {
 
 /// One query term that the representative knows, with its query weight.
 struct ResolvedTerm {
-  /// The query-side weight u of the term (always > 0).
+  /// The query-side weight u of the term (always > 0, even when negated).
   double weight = 0.0;
+  /// Negated terms contribute -u*w(d) to the similarity; estimators negate
+  /// the spike exponents of the term's factor.
+  bool negated = false;
   /// The representative's stats for the term (p > 0 not guaranteed:
   /// quantization can round small probabilities; estimators keep their own
   /// p/weight guards exactly as in the scalar path).
   represent::TermStats stats;
 };
 
-/// The query terms found in one representative, in query order, plus the
-/// representative-level facts every estimator needs (n, kind).
+/// The query terms found in one representative, positive terms first (each
+/// group in query order), plus the representative-level facts every
+/// estimator needs (n, kind) and the query's min-should-match constraint.
+/// The positives-first ordering means a flat query resolves exactly as
+/// before, and estimators that build one factor per term can hand
+/// `num_positive()` straight to ExpandWithMinMatch.
 class ResolvedQuery {
  public:
   /// Resolves `q` against `rep`. Terms absent from the representative or
@@ -56,8 +63,15 @@ class ResolvedQuery {
   /// EstimateBatch, so values are bit-identical across both backings).
   ResolvedQuery(const represent::RepresentativeView& view, const ir::Query& q);
 
-  /// The matched terms, in the query's term order.
+  /// The matched terms: the first num_positive() are positive, the rest
+  /// negated; each group keeps the query's term order.
   const std::vector<ResolvedTerm>& terms() const { return terms_; }
+
+  /// How many of terms() are positive (non-negated).
+  std::size_t num_positive() const { return num_positive_; }
+
+  /// The query's min-should-match constraint (0 = unconstrained).
+  std::size_t min_should_match() const { return min_should_match_; }
 
   std::size_t num_docs() const { return num_docs_; }
   represent::RepresentativeKind kind() const { return kind_; }
@@ -76,6 +90,8 @@ class ResolvedQuery {
   const represent::Representative* rep_;
   const ir::Query* query_;
   std::vector<ResolvedTerm> terms_;
+  std::size_t num_positive_ = 0;
+  std::size_t min_should_match_ = 0;
   std::size_t num_docs_ = 0;
   represent::RepresentativeKind kind_ =
       represent::RepresentativeKind::kQuadruplet;

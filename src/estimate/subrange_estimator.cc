@@ -13,18 +13,20 @@ std::string SubrangeEstimator::name() const {
 
 TermPolynomial SubrangeEstimator::BuildTermPolynomial(
     const represent::TermStats& ts, double u, std::size_t num_docs,
-    represent::RepresentativeKind kind) const {
+    represent::RepresentativeKind kind, bool negated) const {
   TermPolynomial poly;
-  AppendTermSpikes(ts, u, num_docs, kind, &poly);
+  AppendTermSpikes(ts, u, num_docs, kind, negated, &poly);
   return poly;
 }
 
 void SubrangeEstimator::AppendTermSpikes(const represent::TermStats& ts,
                                          double u, std::size_t num_docs,
                                          represent::RepresentativeKind kind,
+                                         bool negated,
                                          TermPolynomial* out) const {
   TermPolynomial& poly = *out;
   if (ts.p <= 0.0 || u <= 0.0 || num_docs == 0) return;
+  const std::size_t first_spike = poly.spikes.size();
 
   const SubrangeConfig& config = options_.config;
   const double n = static_cast<double>(num_docs);
@@ -82,6 +84,14 @@ void SubrangeEstimator::AppendTermSpikes(const represent::TermStats& ts,
     w = std::clamp(w, kWeightFloor, max_weight);
     poly.spikes.push_back(Spike{u * w, prob});
   }
+
+  // A negated term penalizes containing documents: same subrange masses,
+  // negated similarity contributions (DESIGN.md §13).
+  if (negated) {
+    for (std::size_t i = first_spike; i < poly.spikes.size(); ++i) {
+      poly.spikes[i].exponent = -poly.spikes[i].exponent;
+    }
+  }
 }
 
 void SubrangeEstimator::EstimateBatch(const ResolvedQuery& rq,
@@ -90,17 +100,25 @@ void SubrangeEstimator::EstimateBatch(const ResolvedQuery& rq,
                                       std::span<UsefulnessEstimate> out) const {
   ws.ResetFactors(rq.terms().size());
   std::size_t used = 0;
+  std::size_t used_positive = 0;
   for (const ResolvedTerm& rt : rq.terms()) {
     TermPolynomial& poly = ws.factors()[used];
-    AppendTermSpikes(rt.stats, rt.weight, rq.num_docs(), rq.kind(), &poly);
-    if (!poly.spikes.empty()) ++used;  // empty factor: reuse the slot
+    AppendTermSpikes(rt.stats, rt.weight, rq.num_docs(), rq.kind(),
+                     rt.negated, &poly);
+    if (!poly.spikes.empty()) {
+      ++used;  // empty factor: reuse the slot
+      if (!rt.negated) ++used_positive;  // positives come first in rq.terms()
+    }
   }
   ws.factors().resize(used);
 
   // The subrange decomposition does not depend on the threshold, so one
   // expansion serves the whole sweep.
   std::span<const Spike> spikes =
-      SimilarityDistribution::ExpandWith(ws, options_.expand);
+      rq.min_should_match() == 0
+          ? SimilarityDistribution::ExpandWith(ws, options_.expand)
+          : SimilarityDistribution::ExpandWithMinMatch(
+                ws, used_positive, rq.min_should_match(), options_.expand);
   for (std::size_t i = 0; i < thresholds.size(); ++i) {
     out[i].no_doc = SimilarityDistribution::EstimateNoDoc(
         spikes, thresholds[i], rq.num_docs());

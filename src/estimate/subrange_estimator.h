@@ -52,10 +52,12 @@ class SubrangeEstimator : public UsefulnessEstimator {
 
   /// Exposed for tests and for composing custom generating functions: the
   /// polynomial factor of one query term with weight `u` against stats
-  /// `ts` in a database of `num_docs` documents.
+  /// `ts` in a database of `num_docs` documents. A negated term's factor
+  /// carries the same probabilities with negated exponents.
   TermPolynomial BuildTermPolynomial(const represent::TermStats& ts, double u,
                                      std::size_t num_docs,
-                                     represent::RepresentativeKind kind) const;
+                                     represent::RepresentativeKind kind,
+                                     bool negated = false) const;
 
   const SubrangeEstimatorOptions& options() const { return options_; }
 
@@ -64,7 +66,7 @@ class SubrangeEstimator : public UsefulnessEstimator {
   /// allocation-free core of BuildTermPolynomial.
   void AppendTermSpikes(const represent::TermStats& ts, double u,
                         std::size_t num_docs,
-                        represent::RepresentativeKind kind,
+                        represent::RepresentativeKind kind, bool negated,
                         TermPolynomial* poly) const;
 
   SubrangeEstimatorOptions options_;

@@ -4,30 +4,59 @@
 // list of (term string, weight) with cosine-normalized weights — the
 // *global* similarity function of the paper. Each local engine then maps
 // term strings into its private id space.
+//
+// Beyond the flat term list, queries carry three annotations (DESIGN.md
+// §13):
+//
+//   term^2.5   per-term user weight: the term's frequency is multiplied by
+//              the weight before cosine normalization, scaling the u·w
+//              product seen by the generating function.
+//   -term      negation: documents containing the term are *penalized* —
+//              the term contributes -u·w(d) to the similarity.
+//   MSM k      min-should-match: only documents matching at least k
+//              distinct positive terms count as useful.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "text/analyzer.h"
+#include "util/status.h"
 
 namespace useful::ir {
 
 /// One query term with its normalized weight.
 struct QueryTerm {
   std::string term;
+  /// Cosine-normalized magnitude; always positive for resolvable terms.
   double weight = 0.0;
+  /// Accumulated pre-normalization magnitude (term frequency times user
+  /// weight). 1.0 for a plain single-occurrence term; preserved so the
+  /// annotated grammar round-trips bit-exactly through FormatAnnotatedQuery.
+  double user_weight = 1.0;
+  /// Negated terms penalize containing documents: their contribution to the
+  /// similarity is -weight * w_t(d). The stored `weight` stays positive.
+  bool negated = false;
 };
 
 /// A parsed, weighted, cosine-normalized query.
 struct Query {
   std::string id;
   std::vector<QueryTerm> terms;
+  /// Min-should-match: a document is useful only if it matches at least
+  /// this many distinct positive (non-negated) terms. 0 means no
+  /// constraint.
+  std::size_t min_should_match = 0;
 
   bool empty() const { return terms.empty(); }
   std::size_t size() const { return terms.size(); }
 };
+
+/// Upper bound on the MSM k accepted by ParseAnnotatedQuery. Far above any
+/// real query width; bounds the degree-capped expansion in the estimators.
+inline constexpr std::size_t kMaxMinShouldMatch = 1024;
 
 /// Analyzes raw query text into a Query: term frequencies become weights,
 /// then the vector is scaled to unit norm (so a single-term query has
@@ -35,5 +64,26 @@ struct Query {
 /// merged. An all-stopword query yields an empty Query.
 Query ParseQuery(const text::Analyzer& analyzer, std::string_view text,
                  std::string id = "");
+
+/// Parses query text with the annotated grammar:
+///
+///   query := token+ | token* "MSM" <k> token*
+///   token := ["-"] <text> ["^" <weight>]
+///
+/// `-` negates the term, `^w` multiplies its frequency contribution by the
+/// finite positive weight w, and the reserved pair `MSM <k>` (at most once,
+/// 0 <= k <= kMaxMinShouldMatch) sets min_should_match. The term text goes
+/// through the analyzer; every token it produces inherits the annotation.
+/// A query where all weights are 1.0 and nothing is negated parses
+/// bit-identically to ParseQuery. Errors (dangling `-`, empty/non-finite/
+/// non-positive weight, malformed or duplicated MSM, a term both negated
+/// and positive) return InvalidArgument.
+Result<Query> ParseAnnotatedQuery(const text::Analyzer& analyzer,
+                                  std::string_view text, std::string id = "");
+
+/// Renders a Query back into the annotated grammar: `-` prefixes, `^%.17g`
+/// user weights when != 1.0, and a trailing `MSM k`. Round-trips through
+/// ParseAnnotatedQuery bit-exactly for analyzer-clean terms.
+std::string FormatAnnotatedQuery(const Query& q);
 
 }  // namespace useful::ir

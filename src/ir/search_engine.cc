@@ -94,17 +94,39 @@ std::vector<double> SearchEngine::ScoreAll(const Query& q) const {
     TermId t = dict_.Lookup(qt.term);
     if (t == kInvalidTerm) continue;
     for (const Posting& p : index_.postings(t)) {
-      scores[p.doc] += qt.weight * p.weight;
+      double contribution = qt.weight * p.weight;
+      if (qt.negated) {
+        scores[p.doc] -= contribution;
+      } else {
+        scores[p.doc] += contribution;
+      }
     }
   }
   return scores;
 }
 
+std::vector<std::uint32_t> SearchEngine::CountPositiveMatches(
+    const Query& q) const {
+  if (q.min_should_match == 0) return {};
+  std::vector<std::uint32_t> matches(doc_vectors_.size(), 0);
+  for (const QueryTerm& qt : q.terms) {
+    if (qt.negated) continue;
+    TermId t = dict_.Lookup(qt.term);
+    if (t == kInvalidTerm) continue;
+    // q.terms holds distinct terms, so each posting list bumps a document
+    // at most once per term.
+    for (const Posting& p : index_.postings(t)) ++matches[p.doc];
+  }
+  return matches;
+}
+
 std::vector<ScoredDoc> SearchEngine::SearchAboveThreshold(
     const Query& q, double threshold) const {
   std::vector<double> scores = ScoreAll(q);
+  std::vector<std::uint32_t> matches = CountPositiveMatches(q);
   std::vector<ScoredDoc> out;
   for (DocId d = 0; d < scores.size(); ++d) {
+    if (!matches.empty() && matches[d] < q.min_should_match) continue;
     if (scores[d] > threshold) out.push_back(ScoredDoc{d, scores[d]});
   }
   std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
@@ -117,9 +139,11 @@ std::vector<ScoredDoc> SearchEngine::SearchAboveThreshold(
 std::vector<ScoredDoc> SearchEngine::SearchTopK(const Query& q,
                                                 std::size_t k) const {
   std::vector<double> scores = ScoreAll(q);
+  std::vector<std::uint32_t> matches = CountPositiveMatches(q);
   std::vector<ScoredDoc> out;
   out.reserve(scores.size());
   for (DocId d = 0; d < scores.size(); ++d) {
+    if (!matches.empty() && matches[d] < q.min_should_match) continue;
     if (scores[d] > 0.0) out.push_back(ScoredDoc{d, scores[d]});
   }
   auto cmp = [](const ScoredDoc& a, const ScoredDoc& b) {
@@ -139,9 +163,12 @@ std::vector<ScoredDoc> SearchEngine::SearchTopK(const Query& q,
 Usefulness SearchEngine::TrueUsefulness(const Query& q,
                                         double threshold) const {
   std::vector<double> scores = ScoreAll(q);
+  std::vector<std::uint32_t> matches = CountPositiveMatches(q);
   Usefulness u;
   double sum = 0.0;
-  for (double s : scores) {
+  for (DocId d = 0; d < scores.size(); ++d) {
+    if (!matches.empty() && matches[d] < q.min_should_match) continue;
+    double s = scores[d];
     if (s > threshold) {
       ++u.no_doc;
       sum += s;

@@ -5,6 +5,7 @@
 // ground-truth (NoDoc, AvgSim) that the estimators are scored against.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -123,7 +124,12 @@ class SearchEngine {
 
  private:
   /// Accumulates per-document scores for q's terms present in this engine.
+  /// Negated terms subtract their contribution, so scores can be negative.
   std::vector<double> ScoreAll(const Query& q) const;
+
+  /// Per-document count of distinct positive query terms present; used to
+  /// enforce q.min_should_match. Empty result means "no constraint".
+  std::vector<std::uint32_t> CountPositiveMatches(const Query& q) const;
 
   std::string name_;
   const text::Analyzer* analyzer_;

@@ -16,6 +16,21 @@
 // human-oriented "key value" dump; METRICS is the same registry in
 // Prometheus text-exposition 0.0.4 (scrapeable); SLOWLOG dumps the
 // retained slow-query traces, slowest first, capped at n when n > 0.
+//
+// Query terms use the annotated grammar of ir::ParseAnnotatedQuery
+// (DESIGN.md §13):
+//
+//   <query terms...> := term-token+ | term-token* "MSM" <k> term-token*
+//   term-token       := ["-"] <text> ["^" <weight>]
+//
+// `term^2.5` weights a term, `-term` negates it (containing documents are
+// penalized), and the reserved pair `MSM <k>` (at most once, 0 <= k <=
+// ir::kMaxMinShouldMatch) requires documents to match at least k positive
+// terms. This layer stays grammar-agnostic: the tokens after the fixed
+// fields are re-joined verbatim into Request::query_text, and the service
+// parses them with ParseAnnotatedQuery (malformed annotations become an
+// "ERR InvalidArgument:" reply). The cluster front-end likewise forwards
+// query_text verbatim, so fronted replies stay byte-identical.
 // Responses are framed
 // so a client never has to guess where one ends:
 //

@@ -39,8 +39,15 @@ QueryCache::QueryCache(QueryCacheOptions options) {
 
 std::string QueryCache::MakeKey(std::string_view estimator, double threshold,
                                 const ir::Query& query) {
-  // (term, weight) pairs sorted by term; ParseQuery already merged
-  // duplicates, so terms are unique and the sort is a total order.
+  // (term, weight, sign) triples sorted by term; the parsers already merged
+  // duplicates, so terms are unique and the sort is a total order. Keying
+  // on the *normalized* weight bits canonicalizes user-weight spellings:
+  // "a^2" and "a^2.0" accumulate the same frequency, and a redundant
+  // weight ("a^5" alone, normalized back to 1.0) keys identically to the
+  // flat query — semantically equal queries share one entry. The negation
+  // marker and the MSM suffix keep semantically *different* queries from
+  // colliding with flat ones (normalized weights alone would: a negated
+  // term keeps its positive weight).
   std::vector<const ir::QueryTerm*> terms;
   terms.reserve(query.terms.size());
   for (const ir::QueryTerm& t : query.terms) terms.push_back(&t);
@@ -49,7 +56,7 @@ std::string QueryCache::MakeKey(std::string_view estimator, double threshold,
               return a->term < b->term;
             });
   std::string key;
-  key.reserve(estimator.size() + 18 + query.terms.size() * 24);
+  key.reserve(estimator.size() + 18 + query.terms.size() * 25 + 24);
   key.append(estimator);
   key.push_back('\x1f');
   AppendDoubleBits(&key, threshold);
@@ -58,6 +65,11 @@ std::string QueryCache::MakeKey(std::string_view estimator, double threshold,
     key.append(t->term);
     key.push_back('\x1e');
     AppendDoubleBits(&key, t->weight);
+    key.push_back(t->negated ? '!' : '+');
+  }
+  if (query.min_should_match > 0) {
+    key.push_back('\x1f');
+    key.append(StringPrintf("MSM%zu", query.min_should_match));
   }
   return key;
 }

@@ -192,10 +192,15 @@ Service::Reply Service::DoRank(const Request& request, bool apply_policy,
   trace->SetEstimator(request.estimator);
   trace->SetThreshold(request.threshold);
 
-  ir::Query query = [&] {
+  Result<ir::Query> parsed = [&] {
     obs::Trace::Span span = obs::Trace::StartSpan(trace, obs::Stage::kParse);
-    return ir::ParseQuery(*analyzer_, request.query_text);
+    return ir::ParseAnnotatedQuery(*analyzer_, request.query_text);
   }();
+  if (!parsed.ok()) {
+    reply.status = parsed.status();
+    return reply;
+  }
+  ir::Query query = std::move(parsed).value();
   if (query.empty()) {
     reply.status = Status::InvalidArgument(
         "query has no content terms after analysis");

@@ -38,10 +38,39 @@ class OffByOneSubrangeEstimator : public estimate::UsefulnessEstimator {
   estimate::SubrangeEstimator inner_;
 };
 
+class NegationSignFlipEstimator : public estimate::UsefulnessEstimator {
+ public:
+  std::string name() const override {
+    return "subrange[injected-negation-sign-flip]";
+  }
+
+  estimate::UsefulnessEstimate Estimate(const represent::Representative& rep,
+                                        const ir::Query& q,
+                                        double threshold) const override {
+    // The bug: negation is silently dropped, so every negated term's
+    // factor keeps its positive exponents — the sign of the penalty is
+    // flipped relative to the pinned semantics.
+    ir::Query flipped = q;
+    for (ir::QueryTerm& qt : flipped.terms) qt.negated = false;
+    return inner_.Estimate(rep, flipped, threshold);
+  }
+
+  // EstimateBatch is inherited: the scalar fallback keeps batch and
+  // scalar bit-identical, so only the negation invariants fire.
+
+ private:
+  estimate::SubrangeEstimator inner_;
+};
+
 }  // namespace
 
 std::unique_ptr<estimate::UsefulnessEstimator> MakeOffByOneSubrangeEstimator() {
   return std::make_unique<OffByOneSubrangeEstimator>();
+}
+
+std::unique_ptr<estimate::UsefulnessEstimator>
+MakeNegationSignFlipEstimator() {
+  return std::make_unique<NegationSignFlipEstimator>();
 }
 
 }  // namespace useful::testing

@@ -22,4 +22,14 @@ namespace useful::testing {
 /// "subrange[injected-df-off-by-one]".
 std::unique_ptr<estimate::UsefulnessEstimator> MakeOffByOneSubrangeEstimator();
 
+/// A sign flip in the negation factor: the wrapper drops every negated
+/// flag before delegating, so negated terms *reward* containing engines
+/// instead of penalizing them — the exact mistake a port of the annotated
+/// grammar makes when it forgets to negate the spike exponents. Caught by
+/// negation-all-negated (the all-negated subquery suddenly has mass above
+/// T = 0) and shrunk to a single `-term` repro. Registers as
+/// "subrange[injected-negation-sign-flip]".
+std::unique_ptr<estimate::UsefulnessEstimator>
+MakeNegationSignFlipEstimator();
+
 }  // namespace useful::testing

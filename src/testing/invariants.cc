@@ -46,12 +46,7 @@ std::string InvariantFailure::ToString() const {
 }
 
 std::string QueryTermsText(const ir::Query& query) {
-  std::string text;
-  for (const ir::QueryTerm& qt : query.terms) {
-    if (!text.empty()) text += ' ';
-    text += qt.term;
-  }
-  return text;
+  return ir::FormatAnnotatedQuery(query);
 }
 
 ir::Query ShrinkQuery(const ir::Query& query,
@@ -136,8 +131,116 @@ std::optional<InvariantFailure> CheckQuery(
     prev_no_doc = u.no_doc;
   }
 
+  const bool has_negated =
+      std::any_of(query.terms.begin(), query.terms.end(),
+                  [](const ir::QueryTerm& qt) { return qt.negated; });
+
+  if (options.check_weight_monotone && !query.terms.empty()) {
+    // Doubling one positive term's (un-normalized) weight scales every
+    // spike exponent of its factor by 2 and touches nothing else, so each
+    // product outcome's similarity can only grow: mass above any T is
+    // non-decreasing. (The estimators accept non-normalized weights; the
+    // shrinker relies on the same property.)
+    std::size_t pos_idx = query.terms.size();
+    for (std::size_t i = 0; i < query.terms.size(); ++i) {
+      if (!query.terms[i].negated) {
+        pos_idx = i;
+        break;
+      }
+    }
+    if (pos_idx < query.terms.size()) {
+      ir::Query doubled = query;
+      doubled.terms[pos_idx].weight *= 2.0;
+      doubled.terms[pos_idx].user_weight *= 2.0;
+      for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        const double t = thresholds[i];
+        double base = batch[i].no_doc;
+        double up = estimator.Estimate(rep, doubled, t).no_doc;
+        if (up < base - 1e-9 * std::max(1.0, base)) {
+          return fail("weight-monotone", t,
+                      StringPrintf("NoDoc fell %.17g -> %.17g after doubling "
+                                   "the weight of '%s'",
+                                   base, up,
+                                   query.terms[pos_idx].term.c_str()));
+        }
+      }
+    }
+  }
+
+  if (has_negated) {
+    // A query of only the negated terms can never produce a similarity
+    // above a non-negative threshold: every contribution penalizes. This
+    // is the check that catches a sign flip in the negation factor — the
+    // flipped factor puts mass at positive similarities.
+    ir::Query negs;
+    negs.id = query.id;
+    for (const ir::QueryTerm& qt : query.terms) {
+      if (qt.negated) negs.terms.push_back(qt);
+    }
+    for (double t : thresholds) {
+      if (t < 0.0) continue;
+      double nd = estimator.Estimate(rep, negs, t).no_doc;
+      if (nd > 1e-9) {
+        return fail("negation-all-negated", t,
+                    StringPrintf("all-negated subquery has NoDoc=%.17g", nd));
+      }
+    }
+
+    // Stripping the negations removes only non-positive contributions, so
+    // NoDoc can only grow.
+    ir::Query stripped;
+    stripped.id = query.id;
+    stripped.min_should_match = query.min_should_match;
+    for (const ir::QueryTerm& qt : query.terms) {
+      if (!qt.negated) stripped.terms.push_back(qt);
+    }
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      const double t = thresholds[i];
+      double with_negs = batch[i].no_doc;
+      double without = estimator.Estimate(rep, stripped, t).no_doc;
+      if (with_negs > without + 1e-9 * std::max(1.0, without)) {
+        return fail("negation-complement", t,
+                    StringPrintf("NoDoc=%.17g with negations > %.17g without",
+                                 with_negs, without));
+      }
+    }
+  }
+
+  {
+    // MSM nesting: requiring more positive matches can only shrink the
+    // counted mass, and requiring one match at T >= 0 changes nothing —
+    // a similarity above a non-negative threshold needs at least one
+    // positive contribution. The k = 1 equality crosses the degree-capped
+    // DP against the plain expansion, so it also pins the DP itself. It
+    // holds for negated queries too because canonicalization never merges
+    // runs across the sign boundary: a negation-cancelled outcome within
+    // float rounding of zero stays on its own side of the strict `>`, in
+    // both the plain path and every DP bucket.
+    for (double t : thresholds) {
+      double prev = std::numeric_limits<double>::infinity();
+      double at_zero = 0.0;
+      for (std::size_t k = 0; k <= 3; ++k) {
+        ir::Query qk = query;
+        qk.min_should_match = k;
+        double nd = estimator.Estimate(rep, qk, t).no_doc;
+        if (k == 0) at_zero = nd;
+        if (k == 1 && t >= 0.0 && !Near(nd, at_zero)) {
+          return fail("msm-one-vs-zero", t,
+                      StringPrintf("NoDoc(MSM 1)=%.17g != NoDoc(MSM 0)=%.17g",
+                                   nd, at_zero));
+        }
+        if (nd > prev + 1e-9 * std::max(1.0, prev)) {
+          return fail("msm-nesting", t,
+                      StringPrintf("NoDoc rose %.17g -> %.17g at k=%zu", prev,
+                                   nd, k));
+        }
+        prev = nd;
+      }
+    }
+  }
+
   if (options.check_single_term_exact && oracle != nullptr &&
-      query.size() == 1 &&
+      query.size() == 1 && !has_negated && query.min_should_match <= 1 &&
       rep.kind() == represent::RepresentativeKind::kQuadruplet) {
     // The paper's §3.1 guarantee: with a stored max weight, a single-term
     // query is flagged useful exactly when it is. Checked at the oracle's
@@ -202,11 +305,15 @@ std::optional<InvariantFailure> CheckEngineAgainstOracle(
     f.estimator = "ir::SearchEngine";
     f.query_text = QueryTermsText(q);
 
-    // Per-document similarities: every document scores > -1, so this
-    // retrieves the engine's full score vector.
+    // Per-document similarities: a -infinity threshold (and no MSM
+    // filter — Similarities ignores it too) retrieves the engine's full
+    // score vector. Negated terms can push scores below any finite bound.
+    ir::Query unfiltered = q;
+    unfiltered.min_should_match = 0;
     std::vector<double> oracle_sims = oracle.Similarities(q);
     std::vector<double> engine_sims(oracle_sims.size(), 0.0);
-    for (const ir::ScoredDoc& sd : engine.SearchAboveThreshold(q, -1.0)) {
+    for (const ir::ScoredDoc& sd : engine.SearchAboveThreshold(
+             unfiltered, -std::numeric_limits<double>::infinity())) {
       engine_sims[sd.doc] = sd.score;
     }
     for (std::size_t d = 0; d < oracle_sims.size(); ++d) {

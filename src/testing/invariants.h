@@ -17,9 +17,26 @@
 //                            distinct similarities, where one-ulp norm
 //                            differences cannot flip either side)
 //   single-term-nodoc-df     same setting, T = 0: NoDoc equals df
+//   weight-monotone          doubling one positive term's weight never
+//                            lowers NoDoc (skipped for the adaptive
+//                            estimator, whose truncation point moves with
+//                            the weight)
+//   negation-all-negated     a query of only negated terms has NoDoc = 0
+//                            at every T >= 0 (all contributions penalize)
+//   negation-complement      NoDoc never exceeds the same query with its
+//                            negated terms stripped
+//   msm-nesting              NoDoc non-increasing in the MSM k
+//   msm-one-vs-zero          MSM 1 equals the unconstrained estimate at
+//                            T >= 0 (mass above a non-negative threshold
+//                            implies at least one positive match)
 //   oracle-sim / oracle-nodoc / oracle-avgsim / oracle-rep-*
 //                            ir::SearchEngine and represent::Builder
 //                            agree with the brute-force oracle
+//
+// The single-term exactness checks only apply to plain single-term
+// queries (no negation, MSM <= 1); the weighted single-term case is
+// covered too because cosine normalization maps any lone weight back to
+// u = 1.
 #pragma once
 
 #include <functional>
@@ -64,6 +81,11 @@ struct InvariantOptions {
   /// oracle. Only valid for quadruplet representatives scored by a
   /// subrange estimator that stores the max subrange.
   bool check_single_term_exact = false;
+  /// Check that doubling one positive term's weight never lowers NoDoc.
+  /// Off for the adaptive estimator: its per-term truncation point
+  /// lambda = (T/r)/u moves with the weight, so the property is not
+  /// guaranteed there.
+  bool check_weight_monotone = true;
 };
 
 /// Runs every applicable invariant for one (estimator, representative,
@@ -102,7 +124,9 @@ std::optional<InvariantFailure> CheckRepresentativeAgainstOracle(
 ir::Query ShrinkQuery(const ir::Query& query,
                       const std::function<bool(const ir::Query&)>& fails);
 
-/// Space-joined terms, for reports.
+/// The query in the annotated grammar (`-term`, `term^w`, `MSM k`), for
+/// reports — a flat query renders as plain space-joined terms. The text is
+/// a replayable repro: it parses back via ir::ParseAnnotatedQuery.
 std::string QueryTermsText(const ir::Query& query);
 
 }  // namespace useful::testing

@@ -30,7 +30,13 @@ std::vector<double> ExactOracle::Similarities(const ir::Query& q) const {
     double sim = 0.0;
     for (const ir::QueryTerm& qt : q.terms) {
       auto it = doc.find(qt.term);
-      if (it != doc.end()) sim += qt.weight * it->second;
+      if (it == doc.end()) continue;
+      double contribution = qt.weight * it->second;
+      if (qt.negated) {
+        sim -= contribution;  // negated terms penalize containing docs
+      } else {
+        sim += contribution;
+      }
     }
     sims.push_back(sim);
   }
@@ -41,10 +47,20 @@ ExactUsefulness ExactOracle::TrueUsefulness(const ir::Query& q,
                                             double threshold) const {
   ExactUsefulness result;
   double sum = 0.0;
-  for (double sim : Similarities(q)) {
-    if (sim > threshold) {
+  std::vector<double> sims = Similarities(q);
+  for (std::size_t d = 0; d < sims.size(); ++d) {
+    if (q.min_should_match > 0) {
+      // MSM semantics: the document must contain at least k distinct
+      // positive query terms (q.terms holds distinct terms).
+      std::size_t matched = 0;
+      for (const ir::QueryTerm& qt : q.terms) {
+        if (!qt.negated && docs_[d].count(qt.term) > 0) ++matched;
+      }
+      if (matched < q.min_should_match) continue;
+    }
+    if (sims[d] > threshold) {
       ++result.no_doc;
-      sum += sim;
+      sum += sims[d];
     }
   }
   if (result.no_doc > 0) {
@@ -63,11 +79,15 @@ std::vector<double> ExactOracle::SafeThresholds(const ir::Query& q) const {
     thresholds.push_back(0.5);
     return thresholds;
   }
-  // Below every similarity (but never negative: the protocol and the
-  // estimators only accept T >= 0, and similarities are non-negative
-  // under cosine). A sentinel strictly below 0 would be unreachable
-  // through the public APIs anyway.
-  if (sims.front() > 0.0) thresholds.push_back(sims.front() / 2.0);
+  // Below every similarity. With negated terms similarities can be
+  // negative, so the sentinel sits below the (possibly negative) minimum;
+  // such thresholds are internal to the differential tests — the protocol
+  // still only accepts T >= 0.
+  if (sims.front() > 0.0) {
+    thresholds.push_back(sims.front() / 2.0);
+  } else if (sims.front() < 0.0) {
+    thresholds.push_back(sims.front() - 1.0);
+  }
   // Midpoints — but only across gaps that dwarf the one-ulp summation
   // differences between independent implementations. Two documents whose
   // similarities differ by a few ulps are "tied" as far as any tolerance-

@@ -49,7 +49,14 @@ std::string TemplateLine(Pcg32& rng,
       "0", "1", "3", "1048577", "-1", "99999999999999999999", "7abc", ""};
   static const std::vector<const char*> kTerms = {
       "zq0x", "zq1x", "the", "a", "zzzz", "...", "\x01", "1e9",
-      "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"};
+      "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+      // Annotated-grammar templates: valid decorations plus every way a
+      // weight or negation can go wrong (dangling '-', empty weight,
+      // non-finite, non-positive, conflicting signs on one term).
+      "zq0x^2.5", "-zq1x", "zq0x^", "-", "^2", "zq0x^-1", "zq0x^0",
+      "zq0x^nan", "zq0x^1e309", "-zq0x^3", "zq0x^0x1p1", "--zq0x"};
+  static const std::vector<const char*> kMsmCounts = {
+      "0", "1", "2", "7", "1024", "1025", "-1", "abc", "2.0", ""};
 
   std::string line = Pick(rng, kCommands);
   bool wants_estimator = line == "ROUTE" || line == "ESTIMATE" ||
@@ -77,6 +84,16 @@ std::string TemplateLine(Pcg32& rng,
     for (std::size_t i = 0; i < terms; ++i) {
       line += ' ';
       line += PickToken(rng, dictionary, kTerms);
+    }
+    if (rng.NextDouble() < 0.25) {
+      // MSM suffix (and sometimes prefix/mid-query, which the grammar
+      // also accepts — or a duplicate, which it must reject cleanly).
+      line += " MSM ";
+      line += Pick(rng, kMsmCounts);
+      if (rng.NextDouble() < 0.2) {
+        line += " MSM ";
+        line += Pick(rng, kMsmCounts);
+      }
     }
   }
   return line;

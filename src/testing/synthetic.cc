@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <map>
 
 #include "util/random.h"
 
@@ -78,12 +80,35 @@ std::vector<std::string> MakeSyntheticQueryTexts(
     std::size_t terms = 1 + rng.NextBounded(
         static_cast<std::uint32_t>(std::max<std::size_t>(1, options.max_terms)));
     std::string text;
+    // Per-query sign memory: the annotated grammar rejects a term that is
+    // both negated and positive, so a rank drawn twice keeps the sign of
+    // its first draw.
+    std::map<std::size_t, bool> negated_by_rank;
     for (std::size_t t = 0; t < terms; ++t) {
       if (!text.empty()) text += ' ';
       // Draw over a slightly larger range than the vocabulary so some
       // query terms are guaranteed absent from every document.
-      text += SyntheticTerm(
-          rng.NextZipf(corpus.vocab_size + 2, options.zipf_exponent));
+      std::size_t rank =
+          rng.NextZipf(corpus.vocab_size + 2, options.zipf_exponent);
+      if (!options.annotate) {
+        text += SyntheticTerm(rank);
+        continue;
+      }
+      auto [it, inserted] =
+          negated_by_rank.try_emplace(rank, rng.NextDouble() < 0.25);
+      if (it->second) text += '-';
+      text += SyntheticTerm(rank);
+      if (rng.NextDouble() < 0.3) {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "^%.3g", rng.NextUniform(0.25, 4.0));
+        text += buf;
+      }
+    }
+    if (options.annotate && rng.NextDouble() < 0.25) {
+      // k ranges past the query width so over-constrained (NoDoc = 0)
+      // queries appear too.
+      text += " MSM " + std::to_string(rng.NextBounded(
+                            static_cast<std::uint32_t>(terms + 2)));
     }
     texts.push_back(std::move(text));
   }

@@ -58,11 +58,18 @@ struct SyntheticQueryOptions {
   /// Zipf exponent of query-term popularity (flatter than documents, as
   /// in the paper's query logs).
   double zipf_exponent = 0.8;
+  /// Decorate queries with the annotated grammar: some terms get `^w`
+  /// weights (w in [0.25, 4]), some are negated (consistently per term —
+  /// a term drawn twice in one query keeps its sign, so every generated
+  /// text parses), and some queries get a trailing `MSM k`. Off by
+  /// default so flat-workload fixtures stay byte-identical.
+  bool annotate = false;
 };
 
 /// Raw query texts over the corpus's vocabulary (some terms may not occur
 /// in any document — estimators must handle both). Deterministic in
-/// (corpus options, query options, seed).
+/// (corpus options, query options, seed). With `annotate`, every text is
+/// valid input to ir::ParseAnnotatedQuery.
 std::vector<std::string> MakeSyntheticQueryTexts(
     const SyntheticCorpusOptions& corpus, const SyntheticQueryOptions& options,
     std::uint64_t seed);

@@ -208,6 +208,52 @@ TEST_F(MergeFidelityTest, MergedRankingIsBitIdenticalForEveryEstimator) {
   EXPECT_GE(compared, 5u * 3u * 3u * 2u);
 }
 
+TEST_F(MergeFidelityTest, AnnotatedQueriesStayBitIdenticalThroughTheFrontend) {
+  // The annotated grammar (weights, negation, min-should-match) travels
+  // the wire verbatim: the front-end forwards the raw query text, every
+  // shard parses it identically, and the merged ranking is byte-for-byte
+  // the single-process oracle's — including the twins' cross-shard ties.
+  const char* queries[] = {
+      "zq0x^2.5 zq1x",
+      "zq0x -zq1x",
+      "zq0x zq2x zq3x MSM 2",
+      "-zq4x zq0x^0.5 MSM 1",
+      "zq0x^3 -zq1x^0.25 zq5x",
+      "zq0x zq1x MSM 3",  // over-constrained: every engine scores 0
+  };
+  for (const std::string& estimator : estimate::KnownEstimators()) {
+    for (const char* query : queries) {
+      for (const char* command : {"ESTIMATE ", "ROUTE "}) {
+        std::string line =
+            std::string(command) == "ROUTE "
+                ? std::string(command) + estimator + " 0.05 0 " + query
+                : std::string(command) + estimator + " 0.05 " + query;
+        service::Reply fronted = Fronted(line);
+        service::Reply direct = oracle_->Execute(line);
+        ASSERT_EQ(fronted.status.ok(), direct.status.ok()) << line;
+        EXPECT_FALSE(fronted.degraded) << line;
+        ASSERT_EQ(fronted.payload.size(), direct.payload.size()) << line;
+        for (std::size_t i = 0; i < direct.payload.size(); ++i) {
+          EXPECT_EQ(fronted.payload[i], direct.payload[i])
+              << line << " line " << i;
+        }
+      }
+    }
+  }
+  // Malformed grammar: both paths reject with the same (non-internal)
+  // error, and nothing leaks a torn frame.
+  for (const char* bad : {"ESTIMATE subrange 0 zq0x -",
+                          "ESTIMATE subrange 0 zq0x^",
+                          "ESTIMATE subrange 0 zq0x MSM 1025",
+                          "ROUTE subrange 0 0 zq0x -zq0x"}) {
+    service::Reply fronted = Fronted(bad);
+    service::Reply direct = oracle_->Execute(bad);
+    EXPECT_FALSE(fronted.status.ok()) << bad;
+    EXPECT_FALSE(direct.status.ok()) << bad;
+    EXPECT_EQ(fronted.status.code(), direct.status.code()) << bad;
+  }
+}
+
 TEST_F(MergeFidelityTest, TopKCapIsAppliedAfterTheMergeNotPerShard) {
   for (const char* topk : {"1", "2", "3"}) {
     std::string line =

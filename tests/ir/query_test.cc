@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 namespace useful::ir {
 namespace {
@@ -69,6 +71,126 @@ TEST_F(QueryTest, TermOrderIsDeterministic) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a.terms[i].term, b.terms[i].term);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The annotated grammar: ["-"]<text>["^"<weight>], plus one "MSM <k>"
+// pair anywhere in the query.
+
+class AnnotatedQueryTest : public ::testing::Test {
+ protected:
+  Query MustParse(const std::string& text) {
+    auto q = ParseAnnotatedQuery(analyzer_, text);
+    EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+    return q.ok() ? std::move(q).value() : Query{};
+  }
+
+  std::string ParseError(const std::string& text) {
+    auto q = ParseAnnotatedQuery(analyzer_, text);
+    EXPECT_FALSE(q.ok()) << text;
+    return q.ok() ? "" : q.status().ToString();
+  }
+
+  text::Analyzer analyzer_;
+};
+
+TEST_F(AnnotatedQueryTest, FlatTextParsesBitIdenticallyToParseQuery) {
+  const char* texts[] = {"database", "database search engine",
+                         "data data mining", "the search of engines",
+                         "alpha beta beta gamma gamma gamma"};
+  for (const char* text : texts) {
+    Query flat = ParseQuery(analyzer_, text, "qid");
+    Query annotated = MustParse(text);
+    annotated.id = flat.id;
+    ASSERT_EQ(annotated.size(), flat.size()) << text;
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      EXPECT_EQ(annotated.terms[i].term, flat.terms[i].term);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(annotated.terms[i].weight),
+                std::bit_cast<std::uint64_t>(flat.terms[i].weight))
+          << text << " term " << i;
+      EXPECT_FALSE(annotated.terms[i].negated);
+    }
+    EXPECT_EQ(annotated.min_should_match, 0u);
+  }
+}
+
+TEST_F(AnnotatedQueryTest, WeightScalesTfBeforeNormalization) {
+  // f(data)=2.5, f(mining)=1, norm = sqrt(2.5^2 + 1).
+  Query q = MustParse("data^2.5 mining");
+  ASSERT_EQ(q.size(), 2u);
+  const double norm = std::sqrt(2.5 * 2.5 + 1.0);
+  for (const QueryTerm& t : q.terms) {
+    if (t.term == "data") {
+      EXPECT_NEAR(t.weight, 2.5 / norm, 1e-12);
+      EXPECT_EQ(t.user_weight, 2.5);
+    } else {
+      EXPECT_NEAR(t.weight, 1.0 / norm, 1e-12);
+    }
+  }
+}
+
+TEST_F(AnnotatedQueryTest, RepeatedWeightedTermsAccumulate)  {
+  // data^2 data -> f = 3; same as data^3 alone.
+  Query twice = MustParse("data^2 data");
+  Query once = MustParse("data^3");
+  ASSERT_EQ(twice.size(), 1u);
+  ASSERT_EQ(once.size(), 1u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(twice.terms[0].weight),
+            std::bit_cast<std::uint64_t>(once.terms[0].weight));
+}
+
+TEST_F(AnnotatedQueryTest, NegationSetsFlagAndKeepsPositiveWeight) {
+  Query q = MustParse("data -mining^2");
+  const std::string negated_term = ParseQuery(analyzer_, "mining").terms[0].term;
+  ASSERT_EQ(q.size(), 2u);
+  for (const QueryTerm& t : q.terms) {
+    EXPECT_GT(t.weight, 0.0);
+    EXPECT_EQ(t.negated, t.term == negated_term);
+  }
+}
+
+TEST_F(AnnotatedQueryTest, MsmParsesAnywhereOnce) {
+  EXPECT_EQ(MustParse("data mining MSM 2").min_should_match, 2u);
+  EXPECT_EQ(MustParse("MSM 1 data mining").min_should_match, 1u);
+  EXPECT_EQ(MustParse("data MSM 0 mining").min_should_match, 0u);
+  EXPECT_EQ(MustParse("data mining MSM 1024").min_should_match, 1024u);
+}
+
+TEST_F(AnnotatedQueryTest, RejectsMalformedAnnotations) {
+  EXPECT_NE(ParseError("data -").find("dangling '-'"), std::string::npos);
+  EXPECT_NE(ParseError("data^"), "");
+  EXPECT_NE(ParseError("data^0"), "");
+  EXPECT_NE(ParseError("data^-1"), "");
+  EXPECT_NE(ParseError("data^nan"), "");
+  EXPECT_NE(ParseError("data^1e309"), "");
+  EXPECT_NE(ParseError("data^2x"), "");
+  EXPECT_NE(ParseError("data MSM"), "");
+  EXPECT_NE(ParseError("data MSM -1"), "");
+  EXPECT_NE(ParseError("data MSM abc"), "");
+  EXPECT_NE(ParseError("data MSM 2.0"), "");
+  EXPECT_NE(ParseError("data MSM 1025"), "");
+  EXPECT_NE(ParseError("data MSM 1 MSM 2"), "");
+  // One analyzer term reached with both signs.
+  EXPECT_NE(ParseError("data -data"), "");
+}
+
+TEST_F(AnnotatedQueryTest, FormatRoundTripsThroughParse) {
+  const char* texts[] = {"data^2.5 -mining grid MSM 2", "-data", "data grid",
+                         "data^0.125 grid^8"};
+  for (const char* text : texts) {
+    Query q = MustParse(text);
+    std::string formatted = FormatAnnotatedQuery(q);
+    Query reparsed = MustParse(formatted);
+    ASSERT_EQ(reparsed.size(), q.size()) << formatted;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      EXPECT_EQ(reparsed.terms[i].term, q.terms[i].term);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(reparsed.terms[i].weight),
+                std::bit_cast<std::uint64_t>(q.terms[i].weight))
+          << formatted;
+      EXPECT_EQ(reparsed.terms[i].negated, q.terms[i].negated);
+    }
+    EXPECT_EQ(reparsed.min_should_match, q.min_should_match);
   }
 }
 

@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "estimate/registry.h"
+#include "estimate/resolved_query.h"
+#include "ir/query.h"
 #include "represent/quantized.h"
 #include "represent/serialize.h"
 #include "util/random.h"
@@ -171,6 +175,86 @@ TEST(StoreTest, RandomizedRoundTripProperty) {
       ++seen;
     });
     EXPECT_EQ(seen, rep.num_terms()) << seed;
+  }
+}
+
+TEST(StoreTest, AnnotatedQueriesEstimateBitIdenticallyAcrossFormats) {
+  // Weighted / negated / min-should-match queries over the packed
+  // StoreView must estimate bit-identically to the quantized in-memory
+  // representative (the URP1 write/read path) — the serving tier may use
+  // either backing for the same engine.
+  Representative rep = MakeRep("db", 300, 11, RepresentativeKind::kQuadruplet);
+  auto quantized = QuantizeRepresentative(rep);
+  ASSERT_TRUE(quantized.ok());
+  std::stringstream urp1;
+  ASSERT_TRUE(
+      WriteRepresentative(quantized.value().representative, urp1).ok());
+  auto via_urp1 = ReadRepresentative(urp1);
+  ASSERT_TRUE(via_urp1.ok());
+  auto store = MustOpen(EncodeStore({&rep}).value());
+  ASSERT_NE(store, nullptr);
+  auto view = store->Find("db");
+  ASSERT_TRUE(view.has_value());
+
+  // Deterministic term pool: the store's own ascending term order.
+  std::vector<std::string> terms;
+  view->ForEachTerm([&](std::string_view term, const TermStats&) {
+    if (terms.size() < 6) terms.emplace_back(term);
+  });
+  ASSERT_GE(terms.size(), 4u);
+
+  // Hand-built annotated queries (no analyzer: stored terms are already
+  // index terms). Weights are the cosine-normalized form the parser emits.
+  std::vector<ir::Query> queries;
+  {
+    ir::Query weighted;
+    const double norm = std::sqrt(2.5 * 2.5 + 1.0 + 1.0);
+    weighted.terms = {ir::QueryTerm{terms[0], 2.5 / norm, 2.5, false},
+                      ir::QueryTerm{terms[1], 1.0 / norm, 1.0, false},
+                      ir::QueryTerm{terms[2], 1.0 / norm, 1.0, false}};
+    queries.push_back(weighted);
+
+    ir::Query negated = weighted;
+    negated.terms[1].negated = true;
+    queries.push_back(negated);
+
+    ir::Query msm = weighted;
+    msm.min_should_match = 2;
+    queries.push_back(msm);
+
+    ir::Query all = weighted;
+    all.terms[0].negated = true;
+    all.min_should_match = 1;
+    all.terms.push_back(
+        ir::QueryTerm{terms[3], 0.5 / norm, 0.5, false});
+    queries.push_back(all);
+  }
+
+  const std::vector<double> thresholds = {0.0, 0.01, 0.05, 0.15, 0.4};
+  std::vector<std::string> names = estimate::KnownEstimators();
+  names.push_back("subrange-k3");
+  estimate::ExpansionWorkspace ws;
+  for (const std::string& name : names) {
+    auto est = estimate::MakeEstimator(name);
+    ASSERT_TRUE(est.ok()) << name;
+    for (const ir::Query& q : queries) {
+      estimate::ResolvedQuery rq_view(*view, q);
+      estimate::ResolvedQuery rq_rep(via_urp1.value(), q);
+      std::vector<estimate::UsefulnessEstimate> from_view(thresholds.size());
+      std::vector<estimate::UsefulnessEstimate> from_rep(thresholds.size());
+      est.value()->EstimateBatch(
+          rq_view, thresholds, ws,
+          std::span<estimate::UsefulnessEstimate>(from_view));
+      est.value()->EstimateBatch(
+          rq_rep, thresholds, ws,
+          std::span<estimate::UsefulnessEstimate>(from_rep));
+      for (std::size_t t = 0; t < thresholds.size(); ++t) {
+        EXPECT_EQ(from_view[t].no_doc, from_rep[t].no_doc)
+            << name << " T=" << thresholds[t];
+        EXPECT_EQ(from_view[t].avg_sim, from_rep[t].avg_sim)
+            << name << " T=" << thresholds[t];
+      }
+    }
   }
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "text/analyzer.h"
 #include "util/thread_pool.h"
 
 namespace useful::service {
@@ -53,6 +54,47 @@ TEST(QueryCacheKeyTest, NegativeZeroCanonicalizesToPositiveZero) {
   // Genuinely different thresholds still get distinct keys.
   EXPECT_NE(QueryCache::MakeKey("subrange", 0.0, q),
             QueryCache::MakeKey("subrange", 0.2, q));
+}
+
+TEST(QueryCacheKeyTest, WeightSpellingDoesNotSplitTheCache) {
+  // The key is built from the parsed query's normalized weight bits, not
+  // the request text, so equivalent spellings of one weight share an
+  // entry: `a^2 b` == `a^2.0 b`, and a lone `a^5` normalizes to the same
+  // unit vector as plain `a`.
+  text::Analyzer analyzer;
+  auto parse = [&](const char* text) {
+    auto q = ir::ParseAnnotatedQuery(analyzer, text);
+    EXPECT_TRUE(q.ok()) << text;
+    return std::move(q).value();
+  };
+  EXPECT_EQ(QueryCache::MakeKey("subrange", 0.2, parse("data^2 grid")),
+            QueryCache::MakeKey("subrange", 0.2, parse("data^2.0 grid")));
+  EXPECT_EQ(QueryCache::MakeKey("subrange", 0.2, parse("data^5")),
+            QueryCache::MakeKey("subrange", 0.2, parse("data")));
+  // Genuinely different weights still split.
+  EXPECT_NE(QueryCache::MakeKey("subrange", 0.2, parse("data^2 grid")),
+            QueryCache::MakeKey("subrange", 0.2, parse("data^3 grid")));
+}
+
+TEST(QueryCacheKeyTest, NegationAndMinShouldMatchArePartOfTheKey) {
+  // A negated term scores differently from its positive twin, and an MSM
+  // constraint from an unconstrained query — colliding either pair would
+  // serve one semantics' ranking for the other.
+  text::Analyzer analyzer;
+  auto parse = [&](const char* text) {
+    auto q = ir::ParseAnnotatedQuery(analyzer, text);
+    EXPECT_TRUE(q.ok()) << text;
+    return std::move(q).value();
+  };
+  EXPECT_NE(QueryCache::MakeKey("subrange", 0.2, parse("data -grid")),
+            QueryCache::MakeKey("subrange", 0.2, parse("data grid")));
+  EXPECT_NE(QueryCache::MakeKey("subrange", 0.2, parse("data grid MSM 1")),
+            QueryCache::MakeKey("subrange", 0.2, parse("data grid")));
+  EXPECT_NE(QueryCache::MakeKey("subrange", 0.2, parse("data grid MSM 1")),
+            QueryCache::MakeKey("subrange", 0.2, parse("data grid MSM 2")));
+  // MSM 0 is the unconstrained query; the key must not split on it.
+  EXPECT_EQ(QueryCache::MakeKey("subrange", 0.2, parse("data grid MSM 0")),
+            QueryCache::MakeKey("subrange", 0.2, parse("data grid")));
 }
 
 TEST(QueryCacheTest, MissThenHit) {

@@ -26,7 +26,12 @@
 #            compare byte-for-byte against an oracle serving the SAME
 #            collections as quantized URP1 files (cross-format identity);
 #            RELOAD on a packed shard must swap the mapping in place, and
-#            METRICS must report the packed-store gauges.
+#            METRICS must report the packed-store gauges;
+#   phase 6  the annotated query grammar (term^weight, -term, MSM k)
+#            travels the scatter-gather path verbatim: fronted replies
+#            are byte-identical to the oracle's for weighted, negated,
+#            and min-should-match queries, and malformed grammar gets
+#            the same ERR from both.
 #
 # Everything shuts down via QUIT and must log a clean exit. Thread
 # counts are minimal: this runs under TSan on small CI boxes.
@@ -273,6 +278,41 @@ FE_PORT=$PFE_PORT; ORACLE_PORT=$PORACLE_PORT
 compare_to_oracle "phase5"
 FE_PORT=$SAVED_FE_PORT; ORACLE_PORT=$SAVED_ORACLE_PORT
 echo "phase 5 ok: packed-store cluster byte-identical to the URP1 oracle"
+
+# --- phase 6: the annotated grammar end to end through the primary
+# cluster. Queries go over stdin so '-term' is never mistaken for a
+# client flag.
+check_annotated() {
+  # check_annotated <request line>: fronted reply == oracle reply.
+  printf '%s\n' "$1" | "$CLIENT" --port "$FE_PORT" > "$DIR/cluster_fe_reply" \
+    || fail "phase6: fronted '$1' errored"
+  printf '%s\n' "$1" | "$CLIENT" --port "$ORACLE_PORT" \
+      > "$DIR/cluster_oracle_reply" \
+    || fail "phase6: oracle '$1' errored"
+  cmp -s "$DIR/cluster_fe_reply" "$DIR/cluster_oracle_reply" \
+    || fail "phase6: '$1' diverged from the oracle"
+}
+for est in subrange basic adaptive; do
+  check_annotated "ESTIMATE $est 0.1 fox^2.5 dog"
+  check_annotated "ESTIMATE $est 0.1 fox -dog"
+  check_annotated "ESTIMATE $est 0.1 fox dog MSM 2"
+  check_annotated "ESTIMATE $est 0.1 fox^0.5 -cat dog MSM 1"
+  check_annotated "ROUTE $est 0.1 1 fox^2 -dog MSM 1"
+done
+# Malformed grammar: the client exits nonzero on an ERR reply, so only
+# the reply bytes are compared.
+for bad in "ESTIMATE subrange 0.1 fox -" "ESTIMATE subrange 0.1 fox^" \
+           "ESTIMATE subrange 0.1 fox MSM 1025"; do
+  printf '%s\n' "$bad" | "$CLIENT" --port "$FE_PORT" \
+      > "$DIR/cluster_fe_reply" || true
+  printf '%s\n' "$bad" | "$CLIENT" --port "$ORACLE_PORT" \
+      > "$DIR/cluster_oracle_reply" || true
+  cmp -s "$DIR/cluster_fe_reply" "$DIR/cluster_oracle_reply" \
+    || fail "phase6: '$bad' diverged from the oracle"
+  head -1 "$DIR/cluster_fe_reply" | grep -q '^ERR' \
+    || fail "phase6: '$bad' did not produce an ERR reply"
+done
+echo "phase 6 ok: annotated grammar byte-identical through the front-end"
 
 # --- clean shutdown, front-ends first (their QUIT is never forwarded).
 printf 'QUIT\n' | "$CLIENT" --port "$FE_PORT" > /dev/null

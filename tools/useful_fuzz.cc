@@ -7,15 +7,24 @@
 // replicas die and revive mid-run — all deterministically, so any
 // failure is replayable from its printed seed.
 //
+// The generated workload uses the full annotated grammar — weighted
+// (`term^2.5`), negated (`-term`), and min-should-match (`MSM k`)
+// queries — so every invariant and oracle check covers the extended
+// semantics, and the protocol fuzzer's templates mutate the annotations
+// themselves (dangling '-', malformed weights, out-of-range k).
+//
 //   useful_fuzz [--seed S] [--seed-count N]
 //               [--mode all|oracle|invariants|protocol]
 //               [--queries N] [--protocol-iters N]
-//               [--soak] [--inject-bug] [--workdir DIR]
+//               [--soak] [--inject-bug] [--inject-bug-negation]
+//               [--workdir DIR]
 //
 //   useful_fuzz --seed-count 500           # the PR's acceptance run
 //   useful_fuzz --soak                     # run until killed or failing
 //   useful_fuzz --inject-bug               # demo: must exit nonzero with
 //                                          # a shrunk off-by-one repro
+//   useful_fuzz --inject-bug-negation      # demo: negation sign flip is
+//                                          # caught and shrunk to -term
 //
 // Failures print the violated property, the shrunk repro (a <=3-term
 // query or a minimal protocol line), and the exact replay command; the
@@ -57,6 +66,7 @@ struct FuzzArgs {
   std::size_t protocol_iters = 100;
   bool soak = false;
   bool inject_bug = false;
+  bool inject_bug_negation = false;
   std::string workdir;
 };
 
@@ -73,9 +83,10 @@ int Fail(const FuzzArgs& args, std::uint64_t seed, const std::string& mode,
                static_cast<unsigned long long>(seed), mode.c_str(),
                report.c_str());
   std::fprintf(stderr,
-               "replay: useful_fuzz --seed %llu --seed-count 1 --mode %s%s\n",
+               "replay: useful_fuzz --seed %llu --seed-count 1 --mode %s%s%s\n",
                static_cast<unsigned long long>(seed), mode.c_str(),
-               args.inject_bug ? " --inject-bug" : "");
+               args.inject_bug ? " --inject-bug" : "",
+               args.inject_bug_negation ? " --inject-bug-negation" : "");
   return 1;
 }
 
@@ -102,11 +113,19 @@ int RunSeed(const FuzzArgs& args, std::uint64_t seed, Counters& counters) {
 
   testing::SyntheticQueryOptions query_options;
   query_options.count = args.queries;
+  // The workload exercises the full annotated grammar; the generator
+  // guarantees every text parses (consistent per-term signs, in-range k).
+  query_options.annotate = true;
   std::vector<ir::Query> queries;
   for (const std::string& text :
        testing::MakeSyntheticQueryTexts(corpus_options, query_options, seed)) {
-    ir::Query q = ir::ParseQuery(analyzer, text);
-    if (!q.empty()) queries.push_back(std::move(q));
+    Result<ir::Query> q = ir::ParseAnnotatedQuery(analyzer, text);
+    if (!q.ok()) {
+      return Fail(args, seed, args.mode,
+                  "generated query failed to parse: \"" + text +
+                      "\": " + q.status().ToString());
+    }
+    if (!q.value().empty()) queries.push_back(std::move(q).value());
   }
   counters.queries += queries.size();
 
@@ -151,6 +170,10 @@ int RunSeed(const FuzzArgs& args, std::uint64_t seed, Counters& counters) {
       estimators.emplace_back("subrange",
                               testing::MakeOffByOneSubrangeEstimator());
     }
+    if (args.inject_bug_negation) {
+      estimators.emplace_back("subrange",
+                              testing::MakeNegationSignFlipEstimator());
+    }
 
     for (const auto& [key, estimator] : estimators) {
       testing::InvariantOptions options;
@@ -162,6 +185,10 @@ int RunSeed(const FuzzArgs& args, std::uint64_t seed, Counters& counters) {
       // mutant registers under "subrange" so the guarantee hunts it).
       options.check_single_term_exact =
           key == "subrange" || key.rfind("subrange-k", 0) == 0;
+      // Adaptive re-solves lambda = (T/r)/u per threshold, so doubling
+      // one term's weight legitimately moves every term's truncation
+      // point — NoDoc is not monotone in a single weight there.
+      options.check_weight_monotone = key != "adaptive";
 
       for (const represent::Representative* rep :
            {&quad.value(), &trip.value()}) {
@@ -297,6 +324,8 @@ int main(int argc, char** argv) {
       args.soak = true;
     } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
       args.inject_bug = true;
+    } else if (std::strcmp(argv[i], "--inject-bug-negation") == 0) {
+      args.inject_bug_negation = true;
     } else if (std::strcmp(argv[i], "--workdir") == 0) {
       args.workdir = need_value("--workdir");
     } else {
