@@ -22,22 +22,65 @@
 # per engine (BM_PackStoreEncode counters), shard warm-up (BM_StoreWarmup),
 # map- vs view-backed estimation (BM_Estimator{Batch,View}Sweep), and the
 # scalar vs AVX2 expansion kernels (BM_EstimatorKernel).
+#
+# Finally it replays a million-query Zipfian trace with useful_loadgen —
+# open-loop (timer-paced), so the latency percentiles are free of
+# coordinated omission — against a live useful_served and records
+# throughput plus p50/p95/p99/p999 in the "loadgen" block.
 set -e
 
 BUILD=${1:-build}
 OUT=${2:-BENCH_serving.json}
 RAW=$(mktemp /tmp/bench_serving.XXXXXX.json)
-trap 'rm -f "$RAW"' EXIT
+LG=$(mktemp /tmp/bench_loadgen.XXXXXX.json)
+trap 'rm -f "$RAW" "$LG"' EXIT
 
 "$BUILD"/bench/bench_micro \
   --benchmark_filter='BM_Server|BM_Frontend|BM_PackStoreEncode|BM_StoreWarmup|BM_EstimatorViewSweep|BM_EstimatorBatchSweep|BM_EstimatorKernel' \
   --benchmark_format=json --benchmark_out="$RAW" \
   --benchmark_out_format=json >/dev/null
 
-python3 - "$RAW" "$OUT" <<'EOF'
+# --- Million-query open-loop trace replay ------------------------------
+# Self-contained fixture: a three-group synthetic corpus and two
+# representatives, regenerated in a scratch dir so the script does not
+# depend on ctest having run.
+LGDIR=$(mktemp -d /tmp/bench_loadgen.XXXXXX)
+SERVER_PID=
+cleanup_loadgen() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  rm -rf "$LGDIR"
+}
+trap 'rm -f "$RAW" "$LG"; cleanup_loadgen' EXIT
+
+"$BUILD"/tools/useful_corpusgen "$LGDIR" --groups 3 --queries 200 >/dev/null
+"$BUILD"/tools/useful_repgen "$LGDIR/group00.trec" "$LGDIR/g0.rep" >/dev/null
+"$BUILD"/tools/useful_repgen "$LGDIR/group01.trec" "$LGDIR/g1.rep" >/dev/null
+
+PORT_FILE="$LGDIR/served.port"
+"$BUILD"/tools/useful_served --port 0 --port-file "$PORT_FILE" \
+  "$LGDIR/g0.rep" "$LGDIR/g1.rep" > "$LGDIR/served.out" 2>&1 &
+SERVER_PID=$!
+i=0
+while [ ! -f "$PORT_FILE" ] && [ $i -lt 100 ]; do
+  sleep 0.1; i=$((i + 1))
+done
+[ -f "$PORT_FILE" ] || { echo "useful_served never published a port"; exit 1; }
+
+"$BUILD"/tools/useful_loadgen --port "$(cat "$PORT_FILE")" \
+  --connections 8 --qps 25000 --queries 1000000 \
+  --distinct 4096 --zipf 0.99 --seed 42 \
+  --queries-file "$LGDIR/queries.tsv" \
+  --json "$LG" --tag bench_serving
+
+printf 'QUIT\n' | "$BUILD"/tools/useful_client --port "$(cat "$PORT_FILE")" \
+  > /dev/null 2>&1 || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+
+python3 - "$RAW" "$OUT" "$LG" <<'EOF'
 import json, sys
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
+raw_path, out_path, loadgen_path = sys.argv[1], sys.argv[2], sys.argv[3]
 raw = json.load(open(raw_path))
 
 serving = [b for b in raw["benchmarks"]
@@ -103,6 +146,13 @@ if ("BM_PackStoreEncode" in store_rows
     doc["representative_store"]["urpz_size_ratio_vs_urp1"] = round(
         enc["urp1_quantized_bytes_per_engine"]
         / enc["urpz_bytes_per_engine"], 2)
+doc["loadgen"] = dict(
+    json.load(open(loadgen_path)),
+    comment="Open-loop (coordinated-omission-free) million-query Zipfian "
+            "trace replayed by tools/useful_loadgen against a live "
+            "useful_served; regenerated alongside 'current'.",
+    date=raw["context"]["date"][:10],
+)
 doc["speedup_vs_baseline"] = {
     name: round(row["items_per_second"]
                 / doc["baseline"]["rows"][name]["items_per_second"], 2)

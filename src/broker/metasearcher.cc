@@ -13,7 +13,18 @@ Metasearcher::Metasearcher(const text::Analyzer* analyzer)
   assert(analyzer_ != nullptr);
 }
 
+bool RankedBefore(const EngineSelection& a, const EngineSelection& b) {
+  if (a.estimate.no_doc != b.estimate.no_doc) {
+    return a.estimate.no_doc > b.estimate.no_doc;
+  }
+  if (a.estimate.avg_sim != b.estimate.avg_sim) {
+    return a.estimate.avg_sim > b.estimate.avg_sim;
+  }
+  return a.engine < b.engine;
+}
+
 void Metasearcher::SetParallelism(std::size_t threads) {
+  parallelism_threads_ = threads;
   std::size_t resolved = util::ThreadPool::ResolveThreads(threads);
   pool_ = resolved <= 1 ? nullptr
                         : std::make_unique<util::ThreadPool>(resolved);
@@ -65,19 +76,31 @@ Status Metasearcher::RegisterRepresentative(represent::Representative rep) {
 
 Status Metasearcher::RegisterStore(
     std::shared_ptr<const represent::StoreView> store) {
+  return RegisterStore(std::move(store), EngineFilter());
+}
+
+Status Metasearcher::RegisterStore(
+    std::shared_ptr<const represent::StoreView> store,
+    const EngineFilter& filter) {
   if (store == nullptr) {
     return Status::InvalidArgument("RegisterStore: null store");
   }
-  // All-or-nothing: check every name before touching the entry table.
+  // All-or-nothing: check every (accepted) name before touching the
+  // entry table.
+  std::size_t accepted = 0;
   for (std::size_t i = 0; i < store->num_engines(); ++i) {
-    if (IndexOf(store->engine(i).engine_name()) != entries_.size()) {
-      return Status::InvalidArgument(
-          "duplicate engine name: " +
-          std::string(store->engine(i).engine_name()));
+    std::string_view name = store->engine(i).engine_name();
+    if (filter && !filter(name)) continue;
+    ++accepted;
+    if (IndexOf(name) != entries_.size()) {
+      return Status::InvalidArgument("duplicate engine name: " +
+                                     std::string(name));
     }
   }
+  if (accepted == 0) return Status::OK();
   for (std::size_t i = 0; i < store->num_engines(); ++i) {
     const represent::RepresentativeView& view = store->engine(i);
+    if (filter && !filter(view.engine_name())) continue;
     if (view.stale_max()) {
       USEFUL_LOG(Warning) << "representative for '" << view.engine_name()
                           << "' has stale max weights (produced after a "
@@ -94,6 +117,54 @@ Status Metasearcher::RegisterStore(
   return Status::OK();
 }
 
+Status Metasearcher::RemoveEngine(std::string_view engine_name) {
+  std::size_t idx = IndexOf(engine_name);
+  if (idx == entries_.size()) {
+    return Status::NotFound("no such engine: " + std::string(engine_name));
+  }
+  const Entry& doomed = entries_[idx];
+  if (doomed.stale_max()) --num_stale_representatives_;
+  if (doomed.view.has_value()) --num_store_engines_;
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(idx));
+  // Every entry past the erased one shifted down a slot.
+  index_by_name_.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    index_by_name_.emplace(std::string(entries_[i].name()), i);
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<Metasearcher> Metasearcher::Clone() const {
+  auto clone = std::make_unique<Metasearcher>(analyzer_);
+  clone->entries_ = entries_;
+  clone->stores_ = stores_;
+  clone->num_stale_representatives_ = num_stale_representatives_;
+  clone->num_store_engines_ = num_store_engines_;
+  clone->store_bytes_ = store_bytes_;
+  clone->index_by_name_ = index_by_name_;
+  clone->SetParallelism(parallelism_threads_);
+  return clone;
+}
+
+estimate::UsefulnessEstimate Metasearcher::EstimateEngine(
+    std::size_t i, const ir::Query& q, double threshold,
+    const estimate::UsefulnessEstimator& estimator) const {
+  const Entry& e = entries_[i];
+  if (e.view.has_value()) {
+    // Store-backed: resolve straight off the mapping and batch-score
+    // the single threshold. Every registry estimator routes its
+    // scalar Estimate through EstimateBatch, so this path is
+    // bit-identical to the materialized one.
+    estimate::ResolvedQuery rq(*e.view, q);
+    estimate::ExpansionWorkspace ws;
+    estimate::UsefulnessEstimate est;
+    estimator.EstimateBatch(rq, std::span<const double>(&threshold, 1), ws,
+                            std::span<estimate::UsefulnessEstimate>(&est, 1));
+    return est;
+  }
+  return estimator.Estimate(e.rep, q, threshold);
+}
+
 std::vector<EngineSelection> Metasearcher::RankEngines(
     const ir::Query& q, double threshold,
     const estimate::UsefulnessEstimator& estimator, obs::Trace* trace) const {
@@ -102,23 +173,8 @@ std::vector<EngineSelection> Metasearcher::RankEngines(
     obs::Trace::Span estimate_span = obs::Trace::StartSpan(
         trace, obs::Stage::kEstimate);
     auto score_one = [&](std::size_t i) {
-      const Entry& e = entries_[i];
-      if (e.view.has_value()) {
-        // Store-backed: resolve straight off the mapping and batch-score
-        // the single threshold. Every registry estimator routes its
-        // scalar Estimate through EstimateBatch, so this path is
-        // bit-identical to the materialized one.
-        estimate::ResolvedQuery rq(*e.view, q);
-        estimate::ExpansionWorkspace ws;
-        estimate::UsefulnessEstimate est;
-        estimator.EstimateBatch(rq, std::span<const double>(&threshold, 1),
-                                ws, std::span<estimate::UsefulnessEstimate>(
-                                        &est, 1));
-        ranked[i] = EngineSelection{std::string(e.name()), est};
-      } else {
-        ranked[i] = EngineSelection{e.rep.engine_name(),
-                                    estimator.Estimate(e.rep, q, threshold)};
-      }
+      ranked[i] = EngineSelection{std::string(entries_[i].name()),
+                                  EstimateEngine(i, q, threshold, estimator)};
     };
     if (pool_ != nullptr) {
       // Order-stable fan-out: every estimate lands at its engine's index,
@@ -131,16 +187,7 @@ std::vector<EngineSelection> Metasearcher::RankEngines(
   }
   obs::Trace::Span rank_span = obs::Trace::StartSpan(trace,
                                                      obs::Stage::kRank);
-  std::sort(ranked.begin(), ranked.end(),
-            [](const EngineSelection& a, const EngineSelection& b) {
-              if (a.estimate.no_doc != b.estimate.no_doc) {
-                return a.estimate.no_doc > b.estimate.no_doc;
-              }
-              if (a.estimate.avg_sim != b.estimate.avg_sim) {
-                return a.estimate.avg_sim > b.estimate.avg_sim;
-              }
-              return a.engine < b.engine;
-            });
+  std::sort(ranked.begin(), ranked.end(), RankedBefore);
   return ranked;
 }
 

@@ -4,6 +4,7 @@
 // results under the global similarity function.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -35,6 +36,13 @@ struct MetasearchResult {
   double score = 0.0;
 };
 
+/// The broker's canonical ranking order: descending estimated NoDoc,
+/// ties broken by descending AvgSim, then ascending name. Shared between
+/// RankEngines and callers that re-sort per-engine estimates assembled
+/// from a cache, so cached and freshly computed rankings interleave
+/// identically.
+bool RankedBefore(const EngineSelection& a, const EngineSelection& b);
+
 /// The broker. Engines are registered with (optionally) a live
 /// ir::SearchEngine for dispatch; selection needs only representatives.
 class Metasearcher {
@@ -63,7 +71,46 @@ class Metasearcher {
   /// in-flight request finishes. Duplicate names are rejected.
   Status RegisterStore(std::shared_ptr<const represent::StoreView> store);
 
+  /// Predicate over engine names; see the filtering RegisterStore
+  /// overload. Null means "accept everything".
+  using EngineFilter = std::function<bool(std::string_view)>;
+
+  /// Like RegisterStore, but only registers the store's engines whose
+  /// name passes `filter` (used by the ADD verb under shard ownership).
+  /// Engines filtered out are skipped silently; the store reference is
+  /// kept only when at least one engine was registered. Registering zero
+  /// engines is OK (returns OK, broker unchanged).
+  Status RegisterStore(std::shared_ptr<const represent::StoreView> store,
+                       const EngineFilter& filter);
+
+  /// Removes the named engine from the registry (NotFound when absent).
+  /// Stale/store-engine counters follow the entry out; the backing
+  /// packed-store mapping (and its store_bytes() accounting) is retained
+  /// even when the last entry it serves is removed — the mapping is
+  /// shared with older snapshots and dropping it piecemeal isn't worth
+  /// the bookkeeping, a RELOAD rebuilds from scratch anyway.
+  Status RemoveEngine(std::string_view engine_name);
+
+  /// Deep copy for copy-on-write churn (ADD/DROP/UPDATE build a mutated
+  /// clone aside, then swap it in). Representatives are copied,
+  /// packed-store mappings are shared (refcounted), and the clone gets
+  /// its own thread pool at the same configured parallelism.
+  std::unique_ptr<Metasearcher> Clone() const;
+
   std::size_t num_engines() const { return entries_.size(); }
+
+  /// Name of engine `i` (0..num_engines()-1), in registration order.
+  std::string_view engine_name(std::size_t i) const {
+    return entries_[i].name();
+  }
+
+  /// Estimated usefulness of engine `i` alone — the per-engine unit of
+  /// RankEngines, exposed so the serving layer can compute exactly the
+  /// engines its cache missed. Bit-identical to the corresponding entry
+  /// of RankEngines(q, threshold, estimator).
+  estimate::UsefulnessEstimate EstimateEngine(
+      std::size_t i, const ir::Query& q, double threshold,
+      const estimate::UsefulnessEstimator& estimator) const;
 
   /// Engines served from packed stores (subset of num_engines()).
   std::size_t num_store_engines() const { return num_store_engines_; }
@@ -149,6 +196,7 @@ class Metasearcher {
   std::unordered_map<std::string, std::size_t, represent::Representative::Hash,
                      represent::Representative::Eq>
       index_by_name_;
+  std::size_t parallelism_threads_ = 1;     // as passed to SetParallelism
   std::unique_ptr<util::ThreadPool> pool_;  // null: serial ranking
 };
 

@@ -72,12 +72,33 @@ bool ParseStatValue(std::string_view token, std::uint64_t* out) {
   return true;
 }
 
-/// Summable downstream STATS keys: plain counters/gauges, not latency
+/// Summable downstream STATS keys: plain counters, not latency
 /// percentiles (a sum of p99s is meaningless).
 bool SummableStatKey(std::string_view key) {
   constexpr std::string_view kUs = "_us";
   return key.size() < kUs.size() ||
          key.substr(key.size() - kUs.size()) != kUs;
+}
+
+/// Downstream gauges: point-in-time values a sum would inflate by the
+/// replica count (every replica of a shard reports the same snapshot
+/// state). Aggregated by max — the conservative "worst replica" reading.
+/// Note "engines" is deliberately NOT here: shards partition the engine
+/// registry, so summing across shards is the cluster total.
+bool GaugeStatKey(std::string_view key) {
+  constexpr std::string_view kGauges[] = {
+      "cache_entries",
+      "cache_bytes",
+      "dispatch_queue_depth",
+      "representative_stale",
+      "representative_packed_engines",
+      "representative_packed_bytes",
+      "snapshot_epoch",
+  };
+  for (std::string_view gauge : kGauges) {
+    if (key == gauge) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -298,7 +319,19 @@ Reply Frontend::Execute(std::string_view line, obs::Trace* trace) {
       reply = DoSlowlog(request);
       break;
     case CommandKind::kReload:
-      reply = DoReload();
+      reply = DoAdminFan("RELOAD", nullptr, /*tolerate_not_found=*/false);
+      break;
+    case CommandKind::kAdd:
+      reply = DoAdminFan("ADD " + request.argument, "added",
+                         /*tolerate_not_found=*/false);
+      break;
+    case CommandKind::kDrop:
+      reply = DoAdminFan("DROP " + request.argument, "dropped",
+                         /*tolerate_not_found=*/true);
+      break;
+    case CommandKind::kUpdate:
+      reply = DoAdminFan("UPDATE " + request.argument, "updated",
+                         /*tolerate_not_found=*/false);
       break;
     case CommandKind::kQuit:
       // Shuts down the front-end only; the shards it fronts are other
@@ -400,8 +433,9 @@ Reply Frontend::DoStats() {
   std::vector<ShardOutcome> outcomes;
   FanOut("STATS", &outcomes);
 
-  // Aggregate every summable downstream counter; std::map keeps agg_
-  // lines in a deterministic order.
+  // Aggregate every summable downstream counter — except gauges, which a
+  // sum would inflate by the replica count and which take the max across
+  // replicas instead. std::map keeps agg_ lines in a deterministic order.
   std::map<std::string, std::uint64_t> agg;
   std::size_t shards_answered = 0;
   for (const ShardOutcome& outcome : outcomes) {
@@ -414,7 +448,12 @@ Reply Frontend::DoStats() {
           !ParseStatValue(tokens[1], &value)) {
         continue;
       }
-      agg[std::string(tokens[0])] += value;
+      std::string key(tokens[0]);
+      if (GaugeStatKey(key)) {
+        agg[key] = std::max(agg[key], value);
+      } else {
+        agg[key] += value;
+      }
     }
   }
 
@@ -536,24 +575,30 @@ Reply Frontend::DoMetrics() {
   return reply;
 }
 
-Reply Frontend::DoReload() {
+Reply Frontend::DoAdminFan(const std::string& line, const char* count_key,
+                           bool tolerate_not_found) {
   Reply reply;
-  // Every replica holds its own snapshot, so RELOAD fans to ALL of them,
-  // not one per shard. A shard where no replica reloaded fails the whole
-  // command — otherwise a later failover could silently time-travel to a
-  // pre-reload snapshot.
+  // Every replica holds its own snapshot, so the snapshot-mutating verbs
+  // fan to ALL of them, not one per shard. A shard where no replica
+  // applied the verb fails the whole command — otherwise a later
+  // failover could silently time-travel to a pre-mutation snapshot.
   std::uint64_t engines = 0;
+  std::uint64_t counted = 0;
   bool any_replica_failed = false;
+  bool any_shard_not_found = false;
+  std::string not_found_error;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     std::size_t successes = 0;
+    std::size_t not_founds = 0;
     std::string first_error;
     std::uint64_t shard_engines = 0;
+    std::uint64_t shard_count = 0;
     for (const auto& replica : shards_[s]->replicas) {
       ShardReply shard_reply;
       Status st;
       {
         std::lock_guard<std::mutex> lock(replica->mu);
-        st = replica->backend->Roundtrip("RELOAD", &shard_reply);
+        st = replica->backend->Roundtrip(line, &shard_reply);
       }
       if (!st.ok()) {
         OnReplicaFailure(replica.get());
@@ -562,36 +607,70 @@ Reply Frontend::DoReload() {
       }
       OnReplicaSuccess(replica.get());
       if (!shard_reply.ok) {
-        // The replica is alive but its reload failed (e.g. a bad rep
+        if (tolerate_not_found &&
+            ParseWireStatus(shard_reply.error).code() ==
+                Status::Code::kNotFound) {
+          // DROP on a shard that doesn't own the engine: a correct "not
+          // mine", not a failure.
+          ++not_founds;
+          if (not_found_error.empty()) not_found_error = shard_reply.error;
+          continue;
+        }
+        // The replica is alive but the verb failed (e.g. a bad rep
         // file); remember the error without ejecting the replica.
         if (first_error.empty()) first_error = shard_reply.error;
         any_replica_failed = true;
         continue;
       }
       ++successes;
-      // "engines <n>" — every replica of a shard reports the same slice.
-      for (const std::string& line : shard_reply.payload) {
-        std::vector<std::string_view> tokens = SplitNonEmpty(line, " \t");
+      // "engines <n>" / "<count_key> <k>" — every replica of a shard
+      // reports the same slice, so last-wins within the shard is fine.
+      for (const std::string& payload_line : shard_reply.payload) {
+        std::vector<std::string_view> tokens =
+            SplitNonEmpty(payload_line, " \t");
         std::uint64_t value = 0;
-        if (tokens.size() == 2 && tokens[0] == "engines" &&
-            ParseStatValue(tokens[1], &value)) {
-          shard_engines = value;
+        if (tokens.size() != 2 || !ParseStatValue(tokens[1], &value)) {
+          continue;
+        }
+        if (tokens[0] == "engines") shard_engines = value;
+        if (count_key != nullptr && tokens[0] == count_key) {
+          shard_count = value;
         }
       }
     }
-    shards_[s]->down.store(successes == 0, std::memory_order_relaxed);
-    if (successes == 0) {
+    shards_[s]->down.store(successes == 0 && not_founds == 0,
+                           std::memory_order_relaxed);
+    if (successes == 0 && not_founds == 0) {
       reply.status =
           first_error.empty()
-              ? Status::Unavailable(
-                    StringPrintf("shard %zu: reload reached no replica", s))
+              ? Status::Unavailable(StringPrintf(
+                    "shard %zu: %s reached no replica", s, line.c_str()))
               : ParseWireStatus(first_error);
       return reply;
     }
+    if (successes == 0) {
+      any_shard_not_found = true;  // a reached non-owner shard
+      continue;
+    }
     engines += shard_engines;
+    counted += shard_count;
   }
-  reply.payload.push_back(StringPrintf(
-      "engines %llu", static_cast<unsigned long long>(engines)));
+  if (tolerate_not_found && counted == 0 && any_shard_not_found) {
+    reply.status = not_found_error.empty()
+                       ? Status::NotFound("no shard owns the engine")
+                       : ParseWireStatus(not_found_error);
+    return reply;
+  }
+  if (count_key != nullptr) {
+    reply.payload.push_back(StringPrintf(
+        "%s %llu", count_key, static_cast<unsigned long long>(counted)));
+  }
+  if (!any_shard_not_found) {
+    // Non-owner shards answered ERR and never reported their engine
+    // count, so a partial sum would lie; omit the line instead.
+    reply.payload.push_back(StringPrintf(
+        "engines %llu", static_cast<unsigned long long>(engines)));
+  }
   reply.degraded = any_replica_failed;
   return reply;
 }

@@ -19,6 +19,15 @@
 //                   downstream request/error totals sampled via STATS.
 //   RELOAD          fan to EVERY replica (each holds its own snapshot);
 //                   any shard with zero successes fails the reload.
+//   ADD/UPDATE      fan to EVERY replica like RELOAD; shards apply their
+//                   own ownership filter (ADD) or registered-engine
+//                   filter (UPDATE), so the front-end just sums the
+//                   per-shard "added"/"updated" counts. Partial replica
+//                   failure degrades the reply; a whole shard missing the
+//                   verb fails it (a failover there would time-travel).
+//   DROP            fan to EVERY replica; NotFound from a shard means
+//                   "not the owner" and is tolerated — only when no
+//                   shard dropped anything does NotFound pass through.
 //   SLOWLOG         local (the front-end's own slow fan-outs).
 //   QUIT            shuts down the front-end only — never forwarded.
 //
@@ -153,8 +162,18 @@ class Frontend : public service::RequestHandler {
   service::Reply DoRank(const service::Request& request, obs::Trace* trace);
   service::Reply DoStats();
   service::Reply DoMetrics();
-  service::Reply DoReload();
   service::Reply DoSlowlog(const service::Request& request);
+
+  /// Shared fan-to-every-replica engine for the snapshot-mutating verbs
+  /// (RELOAD/ADD/DROP/UPDATE). Sums each shard's `count_key` payload
+  /// value (skipped when null) and its "engines <n>" line. A shard where
+  /// no replica applied the verb fails the whole command — unless
+  /// `tolerate_not_found` and every reached replica said NotFound, which
+  /// marks the shard a non-owner (DROP); then the "engines" line is
+  /// omitted (non-owner shards don't report their count) and an
+  /// all-shards-NotFound outcome passes the NotFound through.
+  service::Reply DoAdminFan(const std::string& line, const char* count_key,
+                            bool tolerate_not_found);
 
   ClusterSpec spec_;
   FrontendOptions options_;

@@ -1,25 +1,26 @@
-// Engine-to-shard placement.
-//
-// Engines are hashed by name, not range-partitioned: representative
-// files arrive in arbitrary order and engines come and go, so a stable
-// content hash keeps each engine on the same shard across reloads and
-// topology-preserving restarts without any coordination. FNV-1a is
-// deliberate — trivially portable, byte-order free, and stable forever,
-// because a placement hash is a wire format: changing it strands every
-// deployed shard's slice.
+// Engine-to-shard placement. The FNV-1a implementation lives in
+// util/engine_hash.h so the standalone service layer can share it (the
+// ADD verb filters incoming engines by shard ownership); these inline
+// forwarders keep the historical cluster:: spelling working.
 #pragma once
 
 #include <cstdint>
 #include <string_view>
 
+#include "util/engine_hash.h"
+
 namespace useful::cluster {
 
 /// 64-bit FNV-1a of the engine name.
-std::uint64_t EngineHash(std::string_view engine_name);
+inline std::uint64_t EngineHash(std::string_view engine_name) {
+  return util::EngineHash(engine_name);
+}
 
 /// The shard (0..num_shards-1) that owns `engine_name`. num_shards must
 /// be nonzero.
-std::size_t ShardForEngine(std::string_view engine_name,
-                           std::size_t num_shards);
+inline std::size_t ShardForEngine(std::string_view engine_name,
+                                  std::size_t num_shards) {
+  return util::ShardForEngine(engine_name, num_shards);
+}
 
 }  // namespace useful::cluster

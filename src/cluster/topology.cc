@@ -37,23 +37,52 @@ Result<Endpoint> ParseEndpoint(std::string_view token) {
   return ep;
 }
 
+namespace {
+
+/// Splits `text` on any byte in `delims`, KEEPING empty segments — an
+/// empty segment is how "a:1,|b:2" and "a:1," smuggle zero-replica
+/// shards past a lenient splitter, so the caller must see and reject
+/// them instead of silently serving a topology the operator never wrote.
+std::vector<std::string_view> SplitKeepEmpty(std::string_view text,
+                                             std::string_view delims) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || delims.find(text[i]) != std::string_view::npos) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<ClusterSpec> ParseClusterSpec(std::string_view spec) {
-  std::vector<std::string_view> shard_tokens = SplitNonEmpty(spec, "|;");
-  if (shard_tokens.empty()) {
+  if (spec.empty()) {
     return Status::InvalidArgument("empty cluster spec");
   }
+  std::vector<std::string_view> shard_tokens = SplitKeepEmpty(spec, "|;");
   ClusterSpec cluster;
   cluster.shards.reserve(shard_tokens.size());
-  for (std::string_view shard_token : shard_tokens) {
+  for (std::size_t s = 0; s < shard_tokens.size(); ++s) {
+    std::string_view shard_token = shard_tokens[s];
+    if (shard_token.empty()) {
+      return Status::InvalidArgument(StringPrintf(
+          "empty shard %zu (stray '|' or ';') in cluster spec: ", s) +
+          std::string(spec));
+    }
     ShardSpec shard;
     std::vector<std::string_view> replica_tokens =
-        SplitNonEmpty(shard_token, ",");
-    if (replica_tokens.empty()) {
-      return Status::InvalidArgument("shard with no replicas in spec: " +
-                                     std::string(spec));
-    }
+        SplitKeepEmpty(shard_token, ",");
     shard.replicas.reserve(replica_tokens.size());
-    for (std::string_view replica_token : replica_tokens) {
+    for (std::size_t r = 0; r < replica_tokens.size(); ++r) {
+      std::string_view replica_token = replica_tokens[r];
+      if (replica_token.empty()) {
+        return Status::InvalidArgument(StringPrintf(
+            "empty replica %zu of shard %zu (stray ',') in cluster spec: ",
+            r, s) + std::string(spec));
+      }
       auto ep = ParseEndpoint(replica_token);
       if (!ep.ok()) return ep.status();
       shard.replicas.push_back(std::move(ep).value());

@@ -11,7 +11,8 @@ namespace useful::service {
 namespace {
 
 constexpr std::string_view kKnownCommands =
-    "ROUTE, ESTIMATE, STATS, METRICS, SLOWLOG, RELOAD, QUIT";
+    "ROUTE, ESTIMATE, STATS, METRICS, SLOWLOG, RELOAD, ADD, DROP, UPDATE, "
+    "QUIT";
 
 Result<double> ParseThreshold(std::string_view token) {
   std::string copy(token);
@@ -88,6 +89,12 @@ const char* CommandName(CommandKind kind) {
       return "slowlog";
     case CommandKind::kReload:
       return "reload";
+    case CommandKind::kAdd:
+      return "add";
+    case CommandKind::kDrop:
+      return "drop";
+    case CommandKind::kUpdate:
+      return "update";
     case CommandKind::kQuit:
       return "quit";
     case CommandKind::kCount_:
@@ -125,6 +132,22 @@ Result<Request> ParseRequest(std::string_view line) {
       return Status::InvalidArgument("bad slowlog count: " +
                                      std::string(tokens[1]));
     }
+    return req;
+  }
+
+  if (cmd == "ADD" || cmd == "DROP" || cmd == "UPDATE") {
+    // Exactly one whitespace-free argument: a path (ADD/UPDATE) or an
+    // engine name (DROP). Spaces can't be escaped in this protocol, so
+    // a two-plus-token line is rejected rather than silently re-joined.
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument(
+          std::string(cmd) + " needs exactly one argument: " +
+          (cmd == "DROP" ? "<engine>" : "<path>"));
+    }
+    req.kind = cmd == "ADD"    ? CommandKind::kAdd
+               : cmd == "DROP" ? CommandKind::kDrop
+                               : CommandKind::kUpdate;
+    req.argument = std::string(tokens[1]);
     return req;
   }
 

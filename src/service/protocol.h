@@ -8,7 +8,18 @@
 //   METRICS
 //   SLOWLOG [n]
 //   RELOAD
+//   ADD <path>
+//   DROP <engine>
+//   UPDATE <path>
 //   QUIT
+//
+// ADD/DROP/UPDATE are the live-churn verbs (DESIGN.md §14): ADD registers
+// the engines of a representative file (.rep or packed .urpz) into a
+// copy-on-write snapshot clone, DROP removes one engine by name, UPDATE
+// replaces the representatives of engines already registered. The
+// argument is a single whitespace-free token — paths with spaces can't
+// be spelled in a space-separated line protocol, and representative
+// files are tool-generated, so that restriction costs nothing.
 //
 // ROUTE applies the selection policy (the paper's rounded-NoDoc >= 1 rule,
 // capped at <topk> engines when topk > 0); ESTIMATE returns the full
@@ -60,6 +71,9 @@ enum class CommandKind {
   kMetrics,
   kSlowlog,
   kReload,
+  kAdd,
+  kDrop,
+  kUpdate,
   kQuit,
   kCount_,
 };
@@ -92,6 +106,7 @@ struct Request {
   std::size_t topk = 0;     // ROUTE; 0 = paper rule only
   std::size_t slowlog_n = 0;  // SLOWLOG; 0 = every retained entry
   std::string query_text;   // ROUTE / ESTIMATE: raw terms, re-joined
+  std::string argument;     // ADD / UPDATE: path; DROP: engine name
 };
 
 /// Parses one request line (no trailing newline). Errors name the offending

@@ -8,8 +8,8 @@
 namespace useful::service {
 
 namespace {
-// Rough fixed cost of one entry beyond its strings: list/map node plus
-// vector header. Keeps the byte budget honest for many tiny entries.
+// Rough fixed cost of one entry beyond its key string: list/map node plus
+// the inline estimate. Keeps the byte budget honest for many tiny entries.
 constexpr std::size_t kEntryOverhead = 96;
 
 // Exact bit pattern of a double as 16 hex digits, so keying never depends
@@ -78,16 +78,11 @@ QueryCache::Shard& QueryCache::ShardFor(std::string_view key) {
   return *shards_[std::hash<std::string_view>{}(key) % shards_.size()];
 }
 
-std::size_t QueryCache::EntryBytes(std::string_view key,
-                                   const CachedRanking& value) {
-  std::size_t bytes = kEntryOverhead + key.size();
-  for (const broker::EngineSelection& sel : value) {
-    bytes += sel.engine.size() + sizeof(broker::EngineSelection);
-  }
-  return bytes;
+std::size_t QueryCache::EntryBytes(std::string_view key) {
+  return kEntryOverhead + key.size() + sizeof(CachedEstimate);
 }
 
-std::optional<CachedRanking> QueryCache::Get(std::string_view key) {
+std::optional<CachedEstimate> QueryCache::Get(std::string_view key) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
@@ -100,8 +95,15 @@ std::optional<CachedRanking> QueryCache::Get(std::string_view key) {
   return it->second->value;
 }
 
-void QueryCache::Put(std::string_view key, const CachedRanking& value) {
-  std::size_t bytes = EntryBytes(key, value);
+void QueryCache::Put(std::string_view key, const CachedEstimate& value,
+                     std::uint64_t epoch) {
+  if (epoch < min_epoch_.load(std::memory_order_acquire)) {
+    // Computed under a snapshot an invalidation already retired; caching
+    // it would resurrect a dead-generation entry behind the sweep.
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::size_t bytes = EntryBytes(key);
   if (bytes_per_shard_ > 0 && bytes > bytes_per_shard_) return;  // oversize
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -129,6 +131,36 @@ void QueryCache::Put(std::string_view key, const CachedRanking& value) {
   }
 }
 
+void QueryCache::SetMinEpoch(std::uint64_t epoch) {
+  // Monotone max: concurrent mutators may race here, the larger epoch
+  // must win.
+  std::uint64_t seen = min_epoch_.load(std::memory_order_relaxed);
+  while (seen < epoch && !min_epoch_.compare_exchange_weak(
+                             seen, epoch, std::memory_order_release,
+                             std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t QueryCache::ErasePrefix(std::string_view prefix) {
+  std::size_t erased = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.size() >= prefix.size() &&
+          std::string_view(it->key).substr(0, prefix.size()) == prefix) {
+        shard->bytes -= it->bytes;
+        shard->index.erase(std::string_view(it->key));
+        it = shard->lru.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+  }
+  expired_.fetch_add(erased, std::memory_order_relaxed);
+  return erased;
+}
+
 void QueryCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
@@ -143,6 +175,7 @@ QueryCache::Counters QueryCache::counters() const {
   c.hits = hits_.load(std::memory_order_relaxed);
   c.misses = misses_.load(std::memory_order_relaxed);
   c.evictions = evictions_.load(std::memory_order_relaxed);
+  c.expired = expired_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     c.entries += shard->lru.size();

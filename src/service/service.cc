@@ -1,12 +1,16 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
+#include <unordered_set>
 #include <utility>
 
 #include "broker/selection_policy.h"
 #include "estimate/registry.h"
 #include "represent/serialize.h"
 #include "represent/store.h"
+#include "util/engine_hash.h"
 #include "util/string_util.h"
 
 namespace useful::service {
@@ -27,6 +31,78 @@ std::string FormatSelection(const broker::EngineSelection& sel) {
          FormatScore(sel.estimate.avg_sim);
 }
 
+/// Full cache key for one engine: name, generation, then the canonical
+/// query sub-key. The generation is the scoped-invalidation lever —
+/// updating an engine bumps only its own generation, so every other
+/// engine's keys (and cached entries) survive.
+std::string EngineKey(std::string_view engine, std::uint64_t gen,
+                      const std::string& query_key) {
+  std::string key;
+  key.reserve(engine.size() + query_key.size() + 24);
+  key.append(engine);
+  key.push_back('\x1f');
+  key.append(StringPrintf("%llu", static_cast<unsigned long long>(gen)));
+  key.push_back('\x1f');
+  key.append(query_key);
+  return key;
+}
+
+/// Prometheus label-value escaping (backslash, quote, newline).
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out.append("\\n");
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// One representative file, either format: a packed URPZ store (possibly
+/// many engines, served zero-copy) or a single legacy URP1 representative.
+struct LoadedReps {
+  std::shared_ptr<const represent::StoreView> store;   // URPZ
+  std::optional<represent::Representative> rep;        // URP1
+};
+
+Result<LoadedReps> LoadRepFile(const std::string& path) {
+  LoadedReps out;
+  // One path may carry either format; the magic decides. Packed URPZ
+  // stores register zero-copy (mmap stays shared until the snapshot's
+  // last in-flight request drops), legacy URP1 files parse as before.
+  auto packed = represent::SniffPackedStore(path);
+  if (!packed.ok()) {
+    return Status::IOError(path + ": " + packed.status().message());
+  }
+  if (packed.value()) {
+    auto store = represent::StoreView::Open(path);
+    if (!store.ok()) {
+      std::string msg = path + ": " + store.status().message();
+      return store.status().code() == Status::Code::kCorruption
+                 ? Status::Corruption(std::move(msg))
+                 : Status::IOError(std::move(msg));
+    }
+    out.store = std::move(store).value();
+    return out;
+  }
+  auto rep = represent::LoadRepresentative(path);
+  if (!rep.ok()) {
+    // Keep the original code (Corruption vs IOError) but add which file.
+    std::string msg = path + ": " + rep.status().message();
+    return rep.status().code() == Status::Code::kCorruption
+               ? Status::Corruption(std::move(msg))
+               : Status::IOError(std::move(msg));
+  }
+  out.rep = std::move(rep).value();
+  return out;
+}
+
 }  // namespace
 
 Service::Service(const text::Analyzer* analyzer, ServiceOptions options)
@@ -45,14 +121,18 @@ Result<std::unique_ptr<Service>> Service::Create(const text::Analyzer* analyzer,
   if (options.representative_paths.empty()) {
     return Status::InvalidArgument("Service: no representative paths");
   }
+  if (options.num_shards > 0 && options.shard_index >= options.num_shards) {
+    return Status::InvalidArgument("Service: shard_index out of range");
+  }
   std::unique_ptr<Service> service(new Service(analyzer, std::move(options)));
   auto snapshot = service->LoadSnapshot();
   if (!snapshot.ok()) return snapshot.status();
-  service->broker_ = std::move(snapshot).value();
-  service->stats_.SetRepresentativeStale(
-      service->broker_->num_stale_representatives());
-  service->stats_.SetPackedStore(service->broker_->num_store_engines(),
-                                 service->broker_->store_bytes());
+  const auto& broker = snapshot.value();
+  for (std::size_t i = 0; i < broker->num_engines(); ++i) {
+    service->engine_gens_.emplace(std::string(broker->engine_name(i)),
+                                  service->next_gen_++);
+  }
+  service->PublishLocked(std::move(snapshot).value());
   return service;
 }
 
@@ -60,62 +140,172 @@ Result<std::shared_ptr<const broker::Metasearcher>> Service::LoadSnapshot()
     const {
   auto next = std::make_shared<broker::Metasearcher>(analyzer_);
   for (const std::string& path : options_.representative_paths) {
-    // One path may carry either format; the magic decides. Packed URPZ
-    // stores register zero-copy (mmap stays shared until the snapshot's
-    // last in-flight request drops), legacy URP1 files parse as before.
-    auto packed = represent::SniffPackedStore(path);
-    if (!packed.ok()) {
-      return Status::IOError(path + ": " + packed.status().message());
+    auto loaded = LoadRepFile(path);
+    if (!loaded.ok()) return loaded.status();
+    if (loaded.value().store != nullptr) {
+      USEFUL_RETURN_IF_ERROR(
+          next->RegisterStore(std::move(loaded.value().store)));
+    } else {
+      USEFUL_RETURN_IF_ERROR(
+          next->RegisterRepresentative(std::move(*loaded.value().rep)));
     }
-    if (packed.value()) {
-      auto store = represent::StoreView::Open(path);
-      if (!store.ok()) {
-        std::string msg = path + ": " + store.status().message();
-        return store.status().code() == Status::Code::kCorruption
-                   ? Status::Corruption(std::move(msg))
-                   : Status::IOError(std::move(msg));
-      }
-      USEFUL_RETURN_IF_ERROR(next->RegisterStore(std::move(store).value()));
-      continue;
-    }
-    auto rep = represent::LoadRepresentative(path);
-    if (!rep.ok()) {
-      // Keep the original code (Corruption vs IOError) but add which file.
-      std::string msg = path + ": " + rep.status().message();
-      return rep.status().code() == Status::Code::kCorruption
-                 ? Status::Corruption(std::move(msg))
-                 : Status::IOError(std::move(msg));
-    }
-    USEFUL_RETURN_IF_ERROR(
-        next->RegisterRepresentative(std::move(rep).value()));
   }
   return std::shared_ptr<const broker::Metasearcher>(std::move(next));
 }
 
-Service::SnapshotRef Service::GetSnapshot() const {
+void Service::PublishLocked(
+    std::shared_ptr<const broker::Metasearcher> broker) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->gens.reserve(broker->num_engines());
+  for (std::size_t i = 0; i < broker->num_engines(); ++i) {
+    snap->gens.push_back(
+        engine_gens_.at(std::string(broker->engine_name(i))));
+  }
+  snap->epoch = epoch_;
+  snap->broker = std::move(broker);
+  stats_.SetRepresentativeStale(snap->broker->num_stale_representatives());
+  stats_.SetPackedStore(snap->broker->num_store_engines(),
+                        snap->broker->store_bytes());
+  stats_.SetSnapshotEpoch(epoch_);
   std::lock_guard<std::mutex> lock(snapshot_mu_);
-  return SnapshotRef{broker_, generation_};
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const Service::Snapshot> Service::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
 }
 
 std::shared_ptr<const broker::Metasearcher> Service::snapshot() const {
-  return GetSnapshot().broker;
+  return GetSnapshot()->broker;
+}
+
+std::uint64_t Service::snapshot_epoch() const { return GetSnapshot()->epoch; }
+
+bool Service::OwnsEngine(std::string_view engine) const {
+  if (options_.num_shards == 0) return true;
+  return util::ShardForEngine(engine, options_.num_shards) ==
+         options_.shard_index;
 }
 
 Status Service::Reload() {
+  std::lock_guard<std::mutex> churn(churn_mu_);
   auto next = LoadSnapshot();
   if (!next.ok()) return next.status();
-  stats_.SetRepresentativeStale(next.value()->num_stale_representatives());
-  stats_.SetPackedStore(next.value()->num_store_engines(),
-                        next.value()->store_bytes());
-  {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
-    broker_ = std::move(next).value();
-    ++generation_;
+  // Whole-registry rebuild: every engine gets a fresh generation and the
+  // entire cache goes. Raising the accepted epoch first means a request
+  // still holding the old snapshot can't re-populate what Clear removes.
+  engine_gens_.clear();
+  const auto& broker = next.value();
+  for (std::size_t i = 0; i < broker->num_engines(); ++i) {
+    engine_gens_.emplace(std::string(broker->engine_name(i)), next_gen_++);
   }
-  // Old-generation entries are already unreachable (the generation is part
-  // of every key); Clear just returns their memory promptly.
+  ++epoch_;
+  PublishLocked(std::move(next).value());
+  cache_.SetMinEpoch(epoch_);
   cache_.Clear();
   stats_.RecordReload();
+  return Status::OK();
+}
+
+Status Service::AddEngines(const std::string& path, std::size_t* added_out) {
+  std::lock_guard<std::mutex> churn(churn_mu_);
+  auto loaded = LoadRepFile(path);
+  if (!loaded.ok()) return loaded.status();
+  std::shared_ptr<const Snapshot> current = GetSnapshot();
+  std::unique_ptr<broker::Metasearcher> clone = current->broker->Clone();
+  std::size_t before = clone->num_engines();
+  if (loaded.value().store != nullptr) {
+    USEFUL_RETURN_IF_ERROR(clone->RegisterStore(
+        std::move(loaded.value().store),
+        [this](std::string_view name) { return OwnsEngine(name); }));
+  } else {
+    represent::Representative rep = std::move(*loaded.value().rep);
+    if (OwnsEngine(rep.engine_name())) {
+      USEFUL_RETURN_IF_ERROR(clone->RegisterRepresentative(std::move(rep)));
+    }
+  }
+  std::size_t added = clone->num_engines() - before;
+  if (added_out != nullptr) *added_out = added;
+  if (added == 0) return Status::OK();  // every engine filtered out
+  for (std::size_t i = before; i < clone->num_engines(); ++i) {
+    engine_gens_.emplace(std::string(clone->engine_name(i)), next_gen_++);
+  }
+  // ADD invalidates nothing: existing generations are untouched, so the
+  // accepted epoch stays put and every cached entry keeps serving.
+  ++epoch_;
+  PublishLocked(std::move(clone));
+  stats_.RecordEnginesAdded(added);
+  return Status::OK();
+}
+
+Status Service::DropEngine(const std::string& engine) {
+  std::lock_guard<std::mutex> churn(churn_mu_);
+  std::shared_ptr<const Snapshot> current = GetSnapshot();
+  std::unique_ptr<broker::Metasearcher> clone = current->broker->Clone();
+  USEFUL_RETURN_IF_ERROR(clone->RemoveEngine(engine));
+  engine_gens_.erase(engine);
+  ++epoch_;
+  PublishLocked(std::move(clone));
+  // Publish first, sweep second: once the epoch is raised, a racing Put
+  // computed under the old snapshot is refused, so the sweep is final.
+  cache_.SetMinEpoch(epoch_);
+  cache_.ErasePrefix(engine + '\x1f');
+  stats_.RecordEnginesDropped(1);
+  return Status::OK();
+}
+
+Status Service::UpdateEngines(const std::string& path,
+                              std::size_t* updated_out) {
+  std::lock_guard<std::mutex> churn(churn_mu_);
+  auto loaded = LoadRepFile(path);
+  if (!loaded.ok()) return loaded.status();
+  std::shared_ptr<const Snapshot> current = GetSnapshot();
+  std::unordered_set<std::string> registered;
+  for (std::size_t i = 0; i < current->broker->num_engines(); ++i) {
+    registered.insert(std::string(current->broker->engine_name(i)));
+  }
+  // UPDATE only replaces engines already registered here — it never
+  // grows the engine set, so a cluster-wide fan-out of one file can't
+  // duplicate an engine onto shards that don't own it.
+  std::vector<std::string> touched;
+  if (loaded.value().store != nullptr) {
+    for (std::size_t i = 0; i < loaded.value().store->num_engines(); ++i) {
+      std::string name(loaded.value().store->engine(i).engine_name());
+      if (registered.count(name) > 0) touched.push_back(std::move(name));
+    }
+  } else if (registered.count(loaded.value().rep->engine_name()) > 0) {
+    touched.push_back(loaded.value().rep->engine_name());
+  }
+  if (updated_out != nullptr) *updated_out = touched.size();
+  if (touched.empty()) return Status::OK();  // nothing of ours in the file
+
+  std::unique_ptr<broker::Metasearcher> clone = current->broker->Clone();
+  for (const std::string& name : touched) {
+    USEFUL_RETURN_IF_ERROR(clone->RemoveEngine(name));
+  }
+  if (loaded.value().store != nullptr) {
+    std::unordered_set<std::string_view> touched_set(touched.begin(),
+                                                     touched.end());
+    USEFUL_RETURN_IF_ERROR(clone->RegisterStore(
+        std::move(loaded.value().store),
+        [&touched_set](std::string_view name) {
+          return touched_set.count(name) > 0;
+        }));
+  } else {
+    USEFUL_RETURN_IF_ERROR(
+        clone->RegisterRepresentative(std::move(*loaded.value().rep)));
+  }
+  for (const std::string& name : touched) {
+    engine_gens_[name] = next_gen_++;
+  }
+  ++epoch_;
+  PublishLocked(std::move(clone));
+  cache_.SetMinEpoch(epoch_);
+  for (const std::string& name : touched) {
+    cache_.ErasePrefix(name + '\x1f');
+  }
+  stats_.RecordEnginesUpdated(touched.size());
   return Status::OK();
 }
 
@@ -171,6 +361,15 @@ Service::Reply Service::Execute(std::string_view line, obs::Trace* trace) {
     case CommandKind::kReload:
       reply = DoReload();
       break;
+    case CommandKind::kAdd:
+      reply = DoAdd(request);
+      break;
+    case CommandKind::kDrop:
+      reply = DoDrop(request);
+      break;
+    case CommandKind::kUpdate:
+      reply = DoUpdate(request);
+      break;
     case CommandKind::kQuit:
       reply.close_connection = true;
       reply.shutdown_server = true;
@@ -217,29 +416,65 @@ Service::Reply Service::DoRank(const Request& request, bool apply_policy,
     return reply;
   }
 
-  SnapshotRef snapshot;
-  std::optional<CachedRanking> ranked;
-  std::string key;
+  std::shared_ptr<const Snapshot> snapshot;
   {
     obs::Trace::Span resolve_span =
         obs::Trace::StartSpan(trace, obs::Stage::kResolve);
     snapshot = GetSnapshot();
   }
+  const broker::Metasearcher& broker = *snapshot->broker;
+  std::size_t n = broker.num_engines();
+
+  // Per-engine cache probe: each engine's estimate lives under its own
+  // (engine, generation, query) key, so a request is part hit / part
+  // miss after a scoped invalidation and only the touched engines are
+  // re-estimated.
+  std::vector<broker::EngineSelection> ranked;
+  ranked.reserve(n);
+  std::vector<std::size_t> miss_index;
+  std::vector<std::string> miss_keys;
   {
     obs::Trace::Span cache_span =
         obs::Trace::StartSpan(trace, obs::Stage::kCache);
-    key = StringPrintf("%llu\x1f",
-                       static_cast<unsigned long long>(snapshot.generation)) +
-          QueryCache::MakeKey(request.estimator, request.threshold, query);
-    ranked = cache_.Get(key);
+    std::string query_key =
+        QueryCache::MakeKey(request.estimator, request.threshold, query);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string key =
+          EngineKey(broker.engine_name(i), snapshot->gens[i], query_key);
+      std::optional<CachedEstimate> est = cache_.Get(key);
+      if (est.has_value()) {
+        ranked.push_back(broker::EngineSelection{
+            std::string(broker.engine_name(i)), *est});
+      } else {
+        miss_index.push_back(i);
+        miss_keys.push_back(std::move(key));
+      }
+    }
   }
-  trace->SetCacheHit(ranked.has_value());
-  if (!ranked.has_value()) {
-    ranked = snapshot.broker->RankEngines(query, request.threshold,
-                                          *estimator.value(), trace);
+  trace->SetCacheHit(miss_index.empty());
+  if (!miss_index.empty()) {
+    std::vector<estimate::UsefulnessEstimate> computed(miss_index.size());
+    {
+      obs::Trace::Span estimate_span =
+          obs::Trace::StartSpan(trace, obs::Stage::kEstimate);
+      for (std::size_t k = 0; k < miss_index.size(); ++k) {
+        computed[k] = broker.EstimateEngine(miss_index[k], query,
+                                            request.threshold,
+                                            *estimator.value());
+        ranked.push_back(broker::EngineSelection{
+            std::string(broker.engine_name(miss_index[k])), computed[k]});
+      }
+    }
     obs::Trace::Span cache_span =
         obs::Trace::StartSpan(trace, obs::Stage::kCache);
-    cache_.Put(key, *ranked);
+    for (std::size_t k = 0; k < miss_index.size(); ++k) {
+      cache_.Put(miss_keys[k], computed[k], snapshot->epoch);
+    }
+  }
+  {
+    obs::Trace::Span rank_span =
+        obs::Trace::StartSpan(trace, obs::Stage::kRank);
+    std::sort(ranked.begin(), ranked.end(), broker::RankedBefore);
   }
 
   std::vector<broker::EngineSelection> selected;
@@ -249,13 +484,13 @@ Service::Reply Service::DoRank(const Request& request, bool apply_policy,
     if (apply_policy) {
       // The paper's rule first, then the optional top-k cap — matching
       // useful_route's flag semantics.
-      selected = broker::ThresholdPolicy().Apply(std::move(*ranked));
+      selected = broker::ThresholdPolicy().Apply(std::move(ranked));
       if (request.topk > 0) {
         selected =
             broker::TopKPolicy(request.topk).Apply(std::move(selected));
       }
     } else {
-      selected = std::move(*ranked);
+      selected = std::move(ranked);
     }
   }
   trace->SetEnginesSelected(selected.size());
@@ -278,6 +513,19 @@ Service::Reply Service::DoStats() {
 Service::Reply Service::DoMetrics() {
   Reply reply;
   reply.payload = stats_.RenderMetrics(cache_.counters(), num_engines());
+  // Per-engine generation gauges ride after the registry: the engine set
+  // is snapshot state, not Stats state, so the labels are rendered here.
+  std::shared_ptr<const Snapshot> snapshot = GetSnapshot();
+  reply.payload.push_back(
+      "# HELP useful_engine_generation Cache-key generation of each "
+      "engine in the serving snapshot.");
+  reply.payload.push_back("# TYPE useful_engine_generation gauge");
+  for (std::size_t i = 0; i < snapshot->broker->num_engines(); ++i) {
+    reply.payload.push_back(StringPrintf(
+        "useful_engine_generation{engine=\"%s\"} %llu",
+        EscapeLabelValue(snapshot->broker->engine_name(i)).c_str(),
+        static_cast<unsigned long long>(snapshot->gens[i])));
+  }
   return reply;
 }
 
@@ -291,6 +539,38 @@ Service::Reply Service::DoReload() {
   Reply reply;
   reply.status = Reload();
   if (reply.status.ok()) {
+    reply.payload.push_back(StringPrintf("engines %zu", num_engines()));
+  }
+  return reply;
+}
+
+Service::Reply Service::DoAdd(const Request& request) {
+  Reply reply;
+  std::size_t added = 0;
+  reply.status = AddEngines(request.argument, &added);
+  if (reply.status.ok()) {
+    reply.payload.push_back(StringPrintf("added %zu", added));
+    reply.payload.push_back(StringPrintf("engines %zu", num_engines()));
+  }
+  return reply;
+}
+
+Service::Reply Service::DoDrop(const Request& request) {
+  Reply reply;
+  reply.status = DropEngine(request.argument);
+  if (reply.status.ok()) {
+    reply.payload.push_back("dropped 1");
+    reply.payload.push_back(StringPrintf("engines %zu", num_engines()));
+  }
+  return reply;
+}
+
+Service::Reply Service::DoUpdate(const Request& request) {
+  Reply reply;
+  std::size_t updated = 0;
+  reply.status = UpdateEngines(request.argument, &updated);
+  if (reply.status.ok()) {
+    reply.payload.push_back(StringPrintf("updated %zu", updated));
     reply.payload.push_back(StringPrintf("engines %zu", num_engines()));
   }
   return reply;

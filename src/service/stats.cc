@@ -34,6 +34,18 @@ void Stats::RecordReload() {
   reloads_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Stats::RecordEnginesAdded(std::size_t count) {
+  engines_added_.fetch_add(count, std::memory_order_relaxed);
+}
+
+void Stats::RecordEnginesDropped(std::size_t count) {
+  engines_dropped_.fetch_add(count, std::memory_order_relaxed);
+}
+
+void Stats::RecordEnginesUpdated(std::size_t count) {
+  engines_updated_.fetch_add(count, std::memory_order_relaxed);
+}
+
 void Stats::RecordConnectionOpened() {
   conns_opened_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -86,9 +98,17 @@ std::vector<std::string> Stats::Render(const QueryCache::Counters& cache,
   add("errors_total", errors_total());
   add("engines", num_engines);
   add("reloads", reloads());
+  add("engines_added", engines_added());
+  add("engines_dropped", engines_dropped());
+  add("engines_updated", engines_updated());
+  add("snapshot_epoch", snapshot_epoch());
+  add("representative_stale", representative_stale());
+  add("representative_packed_engines", representative_packed_engines());
+  add("representative_packed_bytes", representative_packed_bytes());
   add("cache_hits", cache.hits);
   add("cache_misses", cache.misses);
   add("cache_evictions", cache.evictions);
+  add("cache_expired_generation", cache.expired);
   add("cache_entries", cache.entries);
   add("cache_bytes", cache.bytes);
   add("conns_opened", connections_opened());
@@ -142,6 +162,17 @@ std::vector<std::string> Stats::RenderMetrics(
             "Requests answered with an ERR header.", errors_total());
   b.Counter("useful_reloads_total", "Successful representative reloads.",
             reloads());
+  b.Counter("useful_engines_added_total",
+            "Engines registered by the ADD verb.", engines_added());
+  b.Counter("useful_engines_dropped_total",
+            "Engines removed by the DROP verb.", engines_dropped());
+  b.Counter("useful_engines_updated_total",
+            "Engine representatives replaced by the UPDATE verb.",
+            engines_updated());
+  b.Gauge("useful_snapshot_epoch",
+          "Monotone serving-snapshot version (bumped by every successful "
+          "RELOAD/ADD/DROP/UPDATE).",
+          static_cast<double>(snapshot_epoch()));
   b.Gauge("useful_engines", "Engines in the serving snapshot.",
           static_cast<double>(num_engines));
   b.Gauge("useful_representative_stale",
@@ -159,6 +190,10 @@ std::vector<std::string> Stats::RenderMetrics(
   b.Counter("useful_cache_misses_total", "Query cache misses.", cache.misses);
   b.Counter("useful_cache_evictions_total", "Query cache LRU evictions.",
             cache.evictions);
+  b.Counter("useful_cache_expired_generation_total",
+            "Cache entries swept by a scoped invalidation plus Puts "
+            "refused for carrying a retired snapshot epoch.",
+            cache.expired);
   b.Gauge("useful_cache_entries", "Query cache resident entries.",
           static_cast<double>(cache.entries));
   b.Gauge("useful_cache_bytes", "Query cache resident bytes.",

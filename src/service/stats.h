@@ -35,6 +35,13 @@ class Stats {
   /// Records one successful representative reload.
   void RecordReload();
 
+  /// Records engines registered/removed/replaced by the churn verbs
+  /// (counts are engines, not commands — one ADD of a packed store may
+  /// register many).
+  void RecordEnginesAdded(std::size_t count);
+  void RecordEnginesDropped(std::size_t count);
+  void RecordEnginesUpdated(std::size_t count);
+
   // --- Connection lifecycle (recorded by service::Server) ---------------
 
   /// Records one accepted connection handed to a worker.
@@ -77,6 +84,15 @@ class Stats {
   }
   std::uint64_t reloads() const {
     return reloads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t engines_added() const {
+    return engines_added_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t engines_dropped() const {
+    return engines_dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t engines_updated() const {
+    return engines_updated_.load(std::memory_order_relaxed);
   }
   std::uint64_t connections_opened() const {
     return conns_opened_.load(std::memory_order_relaxed);
@@ -156,6 +172,15 @@ class Stats {
     return representative_packed_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Sets the snapshot-epoch gauge: the monotone version of the serving
+  /// snapshot, bumped by every successful RELOAD/ADD/DROP/UPDATE.
+  void SetSnapshotEpoch(std::uint64_t epoch) {
+    snapshot_epoch_.store(epoch, std::memory_order_relaxed);
+  }
+  std::uint64_t snapshot_epoch() const {
+    return snapshot_epoch_.load(std::memory_order_relaxed);
+  }
+
   /// "key value" lines for the STATS payload: request totals, reloads, the
   /// cache counters, engine count, then per-command count/p50/p99/max µs.
   std::vector<std::string> Render(const QueryCache::Counters& cache,
@@ -175,6 +200,10 @@ class Stats {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> engines_added_{0};
+  std::atomic<std::uint64_t> engines_dropped_{0};
+  std::atomic<std::uint64_t> engines_updated_{0};
+  std::atomic<std::uint64_t> snapshot_epoch_{0};
   std::atomic<std::uint64_t> conns_opened_{0};
   std::atomic<std::uint64_t> sheds_{0};
   std::atomic<std::uint64_t> idle_timeouts_{0};

@@ -37,8 +37,8 @@ std::string TemplateLine(Pcg32& rng,
                          const std::vector<std::string>& dictionary) {
   static const std::vector<const char*> kCommands = {
       "ROUTE", "ESTIMATE", "STATS",   "METRICS", "SLOWLOG", "RELOAD",
-      "QUIT",  "route",    "slowlog", "FROB",    "",        "OK",
-      "ERR"};
+      "ADD",   "DROP",     "UPDATE",  "QUIT",    "route",   "slowlog",
+      "FROB",  "",         "OK",      "ERR"};
   static const std::vector<const char*> kEstimators = {
       "subrange", "subrange-nomax", "subrange-k3", "basic",
       "adaptive", "high-correlation", "disjoint", "nope", "SUBRANGE", ""};

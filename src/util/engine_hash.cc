@@ -1,6 +1,6 @@
-#include "cluster/hashing.h"
+#include "util/engine_hash.h"
 
-namespace useful::cluster {
+namespace useful::util {
 
 std::uint64_t EngineHash(std::string_view engine_name) {
   std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV offset basis
@@ -16,4 +16,4 @@ std::size_t ShardForEngine(std::string_view engine_name,
   return static_cast<std::size_t>(EngineHash(engine_name) % num_shards);
 }
 
-}  // namespace useful::cluster
+}  // namespace useful::util

@@ -291,6 +291,192 @@ TEST_F(FrontendTest, StatsAggregatesSummableDownstreamCounters) {
   }
 }
 
+TEST_F(FrontendTest, StatsAggregatesGaugesByMaxNotSum) {
+  // Summing a gauge across shards invents numbers no server ever
+  // reported: two shards each holding 10000 cache entries do not hold
+  // 20000 together in any actionable sense, and snapshot_epoch 3 + 5
+  // is meaningless. Gauges aggregate by max; counters keep summing.
+  MakeFrontend();
+  for (ReplicaScript& script : scripts_[0]) {
+    script.respond = [](const std::string&) {
+      return OkReply({"engines 3", "requests_total 10", "cache_entries 10000",
+                      "cache_bytes 400", "snapshot_epoch 5",
+                      "dispatch_queue_depth 2"});
+    };
+  }
+  for (ReplicaScript& script : scripts_[1]) {
+    script.respond = [](const std::string&) {
+      return OkReply({"engines 3", "requests_total 7", "cache_entries 6000",
+                      "cache_bytes 900", "snapshot_epoch 3",
+                      "dispatch_queue_depth 8"});
+    };
+  }
+  service::Reply reply = Execute("STATS");
+  ASSERT_TRUE(reply.status.ok());
+  auto has_line = [&](const std::string& want) {
+    for (const std::string& line : reply.payload) {
+      if (line == want) return true;
+    }
+    return false;
+  };
+  // Counters: summed. "engines" stays summed on purpose — shards hold
+  // disjoint engine sets, so the sum is the true cluster total.
+  EXPECT_TRUE(has_line("agg_engines 6"));
+  EXPECT_TRUE(has_line("agg_requests_total 17"));
+  // Gauges: max across shards, never the sum.
+  EXPECT_TRUE(has_line("agg_cache_entries 10000"));
+  EXPECT_TRUE(has_line("agg_cache_bytes 900"));
+  EXPECT_TRUE(has_line("agg_snapshot_epoch 5"));
+  EXPECT_TRUE(has_line("agg_dispatch_queue_depth 8"));
+  EXPECT_FALSE(has_line("agg_cache_entries 16000"));
+  EXPECT_FALSE(has_line("agg_snapshot_epoch 8"));
+}
+
+TEST_F(FrontendTest, AddFansToEveryReplicaAndSumsAdded) {
+  MakeFrontend();
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      script.respond = [](const std::string& line) {
+        EXPECT_EQ(line, "ADD /packs/extra.urpz");  // forwarded verbatim
+        return OkReply({"added 1", "engines 4"});
+      };
+    }
+  }
+  service::Reply reply = Execute("ADD /packs/extra.urpz");
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  EXPECT_FALSE(reply.degraded);
+  // One owner per shard under shard filtering; counts sum across shards.
+  EXPECT_EQ(reply.payload,
+            (std::vector<std::string>{"added 2", "engines 8"}));
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      EXPECT_EQ(script.starts.load(), 1);  // every replica, not one per shard
+    }
+  }
+}
+
+TEST_F(FrontendTest, AddWithOneDeadReplicaIsDegradedOk) {
+  MakeFrontend();
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      script.respond = [](const std::string&) {
+        return OkReply({"added 1", "engines 4"});
+      };
+    }
+  }
+  scripts_[1][1].fail_start.store(true);
+  service::Reply reply = Execute("ADD /packs/extra.urpz");
+  ASSERT_TRUE(reply.status.ok());
+  // The dead replica missed the ADD: its snapshot is now behind its
+  // peers', which the caller must hear about.
+  EXPECT_TRUE(reply.degraded);
+  EXPECT_EQ(reply.payload,
+            (std::vector<std::string>{"added 2", "engines 8"}));
+}
+
+TEST_F(FrontendTest, AddFailsWhenAWholeShardMissesIt) {
+  MakeFrontend();
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      script.respond = [](const std::string&) {
+        return OkReply({"added 1", "engines 4"});
+      };
+    }
+  }
+  scripts_[0][0].fail_start.store(true);
+  scripts_[0][1].fail_start.store(true);
+  service::Reply reply = Execute("ADD /packs/extra.urpz");
+  EXPECT_EQ(reply.status.code(), Status::Code::kUnavailable);
+}
+
+TEST_F(FrontendTest, AddDuplicateEngineErrorPassesThrough) {
+  MakeFrontend();
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      script.respond = [](const std::string&) {
+        ShardReply reply;
+        reply.ok = false;
+        reply.error = "InvalidArgument: duplicate engine name: sports";
+        return reply;
+      };
+    }
+  }
+  service::Reply reply = Execute("ADD /packs/extra.urpz");
+  EXPECT_EQ(reply.status.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(reply.status.message(), "duplicate engine name: sports");
+}
+
+TEST_F(FrontendTest, DropToleratesNonOwnerShards) {
+  // Under shard placement exactly one shard owns the engine; the others
+  // answer NotFound. That is topology, not an error — the frontend
+  // reports the owner's count and omits the engines total (a partial
+  // sum over the shards that happened to own it would lie).
+  MakeFrontend();
+  for (ReplicaScript& script : scripts_[0]) {
+    script.respond = [](const std::string& line) {
+      EXPECT_EQ(line, "DROP aurora");
+      return OkReply({"dropped 1", "engines 2"});
+    };
+  }
+  for (ReplicaScript& script : scripts_[1]) {
+    script.respond = [](const std::string&) {
+      ShardReply reply;
+      reply.ok = false;
+      reply.error = "NotFound: unknown engine: aurora";
+      return reply;
+    };
+  }
+  service::Reply reply = Execute("DROP aurora");
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  EXPECT_FALSE(reply.degraded);  // a non-owner shard is healthy, not failed
+  EXPECT_EQ(reply.payload, (std::vector<std::string>{"dropped 1"}));
+  EXPECT_EQ(frontend_->stale_shards(), 0u);
+}
+
+TEST_F(FrontendTest, DropUnknownEverywhereIsNotFound) {
+  MakeFrontend();
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      script.respond = [](const std::string&) {
+        ShardReply reply;
+        reply.ok = false;
+        reply.error = "NotFound: unknown engine: ghost";
+        return reply;
+      };
+    }
+  }
+  service::Reply reply = Execute("DROP ghost");
+  EXPECT_EQ(reply.status.code(), Status::Code::kNotFound);
+  EXPECT_EQ(reply.status.message(), "unknown engine: ghost");
+}
+
+TEST_F(FrontendTest, UpdateFansToEveryReplicaAndSumsUpdated) {
+  MakeFrontend();
+  for (ReplicaScript& script : scripts_[0]) {
+    script.respond = [](const std::string& line) {
+      EXPECT_EQ(line, "UPDATE /packs/extra.urpz");
+      return OkReply({"updated 1", "engines 3"});
+    };
+  }
+  for (ReplicaScript& script : scripts_[1]) {
+    // UPDATE of engines this shard does not hold is a no-op, not an
+    // error — the service answers "updated 0".
+    script.respond = [](const std::string&) {
+      return OkReply({"updated 0", "engines 3"});
+    };
+  }
+  service::Reply reply = Execute("UPDATE /packs/extra.urpz");
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  EXPECT_FALSE(reply.degraded);
+  EXPECT_EQ(reply.payload,
+            (std::vector<std::string>{"updated 1", "engines 6"}));
+  for (auto& shard : scripts_) {
+    for (ReplicaScript& script : shard) {
+      EXPECT_EQ(script.starts.load(), 1);
+    }
+  }
+}
+
 TEST_F(FrontendTest, MetricsExposeClusterFamilies) {
   MakeFrontend();
   for (auto& shard : scripts_) {

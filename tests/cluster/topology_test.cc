@@ -51,6 +51,43 @@ TEST(ParseClusterSpecTest, RejectsEmptySpecAndEmptyShards) {
   EXPECT_FALSE(ParseClusterSpec("nonsense").ok());
 }
 
+TEST(ParseClusterSpecTest, RejectsStrayDelimitersWithPreciseErrors) {
+  // A spec that silently dropped a delimiter once meant a typo'd
+  // topology booted with the wrong shard count. Every stray delimiter
+  // must be rejected at parse time, and the message must name which
+  // token was empty so operators can see the typo.
+  struct Case {
+    const char* spec;
+    const char* message_fragment;
+  };
+  const Case kCases[] = {
+      {"", "empty cluster spec"},
+      {"a:1,", "empty replica 1 of shard 0 (stray ',')"},
+      {",a:1", "empty replica 0 of shard 0 (stray ',')"},
+      {"a:1,,b:2", "empty replica 1 of shard 0 (stray ',')"},
+      {"a:1,|b:2", "empty replica 1 of shard 0 (stray ',')"},
+      {"a:1|", "empty shard 1 (stray '|' or ';')"},
+      {"|a:1", "empty shard 0 (stray '|' or ';')"},
+      {";a:1", "empty shard 0 (stray '|' or ';')"},
+      {"a:1||b:2", "empty shard 1 (stray '|' or ';')"},
+      {"a:1;;b:2", "empty shard 1 (stray '|' or ';')"},
+      {"a:1|;b:2", "empty shard 1 (stray '|' or ';')"},
+  };
+  for (const Case& c : kCases) {
+    auto spec = ParseClusterSpec(c.spec);
+    ASSERT_FALSE(spec.ok()) << "accepted: \"" << c.spec << '"';
+    EXPECT_EQ(spec.status().code(), Status::Code::kInvalidArgument) << c.spec;
+    EXPECT_NE(spec.status().message().find(c.message_fragment),
+              std::string::npos)
+        << '"' << c.spec << "\" produced: " << spec.status().ToString();
+    if (*c.spec != '\0') {
+      // The offending spec is echoed back verbatim.
+      EXPECT_NE(spec.status().message().find(c.spec), std::string::npos)
+          << spec.status().ToString();
+    }
+  }
+}
+
 TEST(EngineHashTest, IsCanonicalFnv1a64) {
   // The placement hash is a wire format: these constants are the
   // published FNV-1a offset basis / single-byte values and must never

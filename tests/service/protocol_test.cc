@@ -69,6 +69,48 @@ TEST(ProtocolTest, RejectsBadSlowlogCounts) {
   EXPECT_EQ(at_cap.value().slowlog_n, kMaxSlowlogEntries);
 }
 
+TEST(ProtocolTest, ParsesChurnVerbsWithOneArgument) {
+  auto add = ParseRequest("ADD /packs/extra.urpz");
+  ASSERT_TRUE(add.ok()) << add.status().ToString();
+  EXPECT_EQ(add.value().kind, CommandKind::kAdd);
+  EXPECT_EQ(add.value().argument, "/packs/extra.urpz");
+
+  auto drop = ParseRequest("DROP aurora");
+  ASSERT_TRUE(drop.ok()) << drop.status().ToString();
+  EXPECT_EQ(drop.value().kind, CommandKind::kDrop);
+  EXPECT_EQ(drop.value().argument, "aurora");
+
+  auto update = ParseRequest("UPDATE reps/extra.rep");
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  EXPECT_EQ(update.value().kind, CommandKind::kUpdate);
+  EXPECT_EQ(update.value().argument, "reps/extra.rep");
+
+  // Interior whitespace collapses like everywhere in the protocol.
+  auto padded = ParseRequest("  DROP \t aurora \r");
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded.value().argument, "aurora");
+}
+
+TEST(ProtocolTest, ChurnVerbsNeedExactlyOneArgument) {
+  // Spaces can't be escaped in this protocol: "ADD a b" is ambiguous,
+  // not a path with a space, so it is rejected instead of re-joined.
+  for (const char* bad : {"ADD", "DROP", "UPDATE", "ADD a b", "DROP a b",
+                          "UPDATE a b"}) {
+    auto r = ParseRequest(bad);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_NE(r.status().message().find("needs exactly one argument"),
+              std::string::npos)
+        << r.status().ToString();
+  }
+  // The error names the expected operand kind per verb.
+  EXPECT_NE(ParseRequest("DROP").status().message().find("<engine>"),
+            std::string::npos);
+  EXPECT_NE(ParseRequest("ADD").status().message().find("<path>"),
+            std::string::npos);
+  EXPECT_NE(ParseRequest("UPDATE").status().message().find("<path>"),
+            std::string::npos);
+}
+
 TEST(ProtocolTest, RejectsEmptyAndUnknown) {
   EXPECT_FALSE(ParseRequest("").ok());
   EXPECT_FALSE(ParseRequest("   ").ok());
@@ -154,6 +196,9 @@ TEST(ProtocolTest, CommandNamesAreStable) {
   EXPECT_STREQ(CommandName(CommandKind::kMetrics), "metrics");
   EXPECT_STREQ(CommandName(CommandKind::kSlowlog), "slowlog");
   EXPECT_STREQ(CommandName(CommandKind::kReload), "reload");
+  EXPECT_STREQ(CommandName(CommandKind::kAdd), "add");
+  EXPECT_STREQ(CommandName(CommandKind::kDrop), "drop");
+  EXPECT_STREQ(CommandName(CommandKind::kUpdate), "update");
   EXPECT_STREQ(CommandName(CommandKind::kQuit), "quit");
 }
 

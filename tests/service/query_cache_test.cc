@@ -12,9 +12,7 @@
 namespace useful::service {
 namespace {
 
-CachedRanking MakeRanking(const std::string& engine, double no_doc) {
-  return {broker::EngineSelection{engine, {no_doc, 0.5}}};
-}
+CachedEstimate MakeEstimate(double no_doc) { return {no_doc, 0.5}; }
 
 ir::Query MakeQuery(std::vector<std::pair<std::string, double>> terms) {
   ir::Query q;
@@ -100,12 +98,11 @@ TEST(QueryCacheKeyTest, NegationAndMinShouldMatchArePartOfTheKey) {
 TEST(QueryCacheTest, MissThenHit) {
   QueryCache cache({.max_entries = 8, .max_bytes = 1u << 20, .shards = 1});
   EXPECT_FALSE(cache.Get("k1").has_value());
-  cache.Put("k1", MakeRanking("e", 2.0));
+  cache.Put("k1", MakeEstimate(2.0), 0);
   auto hit = cache.Get("k1");
   ASSERT_TRUE(hit.has_value());
-  ASSERT_EQ(hit->size(), 1u);
-  EXPECT_EQ((*hit)[0].engine, "e");
-  EXPECT_DOUBLE_EQ((*hit)[0].estimate.no_doc, 2.0);
+  EXPECT_DOUBLE_EQ(hit->no_doc, 2.0);
+  EXPECT_DOUBLE_EQ(hit->avg_sim, 0.5);
   auto c = cache.counters();
   EXPECT_EQ(c.hits, 1u);
   EXPECT_EQ(c.misses, 1u);
@@ -115,12 +112,12 @@ TEST(QueryCacheTest, MissThenHit) {
 
 TEST(QueryCacheTest, EvictsLeastRecentlyUsedInOrder) {
   QueryCache cache({.max_entries = 3, .max_bytes = 1u << 20, .shards = 1});
-  cache.Put("a", MakeRanking("a", 1));
-  cache.Put("b", MakeRanking("b", 1));
-  cache.Put("c", MakeRanking("c", 1));
+  cache.Put("a", MakeEstimate(1), 0);
+  cache.Put("b", MakeEstimate(1), 0);
+  cache.Put("c", MakeEstimate(1), 0);
   // Touch "a" so "b" becomes the LRU victim.
   EXPECT_TRUE(cache.Get("a").has_value());
-  cache.Put("d", MakeRanking("d", 1));
+  cache.Put("d", MakeEstimate(1), 0);
   EXPECT_EQ(cache.counters().evictions, 1u);
   EXPECT_FALSE(cache.Get("b").has_value());
   EXPECT_TRUE(cache.Get("a").has_value());
@@ -132,21 +129,21 @@ TEST(QueryCacheTest, EvictsLeastRecentlyUsedInOrder) {
 
 TEST(QueryCacheTest, RefreshingAKeyUpdatesValueWithoutGrowth) {
   QueryCache cache({.max_entries = 4, .max_bytes = 1u << 20, .shards = 1});
-  cache.Put("k", MakeRanking("old", 1.0));
-  cache.Put("k", MakeRanking("new", 9.0));
+  cache.Put("k", MakeEstimate(1.0), 0);
+  cache.Put("k", MakeEstimate(9.0), 0);
   EXPECT_EQ(cache.counters().entries, 1u);
   auto hit = cache.Get("k");
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ((*hit)[0].engine, "new");
+  EXPECT_DOUBLE_EQ(hit->no_doc, 9.0);
 }
 
 TEST(QueryCacheTest, ByteBudgetEvicts) {
-  // Each entry costs ~kEntryOverhead + key + value strings; a budget of
-  // ~2 entries must hold the cache near two entries regardless of the
+  // Each entry costs ~kEntryOverhead + key + the fixed estimate; a budget
+  // of ~2 entries must hold the cache near two entries regardless of the
   // (larger) entry budget.
   QueryCache cache({.max_entries = 100, .max_bytes = 300, .shards = 1});
   for (int i = 0; i < 10; ++i) {
-    cache.Put("key" + std::to_string(i), MakeRanking("engine", 1.0));
+    cache.Put("key" + std::to_string(i), MakeEstimate(1.0), 0);
   }
   auto c = cache.counters();
   EXPECT_GT(c.evictions, 0u);
@@ -154,19 +151,21 @@ TEST(QueryCacheTest, ByteBudgetEvicts) {
   EXPECT_LT(c.entries, 10u);
 }
 
-TEST(QueryCacheTest, OversizeValueIsNotCached) {
+TEST(QueryCacheTest, OversizeEntryIsNotCached) {
+  // The value is a fixed-size estimate now, so only the key can blow the
+  // budget — a key alone larger than the shard's byte budget must not be
+  // admitted (it could never coexist with anything).
   QueryCache cache({.max_entries = 8, .max_bytes = 200, .shards = 1});
-  CachedRanking huge;
-  for (int i = 0; i < 100; ++i) huge.push_back({"engine-name", {1.0, 0.5}});
-  cache.Put("huge", huge);
+  std::string huge_key(300, 'k');
+  cache.Put(huge_key, MakeEstimate(1.0), 0);
   EXPECT_EQ(cache.counters().entries, 0u);
-  EXPECT_FALSE(cache.Get("huge").has_value());
+  EXPECT_FALSE(cache.Get(huge_key).has_value());
 }
 
 TEST(QueryCacheTest, ClearDropsEntriesButKeepsCounterTotals) {
   QueryCache cache({.max_entries = 8, .max_bytes = 1u << 20, .shards = 2});
-  cache.Put("a", MakeRanking("a", 1));
-  cache.Put("b", MakeRanking("b", 1));
+  cache.Put("a", MakeEstimate(1), 0);
+  cache.Put("b", MakeEstimate(1), 0);
   EXPECT_TRUE(cache.Get("a").has_value());
   cache.Clear();
   auto c = cache.counters();
@@ -174,6 +173,76 @@ TEST(QueryCacheTest, ClearDropsEntriesButKeepsCounterTotals) {
   EXPECT_EQ(c.bytes, 0u);
   EXPECT_EQ(c.hits, 1u);  // history survives
   EXPECT_FALSE(cache.Get("a").has_value());
+}
+
+TEST(QueryCacheTest, ErasePrefixRemovesOnlyThatEnginesEntries) {
+  QueryCache cache({.max_entries = 64, .max_bytes = 1u << 20, .shards = 4});
+  cache.Put("sports\x1f""1\x1f""q1", MakeEstimate(1), 0);
+  cache.Put("sports\x1f""1\x1f""q2", MakeEstimate(2), 0);
+  cache.Put("science\x1f""2\x1f""q1", MakeEstimate(3), 0);
+  EXPECT_EQ(cache.ErasePrefix("sports\x1f"), 2u);
+  EXPECT_FALSE(cache.Get("sports\x1f""1\x1f""q1").has_value());
+  EXPECT_FALSE(cache.Get("sports\x1f""1\x1f""q2").has_value());
+  EXPECT_TRUE(cache.Get("science\x1f""2\x1f""q1").has_value());
+  auto c = cache.counters();
+  EXPECT_EQ(c.expired, 2u);
+  EXPECT_EQ(c.evictions, 0u);  // a sweep is not LRU pressure
+  EXPECT_EQ(c.entries, 1u);
+}
+
+TEST(QueryCacheTest, ErasePrefixReclaimsBudgetImmediately) {
+  // The satellite-1 regression: before the sweep existed, entries under a
+  // dead generation stayed resident until LRU pressure found them, so a
+  // reload/update squatted on the budget and evicted LIVE entries. A
+  // sweep must hand the budget back at once: after erasing the dead
+  // engine's entries, inserting fresh ones must not evict the survivors.
+  QueryCache cache({.max_entries = 4, .max_bytes = 1u << 20, .shards = 1});
+  cache.Put("dead\x1f""1\x1f""q1", MakeEstimate(1), 0);
+  cache.Put("dead\x1f""1\x1f""q2", MakeEstimate(1), 0);
+  cache.Put("live\x1f""1\x1f""q1", MakeEstimate(1), 0);
+  cache.Put("live\x1f""1\x1f""q2", MakeEstimate(1), 0);
+  // The cache is exactly full. Sweep the dead engine, then refill with
+  // its next generation.
+  std::size_t full_bytes = cache.counters().bytes;
+  EXPECT_EQ(cache.ErasePrefix("dead\x1f"), 2u);
+  EXPECT_LT(cache.counters().bytes, full_bytes);  // budget handed back now
+  cache.Put("dead\x1f""2\x1f""q1", MakeEstimate(1), 0);
+  cache.Put("dead\x1f""2\x1f""q2", MakeEstimate(1), 0);
+  // The survivors were never evicted — the swept budget absorbed the new
+  // generation entirely.
+  EXPECT_EQ(cache.counters().evictions, 0u);
+  EXPECT_TRUE(cache.Get("live\x1f""1\x1f""q1").has_value());
+  EXPECT_TRUE(cache.Get("live\x1f""1\x1f""q2").has_value());
+  EXPECT_TRUE(cache.Get("dead\x1f""2\x1f""q1").has_value());
+  EXPECT_TRUE(cache.Get("dead\x1f""2\x1f""q2").has_value());
+  EXPECT_EQ(cache.counters().entries, 4u);
+}
+
+TEST(QueryCacheTest, StalePutIsRefusedAfterEpochAdvance) {
+  // A request computed under snapshot epoch E races an invalidation that
+  // published epoch E+1 and swept: its late Put must be refused, or the
+  // dead generation re-enters the cache right behind the sweep.
+  QueryCache cache({.max_entries = 8, .max_bytes = 1u << 20, .shards = 1});
+  cache.Put("a", MakeEstimate(1), /*epoch=*/0);
+  cache.SetMinEpoch(1);
+  cache.Put("b", MakeEstimate(1), /*epoch=*/0);  // stale: refused
+  EXPECT_FALSE(cache.Get("b").has_value());
+  cache.Put("c", MakeEstimate(1), /*epoch=*/1);  // current: accepted
+  EXPECT_TRUE(cache.Get("c").has_value());
+  auto c = cache.counters();
+  EXPECT_EQ(c.expired, 1u);
+  EXPECT_EQ(c.entries, 2u);
+}
+
+TEST(QueryCacheTest, MinEpochIsMonotone) {
+  QueryCache cache({.max_entries = 8, .max_bytes = 1u << 20, .shards = 1});
+  cache.SetMinEpoch(5);
+  cache.SetMinEpoch(3);  // out-of-order call must not lower the bar
+  cache.Put("k", MakeEstimate(1), /*epoch=*/4);
+  EXPECT_FALSE(cache.Get("k").has_value());
+  EXPECT_EQ(cache.counters().expired, 1u);
+  cache.Put("k", MakeEstimate(1), /*epoch=*/5);
+  EXPECT_TRUE(cache.Get("k").has_value());
 }
 
 TEST(QueryCacheTest, ConcurrentHammeringKeepsCountersConsistent) {
@@ -187,11 +256,10 @@ TEST(QueryCacheTest, ConcurrentHammeringKeepsCountersConsistent) {
     auto hit = cache.Get(key);
     if (hit.has_value()) {
       observed_hits.fetch_add(1, std::memory_order_relaxed);
-      // A cached ranking is always intact, never half-written.
-      ASSERT_EQ(hit->size(), 1u);
-      EXPECT_EQ((*hit)[0].engine, "e" + std::to_string(i % kKeys));
+      // A cached estimate is always intact, never half-written.
+      EXPECT_DOUBLE_EQ(hit->no_doc, static_cast<double>(i % kKeys));
     } else {
-      cache.Put(key, MakeRanking("e" + std::to_string(i % kKeys), 1.0));
+      cache.Put(key, {static_cast<double>(i % kKeys), 0.5}, 0);
     }
   });
   auto c = cache.counters();

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -17,6 +18,7 @@
 #include "represent/builder.h"
 #include "represent/serialize.h"
 #include "represent/store.h"
+#include "util/engine_hash.h"
 #include "util/string_util.h"
 
 namespace useful::service {
@@ -135,25 +137,27 @@ TEST_F(ServiceTest, TopkCapsTheSelection) {
 }
 
 TEST_F(ServiceTest, RepeatedQueryHitsCacheAndPolicyDoesNotSplitIt) {
+  // The cacheable unit is one (engine, query) estimate, so every count
+  // below moves in steps of the fixture's 3 engines.
   auto first = service_->Execute("ROUTE subrange 0.1 0 football");
   ASSERT_TRUE(first.status.ok());
   EXPECT_EQ(service_->cache().counters().hits, 0u);
-  EXPECT_EQ(service_->cache().counters().misses, 1u);
+  EXPECT_EQ(service_->cache().counters().misses, 3u);
 
   auto second = service_->Execute("ROUTE subrange 0.1 0 football");
   ASSERT_TRUE(second.status.ok());
-  EXPECT_EQ(service_->cache().counters().hits, 1u);
+  EXPECT_EQ(service_->cache().counters().hits, 3u);
   EXPECT_EQ(second.payload, first.payload);
 
   // Same key despite different topk / command: policy applies post-cache.
   ASSERT_TRUE(service_->Execute("ROUTE subrange 0.1 2 football").status.ok());
   ASSERT_TRUE(service_->Execute("ESTIMATE subrange 0.1 football").status.ok());
-  EXPECT_EQ(service_->cache().counters().hits, 3u);
-  EXPECT_EQ(service_->cache().counters().misses, 1u);
+  EXPECT_EQ(service_->cache().counters().hits, 9u);
+  EXPECT_EQ(service_->cache().counters().misses, 3u);
 
   // Different threshold is a different key.
   ASSERT_TRUE(service_->Execute("ROUTE subrange 0.2 0 football").status.ok());
-  EXPECT_EQ(service_->cache().counters().misses, 2u);
+  EXPECT_EQ(service_->cache().counters().misses, 6u);
 }
 
 TEST_F(ServiceTest, CachedAnswersAreByteIdenticalToUncached) {
@@ -162,7 +166,7 @@ TEST_F(ServiceTest, CachedAnswersAreByteIdenticalToUncached) {
   ASSERT_TRUE(uncached.status.ok());
   ASSERT_TRUE(cached.status.ok());
   EXPECT_EQ(uncached.payload, cached.payload);
-  EXPECT_EQ(service_->cache().counters().hits, 1u);
+  EXPECT_EQ(service_->cache().counters().hits, 3u);  // one per engine
 }
 
 TEST_F(ServiceTest, UnknownEstimatorListsRegisteredNames) {
@@ -206,8 +210,8 @@ TEST_F(ServiceTest, StatsRendersCountersAndLatencies) {
   EXPECT_EQ(find("errors_total"), "1");
   EXPECT_EQ(find("engines"), "3");
   EXPECT_EQ(find("reloads"), "0");
-  EXPECT_EQ(find("cache_hits"), "1");
-  EXPECT_EQ(find("cache_misses"), "1");
+  EXPECT_EQ(find("cache_hits"), "3");  // per-engine entries, 3 engines
+  EXPECT_EQ(find("cache_misses"), "3");
   EXPECT_EQ(find("cmd_route_count"), "3");
   EXPECT_EQ(find("cmd_stats_count"), "0");
   EXPECT_NE(find("cmd_route_p50_us"), "<missing>");
@@ -279,6 +283,154 @@ TEST_F(ServiceTest, FailedReloadKeepsServingOldSnapshot) {
   ASSERT_TRUE(after.status.ok());
   ASSERT_FALSE(after.payload.empty());
   EXPECT_EQ(service_->stats().reloads(), 0u);
+}
+
+// --- Live churn: ADD / DROP / UPDATE -----------------------------------
+
+// Acceptance: adding an engine must not cost the others their cache
+// entries — the per-engine generations of untouched engines never move,
+// so a repeated query hits for every pre-existing engine and misses only
+// for the newcomer.
+TEST_F(ServiceTest, AddKeepsUntouchedEnginesCached) {
+  auto before = service_->Execute("ESTIMATE subrange 0.1 shared");
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(service_->cache().counters().misses, 3u);
+
+  WriteRep("history", {"empire treaty shared", "dynasty empire war"});
+  auto reply = service_->Execute("ADD " + RepPath("history"));
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  ASSERT_EQ(reply.payload.size(), 2u);
+  EXPECT_EQ(reply.payload[0], "added 1");
+  EXPECT_EQ(reply.payload[1], "engines 4");
+  EXPECT_EQ(service_->num_engines(), 4u);
+  EXPECT_EQ(service_->stats().engines_added(), 1u);
+  EXPECT_EQ(service_->snapshot_epoch(), 1u);
+
+  auto after = service_->Execute("ESTIMATE subrange 0.1 shared");
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.payload.size(), 4u);
+  // Scoped invalidation: 3 hits (the untouched engines), 1 fresh miss
+  // (the newcomer) — not 0 hits and 4 misses, which is what a global
+  // generation would produce.
+  EXPECT_EQ(service_->cache().counters().hits, 3u);
+  EXPECT_EQ(service_->cache().counters().misses, 4u);
+
+  // The untouched engines' reply lines are byte-identical.
+  for (const std::string& line : before.payload) {
+    EXPECT_NE(std::find(after.payload.begin(), after.payload.end(), line),
+              after.payload.end())
+        << "pre-ADD line missing from post-ADD reply: " << line;
+  }
+}
+
+TEST_F(ServiceTest, AddOfDuplicateEngineFailsAtomically) {
+  auto reply = service_->Execute("ADD " + RepPath("sports"));
+  ASSERT_FALSE(reply.status.ok());
+  EXPECT_EQ(reply.status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(reply.status.message().find("sports"), std::string::npos);
+  // Nothing changed: no new engines, no epoch bump, old snapshot serves.
+  EXPECT_EQ(service_->num_engines(), 3u);
+  EXPECT_EQ(service_->snapshot_epoch(), 0u);
+  EXPECT_TRUE(service_->Execute("ESTIMATE subrange 0.1 shared").status.ok());
+}
+
+TEST_F(ServiceTest, AddOfMissingFileFailsWithPath) {
+  auto reply = service_->Execute("ADD " + (dir_ / "nope.rep").string());
+  ASSERT_FALSE(reply.status.ok());
+  EXPECT_EQ(reply.status.code(), Status::Code::kIOError);
+  EXPECT_NE(reply.status.message().find("nope.rep"), std::string::npos);
+  EXPECT_EQ(service_->num_engines(), 3u);
+}
+
+TEST_F(ServiceTest, DropSweepsOnlyTheDroppedEnginesEntries) {
+  ASSERT_TRUE(service_->Execute("ESTIMATE subrange 0.1 shared").status.ok());
+  EXPECT_EQ(service_->cache().counters().misses, 3u);
+
+  auto reply = service_->Execute("DROP cooking");
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  ASSERT_EQ(reply.payload.size(), 2u);
+  EXPECT_EQ(reply.payload[0], "dropped 1");
+  EXPECT_EQ(reply.payload[1], "engines 2");
+  EXPECT_EQ(service_->stats().engines_dropped(), 1u);
+  // Exactly the dropped engine's entry was swept — not the others'.
+  EXPECT_EQ(service_->cache().counters().expired, 1u);
+  EXPECT_EQ(service_->cache().counters().entries, 2u);
+
+  auto after = service_->Execute("ESTIMATE subrange 0.1 shared");
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.payload.size(), 2u);
+  for (const std::string& line : after.payload) {
+    EXPECT_NE(line.substr(0, 7), "cooking");
+  }
+  // The survivors answered entirely from cache.
+  EXPECT_EQ(service_->cache().counters().hits, 2u);
+  EXPECT_EQ(service_->cache().counters().misses, 3u);
+
+  auto again = service_->Execute("DROP cooking");
+  ASSERT_FALSE(again.status.ok());
+  EXPECT_EQ(again.status.code(), Status::Code::kNotFound);
+}
+
+TEST_F(ServiceTest, UpdateReplacesOneEngineAndKeepsOthersCached) {
+  auto before = service_->Execute("ESTIMATE subrange 0.1 volleyball");
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(service_->cache().counters().misses, 3u);
+
+  WriteRep("sports", {"volleyball net serve", "volleyball beach game",
+                      "goal keeper shared"});
+  auto reply = service_->Execute("UPDATE " + RepPath("sports"));
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  ASSERT_EQ(reply.payload.size(), 2u);
+  EXPECT_EQ(reply.payload[0], "updated 1");
+  EXPECT_EQ(reply.payload[1], "engines 3");
+  EXPECT_EQ(service_->stats().engines_updated(), 1u);
+
+  auto after = service_->Execute("ESTIMATE subrange 0.1 volleyball");
+  ASSERT_TRUE(after.status.ok());
+  // science and cooking hit their old entries; only sports recomputed —
+  // and against the NEW representative, so volleyball now scores.
+  EXPECT_EQ(service_->cache().counters().hits, 2u);
+  EXPECT_EQ(service_->cache().counters().misses, 4u);
+  bool sports_scored = false;
+  for (const std::string& line : after.payload) {
+    if (line.substr(0, 7) == "sports " && line.find(" 0 0") == std::string::npos) {
+      sports_scored = true;
+    }
+  }
+  EXPECT_TRUE(sports_scored) << "UPDATE did not swap in the new rep";
+}
+
+TEST_F(ServiceTest, UpdateOfUnregisteredEnginesIsANoOp) {
+  WriteRep("newbie", {"totally new content here"});
+  auto reply = service_->Execute("UPDATE " + RepPath("newbie"));
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  ASSERT_EQ(reply.payload.size(), 2u);
+  EXPECT_EQ(reply.payload[0], "updated 0");
+  EXPECT_EQ(reply.payload[1], "engines 3");
+  // A no-op must not bump the epoch or sweep anything.
+  EXPECT_EQ(service_->snapshot_epoch(), 0u);
+  EXPECT_EQ(service_->stats().engines_updated(), 0u);
+}
+
+TEST_F(ServiceTest, AddFiltersByShardOwnership) {
+  WriteRep("history", {"empire treaty dynasty"});
+  std::size_t owner = util::ShardForEngine("history", 2);
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    ServiceOptions options = MakeOptions();
+    options.num_shards = 2;
+    options.shard_index = shard;
+    auto service = Service::Create(&analyzer_, std::move(options));
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    auto reply = service.value()->Execute("ADD " + RepPath("history"));
+    ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+    if (shard == owner) {
+      EXPECT_EQ(reply.payload[0], "added 1");
+      EXPECT_EQ(service.value()->num_engines(), 4u);
+    } else {
+      EXPECT_EQ(reply.payload[0], "added 0");
+      EXPECT_EQ(service.value()->num_engines(), 3u);
+    }
+  }
 }
 
 // Packed-snapshot coverage: the service sniffs URPZ files per path, loads

@@ -80,7 +80,8 @@ echo "$SCRAPE1" | grep -q '^useful_stage_latency_seconds_bucket{stage="estimate"
   || fail "missing per-stage latency buckets"
 REQ1=$(series "$SCRAPE1" useful_requests_total)
 HITS1=$(series "$SCRAPE1" useful_cache_hits_total)
-[ "$HITS1" = "1" ] || fail "expected the repeated ROUTE to hit the cache, got '$HITS1'"
+# Per-engine cache entries: the repeated ROUTE hits once per engine.
+[ "$HITS1" = "2" ] || fail "expected the repeated ROUTE to hit the cache, got '$HITS1'"
 
 printf 'ROUTE subrange 0.15 0 quantum physics\n' | "$CLIENT" --port "$PORT" > /dev/null
 

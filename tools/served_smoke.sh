@@ -48,13 +48,14 @@ fi
 REPLY=$(printf 'ROUTE subrange 0.15 0 fox dog\nROUTE subrange 0.15 0 fox dog\nSTATS\nQUIT\n' | "$CLIENT" --port "$PORT")
 echo "$REPLY"
 
-echo "$REPLY" | grep -q '^cache_hits 1$' || {
-  echo "expected the repeated ROUTE to hit the cache (cache_hits 1)"
+# Cache entries are per (engine, query); both engines hit on the repeat.
+echo "$REPLY" | grep -q '^cache_hits 2$' || {
+  echo "expected the repeated ROUTE to hit the cache (cache_hits 2)"
   kill "$SERVER_PID" 2>/dev/null || true
   exit 1
 }
-echo "$REPLY" | grep -q '^cache_misses 1$' || {
-  echo "expected exactly one cache miss"
+echo "$REPLY" | grep -q '^cache_misses 2$' || {
+  echo "expected exactly one cache miss per engine"
   kill "$SERVER_PID" 2>/dev/null || true
   exit 1
 }

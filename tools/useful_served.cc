@@ -8,7 +8,8 @@
 //                 [--cache-bytes N] [--idle-timeout-ms N]
 //                 [--request-timeout-ms N] [--write-timeout-ms N]
 //                 [--max-connections N] [--max-accept-queue N]
-//                 [--trace-sample-rate N] [--slowlog-size N] <rep>...
+//                 [--trace-sample-rate N] [--slowlog-size N]
+//                 [--num-shards N] [--shard-index I] <rep>...
 //   useful_served --port 7979 a.rep b.rep
 //
 // --reuseport opens one SO_REUSEPORT listen socket + acceptor thread per
@@ -40,6 +41,12 @@
 // the write timeout, and connections beyond --max-connections (or beyond
 // the accept queue bound) are shed with "ERR Unavailable: overloaded".
 // Pass 0 to disable any individual limit.
+//
+// --num-shards N --shard-index I declare this process's slice of a
+// cluster: a live ADD only registers engines that hash to shard I, so
+// an ADD fanned to every shard by the front-end lands each engine on
+// exactly one owner. Startup/RELOAD/UPDATE stay unfiltered — they act
+// on whatever the operator pointed this process at.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -119,6 +126,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--slowlog-size") == 0) {
       service_options.slowlog_size =
           std::strtoul(need_value("--slowlog-size"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--num-shards") == 0) {
+      service_options.num_shards =
+          std::strtoul(need_value("--num-shards"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shard-index") == 0) {
+      service_options.shard_index =
+          std::strtoul(need_value("--shard-index"), nullptr, 10);
     } else {
       service_options.representative_paths.push_back(argv[i]);
     }
@@ -132,7 +145,8 @@ int main(int argc, char** argv) {
                  "[--idle-timeout-ms N] [--request-timeout-ms N] "
                  "[--write-timeout-ms N] [--max-connections N] "
                  "[--max-accept-queue N] [--trace-sample-rate N] "
-                 "[--slowlog-size N] <rep-file>...\n");
+                 "[--slowlog-size N] [--num-shards N] [--shard-index I] "
+                 "<rep-file>...\n");
     return 2;
   }
 
